@@ -1,0 +1,47 @@
+//! `cargo bench` entry point that regenerates **every table and figure**
+//! of the paper at quick scale, then runs the calibration shape checks.
+//!
+//! This is intentionally a `harness = false` bench target: the figures
+//! are deterministic simulation outputs (wall-clock statistics would be
+//! meaningless), so the deliverable of `cargo bench` is the set of
+//! paper-shaped tables below plus the Criterion component benches in
+//! `components.rs`.
+
+use bpfstor_bench::experiments::{
+    ablation_bpf_cost, ablation_extent_cache, ablation_resubmit_bound,
+    ablation_split_fallback, extent_stability, fig1, fig3_throughput, fig3c, fig3d,
+    lsm_stability, shape_checks, table1, Scale,
+};
+use bpfstor_core::DispatchMode;
+
+fn main() {
+    let scale = Scale { quick: true };
+    println!("bpfstor paper reproduction — quick regeneration of all artifacts");
+
+    fig1(scale).print();
+    table1(scale).print();
+    fig3_throughput(scale, DispatchMode::SyscallHook).print();
+    fig3_throughput(scale, DispatchMode::DriverHook).print();
+    fig3c(scale).print();
+    fig3d(scale).print();
+    extent_stability(scale).print();
+    lsm_stability(scale).print();
+    ablation_extent_cache(scale).print();
+    ablation_bpf_cost(scale).print();
+    ablation_resubmit_bound(scale).print();
+    ablation_split_fallback(scale).print();
+
+    println!("\n=== calibration shape checks ===");
+    let mut failed = 0;
+    for (desc, ok) in shape_checks(scale) {
+        println!("  [{}] {desc}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} shape check(s) failed — calibration drifted");
+        std::process::exit(1);
+    }
+    println!("all shapes hold");
+}

@@ -1,0 +1,19 @@
+//! Regenerates the §4 extent-stability measurement (the TokuDB/YCSB
+//! claim) plus the LSM SSTable-lifecycle companion table.
+
+use bpfstor_bench::experiments::{extent_stability, lsm_stability, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = Scale { quick };
+    let t = extent_stability(scale);
+    t.print();
+    if let Err(e) = t.write_csv("extent_stability") {
+        eprintln!("csv write failed: {e}");
+    }
+    let t = lsm_stability(scale);
+    t.print();
+    if let Err(e) = t.write_csv("lsm_stability") {
+        eprintln!("csv write failed: {e}");
+    }
+}

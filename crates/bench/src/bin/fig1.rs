@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: software vs hardware share of 512 B random-read
+//! latency across four device generations.
+
+use bpfstor_bench::experiments::{fig1, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fig1(Scale { quick });
+    t.print();
+    match t.write_csv("fig1") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 3a: B-tree lookup IOPS improvement with the
+//! syscall-dispatch-layer hook, sweeping tree depth and thread count.
+
+use bpfstor_bench::experiments::{fig3_throughput, Scale};
+use bpfstor_core::DispatchMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fig3_throughput(Scale { quick }, DispatchMode::SyscallHook);
+    t.print();
+    match t.write_csv("fig3a") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

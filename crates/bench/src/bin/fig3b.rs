@@ -1,0 +1,15 @@
+//! Regenerates Figure 3b: B-tree lookup IOPS improvement with the NVMe
+//! driver hook, sweeping tree depth and thread count.
+
+use bpfstor_bench::experiments::{fig3_throughput, Scale};
+use bpfstor_core::DispatchMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fig3_throughput(Scale { quick }, DispatchMode::DriverHook);
+    t.print();
+    match t.write_csv("fig3b") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

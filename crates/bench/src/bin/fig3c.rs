@@ -1,0 +1,14 @@
+//! Regenerates Figure 3c: single-threaded lookup latency for the three
+//! dispatch paths of Figure 2, sweeping tree depth.
+
+use bpfstor_bench::experiments::{fig3c, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fig3c(Scale { quick });
+    t.print();
+    match t.write_csv("fig3c") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3d: single-threaded io_uring lookups with the
+//! driver hook vs the unmodified io_uring baseline, sweeping batch size.
+
+use bpfstor_bench::experiments::{fig3d, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fig3d(Scale { quick });
+    t.print();
+    match t.write_csv("fig3d") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

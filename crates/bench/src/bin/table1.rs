@@ -1,0 +1,14 @@
+//! Regenerates Table 1: per-layer latency breakdown of a 512 B random
+//! `read()` on the second-generation Optane profile.
+
+use bpfstor_bench::experiments::{table1, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = table1(Scale { quick });
+    t.print();
+    match t.write_csv("table1") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

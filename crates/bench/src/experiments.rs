@@ -1,0 +1,711 @@
+//! One function per paper table/figure, plus the DESIGN.md ablations.
+//!
+//! Every function builds fresh machines (full determinism), runs the
+//! workload, and renders a [`Table`] shaped like the paper's artifact.
+//! The `quick` flag trades precision for speed; the dedicated binaries
+//! run full scale, the `figures` bench runs quick.
+
+use bpfstor_core::{DispatchMode, StorageBpfBuilder};
+use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
+use bpfstor_fs::{ExtFs, ExtentEvent};
+use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, Mutation, RunReport};
+use bpfstor_lsm::{LsmConfig, LsmTree};
+use bpfstor_sim::{Nanos, SimRng, MILLISECOND, SECOND};
+use bpfstor_workload::{KeyDist, Op, OpMix, YcsbGen};
+
+use crate::drivers::{ChaseFallbackDriver, RandomReadDriver};
+use crate::report::{iops, ratio, us, Table};
+
+/// Run-scale knob: `quick` for the aggregated `figures` bench, full for
+/// the standalone binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Reduced durations/counts.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Simulated duration for throughput sweeps.
+    fn sweep_duration(&self) -> Nanos {
+        if self.quick {
+            12 * MILLISECOND
+        } else {
+            60 * MILLISECOND
+        }
+    }
+
+    /// Random reads for latency measurements.
+    fn read_count(&self, slow_device: bool) -> u64 {
+        match (self.quick, slow_device) {
+            (true, true) => 100,
+            (true, false) => 1_000,
+            (false, true) => 500,
+            (false, false) => 10_000,
+        }
+    }
+}
+
+const HUGE: Nanos = u64::MAX / 4;
+
+fn machine_with_file(profile: DeviceProfile, nblocks: u64, seed: u64) -> (Machine, u32) {
+    let cfg = MachineConfig {
+        profile,
+        seed,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    let mut rng = SimRng::seed(seed ^ 0xF11E);
+    let mut data = vec![0u8; (nblocks as usize) * SECTOR_SIZE];
+    rng.fill_bytes_vec(&mut data);
+    m.create_file("data.bin", &data).expect("create");
+    let fd = m.open("data.bin", true).expect("open");
+    (m, fd)
+}
+
+trait FillExt {
+    fn fill_bytes_vec(&mut self, data: &mut [u8]);
+}
+
+impl FillExt for SimRng {
+    fn fill_bytes_vec(&mut self, data: &mut [u8]) {
+        use rand::RngCore;
+        self.fill_bytes(data);
+    }
+}
+
+// --- Figure 1 ---------------------------------------------------------------
+
+/// Figure 1: share of 512 B random-read latency attributable to software
+/// vs the device, across four device generations.
+pub fn fig1(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 1 — kernel latency overhead, 512B random reads",
+        &[
+            "device", "device us", "software us", "hardware %", "software %",
+        ],
+    );
+    for class in DeviceClass::ALL {
+        let profile = DeviceProfile::for_class(class);
+        let slow = matches!(class, DeviceClass::Hdd);
+        let (mut m, fd) = machine_with_file(profile, 2048, 0xF161 ^ class as u64);
+        let mut d = RandomReadDriver::new(fd, 2048, scale.read_count(slow));
+        let report = m.run_closed_loop(1, HUGE, &mut d);
+        let ios = report.trace.ios.max(1) as f64;
+        let dev = report.trace.device as f64 / ios;
+        // The paper measures the read() path: exclude application time.
+        let sw = (report.trace.crossing
+            + report.trace.syscall
+            + report.trace.fs
+            + report.trace.bio
+            + report.trace.drv) as f64
+            / ios;
+        let total = dev + sw;
+        t.row(vec![
+            DeviceClass::label(class).to_string(),
+            us(dev),
+            us(sw),
+            format!("{:.1}", dev / total * 100.0),
+            format!("{:.1}", sw / total * 100.0),
+        ]);
+    }
+    t.note("paper: software is negligible on HDD and ~half of latency on NVM-2");
+    t
+}
+
+// --- Table 1 ----------------------------------------------------------------
+
+/// Table 1: average latency breakdown of a 512 B random `read()` on the
+/// second-generation Optane device.
+pub fn table1(scale: Scale) -> Table {
+    let (mut m, fd) = machine_with_file(DeviceProfile::optane_gen2_p5800x(), 4096, 0x7AB1E1);
+    let mut d = RandomReadDriver::new(fd, 4096, scale.read_count(false));
+    let report = m.run_closed_loop(1, HUGE, &mut d);
+    let ios = report.trace.ios.max(1) as f64;
+    let rows = [
+        ("kernel crossing", report.trace.crossing, 351u64),
+        ("read syscall", report.trace.syscall, 199),
+        ("ext4", report.trace.fs, 2006),
+        ("bio", report.trace.bio, 379),
+        ("NVMe driver", report.trace.drv, 113),
+        ("storage device", report.trace.device, 3224),
+    ];
+    let total: f64 = rows.iter().map(|(_, v, _)| *v as f64 / ios).sum();
+    let mut t = Table::new(
+        "Table 1 — latency breakdown, 512B random read(), NVM-2",
+        &["layer", "measured ns", "share %", "paper ns"],
+    );
+    for (name, total_ns, paper) in rows {
+        let per_io = total_ns as f64 / ios;
+        t.row(vec![
+            name.to_string(),
+            format!("{per_io:.0}"),
+            format!("{:.1}", per_io / total * 100.0),
+            paper.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        format!("{total:.0}"),
+        "100.0".to_string(),
+        "6272".to_string(),
+    ]);
+    t.note("software layers are configured from Table 1; device time is sampled");
+    t
+}
+
+// --- Figure 3 sweeps ----------------------------------------------------------
+
+fn lookup_run(
+    depth: u32,
+    mode: DispatchMode,
+    threads: usize,
+    duration: Nanos,
+    seed: u64,
+) -> RunReport {
+    let mut env = StorageBpfBuilder::new()
+        .btree_depth(depth)
+        .dispatch(mode)
+        .seed(seed)
+        .build()
+        .expect("environment builds");
+    let (report, stats) = env.bench_lookups(threads, duration);
+    assert_eq!(stats.mismatches, 0, "offloaded lookups must be correct");
+    report
+}
+
+/// Figures 3a/3b: B-tree lookup throughput improvement over the
+/// user-space baseline, sweeping depth × thread count.
+pub fn fig3_throughput(scale: Scale, mode: DispatchMode) -> Table {
+    let threads = [1usize, 2, 4, 6, 12];
+    let title = match mode {
+        DispatchMode::SyscallHook => {
+            "Figure 3a — IOPS improvement, syscall dispatch hook (read syscall)"
+        }
+        _ => "Figure 3b — IOPS improvement, NVMe driver hook (read syscall)",
+    };
+    let mut headers = vec!["depth".to_string()];
+    headers.extend(threads.iter().map(|t| format!("t={t}")));
+    let mut t = Table {
+        title: title.to_string(),
+        headers,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    let duration = scale.sweep_duration();
+    for depth in 1..=10u32 {
+        let mut cells = vec![depth.to_string()];
+        for &nthreads in &threads {
+            let base = lookup_run(depth, DispatchMode::User, nthreads, duration, 77);
+            let hook = lookup_run(depth, mode, nthreads, duration, 77);
+            cells.push(ratio(hook.chains_per_sec / base.chains_per_sec));
+        }
+        t.row(cells);
+    }
+    match mode {
+        DispatchMode::SyscallHook => {
+            t.note("paper: modest gains, max ~1.25x (only boundary crossings saved)")
+        }
+        _ => t.note("paper: up to ~2.5x, growing with depth, largest once CPU saturates"),
+    }
+    t
+}
+
+/// Figure 3c: single-threaded lookup latency by dispatch path.
+pub fn fig3c(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 3c — single-thread lookup latency (us) by dispatch path",
+        &["depth", "user space", "syscall hook", "NVMe driver hook", "driver cut %"],
+    );
+    let duration = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        20 * MILLISECOND
+    };
+    for depth in 1..=10u32 {
+        let user = lookup_run(depth, DispatchMode::User, 1, duration, 33).mean_latency();
+        let sys = lookup_run(depth, DispatchMode::SyscallHook, 1, duration, 33).mean_latency();
+        let drv = lookup_run(depth, DispatchMode::DriverHook, 1, duration, 33).mean_latency();
+        t.row(vec![
+            depth.to_string(),
+            us(user),
+            us(sys),
+            us(drv),
+            format!("{:.0}", (1.0 - drv / user) * 100.0),
+        ]);
+    }
+    t.note("paper: driver hook cuts latency by up to ~49% at depth 10");
+    t
+}
+
+/// Figure 3d: single-threaded io_uring lookups, driver hook vs an
+/// unmodified io_uring baseline, sweeping batch size.
+pub fn fig3d(scale: Scale) -> Table {
+    let batches = [1u32, 2, 4, 8];
+    let mut headers = vec!["depth".to_string()];
+    headers.extend(batches.iter().map(|b| format!("batch={b}")));
+    let mut t = Table {
+        title: "Figure 3d — io_uring speedup, NVMe driver hook vs io_uring baseline"
+            .to_string(),
+        headers,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    let duration = scale.sweep_duration();
+    for depth in 1..=10u32 {
+        let mut cells = vec![depth.to_string()];
+        for &batch in &batches {
+            let base = {
+                let mut env = StorageBpfBuilder::new()
+                    .btree_depth(depth)
+                    .dispatch(DispatchMode::User)
+                    .seed(55)
+                    .build()
+                    .expect("env");
+                env.bench_lookups_uring(1, batch, duration).0
+            };
+            let hook = {
+                let mut env = StorageBpfBuilder::new()
+                    .btree_depth(depth)
+                    .dispatch(DispatchMode::DriverHook)
+                    .seed(55)
+                    .build()
+                    .expect("env");
+                env.bench_lookups_uring(1, batch, duration).0
+            };
+            cells.push(ratio(hook.chains_per_sec / base.chains_per_sec));
+        }
+        t.row(cells);
+    }
+    t.note("paper: speedup grows with batch size; >2.5x at deep trees, 1.3-1.5x at depth 3");
+    t
+}
+
+// --- §4 extent stability -------------------------------------------------------
+
+/// §4's TokuDB/YCSB measurement: how often do index-file extents change
+/// under a write-heavy workload, and how many changes unmap blocks?
+///
+/// Model (documented in EXPERIMENTS.md): a TokuDB-like batch B-tree
+/// checkpoints dirty nodes in ~4 MiB appends; in-place node updates
+/// never touch extents; a background GC reclaims an old region a few
+/// times a day. Rates follow the paper's YCSB setup (40r/40u/20i,
+/// Zipfian 0.7) at a MariaDB-plausible operation rate.
+pub fn extent_stability(scale: Scale) -> Table {
+    let hours = if scale.quick { 2.0 } else { 24.0 };
+    let insert_rate: f64 = 250.0; // inserts/s (20% of 1250 ops/s)
+    let row_bytes: f64 = 100.0;
+    let batch_bytes: f64 = (4u64 << 20) as f64;
+    let gc_interval_s: f64 = 17_280.0; // ~5 per 24h
+    let blocks = 1u64 << 23; // 4 GiB address space (24h of appends fits)
+
+    let mut fs = ExtFs::mkfs(blocks);
+    let mut store = bpfstor_device::SectorStore::new();
+    let ino = fs.create("index.tokudb").expect("create");
+    // Initial 32 MiB index.
+    fs.fallocate(ino, 0, (32 << 20) / SECTOR_SIZE as u64, &mut store)
+        .expect("fallocate");
+    fs.take_events();
+
+    let append_interval = batch_bytes / (insert_rate * row_bytes);
+    let horizon = hours * 3600.0;
+    let mut events: Vec<(f64, bool)> = Vec::new(); // (time, unmapping?)
+    let mut t_next_append = append_interval;
+    let mut t_next_gc = gc_interval_s;
+    let mut appended_blocks = (32u64 << 20) / SECTOR_SIZE as u64;
+    while t_next_append <= horizon || t_next_gc <= horizon {
+        if t_next_append <= t_next_gc {
+            if t_next_append > horizon {
+                break;
+            }
+            let nblocks = (batch_bytes / SECTOR_SIZE as f64) as u64;
+            fs.fallocate(ino, appended_blocks, nblocks, &mut store)
+                .expect("append");
+            appended_blocks += nblocks;
+            for ev in fs.take_events() {
+                events.push((
+                    t_next_append,
+                    matches!(ev, ExtentEvent::Unmapped { .. }),
+                ));
+            }
+            t_next_append += append_interval;
+        } else {
+            if t_next_gc > horizon {
+                break;
+            }
+            // GC: rewrite the most recent ~4 MiB region (checkpoint
+            // cleanup) — truncate it away, then re-append it elsewhere.
+            // This is the rare unmap+remap pattern the paper observed a
+            // handful of times per day.
+            let nblocks = (batch_bytes / SECTOR_SIZE as f64) as u64;
+            let size = fs.file_size(ino).expect("size");
+            fs.truncate(ino, size - batch_bytes as u64, &mut store)
+                .expect("gc trunc");
+            appended_blocks -= nblocks;
+            fs.fallocate(ino, appended_blocks, nblocks, &mut store)
+                .expect("gc rewrite");
+            appended_blocks += nblocks;
+            for ev in fs.take_events() {
+                events.push((t_next_gc, matches!(ev, ExtentEvent::Unmapped { .. })));
+            }
+            t_next_gc += gc_interval_s;
+        }
+    }
+
+    // Collapse events at the same instant into one "extent change".
+    let mut change_times: Vec<f64> = Vec::new();
+    let mut unmap_times: Vec<f64> = Vec::new();
+    for (t, unmap) in &events {
+        if change_times.last().map(|l| (l - t).abs() > 1e-9).unwrap_or(true) {
+            change_times.push(*t);
+        }
+        if *unmap && unmap_times.last().map(|l| (l - t).abs() > 1e-9).unwrap_or(true) {
+            unmap_times.push(*t);
+        }
+    }
+    let mean_interval = if change_times.len() > 1 {
+        (change_times.last().expect("nonempty") - change_times[0])
+            / (change_times.len() - 1) as f64
+    } else {
+        horizon
+    };
+    let unmaps_24h = unmap_times.len() as f64 * (24.0 / hours);
+
+    let mut t = Table::new(
+        "§4 extent stability — TokuDB-like index under YCSB 40r/40u/20i, Zipfian 0.7",
+        &["metric", "measured", "paper"],
+    );
+    t.row(vec![
+        "simulated hours".to_string(),
+        format!("{hours:.1}"),
+        "24".to_string(),
+    ]);
+    t.row(vec![
+        "mean s between extent changes".to_string(),
+        format!("{mean_interval:.0}"),
+        "159".to_string(),
+    ]);
+    t.row(vec![
+        "unmapping changes per 24h".to_string(),
+        format!("{unmaps_24h:.0}"),
+        "5".to_string(),
+    ]);
+    t.row(vec![
+        "total extent changes".to_string(),
+        change_times.len().to_string(),
+        "-".to_string(),
+    ]);
+    t.note("in-place node updates never change extents; appends map new blocks without unmapping");
+    t
+}
+
+/// Companion to the §4 claim: real LSM under the same YCSB mix — live
+/// SSTables are never remapped during their lifetime; unmaps happen only
+/// when compaction deletes whole files.
+pub fn lsm_stability(scale: Scale) -> Table {
+    let ops = if scale.quick { 60_000u64 } else { 600_000 };
+    let rate = 2_000.0; // ops/s, for time extrapolation
+    let mut fs = ExtFs::mkfs(1 << 22);
+    let mut store = bpfstor_device::SectorStore::new();
+    let mut lsm = LsmTree::new(LsmConfig::default());
+    let mut gen = YcsbGen::new(
+        OpMix::paper_tokudb(),
+        KeyDist::zipfian(10_000, 0.7),
+        10_000,
+        0x2C5B,
+    );
+    let value = |k: u64| -> Vec<u8> {
+        let mut v = vec![0u8; 64];
+        v[..8].copy_from_slice(&k.to_le_bytes());
+        v
+    };
+    for _ in 0..ops {
+        match gen.next_op() {
+            Op::Read(k) => {
+                let _ = lsm.get(&fs, &mut store, k).expect("get");
+            }
+            Op::Update(k) | Op::Insert(k) => {
+                lsm.put(&mut fs, &mut store, k, value(k)).expect("put");
+            }
+            Op::Scan { .. } => {}
+        }
+    }
+    let stats = lsm.stats();
+    let fstats = fs.stats();
+    let hours = ops as f64 / rate / 3_600.0;
+    let mut t = Table::new(
+        "§4 companion — LSM SSTable lifecycle under YCSB 40r/40u/20i",
+        &["metric", "value"],
+    );
+    t.row(vec!["operations".to_string(), ops.to_string()]);
+    t.row(vec![
+        "simulated hours (@2k ops/s)".to_string(),
+        format!("{hours:.2}"),
+    ]);
+    t.row(vec!["memtable flushes".to_string(), stats.flushes.to_string()]);
+    t.row(vec!["compactions".to_string(), stats.compactions.to_string()]);
+    t.row(vec![
+        "tables written".to_string(),
+        stats.tables_written.to_string(),
+    ]);
+    t.row(vec![
+        "tables deleted".to_string(),
+        stats.tables_deleted.to_string(),
+    ]);
+    t.row(vec![
+        "fs unmap changes".to_string(),
+        fstats.unmap_changes.to_string(),
+    ]);
+    t.row(vec![
+        "live tables".to_string(),
+        lsm.table_count().to_string(),
+    ]);
+    // The §4 invariant: live tables' extents never changed post-creation.
+    let mut stable = true;
+    for level in lsm.levels() {
+        for table in level {
+            let (gen_now, unmap_gen) = fs.generations(table.ino).expect("gens");
+            // Creation writes bump the generation; afterwards nothing may.
+            let _ = gen_now;
+            if unmap_gen != 0 {
+                stable = false;
+            }
+        }
+    }
+    t.row(vec![
+        "live tables extent-stable".to_string(),
+        if stable { "yes".to_string() } else { "NO".to_string() },
+    ]);
+    t.note("every unmap comes from deleting a whole dead table, never from a live one");
+    t
+}
+
+// --- Ablations ------------------------------------------------------------------
+
+/// A1: throughput of the driver hook as extent invalidations become more
+/// frequent (cost of the paper's heavy-handed invalidate + re-arm).
+pub fn ablation_extent_cache(scale: Scale) -> Table {
+    let window = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        10 * MILLISECOND
+    };
+    let windows = 8;
+    let mut t = Table::new(
+        "Ablation A1 — invalidation frequency vs driver-hook goodput",
+        &[
+            "invalidations/s",
+            "good chains/s",
+            "failed chains/s",
+            "rearms",
+        ],
+    );
+    for invalidate_every in [0u32, 4, 2, 1] {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(6)
+            .dispatch(DispatchMode::DriverHook)
+            .seed(91)
+            .build()
+            .expect("env");
+        let mut good = 0u64;
+        let mut failed = 0u64;
+        let mut rearms = 0u64;
+        for w in 0..windows {
+            let invalidate = invalidate_every != 0 && w % invalidate_every as usize == 0;
+            if invalidate {
+                env.machine.schedule_mutation(
+                    window / 2,
+                    Mutation::Relocate {
+                        name: env.file_name().to_string(),
+                    },
+                );
+            }
+            let mut d = env.driver();
+            d.check = false; // invalidated chains are expected to fail
+            let report = env.machine.run_closed_loop(2, window, &mut d);
+            good += report.chains - report.errors;
+            failed += report.errors;
+            if invalidate {
+                env.machine.rearm(env.fd).expect("rearm");
+                rearms += 1;
+            }
+        }
+        let secs = windows as f64 * window as f64 / 1e9;
+        let rate = if invalidate_every == 0 {
+            0.0
+        } else {
+            1.0 / (invalidate_every as f64 * window as f64 / 1e9)
+        };
+        t.row(vec![
+            format!("{rate:.0}"),
+            iops(good as f64 / secs),
+            iops(failed as f64 / secs),
+            rearms.to_string(),
+        ]);
+    }
+    t.note("invalidations must be rare for the soft-state cache to pay off (§4)");
+    t
+}
+
+/// A2: sensitivity of the driver-hook speedup to BPF execution cost
+/// (interpreter vs JIT vs pathological).
+pub fn ablation_bpf_cost(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation A2 — BPF per-insn cost vs driver-hook speedup (depth 6, 6 threads)",
+        &["ns/insn", "speedup vs user"],
+    );
+    let duration = scale.sweep_duration();
+    let base = lookup_run(6, DispatchMode::User, 6, duration, 13).chains_per_sec;
+    for per_insn in [0u64, 2, 10, 50] {
+        let mut cfg = MachineConfig::default();
+        // Field-of-field override; struct-update syntax cannot reach it.
+        cfg.costs.bpf_per_insn = per_insn;
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(6)
+            .dispatch(DispatchMode::DriverHook)
+            .machine_config(cfg)
+            .seed(13)
+            .build()
+            .expect("env");
+        let (report, stats) = env.bench_lookups(6, duration);
+        assert_eq!(stats.mismatches, 0);
+        t.row(vec![
+            per_insn.to_string(),
+            ratio(report.chains_per_sec / base),
+        ]);
+    }
+    t.note("0 ns/insn approximates a JIT; the speedup is robust until costs dwarf the stack");
+    t
+}
+
+/// A3: the §4 resubmission bound — completion vs abort as the bound
+/// tightens below the chain depth.
+pub fn ablation_resubmit_bound(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation A3 — NVMe resubmission bound vs depth-10 chains",
+        &["bound", "ok %", "aborted %", "chains/s"],
+    );
+    let duration = scale.sweep_duration();
+    for bound in [2u32, 4, 8, 16, 256] {
+        let cfg = MachineConfig {
+            resubmit_bound: bound,
+            ..MachineConfig::default()
+        };
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(10)
+            .dispatch(DispatchMode::DriverHook)
+            .machine_config(cfg)
+            .seed(29)
+            .build()
+            .expect("env");
+        let mut d = env.driver();
+        d.check = false;
+        let report = env.machine.run_closed_loop(2, duration, &mut d);
+        let total = report.chains.max(1) as f64;
+        t.row(vec![
+            bound.to_string(),
+            format!("{:.0}", (report.chains - report.errors) as f64 / total * 100.0),
+            format!("{:.0}", report.errors as f64 / total * 100.0),
+            iops(report.chains_per_sec),
+        ]);
+    }
+    t.note("bounds below the tree depth abort every chain (fairness vs utility trade-off)");
+    t
+}
+
+/// A4: the granularity-mismatch fallback — multi-block hops on a
+/// fragmented file bounce every hop back to the application.
+pub fn ablation_split_fallback(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation A4 — extent fragmentation vs driver-hook chains (1 KiB hops)",
+        &["layout", "chains/s", "fallbacks/chain", "errors"],
+    );
+    let chains = if scale.quick { 200 } else { 1_000 };
+    for fragmented in [false, true] {
+        let mut m = Machine::new(MachineConfig::default());
+        let hops = 8usize;
+        let node_bytes = 1024usize;
+        // Build the chain image: node i points to (i+1)*1024.
+        let mut image = vec![0u8; hops * node_bytes];
+        for i in 0..hops {
+            let next = if i + 1 < hops {
+                ((i + 1) * node_bytes) as u64
+            } else {
+                u64::MAX
+            };
+            image[i * node_bytes..i * node_bytes + 8].copy_from_slice(&next.to_le_bytes());
+        }
+        if fragmented {
+            // Interleave block allocation with a decoy file so every
+            // extent of chain.db is a single block.
+            let (fs, store) = m.fs_and_store();
+            let ino_a = fs.create("chain.db").expect("create a");
+            let ino_b = fs.create("decoy").expect("create b");
+            for (i, chunk) in image.chunks(SECTOR_SIZE).enumerate() {
+                fs.write(ino_a, (i * SECTOR_SIZE) as u64, chunk, store)
+                    .expect("write a");
+                fs.write(ino_b, (i * SECTOR_SIZE) as u64, &[0u8; SECTOR_SIZE], store)
+                    .expect("write b");
+            }
+            fs.take_events();
+        } else {
+            m.create_file("chain.db", &image).expect("create");
+        }
+        let fd = m.open("chain.db", true).expect("open");
+        m.install(fd, bpfstor_core::pointer_chase_program(), 0)
+            .expect("install");
+        let mut d =
+            ChaseFallbackDriver::new(fd, DispatchMode::DriverHook, node_bytes as u32, chains);
+        let report = m.run_closed_loop(1, HUGE, &mut d);
+        let per_chain = d.fallbacks as f64 / d.completed.max(1) as f64;
+        t.row(vec![
+            if fragmented { "fragmented" } else { "contiguous" }.to_string(),
+            iops(d.completed as f64 / (report.sim_time as f64 / 1e9)),
+            format!("{per_chain:.1}"),
+            d.errors.to_string(),
+        ]);
+    }
+    t.note("fragmented extents force the §4 BIO fallback on every hop, erasing the offload win");
+    t
+}
+
+/// Sanity assertions over the headline shapes; used by integration tests
+/// and the `figures` bench to fail loudly if calibration drifts.
+pub fn shape_checks(scale: Scale) -> Vec<(String, bool)> {
+    let duration = scale.sweep_duration();
+    let mut checks = Vec::new();
+
+    // Fig 3b shape: driver hook >= 1.8x at depth 10 with 12 threads.
+    let base = lookup_run(10, DispatchMode::User, 12, duration, 7).chains_per_sec;
+    let drv = lookup_run(10, DispatchMode::DriverHook, 12, duration, 7).chains_per_sec;
+    let r = drv / base;
+    checks.push((format!("fig3b depth10 t12 ratio {r:.2} in [1.8, 3.2]"), (1.8..=3.2).contains(&r)));
+
+    // Fig 3a shape: syscall hook gives modest gains.
+    let sys = lookup_run(10, DispatchMode::SyscallHook, 12, duration, 7).chains_per_sec;
+    let r = sys / base;
+    checks.push((format!("fig3a depth10 t12 ratio {r:.2} in [1.02, 1.45]"), (1.02..=1.45).contains(&r)));
+
+    // Fig 3c shape: latency cut 30-60% at depth 10.
+    let lu = lookup_run(10, DispatchMode::User, 1, duration, 7).mean_latency();
+    let ld = lookup_run(10, DispatchMode::DriverHook, 1, duration, 7).mean_latency();
+    let cut = 1.0 - ld / lu;
+    checks.push((format!("fig3c depth10 cut {:.0}% in [30, 60]", cut * 100.0), (0.30..=0.60).contains(&cut)));
+
+    checks
+}
+
+/// Helper shared by A1-style flows: a run that must produce only OK or
+/// invalidation statuses (used in tests).
+pub fn statuses_are_expected(status: &ChainStatus) -> bool {
+    status.is_ok()
+        || matches!(
+            status,
+            ChainStatus::ExtentMiss | ChainStatus::Invalidated
+        )
+}
+
+/// The default until-forever horizon used with chain-count-bounded runs.
+pub const FOREVER: Nanos = HUGE;
+
+/// One simulated second, re-exported for binaries.
+pub const ONE_SECOND: Nanos = SECOND;

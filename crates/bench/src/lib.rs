@@ -1,0 +1,26 @@
+//! Benchmark harnesses for the `bpfstor` reproduction.
+//!
+//! Deliverable (d): for every table and figure in the paper's evaluation
+//! there is a regenerating harness (see DESIGN.md §4 for the index):
+//!
+//! | artifact | binary | function |
+//! |----------|--------|----------|
+//! | Figure 1 | `fig1` | [`experiments::fig1`] |
+//! | Table 1  | `table1` | [`experiments::table1`] |
+//! | Figure 3a | `fig3a` | [`experiments::fig3_throughput`] |
+//! | Figure 3b | `fig3b` | [`experiments::fig3_throughput`] |
+//! | Figure 3c | `fig3c` | [`experiments::fig3c`] |
+//! | Figure 3d | `fig3d` | [`experiments::fig3d`] |
+//! | §4 extent stability | `extent_stability` | [`experiments::extent_stability`] |
+//! | Ablations A1–A4 | `ablations` | [`experiments::ablation_extent_cache`] ... |
+//!
+//! `cargo bench` additionally runs the `figures` harness (all of the
+//! above at quick scale) and Criterion microbenchmarks of the real hot
+//! paths (`components`).
+
+pub mod drivers;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::Scale;
+pub use report::Table;

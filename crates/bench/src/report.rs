@@ -1,0 +1,156 @@
+//! Table rendering and CSV output shared by every harness.
+//!
+//! Each experiment produces a [`Table`]; harness binaries print it to
+//! stdout in the paper's row/column layout and drop a CSV next to it in
+//! `results/` so figures can be re-plotted.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "Figure 3b — ...").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text footnotes (assumptions, paper reference values).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes a CSV into `results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Where CSVs land (workspace-relative `results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results")
+}
+
+/// Formats a ratio like `2.41x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats IOPS with thousands separators (k/M).
+pub fn iops(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.0}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Formats nanoseconds as microseconds with 2 decimals.
+pub fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["depth", "ratio"]);
+        t.row(vec!["1".to_string(), "1.00x".to_string()]);
+        t.row(vec!["10".to_string(), "2.50x".to_string()]);
+        t.note("shape only");
+        let s = t.render();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("depth"));
+        assert!(s.contains("2.50x"));
+        assert!(s.contains("note: shape only"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(2.5), "2.50x");
+        assert_eq!(iops(1_500_000.0), "1.50M");
+        assert_eq!(iops(25_000.0), "25k");
+        assert_eq!(iops(500.0), "500");
+        assert_eq!(us(6_272.0), "6.27");
+    }
+}

@@ -1,0 +1,39 @@
+//! On-disk B-tree used by the paper's headline benchmark.
+//!
+//! §3 of the paper: *"a search on a B-tree index is a series of pointer
+//! lookups that lead to the final I/O request for the user's data page"*.
+//! This crate provides that index:
+//!
+//! - [`node`]: the 512-byte page format, shared as ground truth between
+//!   the native (application baseline) traversal and the BPF program
+//!   generator in `bpfstor-core`, which compiles
+//!   [`node::Node::search_child`] into BPF instructions;
+//! - [`tree`]: bottom-up bulk builder (batch-built indices are the
+//!   paper's extent-stable target workload), native lookup used as the
+//!   Figure 3 baseline, and a scan iterator used by the filtering
+//!   examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpfstor_btree::tree::{build_pages, lookup};
+//!
+//! let keys: Vec<u64> = (0..64).collect();
+//! let vals: Vec<u64> = keys.iter().map(|k| k + 1000).collect();
+//! let (mut pages, info) = build_pages(&keys, &vals, 8).unwrap();
+//! let (hit, reads) = lookup(&mut pages, info.root_block, info.depth, 42).unwrap();
+//! assert_eq!(hit, Some(1042));
+//! assert_eq!(reads, info.depth);
+//! ```
+
+pub mod node;
+pub mod tree;
+
+pub use node::{
+    Node, NodeError, FANOUT_MAX, MAGIC, OFF_KEYS, OFF_LEVEL, OFF_MAGIC, OFF_NKEYS, OFF_SLOTS,
+    PAGE_SIZE,
+};
+pub use tree::{
+    build_pages, lookup, scan_all, shape_for_depth, step_on_page, BlockFetch, Step, TreeError,
+    TreeInfo,
+};

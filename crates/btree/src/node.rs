@@ -1,0 +1,256 @@
+//! On-disk B-tree node format.
+//!
+//! One node per 512-byte page (the paper's experiments issue 512 B
+//! reads, one per tree level). Little-endian layout:
+//!
+//! ```text
+//! offset 0   u16  magic (0xB7EE)
+//! offset 2   u8   level (0 = leaf)
+//! offset 3   u8   flags (unused)
+//! offset 4   u16  nkeys
+//! offset 6   u16  reserved
+//! offset 8   u64 × FANOUT_MAX        keys (sorted; first nkeys valid)
+//! offset 8 + 8×FANOUT_MAX u64 × FANOUT_MAX  slots:
+//!            interior → child block number in the index file
+//!            leaf     → user value
+//! ```
+//!
+//! The layout constants are shared with the BPF program generator in
+//! `bpfstor-core`, which emits the same parse as [`Node::search_child`]
+//! in BPF instructions.
+
+/// Page size, equal to the device sector size.
+pub const PAGE_SIZE: usize = 512;
+/// Node magic number.
+pub const MAGIC: u16 = 0xB7EE;
+/// Byte offset of the magic field.
+pub const OFF_MAGIC: usize = 0;
+/// Byte offset of the level field.
+pub const OFF_LEVEL: usize = 2;
+/// Byte offset of the key-count field.
+pub const OFF_NKEYS: usize = 4;
+/// Byte offset of the key array.
+pub const OFF_KEYS: usize = 8;
+/// Maximum keys (and slots) per node: (512 - 8) / 16 = 31.
+pub const FANOUT_MAX: usize = (PAGE_SIZE - OFF_KEYS) / 16;
+/// Byte offset of the slot (child/value) array.
+pub const OFF_SLOTS: usize = OFF_KEYS + 8 * FANOUT_MAX;
+
+/// Errors from node decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// Page is not [`PAGE_SIZE`] bytes.
+    BadSize(usize),
+    /// Magic mismatch: the page is not a B-tree node.
+    BadMagic(u16),
+    /// nkeys exceeds [`FANOUT_MAX`].
+    BadCount(u16),
+    /// Keys are not strictly increasing.
+    UnsortedKeys,
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::BadSize(n) => write!(f, "page size {n} != {PAGE_SIZE}"),
+            NodeError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            NodeError::BadCount(c) => write!(f, "nkeys {c} exceeds {FANOUT_MAX}"),
+            NodeError::UnsortedKeys => write!(f, "keys not strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Tree level; 0 is a leaf.
+    pub level: u8,
+    /// Sorted keys.
+    pub keys: Vec<u64>,
+    /// Child block numbers (interior) or values (leaf); same length as
+    /// `keys`.
+    pub slots: Vec<u64>,
+}
+
+impl Node {
+    /// Creates a node, validating the key order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys`/`slots` lengths differ, exceed [`FANOUT_MAX`], or
+    /// keys are unsorted — builder bugs, not runtime conditions.
+    pub fn new(level: u8, keys: Vec<u64>, slots: Vec<u64>) -> Self {
+        assert_eq!(keys.len(), slots.len(), "keys/slots length mismatch");
+        assert!(keys.len() <= FANOUT_MAX, "too many keys");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
+        Node { level, keys, slots }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Serialises into a 512-byte page.
+    pub fn encode(&self) -> [u8; PAGE_SIZE] {
+        let mut page = [0u8; PAGE_SIZE];
+        page[OFF_MAGIC..OFF_MAGIC + 2].copy_from_slice(&MAGIC.to_le_bytes());
+        page[OFF_LEVEL] = self.level;
+        page[OFF_NKEYS..OFF_NKEYS + 2]
+            .copy_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        for (i, k) in self.keys.iter().enumerate() {
+            let at = OFF_KEYS + i * 8;
+            page[at..at + 8].copy_from_slice(&k.to_le_bytes());
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            let at = OFF_SLOTS + i * 8;
+            page[at..at + 8].copy_from_slice(&s.to_le_bytes());
+        }
+        page
+    }
+
+    /// Decodes and validates a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NodeError`] on malformed pages.
+    pub fn decode(page: &[u8]) -> Result<Node, NodeError> {
+        if page.len() != PAGE_SIZE {
+            return Err(NodeError::BadSize(page.len()));
+        }
+        let magic = u16::from_le_bytes([page[OFF_MAGIC], page[OFF_MAGIC + 1]]);
+        if magic != MAGIC {
+            return Err(NodeError::BadMagic(magic));
+        }
+        let nkeys = u16::from_le_bytes([page[OFF_NKEYS], page[OFF_NKEYS + 1]]);
+        if nkeys as usize > FANOUT_MAX {
+            return Err(NodeError::BadCount(nkeys));
+        }
+        let mut keys = Vec::with_capacity(nkeys as usize);
+        let mut slots = Vec::with_capacity(nkeys as usize);
+        for i in 0..nkeys as usize {
+            let at = OFF_KEYS + i * 8;
+            keys.push(u64::from_le_bytes(
+                page[at..at + 8].try_into().expect("8 bytes"),
+            ));
+            let at = OFF_SLOTS + i * 8;
+            slots.push(u64::from_le_bytes(
+                page[at..at + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(NodeError::UnsortedKeys);
+        }
+        Ok(Node {
+            level: page[OFF_LEVEL],
+            keys,
+            slots,
+        })
+    }
+
+    /// Interior search: index of the child covering `key` — the largest
+    /// `i` with `keys[i] <= key`, clamped to 0 when `key` precedes all
+    /// keys.
+    ///
+    /// The BPF traversal program in `bpfstor-core` implements this exact
+    /// function over the raw page bytes.
+    pub fn search_child(&self, key: u64) -> usize {
+        // partition_point returns the count of keys <= key.
+        let n = self.keys.partition_point(|&k| k <= key);
+        n.saturating_sub(1)
+    }
+
+    /// Leaf search: the value for an exact key match.
+    pub fn find(&self, key: u64) -> Option<u64> {
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.slots[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_constants_fit_a_page() {
+        assert_eq!(FANOUT_MAX, 31);
+        const _: () = assert!(OFF_SLOTS + FANOUT_MAX * 8 <= PAGE_SIZE);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let n = Node::new(3, vec![10, 20, 30], vec![100, 200, 300]);
+        let page = n.encode();
+        assert_eq!(Node::decode(&page).expect("decode"), n);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            Node::decode(&[0u8; PAGE_SIZE]).unwrap_err(),
+            NodeError::BadMagic(0)
+        );
+        assert_eq!(
+            Node::decode(&[0u8; 100]).unwrap_err(),
+            NodeError::BadSize(100)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_count_and_order() {
+        let n = Node::new(0, vec![1, 2], vec![1, 2]);
+        let mut page = n.encode();
+        page[OFF_NKEYS] = 40;
+        assert_eq!(Node::decode(&page).unwrap_err(), NodeError::BadCount(40));
+
+        let mut page = n.encode();
+        // Swap the two keys to break ordering.
+        let k0 = page[OFF_KEYS..OFF_KEYS + 8].to_vec();
+        let k1 = page[OFF_KEYS + 8..OFF_KEYS + 16].to_vec();
+        page[OFF_KEYS..OFF_KEYS + 8].copy_from_slice(&k1);
+        page[OFF_KEYS + 8..OFF_KEYS + 16].copy_from_slice(&k0);
+        assert_eq!(Node::decode(&page).unwrap_err(), NodeError::UnsortedKeys);
+    }
+
+    #[test]
+    fn search_child_semantics() {
+        let n = Node::new(1, vec![10, 20, 30], vec![0, 1, 2]);
+        assert_eq!(n.search_child(5), 0, "below all keys clamps to child 0");
+        assert_eq!(n.search_child(10), 0);
+        assert_eq!(n.search_child(19), 0);
+        assert_eq!(n.search_child(20), 1);
+        assert_eq!(n.search_child(25), 1);
+        assert_eq!(n.search_child(30), 2);
+        assert_eq!(n.search_child(u64::MAX), 2);
+    }
+
+    #[test]
+    fn leaf_find() {
+        let n = Node::new(0, vec![2, 4, 6], vec![20, 40, 60]);
+        assert_eq!(n.find(4), Some(40));
+        assert_eq!(n.find(5), None);
+        assert_eq!(n.find(2), Some(20));
+    }
+
+    #[test]
+    fn max_fanout_node_roundtrip() {
+        let keys: Vec<u64> = (0..FANOUT_MAX as u64).map(|i| i * 3).collect();
+        let slots: Vec<u64> = (0..FANOUT_MAX as u64).collect();
+        let n = Node::new(2, keys, slots);
+        let back = Node::decode(&n.encode()).expect("decode");
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_construction_panics() {
+        Node::new(0, vec![3, 1], vec![0, 0]);
+    }
+}

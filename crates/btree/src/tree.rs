@@ -1,0 +1,390 @@
+//! Bulk-loaded on-disk B-tree: builder, native lookup, and iteration.
+//!
+//! The tree is built bottom-up from sorted keys (the paper targets
+//! batch-built, rarely-updated indices — TokuDB-style — precisely
+//! because their extents stay stable). Nodes are written one per page;
+//! a node's *block number within the index file* doubles as the child
+//! pointer stored in its parent, so a traversal step is exactly
+//! "parse page → pick child → read file offset `child * 512`" — the
+//! pointer-lookup chain the paper offloads to BPF.
+
+use crate::node::{Node, NodeError, FANOUT_MAX, PAGE_SIZE};
+
+/// Abstracts "read page `block` of the index file" so the tree logic is
+/// independent of the storage substrate (tests use a Vec; the simulated
+/// kernel uses the FS + device).
+pub trait BlockFetch {
+    /// Fetches one page by block number.
+    fn fetch(&mut self, block: u64) -> Vec<u8>;
+}
+
+impl BlockFetch for Vec<[u8; PAGE_SIZE]> {
+    fn fetch(&mut self, block: u64) -> Vec<u8> {
+        self[block as usize].to_vec()
+    }
+}
+
+/// Description of a built tree: where the root lives and the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeInfo {
+    /// Block number of the root node.
+    pub root_block: u64,
+    /// Number of levels (1 = a lone leaf).
+    pub depth: u32,
+    /// Total nodes written.
+    pub nodes: u64,
+    /// Number of keys.
+    pub keys: u64,
+    /// Fanout used at build time.
+    pub fanout: usize,
+}
+
+/// Errors from building or traversing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Keys not strictly increasing.
+    UnsortedInput,
+    /// Fanout outside `2..=FANOUT_MAX`.
+    BadFanout(usize),
+    /// Key/value length mismatch.
+    LengthMismatch,
+    /// Empty input.
+    Empty,
+    /// A fetched page failed validation.
+    Node(NodeError),
+    /// Traversal exceeded the tree depth (corrupt pointers).
+    DepthExceeded,
+}
+
+impl From<NodeError> for TreeError {
+    fn from(e: NodeError) -> Self {
+        TreeError::Node(e)
+    }
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::UnsortedInput => write!(f, "input keys not strictly increasing"),
+            TreeError::BadFanout(n) => write!(f, "fanout {n} outside 2..={FANOUT_MAX}"),
+            TreeError::LengthMismatch => write!(f, "keys and values differ in length"),
+            TreeError::Empty => write!(f, "cannot build an empty tree"),
+            TreeError::Node(e) => write!(f, "corrupt node: {e}"),
+            TreeError::DepthExceeded => write!(f, "traversal exceeded tree depth"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Builds the page images of a B-tree from sorted `(key, value)` pairs.
+///
+/// Returns `(pages, info)`; page `i` is block `i` of the index file.
+///
+/// # Errors
+///
+/// Rejects unsorted/empty input and out-of-range fanout.
+pub fn build_pages(
+    keys: &[u64],
+    values: &[u64],
+    fanout: usize,
+) -> Result<(Vec<[u8; PAGE_SIZE]>, TreeInfo), TreeError> {
+    if keys.is_empty() {
+        return Err(TreeError::Empty);
+    }
+    if keys.len() != values.len() {
+        return Err(TreeError::LengthMismatch);
+    }
+    if !(2..=FANOUT_MAX).contains(&fanout) {
+        return Err(TreeError::BadFanout(fanout));
+    }
+    if !keys.windows(2).all(|w| w[0] < w[1]) {
+        return Err(TreeError::UnsortedInput);
+    }
+
+    let mut pages: Vec<[u8; PAGE_SIZE]> = Vec::new();
+    // Build leaves.
+    let mut level_blocks: Vec<u64> = Vec::new();
+    let mut level_first_keys: Vec<u64> = Vec::new();
+    for chunk_start in (0..keys.len()).step_by(fanout) {
+        let end = (chunk_start + fanout).min(keys.len());
+        let node = Node::new(
+            0,
+            keys[chunk_start..end].to_vec(),
+            values[chunk_start..end].to_vec(),
+        );
+        level_blocks.push(pages.len() as u64);
+        level_first_keys.push(keys[chunk_start]);
+        pages.push(node.encode());
+    }
+    let mut depth = 1u32;
+    // Build interior levels until a single root remains.
+    let mut level = 1u8;
+    while level_blocks.len() > 1 {
+        let mut next_blocks = Vec::new();
+        let mut next_first_keys = Vec::new();
+        for chunk_start in (0..level_blocks.len()).step_by(fanout) {
+            let end = (chunk_start + fanout).min(level_blocks.len());
+            let node = Node::new(
+                level,
+                level_first_keys[chunk_start..end].to_vec(),
+                level_blocks[chunk_start..end].to_vec(),
+            );
+            next_blocks.push(pages.len() as u64);
+            next_first_keys.push(level_first_keys[chunk_start]);
+            pages.push(node.encode());
+        }
+        level_blocks = next_blocks;
+        level_first_keys = next_first_keys;
+        level += 1;
+        depth += 1;
+    }
+    let info = TreeInfo {
+        root_block: level_blocks[0],
+        depth,
+        nodes: pages.len() as u64,
+        keys: keys.len() as u64,
+        fanout,
+    };
+    Ok((pages, info))
+}
+
+/// Chooses `(fanout, key_count)` to build a tree of exactly `depth`
+/// levels while keeping the node count small — narrow-but-deep trees let
+/// the depth-10 benchmarks of Figure 3 fit in memory. Panics on depth 0.
+pub fn shape_for_depth(depth: u32) -> (usize, usize) {
+    assert!(depth >= 1, "depth must be positive");
+    if depth == 1 {
+        return (4, 4);
+    }
+    // fanout 2 gives 2^(depth-1) leaves * 2 keys; cap fanout higher for
+    // shallow trees so they look realistic.
+    let fanout: usize = if depth <= 4 { 8 } else { 2 };
+    let leaves = fanout.pow(depth - 1);
+    (fanout, leaves * fanout)
+}
+
+/// One traversal step, shared by the native path and used as the oracle
+/// for the BPF program: parse the page; on an interior node return
+/// `Next(child_file_offset)`, on a leaf return the lookup result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Interior node: read the page at this byte offset next.
+    Next(u64),
+    /// Leaf: key found with this value.
+    Found(u64),
+    /// Leaf: key absent.
+    Missing,
+}
+
+/// Executes one traversal step on a raw page.
+///
+/// # Errors
+///
+/// Propagates node validation failures.
+pub fn step_on_page(page: &[u8], key: u64) -> Result<Step, TreeError> {
+    let node = Node::decode(page)?;
+    if node.is_leaf() {
+        return Ok(match node.find(key) {
+            Some(v) => Step::Found(v),
+            None => Step::Missing,
+        });
+    }
+    let child = node.slots[node.search_child(key)];
+    Ok(Step::Next(child * PAGE_SIZE as u64))
+}
+
+/// Native (application-level) lookup: the baseline the paper's Figure 3
+/// compares against. Returns the value and the number of pages read.
+///
+/// # Errors
+///
+/// Fails on corrupt nodes or pointer cycles.
+pub fn lookup(
+    fetch: &mut dyn BlockFetch,
+    root_block: u64,
+    depth: u32,
+    key: u64,
+) -> Result<(Option<u64>, u32), TreeError> {
+    let mut block = root_block;
+    let mut reads = 0;
+    for _ in 0..=depth {
+        let page = fetch.fetch(block);
+        reads += 1;
+        match step_on_page(&page, key)? {
+            Step::Next(file_off) => block = file_off / PAGE_SIZE as u64,
+            Step::Found(v) => return Ok((Some(v), reads)),
+            Step::Missing => return Ok((None, reads)),
+        }
+    }
+    Err(TreeError::DepthExceeded)
+}
+
+/// In-order iteration over all `(key, value)` pairs (table-scan oracle).
+///
+/// # Errors
+///
+/// Fails on corrupt nodes.
+pub fn scan_all(
+    fetch: &mut dyn BlockFetch,
+    root_block: u64,
+) -> Result<Vec<(u64, u64)>, TreeError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root_block];
+    // Depth-first, children pushed in reverse so keys come out sorted.
+    while let Some(block) = stack.pop() {
+        let node = Node::decode(&fetch.fetch(block))?;
+        if node.is_leaf() {
+            for (k, v) in node.keys.iter().zip(node.slots.iter()) {
+                out.push((*k, *v));
+            }
+        } else {
+            for slot in node.slots.iter().rev() {
+                stack.push(*slot);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, fanout: usize) -> (Vec<[u8; PAGE_SIZE]>, TreeInfo) {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 10 + 1).collect();
+        build_pages(&keys, &values, fanout).expect("build")
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let (pages, info) = build(3, 8);
+        assert_eq!(info.depth, 1);
+        assert_eq!(info.nodes, 1);
+        let mut fetch = pages;
+        let (v, reads) = lookup(&mut fetch, info.root_block, info.depth, 20).expect("lookup");
+        assert_eq!(v, Some(21));
+        assert_eq!(reads, 1);
+    }
+
+    #[test]
+    fn two_level_tree_lookups() {
+        let (pages, info) = build(64, 8);
+        assert_eq!(info.depth, 2);
+        let mut fetch = pages;
+        for i in 0..64u64 {
+            let (v, reads) =
+                lookup(&mut fetch, info.root_block, info.depth, i * 10).expect("lookup");
+            assert_eq!(v, Some(i * 10 + 1), "key {}", i * 10);
+            assert_eq!(reads, 2);
+        }
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let (pages, info) = build(64, 8);
+        let mut fetch = pages;
+        for probe in [5u64, 15, 635, 1_000_000] {
+            let (v, _) = lookup(&mut fetch, info.root_block, info.depth, probe).expect("lookup");
+            assert_eq!(v, None, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn key_below_minimum_lands_on_first_leaf() {
+        let keys: Vec<u64> = (10..74).collect();
+        let vals = keys.clone();
+        let (pages, info) = build_pages(&keys, &vals, 8).expect("build");
+        let mut fetch = pages;
+        let (v, _) = lookup(&mut fetch, info.root_block, info.depth, 0).expect("lookup");
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn depth_matches_shape_helper() {
+        for depth in 1..=10u32 {
+            let (fanout, n) = shape_for_depth(depth);
+            let (pages, info) = build(n, fanout);
+            assert_eq!(info.depth, depth, "shape_for_depth({depth}) gave {info:?}");
+            // Every key must resolve with exactly `depth` reads.
+            let mut fetch = pages;
+            let (v, reads) =
+                lookup(&mut fetch, info.root_block, info.depth, 0).expect("lookup");
+            assert_eq!(v, Some(1));
+            assert_eq!(reads, depth);
+        }
+    }
+
+    #[test]
+    fn deep_tree_is_small() {
+        let (fanout, n) = shape_for_depth(10);
+        let (pages, info) = build(n, fanout);
+        assert_eq!(info.depth, 10);
+        assert!(
+            pages.len() < 2100,
+            "depth-10 tree should stay compact, got {} nodes",
+            pages.len()
+        );
+    }
+
+    #[test]
+    fn scan_returns_sorted_pairs() {
+        let (pages, info) = build(100, 8);
+        let mut fetch = pages;
+        let all = scan_all(&mut fetch, info.root_block).expect("scan");
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(all[7], (70, 71));
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert_eq!(
+            build_pages(&[], &[], 8).unwrap_err(),
+            TreeError::Empty
+        );
+        assert_eq!(
+            build_pages(&[1, 2], &[1], 8).unwrap_err(),
+            TreeError::LengthMismatch
+        );
+        assert_eq!(
+            build_pages(&[2, 1], &[0, 0], 8).unwrap_err(),
+            TreeError::UnsortedInput
+        );
+        assert_eq!(
+            build_pages(&[1], &[1], 1).unwrap_err(),
+            TreeError::BadFanout(1)
+        );
+        assert_eq!(
+            build_pages(&[1], &[1], 99).unwrap_err(),
+            TreeError::BadFanout(99)
+        );
+    }
+
+    #[test]
+    fn step_on_page_matches_lookup() {
+        let (pages, info) = build(64, 8);
+        let root = pages[info.root_block as usize];
+        match step_on_page(&root, 630).expect("step") {
+            Step::Next(off) => assert_eq!(off % PAGE_SIZE as u64, 0),
+            other => panic!("root should be interior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_lookups_match_btreemap_reference() {
+        use std::collections::BTreeMap;
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 7 + 3).collect();
+        let values: Vec<u64> = keys.iter().map(|k| k * 2).collect();
+        let reference: BTreeMap<u64, u64> =
+            keys.iter().copied().zip(values.iter().copied()).collect();
+        let (pages, info) = build_pages(&keys, &values, 5).expect("build");
+        let mut fetch = pages;
+        for probe in 0..4000u64 {
+            let (got, _) =
+                lookup(&mut fetch, info.root_block, info.depth, probe).expect("lookup");
+            assert_eq!(got, reference.get(&probe).copied(), "probe {probe}");
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Ready-made [`ChainDriver`]s for the benchmark workloads.
+//!
+//! [`BtreeLookupDriver`] reproduces the paper's §3 benchmark: threads in
+//! a closed loop issue B-tree lookups of uniformly random keys; in
+//! User mode the driver performs each pointer lookup natively (the
+//! baseline), in the hook modes the kernel-side BPF program does. Every
+//! completed lookup is checked against the canonical value function, so
+//! the benchmarks double as end-to-end correctness tests.
+
+use bpfstor_btree::tree::{step_on_page, Step};
+use bpfstor_btree::Node;
+use bpfstor_kernel::{
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, UserNext,
+};
+use bpfstor_sim::SimRng;
+
+/// The canonical value stored for `key` in generated B-trees: checking
+/// lookups needs no lookup table.
+pub fn value_of(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xB7EE
+}
+
+/// How lookup keys are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyChoice {
+    /// Always the same key (single-lookup probes).
+    Fixed(u64),
+    /// Uniform over `[0, nkeys)`.
+    Uniform,
+}
+
+/// Outcome counters (also the correctness verdict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Chains completed.
+    pub completed: u64,
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Hits whose value did not match [`value_of`] — must stay zero.
+    pub mismatches: u64,
+    /// Chains that ended in an error status.
+    pub errors: u64,
+    /// Total I/Os across chains.
+    pub total_ios: u64,
+}
+
+/// Closed-loop B-tree lookup workload.
+pub struct BtreeLookupDriver {
+    /// Tagged descriptor of the index file.
+    pub fd: Fd,
+    /// Dispatch mode under test.
+    pub mode: DispatchMode,
+    /// Byte offset of the root node.
+    pub root_off: u64,
+    /// Number of keys in the tree (keys are `0..nkeys`).
+    pub nkeys: u64,
+    /// Key selection policy.
+    pub choice: KeyChoice,
+    /// Verify values against [`value_of`].
+    pub check: bool,
+    /// Stop after this many chains (`u64::MAX` = run to the deadline).
+    pub max_chains: u64,
+    issued: u64,
+    /// Counters.
+    pub stats: LookupStats,
+    /// The value found by the most recent completed lookup.
+    pub last_value: Option<u64>,
+}
+
+impl BtreeLookupDriver {
+    /// Creates a driver; see field docs for the parameters.
+    pub fn new(fd: Fd, mode: DispatchMode, root_off: u64, nkeys: u64) -> Self {
+        BtreeLookupDriver {
+            fd,
+            mode,
+            root_off,
+            nkeys,
+            choice: KeyChoice::Uniform,
+            check: true,
+            max_chains: u64::MAX,
+            issued: 0,
+            stats: LookupStats::default(),
+            last_value: None,
+        }
+    }
+
+    fn record_hit(&mut self, key: u64, value: u64) {
+        self.stats.hits += 1;
+        self.last_value = Some(value);
+        if self.check && value != value_of(key) {
+            self.stats.mismatches += 1;
+        }
+    }
+
+    fn record_miss(&mut self, key: u64) {
+        self.stats.misses += 1;
+        self.last_value = None;
+        if self.check && key < self.nkeys {
+            // A key in range must be present.
+            self.stats.mismatches += 1;
+        }
+    }
+}
+
+impl ChainDriver for BtreeLookupDriver {
+    fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    fn next_chain(&mut self, _thread: usize, rng: &mut SimRng) -> Option<ChainStart> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        self.issued += 1;
+        let key = match self.choice {
+            KeyChoice::Fixed(k) => k,
+            KeyChoice::Uniform => rng.below(self.nkeys),
+        };
+        Some(ChainStart {
+            fd: self.fd,
+            file_off: self.root_off,
+            len: bpfstor_btree::PAGE_SIZE as u32,
+            arg: key,
+        })
+    }
+
+    fn user_step(&mut self, _thread: usize, arg: u64, data: &[u8]) -> UserNext {
+        match step_on_page(data, arg) {
+            Ok(Step::Next(off)) => UserNext::Continue(off),
+            // Leaf (hit or miss): deliver; chain_done parses the page.
+            Ok(Step::Found(_)) | Ok(Step::Missing) => UserNext::Done,
+            Err(_) => UserNext::Done,
+        }
+    }
+
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+        self.stats.completed += 1;
+        self.stats.total_ios += outcome.ios as u64;
+        let key = outcome.arg;
+        match &outcome.status {
+            ChainStatus::Emitted(v) if v.len() == 8 => {
+                let value = u64::from_le_bytes(v[..8].try_into().expect("8B"));
+                self.record_hit(key, value);
+            }
+            ChainStatus::Halted => self.record_miss(key),
+            ChainStatus::Pass(leaf) => match Node::decode(leaf) {
+                Ok(node) if node.is_leaf() => match node.find(key) {
+                    Some(v) => self.record_hit(key, v),
+                    None => self.record_miss(key),
+                },
+                _ => self.stats.errors += 1,
+            },
+            _ => self.stats.errors += 1,
+        }
+    }
+}
+
+/// Per-chain stage of a cold SSTable get on the native (User) path.
+/// Mirrors the BPF program's scratch state machine, including the
+/// multi-index-block candidate walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SstStage {
+    Index {
+        /// Index blocks not yet visited (including the current one).
+        remaining: u32,
+        /// Byte offset of the current index block.
+        cursor: u64,
+        /// Data-block byte offset carried from a previous index block.
+        candidate: Option<u64>,
+    },
+    Data,
+}
+
+/// Cold SSTable point-lookup workload (footer → index → data chain).
+pub struct SstGetDriver {
+    /// Tagged descriptor of the table file.
+    pub fd: Fd,
+    /// Dispatch mode under test.
+    pub mode: DispatchMode,
+    /// Byte offset of the footer block (chains start there).
+    pub footer_off: u64,
+    /// Keys to look up, cycled.
+    pub keys: Vec<u64>,
+    /// Expected values (same order as `keys`); `None` = expect a miss.
+    pub expect: Vec<Option<Vec<u8>>>,
+    /// Stop after this many chains.
+    pub max_chains: u64,
+    issued: u64,
+    /// Counters.
+    pub stats: LookupStats,
+    // User-path per-chain state, keyed by the chain arg (the key).
+    user_state: std::collections::HashMap<u64, SstStage>,
+    /// Values returned per completed chain (key, value-if-found).
+    pub results: Vec<(u64, Option<Vec<u8>>)>,
+}
+
+impl SstGetDriver {
+    /// Creates a driver over the given probe set.
+    pub fn new(
+        fd: Fd,
+        mode: DispatchMode,
+        footer_off: u64,
+        keys: Vec<u64>,
+        expect: Vec<Option<Vec<u8>>>,
+    ) -> Self {
+        assert_eq!(keys.len(), expect.len(), "one expectation per key");
+        let max_chains = keys.len() as u64;
+        SstGetDriver {
+            fd,
+            mode,
+            footer_off,
+            keys,
+            expect,
+            max_chains,
+            issued: 0,
+            stats: LookupStats::default(),
+            user_state: std::collections::HashMap::new(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl ChainDriver for SstGetDriver {
+    fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    fn next_chain(&mut self, _thread: usize, _rng: &mut SimRng) -> Option<ChainStart> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        let key = self.keys[(self.issued % self.keys.len() as u64) as usize];
+        self.issued += 1;
+        self.user_state.remove(&key);
+        Some(ChainStart {
+            fd: self.fd,
+            file_off: self.footer_off,
+            len: bpfstor_lsm::BLOCK as u32,
+            arg: key,
+        })
+    }
+
+    fn user_step(&mut self, _thread: usize, arg: u64, data: &[u8]) -> UserNext {
+        use bpfstor_lsm::sstable::Footer;
+        use bpfstor_lsm::{step_data, SstLookup, BLOCK};
+        match self.user_state.get(&arg).copied() {
+            None => {
+                // Footer hop: range-check and locate the index region.
+                let Ok(footer) = Footer::decode(data) else {
+                    self.results.push((arg, None));
+                    return UserNext::Done;
+                };
+                if arg < footer.min_key || arg > footer.max_key {
+                    self.results.push((arg, None));
+                    return UserNext::Done;
+                }
+                let cursor = footer.data_blocks as u64 * BLOCK as u64;
+                self.user_state.insert(
+                    arg,
+                    SstStage::Index {
+                        remaining: footer.index_blocks,
+                        cursor,
+                        candidate: None,
+                    },
+                );
+                UserNext::Continue(cursor)
+            }
+            Some(SstStage::Index {
+                remaining,
+                cursor,
+                candidate,
+            }) => {
+                // Parse the 12-byte (first_key, block) entries.
+                let n = u16::from_le_bytes([data[0], data[1]]) as usize;
+                let entry = |i: usize| -> (u64, u32) {
+                    let at = 2 + i * 12;
+                    (
+                        u64::from_le_bytes(data[at..at + 8].try_into().expect("8B")),
+                        u32::from_le_bytes(data[at + 8..at + 12].try_into().expect("4B")),
+                    )
+                };
+                if n == 0 || entry(0).0 > arg {
+                    // Key precedes this block: the previous block's last
+                    // entry (the candidate) owns it, if any.
+                    return match candidate {
+                        Some(off) => {
+                            self.user_state.insert(arg, SstStage::Data);
+                            UserNext::Continue(off)
+                        }
+                        None => {
+                            self.results.push((arg, None));
+                            UserNext::Done
+                        }
+                    };
+                }
+                let mut best = 0;
+                for i in 0..n {
+                    if entry(i).0 > arg {
+                        break;
+                    }
+                    best = i;
+                }
+                let best_off = entry(best).1 as u64 * BLOCK as u64;
+                if best == n - 1 && remaining > 1 {
+                    // The key may live in a later index block; remember
+                    // this candidate and walk on.
+                    let next = cursor + BLOCK as u64;
+                    self.user_state.insert(
+                        arg,
+                        SstStage::Index {
+                            remaining: remaining - 1,
+                            cursor: next,
+                            candidate: Some(best_off),
+                        },
+                    );
+                    UserNext::Continue(next)
+                } else {
+                    self.user_state.insert(arg, SstStage::Data);
+                    UserNext::Continue(best_off)
+                }
+            }
+            Some(SstStage::Data) => match step_data(data, arg) {
+                Ok(SstLookup::Found(v)) => {
+                    self.results.push((arg, Some(v)));
+                    UserNext::Done
+                }
+                _ => {
+                    self.results.push((arg, None));
+                    UserNext::Done
+                }
+            },
+        }
+    }
+
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+        self.stats.completed += 1;
+        self.stats.total_ios += outcome.ios as u64;
+        let key = outcome.arg;
+        let found: Option<Vec<u8>> = match &outcome.status {
+            ChainStatus::Emitted(v) => Some(v.clone()),
+            ChainStatus::Halted => None,
+            ChainStatus::Pass(_) => {
+                // User mode recorded the result in user_step already.
+                self.user_state.remove(&key);
+                match self.results.last() {
+                    Some((k, v)) if *k == key => v.clone(),
+                    _ => None,
+                }
+            }
+            _ => {
+                self.stats.errors += 1;
+                return;
+            }
+        };
+        if outcome.status.is_ok() && !matches!(outcome.status, ChainStatus::Pass(_)) {
+            self.results.push((key, found.clone()));
+        }
+        match &found {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        // Check against the expectation for this key.
+        if let Some(idx) = self.keys.iter().position(|k| *k == key) {
+            if self.expect[idx] != found {
+                self.stats.mismatches += 1;
+            }
+        }
+    }
+}

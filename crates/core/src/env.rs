@@ -1,0 +1,255 @@
+//! High-level facade: build a simulated machine with an on-disk B-tree
+//! and run offloaded lookups in a couple of lines.
+//!
+//! This is the "library that provides a higher-level interface than
+//! BPF" the paper envisions (§4): the application picks a data
+//! structure and a dispatch mode; program generation, the install
+//! ioctl, extent snapshots, and re-arming are handled here.
+
+use bpfstor_btree::tree::{build_pages, shape_for_depth, TreeInfo};
+use bpfstor_btree::PAGE_SIZE;
+use bpfstor_kernel::{
+    ChainStatus, DispatchMode, Fd, KernelError, Machine, MachineConfig, RunReport,
+};
+use bpfstor_sim::{Nanos, SECOND};
+
+use crate::driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats};
+use crate::progs::btree_lookup_program;
+
+/// Builder for a ready-to-benchmark B-tree environment.
+#[derive(Debug, Clone)]
+pub struct StorageBpfBuilder {
+    depth: u32,
+    mode: DispatchMode,
+    config: MachineConfig,
+    file_name: String,
+}
+
+impl Default for StorageBpfBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StorageBpfBuilder {
+    /// Defaults: depth-3 tree, driver-hook dispatch, paper-testbed
+    /// machine.
+    pub fn new() -> Self {
+        StorageBpfBuilder {
+            depth: 3,
+            mode: DispatchMode::DriverHook,
+            config: MachineConfig::default(),
+            file_name: "btree.idx".to_string(),
+        }
+    }
+
+    /// Sets the B-tree depth (1–10 in the paper's sweeps).
+    pub fn btree_depth(mut self, depth: u32) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the dispatch mode.
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the machine configuration.
+    pub fn machine_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the machine, the on-disk tree, and (for hook modes)
+    /// installs the traversal program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/FS/verifier failures.
+    pub fn build(self) -> Result<BtreeEnv, KernelError> {
+        let (fanout, nkeys) = shape_for_depth(self.depth);
+        let keys: Vec<u64> = (0..nkeys as u64).collect();
+        let values: Vec<u64> = keys.iter().map(|k| value_of(*k)).collect();
+        let (pages, info) =
+            build_pages(&keys, &values, fanout).map_err(|e| KernelError::Fs(e.to_string()))?;
+        let mut image = Vec::with_capacity(pages.len() * PAGE_SIZE);
+        for p in &pages {
+            image.extend_from_slice(p);
+        }
+        let mut machine = Machine::new(self.config);
+        machine.create_file(&self.file_name, &image)?;
+        let fd = machine.open(&self.file_name, true)?;
+        if self.mode != DispatchMode::User {
+            machine.install(fd, btree_lookup_program(), 0)?;
+        }
+        Ok(BtreeEnv {
+            machine,
+            fd,
+            info,
+            nkeys: nkeys as u64,
+            mode: self.mode,
+            file_name: self.file_name,
+        })
+    }
+}
+
+/// One checked lookup's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupHit {
+    /// Whether the key was found.
+    pub found: bool,
+    /// The value, when found.
+    pub value: Option<u64>,
+    /// I/Os the chain performed (= tree depth on the happy path).
+    pub ios: u32,
+    /// End-to-end latency of the lookup.
+    pub latency: Nanos,
+}
+
+/// A machine with a built B-tree and (for hook modes) an installed
+/// traversal program.
+pub struct BtreeEnv {
+    /// The simulated machine (exposed for advanced use).
+    pub machine: Machine,
+    /// The tagged descriptor of the index file.
+    pub fd: Fd,
+    /// Shape of the built tree.
+    pub info: TreeInfo,
+    /// Keys are `0..nkeys`.
+    pub nkeys: u64,
+    mode: DispatchMode,
+    file_name: String,
+}
+
+impl BtreeEnv {
+    /// The dispatch mode this environment was built for.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// The index file name.
+    pub fn file_name(&self) -> &str {
+        &self.file_name
+    }
+
+    /// Byte offset of the root node.
+    pub fn root_off(&self) -> u64 {
+        self.info.root_block * PAGE_SIZE as u64
+    }
+
+    /// Creates a lookup driver bound to this environment.
+    pub fn driver(&self) -> BtreeLookupDriver {
+        BtreeLookupDriver::new(self.fd, self.mode, self.root_off(), self.nkeys)
+    }
+
+    /// Performs one lookup and verifies the value against the canonical
+    /// function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-OK chain statuses (extent miss, VM
+    /// error, ...), including the status text.
+    pub fn lookup_checked(&mut self, key: u64) -> Result<LookupHit, KernelError> {
+        let mut d = self.driver();
+        d.choice = KeyChoice::Fixed(key);
+        d.max_chains = 1;
+        let report = self.machine.run_closed_loop(1, SECOND, &mut d);
+        if d.stats.errors > 0 {
+            return Err(KernelError::Fs(format!(
+                "lookup failed (status errors: {})",
+                d.stats.errors
+            )));
+        }
+        if d.stats.mismatches > 0 {
+            return Err(KernelError::Fs("value mismatch".to_string()));
+        }
+        Ok(LookupHit {
+            found: d.stats.hits == 1,
+            value: d.last_value,
+            ios: d.stats.total_ios as u32,
+            latency: report.latency.max(),
+        })
+    }
+
+    /// Runs the paper's closed-loop lookup benchmark.
+    pub fn bench_lookups(
+        &mut self,
+        threads: usize,
+        duration: Nanos,
+    ) -> (RunReport, LookupStats) {
+        let mut d = self.driver();
+        let report = self.machine.run_closed_loop(threads, duration, &mut d);
+        (report, d.stats)
+    }
+
+    /// Runs the io_uring variant (Figure 3d).
+    pub fn bench_lookups_uring(
+        &mut self,
+        threads: usize,
+        batch: u32,
+        duration: Nanos,
+    ) -> (RunReport, LookupStats) {
+        let mut d = self.driver();
+        let report = self.machine.run_uring(threads, batch, duration, &mut d);
+        (report, d.stats)
+    }
+
+    /// Relocates the index file (forces extent invalidation), runs one
+    /// lookup that must fail, then re-arms. Returns the failing status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures from the re-arm.
+    pub fn invalidate_and_rearm(&mut self) -> Result<ChainStatus, KernelError> {
+        let name = self.file_name.clone();
+        self.machine
+            .schedule_mutation(0, bpfstor_kernel::Mutation::Relocate { name });
+        let mut d = self.driver();
+        d.choice = KeyChoice::Fixed(0);
+        d.max_chains = 1;
+        d.check = false;
+        let mut status = ChainStatus::IoError;
+        struct Capture<'a> {
+            inner: &'a mut BtreeLookupDriver,
+            status: &'a mut ChainStatus,
+        }
+        impl bpfstor_kernel::ChainDriver for Capture<'_> {
+            fn mode(&self) -> DispatchMode {
+                self.inner.mode
+            }
+            fn next_chain(
+                &mut self,
+                thread: usize,
+                rng: &mut bpfstor_sim::SimRng,
+            ) -> Option<bpfstor_kernel::ChainStart> {
+                self.inner.next_chain(thread, rng)
+            }
+            fn user_step(
+                &mut self,
+                thread: usize,
+                arg: u64,
+                data: &[u8],
+            ) -> bpfstor_kernel::UserNext {
+                self.inner.user_step(thread, arg, data)
+            }
+            fn chain_done(&mut self, thread: usize, outcome: &bpfstor_kernel::ChainOutcome) {
+                *self.status = outcome.status.clone();
+                self.inner.chain_done(thread, outcome);
+            }
+        }
+        let mut cap = Capture {
+            inner: &mut d,
+            status: &mut status,
+        };
+        let _ = self.machine.run_closed_loop(1, SECOND, &mut cap);
+        self.machine.rearm(self.fd)?;
+        Ok(status)
+    }
+}

@@ -1,0 +1,43 @@
+//! # BPF for storage — the paper's contribution library
+//!
+//! This crate is deliverable (a): the user-facing library the paper
+//! sketches in §4 — "a library that provides a higher-level interface
+//! than BPF ... [containing] BPF functions to accelerate access and
+//! operations on popular data structures, such as B-trees and
+//! log-structured merge trees".
+//!
+//! - [`progs`]: verified program generators — B-tree traversal, cold
+//!   SSTable get (stateful multi-hop chain), sequential
+//!   scan/filter/aggregate, and a generic pointer chase;
+//! - [`driver`]: closed-loop workload drivers that double as end-to-end
+//!   correctness checks (every offloaded lookup is compared against the
+//!   canonical value function or a native reference);
+//! - [`env`]: the quickstart facade — build a simulated machine with an
+//!   on-disk index, install the program via the ioctl, look keys up.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpfstor_core::{DispatchMode, StorageBpfBuilder};
+//!
+//! let mut env = StorageBpfBuilder::new()
+//!     .btree_depth(3)
+//!     .dispatch(DispatchMode::DriverHook)
+//!     .build()
+//!     .expect("environment");
+//! let hit = env.lookup_checked(42).expect("lookup");
+//! assert!(hit.found);
+//! assert_eq!(hit.ios, 3, "depth-3 tree costs three I/Os");
+//! ```
+
+pub mod driver;
+pub mod env;
+pub mod progs;
+
+pub use bpfstor_kernel::{ChainStatus, DispatchMode, RunReport};
+pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
+pub use env::{BtreeEnv, LookupHit, StorageBpfBuilder};
+pub use progs::{
+    btree_lookup_program, btree_lookup_program_with_stats, pointer_chase_program,
+    scan_aggregate_program, sst_get_program, stats_slot, ScanResult,
+};

@@ -1,0 +1,412 @@
+//! The B-tree traversal program — the paper's headline offload.
+//!
+//! Compiles the node-search step of `bpfstor-btree` into BPF: parse the
+//! 512-byte page, find the child covering the lookup key (the same
+//! semantics as [`bpfstor_btree::Node::search_child`]), and recycle the
+//! NVMe descriptor toward `child_block * 512`; on a leaf, emit the
+//! 8-byte value (or halt the chain on a miss).
+//!
+//! The lookup key arrives XRP-style in the first eight bytes of the
+//! chain's scratch buffer (`ChainStart::arg`).
+//!
+//! Register allocation:
+//!
+//! | reg | use |
+//! |-----|----------------------------------|
+//! | r6  | `data` (page base) |
+//! | r7  | `data_end` |
+//! | r8  | lookup key |
+//! | r9  | scratch base |
+//! | r0  | best index during search, action at exit |
+//! | r2–r5 | temporaries |
+//! | fp-8  | node level |
+//! | fp-16 | leaf value staging for `emit` |
+
+use bpfstor_btree::{FANOUT_MAX, MAGIC, OFF_KEYS, OFF_LEVEL, OFF_MAGIC, OFF_NKEYS, OFF_SLOTS, PAGE_SIZE};
+use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
+
+/// Builds the B-tree lookup program for the `bpfstor-btree` page layout.
+pub fn btree_lookup_program() -> Program {
+    let mut a = Asm::new();
+    // Prologue: bounds proof for the whole page, load key from scratch.
+    a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+        .ldx(Width::DW, 7, 1, ctx_off::DATA_END)
+        .mov64_reg(2, 6)
+        .add64_imm(2, PAGE_SIZE as i32)
+        .jgt_reg(2, 7, "halt")
+        .ldx(Width::DW, 9, 1, ctx_off::SCRATCH)
+        .ldx(Width::DW, 8, 9, 0)
+        // Magic check.
+        .ldx(Width::H, 2, 6, OFF_MAGIC as i16)
+        .jne_imm(2, MAGIC as i32, "halt")
+        // Save level; load and validate nkeys in 1..=FANOUT_MAX.
+        .ldx(Width::B, 3, 6, OFF_LEVEL as i16)
+        .stx(Width::DW, 10, -8, 3)
+        .ldx(Width::H, 4, 6, OFF_NKEYS as i16)
+        .jeq_imm(4, 0, "halt")
+        .jgt_imm(4, FANOUT_MAX as i32, "halt")
+        // Linear search: r2 = i, r0 = index of last key <= target.
+        .mov64_imm(2, 0)
+        .mov64_imm(0, 0)
+        .label("loop")
+        .jge_reg(2, 4, "after")
+        .mov64_reg(3, 2)
+        .lsh64_imm(3, 3)
+        .mov64_reg(5, 6)
+        .add64_reg(5, 3)
+        .ldx(Width::DW, 3, 5, OFF_KEYS as i16)
+        .jgt_reg(3, 8, "after") // keys are sorted: stop at first > key
+        .mov64_reg(0, 2)
+        .add64_imm(2, 1)
+        .ja("loop")
+        .label("after")
+        // Reload keys[best] and slots[best].
+        .mov64_reg(2, 0)
+        .lsh64_imm(2, 3)
+        .mov64_reg(5, 6)
+        .add64_reg(5, 2)
+        .ldx(Width::DW, 3, 5, OFF_KEYS as i16)
+        .ldx(Width::DW, 4, 5, OFF_SLOTS as i16)
+        .ldx(Width::DW, 2, 10, -8)
+        .jeq_imm(2, 0, "leaf")
+        // Interior node: resubmit at child_block * PAGE_SIZE.
+        .mov64_reg(1, 4)
+        .lsh64_imm(1, 9)
+        .call(helper::RESUBMIT)
+        .jne_imm(0, 0, "halt")
+        .mov64_imm(0, action::ACT_RESUBMIT as i32)
+        .exit()
+        // Leaf: exact-match check, emit the value.
+        .label("leaf")
+        .jne_reg(3, 8, "halt")
+        .stx(Width::DW, 10, -16, 4)
+        .mov64_reg(1, 10)
+        .add64_imm(1, -16)
+        .mov64_imm(2, 8)
+        .call(helper::EMIT)
+        .mov64_imm(0, action::ACT_EMIT as i32)
+        .exit()
+        // Malformed page / helper failure / key absent.
+        .label("halt")
+        .mov64_imm(0, action::ACT_HALT as i32)
+        .exit();
+    Program::new(a.finish().expect("static program assembles"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfstor_btree::tree::{build_pages, step_on_page, Step};
+    use bpfstor_btree::Node;
+    use bpfstor_vm::{verify, MapSet, RecordingEnv, RunCtx, Vm};
+
+    fn run_on(page: &[u8], key: u64) -> (u64, RecordingEnv) {
+        let p = btree_lookup_program();
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 256];
+        scratch[..8].copy_from_slice(&key.to_le_bytes());
+        let out = Vm::new()
+            .run(
+                &p,
+                RunCtx {
+                    data: page,
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                &mut maps,
+                &mut env,
+            )
+            .expect("program must not trap");
+        (out.ret, env)
+    }
+
+    #[test]
+    fn program_passes_verifier() {
+        let stats = verify(&btree_lookup_program()).expect("verifier accepts");
+        assert!(stats.states > 100, "search loop explored: {stats:?}");
+    }
+
+    #[test]
+    fn interior_node_resubmits_matching_child() {
+        let node = Node::new(1, vec![10, 20, 30], vec![100, 200, 300]);
+        let page = node.encode();
+        for (key, child) in [(5u64, 100u64), (10, 100), (25, 200), (99, 300)] {
+            let (ret, env) = run_on(&page, key);
+            assert_eq!(ret, action::ACT_RESUBMIT, "key {key}");
+            assert_eq!(env.resubmits, vec![child * 512], "key {key}");
+        }
+    }
+
+    #[test]
+    fn leaf_hit_emits_value() {
+        let node = Node::new(0, vec![7, 8, 9], vec![70, 80, 90]);
+        let page = node.encode();
+        let (ret, env) = run_on(&page, 8);
+        assert_eq!(ret, action::ACT_EMIT);
+        assert_eq!(env.emitted, 80u64.to_le_bytes());
+    }
+
+    #[test]
+    fn leaf_miss_halts() {
+        let node = Node::new(0, vec![7, 9], vec![70, 90]);
+        let page = node.encode();
+        let (ret, env) = run_on(&page, 8);
+        assert_eq!(ret, action::ACT_HALT);
+        assert!(env.emitted.is_empty());
+    }
+
+    #[test]
+    fn garbage_page_halts() {
+        let page = [0u8; 512];
+        let (ret, _) = run_on(&page, 1);
+        assert_eq!(ret, action::ACT_HALT);
+    }
+
+    #[test]
+    fn agrees_with_native_step_on_every_node_of_a_tree() {
+        let keys: Vec<u64> = (0..600u64).map(|i| i * 3).collect();
+        let vals: Vec<u64> = keys.iter().map(|k| k + 7).collect();
+        let (pages, _info) = build_pages(&keys, &vals, 7).expect("build");
+        for page in &pages {
+            for probe in [0u64, 1, 299, 300, 1795, 1797, 5000] {
+                let native = step_on_page(page, probe).expect("native step");
+                let (ret, env) = run_on(page, probe);
+                match native {
+                    Step::Next(off) => {
+                        assert_eq!(ret, action::ACT_RESUBMIT);
+                        assert_eq!(env.resubmits, vec![off], "probe {probe}");
+                    }
+                    Step::Found(v) => {
+                        assert_eq!(ret, action::ACT_EMIT);
+                        assert_eq!(env.emitted, v.to_le_bytes(), "probe {probe}");
+                    }
+                    Step::Missing => {
+                        assert_eq!(ret, action::ACT_HALT, "probe {probe}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_fanout_node_handled() {
+        let keys: Vec<u64> = (0..31u64).map(|i| i * 2 + 2).collect();
+        let slots: Vec<u64> = (0..31u64).map(|i| i + 1000).collect();
+        let node = Node::new(1, keys, slots);
+        let page = node.encode();
+        // Key larger than everything -> last child.
+        let (ret, env) = run_on(&page, 1_000_000);
+        assert_eq!(ret, action::ACT_RESUBMIT);
+        assert_eq!(env.resubmits, vec![1030 * 512]);
+        // Key smaller than everything -> clamps to child 0.
+        let (ret, env) = run_on(&page, 0);
+        assert_eq!(ret, action::ACT_RESUBMIT);
+        assert_eq!(env.resubmits, vec![1000 * 512]);
+    }
+}
+
+/// Array-map slots used by [`btree_lookup_program_with_stats`].
+pub mod stats_slot {
+    /// Total program invocations (one per hop).
+    pub const INVOCATIONS: u32 = 0;
+    /// Interior-node resubmissions issued.
+    pub const RESUBMITS: u32 = 1;
+    /// Leaf hits (values emitted).
+    pub const HITS: u32 = 2;
+    /// Leaf misses (chains halted).
+    pub const MISSES: u32 = 3;
+    /// Number of slots.
+    pub const COUNT: u32 = 4;
+}
+
+/// The B-tree lookup program extended with an in-kernel statistics map
+/// (BPF array map 0, four u64 slots — see [`stats_slot`]).
+///
+/// This is the paper's map-based state sharing exercised end to end:
+/// the program increments counters on every hop while traversing, and
+/// the application reads them back after the run through the kernel's
+/// `map_value` API without any extra kernel crossings during the
+/// workload.
+pub fn btree_lookup_program_with_stats() -> Program {
+    use bpfstor_vm::MapSpec;
+
+    // Emits: stack key at fp-24, map_lookup(0, key), null-check, load,
+    // +1, store back. Clobbers r1-r5 and r0.
+    fn bump(a: &mut Asm, slot: u32, tag: &str) {
+        let miss = format!("bump_miss_{tag}");
+        a.st_imm(Width::W, 10, -24, slot as i32)
+            .mov64_imm(1, 0)
+            .mov64_reg(2, 10)
+            .add64_imm(2, -24)
+            .call(bpfstor_vm::helper::MAP_LOOKUP)
+            .jeq_imm(0, 0, &miss)
+            .ldx(Width::DW, 5, 0, 0)
+            .add64_imm(5, 1)
+            .stx(Width::DW, 0, 0, 5)
+            .label(&miss);
+    }
+
+    let mut a = Asm::new();
+    a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+        .ldx(Width::DW, 7, 1, ctx_off::DATA_END)
+        .mov64_reg(2, 6)
+        .add64_imm(2, PAGE_SIZE as i32)
+        .jgt_reg(2, 7, "halt")
+        .ldx(Width::DW, 9, 1, ctx_off::SCRATCH)
+        .ldx(Width::DW, 8, 9, 0);
+    bump(&mut a, stats_slot::INVOCATIONS, "inv");
+    a.ldx(Width::H, 2, 6, OFF_MAGIC as i16)
+        .jne_imm(2, MAGIC as i32, "halt")
+        .ldx(Width::B, 3, 6, OFF_LEVEL as i16)
+        .stx(Width::DW, 10, -8, 3)
+        .ldx(Width::H, 4, 6, OFF_NKEYS as i16)
+        .jeq_imm(4, 0, "halt")
+        .jgt_imm(4, FANOUT_MAX as i32, "halt")
+        .mov64_imm(2, 0)
+        .mov64_imm(0, 0)
+        .label("loop")
+        .jge_reg(2, 4, "after")
+        .mov64_reg(3, 2)
+        .lsh64_imm(3, 3)
+        .mov64_reg(5, 6)
+        .add64_reg(5, 3)
+        .ldx(Width::DW, 3, 5, OFF_KEYS as i16)
+        .jgt_reg(3, 8, "after")
+        .mov64_reg(0, 2)
+        .add64_imm(2, 1)
+        .ja("loop")
+        .label("after")
+        .mov64_reg(2, 0)
+        .lsh64_imm(2, 3)
+        .mov64_reg(5, 6)
+        .add64_reg(5, 2)
+        .ldx(Width::DW, 3, 5, OFF_KEYS as i16)
+        .ldx(Width::DW, 4, 5, OFF_SLOTS as i16)
+        .ldx(Width::DW, 2, 10, -8)
+        .jeq_imm(2, 0, "leaf")
+        // Interior: count the resubmit, stash the target across the
+        // helper call (which clobbers r1-r5), then recycle.
+        .stx(Width::DW, 10, -16, 4);
+    bump(&mut a, stats_slot::RESUBMITS, "res");
+    a.ldx(Width::DW, 1, 10, -16)
+        .lsh64_imm(1, 9)
+        .call(helper::RESUBMIT)
+        .jne_imm(0, 0, "halt")
+        .mov64_imm(0, action::ACT_RESUBMIT as i32)
+        .exit()
+        .label("leaf")
+        .jne_reg(3, 8, "miss")
+        .stx(Width::DW, 10, -16, 4);
+    bump(&mut a, stats_slot::HITS, "hit");
+    a.mov64_reg(1, 10)
+        .add64_imm(1, -16)
+        .mov64_imm(2, 8)
+        .call(helper::EMIT)
+        .mov64_imm(0, action::ACT_EMIT as i32)
+        .exit()
+        .label("miss");
+    bump(&mut a, stats_slot::MISSES, "mis");
+    a.mov64_imm(0, action::ACT_HALT as i32)
+        .exit()
+        .label("halt")
+        .mov64_imm(0, action::ACT_HALT as i32)
+        .exit();
+    Program::with_maps(
+        a.finish().expect("static program assembles"),
+        vec![MapSpec::array(8, stats_slot::COUNT)],
+    )
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use bpfstor_vm::{verify, MapSet, RecordingEnv, RunCtx, Vm};
+
+    fn run_stats(page: &[u8], key: u64, maps: &mut MapSet) -> u64 {
+        let p = btree_lookup_program_with_stats();
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 256];
+        scratch[..8].copy_from_slice(&key.to_le_bytes());
+        Vm::new()
+            .run(
+                &p,
+                RunCtx {
+                    data: page,
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                maps,
+                &mut env,
+            )
+            .expect("no trap")
+            .ret
+    }
+
+    fn slot(maps: &mut MapSet, s: u32) -> u64 {
+        let v = maps
+            .lookup(0, &s.to_le_bytes())
+            .expect("map")
+            .expect("array hit");
+        u64::from_le_bytes(v.try_into().expect("8B"))
+    }
+
+    #[test]
+    fn stats_program_verifies() {
+        verify(&btree_lookup_program_with_stats()).expect("verifier accepts");
+    }
+
+    #[test]
+    fn counters_track_hops_hits_and_misses() {
+        let p = btree_lookup_program_with_stats();
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let interior = bpfstor_btree::Node::new(1, vec![10], vec![3]).encode();
+        let leaf_hit = bpfstor_btree::Node::new(0, vec![20], vec![200]).encode();
+        let leaf_miss = bpfstor_btree::Node::new(0, vec![21], vec![210]).encode();
+
+        assert_eq!(run_stats(&interior, 20, &mut maps), action::ACT_RESUBMIT);
+        assert_eq!(run_stats(&leaf_hit, 20, &mut maps), action::ACT_EMIT);
+        assert_eq!(run_stats(&leaf_miss, 20, &mut maps), action::ACT_HALT);
+
+        assert_eq!(slot(&mut maps, stats_slot::INVOCATIONS), 3);
+        assert_eq!(slot(&mut maps, stats_slot::RESUBMITS), 1);
+        assert_eq!(slot(&mut maps, stats_slot::HITS), 1);
+        assert_eq!(slot(&mut maps, stats_slot::MISSES), 1);
+    }
+
+    #[test]
+    fn stats_variant_agrees_with_plain_program() {
+        let page = bpfstor_btree::Node::new(1, vec![5, 15, 25], vec![7, 8, 9]).encode();
+        let plain = btree_lookup_program();
+        let stats = btree_lookup_program_with_stats();
+        for key in [0u64, 5, 14, 25, 99] {
+            let run = |p: &Program| {
+                let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+                let mut env = RecordingEnv::default();
+                let mut scratch = [0u8; 256];
+                scratch[..8].copy_from_slice(&key.to_le_bytes());
+                let ret = Vm::new()
+                    .run(
+                        p,
+                        RunCtx {
+                            data: &page,
+                            file_off: 0,
+                            hop: 0,
+                            flags: 0,
+                            scratch: &mut scratch,
+                        },
+                        &mut maps,
+                        &mut env,
+                    )
+                    .expect("no trap")
+                    .ret;
+                (ret, env.resubmits.clone())
+            };
+            assert_eq!(run(&plain), run(&stats), "key {key}");
+        }
+    }
+}

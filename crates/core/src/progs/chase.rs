@@ -1,0 +1,138 @@
+//! Generic pointer-chase program.
+//!
+//! The simplest dependent-I/O shape: each block stores the file offset
+//! of the next block in its first eight bytes; a sentinel value marks
+//! the end, whose payload is returned. Useful for microbenchmarks and
+//! as the smallest example of the resubmit/emit protocol.
+
+use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
+
+/// Sentinel marking the final block of a chain.
+pub const CHASE_END: u64 = u64::MAX;
+
+/// Builds the pointer-chase program.
+///
+/// Protocol: block layout is `[next_off: u64][payload: u64]`. While
+/// `next_off != CHASE_END` the program recycles the descriptor to
+/// `next_off`; at the sentinel it emits the payload.
+pub fn pointer_chase_program() -> Program {
+    let mut a = Asm::new();
+    a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+        .ldx(Width::DW, 7, 1, ctx_off::DATA_END)
+        .mov64_reg(8, 6)
+        .add64_imm(8, 16)
+        .jgt_reg(8, 7, "halt") // prove 16 readable bytes
+        .ldx(Width::DW, 2, 6, 0)
+        .ld_imm64(3, CHASE_END)
+        .jeq_reg(2, 3, "emit")
+        .mov64_reg(1, 2)
+        .call(helper::RESUBMIT)
+        .jne_imm(0, 0, "halt") // helper failure ends the chain
+        .mov64_imm(0, action::ACT_RESUBMIT as i32)
+        .exit()
+        .label("emit")
+        .mov64_reg(1, 6)
+        .add64_imm(1, 8)
+        .mov64_imm(2, 8)
+        .call(helper::EMIT)
+        .mov64_imm(0, action::ACT_EMIT as i32)
+        .exit()
+        .label("halt")
+        .mov64_imm(0, action::ACT_HALT as i32)
+        .exit();
+    Program::new(a.finish().expect("static program assembles"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfstor_vm::verify;
+
+    #[test]
+    fn chase_program_verifies() {
+        let p = pointer_chase_program();
+        let stats = verify(&p).expect("verifier accepts");
+        assert!(stats.states > 0);
+    }
+
+    #[test]
+    fn chase_program_runs_and_resubmits() {
+        use bpfstor_vm::{MapSet, RecordingEnv, RunCtx, Vm};
+        let p = pointer_chase_program();
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 64];
+        let mut block = vec![0u8; 512];
+        block[..8].copy_from_slice(&4096u64.to_le_bytes());
+        let out = Vm::new()
+            .run(
+                &p,
+                RunCtx {
+                    data: &block,
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                &mut maps,
+                &mut env,
+            )
+            .expect("runs");
+        assert_eq!(out.ret, action::ACT_RESUBMIT);
+        assert_eq!(env.resubmits, vec![4096]);
+    }
+
+    #[test]
+    fn chase_program_emits_at_sentinel() {
+        use bpfstor_vm::{MapSet, RecordingEnv, RunCtx, Vm};
+        let p = pointer_chase_program();
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 64];
+        let mut block = vec![0u8; 512];
+        block[..8].copy_from_slice(&CHASE_END.to_le_bytes());
+        block[8..16].copy_from_slice(&0xFEEDu64.to_le_bytes());
+        let out = Vm::new()
+            .run(
+                &p,
+                RunCtx {
+                    data: &block,
+                    file_off: 0,
+                    hop: 3,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                &mut maps,
+                &mut env,
+            )
+            .expect("runs");
+        assert_eq!(out.ret, action::ACT_EMIT);
+        assert_eq!(env.emitted, 0xFEEDu64.to_le_bytes());
+    }
+
+    #[test]
+    fn short_block_halts() {
+        use bpfstor_vm::{MapSet, RecordingEnv, RunCtx, Vm};
+        let p = pointer_chase_program();
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 64];
+        let block = vec![0u8; 8]; // too short for the 16-byte proof
+        let out = Vm::new()
+            .run(
+                &p,
+                RunCtx {
+                    data: &block,
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                &mut maps,
+                &mut env,
+            )
+            .expect("runs");
+        assert_eq!(out.ret, action::ACT_HALT);
+        assert!(env.resubmits.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Scan/filter/aggregate offload — the paper's "database iterators that
+//! scan tables sequentially until an attribute satisfies a condition"
+//! use case (§3), plus the selection/projection/aggregation ability the
+//! design section promises (§4 Installation & Execution).
+//!
+//! The program walks a run of data blocks *sequentially* (no pointer
+//! chasing — the next offset is just `file_off + 512`), filters entries
+//! by comparing the first eight bytes of each value against a threshold,
+//! and accumulates `(sum, count)` in the chain's scratch buffer. Only
+//! the 16-byte aggregate crosses back to user space — the whole point of
+//! the offload: the scanned data never pays the user-kernel boundary.
+//!
+//! Scratch layout:
+//!
+//! ```text
+//! [0]  u64 threshold (from ChainStart::arg)
+//! [8]  u64 blocks visited so far
+//! [16] u64 running sum of matching values
+//! [24] u64 running count of matching entries
+//! ```
+//!
+//! The number of blocks to scan is passed as the install-time `flags`.
+
+use bpfstor_lsm::sstable::BLOCK;
+use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
+
+/// Builds the scan program for fixed `value_size` entries.
+///
+/// # Panics
+///
+/// Panics on a `value_size` of 0 or one too large for a block.
+pub fn scan_aggregate_program(value_size: u32) -> Program {
+    assert!(value_size >= 8, "need at least a u64 field to aggregate");
+    let stride = 10 + value_size as i32;
+    let max_entries = (BLOCK as i32 - 2) / stride;
+    assert!(max_entries >= 1, "value_size too large for a block");
+
+    let mut a = Asm::new();
+    a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+        .ldx(Width::DW, 7, 1, ctx_off::DATA_END)
+        .mov64_reg(2, 6)
+        .add64_imm(2, BLOCK as i32)
+        .jgt_reg(2, 7, "halt")
+        .ldx(Width::DW, 9, 1, ctx_off::SCRATCH)
+        .ldx(Width::DW, 8, 9, 0) // threshold
+        // Aggregate over this block's entries.
+        .ldx(Width::H, 4, 6, 0) // entry count
+        .jgt_imm(4, max_entries, "halt")
+        .mov64_imm(2, 0)
+        .label("loop")
+        .jge_reg(2, 4, "block_done")
+        .mov64_reg(3, 2)
+        .mul64_imm(3, stride)
+        .mov64_reg(5, 6)
+        .add64_reg(5, 3)
+        .ldx(Width::DW, 3, 5, 12) // first u64 of the value
+        .jlt_reg(3, 8, "skip")
+        .ldx(Width::DW, 0, 9, 16)
+        .add64_reg(0, 3)
+        .stx(Width::DW, 9, 16, 0) // sum += value
+        .ldx(Width::DW, 0, 9, 24)
+        .add64_imm(0, 1)
+        .stx(Width::DW, 9, 24, 0) // count += 1
+        .label("skip")
+        .add64_imm(2, 1)
+        .ja("loop")
+        .label("block_done")
+        // visited += 1; compare against the block budget in ctx->flags.
+        .ldx(Width::DW, 3, 9, 8)
+        .add64_imm(3, 1)
+        .stx(Width::DW, 9, 8, 3)
+        .ldx(Width::W, 4, 1, ctx_off::FLAGS)
+        .jge_reg(3, 4, "finish")
+        // Next sequential block.
+        .ldx(Width::DW, 2, 1, ctx_off::FILE_OFF)
+        .add64_imm(2, BLOCK as i32)
+        .mov64_reg(1, 2)
+        .call(helper::RESUBMIT)
+        .jne_imm(0, 0, "halt")
+        .mov64_imm(0, action::ACT_RESUBMIT as i32)
+        .exit()
+        .label("finish")
+        // Emit (sum, count) — 16 bytes instead of `blocks * 512`.
+        .mov64_reg(1, 9)
+        .add64_imm(1, 16)
+        .mov64_imm(2, 16)
+        .call(helper::EMIT)
+        .mov64_imm(0, action::ACT_EMIT as i32)
+        .exit()
+        .label("halt")
+        .mov64_imm(0, action::ACT_HALT as i32)
+        .exit();
+    Program::new(a.finish().expect("static program assembles"))
+}
+
+/// The 16-byte aggregate a scan chain emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Sum of the first-u64 fields of matching values.
+    pub sum: u64,
+    /// Number of matching entries.
+    pub count: u64,
+}
+
+impl ScanResult {
+    /// Parses the emitted buffer.
+    pub fn parse(emitted: &[u8]) -> Option<ScanResult> {
+        if emitted.len() != 16 {
+            return None;
+        }
+        Some(ScanResult {
+            sum: u64::from_le_bytes(emitted[..8].try_into().ok()?),
+            count: u64::from_le_bytes(emitted[8..].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfstor_lsm::sstable::{build_image, Footer};
+    use bpfstor_vm::{action, verify, MapSet, RecordingEnv, RunCtx, Vm};
+
+    const VS: u32 = 24;
+
+    fn table(n: u64) -> (Vec<u8>, u32) {
+        let entries: Vec<(u64, Vec<u8>)> = (0..n)
+            .map(|i| {
+                let mut v = vec![0u8; VS as usize];
+                v[..8].copy_from_slice(&(i * 10).to_le_bytes());
+                (i, v)
+            })
+            .collect();
+        let image = build_image(&entries).expect("build");
+        let footer =
+            Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
+        (image, footer.data_blocks)
+    }
+
+    fn run_scan(image: &[u8], data_blocks: u32, threshold: u64) -> ScanResult {
+        let p = scan_aggregate_program(VS);
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut scratch = [0u8; 256];
+        scratch[..8].copy_from_slice(&threshold.to_le_bytes());
+        let mut off = 0u64;
+        let mut hops = 0u32;
+        loop {
+            let mut env = RecordingEnv::default();
+            let block = &image[off as usize..off as usize + BLOCK];
+            let out = Vm::new()
+                .run(
+                    &p,
+                    RunCtx {
+                        data: block,
+                        file_off: off,
+                        hop: hops,
+                        flags: data_blocks,
+                        scratch: &mut scratch,
+                    },
+                    &mut maps,
+                    &mut env,
+                )
+                .expect("no trap");
+            hops += 1;
+            match out.ret {
+                action::ACT_RESUBMIT => off = env.resubmits[0],
+                action::ACT_EMIT => {
+                    return ScanResult::parse(&env.emitted).expect("16B aggregate")
+                }
+                other => panic!("unexpected action {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn program_verifies() {
+        verify(&scan_aggregate_program(8)).expect("8B");
+        verify(&scan_aggregate_program(64)).expect("64B");
+    }
+
+    #[test]
+    fn aggregates_match_native_computation() {
+        let (image, blocks) = table(200);
+        for threshold in [0u64, 500, 1_200, 10_000] {
+            let got = run_scan(&image, blocks, threshold);
+            let expect_count = (0..200u64).filter(|i| i * 10 >= threshold).count() as u64;
+            let expect_sum: u64 = (0..200u64).map(|i| i * 10).filter(|v| *v >= threshold).sum();
+            assert_eq!(got.count, expect_count, "threshold {threshold}");
+            assert_eq!(got.sum, expect_sum, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn scan_visits_every_data_block() {
+        let (image, blocks) = table(500);
+        assert!(blocks > 10, "multi-block table");
+        let got = run_scan(&image, blocks, 0);
+        assert_eq!(got.count, 500);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_length() {
+        assert!(ScanResult::parse(&[0u8; 8]).is_none());
+        assert!(ScanResult::parse(&[0u8; 16]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a u64")]
+    fn tiny_values_rejected() {
+        scan_aggregate_program(4);
+    }
+}

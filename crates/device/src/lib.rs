@@ -1,0 +1,30 @@
+//! Simulated storage devices for the `bpfstor` reproduction.
+//!
+//! The paper's Figure 1 spans four device generations — a Seagate Exos
+//! X16 HDD, Intel 750-class TLC NAND, a first-generation Optane SSD
+//! (900P), and the P5800X prototype whose Table 1 numbers anchor the
+//! whole evaluation. This crate models all four as the same NVMe-style
+//! device with different [`profile::DeviceProfile`]s:
+//!
+//! - a sparse [`store::SectorStore`] holds real bytes (B-tree nodes,
+//!   SSTables), so completions carry genuine data for BPF programs to
+//!   parse;
+//! - [`ring::Ring`] implements the submission/completion queue pairs with
+//!   real head/tail wrap semantics;
+//! - [`device::NvmeDevice`] services commands on a set of parallel
+//!   channels with service times drawn from the profile's latency
+//!   distribution, returning the simulated completion time for the
+//!   kernel's event loop.
+//!
+//! Everything is deterministic given the seed of the [`bpfstor_sim::SimRng`]
+//! the device is constructed with.
+
+pub mod device;
+pub mod profile;
+pub mod ring;
+pub mod store;
+
+pub use device::{DeviceStats, NvmeCompletion, NvmeDevice, QueueError, QueuePairId};
+pub use profile::{DeviceClass, DeviceProfile};
+pub use ring::Ring;
+pub use store::{SectorStore, SECTOR_SIZE};

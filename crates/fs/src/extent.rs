@@ -1,0 +1,318 @@
+//! Extent trees: sorted logical→physical block mappings.
+//!
+//! An extent maps a contiguous run of a file's logical blocks to a
+//! contiguous run of physical blocks. This is the structure the paper's
+//! NVMe-layer soft-state cache snapshots (§4 Translation & Security):
+//! the whole design rests on these mappings being *stable* for the index
+//! files of LSM trees and batch-updated B-trees.
+
+/// One contiguous mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First logical block.
+    pub logical: u64,
+    /// First physical block.
+    pub physical: u64,
+    /// Length in blocks.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Logical block one past the end.
+    pub fn logical_end(&self) -> u64 {
+        self.logical + self.len
+    }
+
+    /// True if `lb` falls inside this extent.
+    pub fn contains(&self, lb: u64) -> bool {
+        lb >= self.logical && lb < self.logical_end()
+    }
+}
+
+/// A sorted, non-overlapping set of extents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtentTree {
+    exts: Vec<Extent>,
+}
+
+impl ExtentTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        ExtentTree::default()
+    }
+
+    /// Number of extents.
+    pub fn len(&self) -> usize {
+        self.exts.len()
+    }
+
+    /// True if the file has no mapped blocks.
+    pub fn is_empty(&self) -> bool {
+        self.exts.is_empty()
+    }
+
+    /// Iterates extents in logical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Extent> {
+        self.exts.iter()
+    }
+
+    /// Total mapped blocks.
+    pub fn mapped_blocks(&self) -> u64 {
+        self.exts.iter().map(|e| e.len).sum()
+    }
+
+    /// Maps a logical block to `(physical block, run remaining)` — the
+    /// number of further blocks contiguous both logically and physically.
+    pub fn lookup(&self, lb: u64) -> Option<(u64, u64)> {
+        let i = self.find(lb)?;
+        let e = &self.exts[i];
+        let delta = lb - e.logical;
+        Some((e.physical + delta, e.len - delta))
+    }
+
+    fn find(&self, lb: u64) -> Option<usize> {
+        // Binary search for the extent containing lb.
+        let idx = self
+            .exts
+            .partition_point(|e| e.logical_end() <= lb);
+        if idx < self.exts.len() && self.exts[idx].contains(lb) {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a new mapping, merging with adjacent extents when both
+    /// the logical and physical runs are contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logical range overlaps an existing extent (callers
+    /// must unmap first); overlapping extents would mean FS corruption.
+    pub fn insert(&mut self, ext: Extent) {
+        if ext.len == 0 {
+            return;
+        }
+        let idx = self.exts.partition_point(|e| e.logical < ext.logical);
+        if idx > 0 {
+            let prev = &self.exts[idx - 1];
+            assert!(
+                prev.logical_end() <= ext.logical,
+                "extent overlap: {prev:?} vs {ext:?}"
+            );
+        }
+        if idx < self.exts.len() {
+            let next = &self.exts[idx];
+            assert!(
+                ext.logical_end() <= next.logical,
+                "extent overlap: {ext:?} vs {next:?}"
+            );
+        }
+        // Try merging with the predecessor.
+        let mut merged = ext;
+        let mut insert_at = idx;
+        if idx > 0 {
+            let prev = self.exts[idx - 1];
+            if prev.logical_end() == merged.logical
+                && prev.physical + prev.len == merged.physical
+            {
+                merged = Extent {
+                    logical: prev.logical,
+                    physical: prev.physical,
+                    len: prev.len + merged.len,
+                };
+                self.exts.remove(idx - 1);
+                insert_at = idx - 1;
+            }
+        }
+        // Try merging with the successor.
+        if insert_at < self.exts.len() {
+            let next = self.exts[insert_at];
+            if merged.logical_end() == next.logical
+                && merged.physical + merged.len == next.physical
+            {
+                merged.len += next.len;
+                self.exts.remove(insert_at);
+            }
+        }
+        self.exts.insert(insert_at, merged);
+    }
+
+    /// Unmaps the logical range `[lb, lb + n)`, returning the physical
+    /// runs that were released. Extents straddling the boundary are
+    /// split.
+    pub fn remove_range(&mut self, lb: u64, n: u64) -> Vec<Extent> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let end = lb + n;
+        let mut removed = Vec::new();
+        let mut out = Vec::with_capacity(self.exts.len());
+        for e in self.exts.drain(..) {
+            if e.logical_end() <= lb || e.logical >= end {
+                out.push(e);
+                continue;
+            }
+            // Leading fragment survives.
+            if e.logical < lb {
+                out.push(Extent {
+                    logical: e.logical,
+                    physical: e.physical,
+                    len: lb - e.logical,
+                });
+            }
+            // Middle fragment is removed.
+            let cut_lo = lb.max(e.logical);
+            let cut_hi = end.min(e.logical_end());
+            removed.push(Extent {
+                logical: cut_lo,
+                physical: e.physical + (cut_lo - e.logical),
+                len: cut_hi - cut_lo,
+            });
+            // Trailing fragment survives.
+            if e.logical_end() > end {
+                out.push(Extent {
+                    logical: end,
+                    physical: e.physical + (end - e.logical),
+                    len: e.logical_end() - end,
+                });
+            }
+        }
+        self.exts = out;
+        removed
+    }
+
+    /// Snapshot of all extents (what the ioctl pushes to the NVMe layer).
+    pub fn snapshot(&self) -> Vec<Extent> {
+        self.exts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(logical: u64, physical: u64, len: u64) -> Extent {
+        Extent {
+            logical,
+            physical,
+            len,
+        }
+    }
+
+    #[test]
+    fn lookup_within_extent() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 1000, 8));
+        assert_eq!(t.lookup(0), Some((1000, 8)));
+        assert_eq!(t.lookup(5), Some((1005, 3)));
+        assert_eq!(t.lookup(8), None);
+    }
+
+    #[test]
+    fn merge_logically_and_physically_adjacent() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        t.insert(ext(4, 104, 4));
+        assert_eq!(t.len(), 1, "merged into one extent");
+        assert_eq!(t.lookup(7), Some((107, 1)));
+    }
+
+    #[test]
+    fn no_merge_when_physically_discontiguous() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        t.insert(ext(4, 500, 4));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(3), Some((103, 1)), "run stops at extent edge");
+        assert_eq!(t.lookup(4), Some((500, 4)));
+    }
+
+    #[test]
+    fn merge_with_successor() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(4, 104, 4));
+        t.insert(ext(0, 100, 4));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn merge_bridges_both_sides() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 2));
+        t.insert(ext(4, 104, 2));
+        t.insert(ext(2, 102, 2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mapped_blocks(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_panics() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        t.insert(ext(2, 200, 4));
+    }
+
+    #[test]
+    fn remove_whole_extent() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        let removed = t.remove_range(0, 4);
+        assert_eq!(removed, vec![ext(0, 100, 4)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_splits_middle() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 10));
+        let removed = t.remove_range(3, 4);
+        assert_eq!(removed, vec![ext(3, 103, 4)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(2), Some((102, 1)));
+        assert_eq!(t.lookup(3), None);
+        assert_eq!(t.lookup(7), Some((107, 3)));
+    }
+
+    #[test]
+    fn remove_spanning_multiple_extents() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        t.insert(ext(4, 500, 4));
+        t.insert(ext(8, 900, 4));
+        let removed = t.remove_range(2, 8);
+        assert_eq!(
+            removed,
+            vec![ext(2, 102, 2), ext(4, 500, 4), ext(8, 900, 2)]
+        );
+        assert_eq!(t.mapped_blocks(), 4);
+    }
+
+    #[test]
+    fn remove_empty_range_is_noop() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 4));
+        assert!(t.remove_range(0, 0).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_copy() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(8, 900, 4));
+        t.insert(ext(0, 100, 4));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].logical < snap[1].logical);
+    }
+
+    #[test]
+    fn sparse_file_lookup_misses_holes() {
+        let mut t = ExtentTree::new();
+        t.insert(ext(0, 100, 2));
+        t.insert(ext(10, 200, 2));
+        assert_eq!(t.lookup(5), None);
+        assert_eq!(t.lookup(10), Some((200, 2)));
+    }
+}

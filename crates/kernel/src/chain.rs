@@ -1,0 +1,197 @@
+//! Public types for driving I/O chains through the simulated stack.
+//!
+//! A *chain* is one logical application request that may span several
+//! dependent I/Os — e.g. a B-tree lookup of depth *d* is a chain of *d*
+//! reads. The three [`DispatchMode`]s correspond exactly to Figure 2 of
+//! the paper:
+//!
+//! - [`DispatchMode::User`]: every hop goes back to the application
+//!   (the baseline);
+//! - [`DispatchMode::SyscallHook`]: hops are reissued from the syscall
+//!   dispatch layer — the boundary crossing and application reap are
+//!   skipped, but the file system and block layer still run;
+//! - [`DispatchMode::DriverHook`]: hops are reissued from the NVMe
+//!   driver's completion handler with a recycled descriptor — nearly the
+//!   whole software stack is skipped.
+
+use bpfstor_sim::{Histogram, Nanos, SimRng};
+
+use crate::extcache::ExtCacheStats;
+use crate::trace::LayerTrace;
+
+/// A file descriptor in the simulated kernel.
+pub type Fd = u32;
+
+/// Where dependent I/Os are reissued from (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchMode {
+    /// Application-level reissue (baseline).
+    User,
+    /// Reissue from the syscall dispatch layer hook.
+    SyscallHook,
+    /// Reissue from the NVMe driver completion hook.
+    DriverHook,
+}
+
+impl DispatchMode {
+    /// All modes, for sweep harnesses.
+    pub const ALL: [DispatchMode; 3] = [
+        DispatchMode::User,
+        DispatchMode::SyscallHook,
+        DispatchMode::DriverHook,
+    ];
+
+    /// Figure 3c's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchMode::User => "Dispatch from User Space",
+            DispatchMode::SyscallHook => "Dispatch from Syscall",
+            DispatchMode::DriverHook => "Dispatch from NVMe Driver",
+        }
+    }
+}
+
+/// The first I/O of a new chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainStart {
+    /// Target file descriptor (must be tagged for hook modes).
+    pub fd: Fd,
+    /// Byte offset of the first read.
+    pub file_off: u64,
+    /// Read size in bytes (usually one 512 B block).
+    pub len: u32,
+    /// Per-chain argument (e.g. the lookup key). The kernel copies it
+    /// into the first 8 bytes of the chain's scratch buffer before the
+    /// first hop, where the BPF program reads it — the XRP-style
+    /// request-scoped argument.
+    pub arg: u64,
+}
+
+/// The application's decision after a hop in [`DispatchMode::User`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserNext {
+    /// Issue the next dependent read at this byte offset.
+    Continue(u64),
+    /// The chain is complete.
+    Done,
+}
+
+/// Terminal status of a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainStatus {
+    /// Raw block delivered (User-mode completion or BPF `ACT_PASS`).
+    Pass(Vec<u8>),
+    /// BPF `ACT_EMIT` result buffer.
+    Emitted(Vec<u8>),
+    /// BPF `ACT_HALT`: the program ended the chain (e.g. key absent).
+    Halted,
+    /// NVMe-layer translation failed (no/stale snapshot): the
+    /// application must re-arm the ioctl and retry.
+    ExtentMiss,
+    /// Extents were invalidated while the chain was in flight; the
+    /// recycled I/O was discarded (§4's invalidation semantics).
+    Invalidated,
+    /// The hop's read straddles a physical extent boundary: the buffer
+    /// was assembled via the normal BIO path and handed back so the
+    /// application can run the step itself and restart the chain (§4's
+    /// granularity-mismatch fallback).
+    SplitFallback {
+        /// Offset whose read was split.
+        file_off: u64,
+        /// The assembled buffer.
+        data: Vec<u8>,
+    },
+    /// The per-process NVMe resubmission counter was exhausted (§4's
+    /// unbounded-traversal guard).
+    BoundExceeded,
+    /// The program trapped or returned an inconsistent action; the chain
+    /// was aborted.
+    VmError(String),
+    /// I/O error (unmapped offset, device error).
+    IoError,
+}
+
+impl ChainStatus {
+    /// True for statuses that represent successful completion.
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            ChainStatus::Pass(_) | ChainStatus::Emitted(_) | ChainStatus::Halted
+        )
+    }
+}
+
+/// Everything known about a finished chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainOutcome {
+    /// Issuing thread.
+    pub thread: usize,
+    /// The chain's argument (e.g. the lookup key).
+    pub arg: u64,
+    /// Terminal status.
+    pub status: ChainStatus,
+    /// Number of I/Os the chain performed.
+    pub ios: u32,
+    /// End-to-end chain latency.
+    pub latency: Nanos,
+}
+
+/// Application logic driven by the simulated kernel.
+///
+/// Implementations hold per-thread state (current key, expected value)
+/// and are called at the simulated times the real application would run.
+pub trait ChainDriver {
+    /// Dispatch mode for this run.
+    fn mode(&self) -> DispatchMode;
+
+    /// The next chain for `thread`, or `None` to stop that thread.
+    fn next_chain(&mut self, thread: usize, rng: &mut SimRng) -> Option<ChainStart>;
+
+    /// User-mode only: one application step over a completed block.
+    /// `arg` identifies the chain (its [`ChainStart::arg`]), so drivers
+    /// can keep per-chain state even with many chains in flight.
+    fn user_step(&mut self, _thread: usize, _arg: u64, _data: &[u8]) -> UserNext {
+        UserNext::Done
+    }
+
+    /// Called when a chain finishes.
+    fn chain_done(&mut self, _thread: usize, _outcome: &ChainOutcome) {}
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated time the run covered.
+    pub sim_time: Nanos,
+    /// Chains completed.
+    pub chains: u64,
+    /// Device I/Os completed.
+    pub ios: u64,
+    /// Chains that ended with a non-OK status.
+    pub errors: u64,
+    /// Device read IOPS achieved.
+    pub iops: f64,
+    /// Chains (application-level lookups) per second.
+    pub chains_per_sec: f64,
+    /// Chain latency distribution.
+    pub latency: Histogram,
+    /// CPU utilization over the run.
+    pub cpu_util: f64,
+    /// Device channel utilization over the run.
+    pub device_util: f64,
+    /// Per-layer time accounting.
+    pub trace: LayerTrace,
+    /// Extent-cache counters.
+    pub extcache: ExtCacheStats,
+    /// Total chained NVMe resubmissions (the §4 fairness counters,
+    /// summed over threads; per-thread values via
+    /// [`crate::Machine::resubmission_accounting`]).
+    pub resubmissions: u64,
+}
+
+impl RunReport {
+    /// Mean chain latency in nanoseconds.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}

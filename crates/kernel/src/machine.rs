@@ -1,0 +1,1135 @@
+//! The simulated machine: cores + kernel storage stack + NVMe device.
+//!
+//! `Machine` is a discrete-event simulation of the paper's testbed (a
+//! 6-core i5-8500 with an Optane P5800X). Application threads drive I/O
+//! *chains* through one of the three dispatch paths of Figure 2; every
+//! software stage charges CPU time on the core model (so saturation
+//! behaves like the paper's 6-thread knee), and the device model decides
+//! service times. Real bytes flow end to end: completions carry the
+//! stored block contents, BPF programs execute on them in the verifier-
+//! backed VM, and harnesses check that offloaded lookups return exactly
+//! the values written.
+//!
+//! What runs where:
+//!
+//! - **submission** (app → syscall → ext4 → bio → driver) is one CPU
+//!   burst; costs follow [`crate::costs::LayerCosts`] (Table 1);
+//! - **device** service occupies a device channel, no CPU;
+//! - **completion** starts in the driver IRQ handler. For tagged I/O in
+//!   [`DispatchMode::DriverHook`] the BPF program runs right there; a
+//!   `resubmit` recycles the descriptor (no allocation, no bio/fs) after
+//!   translating the file offset through the extent soft-state cache;
+//! - in [`DispatchMode::SyscallHook`] the completion climbs back up
+//!   through bio and ext4 first, the program runs at the syscall
+//!   dispatch layer, and the reissue pays the full fs+bio+driver
+//!   submission path (but no boundary crossing);
+//! - in [`DispatchMode::User`] everything unwinds to the application,
+//!   which parses the block and issues a fresh `pread`.
+
+use std::collections::{HashMap, HashSet};
+
+use bpfstor_device::device::{NvmeCommand, NvmeOp};
+use bpfstor_device::{DeviceProfile, NvmeDevice, SECTOR_SIZE};
+use bpfstor_fs::{ExtFs, ExtentEvent, PageCache};
+use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
+use bpfstor_vm::{action, verify, ExecEnv, MapSet, Program, RunCtx, Vm, EMIT_MAX, SCRATCH_SIZE};
+
+use crate::chain::{
+    ChainDriver, ChainOutcome, ChainStatus, DispatchMode, Fd, RunReport, UserNext,
+};
+use crate::costs::LayerCosts;
+use crate::extcache::ExtentCache;
+use crate::trace::LayerTrace;
+
+/// Machine construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// CPU cores (the paper's testbed has 6).
+    pub cores: usize,
+    /// Device model.
+    pub profile: DeviceProfile,
+    /// Layer cost model.
+    pub costs: LayerCosts,
+    /// RNG seed (device latencies, workload forks).
+    pub seed: u64,
+    /// File-system size in 512 B blocks.
+    pub fs_blocks: u64,
+    /// Page-cache capacity in blocks (buffered I/O only).
+    pub pagecache_blocks: usize,
+    /// NVMe-layer chained-resubmission bound (§4 fairness counter).
+    pub resubmit_bound: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 6,
+            profile: DeviceProfile::optane_gen2_p5800x(),
+            costs: LayerCosts::default(),
+            seed: 0xB9F5_702E,
+            fs_blocks: 1 << 22, // 2 GiB of 512 B blocks
+            pagecache_blocks: 4096,
+            resubmit_bound: 256,
+        }
+    }
+}
+
+/// Errors from control-plane operations (open/install/re-arm).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Unknown file name.
+    NoSuchFile,
+    /// Unknown fd.
+    BadFd(Fd),
+    /// Program rejected by the verifier.
+    Verifier(String),
+    /// No program installed on the fd.
+    NotInstalled,
+    /// File-system failure.
+    Fs(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NoSuchFile => write!(f, "no such file"),
+            KernelError::BadFd(fd) => write!(f, "bad fd {fd}"),
+            KernelError::Verifier(e) => write!(f, "verifier rejected program: {e}"),
+            KernelError::NotInstalled => write!(f, "no program installed on fd"),
+            KernelError::Fs(e) => write!(f, "fs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A file-system mutation scheduled to run mid-simulation (drives the
+/// invalidation experiments).
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Move every block of the file (defragmenter-style): always unmaps.
+    Relocate {
+        /// File name.
+        name: String,
+    },
+    /// Truncate the file to a byte size.
+    Truncate {
+        /// File name.
+        name: String,
+        /// New size.
+        size: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FdState {
+    ino: u64,
+    o_direct: bool,
+}
+
+struct Install {
+    prog: Program,
+    maps: MapSet,
+    flags: u32,
+}
+
+#[derive(Debug)]
+enum Ev {
+    AppStart { thread: usize },
+    DevSubmit { op: usize },
+    DeviceDone { op: usize },
+    Delivered { op: usize },
+    Mutate { idx: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Sync,
+    Uring,
+}
+
+struct Op {
+    thread: usize,
+    fd: Fd,
+    ino: u64,
+    mode: DispatchMode,
+    origin: Origin,
+    arg: u64,
+    file_off: u64,
+    len: u32,
+    hop: u32,
+    ios: u32,
+    started: Nanos,
+    data: Vec<u8>,
+    device_ns: Nanos,
+    scratch: Vec<u8>,
+    emitted: Vec<u8>,
+    status: Option<ChainStatus>,
+    o_direct: bool,
+}
+
+enum PendingSub {
+    NewChain,
+    Continue(usize),
+}
+
+struct UringState {
+    batch: u32,
+    pending: u32,
+    queue: Vec<PendingSub>,
+    reaped_since_enter: u32,
+}
+
+struct ThreadState {
+    stopped: bool,
+    uring: Option<UringState>,
+}
+
+struct HookEnv<'a> {
+    resubmit_to: Option<u64>,
+    resubmit_calls: u32,
+    emitted: &'a mut Vec<u8>,
+}
+
+impl ExecEnv for HookEnv<'_> {
+    fn resubmit(&mut self, file_off: u64) -> i64 {
+        self.resubmit_calls += 1;
+        if self.resubmit_calls > 1 {
+            return -16; // EBUSY: one recycled descriptor per completion.
+        }
+        self.resubmit_to = Some(file_off);
+        0
+    }
+
+    fn emit(&mut self, data: &[u8]) -> i64 {
+        if self.emitted.len() + data.len() > EMIT_MAX {
+            return -28; // ENOSPC
+        }
+        self.emitted.extend_from_slice(data);
+        data.len() as i64
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Current simulated time.
+    pub now: Nanos,
+    events: EventQueue<Ev>,
+    cores: Cores,
+    device: NvmeDevice,
+    fs: ExtFs,
+    pagecache: PageCache,
+    extcache: ExtentCache,
+    costs: LayerCosts,
+    rng: SimRng,
+    fds: HashMap<Fd, FdState>,
+    next_fd: Fd,
+    installs: HashMap<Fd, Install>,
+    ops: Vec<Option<Op>>,
+    free_ops: Vec<usize>,
+    threads: Vec<ThreadState>,
+    mutations: Vec<Mutation>,
+    aborting_inos: HashSet<u64>,
+    resubmit_bound: u32,
+    trace: LayerTrace,
+    latency: Histogram,
+    chains: u64,
+    ios: u64,
+    errors: u64,
+    /// §4 fairness accounting: chained resubmissions per thread, as the
+    /// NVMe layer would periodically report them to the BIO layer.
+    resubmissions: Vec<u64>,
+    until: Nanos,
+}
+
+impl Machine {
+    /// Builds a machine from its configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mut rng = SimRng::seed(cfg.seed);
+        let dev_rng = rng.fork(1);
+        Machine {
+            now: 0,
+            events: EventQueue::new(),
+            cores: Cores::new(cfg.cores),
+            device: NvmeDevice::new(cfg.profile, cfg.cores.max(1), dev_rng),
+            fs: ExtFs::mkfs(cfg.fs_blocks),
+            pagecache: PageCache::new(cfg.pagecache_blocks, SECTOR_SIZE),
+            extcache: ExtentCache::new(),
+            costs: cfg.costs,
+            rng,
+            fds: HashMap::new(),
+            next_fd: 3,
+            installs: HashMap::new(),
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            threads: Vec::new(),
+            mutations: Vec::new(),
+            aborting_inos: HashSet::new(),
+            resubmit_bound: cfg.resubmit_bound,
+            trace: LayerTrace::default(),
+            latency: Histogram::new(),
+            chains: 0,
+            ios: 0,
+            errors: 0,
+            resubmissions: Vec::new(),
+            until: 0,
+        }
+    }
+
+    // --- Control plane (untimed setup) -------------------------------------
+
+    /// Creates a file with the given contents, bypassing timing (like
+    /// imaging the disk before the experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn create_file(&mut self, name: &str, data: &[u8]) -> Result<u64, KernelError> {
+        let ino = self
+            .fs
+            .create(name)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        self.fs
+            .write(ino, 0, data, self.device.store_mut())
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        self.fs.take_events();
+        Ok(ino)
+    }
+
+    /// Opens a file, returning a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchFile`] when absent.
+    pub fn open(&mut self, name: &str, o_direct: bool) -> Result<Fd, KernelError> {
+        let ino = self.fs.open(name).map_err(|_| KernelError::NoSuchFile)?;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, FdState { ino, o_direct });
+        Ok(fd)
+    }
+
+    /// The install ioctl (§4): verifies the program, instantiates its
+    /// maps, tags the fd, and pushes the file's extent snapshot to the
+    /// NVMe layer.
+    ///
+    /// # Errors
+    ///
+    /// Verifier rejections and bad descriptors.
+    pub fn install(&mut self, fd: Fd, prog: Program, flags: u32) -> Result<(), KernelError> {
+        let st = *self.fds.get(&fd).ok_or(KernelError::BadFd(fd))?;
+        verify(&prog).map_err(|e| KernelError::Verifier(e.to_string()))?;
+        let maps =
+            MapSet::instantiate(&prog.maps).map_err(|e| KernelError::Verifier(e.to_string()))?;
+        let (_, unmap_gen) = self
+            .fs
+            .generations(st.ino)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        let snapshot = self
+            .fs
+            .extents_snapshot(st.ino)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        self.extcache.install(st.ino, snapshot, unmap_gen);
+        self.aborting_inos.remove(&st.ino);
+        self.installs.insert(fd, Install { prog, maps, flags });
+        Ok(())
+    }
+
+    /// Re-arms the extent snapshot after an invalidation (the paper's
+    /// "rerun the ioctl" recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotInstalled`] when no program is attached.
+    pub fn rearm(&mut self, fd: Fd) -> Result<(), KernelError> {
+        let st = *self.fds.get(&fd).ok_or(KernelError::BadFd(fd))?;
+        if !self.installs.contains_key(&fd) {
+            return Err(KernelError::NotInstalled);
+        }
+        let (_, unmap_gen) = self
+            .fs
+            .generations(st.ino)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        let snapshot = self
+            .fs
+            .extents_snapshot(st.ino)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        self.extcache.install(st.ino, snapshot, unmap_gen);
+        self.aborting_inos.remove(&st.ino);
+        Ok(())
+    }
+
+    /// Reads back a program's map value after a run (for stats maps).
+    pub fn map_value(&mut self, fd: Fd, map_id: u32, key: &[u8]) -> Option<Vec<u8>> {
+        let install = self.installs.get_mut(&fd)?;
+        install
+            .maps
+            .lookup(map_id, key)
+            .ok()
+            .flatten()
+            .map(|v| v.to_vec())
+    }
+
+    /// Schedules a file-system mutation at simulated time `at` in the
+    /// next run.
+    pub fn schedule_mutation(&mut self, at: Nanos, m: Mutation) {
+        let idx = self.mutations.len();
+        self.mutations.push(m);
+        self.events.push(at, Ev::Mutate { idx });
+    }
+
+    /// Direct FS access for setup/verification.
+    pub fn fs(&self) -> &ExtFs {
+        &self.fs
+    }
+
+    /// Direct mutable FS + store access for setup.
+    pub fn fs_and_store(&mut self) -> (&mut ExtFs, &mut bpfstor_device::SectorStore) {
+        (&mut self.fs, self.device.store_mut())
+    }
+
+    /// The extent-cache statistics.
+    pub fn extcache_stats(&self) -> crate::extcache::ExtCacheStats {
+        self.extcache.stats()
+    }
+
+    /// Resolves an fd to its inode (test helper).
+    pub fn ino_of(&self, fd: Fd) -> Option<u64> {
+        self.fds.get(&fd).map(|s| s.ino)
+    }
+
+    /// §4 fairness accounting: chained NVMe resubmissions per thread in
+    /// the last run — the counters the paper proposes the NVMe layer
+    /// periodically passes up to the BIO layer.
+    pub fn resubmission_accounting(&self) -> &[u64] {
+        &self.resubmissions
+    }
+
+    // --- Charging helpers ---------------------------------------------------
+
+    fn charge(&mut self, cost: Nanos) -> Nanos {
+        self.cores.run(self.now, None, cost).end
+    }
+
+    // --- Run loops -----------------------------------------------------------
+
+    /// Runs a closed-loop workload: `nthreads` application threads, each
+    /// issuing one chain at a time, until simulated time `until`.
+    pub fn run_closed_loop(
+        &mut self,
+        nthreads: usize,
+        until: Nanos,
+        driver: &mut dyn ChainDriver,
+    ) -> RunReport {
+        self.begin_run(until);
+        self.threads = (0..nthreads)
+            .map(|_| ThreadState {
+                stopped: false,
+                uring: None,
+            })
+            .collect();
+        for t in 0..nthreads {
+            // Small stagger desynchronises thread start-up.
+            self.events.push((t as Nanos) * 97, Ev::AppStart { thread: t });
+        }
+        self.event_loop(driver);
+        self.finish_run()
+    }
+
+    /// Runs an io_uring workload: each thread keeps `batch` SQEs in
+    /// flight per `io_uring_enter`, as in Figure 3d.
+    pub fn run_uring(
+        &mut self,
+        nthreads: usize,
+        batch: u32,
+        until: Nanos,
+        driver: &mut dyn ChainDriver,
+    ) -> RunReport {
+        self.begin_run(until);
+        self.threads = (0..nthreads)
+            .map(|_| ThreadState {
+                stopped: false,
+                uring: Some(UringState {
+                    batch,
+                    pending: 0,
+                    queue: Vec::new(),
+                    reaped_since_enter: 0,
+                }),
+            })
+            .collect();
+        for t in 0..nthreads {
+            self.events.push((t as Nanos) * 97, Ev::AppStart { thread: t });
+        }
+        self.event_loop(driver);
+        self.finish_run()
+    }
+
+    fn begin_run(&mut self, until: Nanos) {
+        self.until = until;
+        self.now = 0;
+        self.cores.reset();
+        self.device.reset_timing();
+        self.trace = LayerTrace::default();
+        self.latency = Histogram::new();
+        self.chains = 0;
+        self.ios = 0;
+        self.errors = 0;
+        self.resubmissions.clear();
+    }
+
+    fn finish_run(&mut self) -> RunReport {
+        let sim_time = self.now.max(1);
+        let secs = sim_time as f64 / 1e9;
+        RunReport {
+            sim_time,
+            chains: self.chains,
+            ios: self.ios,
+            errors: self.errors,
+            iops: self.ios as f64 / secs,
+            chains_per_sec: self.chains as f64 / secs,
+            latency: self.latency.clone(),
+            cpu_util: self.cores.utilization(sim_time),
+            device_util: self.device.utilization(sim_time),
+            trace: self.trace,
+            extcache: self.extcache.stats(),
+            resubmissions: self.resubmissions.iter().sum(),
+        }
+    }
+
+    fn event_loop(&mut self, driver: &mut dyn ChainDriver) {
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Ev::AppStart { thread } => self.on_app_start(thread, driver),
+                Ev::DevSubmit { op } => self.on_dev_submit(op),
+                Ev::DeviceDone { op } => self.on_device_done(op, driver),
+                Ev::Delivered { op } => self.on_delivered(op, driver),
+                Ev::Mutate { idx } => self.on_mutate(idx),
+            }
+        }
+    }
+
+    // --- Op slab --------------------------------------------------------------
+
+    fn alloc_op(&mut self, op: Op) -> usize {
+        if let Some(i) = self.free_ops.pop() {
+            self.ops[i] = Some(op);
+            i
+        } else {
+            self.ops.push(Some(op));
+            self.ops.len() - 1
+        }
+    }
+
+    fn free_op(&mut self, id: usize) {
+        self.ops[id] = None;
+        self.free_ops.push(id);
+    }
+
+    // --- Event handlers ---------------------------------------------------------
+
+    fn on_app_start(&mut self, thread: usize, driver: &mut dyn ChainDriver) {
+        if self.threads[thread].stopped {
+            return;
+        }
+        if self.threads[thread].uring.is_some() {
+            self.uring_enter(thread, driver);
+            return;
+        }
+        if self.now >= self.until {
+            self.threads[thread].stopped = true;
+            return;
+        }
+        let mut rng = self.rng.fork(thread as u64 * 7919 + self.chains);
+        let Some(start) = driver.next_chain(thread, &mut rng) else {
+            self.threads[thread].stopped = true;
+            return;
+        };
+        let mode = driver.mode();
+        self.start_chain(
+            thread,
+            start.fd,
+            start.file_off,
+            start.len,
+            start.arg,
+            mode,
+            Origin::Sync,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_chain(
+        &mut self,
+        thread: usize,
+        fd: Fd,
+        file_off: u64,
+        len: u32,
+        arg: u64,
+        mode: DispatchMode,
+        origin: Origin,
+    ) -> Option<usize> {
+        let st = self.fds.get(&fd).copied()?;
+        let mut scratch = vec![0u8; SCRATCH_SIZE];
+        scratch[..8].copy_from_slice(&arg.to_le_bytes());
+        let op = Op {
+            thread,
+            fd,
+            ino: st.ino,
+            mode,
+            origin,
+            arg,
+            file_off,
+            len,
+            hop: 0,
+            ios: 0,
+            started: self.now,
+            data: Vec::new(),
+            device_ns: 0,
+            scratch,
+            emitted: Vec::new(),
+            status: None,
+            o_direct: st.o_direct,
+        };
+        let id = self.alloc_op(op);
+        if origin == Origin::Sync {
+            // App think + full submission burst in one CPU job.
+            let cost = self.costs.app_think + self.costs.sync_submit();
+            let end = self.charge(cost);
+            self.trace.app += self.costs.app_think;
+            self.account_submit_trace();
+            self.events.push(end, Ev::DevSubmit { op: id });
+        }
+        Some(id)
+    }
+
+    fn account_submit_trace(&mut self) {
+        self.trace.crossing += self.costs.crossing_enter;
+        self.trace.syscall += self.costs.syscall;
+        self.trace.fs += self.costs.fs_submit;
+        self.trace.bio += self.costs.bio_submit;
+        self.trace.drv += self.costs.drv_submit;
+    }
+
+    /// Issues the op's current target to the device. Translation goes
+    /// through the FS for first hops / user paths and through the extent
+    /// cache for recycled driver-hook hops (the caller has already done
+    /// that and set `file_off` to a translated-able offset).
+    fn on_dev_submit(&mut self, id: usize) {
+        let Some(op) = self.ops[id].as_mut() else {
+            return;
+        };
+        let nblocks = (op.len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
+        let lb = op.file_off / SECTOR_SIZE as u64;
+        // Buffered path: page-cache hit skips the device entirely.
+        if !op.o_direct {
+            if let Some(data) = self.pagecache.get((op.ino, lb)) {
+                let data = data.to_vec();
+                let op = self.ops[id].as_mut().expect("op exists");
+                op.data = data;
+                let cost = self.costs.pagecache_hit;
+                let end = self.charge(cost);
+                self.trace.fs += cost;
+                self.events.push(end, Ev::DeviceDone { op: id });
+                return;
+            }
+        }
+        // Translate logical blocks to physical segments via the FS (the
+        // normal submission path did this work inside fs_submit cost).
+        let ino = self.ops[id].as_ref().expect("op").ino;
+        let mut segments: Vec<(u64, u32)> = Vec::new();
+        let mut remaining = nblocks;
+        let mut cur = lb;
+        while remaining > 0 {
+            match self.fs.map(ino, cur) {
+                Ok(Some((phys, run))) => {
+                    let take = remaining.min(run) as u32;
+                    segments.push((phys, take));
+                    cur += take as u64;
+                    remaining -= take as u64;
+                }
+                _ => break,
+            }
+        }
+        if segments.is_empty() || remaining > 0 {
+            let op = self.ops[id].as_mut().expect("op");
+            op.status = Some(ChainStatus::IoError);
+            let cost = self.costs.sync_complete();
+            let end = self.charge(cost);
+            self.events.push(end, Ev::Delivered { op: id });
+            return;
+        }
+        // Extra bio/driver work for each split segment beyond the first.
+        let extra = (segments.len() as u64 - 1)
+            * (self.costs.bio_submit + self.costs.drv_submit);
+        if extra > 0 {
+            let end = self.charge(extra);
+            self.trace.bio += extra;
+            let _ = end;
+        }
+        // Issue all segments; completion fires when the last lands.
+        let mut assembled = Vec::with_capacity((nblocks as usize) * SECTOR_SIZE);
+        let mut last_done = self.now;
+        let mut device_ns_total = 0;
+        let qp = self.ops[id].as_ref().expect("op").thread % self.device.nr_queues();
+        for (phys, take) in &segments {
+            let cid = self.ios;
+            self.ios += 1;
+            let completion = self
+                .device
+                .submit_and_ring(
+                    self.now,
+                    qp,
+                    NvmeCommand {
+                        cid,
+                        op: NvmeOp::Read {
+                            slba: *phys,
+                            nlb: *take,
+                        },
+                    },
+                )
+                .expect("queue depth sized for the workload");
+            last_done = last_done.max(completion.complete_at);
+            device_ns_total += completion.complete_at.saturating_sub(self.now);
+            assembled.extend_from_slice(&completion.data);
+        }
+        let op = self.ops[id].as_mut().expect("op");
+        op.ios += segments.len() as u32;
+        op.data = assembled;
+        op.device_ns = device_ns_total;
+        self.trace.device += device_ns_total;
+        self.trace.ios += segments.len() as u64;
+        if !op.o_direct {
+            // Populate the page cache on the miss path (single-block ops).
+            if nblocks == 1 {
+                let (ino, data) = (op.ino, op.data.clone());
+                self.pagecache.insert((ino, lb), &data);
+            }
+        }
+        self.events.push(last_done, Ev::DeviceDone { op: id });
+    }
+
+    fn on_device_done(&mut self, id: usize, driver: &mut dyn ChainDriver) {
+        let Some(op_ref) = self.ops[id].as_ref() else {
+            return;
+        };
+        // Mid-chain invalidation: discard recycled I/O (§4).
+        if op_ref.mode == DispatchMode::DriverHook
+            && self.aborting_inos.contains(&op_ref.ino)
+        {
+            let op = self.ops[id].as_mut().expect("op");
+            op.status = Some(ChainStatus::Invalidated);
+            let cost = self.costs.sync_complete();
+            let end = self.charge(cost);
+            self.account_complete_trace();
+            self.events.push(end, Ev::Delivered { op: id });
+            return;
+        }
+        match op_ref.mode {
+            DispatchMode::User => {
+                let cost = self.costs.sync_complete();
+                let end = self.charge(cost);
+                self.account_complete_trace();
+                self.events.push(end, Ev::Delivered { op: id });
+            }
+            DispatchMode::DriverHook => self.hook_at_driver(id),
+            DispatchMode::SyscallHook => self.hook_at_syscall(id),
+        }
+        let _ = driver;
+    }
+
+    fn account_complete_trace(&mut self) {
+        self.trace.drv += self.costs.drv_complete;
+        self.trace.bio += self.costs.bio_complete;
+        self.trace.fs += self.costs.fs_complete;
+        self.trace.crossing += self.costs.crossing_exit;
+    }
+
+    /// Runs the installed program over the completed block; returns
+    /// `(status_if_terminal, resubmit_target, insns)`.
+    fn run_hook_program(
+        &mut self,
+        id: usize,
+    ) -> (Option<ChainStatus>, Option<u64>, u64) {
+        let mut op = self.ops[id].take().expect("op exists");
+        let result = {
+            let Some(install) = self.installs.get_mut(&op.fd) else {
+                op.status = Some(ChainStatus::VmError("no program installed".to_string()));
+                self.ops[id] = Some(op);
+                return (Some(ChainStatus::VmError("no program".to_string())), None, 0);
+            };
+            let mut env = HookEnv {
+                resubmit_to: None,
+                resubmit_calls: 0,
+                emitted: &mut op.emitted,
+            };
+            let ctx = RunCtx {
+                data: &op.data,
+                file_off: op.file_off,
+                hop: op.hop,
+                flags: install.flags,
+                scratch: &mut op.scratch,
+            };
+            let r = Vm::new().run(&install.prog, ctx, &mut install.maps, &mut env);
+            r.map(|out| (out, env.resubmit_to, env.resubmit_calls))
+        };
+        let ret = match result {
+            Err(trap) => {
+                let s = ChainStatus::VmError(trap.to_string());
+                op.status = Some(s.clone());
+                self.ops[id] = Some(op);
+                return (Some(s), None, 0);
+            }
+            Ok((out, resubmit_to, resubmit_calls)) => {
+                let insns = out.insns;
+                let status = match out.ret {
+                    action::ACT_RESUBMIT => {
+                        if resubmit_calls == 1 && resubmit_to.is_some() {
+                            None // chain continues
+                        } else {
+                            Some(ChainStatus::VmError(
+                                "ACT_RESUBMIT without exactly one resubmit call".to_string(),
+                            ))
+                        }
+                    }
+                    action::ACT_EMIT => {
+                        if resubmit_calls > 0 {
+                            Some(ChainStatus::VmError(
+                                "resubmit called but action is EMIT".to_string(),
+                            ))
+                        } else {
+                            Some(ChainStatus::Emitted(op.emitted.clone()))
+                        }
+                    }
+                    action::ACT_PASS => Some(ChainStatus::Pass(op.data.clone())),
+                    action::ACT_HALT => Some(ChainStatus::Halted),
+                    other => Some(ChainStatus::VmError(format!("unknown action {other}"))),
+                };
+                (status, resubmit_to, insns)
+            }
+        };
+        op.status = ret.0.clone();
+        self.ops[id] = Some(op);
+        ret
+    }
+
+    fn hook_at_driver(&mut self, id: usize) {
+        let (terminal, resubmit_to, insns) = self.run_hook_program(id);
+        let bpf_cost = self.costs.bpf_exec(insns);
+        self.trace.bpf += bpf_cost;
+        match terminal {
+            None => {
+                let target = resubmit_to.expect("resubmit target");
+                let op = self.ops[id].as_mut().expect("op");
+                let nblocks = (op.len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
+                // §4 fairness: bound chained resubmissions per process.
+                if op.hop + 1 >= self.resubmit_bound {
+                    op.status = Some(ChainStatus::BoundExceeded);
+                    let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                        - self.costs.drv_complete;
+                    let end = self.charge(cost);
+                    self.account_complete_trace();
+                    self.events.push(end, Ev::Delivered { op: id });
+                    return;
+                }
+                // Translate through the extent soft-state cache.
+                let ino = op.ino;
+                let lb = target / SECTOR_SIZE as u64;
+                let cache_cost = self.costs.extent_cache_lookup;
+                match self.extcache.lookup(ino, lb) {
+                    Some((_phys, run)) if run >= nblocks => {
+                        let op = self.ops[id].as_mut().expect("op");
+                        op.file_off = target;
+                        op.hop += 1;
+                        let thread = op.thread;
+                        if self.resubmissions.len() <= thread {
+                            self.resubmissions.resize(thread + 1, 0);
+                        }
+                        self.resubmissions[thread] += 1;
+                        let cost = self.costs.drv_complete
+                            + bpf_cost
+                            + cache_cost
+                            + self.costs.recycle_submit;
+                        let end = self.charge(cost);
+                        self.trace.drv += self.costs.drv_complete + self.costs.recycle_submit;
+                        self.trace.extent_cache += cache_cost;
+                        self.events.push(end, Ev::DevSubmit { op: id });
+                    }
+                    Some(_) => {
+                        // Crosses a physical extent boundary: BIO-path
+                        // fallback; the buffer goes back to the app.
+                        let op = self.ops[id].as_mut().expect("op");
+                        op.file_off = target;
+                        op.status = Some(ChainStatus::SplitFallback {
+                            file_off: target,
+                            data: op.data.clone(),
+                        });
+                        let cost =
+                            self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                                - self.costs.drv_complete;
+                        let end = self.charge(cost);
+                        self.account_complete_trace();
+                        self.trace.extent_cache += cache_cost;
+                        self.events.push(end, Ev::Delivered { op: id });
+                    }
+                    None => {
+                        let op = self.ops[id].as_mut().expect("op");
+                        op.status = Some(ChainStatus::ExtentMiss);
+                        let cost =
+                            self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                                - self.costs.drv_complete;
+                        let end = self.charge(cost);
+                        self.account_complete_trace();
+                        self.trace.extent_cache += cache_cost;
+                        self.events.push(end, Ev::Delivered { op: id });
+                    }
+                }
+            }
+            Some(_) => {
+                // Terminal: the completion unwinds the full stack once.
+                let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                    - self.costs.drv_complete;
+                let end = self.charge(cost);
+                self.account_complete_trace();
+                self.events.push(end, Ev::Delivered { op: id });
+            }
+        }
+    }
+
+    fn hook_at_syscall(&mut self, id: usize) {
+        // Completion unwinds driver → bio → fs, then the hook runs at the
+        // syscall dispatch layer.
+        let (terminal, resubmit_to, insns) = self.run_hook_program(id);
+        let bpf_cost = self.costs.bpf_exec(insns);
+        self.trace.bpf += bpf_cost;
+        let unwind = self.costs.drv_complete + self.costs.bio_complete + self.costs.fs_complete;
+        match terminal {
+            None => {
+                let target = resubmit_to.expect("resubmit target");
+                let op = self.ops[id].as_mut().expect("op");
+                if op.hop + 1 >= self.resubmit_bound {
+                    op.status = Some(ChainStatus::BoundExceeded);
+                    let cost = unwind + bpf_cost + self.costs.crossing_exit;
+                    let end = self.charge(cost);
+                    self.trace.drv += self.costs.drv_complete;
+                    self.trace.bio += self.costs.bio_complete;
+                    self.trace.fs += self.costs.fs_complete;
+                    self.trace.crossing += self.costs.crossing_exit;
+                    self.events.push(end, Ev::Delivered { op: id });
+                    return;
+                }
+                op.file_off = target;
+                op.hop += 1;
+                // Reissue skips only the boundary crossing and the app:
+                // syscall + fs + bio + driver submission all run again.
+                let resubmit = self.costs.syscall
+                    + self.costs.fs_submit
+                    + self.costs.bio_submit
+                    + self.costs.drv_submit;
+                let cost = unwind + bpf_cost + resubmit;
+                let end = self.charge(cost);
+                self.trace.drv += self.costs.drv_complete + self.costs.drv_submit;
+                self.trace.bio += self.costs.bio_complete + self.costs.bio_submit;
+                self.trace.fs += self.costs.fs_complete + self.costs.fs_submit;
+                self.trace.syscall += self.costs.syscall;
+                self.events.push(end, Ev::DevSubmit { op: id });
+            }
+            Some(_) => {
+                let cost = unwind + bpf_cost + self.costs.crossing_exit;
+                let end = self.charge(cost);
+                self.trace.drv += self.costs.drv_complete;
+                self.trace.bio += self.costs.bio_complete;
+                self.trace.fs += self.costs.fs_complete;
+                self.trace.crossing += self.costs.crossing_exit;
+                self.events.push(end, Ev::Delivered { op: id });
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, id: usize, driver: &mut dyn ChainDriver) {
+        let op = self.ops[id].as_ref().expect("op exists");
+        let thread = op.thread;
+        let origin = op.origin;
+        // User-mode chains may continue from the application.
+        if op.mode == DispatchMode::User && op.status.is_none() {
+            let data = op.data.clone();
+            let arg = op.arg;
+            match driver.user_step(thread, arg, &data) {
+                UserNext::Continue(next_off) => {
+                    let op = self.ops[id].as_mut().expect("op");
+                    op.file_off = next_off;
+                    op.hop += 1;
+                    match origin {
+                        Origin::Sync => {
+                            let cost = self.costs.app_think + self.costs.sync_submit();
+                            let end = self.charge(cost);
+                            self.trace.app += self.costs.app_think;
+                            self.account_submit_trace();
+                            self.events.push(end, Ev::DevSubmit { op: id });
+                        }
+                        Origin::Uring => {
+                            // Queue the continuation for the next enter.
+                            let ur = self.threads[thread]
+                                .uring
+                                .as_mut()
+                                .expect("uring thread");
+                            ur.queue.push(PendingSub::Continue(id));
+                            self.uring_cqe_arrived(thread);
+                        }
+                    }
+                    return;
+                }
+                UserNext::Done => {
+                    let op = self.ops[id].as_mut().expect("op");
+                    op.status = Some(ChainStatus::Pass(data));
+                }
+            }
+        }
+        // Chain is terminal.
+        let op = self.ops[id].as_ref().expect("op");
+        let status = op.status.clone().unwrap_or(ChainStatus::IoError);
+        let outcome = ChainOutcome {
+            thread,
+            arg: op.arg,
+            status: status.clone(),
+            ios: op.ios,
+            latency: self.now.saturating_sub(op.started),
+        };
+        self.chains += 1;
+        if !status.is_ok() {
+            self.errors += 1;
+        }
+        self.latency.record(outcome.latency);
+        driver.chain_done(thread, &outcome);
+        self.free_op(id);
+        match origin {
+            Origin::Sync => {
+                self.events.push(self.now, Ev::AppStart { thread });
+            }
+            Origin::Uring => {
+                let ur = self.threads[thread].uring.as_mut().expect("uring thread");
+                ur.queue.push(PendingSub::NewChain);
+                self.uring_cqe_arrived(thread);
+            }
+        }
+    }
+
+    fn uring_cqe_arrived(&mut self, thread: usize) {
+        let ur = self.threads[thread].uring.as_mut().expect("uring thread");
+        ur.pending -= 1;
+        ur.reaped_since_enter += 1;
+        if ur.pending == 0 {
+            // The blocked io_uring_enter wakes: charge the exit crossing.
+            let cost = self.costs.crossing_exit;
+            let end = self.charge(cost);
+            self.trace.crossing += self.costs.crossing_exit;
+            self.events.push(end, Ev::AppStart { thread });
+        }
+    }
+
+    fn uring_enter(&mut self, thread: usize, driver: &mut dyn ChainDriver) {
+        if self.now >= self.until {
+            self.threads[thread].stopped = true;
+            return;
+        }
+        let (batch, queue_len) = {
+            let ur = self.threads[thread].uring.as_ref().expect("uring");
+            (ur.batch, ur.queue.len())
+        };
+        // First enter of the run: fill the queue with fresh chains.
+        if queue_len == 0 {
+            let ur = self.threads[thread].uring.as_mut().expect("uring");
+            for _ in 0..batch {
+                ur.queue.push(PendingSub::NewChain);
+            }
+        }
+        let queue = {
+            let ur = self.threads[thread].uring.as_mut().expect("uring");
+            ur.reaped_since_enter = 0;
+            std::mem::take(&mut ur.queue)
+        };
+        let mode = driver.mode();
+        let mut submitted: Vec<usize> = Vec::new();
+        let mut app_work: Nanos = 0;
+        for sub in queue {
+            match sub {
+                PendingSub::NewChain => {
+                    let mut rng = self.rng.fork(thread as u64 * 6151 + self.chains);
+                    let Some(start) = driver.next_chain(thread, &mut rng) else {
+                        continue;
+                    };
+                    app_work += self.costs.app_think;
+                    if let Some(id) = self.start_chain(
+                        thread,
+                        start.fd,
+                        start.file_off,
+                        start.len,
+                        start.arg,
+                        mode,
+                        Origin::Uring,
+                    ) {
+                        submitted.push(id);
+                    }
+                }
+                PendingSub::Continue(id) => {
+                    app_work += self.costs.app_think;
+                    submitted.push(id);
+                }
+            }
+        }
+        if submitted.is_empty() {
+            self.threads[thread].stopped = true;
+            return;
+        }
+        // One crossing for the whole batch; per-SQE kernel work covers
+        // the uring + fs + bio + driver submission of each request.
+        let per_sqe = self.costs.uring_sqe
+            + self.costs.fs_submit
+            + self.costs.bio_submit
+            + self.costs.drv_submit;
+        let reap_cost = self.costs.uring_cqe * submitted.len() as u64;
+        let cost = app_work
+            + self.costs.crossing_enter
+            + per_sqe * submitted.len() as u64
+            + reap_cost;
+        let end = self.charge(cost);
+        self.trace.app += app_work;
+        self.trace.crossing += self.costs.crossing_enter;
+        self.trace.syscall += (self.costs.uring_sqe + self.costs.uring_cqe)
+            * submitted.len() as u64;
+        self.trace.fs += self.costs.fs_submit * submitted.len() as u64;
+        self.trace.bio += self.costs.bio_submit * submitted.len() as u64;
+        self.trace.drv += self.costs.drv_submit * submitted.len() as u64;
+        let n = submitted.len() as u32;
+        for id in submitted {
+            self.events.push(end, Ev::DevSubmit { op: id });
+        }
+        let ur = self.threads[thread].uring.as_mut().expect("uring");
+        ur.pending = n;
+    }
+
+    fn on_mutate(&mut self, idx: usize) {
+        let m = self.mutations[idx].clone();
+        match m {
+            Mutation::Relocate { name } => {
+                if let Ok(ino) = self.fs.open(&name) {
+                    let _ = self.fs.relocate(ino, self.device.store_mut());
+                }
+            }
+            Mutation::Truncate { name, size } => {
+                if let Ok(ino) = self.fs.open(&name) {
+                    let _ = self.fs.truncate(ino, size, self.device.store_mut());
+                }
+            }
+        }
+        // The §4 invalidation hook: unmap events kill the NVMe-layer
+        // snapshot and doom in-flight recycled I/Os on that inode.
+        for ev in self.fs.take_events() {
+            if let ExtentEvent::Unmapped { ino, .. } = ev {
+                self.extcache.invalidate(ino);
+                self.aborting_inos.insert(ino);
+                self.pagecache.invalidate_inode(ino);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-layer time accounting (regenerates Table 1).
+//!
+//! Every nanosecond the machine charges to a CPU or waits on the device
+//! is also attributed to a layer bucket here. The `table1` bench divides
+//! the buckets by the I/O count to print the paper's breakdown.
+
+use bpfstor_sim::Nanos;
+
+/// Accumulated nanoseconds per layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// Kernel boundary crossings (enter + exit).
+    pub crossing: Nanos,
+    /// Read-syscall / io_uring dispatch layer.
+    pub syscall: Nanos,
+    /// File system (submission + completion halves).
+    pub fs: Nanos,
+    /// Block layer.
+    pub bio: Nanos,
+    /// NVMe driver (including descriptor recycling).
+    pub drv: Nanos,
+    /// Device service time.
+    pub device: Nanos,
+    /// Application-level work (reap, parse, reissue).
+    pub app: Nanos,
+    /// BPF program execution at hooks.
+    pub bpf: Nanos,
+    /// NVMe-layer extent-cache lookups.
+    pub extent_cache: Nanos,
+    /// I/Os sampled.
+    pub ios: u64,
+}
+
+impl LayerTrace {
+    /// Total software time (everything but the device).
+    pub fn software(&self) -> Nanos {
+        self.crossing + self.syscall + self.fs + self.bio + self.drv + self.app + self.bpf
+            + self.extent_cache
+    }
+
+    /// Average nanoseconds per I/O for a bucket total.
+    pub fn per_io(&self, bucket: Nanos) -> f64 {
+        if self.ios == 0 {
+            0.0
+        } else {
+            bucket as f64 / self.ios as f64
+        }
+    }
+
+    /// Rows of the Table 1 layout: `(label, total ns)`.
+    pub fn rows(&self) -> Vec<(&'static str, Nanos)> {
+        vec![
+            ("kernel crossing", self.crossing),
+            ("read syscall", self.syscall),
+            ("ext4", self.fs),
+            ("bio", self.bio),
+            ("NVMe driver", self.drv),
+            ("BPF exec", self.bpf),
+            ("extent cache", self.extent_cache),
+            ("application", self.app),
+            ("storage device", self.device),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_excludes_device() {
+        let t = LayerTrace {
+            crossing: 10,
+            syscall: 20,
+            fs: 30,
+            bio: 40,
+            drv: 50,
+            device: 1000,
+            app: 5,
+            bpf: 2,
+            extent_cache: 1,
+            ios: 1,
+        };
+        assert_eq!(t.software(), 158);
+    }
+
+    #[test]
+    fn per_io_averages() {
+        let t = LayerTrace {
+            fs: 4000,
+            ios: 2,
+            ..LayerTrace::default()
+        };
+        assert!((t.per_io(t.fs) - 2000.0).abs() < 1e-9);
+        let empty = LayerTrace::default();
+        assert_eq!(empty.per_io(100), 0.0);
+    }
+
+    #[test]
+    fn rows_cover_all_buckets() {
+        let t = LayerTrace::default();
+        assert_eq!(t.rows().len(), 9);
+    }
+}

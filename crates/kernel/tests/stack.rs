@@ -1,0 +1,419 @@
+//! End-to-end tests of the simulated storage stack: real bytes flow
+//! from the device through the hooks and back, and the three dispatch
+//! paths of Figure 2 produce the latency ordering the paper reports.
+
+use bpfstor_device::SECTOR_SIZE;
+use bpfstor_kernel::{
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, Machine,
+    MachineConfig, Mutation, UserNext,
+};
+use bpfstor_sim::{Nanos, SimRng, MILLISECOND, SECOND};
+use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
+
+/// Sentinel marking the last block of a pointer chain.
+const SENTINEL: u64 = u64::MAX;
+
+/// Builds a file of `n` blocks where block `i` holds the byte offset of
+/// block `i+1` in its first 8 bytes; the last block holds the sentinel
+/// and a recognisable value in bytes 8..16.
+fn chain_file(n: usize) -> Vec<u8> {
+    let mut data = vec![0u8; n * SECTOR_SIZE];
+    for i in 0..n {
+        let at = i * SECTOR_SIZE;
+        if i + 1 < n {
+            let next = ((i + 1) * SECTOR_SIZE) as u64;
+            data[at..at + 8].copy_from_slice(&next.to_le_bytes());
+        } else {
+            data[at..at + 8].copy_from_slice(&SENTINEL.to_le_bytes());
+            data[at + 8..at + 16].copy_from_slice(&0xABAD_1DEA_F00D_CAFEu64.to_le_bytes());
+        }
+    }
+    data
+}
+
+/// The BPF pointer-chase program: read the next offset from the block;
+/// resubmit until the sentinel, then emit the 8-byte value.
+fn chase_program() -> Program {
+    let mut a = Asm::new();
+    a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+        .ldx(Width::DW, 7, 1, ctx_off::DATA_END)
+        .mov64_reg(8, 6)
+        .add64_imm(8, 16)
+        .jgt_reg(8, 7, "halt") // need 16 readable bytes
+        .ldx(Width::DW, 2, 6, 0) // next offset or sentinel
+        .ld_imm64(3, SENTINEL)
+        .jeq_reg(2, 3, "emit")
+        .mov64_reg(1, 2)
+        .call(helper::RESUBMIT)
+        .mov64_imm(0, action::ACT_RESUBMIT as i32)
+        .exit()
+        .label("emit")
+        .mov64_reg(1, 6)
+        .add64_imm(1, 8)
+        .mov64_imm(2, 8)
+        .call(helper::EMIT)
+        .mov64_imm(0, action::ACT_EMIT as i32)
+        .exit()
+        .label("halt")
+        .mov64_imm(0, action::ACT_HALT as i32)
+        .exit();
+    Program::new(a.finish().expect("assembles"))
+}
+
+/// Drives `max_chains` pointer-chase chains.
+struct ChaseDriver {
+    fd: Fd,
+    mode: DispatchMode,
+    max_chains: u64,
+    issued: u64,
+    outcomes: Vec<ChainOutcome>,
+}
+
+impl ChaseDriver {
+    fn new(fd: Fd, mode: DispatchMode, max_chains: u64) -> Self {
+        ChaseDriver {
+            fd,
+            mode,
+            max_chains,
+            issued: 0,
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+impl ChainDriver for ChaseDriver {
+    fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    fn next_chain(&mut self, _thread: usize, _rng: &mut SimRng) -> Option<ChainStart> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        self.issued += 1;
+        Some(ChainStart {
+            fd: self.fd,
+            file_off: 0,
+            len: SECTOR_SIZE as u32,
+            arg: 0,
+        })
+    }
+
+    fn user_step(&mut self, _thread: usize, _arg: u64, data: &[u8]) -> UserNext {
+        let next = u64::from_le_bytes(data[..8].try_into().expect("8B"));
+        if next == SENTINEL {
+            UserNext::Done
+        } else {
+            UserNext::Continue(next)
+        }
+    }
+
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+        self.outcomes.push(outcome.clone());
+    }
+}
+
+fn setup(n_blocks: usize, mode: DispatchMode) -> (Machine, ChaseDriver) {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("chain.db", &chain_file(n_blocks)).expect("create");
+    let fd = m.open("chain.db", true).expect("open");
+    if mode != DispatchMode::User {
+        m.install(fd, chase_program(), 0).expect("install");
+    }
+    (m, ChaseDriver::new(fd, mode, 4))
+}
+
+#[test]
+fn user_mode_chain_walks_and_returns_last_block() {
+    let (mut m, mut d) = setup(8, DispatchMode::User);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 4);
+    for o in &d.outcomes {
+        assert_eq!(o.ios, 8, "eight hops for eight blocks");
+        match &o.status {
+            ChainStatus::Pass(data) => {
+                assert_eq!(
+                    u64::from_le_bytes(data[8..16].try_into().expect("8B")),
+                    0xABAD_1DEA_F00D_CAFE
+                );
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ios, 32);
+}
+
+#[test]
+fn driver_hook_chain_emits_correct_value_with_fewer_cpu_cycles() {
+    let (mut m, mut d) = setup(8, DispatchMode::DriverHook);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 4);
+    for o in &d.outcomes {
+        assert_eq!(o.ios, 8);
+        match &o.status {
+            ChainStatus::Emitted(v) => {
+                assert_eq!(
+                    u64::from_le_bytes(v[..8].try_into().expect("8B")),
+                    0xABAD_1DEA_F00D_CAFE
+                );
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.extcache.hits >= 7 * 4,
+        "recycled hops translate via the extent cache"
+    );
+}
+
+#[test]
+fn syscall_hook_chain_works() {
+    let (mut m, mut d) = setup(8, DispatchMode::SyscallHook);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 4);
+    for o in &d.outcomes {
+        assert!(matches!(o.status, ChainStatus::Emitted(_)), "{:?}", o.status);
+    }
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn latency_ordering_matches_figure_3c() {
+    // driver hook < syscall hook < user, for deep chains.
+    let mut lat = Vec::new();
+    for mode in DispatchMode::ALL {
+        let (mut m, mut d) = setup(10, mode);
+        let report = m.run_closed_loop(1, SECOND, &mut d);
+        lat.push((mode, report.mean_latency()));
+    }
+    let user = lat[0].1;
+    let syscall = lat[1].1;
+    let driver = lat[2].1;
+    assert!(
+        driver < syscall && syscall < user,
+        "expected driver < syscall < user, got {lat:?}"
+    );
+    // Paper: driver-hook latency cut approaches ~49% at depth 10.
+    let cut = 1.0 - driver / user;
+    assert!(
+        (0.30..0.60).contains(&cut),
+        "driver-hook latency cut {cut:.2} outside the paper's band"
+    );
+}
+
+#[test]
+fn single_read_latency_matches_table1_total() {
+    // One-block chain = one plain 512B O_DIRECT read. Mean end-to-end
+    // latency should sit at Table 1's 6.27us plus app think time.
+    let (mut m, mut d) = setup(1, DispatchMode::User);
+    d.max_chains = 200;
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    let expect = 6272.0 + 1000.0;
+    let got = report.mean_latency();
+    assert!(
+        (got - expect).abs() / expect < 0.03,
+        "mean latency {got} vs expected {expect}"
+    );
+}
+
+#[test]
+fn extent_miss_without_install_snapshot() {
+    // Install, then invalidate via relocation before running: chains see
+    // ExtentMiss (or Invalidated) until rearm.
+    let (mut m, mut d) = setup(8, DispatchMode::DriverHook);
+    m.schedule_mutation(0, Mutation::Relocate {
+        name: "chain.db".to_string(),
+    });
+    let _ = m.run_closed_loop(1, 10 * MILLISECOND, &mut d);
+    assert!(
+        d.outcomes
+            .iter()
+            .all(|o| matches!(
+                o.status,
+                ChainStatus::ExtentMiss | ChainStatus::Invalidated
+            )),
+        "chains must fail after invalidation: {:?}",
+        d.outcomes.iter().map(|o| &o.status).collect::<Vec<_>>()
+    );
+    // Re-arm and run again: everything works.
+    let fd = d.fd;
+    m.rearm(fd).expect("rearm");
+    let mut d2 = ChaseDriver::new(fd, DispatchMode::DriverHook, 2);
+    let report = m.run_closed_loop(1, SECOND, &mut d2);
+    assert_eq!(report.errors, 0, "re-armed chains succeed");
+    assert!(d2.outcomes.iter().all(|o| o.status.is_ok()));
+}
+
+#[test]
+fn resubmission_bound_enforced() {
+    let cfg = MachineConfig {
+        resubmit_bound: 4,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.create_file("chain.db", &chain_file(16)).expect("create");
+    let fd = m.open("chain.db", true).expect("open");
+    m.install(fd, chase_program(), 0).expect("install");
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let _ = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 1);
+    assert_eq!(
+        d.outcomes[0].status,
+        ChainStatus::BoundExceeded,
+        "16-hop chain must trip a bound of 4"
+    );
+}
+
+#[test]
+fn uring_driver_hook_completes_chains() {
+    let (mut m, mut d) = setup(8, DispatchMode::DriverHook);
+    d.max_chains = 12;
+    let report = m.run_uring(1, 4, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 12);
+    assert!(d.outcomes.iter().all(|o| o.status.is_ok()));
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn uring_user_mode_completes_chains() {
+    let (mut m, mut d) = setup(6, DispatchMode::User);
+    d.max_chains = 8;
+    let report = m.run_uring(1, 4, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 8);
+    for o in &d.outcomes {
+        assert!(matches!(o.status, ChainStatus::Pass(_)), "{:?}", o.status);
+        assert_eq!(o.ios, 6);
+    }
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let (mut m, mut d) = setup(8, DispatchMode::DriverHook);
+        d.max_chains = 50;
+        let r = m.run_closed_loop(2, SECOND, &mut d);
+        (r.chains, r.ios, r.sim_time, r.mean_latency().to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn multithreaded_throughput_scales_then_saturates() {
+    // Baseline user-mode: 6 threads scale near-linearly; at 12 threads
+    // the 6 cores are CPU-saturated and throughput is capped at
+    // cores / cpu-per-io — the regime where Figure 3b's driver hook
+    // shows its largest improvement.
+    let run_at = |threads: usize| -> (f64, f64) {
+        let mut m = Machine::new(MachineConfig::default());
+        m.create_file("chain.db", &chain_file(4)).expect("create");
+        let fd = m.open("chain.db", true).expect("open");
+        let mut d = ChaseDriver::new(fd, DispatchMode::User, u64::MAX);
+        let r = m.run_closed_loop(threads, 20 * MILLISECOND, &mut d);
+        (r.iops, r.cpu_util)
+    };
+    let (one, _) = run_at(1);
+    let (six, _) = run_at(6);
+    let (twelve, util12) = run_at(12);
+    assert!(six > one * 4.0, "6 threads should scale: {one} -> {six}");
+    assert!(util12 > 0.95, "12 threads must saturate 6 cores: {util12}");
+    // CPU cap: 6 cores / (app 1000 + submit 2123 + complete 925) ns.
+    let cap = 6.0 / 4048e-9;
+    assert!(
+        (twelve - cap).abs() / cap < 0.05,
+        "12-thread IOPS {twelve} should sit at the CPU cap {cap}"
+    );
+}
+
+#[test]
+fn buffered_reads_hit_page_cache() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("chain.db", &chain_file(1)).expect("create");
+    let fd = m.open("chain.db", false).expect("open buffered");
+    let mut d = ChaseDriver::new(fd, DispatchMode::User, 50);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    // First read misses; the other 49 hit the cache and skip the device.
+    assert_eq!(report.ios, 1, "only the first read reaches the device");
+    assert!(report.mean_latency() < 6272.0, "cache hits are fast");
+}
+
+#[test]
+fn vm_error_surfaces_as_chain_error() {
+    // A program that claims RESUBMIT without calling the helper.
+    let mut a = Asm::new();
+    a.mov64_imm(0, action::ACT_RESUBMIT as i32).exit();
+    let prog = Program::new(a.finish().expect("assembles"));
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("f", &chain_file(2)).expect("create");
+    let fd = m.open("f", true).expect("open");
+    m.install(fd, prog, 0).expect("install verifies fine");
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(report.errors, 1);
+    assert!(matches!(d.outcomes[0].status, ChainStatus::VmError(_)));
+}
+
+#[test]
+fn unverifiable_program_rejected_at_install() {
+    let mut a = Asm::new();
+    a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+        .ldx(Width::B, 0, 2, 0) // unchecked data access
+        .exit();
+    let prog = Program::new(a.finish().expect("assembles"));
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("f", &chain_file(1)).expect("create");
+    let fd = m.open("f", true).expect("open");
+    let err = m.install(fd, prog, 0).unwrap_err();
+    assert!(matches!(err, bpfstor_kernel::KernelError::Verifier(_)));
+}
+
+#[test]
+fn deep_chain_latency_reduction_grows_with_depth() {
+    let cut_at = |depth: usize| -> f64 {
+        let mut user = 0.0;
+        let mut driver = 0.0;
+        for mode in [DispatchMode::User, DispatchMode::DriverHook] {
+            let (mut m, mut d) = setup(depth, mode);
+            d.max_chains = 8;
+            let r = m.run_closed_loop(1, SECOND, &mut d);
+            match mode {
+                DispatchMode::User => user = r.mean_latency(),
+                _ => driver = r.mean_latency(),
+            }
+        }
+        1.0 - driver / user
+    };
+    let shallow = cut_at(2);
+    let deep = cut_at(10);
+    assert!(
+        deep > shallow,
+        "latency cut should grow with depth: {shallow:.3} -> {deep:.3}"
+    );
+}
+
+const _: fn(Nanos) = |_| {};
+
+#[test]
+fn fairness_accounting_tracks_recycled_submissions_per_thread() {
+    let (mut m, mut d) = setup(6, DispatchMode::DriverHook);
+    d.max_chains = 9;
+    let report = m.run_closed_loop(3, SECOND, &mut d);
+    // 9 chains of 6 hops: 5 recycled resubmissions each.
+    assert_eq!(report.resubmissions, 9 * 5);
+    let per_thread = m.resubmission_accounting();
+    assert_eq!(per_thread.iter().sum::<u64>(), 9 * 5);
+    assert!(
+        per_thread.iter().filter(|&&c| c > 0).count() >= 2,
+        "work spread across threads: {per_thread:?}"
+    );
+}
+
+#[test]
+fn user_mode_never_touches_fairness_counters() {
+    let (mut m, mut d) = setup(6, DispatchMode::User);
+    d.max_chains = 5;
+    let report = m.run_closed_loop(2, SECOND, &mut d);
+    assert_eq!(report.resubmissions, 0, "no recycled descriptors in user mode");
+}

@@ -1,0 +1,133 @@
+//! Bloom filter for SSTable point lookups.
+//!
+//! Standard double-hashing construction (Kirsch–Mitzenmacher): two
+//! 64-bit hashes combined as `h1 + i*h2` for the i-th probe. Sized at
+//! build time from the expected key count and a bits-per-key knob.
+
+/// A fixed-size bloom filter over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+}
+
+#[inline]
+fn hash1(key: u64) -> u64 {
+    // SplitMix64 finaliser.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn hash2(key: u64) -> u64 {
+    // A different mixer (Murmur3 finaliser) for independence.
+    let mut h = key ^ 0xFF51_AFD7_ED55_8CCD;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h | 1 // Odd step so probes cycle through all positions.
+}
+
+impl Bloom {
+    /// Creates an empty filter for about `expected` keys at
+    /// `bits_per_key` bits each (10 gives ~1% false positives).
+    pub fn new(expected: usize, bits_per_key: usize) -> Self {
+        let nbits = (expected.max(1) * bits_per_key).max(64) as u64;
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 16);
+        Bloom {
+            bits: vec![0u64; nbits.div_ceil(64) as usize],
+            nbits,
+            k,
+        }
+    }
+
+    /// Rebuilds a filter from its serialised parts.
+    pub fn from_parts(bits: Vec<u64>, nbits: u64, k: u32) -> Self {
+        Bloom { bits, nbits, k }
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = (hash1(key), hash2(key));
+        for i in 0..self.k {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// True if the key *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: u64) -> bool {
+        let (h1, h2) = (hash1(key), hash2(key));
+        for i in 0..self.k {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Raw words (for serialisation).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Bit count.
+    pub fn nbits(&self) -> u64 {
+        self.nbits
+    }
+
+    /// Probe count.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::new(1000, 10);
+        for key in 0..1000u64 {
+            b.insert(key * 3);
+        }
+        for key in 0..1000u64 {
+            assert!(b.may_contain(key * 3), "inserted key {} missing", key * 3);
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut b = Bloom::new(1000, 10);
+        for key in 0..1000u64 {
+            b.insert(key);
+        }
+        let fp = (1000u64..101_000)
+            .filter(|&k| b.may_contain(k))
+            .count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let mut b = Bloom::new(100, 10);
+        for key in [5u64, 6, 7] {
+            b.insert(key);
+        }
+        let back = Bloom::from_parts(b.words().to_vec(), b.nbits(), b.k());
+        assert_eq!(back, b);
+        assert!(back.may_contain(6));
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = Bloom::new(10, 10);
+        assert!(!b.may_contain(1));
+        assert!(!b.may_contain(u64::MAX));
+    }
+}

@@ -1,0 +1,26 @@
+//! LSM-tree substrate: the immutable-index workload of the paper.
+//!
+//! §4 of the paper targets data structures whose on-disk files are
+//! immutable once written — LSM SSTables are the canonical example —
+//! because their file extents stay stable, which is what makes the
+//! NVMe-layer extent cache viable. This crate provides:
+//!
+//! - [`bloom`]: bloom filters for point-lookup pruning;
+//! - [`sstable`]: the 512-byte-block SSTable format, with the cold
+//!   lookup chain (footer → index block → data block) factored into
+//!   step functions that double as the oracle for the BPF offload
+//!   programs in `bpfstor-core`;
+//! - [`lsm`]: memtable + levels + size-tiered compaction over
+//!   `bpfstor-fs`, whose unlink-based lifecycle generates exactly the
+//!   unmap-event pattern the §4 extent-stability experiment measures.
+
+pub mod bloom;
+pub mod lsm;
+pub mod sstable;
+
+pub use bloom::Bloom;
+pub use lsm::{LsmConfig, LsmError, LsmStats, LsmTree, TableHandle};
+pub use sstable::{
+    build_image, data_block_entries, data_block_search, index_block_search, step_data,
+    step_footer, step_index, Footer, SstError, SstLookup, BLOCK, MAX_VALUE, SST_MAGIC,
+};

@@ -1,0 +1,363 @@
+//! Online statistics and latency histograms.
+//!
+//! Harnesses record per-request latencies into a [`Histogram`]
+//! (log-bucketed, constant memory, ~1.6% relative bucket error) and
+//! scalar series into [`OnlineStats`] (Welford's algorithm).
+
+use crate::time::Nanos;
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use bpfstor_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.stddev() - 2.0).abs() < 1e-12); // population stddev
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Number of sub-buckets per power of two; 16 gives ≤ ~3.1% width and
+/// ~1.6% expected quantile error, plenty for latency reporting.
+const SUBBUCKETS: usize = 16;
+/// 64 octaves × 16 sub-buckets covers 1ns..u64::MAX.
+const BUCKETS: usize = 64 * SUBBUCKETS;
+
+/// Log-bucketed latency histogram over nanosecond values.
+///
+/// Values are grouped into buckets of relative width 2^(1/16); quantiles
+/// are answered from bucket midpoints. Memory use is constant (8 KiB).
+///
+/// # Examples
+///
+/// ```
+/// use bpfstor_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "p50={p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    n: u64,
+    sum: u128,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("n", &self.n)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: Nanos) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    if octave < 4 {
+        // Values below 16 get exact small buckets at the front.
+        return v as usize;
+    }
+    // Use the top 4 bits after the leading one as the sub-bucket index.
+    let sub = ((v >> (octave - 4)) & 0xF) as usize;
+    octave * SUBBUCKETS + sub
+}
+
+fn bucket_midpoint(idx: usize) -> Nanos {
+    if idx < 16 {
+        return idx as Nanos;
+    }
+    let octave = idx / SUBBUCKETS;
+    let sub = idx % SUBBUCKETS;
+    let base = 1u128 << octave;
+    let lo = base + (base * sub as u128) / SUBBUCKETS as u128;
+    let hi = base + (base * (sub as u128 + 1)) / SUBBUCKETS as u128;
+    ((lo + hi) / 2).min(u64::MAX as u128) as Nanos
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            n: 0,
+            sum: 0,
+            min: Nanos::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: Nanos) {
+        self.counts[bucket_of(v)] += 1;
+        self.n += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Exact mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Smallest recorded value (`Nanos::MAX` if empty).
+    pub fn min(&self) -> Nanos {
+        self.min
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 if empty).
+    ///
+    /// Exact for the min (`q=0`) and max (`q=1`); otherwise accurate to
+    /// the bucket's ~3% relative width.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.n == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_midpoint(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(10.0);
+        assert_eq!(s.mean(), 10.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(20.0);
+        assert_eq!(s.mean(), 15.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 20.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.sum() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn histogram_quantile_accuracy_uniform() {
+        let mut h = Histogram::new();
+        let mut rng = SimRng::seed(42);
+        for _ in 0..100_000 {
+            h.record(rng.range(1_000, 101_000));
+        }
+        for (q, expect) in [(0.5, 51_000.0), (0.9, 91_000.0), (0.99, 100_000.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.06, "q={q} got={got} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 15] {
+            h.record(v);
+        }
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_monotonicity() {
+        // Bucket index must be non-decreasing in the value.
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..60 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << shift) + off);
+            }
+        }
+        values.sort_unstable();
+        let mut prev = 0;
+        for v in values {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket({v}) = {b} < {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bucket_midpoint_within_octave() {
+        for idx in 16..BUCKETS - SUBBUCKETS {
+            let m = bucket_midpoint(idx);
+            let octave = idx / SUBBUCKETS;
+            let lo = 1u128 << octave;
+            let hi = 1u128 << (octave + 1);
+            assert!(
+                (m as u128) >= lo && (m as u128) <= hi,
+                "midpoint {m} outside octave {octave}"
+            );
+        }
+    }
+}

@@ -1,0 +1,1181 @@
+//! The BPF interpreter.
+//!
+//! Pointers handed to programs are *synthetic* 64-bit addresses in
+//! disjoint regions (context, block data, scratch, stack, map values), so
+//! the interpreter is entirely safe Rust: every load/store resolves the
+//! address to a region-relative slice with bounds and permission checks.
+//! The verifier proves these checks can never fire for accepted programs;
+//! the interpreter keeps them anyway (defense in depth, and they make the
+//! verifier property-testable: *verified programs never trap*).
+//!
+//! Execution cost is returned as the number of instructions retired plus
+//! helper invocations; `bpfstor-kernel` converts that into simulated
+//! nanoseconds when charging the completion path.
+
+use crate::insn::{
+    access_size, imm64_of, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD,
+    ALU_MOV, ALU_MUL, ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP,
+    CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, END_TO_BE, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ,
+    JMP_JGE, JMP_JGT, JMP_JLE, JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE,
+    JMP_JSLT, MODE_MEM, NUM_REGS, OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
+};
+use crate::maps::{MapError, MapSet};
+use crate::program::{ctx_off, helper, Program};
+
+/// Base address of the context region.
+pub const CTX_BASE: u64 = 0x1000_0000_0000;
+/// Base address of the completed block buffer region.
+pub const DATA_BASE: u64 = 0x2000_0000_0000;
+/// Base address of the chain scratch region.
+pub const SCRATCH_BASE: u64 = 0x3000_0000_0000;
+/// Base address of the stack region (the frame pointer is `STACK_BASE + 512`).
+pub const STACK_BASE: u64 = 0x4000_0000_0000;
+/// Base address of map-value pointers; bits 32.. select the value slot.
+pub const MAPVAL_BASE: u64 = 0x5000_0000_0000;
+
+const REGION_MASK: u64 = 0xF000_0000_0000;
+
+/// Default per-invocation instruction budget (matches the order of the
+/// Linux verifier's 1M-insn analysis bound; far above any traversal
+/// program's needs).
+pub const DEFAULT_INSN_BUDGET: u64 = 1 << 20;
+
+/// Runtime faults. Verified programs never produce these (see the
+/// property tests), but hand-built unverified programs can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// A memory access fell outside its region or the region is absent.
+    OutOfBounds {
+        /// Synthetic address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        len: usize,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A store targeted a read-only region (context or block data).
+    WriteToReadOnly {
+        /// Synthetic address of the store.
+        addr: u64,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Unknown or malformed opcode.
+    IllegalInsn {
+        /// Program counter.
+        pc: usize,
+        /// The opcode byte.
+        op: u8,
+    },
+    /// Jump target outside the program.
+    BadJump {
+        /// Program counter of the jump.
+        pc: usize,
+        /// Attempted destination slot.
+        to: i64,
+    },
+    /// Fell off the end of the instruction stream without `exit`.
+    FellThrough,
+    /// The instruction budget was exhausted (runaway loop).
+    BudgetExceeded,
+    /// Unknown helper id.
+    BadHelper {
+        /// Program counter of the call.
+        pc: usize,
+        /// The helper id.
+        id: i32,
+    },
+    /// A map helper failed structurally (bad id, key size...).
+    Map(MapError),
+    /// A register outside `r0..=r10` was referenced.
+    BadRegister {
+        /// Program counter.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr, len, pc } => {
+                write!(f, "out-of-bounds access of {len}B at {addr:#x} (pc {pc})")
+            }
+            Trap::WriteToReadOnly { addr, pc } => {
+                write!(f, "write to read-only memory at {addr:#x} (pc {pc})")
+            }
+            Trap::IllegalInsn { pc, op } => write!(f, "illegal insn {op:#04x} at pc {pc}"),
+            Trap::BadJump { pc, to } => write!(f, "jump from pc {pc} to invalid slot {to}"),
+            Trap::FellThrough => write!(f, "control fell off the end of the program"),
+            Trap::BudgetExceeded => write!(f, "instruction budget exceeded"),
+            Trap::BadHelper { pc, id } => write!(f, "unknown helper {id} at pc {pc}"),
+            Trap::Map(e) => write!(f, "map error: {e}"),
+            Trap::BadRegister { pc } => write!(f, "bad register at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<MapError> for Trap {
+    fn from(e: MapError) -> Self {
+        Trap::Map(e)
+    }
+}
+
+/// Input context for one program invocation: the completed block, chain
+/// metadata, and the chain's scratch buffer.
+pub struct RunCtx<'a> {
+    /// The completed block's bytes (read-only to the program).
+    pub data: &'a [u8],
+    /// File offset the block was read from.
+    pub file_off: u64,
+    /// Resubmission count so far in this chain.
+    pub hop: u32,
+    /// Application-defined flags from install time.
+    pub flags: u32,
+    /// Chain-persistent scratch memory (read-write).
+    pub scratch: &'a mut [u8],
+}
+
+/// Environment the kernel supplies for side-effecting helpers.
+pub trait ExecEnv {
+    /// `resubmit(file_off)` helper: recycle the descriptor toward
+    /// `file_off`. Returns 0 or a negative errno.
+    fn resubmit(&mut self, file_off: u64) -> i64;
+    /// `emit(ptr, len)` helper body: append `data` to the result buffer.
+    /// Returns bytes accepted or a negative errno.
+    fn emit(&mut self, data: &[u8]) -> i64;
+    /// `trace(code)` helper: diagnostic hook; default is a no-op.
+    fn trace(&mut self, _code: u64) {}
+}
+
+/// An [`ExecEnv`] that records helper activity; used by tests and as a
+/// building block for unit benchmarks.
+#[derive(Debug, Default)]
+pub struct RecordingEnv {
+    /// Arguments passed to `resubmit`, in call order.
+    pub resubmits: Vec<u64>,
+    /// Bytes emitted, concatenated.
+    pub emitted: Vec<u8>,
+    /// Trace codes seen.
+    pub traces: Vec<u64>,
+    /// If set, `resubmit` returns this error instead of 0.
+    pub fail_resubmit: Option<i64>,
+}
+
+impl ExecEnv for RecordingEnv {
+    fn resubmit(&mut self, file_off: u64) -> i64 {
+        self.resubmits.push(file_off);
+        self.fail_resubmit.unwrap_or(0)
+    }
+
+    fn emit(&mut self, data: &[u8]) -> i64 {
+        self.emitted.extend_from_slice(data);
+        data.len() as i64
+    }
+
+    fn trace(&mut self, code: u64) {
+        self.traces.push(code);
+    }
+}
+
+/// Statistics from one program invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The program's return value (`r0` at `exit`).
+    pub ret: u64,
+    /// Instructions retired.
+    pub insns: u64,
+    /// Helper calls performed.
+    pub helper_calls: u64,
+}
+
+struct MapValSlot {
+    map_id: u32,
+    key: Vec<u8>,
+    data: Vec<u8>,
+}
+
+/// The interpreter; owns no program state between runs except the
+/// configurable instruction budget.
+pub struct Vm {
+    budget: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Creates an interpreter with the default instruction budget.
+    pub fn new() -> Self {
+        Vm {
+            budget: DEFAULT_INSN_BUDGET,
+        }
+    }
+
+    /// Overrides the per-invocation instruction budget.
+    pub fn with_budget(budget: u64) -> Self {
+        Vm { budget }
+    }
+
+    /// Runs `prog` over `ctx`, dispatching helpers to `env` and map
+    /// helpers to `maps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any runtime fault. Verified programs do not
+    /// trap (enforced by property tests in the verifier module).
+    pub fn run(
+        &self,
+        prog: &Program,
+        ctx: RunCtx<'_>,
+        maps: &mut MapSet,
+        env: &mut dyn ExecEnv,
+    ) -> Result<RunOutcome, Trap> {
+        let insns = &prog.insns;
+        let mut reg = [0u64; NUM_REGS];
+        let mut stack = [0u8; STACK_SIZE];
+        let mut ctx_buf = [0u8; ctx_off::SIZE as usize];
+        let data_len = ctx.data.len() as u64;
+        let scratch_len = ctx.scratch.len() as u64;
+        write_u64(&mut ctx_buf, ctx_off::DATA as usize, DATA_BASE);
+        write_u64(&mut ctx_buf, ctx_off::DATA_END as usize, DATA_BASE + data_len);
+        write_u64(&mut ctx_buf, ctx_off::FILE_OFF as usize, ctx.file_off);
+        write_u32(&mut ctx_buf, ctx_off::HOP as usize, ctx.hop);
+        write_u32(&mut ctx_buf, ctx_off::FLAGS as usize, ctx.flags);
+        write_u64(&mut ctx_buf, ctx_off::SCRATCH as usize, SCRATCH_BASE);
+        write_u64(
+            &mut ctx_buf,
+            ctx_off::SCRATCH_END as usize,
+            SCRATCH_BASE + scratch_len,
+        );
+
+        reg[1] = CTX_BASE;
+        reg[REG_FP as usize] = STACK_BASE + STACK_SIZE as u64;
+
+        let mut mapvals: Vec<MapValSlot> = Vec::new();
+        let mut retired: u64 = 0;
+        let mut helper_calls: u64 = 0;
+        let mut pc: usize = 0;
+
+        macro_rules! check_reg {
+            ($r:expr) => {
+                if $r as usize >= NUM_REGS {
+                    return Err(Trap::BadRegister { pc });
+                }
+            };
+        }
+
+        loop {
+            let Some(insn) = insns.get(pc) else {
+                return Err(Trap::FellThrough);
+            };
+            retired += 1;
+            if retired > self.budget {
+                return Err(Trap::BudgetExceeded);
+            }
+            let op = insn.op;
+            check_reg!(insn.dst);
+            check_reg!(insn.src);
+            let dst = insn.dst as usize;
+            let src = insn.src as usize;
+
+            match insn.class() {
+                CLS_ALU64 => {
+                    let rhs = if op & SRC_X != 0 {
+                        reg[src]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    reg[dst] = alu64(op, reg[dst], rhs, pc)?;
+                }
+                CLS_ALU => {
+                    if op & 0xf0 == ALU_END {
+                        reg[dst] = endian(op, insn.imm, reg[dst], pc)?;
+                    } else {
+                        let rhs = if op & SRC_X != 0 {
+                            reg[src] as u32
+                        } else {
+                            insn.imm as u32
+                        };
+                        reg[dst] = alu32(op, reg[dst] as u32, rhs, pc)? as u64;
+                    }
+                }
+                CLS_LD => {
+                    if op == OP_LD_IMM64 {
+                        let Some(hi) = insns.get(pc + 1) else {
+                            return Err(Trap::IllegalInsn { pc, op });
+                        };
+                        if hi.op != 0 {
+                            return Err(Trap::IllegalInsn { pc: pc + 1, op: hi.op });
+                        }
+                        reg[dst] = imm64_of(insn, hi);
+                        pc += 2;
+                        continue;
+                    }
+                    return Err(Trap::IllegalInsn { pc, op });
+                }
+                CLS_LDX => {
+                    if op & 0x60 != MODE_MEM {
+                        return Err(Trap::IllegalInsn { pc, op });
+                    }
+                    let size = access_size(op);
+                    let addr = reg[src].wrapping_add(insn.off as i64 as u64);
+                    let bytes = self.read_mem(
+                        addr, size, pc, &ctx_buf, ctx.data, ctx.scratch, &stack, &mapvals,
+                    )?;
+                    reg[dst] = load_le(&bytes, size);
+                }
+                CLS_STX | CLS_ST => {
+                    if op & 0x60 != MODE_MEM {
+                        return Err(Trap::IllegalInsn { pc, op });
+                    }
+                    let size = access_size(op);
+                    let addr = reg[dst].wrapping_add(insn.off as i64 as u64);
+                    let value = if insn.class() == CLS_STX {
+                        reg[src]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    self.write_mem(
+                        addr,
+                        size,
+                        value,
+                        pc,
+                        ctx.scratch,
+                        &mut stack,
+                        &mut mapvals,
+                    )?;
+                }
+                CLS_JMP | CLS_JMP32 => {
+                    let code = op & 0xf0;
+                    match code {
+                        JMP_CALL => {
+                            helper_calls += 1;
+                            self.call_helper(
+                                insn.imm,
+                                pc,
+                                &mut reg,
+                                &ctx_buf,
+                                ctx.data,
+                                ctx.scratch,
+                                &stack,
+                                maps,
+                                &mut mapvals,
+                                env,
+                            )?;
+                            // Helper calls clobber the caller-saved argument
+                            // registers, as on real eBPF.
+                            for r in reg.iter_mut().take(6).skip(1) {
+                                *r = 0;
+                            }
+                        }
+                        JMP_EXIT => {
+                            flush_mapvals(maps, &mut mapvals)?;
+                            return Ok(RunOutcome {
+                                ret: reg[0],
+                                insns: retired,
+                                helper_calls,
+                            });
+                        }
+                        JMP_JA => {
+                            pc = jump_target(pc, insn.off, insns.len())?;
+                            continue;
+                        }
+                        _ => {
+                            let (a, b) = if insn.class() == CLS_JMP32 {
+                                let rhs = if op & SRC_X != 0 {
+                                    reg[src] as u32 as u64
+                                } else {
+                                    insn.imm as u32 as u64
+                                };
+                                (reg[dst] as u32 as u64, rhs)
+                            } else {
+                                let rhs = if op & SRC_X != 0 {
+                                    reg[src]
+                                } else {
+                                    insn.imm as i64 as u64
+                                };
+                                (reg[dst], rhs)
+                            };
+                            let wide = insn.class() == CLS_JMP;
+                            let taken = jump_taken(code, a, b, wide)
+                                .ok_or(Trap::IllegalInsn { pc, op })?;
+                            if taken {
+                                pc = jump_target(pc, insn.off, insns.len())?;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                _ => return Err(Trap::IllegalInsn { pc, op }),
+            }
+            pc += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn read_mem(
+        &self,
+        addr: u64,
+        len: usize,
+        pc: usize,
+        ctx_buf: &[u8],
+        data: &[u8],
+        scratch: &[u8],
+        stack: &[u8],
+        mapvals: &[MapValSlot],
+    ) -> Result<[u8; 8], Trap> {
+        let oob = Trap::OutOfBounds { addr, len, pc };
+        let region = addr & REGION_MASK;
+        let slice: &[u8] = match region {
+            CTX_BASE => ctx_buf,
+            DATA_BASE => data,
+            SCRATCH_BASE => scratch,
+            STACK_BASE => stack,
+            MAPVAL_BASE => {
+                let slot = ((addr >> 32) & 0xFFF) as usize;
+                let sl = mapvals.get(slot).ok_or(oob.clone())?;
+                let off = (addr & 0xFFFF_FFFF) as usize;
+                return copy_checked(&sl.data, off, len).ok_or(oob);
+            }
+            _ => return Err(oob),
+        };
+        let off = (addr - region) as usize;
+        copy_checked(slice, off, len).ok_or(Trap::OutOfBounds { addr, len, pc })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_mem(
+        &self,
+        addr: u64,
+        len: usize,
+        value: u64,
+        pc: usize,
+        scratch: &mut [u8],
+        stack: &mut [u8],
+        mapvals: &mut [MapValSlot],
+    ) -> Result<(), Trap> {
+        let region = addr & REGION_MASK;
+        let slice: &mut [u8] = match region {
+            CTX_BASE | DATA_BASE => return Err(Trap::WriteToReadOnly { addr, pc }),
+            SCRATCH_BASE => scratch,
+            STACK_BASE => stack,
+            MAPVAL_BASE => {
+                let slot = ((addr >> 32) & 0xFFF) as usize;
+                let sl = mapvals
+                    .get_mut(slot)
+                    .ok_or(Trap::OutOfBounds { addr, len, pc })?;
+                let off = (addr & 0xFFFF_FFFF) as usize;
+                return store_checked(&mut sl.data, off, len, value)
+                    .ok_or(Trap::OutOfBounds { addr, len, pc });
+            }
+            _ => return Err(Trap::OutOfBounds { addr, len, pc }),
+        };
+        let off = (addr - region) as usize;
+        store_checked(slice, off, len, value).ok_or(Trap::OutOfBounds { addr, len, pc })
+    }
+
+    /// Reads `len` bytes for a helper's pointer argument from any
+    /// readable region.
+    #[allow(clippy::too_many_arguments)]
+    fn read_bytes(
+        &self,
+        addr: u64,
+        len: usize,
+        pc: usize,
+        ctx_buf: &[u8],
+        data: &[u8],
+        scratch: &[u8],
+        stack: &[u8],
+        mapvals: &[MapValSlot],
+    ) -> Result<Vec<u8>, Trap> {
+        let mut out = Vec::with_capacity(len);
+        // Byte-at-a-time is fine: helper keys/emits are small.
+        for i in 0..len {
+            let b = self.read_mem(
+                addr + i as u64,
+                1,
+                pc,
+                ctx_buf,
+                data,
+                scratch,
+                stack,
+                mapvals,
+            )?;
+            out.push(b[0]);
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_helper(
+        &self,
+        id: i32,
+        pc: usize,
+        reg: &mut [u64; NUM_REGS],
+        ctx_buf: &[u8],
+        data: &[u8],
+        scratch: &[u8],
+        stack: &[u8],
+        maps: &mut MapSet,
+        mapvals: &mut Vec<MapValSlot>,
+        env: &mut dyn ExecEnv,
+    ) -> Result<(), Trap> {
+        match id {
+            helper::TRACE => {
+                env.trace(reg[1]);
+                reg[0] = 0;
+            }
+            helper::RESUBMIT => {
+                reg[0] = env.resubmit(reg[1]) as u64;
+            }
+            helper::EMIT => {
+                let len = reg[2] as usize;
+                let bytes =
+                    self.read_bytes(reg[1], len, pc, ctx_buf, data, scratch, stack, mapvals)?;
+                reg[0] = env.emit(&bytes) as u64;
+            }
+            helper::MAP_LOOKUP => {
+                flush_mapvals(maps, mapvals)?;
+                let map_id = reg[1] as u32;
+                let key_size = maps.spec(map_id)?.key_size as usize;
+                let key = self.read_bytes(
+                    reg[2], key_size, pc, ctx_buf, data, scratch, stack, mapvals,
+                )?;
+                match maps.lookup(map_id, &key)? {
+                    Some(value) => {
+                        let slot = mapvals.len();
+                        if slot >= 0x1000 {
+                            return Err(Trap::Map(MapError::Full));
+                        }
+                        mapvals.push(MapValSlot {
+                            map_id,
+                            key,
+                            data: value.to_vec(),
+                        });
+                        reg[0] = MAPVAL_BASE | ((slot as u64) << 32);
+                    }
+                    None => reg[0] = 0,
+                }
+            }
+            helper::MAP_UPDATE => {
+                flush_mapvals(maps, mapvals)?;
+                let map_id = reg[1] as u32;
+                let spec = maps.spec(map_id)?;
+                let key = self.read_bytes(
+                    reg[2],
+                    spec.key_size as usize,
+                    pc,
+                    ctx_buf,
+                    data,
+                    scratch,
+                    stack,
+                    mapvals,
+                )?;
+                let value = self.read_bytes(
+                    reg[3],
+                    spec.value_size as usize,
+                    pc,
+                    ctx_buf,
+                    data,
+                    scratch,
+                    stack,
+                    mapvals,
+                )?;
+                maps.update(map_id, &key, &value)?;
+                reg[0] = 0;
+            }
+            _ => return Err(Trap::BadHelper { pc, id }),
+        }
+        Ok(())
+    }
+}
+
+/// Writes live map-value shadow buffers back into their maps so that
+/// later helper calls (and the application, after the run) observe the
+/// program's stores.
+fn flush_mapvals(maps: &mut MapSet, mapvals: &mut [MapValSlot]) -> Result<(), Trap> {
+    for sl in mapvals.iter() {
+        maps.update(sl.map_id, &sl.key, &sl.data)?;
+    }
+    Ok(())
+}
+
+fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, Trap> {
+    let to = pc as i64 + 1 + off as i64;
+    if to < 0 || to as usize >= len {
+        return Err(Trap::BadJump { pc, to });
+    }
+    Ok(to as usize)
+}
+
+fn jump_taken(code: u8, a: u64, b: u64, wide: bool) -> Option<bool> {
+    let (sa, sb) = if wide {
+        (a as i64, b as i64)
+    } else {
+        (a as u32 as i32 as i64, b as u32 as i32 as i64)
+    };
+    Some(match code {
+        JMP_JEQ => a == b,
+        JMP_JNE => a != b,
+        JMP_JGT => a > b,
+        JMP_JGE => a >= b,
+        JMP_JLT => a < b,
+        JMP_JLE => a <= b,
+        JMP_JSET => a & b != 0,
+        JMP_JSGT => sa > sb,
+        JMP_JSGE => sa >= sb,
+        JMP_JSLT => sa < sb,
+        JMP_JSLE => sa <= sb,
+        _ => return None,
+    })
+}
+
+fn alu64(op: u8, lhs: u64, rhs: u64, pc: usize) -> Result<u64, Trap> {
+    Ok(match op & 0xf0 {
+        ALU_ADD => lhs.wrapping_add(rhs),
+        ALU_SUB => lhs.wrapping_sub(rhs),
+        ALU_MUL => lhs.wrapping_mul(rhs),
+        ALU_DIV => lhs.checked_div(rhs).unwrap_or(0),
+        ALU_MOD => lhs.checked_rem(rhs).unwrap_or(lhs),
+        ALU_OR => lhs | rhs,
+        ALU_AND => lhs & rhs,
+        ALU_XOR => lhs ^ rhs,
+        ALU_LSH => lhs.wrapping_shl(rhs as u32 & 63),
+        ALU_RSH => lhs.wrapping_shr(rhs as u32 & 63),
+        ALU_ARSH => ((lhs as i64).wrapping_shr(rhs as u32 & 63)) as u64,
+        ALU_MOV => rhs,
+        ALU_NEG => (lhs as i64).wrapping_neg() as u64,
+        _ => {
+            return Err(Trap::IllegalInsn {
+                pc,
+                op,
+            })
+        }
+    })
+}
+
+fn alu32(op: u8, lhs: u32, rhs: u32, pc: usize) -> Result<u32, Trap> {
+    Ok(match op & 0xf0 {
+        ALU_ADD => lhs.wrapping_add(rhs),
+        ALU_SUB => lhs.wrapping_sub(rhs),
+        ALU_MUL => lhs.wrapping_mul(rhs),
+        ALU_DIV => lhs.checked_div(rhs).unwrap_or(0),
+        ALU_MOD => lhs.checked_rem(rhs).unwrap_or(lhs),
+        ALU_OR => lhs | rhs,
+        ALU_AND => lhs & rhs,
+        ALU_XOR => lhs ^ rhs,
+        ALU_LSH => lhs.wrapping_shl(rhs & 31),
+        ALU_RSH => lhs.wrapping_shr(rhs & 31),
+        ALU_ARSH => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
+        ALU_MOV => rhs,
+        ALU_NEG => (lhs as i32).wrapping_neg() as u32,
+        _ => {
+            return Err(Trap::IllegalInsn {
+                pc,
+                op,
+            })
+        }
+    })
+}
+
+fn endian(op: u8, width: i32, v: u64, pc: usize) -> Result<u64, Trap> {
+    let to_be = op & 0x08 == END_TO_BE;
+    Ok(match (width, to_be) {
+        (16, true) => (v as u16).swap_bytes() as u64,
+        (16, false) => (v as u16) as u64,
+        (32, true) => (v as u32).swap_bytes() as u64,
+        (32, false) => (v as u32) as u64,
+        (64, true) => v.swap_bytes(),
+        (64, false) => v,
+        _ => {
+            return Err(Trap::IllegalInsn {
+                pc,
+                op,
+            })
+        }
+    })
+}
+
+fn copy_checked(slice: &[u8], off: usize, len: usize) -> Option<[u8; 8]> {
+    let end = off.checked_add(len)?;
+    if end > slice.len() {
+        return None;
+    }
+    let mut out = [0u8; 8];
+    out[..len].copy_from_slice(&slice[off..end]);
+    Some(out)
+}
+
+fn store_checked(slice: &mut [u8], off: usize, len: usize, value: u64) -> Option<()> {
+    let end = off.checked_add(len)?;
+    if end > slice.len() {
+        return None;
+    }
+    slice[off..end].copy_from_slice(&value.to_le_bytes()[..len]);
+    Some(())
+}
+
+fn load_le(bytes: &[u8; 8], len: usize) -> u64 {
+    let mut v = 0u64;
+    for i in (0..len).rev() {
+        v = (v << 8) | bytes[i] as u64;
+    }
+    v
+}
+
+fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Asm, Width};
+    use crate::maps::MapSpec;
+    use crate::program::Program;
+
+    fn run_prog(prog: &Program, data: &[u8]) -> Result<(RunOutcome, RecordingEnv), Trap> {
+        let mut scratch = [0u8; 64];
+        let mut maps = MapSet::instantiate(&prog.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let vm = Vm::new();
+        let out = vm.run(
+            prog,
+            RunCtx {
+                data,
+                file_off: 0x1000,
+                hop: 2,
+                flags: 0xAB,
+                scratch: &mut scratch,
+            },
+            &mut maps,
+            &mut env,
+        )?;
+        Ok((out, env))
+    }
+
+    fn asm(f: impl FnOnce(&mut Asm)) -> Program {
+        let mut a = Asm::new();
+        f(&mut a);
+        Program::new(a.finish().expect("assembles"))
+    }
+
+    #[test]
+    fn mov_and_exit() {
+        let p = asm(|a| {
+            a.mov64_imm(0, 1234).exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 1234);
+        assert_eq!(out.insns, 2);
+    }
+
+    #[test]
+    fn alu64_semantics() {
+        // ((((7 + 5) * 6) - 2) / 7) % 4 = (70 / 7) % 4 = 10 % 4 = 2
+        let p = asm(|a| {
+            a.mov64_imm(0, 7)
+                .add64_imm(0, 5)
+                .mul64_imm(0, 6)
+                .sub64_imm(0, 2)
+                .div64_imm(0, 7)
+                .mod64_imm(0, 4)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 2);
+    }
+
+    #[test]
+    fn div_and_mod_by_zero_are_defined() {
+        let p = asm(|a| {
+            a.mov64_imm(1, 0)
+                .mov64_imm(0, 42)
+                .div64_reg(0, 1) // 42 / 0 -> 0
+                .add64_imm(0, 10) // 10
+                .mod64_reg(0, 1) // 10 % 0 -> unchanged (10)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 10);
+    }
+
+    #[test]
+    fn alu32_zero_extends() {
+        let p = asm(|a| {
+            a.ld_imm64(0, 0xFFFF_FFFF_FFFF_FFFF)
+                .add32_imm(0, 1) // low 32 wrap to 0; upper bits cleared
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0);
+    }
+
+    #[test]
+    fn negative_imm_sign_extends_in_alu64() {
+        let p = asm(|a| {
+            a.mov64_imm(0, -1).exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, u64::MAX);
+    }
+
+    #[test]
+    fn shifts_mask_amounts() {
+        let p = asm(|a| {
+            a.mov64_imm(0, 1).lsh64_imm(0, 64 + 3).exit(); // shift of 67 == 3
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 8);
+    }
+
+    #[test]
+    fn arsh_is_arithmetic() {
+        let p = asm(|a| {
+            a.mov64_imm(0, -16).arsh64_imm(0, 2).exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret as i64, -4);
+    }
+
+    #[test]
+    fn endianness_ops() {
+        let p = asm(|a| {
+            a.ld_imm64(0, 0x1122_3344_5566_7788).to_be(0, 16).exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0x8877);
+    }
+
+    #[test]
+    fn reads_block_data_through_ctx() {
+        // r2 = ctx->data; r0 = *(u16*)(r2 + 2)
+        let p = asm(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::H, 0, 2, 2)
+                .exit();
+        });
+        let data = [0x01u8, 0x02, 0x03, 0x04];
+        let (out, _) = run_prog(&p, &data).expect("runs");
+        assert_eq!(out.ret, 0x0403);
+    }
+
+    #[test]
+    fn ctx_scalar_fields() {
+        let p = asm(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::FILE_OFF)
+                .ldx(Width::W, 3, 1, ctx_off::HOP)
+                .ldx(Width::W, 4, 1, ctx_off::FLAGS)
+                .mov64_reg(0, 2)
+                .add64_reg(0, 3)
+                .add64_reg(0, 4)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0x1000 + 2 + 0xAB);
+    }
+
+    #[test]
+    fn data_read_past_end_traps() {
+        let p = asm(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 0, 2, 0)
+                .exit();
+        });
+        let err = run_prog(&p, &[0u8; 4]).unwrap_err();
+        assert!(matches!(err, Trap::OutOfBounds { len: 8, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn data_is_read_only() {
+        let p = asm(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .st_imm(Width::B, 2, 0, 0)
+                .exit();
+        });
+        let err = run_prog(&p, &[0u8; 4]).unwrap_err();
+        assert!(matches!(err, Trap::WriteToReadOnly { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn ctx_is_read_only() {
+        let p = asm(|a| {
+            a.st_imm(Width::DW, 1, 0, 7).exit();
+        });
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert!(matches!(err, Trap::WriteToReadOnly { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn stack_read_write() {
+        let p = asm(|a| {
+            a.mov64_imm(2, 0x5A5A)
+                .stx(Width::DW, 10, -8, 2)
+                .ldx(Width::DW, 0, 10, -8)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0x5A5A);
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let p = asm(|a| {
+            a.st_imm(Width::DW, 10, -(STACK_SIZE as i16) - 8, 1).exit();
+        });
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert!(matches!(err, Trap::OutOfBounds { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn stack_access_above_fp_traps() {
+        let p = asm(|a| {
+            a.st_imm(Width::DW, 10, 0, 1).exit();
+        });
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert!(matches!(err, Trap::OutOfBounds { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn scratch_read_write_via_ctx() {
+        let p = asm(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::SCRATCH)
+                .st_imm(Width::W, 2, 4, 0x77)
+                .ldx(Width::W, 0, 2, 4)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0x77);
+    }
+
+    #[test]
+    fn loops_execute_and_budget_bounds_runaways() {
+        let p = asm(|a| {
+            a.mov64_imm(0, 0)
+                .label("loop")
+                .add64_imm(0, 1)
+                .jlt_imm(0, 100, "loop")
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 100);
+
+        let runaway = asm(|a| {
+            a.label("spin").ja("spin").exit();
+        });
+        let err = run_prog(&runaway, &[]).unwrap_err();
+        assert_eq!(err, Trap::BudgetExceeded);
+    }
+
+    #[test]
+    fn fall_through_traps() {
+        let p = asm(|a| {
+            a.mov64_imm(0, 0);
+        });
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert_eq!(err, Trap::FellThrough);
+    }
+
+    #[test]
+    fn helper_resubmit_and_return_code() {
+        let p = asm(|a| {
+            a.mov64_imm(1, 0x2000)
+                .call(helper::RESUBMIT)
+                .mov64_reg(6, 0)
+                .mov64_imm(0, 1)
+                .exit();
+        });
+        let (out, env) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 1);
+        assert_eq!(env.resubmits, vec![0x2000]);
+        assert_eq!(out.helper_calls, 1);
+    }
+
+    #[test]
+    fn helper_emit_from_data() {
+        // Emit the first 4 bytes of the block.
+        let p = asm(|a| {
+            a.ldx(Width::DW, 6, 1, ctx_off::DATA)
+                .mov64_reg(1, 6)
+                .mov64_imm(2, 4)
+                .call(helper::EMIT)
+                .mov64_imm(0, 2)
+                .exit();
+        });
+        let data = [9u8, 8, 7, 6, 5];
+        let (out, env) = run_prog(&p, &data).expect("runs");
+        assert_eq!(out.ret, 2);
+        assert_eq!(env.emitted, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn helper_clobbers_r1_to_r5() {
+        let p = asm(|a| {
+            a.mov64_imm(1, 11)
+                .mov64_imm(2, 22)
+                .mov64_imm(5, 55)
+                .mov64_imm(6, 66)
+                .call(helper::TRACE)
+                .mov64_reg(0, 2)
+                .add64_reg(0, 5)
+                .add64_reg(0, 6) // r6 preserved
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 66);
+    }
+
+    #[test]
+    fn map_lookup_miss_returns_null() {
+        let mut a = Asm::new();
+        a.mov64_imm(1, 0)
+            .mov64_reg(2, 10)
+            .add64_imm(2, -8)
+            .st_imm(Width::DW, 10, -8, 99)
+            .call(helper::MAP_LOOKUP)
+            .exit();
+        let p = Program::with_maps(
+            a.finish().expect("assembles"),
+            vec![MapSpec::hash(8, 8, 4)],
+        );
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 0, "miss yields NULL");
+    }
+
+    #[test]
+    fn map_update_then_lookup_reads_value() {
+        let mut a = Asm::new();
+        // key at fp-8 = 5; value at fp-16 = 1234; update then lookup,
+        // then read through the returned pointer.
+        a.st_imm(Width::DW, 10, -8, 5)
+            .st_imm(Width::DW, 10, -16, 1234)
+            .mov64_imm(1, 0)
+            .mov64_reg(2, 10)
+            .add64_imm(2, -8)
+            .mov64_reg(3, 10)
+            .add64_imm(3, -16)
+            .call(helper::MAP_UPDATE)
+            .mov64_imm(1, 0)
+            .mov64_reg(2, 10)
+            .add64_imm(2, -8)
+            .call(helper::MAP_LOOKUP)
+            .jne_imm(0, 0, "hit")
+            .mov64_imm(0, -1)
+            .exit()
+            .label("hit")
+            .ldx(Width::DW, 0, 0, 0)
+            .exit();
+        let p = Program::with_maps(
+            a.finish().expect("assembles"),
+            vec![MapSpec::hash(8, 8, 4)],
+        );
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 1234);
+    }
+
+    #[test]
+    fn map_value_writes_flush_back() {
+        // lookup array[0], increment through the pointer, exit; the map
+        // must hold the incremented value afterwards.
+        let mut a = Asm::new();
+        a.st_imm(Width::W, 10, -4, 0)
+            .mov64_imm(1, 0)
+            .mov64_reg(2, 10)
+            .add64_imm(2, -4)
+            .call(helper::MAP_LOOKUP)
+            .jne_imm(0, 0, "hit")
+            .mov64_imm(0, -1)
+            .exit()
+            .label("hit")
+            .ldx(Width::DW, 3, 0, 0)
+            .add64_imm(3, 1)
+            .stx(Width::DW, 0, 0, 3)
+            .mov64_imm(0, 0)
+            .exit();
+        let p = Program::with_maps(
+            a.finish().expect("assembles"),
+            vec![MapSpec::array(8, 1)],
+        );
+        let mut scratch = [0u8; 16];
+        let mut maps = MapSet::instantiate(&p.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let vm = Vm::new();
+        for expected in 1..=3u64 {
+            vm.run(
+                &p,
+                RunCtx {
+                    data: &[],
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
+                &mut maps,
+                &mut env,
+            )
+            .expect("runs");
+            let v = maps
+                .lookup(0, &0u32.to_le_bytes())
+                .expect("lookup")
+                .expect("hit");
+            assert_eq!(u64::from_le_bytes(v.try_into().expect("8B")), expected);
+        }
+    }
+
+    #[test]
+    fn unknown_helper_traps() {
+        let p = asm(|a| {
+            a.call(999).exit();
+        });
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert_eq!(err, Trap::BadHelper { pc: 0, id: 999 });
+    }
+
+    #[test]
+    fn jmp32_compares_low_halves() {
+        let p = asm(|a| {
+            a.ld_imm64(2, 0xFFFF_FFFF_0000_0005)
+                .mov64_imm(0, 0)
+                .jeq32_imm(2, 5, "yes")
+                .exit()
+                .label("yes")
+                .mov64_imm(0, 1)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 1);
+    }
+
+    #[test]
+    fn signed_jumps() {
+        let p = asm(|a| {
+            a.mov64_imm(2, -5)
+                .mov64_imm(0, 0)
+                .jslt_imm(2, 0, "neg")
+                .exit()
+                .label("neg")
+                .mov64_imm(0, 1)
+                .exit();
+        });
+        let (out, _) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(out.ret, 1, "-5 < 0 signed");
+    }
+
+    #[test]
+    fn trace_helper_records() {
+        let p = asm(|a| {
+            a.mov64_imm(1, 7).call(helper::TRACE).mov64_imm(0, 0).exit();
+        });
+        let (_, env) = run_prog(&p, &[]).expect("runs");
+        assert_eq!(env.traces, vec![7]);
+    }
+}

@@ -1,0 +1,353 @@
+//! BPF maps: fixed-layout key/value stores shared between a program and
+//! the application that installed it.
+//!
+//! Two kinds are provided, mirroring the two most common Linux map types:
+//!
+//! - **Array**: `u32` index keys, preallocated, lookups never fail for
+//!   in-range indices. Used for configuration and statistics slots.
+//! - **Hash**: fixed-size byte keys, bounded entry count.
+//!
+//! Maps are instantiated per attached program instance by
+//! [`MapSet::instantiate`]; the interpreter serves `map_lookup` /
+//! `map_update` helpers from the set, and the owning application reads
+//! results back through the same API after the chain completes.
+
+use std::collections::HashMap;
+
+/// The kind of a map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Preallocated array indexed by `u32`.
+    Array,
+    /// Bounded hash table with fixed-size byte keys.
+    Hash,
+}
+
+/// Static description of one map a program declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapSpec {
+    /// Array or hash.
+    pub kind: MapKind,
+    /// Key size in bytes (must be 4 for arrays).
+    pub key_size: u32,
+    /// Value size in bytes.
+    pub value_size: u32,
+    /// Maximum number of entries (array length for arrays).
+    pub max_entries: u32,
+}
+
+impl MapSpec {
+    /// Convenience: an array map of `len` values of `value_size` bytes.
+    pub fn array(value_size: u32, len: u32) -> Self {
+        MapSpec {
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size,
+            max_entries: len,
+        }
+    }
+
+    /// Convenience: a hash map.
+    pub fn hash(key_size: u32, value_size: u32, max_entries: u32) -> Self {
+        MapSpec {
+            kind: MapKind::Hash,
+            key_size,
+            value_size,
+            max_entries,
+        }
+    }
+}
+
+/// Errors returned by map operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Map id out of range for the program's declared maps.
+    NoSuchMap(u32),
+    /// Key length does not match the spec.
+    BadKeySize { expected: u32, got: usize },
+    /// Value length does not match the spec.
+    BadValueSize { expected: u32, got: usize },
+    /// Array index out of bounds.
+    IndexOutOfBounds { index: u32, len: u32 },
+    /// Hash map is full.
+    Full,
+    /// Spec violated invariants (e.g. array key_size != 4).
+    BadSpec(&'static str),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NoSuchMap(id) => write!(f, "no such map id {id}"),
+            MapError::BadKeySize { expected, got } => {
+                write!(f, "key size {got} != expected {expected}")
+            }
+            MapError::BadValueSize { expected, got } => {
+                write!(f, "value size {got} != expected {expected}")
+            }
+            MapError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds (len {len})")
+            }
+            MapError::Full => write!(f, "hash map full"),
+            MapError::BadSpec(why) => write!(f, "bad map spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+enum MapStorage {
+    Array(Vec<u8>), // max_entries * value_size, zero-initialised
+    Hash(HashMap<Vec<u8>, Vec<u8>>),
+}
+
+struct MapInstance {
+    spec: MapSpec,
+    storage: MapStorage,
+}
+
+/// The runtime instantiation of all maps a program declared.
+pub struct MapSet {
+    maps: Vec<MapInstance>,
+}
+
+impl MapSet {
+    /// Builds zero-initialised maps from their specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::BadSpec`] for inconsistent specs (array with a
+    /// non-4-byte key, zero-size values, zero entries).
+    pub fn instantiate(specs: &[MapSpec]) -> Result<Self, MapError> {
+        let mut maps = Vec::with_capacity(specs.len());
+        for spec in specs {
+            if spec.value_size == 0 {
+                return Err(MapError::BadSpec("zero value_size"));
+            }
+            if spec.max_entries == 0 {
+                return Err(MapError::BadSpec("zero max_entries"));
+            }
+            let storage = match spec.kind {
+                MapKind::Array => {
+                    if spec.key_size != 4 {
+                        return Err(MapError::BadSpec("array maps require key_size 4"));
+                    }
+                    MapStorage::Array(vec![
+                        0;
+                        spec.max_entries as usize * spec.value_size as usize
+                    ])
+                }
+                MapKind::Hash => {
+                    if spec.key_size == 0 {
+                        return Err(MapError::BadSpec("zero key_size"));
+                    }
+                    MapStorage::Hash(HashMap::new())
+                }
+            };
+            maps.push(MapInstance {
+                spec: *spec,
+                storage,
+            });
+        }
+        Ok(MapSet { maps })
+    }
+
+    /// Number of maps in the set.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True if the program declared no maps.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// The spec of map `id`.
+    pub fn spec(&self, id: u32) -> Result<MapSpec, MapError> {
+        self.maps
+            .get(id as usize)
+            .map(|m| m.spec)
+            .ok_or(MapError::NoSuchMap(id))
+    }
+
+    /// Looks up `key` in map `id`, returning a mutable view of the value.
+    ///
+    /// Array lookups succeed for any in-range index; hash lookups return
+    /// `Ok(None)` for absent keys (the BPF helper then returns NULL).
+    pub fn lookup(&mut self, id: u32, key: &[u8]) -> Result<Option<&mut [u8]>, MapError> {
+        let m = self
+            .maps
+            .get_mut(id as usize)
+            .ok_or(MapError::NoSuchMap(id))?;
+        if key.len() != m.spec.key_size as usize {
+            return Err(MapError::BadKeySize {
+                expected: m.spec.key_size,
+                got: key.len(),
+            });
+        }
+        let vsize = m.spec.value_size as usize;
+        match &mut m.storage {
+            MapStorage::Array(buf) => {
+                let idx = u32::from_le_bytes(key.try_into().expect("key_size 4"));
+                if idx >= m.spec.max_entries {
+                    return Err(MapError::IndexOutOfBounds {
+                        index: idx,
+                        len: m.spec.max_entries,
+                    });
+                }
+                let start = idx as usize * vsize;
+                Ok(Some(&mut buf[start..start + vsize]))
+            }
+            MapStorage::Hash(table) => Ok(table.get_mut(key).map(|v| v.as_mut_slice())),
+        }
+    }
+
+    /// Inserts or overwrites `key -> value` in map `id`.
+    pub fn update(&mut self, id: u32, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        let m = self
+            .maps
+            .get_mut(id as usize)
+            .ok_or(MapError::NoSuchMap(id))?;
+        if key.len() != m.spec.key_size as usize {
+            return Err(MapError::BadKeySize {
+                expected: m.spec.key_size,
+                got: key.len(),
+            });
+        }
+        if value.len() != m.spec.value_size as usize {
+            return Err(MapError::BadValueSize {
+                expected: m.spec.value_size,
+                got: value.len(),
+            });
+        }
+        match &mut m.storage {
+            MapStorage::Array(buf) => {
+                let idx = u32::from_le_bytes(key.try_into().expect("key_size 4"));
+                if idx >= m.spec.max_entries {
+                    return Err(MapError::IndexOutOfBounds {
+                        index: idx,
+                        len: m.spec.max_entries,
+                    });
+                }
+                let vsize = m.spec.value_size as usize;
+                let start = idx as usize * vsize;
+                buf[start..start + vsize].copy_from_slice(value);
+                Ok(())
+            }
+            MapStorage::Hash(table) => {
+                if !table.contains_key(key) && table.len() as u32 >= m.spec.max_entries {
+                    return Err(MapError::Full);
+                }
+                table.insert(key.to_vec(), value.to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes `key` from a hash map; arrays reject deletion.
+    pub fn delete(&mut self, id: u32, key: &[u8]) -> Result<bool, MapError> {
+        let m = self
+            .maps
+            .get_mut(id as usize)
+            .ok_or(MapError::NoSuchMap(id))?;
+        match &mut m.storage {
+            MapStorage::Array(_) => Err(MapError::BadSpec("arrays do not support delete")),
+            MapStorage::Hash(table) => Ok(table.remove(key).is_some()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_lookup_and_update() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        let key = 2u32.to_le_bytes();
+        let v = set.lookup(0, &key).expect("lookup").expect("array always hits");
+        assert_eq!(v, &[0u8; 8]);
+        set.update(0, &key, &7u64.to_le_bytes()).expect("update");
+        let v = set.lookup(0, &key).expect("lookup").expect("hit");
+        assert_eq!(u64::from_le_bytes(v.try_into().expect("8B")), 7);
+    }
+
+    #[test]
+    fn array_index_bounds() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        let key = 4u32.to_le_bytes();
+        assert_eq!(
+            set.lookup(0, &key),
+            Err(MapError::IndexOutOfBounds { index: 4, len: 4 })
+        );
+    }
+
+    #[test]
+    fn hash_miss_then_hit() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::hash(8, 16, 2)]).expect("instantiate");
+        let key = [1u8; 8];
+        assert!(set.lookup(0, &key).expect("lookup").is_none());
+        set.update(0, &key, &[9u8; 16]).expect("update");
+        assert_eq!(
+            set.lookup(0, &key).expect("lookup").expect("hit"),
+            &[9u8; 16]
+        );
+    }
+
+    #[test]
+    fn hash_capacity_enforced() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::hash(1, 1, 1)]).expect("instantiate");
+        set.update(0, &[1], &[1]).expect("first insert fits");
+        assert_eq!(set.update(0, &[2], &[2]), Err(MapError::Full));
+        // Overwriting an existing key is always allowed.
+        set.update(0, &[1], &[3]).expect("overwrite");
+    }
+
+    #[test]
+    fn hash_delete() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::hash(1, 1, 4)]).expect("instantiate");
+        set.update(0, &[1], &[1]).expect("insert");
+        assert!(set.delete(0, &[1]).expect("delete"));
+        assert!(!set.delete(0, &[1]).expect("second delete is a miss"));
+    }
+
+    #[test]
+    fn key_size_checked() {
+        let mut set =
+            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        assert_eq!(
+            set.lookup(0, &[0u8; 3]),
+            Err(MapError::BadKeySize {
+                expected: 4,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(MapSet::instantiate(&[MapSpec {
+            kind: MapKind::Array,
+            key_size: 8,
+            value_size: 8,
+            max_entries: 1,
+        }])
+        .is_err());
+        assert!(MapSet::instantiate(&[MapSpec::array(0, 1)]).is_err());
+        assert!(MapSet::instantiate(&[MapSpec::hash(0, 1, 1)]).is_err());
+        assert!(MapSet::instantiate(&[MapSpec::hash(1, 1, 0)]).is_err());
+    }
+
+    #[test]
+    fn no_such_map() {
+        let mut set = MapSet::instantiate(&[]).expect("instantiate");
+        assert!(set.is_empty());
+        assert_eq!(set.lookup(0, &[]), Err(MapError::NoSuchMap(0)));
+        assert_eq!(set.spec(3).unwrap_err(), MapError::NoSuchMap(3));
+    }
+}

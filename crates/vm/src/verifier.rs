@@ -1,0 +1,1847 @@
+//! Static program verifier.
+//!
+//! Mirrors the role of the Linux eBPF verifier for the storage-hook
+//! program type: every attached program is proven, before it runs, to
+//!
+//! 1. never read or write outside the memory regions it was given
+//!    (block data, scratch, stack, map values, the context struct);
+//! 2. never *write* the block data or the context — the paper's §4
+//!    "read-only traversals" restriction is enforced here;
+//! 3. terminate: loops are admitted only when interval analysis can
+//!    bound them (a back-edge that re-enters an already-seen abstract
+//!    state on the same path is rejected as unbounded);
+//! 4. call helpers only with well-typed arguments (map ids must be
+//!    constants referring to declared maps, emit lengths must be
+//!    statically bounded within the source region, ...).
+//!
+//! The analysis is a depth-first symbolic execution over an abstract
+//! state: each register is `Uninit`, a `[umin, umax]` scalar interval,
+//! or a typed pointer with a constant-interval offset. Bounds checks
+//! against `ctx->data_end` refine a per-state lower bound on the block
+//! length (`data_len_min`), which is exactly the `if (p + N > data_end)
+//! goto out;` idiom of XDP programs.
+//!
+//! Soundness over completeness: anything the analysis cannot prove is
+//! rejected. The interpreter re-checks everything at runtime, which lets
+//! the property tests assert the key theorem: **verified programs never
+//! trap** (see `tests/` and the proptest suite).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use crate::insn::{
+    access_size, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD, ALU_MOV,
+    ALU_MUL, ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32,
+    CLS_LD, CLS_LDX, CLS_ST, CLS_STX, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ, JMP_JGE, JMP_JGT,
+    JMP_JLE, JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE, JMP_JSLT, MODE_MEM,
+    NUM_REGS, OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
+};
+use crate::maps::MapSpec;
+use crate::program::{ctx_off, helper, Program, EMIT_MAX, SCRATCH_SIZE};
+
+/// Maximum program length in slots (matches BPF_MAXINSNS ballpark).
+pub const MAX_SLOTS: usize = 4096;
+/// Maximum abstract states explored before declaring the program too
+/// complex (the analogue of the Linux verifier's 1M-insn budget).
+pub const STATE_BUDGET: usize = 200_000;
+/// Largest scalar that may be added to a pointer (keeps offset intervals
+/// far away from overflow).
+const PTR_DELTA_MAX: u64 = 1 << 30;
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Slot index of the offending instruction (or the last analysed).
+    pub pc: usize,
+    /// Category of the rejection.
+    pub kind: VerifyErrorKind,
+}
+
+/// Rejection categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// Empty program or more than [`MAX_SLOTS`] slots.
+    BadProgramSize,
+    /// Unknown or malformed opcode.
+    IllegalInsn,
+    /// Register index out of range, or an attempt to write `r10`.
+    BadRegister,
+    /// Jump to a slot outside the program or into an `ld_imm64` pair.
+    BadJumpTarget,
+    /// Control flow can fall off the end of the instruction stream.
+    FallsOffEnd,
+    /// A register was read before being written.
+    UninitRead { /** Which register. */ reg: u8 },
+    /// A memory access could not be proven in-bounds.
+    OutOfBounds { /** Human-readable reason. */ what: String },
+    /// A store targeted the read-only block data or context.
+    ReadOnly,
+    /// Arithmetic on pointers the analysis cannot model.
+    BadPointerArithmetic { /** Reason. */ what: String },
+    /// A comparison between incompatible types.
+    BadComparison,
+    /// Division or modulo by a constant zero.
+    DivByZero,
+    /// Helper call with malformed arguments.
+    BadHelperCall { /** Reason. */ what: String },
+    /// Unknown helper id.
+    UnknownHelper { /** The id. */ id: i32 },
+    /// `exit` with a non-scalar (pointer-leaking) or uninitialised `r0`.
+    BadReturn,
+    /// A back-edge re-entered an identical abstract state: the loop
+    /// cannot be bounded.
+    UnboundedLoop,
+    /// State budget exhausted.
+    TooComplex,
+    /// Access to a possibly-NULL map value without a null check.
+    PossiblyNull,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verifier rejected at pc {}: {:?}", self.pc, self.kind)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics about a successful verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifiedStats {
+    /// Abstract states explored.
+    pub states: usize,
+    /// Longest path (in slots) analysed.
+    pub max_path: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Reg {
+    Uninit,
+    Scalar { umin: u64, umax: u64 },
+    PtrCtx { off: i64 },
+    PtrData { omin: i64, omax: i64 },
+    PtrDataEnd,
+    PtrScratch { omin: i64, omax: i64 },
+    PtrStack { omin: i64, omax: i64 },
+    PtrMapValue { id: u32, omin: i64, omax: i64 },
+    NullOrMapValue { id: u32 },
+}
+
+impl Reg {
+    fn scalar_unknown() -> Reg {
+        Reg::Scalar {
+            umin: 0,
+            umax: u64::MAX,
+        }
+    }
+
+    fn scalar_const(v: u64) -> Reg {
+        Reg::Scalar { umin: v, umax: v }
+    }
+
+    fn is_pointer(&self) -> bool {
+        matches!(
+            self,
+            Reg::PtrCtx { .. }
+                | Reg::PtrData { .. }
+                | Reg::PtrDataEnd
+                | Reg::PtrScratch { .. }
+                | Reg::PtrStack { .. }
+                | Reg::PtrMapValue { .. }
+                | Reg::NullOrMapValue { .. }
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    regs: [Reg; NUM_REGS],
+    /// Proven lower bound on the block data length, from `data_end`
+    /// comparisons on this path.
+    data_len_min: i64,
+}
+
+impl State {
+    fn initial() -> State {
+        let mut regs: [Reg; NUM_REGS] = std::array::from_fn(|_| Reg::Uninit);
+        regs[1] = Reg::PtrCtx { off: 0 };
+        regs[REG_FP as usize] = Reg::PtrStack { omin: 0, omax: 0 };
+        State {
+            regs,
+            data_len_min: 0,
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+struct Analyzer<'p> {
+    prog: &'p Program,
+    second_slot: Vec<bool>,
+    visited: HashSet<(usize, u64)>,
+    states: usize,
+    max_path: usize,
+}
+
+/// Verifies a program, returning exploration statistics on success.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing the first violation found.
+///
+/// # Examples
+///
+/// ```
+/// use bpfstor_vm::asm::Asm;
+/// use bpfstor_vm::program::Program;
+/// use bpfstor_vm::verifier::verify;
+///
+/// let mut a = Asm::new();
+/// a.mov64_imm(0, 0).exit();
+/// assert!(verify(&Program::new(a.finish().unwrap())).is_ok());
+/// ```
+pub fn verify(prog: &Program) -> Result<VerifiedStats, VerifyError> {
+    let n = prog.insns.len();
+    if n == 0 || n > MAX_SLOTS {
+        return Err(VerifyError {
+            pc: 0,
+            kind: VerifyErrorKind::BadProgramSize,
+        });
+    }
+    // Structural pass: mark ld_imm64 second slots, check registers.
+    let mut second_slot = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        let insn = &prog.insns[i];
+        if insn.dst as usize >= NUM_REGS || insn.src as usize >= NUM_REGS {
+            return Err(VerifyError {
+                pc: i,
+                kind: VerifyErrorKind::BadRegister,
+            });
+        }
+        if insn.op == OP_LD_IMM64 {
+            if i + 1 >= n || prog.insns[i + 1].op != 0 {
+                return Err(VerifyError {
+                    pc: i,
+                    kind: VerifyErrorKind::IllegalInsn,
+                });
+            }
+            second_slot[i + 1] = true;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    let mut an = Analyzer {
+        prog,
+        second_slot,
+        visited: HashSet::new(),
+        states: 0,
+        max_path: 0,
+    };
+    an.run()?;
+    Ok(VerifiedStats {
+        states: an.states,
+        max_path: an.max_path,
+    })
+}
+
+struct Frame {
+    key: (usize, u64),
+    succs: Vec<(usize, State)>,
+    next: usize,
+}
+
+impl<'p> Analyzer<'p> {
+    /// Iterative depth-first exploration. An explicit frame stack stands
+    /// in for recursion so the host stack cannot overflow on
+    /// budget-bounded explorations; `on_path` mirrors the stack for O(1)
+    /// cycle (unbounded-loop) detection.
+    fn run(&mut self) -> Result<(), VerifyError> {
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut on_path: HashSet<(usize, u64)> = HashSet::new();
+        self.enter(0, State::initial(), &mut stack, &mut on_path)?;
+        while let Some(top) = stack.last_mut() {
+            if top.next < top.succs.len() {
+                let (pc, state) = top.succs[top.next].clone();
+                top.next += 1;
+                self.enter(pc, state, &mut stack, &mut on_path)?;
+            } else {
+                let f = stack.pop().expect("non-empty");
+                on_path.remove(&f.key);
+            }
+        }
+        Ok(())
+    }
+
+    fn enter(
+        &mut self,
+        pc: usize,
+        state: State,
+        stack: &mut Vec<Frame>,
+        on_path: &mut HashSet<(usize, u64)>,
+    ) -> Result<(), VerifyError> {
+        if pc >= self.prog.insns.len() {
+            return Err(VerifyError {
+                pc: pc.saturating_sub(1),
+                kind: VerifyErrorKind::FallsOffEnd,
+            });
+        }
+        if self.second_slot[pc] {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::BadJumpTarget,
+            });
+        }
+        let key = (pc, state.fingerprint());
+        if self.visited.contains(&key) {
+            // Re-reaching a fully-explored state is fine unless it closes
+            // a cycle on the *current* path, which would be an unbounded
+            // loop (no abstract progress between iterations).
+            if on_path.contains(&key) {
+                return Err(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::UnboundedLoop,
+                });
+            }
+            return Ok(());
+        }
+        self.states += 1;
+        if self.states > STATE_BUDGET {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::TooComplex,
+            });
+        }
+        self.visited.insert(key);
+        let succs = self.step(pc, state)?;
+        on_path.insert(key);
+        stack.push(Frame {
+            key,
+            succs,
+            next: 0,
+        });
+        self.max_path = self.max_path.max(stack.len());
+        Ok(())
+    }
+
+    /// Analyses one instruction, returning the successor (pc, state)
+    /// pairs (empty for `exit`).
+    fn step(&mut self, pc: usize, mut state: State) -> Result<Vec<(usize, State)>, VerifyError> {
+        let insn = self.prog.insns[pc];
+        let err = |kind| VerifyError { pc, kind };
+        let cls = insn.class();
+        match cls {
+            CLS_ALU64 | CLS_ALU => {
+                self.check_writable(pc, insn.dst)?;
+                let code = insn.op & 0xf0;
+                if code == ALU_END {
+                    let d = self.read_reg(pc, &state, insn.dst)?;
+                    if d.is_pointer() {
+                        return Err(err(VerifyErrorKind::BadPointerArithmetic {
+                            what: "endianness op on pointer".to_string(),
+                        }));
+                    }
+                    if !matches!(insn.imm, 16 | 32 | 64) {
+                        return Err(err(VerifyErrorKind::IllegalInsn));
+                    }
+                    state.regs[insn.dst as usize] = Reg::scalar_unknown();
+                    return Ok(vec![(pc + 1, state)]);
+                }
+                let rhs = if insn.op & SRC_X != 0 {
+                    self.read_reg(pc, &state, insn.src)?.clone()
+                } else if cls == CLS_ALU64 {
+                    Reg::scalar_const(insn.imm as i64 as u64)
+                } else {
+                    Reg::scalar_const(insn.imm as u32 as u64)
+                };
+                // NEG reads only dst.
+                let lhs = if code == ALU_MOV {
+                    Reg::scalar_const(0) // Unused; MOV overwrites.
+                } else {
+                    self.read_reg(pc, &state, insn.dst)?.clone()
+                };
+                let out = alu_result(pc, cls, code, &lhs, &rhs)?;
+                state.regs[insn.dst as usize] = out;
+                Ok(vec![(pc + 1, state)])
+            }
+            CLS_LD => {
+                if insn.op != OP_LD_IMM64 {
+                    return Err(err(VerifyErrorKind::IllegalInsn));
+                }
+                self.check_writable(pc, insn.dst)?;
+                let hi = self.prog.insns[pc + 1];
+                let v = crate::insn::imm64_of(&insn, &hi);
+                state.regs[insn.dst as usize] = Reg::scalar_const(v);
+                Ok(vec![(pc + 2, state)])
+            }
+            CLS_LDX => {
+                if insn.op & 0x60 != MODE_MEM {
+                    return Err(err(VerifyErrorKind::IllegalInsn));
+                }
+                self.check_writable(pc, insn.dst)?;
+                let size = access_size(insn.op);
+                let base = self.read_reg(pc, &state, insn.src)?.clone();
+                let loaded = self.check_load(pc, &state, &base, insn.off, size)?;
+                state.regs[insn.dst as usize] = loaded;
+                Ok(vec![(pc + 1, state)])
+            }
+            CLS_STX | CLS_ST => {
+                if insn.op & 0x60 != MODE_MEM {
+                    return Err(err(VerifyErrorKind::IllegalInsn));
+                }
+                let size = access_size(insn.op);
+                if cls == CLS_STX {
+                    // The stored value must be initialised.
+                    self.read_reg(pc, &state, insn.src)?;
+                }
+                let base = self.read_reg(pc, &state, insn.dst)?.clone();
+                self.check_store(pc, &state, &base, insn.off, size)?;
+                Ok(vec![(pc + 1, state)])
+            }
+            CLS_JMP | CLS_JMP32 => {
+                let code = insn.op & 0xf0;
+                match code {
+                    JMP_EXIT => match state.regs[0] {
+                        Reg::Scalar { .. } => Ok(vec![]),
+                        _ => Err(err(VerifyErrorKind::BadReturn)),
+                    },
+                    JMP_CALL => {
+                        self.check_helper(pc, &mut state)?;
+                        Ok(vec![(pc + 1, state)])
+                    }
+                    JMP_JA => {
+                        if cls == CLS_JMP32 {
+                            return Err(err(VerifyErrorKind::IllegalInsn));
+                        }
+                        let t = self.jump_target(pc, insn.off)?;
+                        Ok(vec![(t, state)])
+                    }
+                    _ => {
+                        let t = self.jump_target(pc, insn.off)?;
+                        let dst = self.read_reg(pc, &state, insn.dst)?.clone();
+                        let rhs = if insn.op & SRC_X != 0 {
+                            self.read_reg(pc, &state, insn.src)?.clone()
+                        } else {
+                            Reg::scalar_const(insn.imm as i64 as u64)
+                        };
+                        let (taken, fall) = branch_states(
+                            pc,
+                            cls == CLS_JMP32,
+                            code,
+                            &state,
+                            insn.dst,
+                            if insn.op & SRC_X != 0 {
+                                Some(insn.src)
+                            } else {
+                                None
+                            },
+                            &dst,
+                            &rhs,
+                        )?;
+                        let mut succs = Vec::with_capacity(2);
+                        if let Some(s) = taken {
+                            succs.push((t, s));
+                        }
+                        if let Some(s) = fall {
+                            succs.push((pc + 1, s));
+                        }
+                        Ok(succs)
+                    }
+                }
+            }
+            _ => Err(err(VerifyErrorKind::IllegalInsn)),
+        }
+    }
+
+    fn jump_target(&self, pc: usize, off: i16) -> Result<usize, VerifyError> {
+        let t = pc as i64 + 1 + off as i64;
+        if t < 0 || t as usize >= self.prog.insns.len() || self.second_slot[t as usize] {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::BadJumpTarget,
+            });
+        }
+        Ok(t as usize)
+    }
+
+    fn check_writable(&self, pc: usize, reg: u8) -> Result<(), VerifyError> {
+        if reg == REG_FP {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::BadRegister,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_reg<'s>(
+        &self,
+        pc: usize,
+        state: &'s State,
+        reg: u8,
+    ) -> Result<&'s Reg, VerifyError> {
+        let r = &state.regs[reg as usize];
+        if matches!(r, Reg::Uninit) {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::UninitRead { reg },
+            });
+        }
+        Ok(r)
+    }
+
+    /// Validates a load and returns the abstract type of the loaded value.
+    fn check_load(
+        &self,
+        pc: usize,
+        state: &State,
+        base: &Reg,
+        off: i16,
+        size: usize,
+    ) -> Result<Reg, VerifyError> {
+        let err = |kind| VerifyError { pc, kind };
+        match base {
+            Reg::PtrCtx { off: base_off } => {
+                let field = base_off + off as i64;
+                let ty = match (field, size) {
+                    (o, 8) if o == ctx_off::DATA as i64 => Reg::PtrData { omin: 0, omax: 0 },
+                    (o, 8) if o == ctx_off::DATA_END as i64 => Reg::PtrDataEnd,
+                    (o, 8) if o == ctx_off::FILE_OFF as i64 => Reg::scalar_unknown(),
+                    (o, 4) if o == ctx_off::HOP as i64 => Reg::Scalar {
+                        umin: 0,
+                        umax: u32::MAX as u64,
+                    },
+                    (o, 4) if o == ctx_off::FLAGS as i64 => Reg::Scalar {
+                        umin: 0,
+                        umax: u32::MAX as u64,
+                    },
+                    (o, 8) if o == ctx_off::SCRATCH as i64 => {
+                        Reg::PtrScratch { omin: 0, omax: 0 }
+                    }
+                    (o, 8) if o == ctx_off::SCRATCH_END as i64 => Reg::scalar_unknown(),
+                    _ => {
+                        return Err(err(VerifyErrorKind::OutOfBounds {
+                            what: format!(
+                                "ctx load at offset {field} width {size} does not match a field"
+                            ),
+                        }))
+                    }
+                };
+                Ok(ty)
+            }
+            Reg::PtrData { omin, omax } => {
+                let lo = omin + off as i64;
+                let hi = omax + off as i64 + size as i64;
+                if lo < 0 || hi > state.data_len_min {
+                    return Err(err(VerifyErrorKind::OutOfBounds {
+                        what: format!(
+                            "data access [{lo}, {hi}) exceeds proven bound {}",
+                            state.data_len_min
+                        ),
+                    }));
+                }
+                Ok(Reg::scalar_unknown())
+            }
+            Reg::PtrScratch { omin, omax } => {
+                check_static(pc, *omin, *omax, off, size, 0, SCRATCH_SIZE as i64, "scratch")?;
+                Ok(Reg::scalar_unknown())
+            }
+            Reg::PtrStack { omin, omax } => {
+                check_static(
+                    pc,
+                    *omin,
+                    *omax,
+                    off,
+                    size,
+                    -(STACK_SIZE as i64),
+                    0,
+                    "stack",
+                )?;
+                Ok(Reg::scalar_unknown())
+            }
+            Reg::PtrMapValue { id, omin, omax } => {
+                let vsize = self.map_spec(pc, *id)?.value_size as i64;
+                check_static(pc, *omin, *omax, off, size, 0, vsize, "map value")?;
+                Ok(Reg::scalar_unknown())
+            }
+            Reg::NullOrMapValue { .. } => Err(err(VerifyErrorKind::PossiblyNull)),
+            Reg::PtrDataEnd => Err(err(VerifyErrorKind::OutOfBounds {
+                what: "load through data_end".to_string(),
+            })),
+            Reg::Scalar { .. } | Reg::Uninit => Err(err(VerifyErrorKind::OutOfBounds {
+                what: "load through non-pointer".to_string(),
+            })),
+        }
+    }
+
+    fn check_store(
+        &self,
+        pc: usize,
+        _state: &State,
+        base: &Reg,
+        off: i16,
+        size: usize,
+    ) -> Result<(), VerifyError> {
+        let err = |kind| VerifyError { pc, kind };
+        match base {
+            Reg::PtrCtx { .. } | Reg::PtrData { .. } | Reg::PtrDataEnd => {
+                Err(err(VerifyErrorKind::ReadOnly))
+            }
+            Reg::PtrScratch { omin, omax } => {
+                check_static(pc, *omin, *omax, off, size, 0, SCRATCH_SIZE as i64, "scratch")
+            }
+            Reg::PtrStack { omin, omax } => check_static(
+                pc,
+                *omin,
+                *omax,
+                off,
+                size,
+                -(STACK_SIZE as i64),
+                0,
+                "stack",
+            ),
+            Reg::PtrMapValue { id, omin, omax } => {
+                let vsize = self.map_spec(pc, *id)?.value_size as i64;
+                check_static(pc, *omin, *omax, off, size, 0, vsize, "map value")
+            }
+            Reg::NullOrMapValue { .. } => Err(err(VerifyErrorKind::PossiblyNull)),
+            Reg::Scalar { .. } | Reg::Uninit => Err(err(VerifyErrorKind::OutOfBounds {
+                what: "store through non-pointer".to_string(),
+            })),
+        }
+    }
+
+    fn map_spec(&self, pc: usize, id: u32) -> Result<MapSpec, VerifyError> {
+        self.prog.maps.get(id as usize).copied().ok_or(VerifyError {
+            pc,
+            kind: VerifyErrorKind::BadHelperCall {
+                what: format!("map id {id} not declared"),
+            },
+        })
+    }
+
+    /// Checks a pointer argument that a helper will *read* `len` bytes
+    /// through.
+    fn check_helper_mem(
+        &self,
+        pc: usize,
+        state: &State,
+        ptr: &Reg,
+        len: u64,
+        what: &str,
+    ) -> Result<(), VerifyError> {
+        let err = |w: String| VerifyError {
+            pc,
+            kind: VerifyErrorKind::BadHelperCall { what: w },
+        };
+        if len > EMIT_MAX as u64 {
+            return Err(err(format!("{what}: length {len} exceeds {EMIT_MAX}")));
+        }
+        let len = len as i64;
+        match ptr {
+            Reg::PtrData { omin, omax } => {
+                if *omin < 0 || omax + len > state.data_len_min {
+                    return Err(err(format!(
+                        "{what}: data range [{omin}, {}) unproven (bound {})",
+                        omax + len,
+                        state.data_len_min
+                    )));
+                }
+                Ok(())
+            }
+            Reg::PtrScratch { omin, omax } => {
+                if *omin < 0 || omax + len > SCRATCH_SIZE as i64 {
+                    return Err(err(format!("{what}: scratch range out of bounds")));
+                }
+                Ok(())
+            }
+            Reg::PtrStack { omin, omax } => {
+                if *omin < -(STACK_SIZE as i64) || omax + len > 0 {
+                    return Err(err(format!("{what}: stack range out of bounds")));
+                }
+                Ok(())
+            }
+            Reg::PtrMapValue { id, omin, omax } => {
+                let vsize = self.map_spec(pc, *id)?.value_size as i64;
+                if *omin < 0 || omax + len > vsize {
+                    return Err(err(format!("{what}: map value range out of bounds")));
+                }
+                Ok(())
+            }
+            Reg::NullOrMapValue { .. } => Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::PossiblyNull,
+            }),
+            _ => Err(err(format!("{what}: not a readable pointer"))),
+        }
+    }
+
+    fn check_helper(&self, pc: usize, state: &mut State) -> Result<(), VerifyError> {
+        let insn = self.prog.insns[pc];
+        let id = insn.imm;
+        let err = |w: String| VerifyError {
+            pc,
+            kind: VerifyErrorKind::BadHelperCall { what: w },
+        };
+        let ret = match id {
+            helper::TRACE | helper::RESUBMIT => {
+                let r1 = self.read_reg(pc, state, 1)?;
+                if r1.is_pointer() {
+                    return Err(err("argument must be a scalar".to_string()));
+                }
+                Reg::scalar_unknown()
+            }
+            helper::EMIT => {
+                let r2 = self.read_reg(pc, state, 2)?.clone();
+                let Reg::Scalar { umax, .. } = r2 else {
+                    return Err(err("emit length must be a scalar".to_string()));
+                };
+                let r1 = self.read_reg(pc, state, 1)?.clone();
+                self.check_helper_mem(pc, state, &r1, umax, "emit")?;
+                Reg::scalar_unknown()
+            }
+            helper::MAP_LOOKUP | helper::MAP_UPDATE => {
+                let r1 = self.read_reg(pc, state, 1)?.clone();
+                let Reg::Scalar { umin, umax } = r1 else {
+                    return Err(err("map id must be a constant scalar".to_string()));
+                };
+                if umin != umax {
+                    return Err(err("map id must be a constant".to_string()));
+                }
+                let spec = self.map_spec(pc, umin as u32)?;
+                let key = self.read_reg(pc, state, 2)?.clone();
+                self.check_helper_mem(pc, state, &key, spec.key_size as u64, "map key")?;
+                if id == helper::MAP_UPDATE {
+                    let val = self.read_reg(pc, state, 3)?.clone();
+                    self.check_helper_mem(
+                        pc,
+                        state,
+                        &val,
+                        spec.value_size as u64,
+                        "map value",
+                    )?;
+                    Reg::scalar_unknown()
+                } else {
+                    Reg::NullOrMapValue { id: umin as u32 }
+                }
+            }
+            other => {
+                return Err(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::UnknownHelper { id: other },
+                })
+            }
+        };
+        state.regs[0] = ret;
+        for r in 1..=5 {
+            state.regs[r] = Reg::Uninit;
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_static(
+    pc: usize,
+    omin: i64,
+    omax: i64,
+    off: i16,
+    size: usize,
+    lo: i64,
+    hi: i64,
+    what: &str,
+) -> Result<(), VerifyError> {
+    let a = omin + off as i64;
+    let b = omax + off as i64 + size as i64;
+    if a < lo || b > hi {
+        return Err(VerifyError {
+            pc,
+            kind: VerifyErrorKind::OutOfBounds {
+                what: format!("{what} access [{a}, {b}) outside [{lo}, {hi})"),
+            },
+        });
+    }
+    Ok(())
+}
+
+fn scalar_interval(r: &Reg) -> Option<(u64, u64)> {
+    match r {
+        Reg::Scalar { umin, umax } => Some((*umin, *umax)),
+        _ => None,
+    }
+}
+
+/// Computes the abstract result of an ALU operation.
+fn alu_result(
+    pc: usize,
+    cls: u8,
+    code: u8,
+    lhs: &Reg,
+    rhs: &Reg,
+) -> Result<Reg, VerifyError> {
+    let err_arith = |what: &str| VerifyError {
+        pc,
+        kind: VerifyErrorKind::BadPointerArithmetic {
+            what: what.to_string(),
+        },
+    };
+    // MOV copies the operand type wholesale (64-bit only; 32-bit MOV of a
+    // pointer would truncate it).
+    if code == ALU_MOV {
+        return if cls == CLS_ALU64 {
+            Ok(rhs.clone())
+        } else if rhs.is_pointer() {
+            Err(err_arith("32-bit mov of a pointer"))
+        } else {
+            let (lo, hi) = scalar_interval(rhs).expect("non-pointer");
+            Ok(clamp32(lo, hi))
+        };
+    }
+
+    let lp = lhs.is_pointer();
+    let rp = rhs.is_pointer();
+    if (lp || rp) && cls == CLS_ALU {
+        return Err(err_arith("32-bit arithmetic on pointer"));
+    }
+    match (lp, rp) {
+        (false, false) => {
+            let (a, b) = scalar_interval(lhs).expect("scalar");
+            let (c, d) = scalar_interval(rhs).expect("scalar");
+            if matches!(code, ALU_DIV | ALU_MOD) && c == 0 && d == 0 {
+                return Err(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::DivByZero,
+                });
+            }
+            let (lo, hi) = scalar_alu(code, a, b, c, d, cls == CLS_ALU);
+            Ok(if cls == CLS_ALU {
+                clamp32(lo, hi)
+            } else {
+                Reg::Scalar { umin: lo, umax: hi }
+            })
+        }
+        (true, false) => ptr_offset(pc, lhs, rhs, code, false),
+        (false, true) => {
+            // scalar + ptr is commutative; everything else is rejected.
+            if code == ALU_ADD {
+                ptr_offset(pc, rhs, lhs, code, false)
+            } else {
+                Err(err_arith("scalar op pointer"))
+            }
+        }
+        (true, true) => {
+            // ptr - ptr of the same region yields an unknown scalar.
+            if code == ALU_SUB && same_region(lhs, rhs) {
+                Ok(Reg::scalar_unknown())
+            } else {
+                Err(err_arith("pointer-pointer arithmetic"))
+            }
+        }
+    }
+}
+
+fn clamp32(lo: u64, hi: u64) -> Reg {
+    if lo > u32::MAX as u64 || hi > u32::MAX as u64 {
+        Reg::Scalar {
+            umin: 0,
+            umax: u32::MAX as u64,
+        }
+    } else {
+        Reg::Scalar { umin: lo, umax: hi }
+    }
+}
+
+fn same_region(a: &Reg, b: &Reg) -> bool {
+    matches!(
+        (a, b),
+        (Reg::PtrData { .. }, Reg::PtrData { .. })
+            | (Reg::PtrScratch { .. }, Reg::PtrScratch { .. })
+            | (Reg::PtrStack { .. }, Reg::PtrStack { .. })
+            | (Reg::PtrData { .. }, Reg::PtrDataEnd)
+            | (Reg::PtrDataEnd, Reg::PtrData { .. })
+    ) || matches!(
+        (a, b),
+        (Reg::PtrMapValue { id: x, .. }, Reg::PtrMapValue { id: y, .. }) if x == y
+    )
+}
+
+fn ptr_offset(
+    pc: usize,
+    ptr: &Reg,
+    scalar: &Reg,
+    code: u8,
+    _swap: bool,
+) -> Result<Reg, VerifyError> {
+    let err_arith = |what: &str| VerifyError {
+        pc,
+        kind: VerifyErrorKind::BadPointerArithmetic {
+            what: what.to_string(),
+        },
+    };
+    if !matches!(code, ALU_ADD | ALU_SUB) {
+        return Err(err_arith("only +/- allowed on pointers"));
+    }
+    let (smin, smax) = scalar_interval(scalar).expect("scalar operand");
+    let (dmin, dmax) = if smin == smax {
+        // Constant deltas are interpreted as signed so `ptr += -4` works.
+        let sv = smin as i64;
+        if sv.unsigned_abs() > PTR_DELTA_MAX {
+            return Err(err_arith("pointer delta not provably small"));
+        }
+        let v = if code == ALU_ADD { sv } else { -sv };
+        (v, v)
+    } else {
+        if smax > PTR_DELTA_MAX {
+            return Err(err_arith("pointer delta not provably small"));
+        }
+        if code == ALU_ADD {
+            (smin as i64, smax as i64)
+        } else {
+            (-(smax as i64), -(smin as i64))
+        }
+    };
+    let shift = |omin: i64, omax: i64| -> Result<(i64, i64), VerifyError> {
+        let a = omin.checked_add(dmin).ok_or_else(|| err_arith("offset overflow"))?;
+        let b = omax.checked_add(dmax).ok_or_else(|| err_arith("offset overflow"))?;
+        if a.abs() > (1 << 31) || b.abs() > (1 << 31) {
+            return Err(err_arith("offset out of modelled range"));
+        }
+        Ok((a, b))
+    };
+    Ok(match ptr {
+        Reg::PtrCtx { off } => {
+            if dmin != dmax {
+                return Err(err_arith("variable offset on ctx pointer"));
+            }
+            Reg::PtrCtx { off: off + dmin }
+        }
+        Reg::PtrData { omin, omax } => {
+            let (a, b) = shift(*omin, *omax)?;
+            Reg::PtrData { omin: a, omax: b }
+        }
+        Reg::PtrScratch { omin, omax } => {
+            let (a, b) = shift(*omin, *omax)?;
+            Reg::PtrScratch { omin: a, omax: b }
+        }
+        Reg::PtrStack { omin, omax } => {
+            let (a, b) = shift(*omin, *omax)?;
+            Reg::PtrStack { omin: a, omax: b }
+        }
+        Reg::PtrMapValue { id, omin, omax } => {
+            let (a, b) = shift(*omin, *omax)?;
+            Reg::PtrMapValue {
+                id: *id,
+                omin: a,
+                omax: b,
+            }
+        }
+        Reg::PtrDataEnd => return Err(err_arith("arithmetic on data_end")),
+        Reg::NullOrMapValue { .. } => {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::PossiblyNull,
+            })
+        }
+        Reg::Scalar { .. } | Reg::Uninit => unreachable!("caller checked pointer"),
+    })
+}
+
+/// Interval arithmetic for scalar ALU ops. Sound (may over-approximate).
+fn scalar_alu(code: u8, a: u64, b: u64, c: u64, d: u64, is32: bool) -> (u64, u64) {
+    let full = (0u64, u64::MAX);
+    let konst = a == b && c == d;
+    match code {
+        ALU_ADD => match a.checked_add(c).zip(b.checked_add(d)) {
+            Some((lo, hi)) => (lo, hi),
+            None => full,
+        },
+        ALU_SUB => {
+            if a >= d {
+                (a - d, b - c)
+            } else {
+                full
+            }
+        }
+        ALU_MUL => {
+            if b <= u32::MAX as u64 && d <= u32::MAX as u64 {
+                (a * c, b * d)
+            } else {
+                full
+            }
+        }
+        ALU_DIV => {
+            if c == d {
+                // Constant divisor; zero divides to zero by VM semantics.
+                a.checked_div(c)
+                    .zip(b.checked_div(c))
+                    .unwrap_or_default()
+            } else {
+                match b.checked_div(c) {
+                    // c <= divisor <= d, all nonzero.
+                    Some(hi) => (a / d.max(1), hi),
+                    // Divisor may be 0 (-> 0) or >= 1 (-> <= b).
+                    None => (0, b),
+                }
+            }
+        }
+        ALU_MOD => {
+            if c == d && c > 0 {
+                if a == b {
+                    (a % c, a % c)
+                } else {
+                    (0, c - 1)
+                }
+            } else {
+                (0, b.max(d))
+            }
+        }
+        ALU_AND => {
+            if konst {
+                (a & c, a & c)
+            } else if c == d {
+                (0, c) // Masking with a constant bounds the result.
+            } else {
+                (0, b.min(d.max(c)))
+            }
+        }
+        ALU_OR => {
+            if konst {
+                (a | c, a | c)
+            } else {
+                full
+            }
+        }
+        ALU_XOR => {
+            if konst {
+                (a ^ c, a ^ c)
+            } else {
+                full
+            }
+        }
+        ALU_LSH => {
+            let mask = if is32 { 31 } else { 63 };
+            if c == d {
+                let s = (c & mask) as u32;
+                match a.checked_shl(s).zip(b.checked_shl(s)) {
+                    Some((lo, hi)) if hi >= lo && (b == 0 || hi >> s == b) => (lo, hi),
+                    _ => full,
+                }
+            } else {
+                full
+            }
+        }
+        ALU_RSH => {
+            let mask = if is32 { 31 } else { 63 };
+            if c == d {
+                let s = (c & mask) as u32;
+                (a >> s, b >> s)
+            } else {
+                (0, b)
+            }
+        }
+        ALU_ARSH | ALU_NEG => {
+            if code == ALU_NEG && konst {
+                // NEG ignores rhs; handled with lhs only when constant.
+                ((a as i64).wrapping_neg() as u64, (a as i64).wrapping_neg() as u64)
+            } else {
+                full
+            }
+        }
+        _ => full,
+    }
+}
+
+/// Computes (taken, fallthrough) states for a conditional branch, pruning
+/// branches whose refined intervals become empty.
+#[allow(clippy::too_many_arguments)]
+fn branch_states(
+    pc: usize,
+    is32: bool,
+    code: u8,
+    state: &State,
+    dst_idx: u8,
+    src_idx: Option<u8>,
+    dst: &Reg,
+    rhs: &Reg,
+) -> Result<(Option<State>, Option<State>), VerifyError> {
+    let err = |kind| VerifyError { pc, kind };
+    // Null-check pattern on possibly-null map values: `if r == 0`.
+    if let Reg::NullOrMapValue { id } = dst {
+        let is_zero_const = matches!(rhs, Reg::Scalar { umin: 0, umax: 0 });
+        if is_zero_const && matches!(code, JMP_JEQ | JMP_JNE) && !is32 {
+            let null_state = {
+                let mut s = state.clone();
+                s.regs[dst_idx as usize] = Reg::scalar_const(0);
+                s
+            };
+            let ptr_state = {
+                let mut s = state.clone();
+                s.regs[dst_idx as usize] = Reg::PtrMapValue {
+                    id: *id,
+                    omin: 0,
+                    omax: 0,
+                };
+                s
+            };
+            return Ok(if code == JMP_JEQ {
+                (Some(null_state), Some(ptr_state))
+            } else {
+                (Some(ptr_state), Some(null_state))
+            });
+        }
+        return Err(err(VerifyErrorKind::BadComparison));
+    }
+
+    // Pointer vs data_end (either side): refine data_len_min.
+    let data_end_cmp = match (dst, rhs) {
+        (Reg::PtrData { omin, .. }, Reg::PtrDataEnd) => Some((*omin, false)),
+        (Reg::PtrDataEnd, Reg::PtrData { omin, .. }) => Some((*omin, true)),
+        _ => None,
+    };
+    if let Some((p_omin, swapped)) = data_end_cmp {
+        if is32 {
+            return Err(err(VerifyErrorKind::BadComparison));
+        }
+        // Normalise to "p CMP end".
+        let norm = if swapped { flip(code) } else { code };
+        let mut taken = state.clone();
+        let mut fall = state.clone();
+        match norm {
+            JMP_JLE => taken.data_len_min = taken.data_len_min.max(p_omin),
+            JMP_JLT => taken.data_len_min = taken.data_len_min.max(p_omin + 1),
+            JMP_JGT => fall.data_len_min = fall.data_len_min.max(p_omin),
+            JMP_JGE => fall.data_len_min = fall.data_len_min.max(p_omin + 1),
+            JMP_JEQ | JMP_JNE => {}
+            _ => return Err(err(VerifyErrorKind::BadComparison)),
+        }
+        return Ok((Some(taken), Some(fall)));
+    }
+
+    // Same-region pointer comparisons: compare offset intervals.
+    if dst.is_pointer() || rhs.is_pointer() {
+        if !same_region(dst, rhs) {
+            return Err(err(VerifyErrorKind::BadComparison));
+        }
+        if is32 {
+            return Err(err(VerifyErrorKind::BadComparison));
+        }
+        let (a, b) = ptr_interval(dst);
+        let (c, d) = ptr_interval(rhs);
+        let (t_dst, f_dst) = refine_unsigned(code, a as u64, b as u64, c as u64, d as u64);
+        let taken = t_dst.map(|(lo, hi)| {
+            let mut s = state.clone();
+            s.regs[dst_idx as usize] = with_ptr_interval(dst, lo as i64, hi as i64);
+            s
+        });
+        let fall = f_dst.map(|(lo, hi)| {
+            let mut s = state.clone();
+            s.regs[dst_idx as usize] = with_ptr_interval(dst, lo as i64, hi as i64);
+            s
+        });
+        return Ok((taken, fall));
+    }
+
+    // Scalar vs scalar.
+    let (a, b) = scalar_interval(dst).expect("scalar");
+    let (c, d) = scalar_interval(rhs).expect("scalar");
+    if is32 || matches!(code, JMP_JSET | JMP_JSGT | JMP_JSGE | JMP_JSLT | JMP_JSLE) {
+        // No refinement for 32-bit / signed / bit-test compares; both
+        // branches stay reachable with unchanged intervals.
+        return Ok((Some(state.clone()), Some(state.clone())));
+    }
+    let (t, f) = refine_unsigned(code, a, b, c, d);
+    let mk = |iv: Option<(u64, u64)>| {
+        iv.map(|(lo, hi)| {
+            let mut s = state.clone();
+            s.regs[dst_idx as usize] = Reg::Scalar { umin: lo, umax: hi };
+            s
+        })
+    };
+    let mut taken = mk(t);
+    let mut fall = mk(f);
+    // Also refine the rhs register when it is one (e.g. `jlt r1, r2`).
+    if let Some(si) = src_idx {
+        let (ts, fs) = refine_unsigned(flip(code), c, d, a, b);
+        if let (Some(s), Some((lo, hi))) = (&mut taken, ts) {
+            s.regs[si as usize] = Reg::Scalar { umin: lo, umax: hi };
+        } else if ts.is_none() {
+            taken = None;
+        }
+        if let (Some(s), Some((lo, hi))) = (&mut fall, fs) {
+            s.regs[si as usize] = Reg::Scalar { umin: lo, umax: hi };
+        } else if fs.is_none() {
+            fall = None;
+        }
+    }
+    Ok((taken, fall))
+}
+
+fn ptr_interval(r: &Reg) -> (i64, i64) {
+    match r {
+        Reg::PtrData { omin, omax }
+        | Reg::PtrScratch { omin, omax }
+        | Reg::PtrStack { omin, omax }
+        | Reg::PtrMapValue { omin, omax, .. } => (*omin, *omax),
+        _ => (0, 0),
+    }
+}
+
+fn with_ptr_interval(r: &Reg, omin: i64, omax: i64) -> Reg {
+    match r {
+        Reg::PtrData { .. } => Reg::PtrData { omin, omax },
+        Reg::PtrScratch { .. } => Reg::PtrScratch { omin, omax },
+        Reg::PtrStack { .. } => Reg::PtrStack { omin, omax },
+        Reg::PtrMapValue { id, .. } => Reg::PtrMapValue {
+            id: *id,
+            omin,
+            omax,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Flips a comparison so `a CMP b` becomes `b CMP' a`.
+fn flip(code: u8) -> u8 {
+    match code {
+        JMP_JGT => JMP_JLT,
+        JMP_JGE => JMP_JLE,
+        JMP_JLT => JMP_JGT,
+        JMP_JLE => JMP_JGE,
+        other => other, // JEQ/JNE symmetric.
+    }
+}
+
+/// Refines `[a, b]` under `dst CMP [c, d]`, returning intervals for the
+/// taken and fall-through branches (`None` = branch unreachable).
+#[allow(clippy::type_complexity)]
+fn refine_unsigned(
+    code: u8,
+    a: u64,
+    b: u64,
+    c: u64,
+    d: u64,
+) -> (Option<(u64, u64)>, Option<(u64, u64)>) {
+    let mk = |lo: u64, hi: u64| if lo <= hi { Some((lo, hi)) } else { None };
+    match code {
+        JMP_JEQ => {
+            // taken: dst == rhs -> intersect; fall: unchanged (can only
+            // refine when rhs is a point we could exclude — intervals
+            // cannot represent holes).
+            let t = mk(a.max(c), b.min(d));
+            (t, Some((a, b)))
+        }
+        JMP_JNE => {
+            // taken: unchanged; fall: dst == rhs.
+            let f = mk(a.max(c), b.min(d));
+            (Some((a, b)), f)
+        }
+        JMP_JGT => {
+            // taken: dst > src >= c  ->  dst >= c+1.
+            let t = if c == u64::MAX {
+                None
+            } else {
+                mk(a.max(c + 1), b)
+            };
+            // fall: dst <= src <= d.
+            let f = mk(a, b.min(d));
+            (t, f)
+        }
+        JMP_JGE => {
+            // taken: dst >= src >= c.
+            let t = mk(a.max(c), b);
+            // fall: dst < src <= d  ->  dst <= d-1.
+            let f = if d == 0 { None } else { mk(a, b.min(d - 1)) };
+            (t, f)
+        }
+        JMP_JLT => {
+            // taken: dst < src <= d  ->  dst <= d-1.
+            let t = if d == 0 { None } else { mk(a, b.min(d - 1)) };
+            // fall: dst >= src >= c.
+            let f = mk(a.max(c), b);
+            (t, f)
+        }
+        JMP_JLE => {
+            // taken: dst <= src <= d.
+            let t = mk(a, b.min(d));
+            // fall: dst > src >= c  ->  dst >= c+1.
+            let f = if c == u64::MAX {
+                None
+            } else {
+                mk(a.max(c + 1), b)
+            };
+            (t, f)
+        }
+        _ => (Some((a, b)), Some((a, b))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Asm, Width};
+    use crate::maps::MapSpec;
+
+    fn check(f: impl FnOnce(&mut Asm)) -> Result<VerifiedStats, VerifyError> {
+        check_maps(f, vec![])
+    }
+
+    fn check_maps(
+        f: impl FnOnce(&mut Asm),
+        maps: Vec<MapSpec>,
+    ) -> Result<VerifiedStats, VerifyError> {
+        let mut a = Asm::new();
+        f(&mut a);
+        let prog = Program::with_maps(a.finish().expect("assembles"), maps);
+        verify(&prog)
+    }
+
+    #[test]
+    fn trivial_program_accepted() {
+        check(|a| {
+            a.mov64_imm(0, 0).exit();
+        })
+        .expect("accepted");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let prog = Program::new(vec![]);
+        assert_eq!(
+            verify(&prog).unwrap_err().kind,
+            VerifyErrorKind::BadProgramSize
+        );
+    }
+
+    #[test]
+    fn uninit_read_rejected() {
+        let err = check(|a| {
+            a.mov64_reg(0, 5).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UninitRead { reg: 5 });
+    }
+
+    #[test]
+    fn exit_with_uninit_r0_rejected() {
+        let err = check(|a| {
+            a.exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadReturn);
+    }
+
+    #[test]
+    fn exit_with_pointer_r0_rejected() {
+        let err = check(|a| {
+            a.mov64_reg(0, 1).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadReturn, "leaking ctx pointer");
+    }
+
+    #[test]
+    fn writing_fp_rejected() {
+        let err = check(|a| {
+            a.mov64_imm(10, 0).mov64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadRegister);
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let err = check(|a| {
+            a.mov64_imm(0, 0);
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::FallsOffEnd);
+    }
+
+    #[test]
+    fn unchecked_data_access_rejected() {
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::B, 0, 2, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn checked_data_access_accepted() {
+        check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 8)
+                .jgt_reg(4, 3, "out")
+                .ldx(Width::DW, 0, 2, 0)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .expect("accepted");
+    }
+
+    #[test]
+    fn bounds_check_does_not_cover_more_than_proven() {
+        // Proves 8 bytes, then reads byte 8 (the 9th) -> reject.
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 8)
+                .jgt_reg(4, 3, "out")
+                .ldx(Width::B, 0, 2, 8)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn store_to_data_rejected() {
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 1)
+                .jgt_reg(4, 3, "out")
+                .st_imm(Width::B, 2, 0, 7)
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::ReadOnly);
+    }
+
+    #[test]
+    fn store_to_ctx_rejected() {
+        let err = check(|a| {
+            a.st_imm(Width::DW, 1, 0, 7).mov64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::ReadOnly);
+    }
+
+    #[test]
+    fn stack_in_bounds_accepted_and_oob_rejected() {
+        check(|a| {
+            a.st_imm(Width::DW, 10, -8, 1)
+                .ldx(Width::DW, 0, 10, -8)
+                .exit();
+        })
+        .expect("in-bounds stack ok");
+
+        let err = check(|a| {
+            a.st_imm(Width::DW, 10, -516, 1).mov64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }));
+
+        let err = check(|a| {
+            a.ldx(Width::DW, 0, 10, 0).exit();
+        })
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn scratch_writable_via_ctx() {
+        check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::SCRATCH)
+                .st_imm(Width::DW, 2, 0, 5)
+                .ldx(Width::DW, 0, 2, 0)
+                .exit();
+        })
+        .expect("scratch is read-write");
+    }
+
+    #[test]
+    fn scratch_oob_rejected() {
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::SCRATCH)
+                .st_imm(Width::DW, 2, (SCRATCH_SIZE - 4) as i16, 5)
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn ctx_load_must_match_field() {
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, 4).mov64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }));
+
+        let err = check(|a| {
+            a.ldx(Width::W, 2, 1, ctx_off::DATA).mov64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }),
+            "narrow load of pointer field"
+        );
+    }
+
+    #[test]
+    fn infinite_ja_loop_rejected() {
+        let err = check(|a| {
+            a.mov64_imm(0, 0).label("spin").ja("spin");
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UnboundedLoop);
+    }
+
+    #[test]
+    fn constant_bounded_loop_accepted() {
+        check(|a| {
+            a.mov64_imm(0, 0)
+                .label("loop")
+                .add64_imm(0, 1)
+                .jlt_imm(0, 64, "loop")
+                .exit();
+        })
+        .expect("64-iteration loop unrolls");
+    }
+
+    #[test]
+    fn register_bounded_loop_accepted() {
+        // Bound comes from a masked (hence bounded) register.
+        check(|a| {
+            a.ldx(Width::DW, 6, 1, ctx_off::FILE_OFF)
+                .and64_imm(6, 0x1f) // r6 in [0, 31]
+                .mov64_imm(7, 0)
+                .label("loop")
+                .add64_imm(7, 1)
+                .jlt_reg(7, 6, "loop")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .expect("loop bounded by masked register");
+    }
+
+    #[test]
+    fn unbounded_register_loop_rejected() {
+        // The bound register is a full-range scalar: iteration count
+        // cannot be bounded, so exploration must hit a limit and reject.
+        let err = check(|a| {
+            a.ldx(Width::DW, 6, 1, ctx_off::FILE_OFF)
+                .mov64_imm(7, 0)
+                .label("loop")
+                .add64_imm(7, 1)
+                .jlt_reg(7, 6, "loop")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                VerifyErrorKind::TooComplex | VerifyErrorKind::UnboundedLoop
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn variable_index_access_with_mask_accepted() {
+        // idx = hop & 0x7 (bounded 0..7); read data[idx] after proving 8
+        // bytes of data.
+        check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 8)
+                .jgt_reg(4, 3, "out")
+                .ldx(Width::W, 5, 1, ctx_off::HOP)
+                .and64_imm(5, 0x7)
+                .add64_reg(2, 5)
+                .ldx(Width::B, 0, 2, 0)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .expect("masked variable index accepted");
+    }
+
+    #[test]
+    fn variable_index_without_mask_rejected() {
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 8)
+                .jgt_reg(4, 3, "out")
+                .ldx(Width::DW, 5, 1, ctx_off::FILE_OFF)
+                .add64_reg(2, 5)
+                .ldx(Width::B, 0, 2, 0)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err.kind, VerifyErrorKind::BadPointerArithmetic { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn div_by_const_zero_rejected() {
+        let err = check(|a| {
+            a.mov64_imm(0, 5).div64_imm(0, 0).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::DivByZero);
+    }
+
+    #[test]
+    fn helper_unknown_rejected() {
+        let err = check(|a| {
+            a.mov64_imm(1, 0).call(77).exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UnknownHelper { id: 77 });
+    }
+
+    #[test]
+    fn resubmit_signature() {
+        check(|a| {
+            a.ldx(Width::DW, 1, 1, ctx_off::FILE_OFF)
+                .call(helper::RESUBMIT)
+                .mov64_imm(0, 1)
+                .exit();
+        })
+        .expect("scalar arg accepted");
+
+        let err = check(|a| {
+            a.call(helper::RESUBMIT).mov64_imm(0, 1).exit();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                VerifyErrorKind::BadHelperCall { .. } | VerifyErrorKind::UninitRead { .. }
+            ),
+            "pointer/uninit arg rejected: {err:?}"
+        );
+    }
+
+    #[test]
+    fn helper_clobbers_args_in_analysis() {
+        // Reading r1 after a call must be rejected.
+        let err = check(|a| {
+            a.mov64_imm(1, 1)
+                .call(helper::TRACE)
+                .mov64_reg(0, 1)
+                .exit();
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UninitRead { reg: 1 });
+    }
+
+    #[test]
+    fn emit_requires_proven_length() {
+        // Emit 16 bytes from data with only 8 proven -> reject.
+        let err = check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 8)
+                .jgt_reg(4, 3, "out")
+                .mov64_reg(1, 2)
+                .mov64_imm(2, 16)
+                .call(helper::EMIT)
+                .mov64_imm(0, 2)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::BadHelperCall { .. }));
+    }
+
+    #[test]
+    fn emit_within_proof_accepted() {
+        check(|a| {
+            a.ldx(Width::DW, 2, 1, ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, 16)
+                .jgt_reg(4, 3, "out")
+                .mov64_reg(1, 2)
+                .mov64_imm(2, 16)
+                .call(helper::EMIT)
+                .mov64_imm(0, 2)
+                .exit()
+                .label("out")
+                .mov64_imm(0, 0)
+                .exit();
+        })
+        .expect("accepted");
+    }
+
+    #[test]
+    fn map_lookup_requires_null_check() {
+        let err = check_maps(
+            |a| {
+                a.st_imm(Width::W, 10, -4, 0)
+                    .mov64_imm(1, 0)
+                    .mov64_reg(2, 10)
+                    .add64_imm(2, -4)
+                    .call(helper::MAP_LOOKUP)
+                    .ldx(Width::DW, 0, 0, 0) // deref without null check
+                    .exit();
+            },
+            vec![MapSpec::array(8, 4)],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::PossiblyNull);
+    }
+
+    #[test]
+    fn map_lookup_with_null_check_accepted() {
+        check_maps(
+            |a| {
+                a.st_imm(Width::W, 10, -4, 0)
+                    .mov64_imm(1, 0)
+                    .mov64_reg(2, 10)
+                    .add64_imm(2, -4)
+                    .call(helper::MAP_LOOKUP)
+                    .jeq_imm(0, 0, "miss")
+                    .ldx(Width::DW, 0, 0, 0)
+                    .exit()
+                    .label("miss")
+                    .mov64_imm(0, 0)
+                    .exit();
+            },
+            vec![MapSpec::array(8, 4)],
+        )
+        .expect("accepted");
+    }
+
+    #[test]
+    fn map_value_access_bounded_by_value_size() {
+        let err = check_maps(
+            |a| {
+                a.st_imm(Width::W, 10, -4, 0)
+                    .mov64_imm(1, 0)
+                    .mov64_reg(2, 10)
+                    .add64_imm(2, -4)
+                    .call(helper::MAP_LOOKUP)
+                    .jeq_imm(0, 0, "miss")
+                    .ldx(Width::DW, 0, 0, 8) // value_size is 8: offset 8 OOB
+                    .exit()
+                    .label("miss")
+                    .mov64_imm(0, 0)
+                    .exit();
+            },
+            vec![MapSpec::array(8, 4)],
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn map_id_must_be_constant_and_declared() {
+        let err = check_maps(
+            |a| {
+                a.st_imm(Width::W, 10, -4, 0)
+                    .mov64_imm(1, 3) // no map 3
+                    .mov64_reg(2, 10)
+                    .add64_imm(2, -4)
+                    .call(helper::MAP_LOOKUP)
+                    .mov64_imm(0, 0)
+                    .exit();
+            },
+            vec![MapSpec::array(8, 4)],
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::BadHelperCall { .. }));
+    }
+
+    #[test]
+    fn jump_into_ld_imm64_pair_rejected() {
+        // Hand-build: jump lands on the hi slot of ld_imm64.
+        use crate::insn::{Insn, CLS_JMP, JMP_EXIT, JMP_JA};
+        let [lo, hi] = Insn::ld_imm64(2, 42);
+        let prog = Program::new(vec![
+            Insn::new(CLS_JMP | JMP_JA, 0, 0, 1, 0), // jumps to slot 2 (hi)
+            lo,
+            hi,
+            Insn::new(CLS_JMP | JMP_EXIT, 0, 0, 0, 0),
+        ]);
+        let err = verify(&prog).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadJumpTarget);
+    }
+
+    #[test]
+    fn diamond_join_is_not_a_loop() {
+        check(|a| {
+            a.ldx(Width::W, 2, 1, ctx_off::HOP)
+                .mov64_imm(0, 0)
+                .jeq_imm(2, 0, "left")
+                .mov64_imm(0, 0) // right arm: same resulting state
+                .ja("join")
+                .label("left")
+                .mov64_imm(0, 0)
+                .label("join")
+                .exit();
+        })
+        .expect("re-converging states accepted");
+    }
+
+    #[test]
+    fn branch_pruning_kills_impossible_paths() {
+        // r2 in [0, 7]; the `jgt r2, 100` taken branch is impossible and
+        // must be pruned (it would otherwise hit an OOB data access).
+        check(|a| {
+            a.ldx(Width::W, 2, 1, ctx_off::HOP)
+                .and64_imm(2, 0x7)
+                .jgt_imm(2, 100, "impossible")
+                .mov64_imm(0, 0)
+                .exit()
+                .label("impossible")
+                .ldx(Width::DW, 3, 1, ctx_off::DATA)
+                .ldx(Width::DW, 0, 3, 0) // would be OOB if reachable
+                .exit();
+        })
+        .expect("unreachable branch pruned");
+    }
+
+    #[test]
+    fn stats_reported() {
+        let stats = check(|a| {
+            a.mov64_imm(0, 0).exit();
+        })
+        .expect("accepted");
+        assert!(stats.states >= 2);
+        assert!(stats.max_path >= 2);
+    }
+}

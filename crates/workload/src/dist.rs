@@ -1,0 +1,256 @@
+//! Key-selection distributions (YCSB-compatible).
+//!
+//! The Zipfian generator follows Gray et al.'s "Quickly Generating
+//! Billion-Record Synthetic Databases" algorithm, the same one YCSB
+//! uses, including incremental ζ(n, θ) maintenance so the keyspace can
+//! grow under inserts without re-deriving the constant from scratch.
+
+use bpfstor_sim::SimRng;
+
+/// A distribution over keys `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over the keyspace.
+    Uniform,
+    /// Zipfian with parameter `theta` (YCSB default 0.99; the paper's
+    /// TokuDB experiment uses 0.7).
+    Zipfian(ZipfState),
+    /// Skewed towards the most recently inserted keys.
+    Latest(ZipfState),
+}
+
+impl KeyDist {
+    /// Uniform distribution.
+    pub fn uniform() -> Self {
+        KeyDist::Uniform
+    }
+
+    /// Zipfian with the given theta over an initial keyspace of `n`.
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::Zipfian(ZipfState::new(n, theta))
+    }
+
+    /// Latest-skewed with the given theta.
+    pub fn latest(n: u64, theta: f64) -> Self {
+        KeyDist::Latest(ZipfState::new(n, theta))
+    }
+
+    /// Draws a key from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample(&mut self, rng: &mut SimRng, n: u64) -> u64 {
+        assert!(n > 0, "empty keyspace");
+        match self {
+            KeyDist::Uniform => rng.below(n),
+            KeyDist::Zipfian(z) => {
+                // YCSB's scrambled Zipfian: spread the hot items across
+                // the keyspace deterministically.
+                let rank = z.sample(rng, n);
+                fnv_hash(rank) % n
+            }
+            KeyDist::Latest(z) => {
+                // Hot end is the most recent insert: rank 0 = newest.
+                let rank = z.sample(rng, n);
+                n - 1 - rank
+            }
+        }
+    }
+}
+
+/// FNV-1a, used by YCSB to scatter Zipfian ranks over the keyspace.
+fn fnv_hash(v: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Incremental Zipfian state.
+#[derive(Debug, Clone)]
+pub struct ZipfState {
+    theta: f64,
+    n: u64,
+    zetan: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfState {
+    /// Builds the state for an initial keyspace of `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < theta < 1` (the YCSB-supported range).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta {theta} outside (0, 1)"
+        );
+        let n = n.max(1);
+        let zetan = zeta(0, n, theta, 0.0);
+        let zeta2 = zeta(0, 2, theta, 0.0);
+        let mut s = ZipfState {
+            theta,
+            n,
+            zetan,
+            zeta2,
+            alpha: 1.0 / (1.0 - theta),
+            eta: 0.0,
+        };
+        s.recompute_eta();
+        s
+    }
+
+    fn recompute_eta(&mut self) {
+        self.eta = (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zetan);
+    }
+
+    /// Extends the keyspace to `n` items, updating ζ incrementally.
+    pub fn grow(&mut self, n: u64) {
+        if n <= self.n {
+            return;
+        }
+        self.zetan = zeta(self.n, n, self.theta, self.zetan);
+        self.n = n;
+        self.recompute_eta();
+    }
+
+    /// Samples a *rank* in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample(&mut self, rng: &mut SimRng, n: u64) -> u64 {
+        self.grow(n);
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64
+            * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(n - 1)
+    }
+}
+
+fn zeta(from: u64, to: u64, theta: f64, base: f64) -> f64 {
+    let mut sum = base;
+    for i in from..to {
+        sum += 1.0 / ((i + 1) as f64).powf(theta);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_keyspace() {
+        let mut d = KeyDist::uniform();
+        let mut rng = SimRng::seed(1);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            seen[d.sample(&mut rng, 16) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipfian_ranks_are_skewed() {
+        let mut z = ZipfState::new(1000, 0.99);
+        let mut rng = SimRng::seed(2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng, 1000) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head > 30_000,
+            "top-10 ranks should draw >30% of traffic, got {head}"
+        );
+        assert!(counts[0] > counts[500] * 10);
+    }
+
+    #[test]
+    fn zipfian_07_less_skewed_than_099() {
+        let mut rng = SimRng::seed(3);
+        let head_share = |theta: f64, rng: &mut SimRng| {
+            let mut z = ZipfState::new(1000, theta);
+            let mut head = 0u64;
+            for _ in 0..50_000 {
+                if z.sample(rng, 1000) < 10 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let h99 = head_share(0.99, &mut rng);
+        let h70 = head_share(0.70, &mut rng);
+        assert!(
+            h99 > h70,
+            "theta 0.99 ({h99}) should be hotter than 0.7 ({h70})"
+        );
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut d = KeyDist::zipfian(1000, 0.99);
+        let mut rng = SimRng::seed(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(d.sample(&mut rng, 1000)).or_insert(0u64) += 1;
+        }
+        // The hottest key should NOT be key 0 (scrambling moved it).
+        let hottest = counts.iter().max_by_key(|(_, c)| **c).expect("nonempty");
+        assert!(counts.len() > 300, "coverage {}", counts.len());
+        assert!(*hottest.1 > 1_000, "still skewed after scrambling");
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let mut d = KeyDist::latest(1000, 0.99);
+        let mut rng = SimRng::seed(5);
+        let mut newest_hits = 0;
+        for _ in 0..10_000 {
+            if d.sample(&mut rng, 1000) >= 990 {
+                newest_hits += 1;
+            }
+        }
+        assert!(
+            newest_hits > 3_000,
+            "latest-10 keys should dominate: {newest_hits}"
+        );
+    }
+
+    #[test]
+    fn growth_keeps_sampling_valid() {
+        let mut z = ZipfState::new(10, 0.7);
+        let mut rng = SimRng::seed(6);
+        for n in [10u64, 100, 1_000, 10_000] {
+            for _ in 0..1_000 {
+                assert!(z.sample(&mut rng, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_zeta_matches_scratch() {
+        let theta = 0.7;
+        let mut z = ZipfState::new(100, theta);
+        z.grow(1_000);
+        let scratch = zeta(0, 1_000, theta, 0.0);
+        assert!((z.zetan - scratch).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_theta_rejected() {
+        ZipfState::new(10, 1.5);
+    }
+}

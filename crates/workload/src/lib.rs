@@ -1,0 +1,13 @@
+//! YCSB-like workload generation for the `bpfstor` benchmarks.
+//!
+//! Provides the deterministic operation streams the evaluation needs:
+//! scrambled-Zipfian / uniform / latest key choice ([`dist`]) and
+//! read/update/insert/scan mixes ([`ycsb`]), including the paper's
+//! 40/40/20 Zipfian-0.7 TokuDB workload for the §4 extent-stability
+//! experiment.
+
+pub mod dist;
+pub mod ycsb;
+
+pub use dist::{KeyDist, ZipfState};
+pub use ycsb::{Op, OpMix, YcsbGen};

@@ -1,0 +1,270 @@
+//! YCSB-style operation generators.
+//!
+//! The paper's §4 extent-stability measurement runs "a 24 hour YCSB
+//! (40% reads, 40% updates, 20% inserts, Zipfian 0.7) experiment" —
+//! [`OpMix::paper_tokudb`] is that mix; the standard YCSB A–F presets
+//! are included for the wider benchmark suite.
+
+use bpfstor_sim::SimRng;
+
+use crate::dist::KeyDist;
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of a key.
+    Read(u64),
+    /// Overwrite of an existing key.
+    Update(u64),
+    /// Insert of a brand-new key (returned key is the new maximum).
+    Insert(u64),
+    /// Range scan starting at a key.
+    Scan {
+        /// Start key.
+        key: u64,
+        /// Records to scan.
+        len: u32,
+    },
+}
+
+/// Operation percentages; must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent point reads.
+    pub read: u8,
+    /// Percent updates.
+    pub update: u8,
+    /// Percent inserts.
+    pub insert: u8,
+    /// Percent scans.
+    pub scan: u8,
+}
+
+impl OpMix {
+    /// The paper's TokuDB experiment: 40% read / 40% update / 20% insert.
+    pub fn paper_tokudb() -> Self {
+        OpMix {
+            read: 40,
+            update: 40,
+            insert: 20,
+            scan: 0,
+        }
+    }
+
+    /// YCSB-A: 50/50 read/update.
+    pub fn ycsb_a() -> Self {
+        OpMix {
+            read: 50,
+            update: 50,
+            insert: 0,
+            scan: 0,
+        }
+    }
+
+    /// YCSB-B: 95/5 read/update.
+    pub fn ycsb_b() -> Self {
+        OpMix {
+            read: 95,
+            update: 5,
+            insert: 0,
+            scan: 0,
+        }
+    }
+
+    /// YCSB-C: read-only.
+    pub fn ycsb_c() -> Self {
+        OpMix {
+            read: 100,
+            update: 0,
+            insert: 0,
+            scan: 0,
+        }
+    }
+
+    /// YCSB-E: 95/5 scan/insert.
+    pub fn ycsb_e() -> Self {
+        OpMix {
+            read: 0,
+            update: 0,
+            insert: 5,
+            scan: 95,
+        }
+    }
+
+    fn validate(&self) -> bool {
+        self.read as u32 + self.update as u32 + self.insert as u32 + self.scan as u32 == 100
+    }
+}
+
+/// Deterministic operation stream.
+pub struct YcsbGen {
+    mix: OpMix,
+    dist: KeyDist,
+    rng: SimRng,
+    nkeys: u64,
+    max_scan: u32,
+    ops: u64,
+}
+
+impl YcsbGen {
+    /// Creates a generator over an initial keyspace of `nkeys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not sum to 100 or `nkeys == 0`.
+    pub fn new(mix: OpMix, dist: KeyDist, nkeys: u64, seed: u64) -> Self {
+        assert!(mix.validate(), "op mix must sum to 100");
+        assert!(nkeys > 0, "need a non-empty initial keyspace");
+        YcsbGen {
+            mix,
+            dist,
+            rng: SimRng::seed(seed),
+            nkeys,
+            max_scan: 100,
+            ops: 0,
+        }
+    }
+
+    /// Current keyspace size (grows with inserts).
+    pub fn keyspace(&self) -> u64 {
+        self.nkeys
+    }
+
+    /// Operations generated so far.
+    pub fn generated(&self) -> u64 {
+        self.ops
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        self.ops += 1;
+        let roll = self.rng.below(100) as u8;
+        let mut acc = self.mix.read;
+        if roll < acc {
+            return Op::Read(self.dist.sample(&mut self.rng, self.nkeys));
+        }
+        acc += self.mix.update;
+        if roll < acc {
+            return Op::Update(self.dist.sample(&mut self.rng, self.nkeys));
+        }
+        acc += self.mix.insert;
+        if roll < acc {
+            let key = self.nkeys;
+            self.nkeys += 1;
+            return Op::Insert(key);
+        }
+        let key = self.dist.sample(&mut self.rng, self.nkeys);
+        let len = 1 + self.rng.below(self.max_scan as u64) as u32;
+        Op::Scan { key, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_converge() {
+        let mut g = YcsbGen::new(
+            OpMix::paper_tokudb(),
+            KeyDist::zipfian(1_000, 0.7),
+            1_000,
+            42,
+        );
+        let (mut r, mut u, mut i) = (0u32, 0u32, 0u32);
+        for _ in 0..100_000 {
+            match g.next_op() {
+                Op::Read(_) => r += 1,
+                Op::Update(_) => u += 1,
+                Op::Insert(_) => i += 1,
+                Op::Scan { .. } => panic!("no scans in this mix"),
+            }
+        }
+        assert!((r as f64 / 100_000.0 - 0.4).abs() < 0.01, "reads {r}");
+        assert!((u as f64 / 100_000.0 - 0.4).abs() < 0.01, "updates {u}");
+        assert!((i as f64 / 100_000.0 - 0.2).abs() < 0.01, "inserts {i}");
+    }
+
+    #[test]
+    fn inserts_grow_keyspace_monotonically() {
+        let mut g = YcsbGen::new(
+            OpMix {
+                read: 0,
+                update: 0,
+                insert: 100,
+                scan: 0,
+            },
+            KeyDist::uniform(),
+            10,
+            7,
+        );
+        let mut expected = 10;
+        for _ in 0..100 {
+            match g.next_op() {
+                Op::Insert(k) => {
+                    assert_eq!(k, expected, "inserts are sequential new keys");
+                    expected += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(g.keyspace(), 110);
+    }
+
+    #[test]
+    fn reads_stay_in_keyspace() {
+        let mut g = YcsbGen::new(OpMix::ycsb_c(), KeyDist::zipfian(50, 0.99), 50, 9);
+        for _ in 0..10_000 {
+            match g.next_op() {
+                Op::Read(k) => assert!(k < 50),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scans_have_positive_length() {
+        let mut g = YcsbGen::new(OpMix::ycsb_e(), KeyDist::uniform(), 100, 11);
+        let mut scans = 0;
+        for _ in 0..1_000 {
+            if let Op::Scan { key, len } = g.next_op() {
+                assert!(key < g.keyspace());
+                assert!((1..=100).contains(&len));
+                scans += 1;
+            }
+        }
+        assert!(scans > 900);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            YcsbGen::new(
+                OpMix::ycsb_a(),
+                KeyDist::zipfian(100, 0.9),
+                100,
+                1234,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn invalid_mix_rejected() {
+        YcsbGen::new(
+            OpMix {
+                read: 50,
+                update: 0,
+                insert: 0,
+                scan: 0,
+            },
+            KeyDist::uniform(),
+            10,
+            1,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # bpfstor — BPF for storage, an exokernel-inspired approach
+//!
+//! Full-system reproduction of the HotOS 2021 paper *"BPF for storage: an
+//! exokernel-inspired approach"* (Wu, Wang, Zhong, Cidon, Stutsman, Tai,
+//! Yang). This facade crate re-exports every subsystem so applications can
+//! depend on a single crate:
+//!
+//! - [`sim`] — deterministic discrete-event simulation substrate
+//! - [`vm`] — eBPF-subset virtual machine (assembler, verifier, interpreter)
+//! - [`device`] — NVMe device model with per-class latency profiles
+//! - [`fs`] — extent-based file system with extent-change notification
+//! - [`kernel`] — the simulated Linux-like storage stack with BPF hooks
+//! - [`btree`] — on-disk B-tree used by the paper's main benchmark
+//! - [`lsm`] — LSM tree / SSTable substrate (immutable index files)
+//! - [`workload`] — YCSB-like workload generator
+//! - [`core`] — the paper's contribution: storage-BPF install + program
+//!   generators + dispatch control
+//!
+//! # Examples
+//!
+//! ```
+//! use bpfstor::core::{DispatchMode, StorageBpfBuilder};
+//!
+//! // Build a small on-disk B-tree inside a simulated machine and look a
+//! // key up via a BPF program resubmitted from the NVMe driver hook.
+//! let mut env = StorageBpfBuilder::new()
+//!     .btree_depth(3)
+//!     .dispatch(DispatchMode::DriverHook)
+//!     .build()
+//!     .expect("environment construction");
+//! let hit = env.lookup_checked(42).expect("lookup");
+//! assert!(hit.found);
+//! ```
+
+pub use bpfstor_btree as btree;
+pub use bpfstor_core as core;
+pub use bpfstor_device as device;
+pub use bpfstor_fs as fs;
+pub use bpfstor_kernel as kernel;
+pub use bpfstor_lsm as lsm;
+pub use bpfstor_sim as sim;
+pub use bpfstor_vm as vm;
+pub use bpfstor_workload as workload;

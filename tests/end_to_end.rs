@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full pipeline from on-disk bytes
+//! through the simulated kernel, the verifier, and the interpreter back
+//! to the application, for every dispatch path.
+
+use bpfstor::core::{sst_get_program, DispatchMode, SstGetDriver, StorageBpfBuilder};
+use bpfstor::kernel::{ChainStatus, Machine, MachineConfig};
+use bpfstor::lsm::sstable::{build_image, Footer};
+use bpfstor::lsm::BLOCK;
+use bpfstor::sim::SECOND;
+
+#[test]
+fn all_dispatch_modes_agree_on_lookups() {
+    let mut results: Vec<Vec<(bool, Option<u64>)>> = Vec::new();
+    for mode in DispatchMode::ALL {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(5)
+            .dispatch(mode)
+            .build()
+            .expect("env");
+        let probes: Vec<u64> = (0..40).map(|i| i * 37 % (env.nkeys + 50)).collect();
+        let mut out = Vec::new();
+        for key in probes {
+            let hit = env.lookup_checked(key).expect("lookup");
+            out.push((hit.found, hit.value));
+        }
+        results.push(out);
+    }
+    assert_eq!(results[0], results[1], "user vs syscall hook");
+    assert_eq!(results[0], results[2], "user vs driver hook");
+}
+
+#[test]
+fn lookup_depth_equals_io_count() {
+    for depth in [1u32, 3, 7] {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(depth)
+            .dispatch(DispatchMode::DriverHook)
+            .build()
+            .expect("env");
+        let hit = env.lookup_checked(0).expect("lookup");
+        assert!(hit.found);
+        assert_eq!(hit.ios, depth, "one I/O per level");
+    }
+}
+
+#[test]
+fn uring_and_sync_produce_identical_verdicts() {
+    let run = |uring: bool| {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(4)
+            .dispatch(DispatchMode::DriverHook)
+            .seed(1234)
+            .build()
+            .expect("env");
+        let (report, stats) = if uring {
+            env.bench_lookups_uring(1, 4, 10_000_000)
+        } else {
+            env.bench_lookups(1, 10_000_000)
+        };
+        assert_eq!(stats.mismatches, 0);
+        assert_eq!(report.errors, 0);
+        stats.hits + stats.misses
+    };
+    assert!(run(false) > 0);
+    assert!(run(true) > 0);
+}
+
+#[test]
+fn invalidation_roundtrip_through_facade() {
+    let mut env = StorageBpfBuilder::new()
+        .btree_depth(4)
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("env");
+    assert!(env.lookup_checked(1).expect("before").found);
+    let status = env.invalidate_and_rearm().expect("protocol");
+    assert!(
+        matches!(status, ChainStatus::ExtentMiss | ChainStatus::Invalidated),
+        "{status:?}"
+    );
+    let hit = env.lookup_checked(1).expect("after rearm");
+    assert!(hit.found, "lookups work against the relocated file");
+}
+
+#[test]
+fn sst_cold_get_offload_agrees_with_native() {
+    const VS: usize = 48;
+    let entries: Vec<(u64, Vec<u8>)> = (0..600u64)
+        .map(|i| {
+            let mut v = vec![0u8; VS];
+            v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+            (i * 3, v)
+        })
+        .collect();
+    let image = build_image(&entries).expect("image");
+    let footer = Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
+    let footer_off = (footer.total_blocks() - 1) * BLOCK as u64;
+    assert!(footer.index_blocks >= 1);
+
+    let probes: Vec<u64> = (0..50u64).map(|i| i * 41 % 2_000).collect();
+    let mut verdicts: Vec<Vec<(u64, Option<Vec<u8>>)>> = Vec::new();
+    for mode in [DispatchMode::User, DispatchMode::DriverHook] {
+        let mut m = Machine::new(MachineConfig::default());
+        m.create_file("t.sst", &image).expect("create");
+        let fd = m.open("t.sst", true).expect("open");
+        if mode != DispatchMode::User {
+            m.install(fd, sst_get_program(VS as u32), 0).expect("install");
+        }
+        let expect: Vec<Option<Vec<u8>>> = probes
+            .iter()
+            .map(|k| entries.iter().find(|(ek, _)| ek == k).map(|(_, v)| v.clone()))
+            .collect();
+        let mut d = SstGetDriver::new(fd, mode, footer_off, probes.clone(), expect);
+        let report = m.run_closed_loop(1, SECOND, &mut d);
+        assert_eq!(d.stats.mismatches, 0, "{mode:?}");
+        assert_eq!(d.stats.errors, 0, "{mode:?}");
+        assert_eq!(report.errors, 0);
+        let mut sorted = d.results.clone();
+        sorted.sort_by_key(|(k, _)| *k);
+        verdicts.push(sorted);
+    }
+    assert_eq!(verdicts[0], verdicts[1], "native vs offloaded cold gets");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(6)
+            .dispatch(DispatchMode::DriverHook)
+            .seed(777)
+            .build()
+            .expect("env");
+        let (report, stats) = env.bench_lookups(4, 15_000_000);
+        (
+            report.chains,
+            report.ios,
+            report.sim_time,
+            report.iops.to_bits(),
+            stats.hits,
+            stats.misses,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_interleavings_but_correct_results() {
+    for seed in [1u64, 2, 3] {
+        let mut env = StorageBpfBuilder::new()
+            .btree_depth(5)
+            .dispatch(DispatchMode::DriverHook)
+            .seed(seed)
+            .build()
+            .expect("env");
+        let (report, stats) = env.bench_lookups(3, 10_000_000);
+        assert_eq!(stats.mismatches, 0, "seed {seed}");
+        assert_eq!(report.errors, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn driver_hook_beats_baseline_at_depth() {
+    let mut base = StorageBpfBuilder::new()
+        .btree_depth(8)
+        .dispatch(DispatchMode::User)
+        .build()
+        .expect("env");
+    let mut hook = StorageBpfBuilder::new()
+        .btree_depth(8)
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("env");
+    let (rb, _) = base.bench_lookups(4, 15_000_000);
+    let (rh, _) = hook.bench_lookups(4, 15_000_000);
+    let speedup = rh.chains_per_sec / rb.chains_per_sec;
+    assert!(
+        speedup > 1.5,
+        "depth-8 driver hook should clearly win: {speedup:.2}x"
+    );
+}
+
+#[test]
+fn stats_map_counts_kernel_side_without_extra_crossings() {
+    use bpfstor::core::{btree_lookup_program_with_stats, stats_slot, BtreeLookupDriver};
+
+    // Build a depth-4 environment but install the stats-map variant.
+    let mut env = StorageBpfBuilder::new()
+        .btree_depth(4)
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("env");
+    env.machine
+        .install(env.fd, btree_lookup_program_with_stats(), 0)
+        .expect("install stats variant");
+
+    let mut d = BtreeLookupDriver::new(env.fd, DispatchMode::DriverHook, env.root_off(), env.nkeys);
+    d.max_chains = 25;
+    let report = env.machine.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(report.errors, 0);
+    assert_eq!(d.stats.mismatches, 0, "stats variant returns correct values");
+
+    let slot = |m: &mut Machine, s: u32| -> u64 {
+        let v = m
+            .map_value(env.fd, 0, &s.to_le_bytes())
+            .expect("map value readable after the run");
+        u64::from_le_bytes(v.try_into().expect("8B"))
+    };
+    let invocations = slot(&mut env.machine, stats_slot::INVOCATIONS);
+    let resubmits = slot(&mut env.machine, stats_slot::RESUBMITS);
+    let hits = slot(&mut env.machine, stats_slot::HITS);
+    let misses = slot(&mut env.machine, stats_slot::MISSES);
+
+    assert_eq!(invocations, 25 * 4, "one invocation per hop");
+    assert_eq!(resubmits, 25 * 3, "three interior hops per depth-4 lookup");
+    assert_eq!(hits + misses, 25, "every chain terminates at a leaf");
+    assert_eq!(hits, d.stats.hits);
+    assert_eq!(misses, d.stats.misses);
+}

@@ -1,0 +1,460 @@
+//! Property-based tests over the core data structures and, most
+//! importantly, the verifier's soundness contract: **a program the
+//! verifier accepts never traps at runtime**.
+
+use proptest::prelude::*;
+
+use bpfstor::btree::tree::{build_pages, lookup, step_on_page, Step};
+use bpfstor::btree::{Node, FANOUT_MAX};
+use bpfstor::core::{btree_lookup_program, value_of};
+use bpfstor::fs::{ExtFs, Extent, ExtentTree};
+use bpfstor::lsm::sstable::{build_image, data_block_entries, Footer};
+use bpfstor::lsm::BLOCK;
+use bpfstor::sim::Histogram;
+use bpfstor::vm::insn::{decode, encode, Insn};
+use bpfstor::vm::{
+    action, verify, Asm, MapSet, Program, RecordingEnv, RunCtx, Trap, Vm, Width,
+};
+
+// --- VM: encode/decode ---------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn insn_wire_roundtrip(
+        ops in proptest::collection::vec((0u8..=255, 0u8..=10, 0u8..=10, any::<i16>(), any::<i32>()), 1..50)
+    ) {
+        // Wide opcodes need a pair; filter them out of the random stream
+        // and append a canonical pair to still exercise that path.
+        let mut insns: Vec<Insn> = ops
+            .into_iter()
+            .map(|(op, dst, src, off, imm)| Insn::new(op, dst, src, off, imm))
+            .filter(|i| i.op != bpfstor::vm::insn::OP_LD_IMM64 && i.op != 0)
+            .collect();
+        let [lo, hi] = Insn::ld_imm64(3, 0xDEAD_BEEF_0BAD_F00D);
+        insns.push(lo);
+        insns.push(hi);
+        let bytes = encode(&insns);
+        let back = decode(&bytes).expect("roundtrip");
+        prop_assert_eq!(back, insns);
+    }
+}
+
+// --- VM: ALU semantics vs a reference evaluator ---------------------------------
+
+#[derive(Debug, Clone)]
+enum AluOp {
+    AddImm(i32),
+    SubImm(i32),
+    MulImm(i32),
+    DivImm(i32),
+    AndImm(i32),
+    OrImm(i32),
+    XorImm(i32),
+    Lsh(u8),
+    Rsh(u8),
+    Arsh(u8),
+    Neg,
+}
+
+fn alu_strategy() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        any::<i32>().prop_map(AluOp::AddImm),
+        any::<i32>().prop_map(AluOp::SubImm),
+        any::<i32>().prop_map(AluOp::MulImm),
+        any::<i32>().prop_map(AluOp::DivImm),
+        any::<i32>().prop_map(AluOp::AndImm),
+        any::<i32>().prop_map(AluOp::OrImm),
+        any::<i32>().prop_map(AluOp::XorImm),
+        (0u8..64).prop_map(AluOp::Lsh),
+        (0u8..64).prop_map(AluOp::Rsh),
+        (0u8..64).prop_map(AluOp::Arsh),
+        Just(AluOp::Neg),
+    ]
+}
+
+fn reference_eval(start: u64, ops: &[AluOp]) -> u64 {
+    let mut v = start;
+    for op in ops {
+        v = match op {
+            AluOp::AddImm(i) => v.wrapping_add(*i as i64 as u64),
+            AluOp::SubImm(i) => v.wrapping_sub(*i as i64 as u64),
+            AluOp::MulImm(i) => v.wrapping_mul(*i as i64 as u64),
+            AluOp::DivImm(i) => v.checked_div(*i as i64 as u64).unwrap_or(0),
+            AluOp::AndImm(i) => v & (*i as i64 as u64),
+            AluOp::OrImm(i) => v | (*i as i64 as u64),
+            AluOp::XorImm(i) => v ^ (*i as i64 as u64),
+            AluOp::Lsh(s) => v.wrapping_shl(*s as u32),
+            AluOp::Rsh(s) => v.wrapping_shr(*s as u32),
+            AluOp::Arsh(s) => ((v as i64).wrapping_shr(*s as u32)) as u64,
+            AluOp::Neg => (v as i64).wrapping_neg() as u64,
+        };
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn alu_matches_reference(
+        start in any::<u64>(),
+        ops in proptest::collection::vec(alu_strategy(), 0..24)
+    ) {
+        let mut a = Asm::new();
+        a.ld_imm64(0, start);
+        for op in &ops {
+            match op {
+                AluOp::AddImm(i) => a.add64_imm(0, *i),
+                AluOp::SubImm(i) => a.sub64_imm(0, *i),
+                AluOp::MulImm(i) => a.mul64_imm(0, *i),
+                AluOp::DivImm(i) => a.div64_imm(0, *i),
+                AluOp::AndImm(i) => a.and64_imm(0, *i),
+                AluOp::OrImm(i) => a.or64_imm(0, *i),
+                AluOp::XorImm(i) => a.xor64_imm(0, *i),
+                AluOp::Lsh(s) => a.lsh64_imm(0, *s as i32),
+                AluOp::Rsh(s) => a.rsh64_imm(0, *s as i32),
+                AluOp::Arsh(s) => a.arsh64_imm(0, *s as i32),
+                AluOp::Neg => a.neg64(0),
+            };
+        }
+        a.exit();
+        let prog = Program::new(a.finish().expect("assembles"));
+        let mut maps = MapSet::instantiate(&prog.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 8];
+        let out = Vm::new()
+            .run(
+                &prog,
+                RunCtx { data: &[], file_off: 0, hop: 0, flags: 0, scratch: &mut scratch },
+                &mut maps,
+                &mut env,
+            )
+            .expect("straight-line ALU programs never trap");
+        prop_assert_eq!(out.ret, reference_eval(start, &ops));
+    }
+}
+
+// --- Verifier soundness: accepted programs never trap ----------------------------
+
+/// A tiny generator of arbitrary-ish programs. Most are rejected by the
+/// verifier; the property only concerns the accepted ones.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let insn = prop_oneof![
+        // ALU imm on r0-r5.
+        (0u8..6, any::<i32>(), 0usize..7).prop_map(|(dst, imm, which)| {
+            let mut a = Asm::new();
+            match which {
+                0 => a.mov64_imm(dst, imm),
+                1 => a.add64_imm(dst, imm),
+                2 => a.mul64_imm(dst, imm),
+                3 => a.and64_imm(dst, imm),
+                4 => a.rsh64_imm(dst, (imm & 63).abs()),
+                5 => a.xor64_imm(dst, imm),
+                _ => a.or64_imm(dst, imm),
+            };
+            a.finish().expect("fragment")
+        }),
+        // Reg-to-reg moves and arithmetic.
+        (0u8..6, 0u8..6, 0usize..3).prop_map(|(dst, src, which)| {
+            let mut a = Asm::new();
+            match which {
+                0 => a.mov64_reg(dst, src),
+                1 => a.add64_reg(dst, src),
+                _ => a.sub64_reg(dst, src),
+            };
+            a.finish().expect("fragment")
+        }),
+        // Stack traffic.
+        (0u8..6, 1u8..=8).prop_map(|(reg, slot)| {
+            let mut a = Asm::new();
+            a.stx(Width::DW, 10, -8 * slot as i16, reg)
+                .ldx(Width::DW, reg, 10, -8 * slot as i16);
+            a.finish().expect("fragment")
+        }),
+        // Context loads.
+        (2u8..6, 0usize..3).prop_map(|(dst, which)| {
+            let mut a = Asm::new();
+            match which {
+                0 => a.ldx(Width::DW, dst, 1, bpfstor::vm::ctx_off::DATA),
+                1 => a.ldx(Width::DW, dst, 1, bpfstor::vm::ctx_off::FILE_OFF),
+                _ => a.ldx(Width::W, dst, 1, bpfstor::vm::ctx_off::HOP),
+            };
+            a.finish().expect("fragment")
+        }),
+        // Data access guarded by a bound check (sometimes mis-sized on
+        // purpose: the verifier must catch those).
+        (0i16..24, 1usize..9).prop_map(|(off, proven)| {
+            let mut a = Asm::new();
+            a.ldx(Width::DW, 2, 1, bpfstor::vm::ctx_off::DATA)
+                .ldx(Width::DW, 3, 1, bpfstor::vm::ctx_off::DATA_END)
+                .mov64_reg(4, 2)
+                .add64_imm(4, proven as i32)
+                .jgt_reg(4, 3, "skip")
+                .ldx(Width::B, 5, 2, off)
+                .label("skip")
+                .mov64_imm(5, 0);
+            a.finish().expect("fragment")
+        }),
+    ];
+    (proptest::collection::vec(insn, 1..12)).prop_map(|frags| {
+        let mut insns = Vec::new();
+        for f in frags {
+            insns.extend(f);
+        }
+        // Epilogue: r0 = 0; exit.
+        let mut a = Asm::new();
+        a.mov64_imm(0, 0).exit();
+        insns.extend(a.finish().expect("epilogue"));
+        Program::new(insns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn verified_programs_never_trap(
+        prog in arb_program(),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        file_off in any::<u64>(),
+        hop in any::<u32>(),
+    ) {
+        if verify(&prog).is_ok() {
+            let mut maps = MapSet::instantiate(&prog.maps).expect("maps");
+            let mut env = RecordingEnv::default();
+            let mut scratch = [0u8; 256];
+            let result = Vm::new().run(
+                &prog,
+                RunCtx { data: &data, file_off, hop, flags: 0, scratch: &mut scratch },
+                &mut maps,
+                &mut env,
+            );
+            prop_assert!(
+                !matches!(
+                    result,
+                    Err(Trap::OutOfBounds { .. })
+                        | Err(Trap::WriteToReadOnly { .. })
+                        | Err(Trap::IllegalInsn { .. })
+                        | Err(Trap::BadJump { .. })
+                        | Err(Trap::FellThrough)
+                ),
+                "verified program trapped: {result:?}"
+            );
+        }
+    }
+}
+
+// --- B-tree: BPF program equals the native oracle --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn bpf_btree_step_matches_native(
+        raw_keys in proptest::collection::btree_set(0u64..1_000_000, 1..(FANOUT_MAX + 1)),
+        level in 0u8..4,
+        probe in 0u64..1_100_000,
+    ) {
+        let keys: Vec<u64> = raw_keys.into_iter().collect();
+        let slots: Vec<u64> = (0..keys.len() as u64).map(|i| i + 5).collect();
+        let page = Node::new(level, keys, slots).encode();
+        let native = step_on_page(&page, probe).expect("native");
+
+        let prog = btree_lookup_program();
+        let mut maps = MapSet::instantiate(&prog.maps).expect("maps");
+        let mut env = RecordingEnv::default();
+        let mut scratch = [0u8; 256];
+        scratch[..8].copy_from_slice(&probe.to_le_bytes());
+        let out = Vm::new()
+            .run(
+                &prog,
+                RunCtx { data: &page, file_off: 0, hop: 0, flags: 0, scratch: &mut scratch },
+                &mut maps,
+                &mut env,
+            )
+            .expect("program never traps on valid pages");
+        match native {
+            Step::Next(off) => {
+                prop_assert_eq!(out.ret, action::ACT_RESUBMIT);
+                prop_assert_eq!(env.resubmits, vec![off]);
+            }
+            Step::Found(v) => {
+                prop_assert_eq!(out.ret, action::ACT_EMIT);
+                prop_assert_eq!(env.emitted, v.to_le_bytes().to_vec());
+            }
+            Step::Missing => prop_assert_eq!(out.ret, action::ACT_HALT),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn btree_lookup_matches_btreemap(
+        raw_keys in proptest::collection::btree_set(0u64..100_000, 2..400),
+        fanout in 2usize..16,
+        probes in proptest::collection::vec(0u64..110_000, 20),
+    ) {
+        let keys: Vec<u64> = raw_keys.iter().copied().collect();
+        let values: Vec<u64> = keys.iter().map(|k| value_of(*k)).collect();
+        let reference: std::collections::BTreeMap<u64, u64> =
+            keys.iter().copied().zip(values.iter().copied()).collect();
+        let (mut pages, info) = build_pages(&keys, &values, fanout).expect("build");
+        for probe in probes {
+            let (got, reads) =
+                lookup(&mut pages, info.root_block, info.depth, probe).expect("lookup");
+            prop_assert_eq!(got, reference.get(&probe).copied());
+            prop_assert_eq!(reads, info.depth);
+        }
+    }
+}
+
+// --- Extent tree invariants --------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn extent_tree_insert_remove_invariants(
+        ops in proptest::collection::vec((0u64..256, 1u64..16, any::<bool>()), 1..60)
+    ) {
+        let mut tree = ExtentTree::new();
+        let mut mapped = std::collections::BTreeMap::new(); // logical -> physical
+        let mut next_phys = 10_000u64;
+        for (lb, len, remove) in ops {
+            if remove {
+                tree.remove_range(lb, len);
+                for b in lb..lb + len {
+                    mapped.remove(&b);
+                }
+            } else {
+                // Only insert blocks not currently mapped (the FS layer
+                // guarantees this; overlapping inserts panic by design).
+                for b in lb..lb + len {
+                    if let std::collections::btree_map::Entry::Vacant(e) = mapped.entry(b) {
+                        tree.insert(Extent { logical: b, physical: next_phys, len: 1 });
+                        e.insert(next_phys);
+                        next_phys += 2; // non-adjacent so merges stay rare
+                    }
+                }
+            }
+            // The tree agrees with the reference on every mapped block.
+            prop_assert_eq!(tree.mapped_blocks(), mapped.len() as u64);
+            for (b, p) in &mapped {
+                let got = tree.lookup(*b).map(|(phys, _)| phys);
+                prop_assert_eq!(got, Some(*p));
+            }
+        }
+    }
+}
+
+// --- FS vs reference model -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn fs_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0usize..3, 0u64..4, 0u64..50_000, proptest::collection::vec(any::<u8>(), 1..600)),
+            1..40
+        )
+    ) {
+        let mut fs = ExtFs::mkfs(1 << 16);
+        let mut store = bpfstor::device::SectorStore::new();
+        let mut reference: std::collections::HashMap<String, Vec<u8>> =
+            std::collections::HashMap::new();
+        for (op, file_idx, off, data) in ops {
+            let name = format!("f{file_idx}");
+            match op {
+                // Write (creating on demand).
+                0 => {
+                    let ino = match fs.open(&name) {
+                        Ok(i) => i,
+                        Err(_) => fs.create(&name).expect("create"),
+                    };
+                    fs.write(ino, off, &data, &mut store).expect("write");
+                    let entry = reference.entry(name).or_default();
+                    let end = off as usize + data.len();
+                    if entry.len() < end {
+                        entry.resize(end, 0);
+                    }
+                    entry[off as usize..end].copy_from_slice(&data);
+                }
+                // Truncate.
+                1 => {
+                    if let Ok(ino) = fs.open(&name) {
+                        let new_size = off % 4_096;
+                        fs.truncate(ino, new_size, &mut store).expect("truncate");
+                        if let Some(entry) = reference.get_mut(&name) {
+                            entry.truncate(new_size as usize);
+                        }
+                    }
+                }
+                // Unlink.
+                _ => {
+                    if fs.open(&name).is_ok() {
+                        fs.unlink(&name).expect("unlink");
+                        reference.remove(&name);
+                    }
+                }
+            }
+            // Full-content comparison for every live file.
+            for (name, expect) in &reference {
+                let ino = fs.open(name).expect("exists");
+                prop_assert_eq!(fs.file_size(ino).expect("size"), expect.len() as u64);
+                let got = fs.read(ino, 0, expect.len(), &mut store).expect("read");
+                prop_assert_eq!(&got, expect);
+            }
+        }
+    }
+}
+
+// --- SSTable roundtrip ------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn sstable_roundtrip(
+        raw in proptest::collection::btree_map(0u64..1_000_000, proptest::collection::vec(any::<u8>(), 1..120), 1..300)
+    ) {
+        let entries: Vec<(u64, Vec<u8>)> = raw.into_iter().collect();
+        let image = build_image(&entries).expect("build");
+        prop_assert_eq!(image.len() % BLOCK, 0);
+        let footer = Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
+        prop_assert_eq!(footer.nkeys, entries.len() as u64);
+        // Reassemble every entry from the data blocks, in order.
+        let mut all = Vec::new();
+        for b in 0..footer.data_blocks as usize {
+            all.extend(data_block_entries(&image[b * BLOCK..(b + 1) * BLOCK]).expect("block"));
+        }
+        prop_assert_eq!(all, entries);
+    }
+}
+
+// --- Histogram quantiles vs exact reference -----------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_are_accurate(
+        mut values in proptest::collection::vec(1u64..10_000_000, 100..2_000)
+    ) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        values.sort_unstable();
+        for q in [0.1f64, 0.5, 0.9, 0.99] {
+            // Sound property for arbitrary data: the estimate must fall
+            // between nearby exact order statistics (rank tolerance ±2,
+            // covering ceil/floor conventions), expanded by the ~6.5%
+            // worst-case log-bucket width.
+            let n = values.len();
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let lo_exact = values[rank.saturating_sub(3)] as f64;
+            let hi_exact = values[(rank + 1).min(n - 1)] as f64;
+            let approx = h.quantile(q) as f64;
+            prop_assert!(
+                approx >= lo_exact / 1.07 && approx <= hi_exact * 1.07,
+                "q={q} approx={approx} window=[{lo_exact}, {hi_exact}]"
+            );
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), values[values.len() - 1]);
+    }
+}
