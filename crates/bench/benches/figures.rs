@@ -8,9 +8,9 @@
 //! `components.rs`.
 
 use bpfstor_bench::experiments::{
-    ablation_bpf_cost, ablation_extent_cache, ablation_resubmit_bound,
-    ablation_split_fallback, extent_stability, fig1, fig3_throughput, fig3c, fig3d,
-    lsm_stability, shape_checks, table1, Scale,
+    ablation_bpf_cost, ablation_extent_cache, ablation_resubmit_bound, ablation_split_fallback,
+    extent_stability, fig1, fig3_throughput, fig3c, fig3d, lsm_stability, shape_checks, table1,
+    Scale,
 };
 use bpfstor_core::DispatchMode;
 

@@ -3,8 +3,8 @@
 //! run one; default runs all.
 
 use bpfstor_bench::experiments::{
-    ablation_bpf_cost, ablation_extent_cache, ablation_resubmit_bound,
-    ablation_split_fallback, Scale,
+    ablation_bpf_cost, ablation_extent_cache, ablation_resubmit_bound, ablation_split_fallback,
+    Scale,
 };
 use bpfstor_bench::Table;
 

@@ -2,7 +2,8 @@
 
 use bpfstor_device::SECTOR_SIZE;
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, UserNext,
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    UserNext,
 };
 use bpfstor_sim::SimRng;
 
@@ -50,8 +51,9 @@ impl ChainDriver for RandomReadDriver {
         })
     }
 
-    fn chain_done(&mut self, _thread: usize, _outcome: &ChainOutcome) {
+    fn chain_done(&mut self, _thread: usize, _outcome: &ChainOutcome) -> ChainVerdict {
         self.completed += 1;
+        ChainVerdict::Done
     }
 }
 
@@ -131,14 +133,14 @@ impl ChainDriver for ChaseFallbackDriver {
         })
     }
 
-    fn user_step(&mut self, _thread: usize, _arg: u64, data: &[u8]) -> UserNext {
+    fn user_step(&mut self, _thread: usize, _token: &ChainToken, data: &[u8]) -> UserNext {
         match Self::parse_next(data) {
             Some(next) => UserNext::Continue(next),
             None => UserNext::Done,
         }
     }
 
-    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
         match &outcome.status {
             ChainStatus::SplitFallback { data, .. } => {
                 self.fallbacks += 1;
@@ -152,5 +154,6 @@ impl ChainDriver for ChaseFallbackDriver {
             s if s.is_ok() => self.completed += 1,
             _ => self.errors += 1,
         }
+        ChainVerdict::Done
     }
 }

@@ -5,10 +5,10 @@
 //! The `quick` flag trades precision for speed; the dedicated binaries
 //! run full scale, the `figures` bench runs quick.
 
-use bpfstor_core::{DispatchMode, StorageBpfBuilder};
+use bpfstor_core::{Btree, DispatchMode, PushdownSession};
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
-use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, Mutation, RunReport};
+use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, RunReport};
 use bpfstor_lsm::{LsmConfig, LsmTree};
 use bpfstor_sim::{Nanos, SimRng, MILLISECOND, SECOND};
 use bpfstor_workload::{KeyDist, Op, OpMix, YcsbGen};
@@ -81,7 +81,11 @@ pub fn fig1(scale: Scale) -> Table {
     let mut t = Table::new(
         "Figure 1 — kernel latency overhead, 512B random reads",
         &[
-            "device", "device us", "software us", "hardware %", "software %",
+            "device",
+            "device us",
+            "software us",
+            "hardware %",
+            "software %",
         ],
     );
     for class in DeviceClass::ALL {
@@ -162,13 +166,12 @@ fn lookup_run(
     duration: Nanos,
     seed: u64,
 ) -> RunReport {
-    let mut env = StorageBpfBuilder::new()
-        .btree_depth(depth)
+    let mut session = PushdownSession::builder(Btree::depth(depth))
         .dispatch(mode)
         .seed(seed)
         .build()
-        .expect("environment builds");
-    let (report, stats) = env.bench_lookups(threads, duration);
+        .expect("session builds");
+    let (report, stats) = session.run_closed_loop(threads, duration);
     assert_eq!(stats.mismatches, 0, "offloaded lookups must be correct");
     report
 }
@@ -214,7 +217,13 @@ pub fn fig3_throughput(scale: Scale, mode: DispatchMode) -> Table {
 pub fn fig3c(scale: Scale) -> Table {
     let mut t = Table::new(
         "Figure 3c — single-thread lookup latency (us) by dispatch path",
-        &["depth", "user space", "syscall hook", "NVMe driver hook", "driver cut %"],
+        &[
+            "depth",
+            "user space",
+            "syscall hook",
+            "NVMe driver hook",
+            "driver cut %",
+        ],
     );
     let duration = if scale.quick {
         4 * MILLISECOND
@@ -244,8 +253,7 @@ pub fn fig3d(scale: Scale) -> Table {
     let mut headers = vec!["depth".to_string()];
     headers.extend(batches.iter().map(|b| format!("batch={b}")));
     let mut t = Table {
-        title: "Figure 3d — io_uring speedup, NVMe driver hook vs io_uring baseline"
-            .to_string(),
+        title: "Figure 3d — io_uring speedup, NVMe driver hook vs io_uring baseline".to_string(),
         headers,
         rows: Vec::new(),
         notes: Vec::new(),
@@ -254,24 +262,16 @@ pub fn fig3d(scale: Scale) -> Table {
     for depth in 1..=10u32 {
         let mut cells = vec![depth.to_string()];
         for &batch in &batches {
-            let base = {
-                let mut env = StorageBpfBuilder::new()
-                    .btree_depth(depth)
-                    .dispatch(DispatchMode::User)
+            let uring_run = |mode: DispatchMode| {
+                let mut session = PushdownSession::builder(Btree::depth(depth))
+                    .dispatch(mode)
                     .seed(55)
                     .build()
-                    .expect("env");
-                env.bench_lookups_uring(1, batch, duration).0
+                    .expect("session");
+                session.run_uring(1, batch, duration).0
             };
-            let hook = {
-                let mut env = StorageBpfBuilder::new()
-                    .btree_depth(depth)
-                    .dispatch(DispatchMode::DriverHook)
-                    .seed(55)
-                    .build()
-                    .expect("env");
-                env.bench_lookups_uring(1, batch, duration).0
-            };
+            let base = uring_run(DispatchMode::User);
+            let hook = uring_run(DispatchMode::DriverHook);
             cells.push(ratio(hook.chains_per_sec / base.chains_per_sec));
         }
         t.row(cells);
@@ -322,10 +322,7 @@ pub fn extent_stability(scale: Scale) -> Table {
                 .expect("append");
             appended_blocks += nblocks;
             for ev in fs.take_events() {
-                events.push((
-                    t_next_append,
-                    matches!(ev, ExtentEvent::Unmapped { .. }),
-                ));
+                events.push((t_next_append, matches!(ev, ExtentEvent::Unmapped { .. })));
             }
             t_next_append += append_interval;
         } else {
@@ -355,16 +352,24 @@ pub fn extent_stability(scale: Scale) -> Table {
     let mut change_times: Vec<f64> = Vec::new();
     let mut unmap_times: Vec<f64> = Vec::new();
     for (t, unmap) in &events {
-        if change_times.last().map(|l| (l - t).abs() > 1e-9).unwrap_or(true) {
+        if change_times
+            .last()
+            .map(|l| (l - t).abs() > 1e-9)
+            .unwrap_or(true)
+        {
             change_times.push(*t);
         }
-        if *unmap && unmap_times.last().map(|l| (l - t).abs() > 1e-9).unwrap_or(true) {
+        if *unmap
+            && unmap_times
+                .last()
+                .map(|l| (l - t).abs() > 1e-9)
+                .unwrap_or(true)
+        {
             unmap_times.push(*t);
         }
     }
     let mean_interval = if change_times.len() > 1 {
-        (change_times.last().expect("nonempty") - change_times[0])
-            / (change_times.len() - 1) as f64
+        (change_times.last().expect("nonempty") - change_times[0]) / (change_times.len() - 1) as f64
     } else {
         horizon
     };
@@ -441,8 +446,14 @@ pub fn lsm_stability(scale: Scale) -> Table {
         "simulated hours (@2k ops/s)".to_string(),
         format!("{hours:.2}"),
     ]);
-    t.row(vec!["memtable flushes".to_string(), stats.flushes.to_string()]);
-    t.row(vec!["compactions".to_string(), stats.compactions.to_string()]);
+    t.row(vec![
+        "memtable flushes".to_string(),
+        stats.flushes.to_string(),
+    ]);
+    t.row(vec![
+        "compactions".to_string(),
+        stats.compactions.to_string(),
+    ]);
     t.row(vec![
         "tables written".to_string(),
         stats.tables_written.to_string(),
@@ -473,7 +484,11 @@ pub fn lsm_stability(scale: Scale) -> Table {
     }
     t.row(vec![
         "live tables extent-stable".to_string(),
-        if stable { "yes".to_string() } else { "NO".to_string() },
+        if stable {
+            "yes".to_string()
+        } else {
+            "NO".to_string()
+        },
     ]);
     t.note("every unmap comes from deleting a whole dead table, never from a live one");
     t
@@ -482,7 +497,10 @@ pub fn lsm_stability(scale: Scale) -> Table {
 // --- Ablations ------------------------------------------------------------------
 
 /// A1: throughput of the driver hook as extent invalidations become more
-/// frequent (cost of the paper's heavy-handed invalidate + re-arm).
+/// frequent (cost of the paper's heavy-handed invalidate + re-arm). The
+/// session's automatic rearm-and-retry absorbs each invalidation; the
+/// retry column counts how many chains the library restarted on the
+/// application's behalf.
 pub fn ablation_extent_cache(scale: Scale) -> Table {
     let window = if scale.quick {
         4 * MILLISECOND
@@ -496,38 +514,28 @@ pub fn ablation_extent_cache(scale: Scale) -> Table {
             "invalidations/s",
             "good chains/s",
             "failed chains/s",
-            "rearms",
+            "auto retries",
         ],
     );
     for invalidate_every in [0u32, 4, 2, 1] {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(6)
+        let mut session = PushdownSession::builder(Btree::depth(6))
             .dispatch(DispatchMode::DriverHook)
             .seed(91)
+            .retry_budget(2)
             .build()
-            .expect("env");
+            .expect("session");
         let mut good = 0u64;
         let mut failed = 0u64;
-        let mut rearms = 0u64;
+        let mut retries = 0u64;
         for w in 0..windows {
             let invalidate = invalidate_every != 0 && w % invalidate_every as usize == 0;
             if invalidate {
-                env.machine.schedule_mutation(
-                    window / 2,
-                    Mutation::Relocate {
-                        name: env.file_name().to_string(),
-                    },
-                );
+                session.schedule_relocation(window / 2);
             }
-            let mut d = env.driver();
-            d.check = false; // invalidated chains are expected to fail
-            let report = env.machine.run_closed_loop(2, window, &mut d);
+            let (report, stats) = session.run_closed_loop(2, window);
             good += report.chains - report.errors;
             failed += report.errors;
-            if invalidate {
-                env.machine.rearm(env.fd).expect("rearm");
-                rearms += 1;
-            }
+            retries += stats.rearm_retries;
         }
         let secs = windows as f64 * window as f64 / 1e9;
         let rate = if invalidate_every == 0 {
@@ -539,10 +547,11 @@ pub fn ablation_extent_cache(scale: Scale) -> Table {
             format!("{rate:.0}"),
             iops(good as f64 / secs),
             iops(failed as f64 / secs),
-            rearms.to_string(),
+            retries.to_string(),
         ]);
     }
     t.note("invalidations must be rare for the soft-state cache to pay off (§4)");
+    t.note("the session re-arms and retries invalidated chains automatically");
     t
 }
 
@@ -559,14 +568,13 @@ pub fn ablation_bpf_cost(scale: Scale) -> Table {
         let mut cfg = MachineConfig::default();
         // Field-of-field override; struct-update syntax cannot reach it.
         cfg.costs.bpf_per_insn = per_insn;
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(6)
+        let mut session = PushdownSession::builder(Btree::depth(6))
             .dispatch(DispatchMode::DriverHook)
             .machine_config(cfg)
             .seed(13)
             .build()
-            .expect("env");
-        let (report, stats) = env.bench_lookups(6, duration);
+            .expect("session");
+        let (report, stats) = session.run_closed_loop(6, duration);
         assert_eq!(stats.mismatches, 0);
         t.row(vec![
             per_insn.to_string(),
@@ -590,20 +598,20 @@ pub fn ablation_resubmit_bound(scale: Scale) -> Table {
             resubmit_bound: bound,
             ..MachineConfig::default()
         };
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(10)
+        let mut session = PushdownSession::builder(Btree::depth(10).check(false))
             .dispatch(DispatchMode::DriverHook)
             .machine_config(cfg)
             .seed(29)
             .build()
-            .expect("env");
-        let mut d = env.driver();
-        d.check = false;
-        let report = env.machine.run_closed_loop(2, duration, &mut d);
+            .expect("session");
+        let (report, _) = session.run_closed_loop(2, duration);
         let total = report.chains.max(1) as f64;
         t.row(vec![
             bound.to_string(),
-            format!("{:.0}", (report.chains - report.errors) as f64 / total * 100.0),
+            format!(
+                "{:.0}",
+                (report.chains - report.errors) as f64 / total * 100.0
+            ),
             format!("{:.0}", report.errors as f64 / total * 100.0),
             iops(report.chains_per_sec),
         ]);
@@ -658,7 +666,12 @@ pub fn ablation_split_fallback(scale: Scale) -> Table {
         let report = m.run_closed_loop(1, HUGE, &mut d);
         let per_chain = d.fallbacks as f64 / d.completed.max(1) as f64;
         t.row(vec![
-            if fragmented { "fragmented" } else { "contiguous" }.to_string(),
+            if fragmented {
+                "fragmented"
+            } else {
+                "contiguous"
+            }
+            .to_string(),
             iops(d.completed as f64 / (report.sim_time as f64 / 1e9)),
             format!("{per_chain:.1}"),
             d.errors.to_string(),
@@ -678,18 +691,27 @@ pub fn shape_checks(scale: Scale) -> Vec<(String, bool)> {
     let base = lookup_run(10, DispatchMode::User, 12, duration, 7).chains_per_sec;
     let drv = lookup_run(10, DispatchMode::DriverHook, 12, duration, 7).chains_per_sec;
     let r = drv / base;
-    checks.push((format!("fig3b depth10 t12 ratio {r:.2} in [1.8, 3.2]"), (1.8..=3.2).contains(&r)));
+    checks.push((
+        format!("fig3b depth10 t12 ratio {r:.2} in [1.8, 3.2]"),
+        (1.8..=3.2).contains(&r),
+    ));
 
     // Fig 3a shape: syscall hook gives modest gains.
     let sys = lookup_run(10, DispatchMode::SyscallHook, 12, duration, 7).chains_per_sec;
     let r = sys / base;
-    checks.push((format!("fig3a depth10 t12 ratio {r:.2} in [1.02, 1.45]"), (1.02..=1.45).contains(&r)));
+    checks.push((
+        format!("fig3a depth10 t12 ratio {r:.2} in [1.02, 1.45]"),
+        (1.02..=1.45).contains(&r),
+    ));
 
     // Fig 3c shape: latency cut 30-60% at depth 10.
     let lu = lookup_run(10, DispatchMode::User, 1, duration, 7).mean_latency();
     let ld = lookup_run(10, DispatchMode::DriverHook, 1, duration, 7).mean_latency();
     let cut = 1.0 - ld / lu;
-    checks.push((format!("fig3c depth10 cut {:.0}% in [30, 60]", cut * 100.0), (0.30..=0.60).contains(&cut)));
+    checks.push((
+        format!("fig3c depth10 cut {:.0}% in [30, 60]", cut * 100.0),
+        (0.30..=0.60).contains(&cut),
+    ));
 
     checks
 }
@@ -697,11 +719,7 @@ pub fn shape_checks(scale: Scale) -> Vec<(String, bool)> {
 /// Helper shared by A1-style flows: a run that must produce only OK or
 /// invalidation statuses (used in tests).
 pub fn statuses_are_expected(status: &ChainStatus) -> bool {
-    status.is_ok()
-        || matches!(
-            status,
-            ChainStatus::ExtentMiss | ChainStatus::Invalidated
-        )
+    status.is_ok() || matches!(status, ChainStatus::ExtentMiss | ChainStatus::Invalidated)
 }
 
 /// The default until-forever horizon used with chain-count-bounded runs.

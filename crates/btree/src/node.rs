@@ -101,8 +101,7 @@ impl Node {
         let mut page = [0u8; PAGE_SIZE];
         page[OFF_MAGIC..OFF_MAGIC + 2].copy_from_slice(&MAGIC.to_le_bytes());
         page[OFF_LEVEL] = self.level;
-        page[OFF_NKEYS..OFF_NKEYS + 2]
-            .copy_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        page[OFF_NKEYS..OFF_NKEYS + 2].copy_from_slice(&(self.keys.len() as u16).to_le_bytes());
         for (i, k) in self.keys.iter().enumerate() {
             let at = OFF_KEYS + i * 8;
             page[at..at + 8].copy_from_slice(&k.to_le_bytes());
@@ -167,10 +166,7 @@ impl Node {
 
     /// Leaf search: the value for an exact key match.
     pub fn find(&self, key: u64) -> Option<u64> {
-        self.keys
-            .binary_search(&key)
-            .ok()
-            .map(|i| self.slots[i])
+        self.keys.binary_search(&key).ok().map(|i| self.slots[i])
     }
 }
 

@@ -225,10 +225,7 @@ pub fn lookup(
 /// # Errors
 ///
 /// Fails on corrupt nodes.
-pub fn scan_all(
-    fetch: &mut dyn BlockFetch,
-    root_block: u64,
-) -> Result<Vec<(u64, u64)>, TreeError> {
+pub fn scan_all(fetch: &mut dyn BlockFetch, root_block: u64) -> Result<Vec<(u64, u64)>, TreeError> {
     let mut out = Vec::new();
     let mut stack = vec![root_block];
     // Depth-first, children pushed in reverse so keys come out sorted.
@@ -309,8 +306,7 @@ mod tests {
             assert_eq!(info.depth, depth, "shape_for_depth({depth}) gave {info:?}");
             // Every key must resolve with exactly `depth` reads.
             let mut fetch = pages;
-            let (v, reads) =
-                lookup(&mut fetch, info.root_block, info.depth, 0).expect("lookup");
+            let (v, reads) = lookup(&mut fetch, info.root_block, info.depth, 0).expect("lookup");
             assert_eq!(v, Some(1));
             assert_eq!(reads, depth);
         }
@@ -340,10 +336,7 @@ mod tests {
 
     #[test]
     fn build_rejects_bad_input() {
-        assert_eq!(
-            build_pages(&[], &[], 8).unwrap_err(),
-            TreeError::Empty
-        );
+        assert_eq!(build_pages(&[], &[], 8).unwrap_err(), TreeError::Empty);
         assert_eq!(
             build_pages(&[1, 2], &[1], 8).unwrap_err(),
             TreeError::LengthMismatch
@@ -382,8 +375,7 @@ mod tests {
         let (pages, info) = build_pages(&keys, &values, 5).expect("build");
         let mut fetch = pages;
         for probe in 0..4000u64 {
-            let (got, _) =
-                lookup(&mut fetch, info.root_block, info.depth, probe).expect("lookup");
+            let (got, _) = lookup(&mut fetch, info.root_block, info.depth, probe).expect("lookup");
             assert_eq!(got, reference.get(&probe).copied(), "probe {probe}");
         }
     }

@@ -1,16 +1,27 @@
 //! Ready-made [`ChainDriver`]s for the benchmark workloads.
 //!
+//! These are the *low-level* drivers, programmed directly against the
+//! kernel's [`ChainDriver`] trait; most applications should use the
+//! [`PushdownSession`](crate::PushdownSession) facade instead, which
+//! wraps the same logic behind a workload-generic API.
+//!
 //! [`BtreeLookupDriver`] reproduces the paper's §3 benchmark: threads in
 //! a closed loop issue B-tree lookups of uniformly random keys; in
 //! User mode the driver performs each pointer lookup natively (the
 //! baseline), in the hook modes the kernel-side BPF program does. Every
 //! completed lookup is checked against the canonical value function, so
 //! the benchmarks double as end-to-end correctness tests.
+//!
+//! Per-chain state is keyed by [`ChainToken::id`] — never by the lookup
+//! key — so concurrent chains for the same key cannot collide.
+
+use std::collections::HashMap;
 
 use bpfstor_btree::tree::{step_on_page, Step};
 use bpfstor_btree::Node;
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, UserNext,
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    UserNext,
 };
 use bpfstor_sim::SimRng;
 
@@ -67,6 +78,14 @@ pub struct BtreeLookupDriver {
     pub stats: LookupStats,
     /// The value found by the most recent completed lookup.
     pub last_value: Option<u64>,
+    /// Record every terminal [`ChainOutcome`] into
+    /// [`Self::last_outcome`]. Off by default: cloning a User-mode
+    /// `Pass` payload per chain is wasteful in closed-loop runs; enable
+    /// it for single-chain probes that inspect the failing status.
+    pub record_outcomes: bool,
+    /// The most recent terminal outcome (token + status), when
+    /// [`Self::record_outcomes`] is set.
+    pub last_outcome: Option<ChainOutcome>,
 }
 
 impl BtreeLookupDriver {
@@ -83,6 +102,8 @@ impl BtreeLookupDriver {
             issued: 0,
             stats: LookupStats::default(),
             last_value: None,
+            record_outcomes: false,
+            last_outcome: None,
         }
     }
 
@@ -126,8 +147,8 @@ impl ChainDriver for BtreeLookupDriver {
         })
     }
 
-    fn user_step(&mut self, _thread: usize, arg: u64, data: &[u8]) -> UserNext {
-        match step_on_page(data, arg) {
+    fn user_step(&mut self, _thread: usize, token: &ChainToken, data: &[u8]) -> UserNext {
+        match step_on_page(data, token.arg) {
             Ok(Step::Next(off)) => UserNext::Continue(off),
             // Leaf (hit or miss): deliver; chain_done parses the page.
             Ok(Step::Found(_)) | Ok(Step::Missing) => UserNext::Done,
@@ -135,10 +156,10 @@ impl ChainDriver for BtreeLookupDriver {
         }
     }
 
-    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
         self.stats.completed += 1;
         self.stats.total_ios += outcome.ios as u64;
-        let key = outcome.arg;
+        let key = outcome.arg();
         match &outcome.status {
             ChainStatus::Emitted(v) if v.len() == 8 => {
                 let value = u64::from_le_bytes(v[..8].try_into().expect("8B"));
@@ -154,14 +175,20 @@ impl ChainDriver for BtreeLookupDriver {
             },
             _ => self.stats.errors += 1,
         }
+        if self.record_outcomes {
+            self.last_outcome = Some(outcome.clone());
+        }
+        ChainVerdict::Done
     }
 }
 
 /// Per-chain stage of a cold SSTable get on the native (User) path.
 /// Mirrors the BPF program's scratch state machine, including the
-/// multi-index-block candidate walk.
+/// multi-index-block candidate walk. Shared by [`SstGetDriver`] and the
+/// [`Sst`](crate::workloads::Sst) workload; keyed by
+/// [`ChainToken::id`] in both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SstStage {
+pub(crate) enum SstStage {
     Index {
         /// Index blocks not yet visited (including the current one).
         remaining: u32,
@@ -171,6 +198,93 @@ enum SstStage {
         candidate: Option<u64>,
     },
     Data,
+}
+
+/// The result of one native cold-get step over a completed block.
+pub(crate) enum SstWalk {
+    /// Read the next dependent block and carry this stage.
+    Continue(u64, SstStage),
+    /// The chain is complete: the value, if the key was found.
+    Finished(Option<Vec<u8>>),
+}
+
+/// One native (user-path) step of a cold SSTable get: `stage` is the
+/// chain's current stage (`None` = this block is the footer), `key` the
+/// lookup key, `data` the completed block. Pure — callers own the
+/// per-chain (token-keyed) stage map.
+pub(crate) fn sst_native_step(stage: Option<SstStage>, key: u64, data: &[u8]) -> SstWalk {
+    use bpfstor_lsm::sstable::Footer;
+    use bpfstor_lsm::{step_data, SstLookup, BLOCK};
+    match stage {
+        None => {
+            // Footer hop: range-check and locate the index region.
+            let Ok(footer) = Footer::decode(data) else {
+                return SstWalk::Finished(None);
+            };
+            if key < footer.min_key || key > footer.max_key {
+                return SstWalk::Finished(None);
+            }
+            let cursor = footer.data_blocks as u64 * BLOCK as u64;
+            SstWalk::Continue(
+                cursor,
+                SstStage::Index {
+                    remaining: footer.index_blocks,
+                    cursor,
+                    candidate: None,
+                },
+            )
+        }
+        Some(SstStage::Index {
+            remaining,
+            cursor,
+            candidate,
+        }) => {
+            // Parse the 12-byte (first_key, block) entries.
+            let n = u16::from_le_bytes([data[0], data[1]]) as usize;
+            let entry = |i: usize| -> (u64, u32) {
+                let at = 2 + i * 12;
+                (
+                    u64::from_le_bytes(data[at..at + 8].try_into().expect("8B")),
+                    u32::from_le_bytes(data[at + 8..at + 12].try_into().expect("4B")),
+                )
+            };
+            if n == 0 || entry(0).0 > key {
+                // Key precedes this block: the previous block's last
+                // entry (the candidate) owns it, if any.
+                return match candidate {
+                    Some(off) => SstWalk::Continue(off, SstStage::Data),
+                    None => SstWalk::Finished(None),
+                };
+            }
+            let mut best = 0;
+            for i in 0..n {
+                if entry(i).0 > key {
+                    break;
+                }
+                best = i;
+            }
+            let best_off = entry(best).1 as u64 * BLOCK as u64;
+            if best == n - 1 && remaining > 1 {
+                // The key may live in a later index block; remember this
+                // candidate and walk on.
+                let next = cursor + BLOCK as u64;
+                SstWalk::Continue(
+                    next,
+                    SstStage::Index {
+                        remaining: remaining - 1,
+                        cursor: next,
+                        candidate: Some(best_off),
+                    },
+                )
+            } else {
+                SstWalk::Continue(best_off, SstStage::Data)
+            }
+        }
+        Some(SstStage::Data) => SstWalk::Finished(match step_data(data, key) {
+            Ok(SstLookup::Found(v)) => Some(v),
+            _ => None,
+        }),
+    }
 }
 
 /// Cold SSTable point-lookup workload (footer → index → data chain).
@@ -190,8 +304,11 @@ pub struct SstGetDriver {
     issued: u64,
     /// Counters.
     pub stats: LookupStats,
-    // User-path per-chain state, keyed by the chain arg (the key).
-    user_state: std::collections::HashMap<u64, SstStage>,
+    // User-path per-chain state, keyed by the chain's token id — NOT the
+    // lookup key, so the same key can be in flight on several chains.
+    user_state: HashMap<u64, SstStage>,
+    // User-path results awaiting chain_done, keyed by token id.
+    pending: HashMap<u64, Option<Vec<u8>>>,
     /// Values returned per completed chain (key, value-if-found).
     pub results: Vec<(u64, Option<Vec<u8>>)>,
 }
@@ -216,7 +333,8 @@ impl SstGetDriver {
             max_chains,
             issued: 0,
             stats: LookupStats::default(),
-            user_state: std::collections::HashMap::new(),
+            user_state: HashMap::new(),
+            pending: HashMap::new(),
             results: Vec::new(),
         }
     }
@@ -233,7 +351,6 @@ impl ChainDriver for SstGetDriver {
         }
         let key = self.keys[(self.issued % self.keys.len() as u64) as usize];
         self.issued += 1;
-        self.user_state.remove(&key);
         Some(ChainStart {
             fd: self.fd,
             file_off: self.footer_off,
@@ -242,121 +359,36 @@ impl ChainDriver for SstGetDriver {
         })
     }
 
-    fn user_step(&mut self, _thread: usize, arg: u64, data: &[u8]) -> UserNext {
-        use bpfstor_lsm::sstable::Footer;
-        use bpfstor_lsm::{step_data, SstLookup, BLOCK};
-        match self.user_state.get(&arg).copied() {
-            None => {
-                // Footer hop: range-check and locate the index region.
-                let Ok(footer) = Footer::decode(data) else {
-                    self.results.push((arg, None));
-                    return UserNext::Done;
-                };
-                if arg < footer.min_key || arg > footer.max_key {
-                    self.results.push((arg, None));
-                    return UserNext::Done;
-                }
-                let cursor = footer.data_blocks as u64 * BLOCK as u64;
-                self.user_state.insert(
-                    arg,
-                    SstStage::Index {
-                        remaining: footer.index_blocks,
-                        cursor,
-                        candidate: None,
-                    },
-                );
-                UserNext::Continue(cursor)
+    fn user_step(&mut self, _thread: usize, token: &ChainToken, data: &[u8]) -> UserNext {
+        match sst_native_step(self.user_state.get(&token.id).copied(), token.arg, data) {
+            SstWalk::Continue(next_off, stage) => {
+                self.user_state.insert(token.id, stage);
+                UserNext::Continue(next_off)
             }
-            Some(SstStage::Index {
-                remaining,
-                cursor,
-                candidate,
-            }) => {
-                // Parse the 12-byte (first_key, block) entries.
-                let n = u16::from_le_bytes([data[0], data[1]]) as usize;
-                let entry = |i: usize| -> (u64, u32) {
-                    let at = 2 + i * 12;
-                    (
-                        u64::from_le_bytes(data[at..at + 8].try_into().expect("8B")),
-                        u32::from_le_bytes(data[at + 8..at + 12].try_into().expect("4B")),
-                    )
-                };
-                if n == 0 || entry(0).0 > arg {
-                    // Key precedes this block: the previous block's last
-                    // entry (the candidate) owns it, if any.
-                    return match candidate {
-                        Some(off) => {
-                            self.user_state.insert(arg, SstStage::Data);
-                            UserNext::Continue(off)
-                        }
-                        None => {
-                            self.results.push((arg, None));
-                            UserNext::Done
-                        }
-                    };
-                }
-                let mut best = 0;
-                for i in 0..n {
-                    if entry(i).0 > arg {
-                        break;
-                    }
-                    best = i;
-                }
-                let best_off = entry(best).1 as u64 * BLOCK as u64;
-                if best == n - 1 && remaining > 1 {
-                    // The key may live in a later index block; remember
-                    // this candidate and walk on.
-                    let next = cursor + BLOCK as u64;
-                    self.user_state.insert(
-                        arg,
-                        SstStage::Index {
-                            remaining: remaining - 1,
-                            cursor: next,
-                            candidate: Some(best_off),
-                        },
-                    );
-                    UserNext::Continue(next)
-                } else {
-                    self.user_state.insert(arg, SstStage::Data);
-                    UserNext::Continue(best_off)
-                }
+            SstWalk::Finished(found) => {
+                self.user_state.remove(&token.id);
+                self.pending.insert(token.id, found);
+                UserNext::Done
             }
-            Some(SstStage::Data) => match step_data(data, arg) {
-                Ok(SstLookup::Found(v)) => {
-                    self.results.push((arg, Some(v)));
-                    UserNext::Done
-                }
-                _ => {
-                    self.results.push((arg, None));
-                    UserNext::Done
-                }
-            },
         }
     }
 
-    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
         self.stats.completed += 1;
         self.stats.total_ios += outcome.ios as u64;
-        let key = outcome.arg;
+        self.user_state.remove(&outcome.token.id);
+        let key = outcome.arg();
         let found: Option<Vec<u8>> = match &outcome.status {
             ChainStatus::Emitted(v) => Some(v.clone()),
             ChainStatus::Halted => None,
-            ChainStatus::Pass(_) => {
-                // User mode recorded the result in user_step already.
-                self.user_state.remove(&key);
-                match self.results.last() {
-                    Some((k, v)) if *k == key => v.clone(),
-                    _ => None,
-                }
-            }
+            ChainStatus::Pass(_) => self.pending.remove(&outcome.token.id).flatten(),
             _ => {
+                self.pending.remove(&outcome.token.id);
                 self.stats.errors += 1;
-                return;
+                return ChainVerdict::Done;
             }
         };
-        if outcome.status.is_ok() && !matches!(outcome.status, ChainStatus::Pass(_)) {
-            self.results.push((key, found.clone()));
-        }
+        self.results.push((key, found.clone()));
         match &found {
             Some(_) => self.stats.hits += 1,
             None => self.stats.misses += 1,
@@ -367,5 +399,6 @@ impl ChainDriver for SstGetDriver {
                 self.stats.mismatches += 1;
             }
         }
+        ChainVerdict::Done
     }
 }

@@ -1,22 +1,31 @@
-//! High-level facade: build a simulated machine with an on-disk B-tree
-//! and run offloaded lookups in a couple of lines.
+//! Deprecated B-tree-only facade, kept as a thin shim over the
+//! workload-generic [`PushdownSession`] API.
 //!
-//! This is the "library that provides a higher-level interface than
-//! BPF" the paper envisions (§4): the application picks a data
-//! structure and a dispatch mode; program generation, the install
-//! ioctl, extent snapshots, and re-arming are handled here.
+//! [`StorageBpfBuilder`] and [`BtreeEnv`] predate the session redesign:
+//! they only ever supported the B-tree workload. New code should build a
+//! [`PushdownSession`] over a [`Btree`](crate::workloads::Btree)
+//! workload instead — same capabilities, plus SSTable/scan/chase
+//! workloads, typed program handles, and automatic extent-miss
+//! recovery. See `docs/API.md` for the migration table.
 
-use bpfstor_btree::tree::{build_pages, shape_for_depth, TreeInfo};
+#![allow(deprecated)]
+
+use bpfstor_btree::tree::TreeInfo;
 use bpfstor_btree::PAGE_SIZE;
 use bpfstor_kernel::{
     ChainStatus, DispatchMode, Fd, KernelError, Machine, MachineConfig, RunReport,
 };
 use bpfstor_sim::{Nanos, SECOND};
 
-use crate::driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats};
-use crate::progs::btree_lookup_program;
+use crate::driver::{BtreeLookupDriver, KeyChoice, LookupStats};
+use crate::session::{PushdownSession, SessionError, SessionStats};
+use crate::workloads::Btree;
 
 /// Builder for a ready-to-benchmark B-tree environment.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PushdownSession::builder(Btree::depth(..)) instead"
+)]
 #[derive(Debug, Clone)]
 pub struct StorageBpfBuilder {
     depth: u32,
@@ -74,28 +83,26 @@ impl StorageBpfBuilder {
     ///
     /// Propagates kernel/FS/verifier failures.
     pub fn build(self) -> Result<BtreeEnv, KernelError> {
-        let (fanout, nkeys) = shape_for_depth(self.depth);
-        let keys: Vec<u64> = (0..nkeys as u64).collect();
-        let values: Vec<u64> = keys.iter().map(|k| value_of(*k)).collect();
-        let (pages, info) =
-            build_pages(&keys, &values, fanout).map_err(|e| KernelError::Fs(e.to_string()))?;
-        let mut image = Vec::with_capacity(pages.len() * PAGE_SIZE);
-        for p in &pages {
-            image.extend_from_slice(p);
-        }
-        let mut machine = Machine::new(self.config);
-        machine.create_file(&self.file_name, &image)?;
-        let fd = machine.open(&self.file_name, true)?;
-        if self.mode != DispatchMode::User {
-            machine.install(fd, btree_lookup_program(), 0)?;
-        }
+        let session = PushdownSession::builder(Btree::depth(self.depth))
+            .dispatch(self.mode)
+            .machine_config(self.config)
+            .file_name(self.file_name)
+            // The legacy facade surfaced extent misses to the caller;
+            // keep that contract.
+            .retry_budget(0)
+            .build()
+            .map_err(|e| match e {
+                SessionError::Kernel(k) => k,
+                other => KernelError::Fs(other.to_string()),
+            })?;
+        let fd = session.fd();
+        let nkeys = session.workload().nkeys();
+        let info = *session.workload().info();
         Ok(BtreeEnv {
-            machine,
+            session,
             fd,
+            nkeys,
             info,
-            nkeys: nkeys as u64,
-            mode: self.mode,
-            file_name: self.file_name,
         })
     }
 }
@@ -115,28 +122,29 @@ pub struct LookupHit {
 
 /// A machine with a built B-tree and (for hook modes) an installed
 /// traversal program.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PushdownSession<Btree> instead (see docs/API.md)"
+)]
 pub struct BtreeEnv {
-    /// The simulated machine (exposed for advanced use).
-    pub machine: Machine,
+    session: PushdownSession<Btree>,
     /// The tagged descriptor of the index file.
     pub fd: Fd,
-    /// Shape of the built tree.
-    pub info: TreeInfo,
     /// Keys are `0..nkeys`.
     pub nkeys: u64,
-    mode: DispatchMode,
-    file_name: String,
+    /// Shape of the built tree.
+    pub info: TreeInfo,
 }
 
 impl BtreeEnv {
     /// The dispatch mode this environment was built for.
     pub fn mode(&self) -> DispatchMode {
-        self.mode
+        self.session.mode()
     }
 
     /// The index file name.
     pub fn file_name(&self) -> &str {
-        &self.file_name
+        self.session.file_name()
     }
 
     /// Byte offset of the root node.
@@ -144,9 +152,19 @@ impl BtreeEnv {
         self.info.root_block * PAGE_SIZE as u64
     }
 
-    /// Creates a lookup driver bound to this environment.
+    /// The simulated machine (exposed for advanced use).
+    pub fn machine(&self) -> &Machine {
+        self.session.machine()
+    }
+
+    /// Mutable access to the simulated machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        self.session.machine_mut()
+    }
+
+    /// Creates a low-level lookup driver bound to this environment.
     pub fn driver(&self) -> BtreeLookupDriver {
-        BtreeLookupDriver::new(self.fd, self.mode, self.root_off(), self.nkeys)
+        BtreeLookupDriver::new(self.fd, self.mode(), self.root_off(), self.nkeys)
     }
 
     /// Performs one lookup and verifies the value against the canonical
@@ -157,36 +175,22 @@ impl BtreeEnv {
     /// Returns an error for non-OK chain statuses (extent miss, VM
     /// error, ...), including the status text.
     pub fn lookup_checked(&mut self, key: u64) -> Result<LookupHit, KernelError> {
-        let mut d = self.driver();
-        d.choice = KeyChoice::Fixed(key);
-        d.max_chains = 1;
-        let report = self.machine.run_closed_loop(1, SECOND, &mut d);
-        if d.stats.errors > 0 {
-            return Err(KernelError::Fs(format!(
-                "lookup failed (status errors: {})",
-                d.stats.errors
-            )));
-        }
-        if d.stats.mismatches > 0 {
-            return Err(KernelError::Fs("value mismatch".to_string()));
-        }
+        let hit = self
+            .session
+            .lookup(key)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
         Ok(LookupHit {
-            found: d.stats.hits == 1,
-            value: d.last_value,
-            ios: d.stats.total_ios as u32,
-            latency: report.latency.max(),
+            found: hit.found,
+            value: hit.output,
+            ios: hit.ios,
+            latency: hit.latency,
         })
     }
 
     /// Runs the paper's closed-loop lookup benchmark.
-    pub fn bench_lookups(
-        &mut self,
-        threads: usize,
-        duration: Nanos,
-    ) -> (RunReport, LookupStats) {
-        let mut d = self.driver();
-        let report = self.machine.run_closed_loop(threads, duration, &mut d);
-        (report, d.stats)
+    pub fn bench_lookups(&mut self, threads: usize, duration: Nanos) -> (RunReport, LookupStats) {
+        let (report, stats) = self.session.run_closed_loop(threads, duration);
+        (report, to_lookup_stats(stats))
     }
 
     /// Runs the io_uring variant (Figure 3d).
@@ -196,60 +200,47 @@ impl BtreeEnv {
         batch: u32,
         duration: Nanos,
     ) -> (RunReport, LookupStats) {
-        let mut d = self.driver();
-        let report = self.machine.run_uring(threads, batch, duration, &mut d);
-        (report, d.stats)
+        let (report, stats) = self.session.run_uring(threads, batch, duration);
+        (report, to_lookup_stats(stats))
     }
 
     /// Relocates the index file (forces extent invalidation), runs one
     /// lookup that must fail, then re-arms. Returns the failing status.
     ///
+    /// The failing status arrives through the token-carrying
+    /// [`bpfstor_kernel::ChainOutcome`] recorded by the driver — no
+    /// adapter wrapping needed.
+    ///
     /// # Errors
     ///
     /// Propagates kernel failures from the re-arm.
     pub fn invalidate_and_rearm(&mut self) -> Result<ChainStatus, KernelError> {
-        let name = self.file_name.clone();
-        self.machine
+        let name = self.file_name().to_string();
+        self.machine_mut()
             .schedule_mutation(0, bpfstor_kernel::Mutation::Relocate { name });
         let mut d = self.driver();
         d.choice = KeyChoice::Fixed(0);
         d.max_chains = 1;
         d.check = false;
-        let mut status = ChainStatus::IoError;
-        struct Capture<'a> {
-            inner: &'a mut BtreeLookupDriver,
-            status: &'a mut ChainStatus,
-        }
-        impl bpfstor_kernel::ChainDriver for Capture<'_> {
-            fn mode(&self) -> DispatchMode {
-                self.inner.mode
-            }
-            fn next_chain(
-                &mut self,
-                thread: usize,
-                rng: &mut bpfstor_sim::SimRng,
-            ) -> Option<bpfstor_kernel::ChainStart> {
-                self.inner.next_chain(thread, rng)
-            }
-            fn user_step(
-                &mut self,
-                thread: usize,
-                arg: u64,
-                data: &[u8],
-            ) -> bpfstor_kernel::UserNext {
-                self.inner.user_step(thread, arg, data)
-            }
-            fn chain_done(&mut self, thread: usize, outcome: &bpfstor_kernel::ChainOutcome) {
-                *self.status = outcome.status.clone();
-                self.inner.chain_done(thread, outcome);
-            }
-        }
-        let mut cap = Capture {
-            inner: &mut d,
-            status: &mut status,
-        };
-        let _ = self.machine.run_closed_loop(1, SECOND, &mut cap);
-        self.machine.rearm(self.fd)?;
+        d.record_outcomes = true;
+        let fd = self.fd;
+        let _ = self.machine_mut().run_closed_loop(1, SECOND, &mut d);
+        let status = d
+            .last_outcome
+            .map(|o| o.status)
+            .unwrap_or(ChainStatus::IoError);
+        self.machine_mut().rearm(fd)?;
         Ok(status)
+    }
+}
+
+fn to_lookup_stats(s: SessionStats) -> LookupStats {
+    LookupStats {
+        completed: s.completed,
+        hits: s.hits,
+        misses: s.misses,
+        mismatches: s.mismatches,
+        errors: s.errors,
+        total_ios: s.total_ios,
     }
 }

@@ -6,26 +6,32 @@
 //! operations on popular data structures, such as B-trees and
 //! log-structured merge trees".
 //!
+//! - [`session`]: the workload-generic pushdown facade —
+//!   [`PushdownSession`] drives any [`PushdownWorkload`] through any
+//!   dispatch mode, handling program installation (typed
+//!   [`ProgHandle`](bpfstor_kernel::ProgHandle)s), extent re-arming, and
+//!   automatic retry on invalidation;
+//! - [`workloads`]: the four in-tree workloads — [`Btree`], [`Sst`],
+//!   [`Scan`], [`Chase`];
 //! - [`progs`]: verified program generators — B-tree traversal, cold
 //!   SSTable get (stateful multi-hop chain), sequential
 //!   scan/filter/aggregate, and a generic pointer chase;
-//! - [`driver`]: closed-loop workload drivers that double as end-to-end
-//!   correctness checks (every offloaded lookup is compared against the
-//!   canonical value function or a native reference);
-//! - [`env`]: the quickstart facade — build a simulated machine with an
-//!   on-disk index, install the program via the ioctl, look keys up.
+//! - [`driver`]: low-level closed-loop drivers programmed directly
+//!   against the kernel's `ChainDriver` trait;
+//! - [`env`]: deprecated B-tree-only shims over the session API.
 //!
 //! # Examples
 //!
 //! ```
-//! use bpfstor_core::{DispatchMode, StorageBpfBuilder};
+//! use bpfstor_core::{Btree, DispatchMode, PushdownSession};
 //!
-//! let mut env = StorageBpfBuilder::new()
-//!     .btree_depth(3)
+//! // A depth-3 B-tree inside a simulated machine, traversed by a BPF
+//! // program resubmitted from the NVMe driver completion hook.
+//! let mut session = PushdownSession::builder(Btree::depth(3))
 //!     .dispatch(DispatchMode::DriverHook)
 //!     .build()
-//!     .expect("environment");
-//! let hit = env.lookup_checked(42).expect("lookup");
+//!     .expect("session");
+//! let hit = session.lookup(42).expect("lookup");
 //! assert!(hit.found);
 //! assert_eq!(hit.ios, 3, "depth-3 tree costs three I/Os");
 //! ```
@@ -33,11 +39,22 @@
 pub mod driver;
 pub mod env;
 pub mod progs;
+pub mod session;
+pub mod workloads;
 
-pub use bpfstor_kernel::{ChainStatus, DispatchMode, RunReport};
+pub use bpfstor_kernel::{
+    ChainStatus, ChainToken, ChainVerdict, DispatchMode, ProgHandle, RunReport,
+};
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
-pub use env::{BtreeEnv, LookupHit, StorageBpfBuilder};
+pub use env::LookupHit;
+#[allow(deprecated)]
+pub use env::{BtreeEnv, StorageBpfBuilder};
 pub use progs::{
     btree_lookup_program, btree_lookup_program_with_stats, pointer_chase_program,
     scan_aggregate_program, sst_get_program, stats_slot, ScanResult,
 };
+pub use session::{
+    LookupOutcome, PushdownSession, PushdownWorkload, ReadSpec, SessionBuilder, SessionError,
+    SessionStats, Verdict,
+};
+pub use workloads::{Btree, Chase, Scan, Sst, CHASE_END, CHASE_PAYLOAD};

@@ -22,7 +22,9 @@
 //! | fp-8  | node level |
 //! | fp-16 | leaf value staging for `emit` |
 
-use bpfstor_btree::{FANOUT_MAX, MAGIC, OFF_KEYS, OFF_LEVEL, OFF_MAGIC, OFF_NKEYS, OFF_SLOTS, PAGE_SIZE};
+use bpfstor_btree::{
+    FANOUT_MAX, MAGIC, OFF_KEYS, OFF_LEVEL, OFF_MAGIC, OFF_NKEYS, OFF_SLOTS, PAGE_SIZE,
+};
 use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
 
 /// Builds the B-tree lookup program for the `bpfstor-btree` page layout.

@@ -132,8 +132,7 @@ mod tests {
             })
             .collect();
         let image = build_image(&entries).expect("build");
-        let footer =
-            Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
+        let footer = Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
         (image, footer.data_blocks)
     }
 
@@ -164,9 +163,7 @@ mod tests {
             hops += 1;
             match out.ret {
                 action::ACT_RESUBMIT => off = env.resubmits[0],
-                action::ACT_EMIT => {
-                    return ScanResult::parse(&env.emitted).expect("16B aggregate")
-                }
+                action::ACT_EMIT => return ScanResult::parse(&env.emitted).expect("16B aggregate"),
                 other => panic!("unexpected action {other}"),
             }
         }
@@ -184,7 +181,10 @@ mod tests {
         for threshold in [0u64, 500, 1_200, 10_000] {
             let got = run_scan(&image, blocks, threshold);
             let expect_count = (0..200u64).filter(|i| i * 10 >= threshold).count() as u64;
-            let expect_sum: u64 = (0..200u64).map(|i| i * 10).filter(|v| *v >= threshold).sum();
+            let expect_sum: u64 = (0..200u64)
+                .map(|i| i * 10)
+                .filter(|v| *v >= threshold)
+                .sum();
             assert_eq!(got.count, expect_count, "threshold {threshold}");
             assert_eq!(got.sum, expect_sum, "threshold {threshold}");
         }

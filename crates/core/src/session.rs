@@ -1,0 +1,584 @@
+//! The workload-generic pushdown facade — the paper's §4 "library that
+//! provides a higher-level interface than BPF", generalised beyond the
+//! B-tree.
+//!
+//! A [`PushdownWorkload`] describes one offloadable data structure:
+//! how to build its on-disk image, which verified BPF program traverses
+//! it, how a request turns into a first read, how the native (user-path)
+//! traversal steps, and how a terminal [`ChainStatus`] decodes into a
+//! typed output. [`Btree`](crate::workloads::Btree),
+//! [`Sst`](crate::workloads::Sst), [`Scan`](crate::workloads::Scan) and
+//! [`Chase`](crate::workloads::Chase) are the four in-tree
+//! implementations.
+//!
+//! A [`PushdownSession`] owns a simulated machine, the workload's file,
+//! and (for hook modes) the installed program's [`ProgHandle`]. It
+//! offers the same surface for every workload — [`lookup`],
+//! [`run_closed_loop`], [`run_uring`] — and handles the §4 failure
+//! protocol automatically: a chain that ends in
+//! [`ChainStatus::ExtentMiss`] or [`ChainStatus::Invalidated`] is
+//! re-armed (the install ioctl reruns) and retried up to a configurable
+//! budget, without the caller ever seeing the failure.
+//!
+//! [`lookup`]: PushdownSession::lookup
+//! [`run_closed_loop`]: PushdownSession::run_closed_loop
+//! [`run_uring`]: PushdownSession::run_uring
+
+use bpfstor_kernel::{
+    ChainDriver, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd, KernelError,
+    Machine, MachineConfig, Mutation, ProgHandle, RunReport, UserNext,
+};
+use bpfstor_sim::{Nanos, SimRng, SECOND};
+use bpfstor_vm::Program;
+
+/// Errors surfaced by session construction and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Kernel control-plane failure (open/install/rearm/verifier).
+    Kernel(KernelError),
+    /// Workload image construction failed.
+    Build(String),
+    /// A terminal status could not be decoded into an output.
+    Decode(String),
+    /// A chain ended in a non-OK status (after exhausting any retry
+    /// budget).
+    Chain(ChainStatus),
+    /// A decoded output contradicted the workload's expectation.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Kernel(e) => write!(f, "kernel: {e}"),
+            SessionError::Build(e) => write!(f, "workload build: {e}"),
+            SessionError::Decode(e) => write!(f, "decode: {e}"),
+            SessionError::Chain(s) => write!(f, "chain failed: {s:?}"),
+            SessionError::Mismatch(e) => write!(f, "mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<KernelError> for SessionError {
+    fn from(e: KernelError) -> Self {
+        SessionError::Kernel(e)
+    }
+}
+
+/// The first read of a chain, as described by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSpec {
+    /// Byte offset of the read.
+    pub file_off: u64,
+    /// Read length in bytes.
+    pub len: u32,
+    /// Per-chain argument handed to the BPF program (and echoed in the
+    /// chain's [`ChainToken`]).
+    pub arg: u64,
+}
+
+/// A workload's judgement of one decoded output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Output matches the expectation.
+    Ok,
+    /// Output contradicts the expectation (counted in
+    /// [`SessionStats::mismatches`]).
+    Mismatch,
+    /// The workload does not check this request.
+    Unchecked,
+}
+
+/// One offloadable data structure, as the session sees it.
+///
+/// Implementations keep per-chain user-path state keyed by
+/// [`ChainToken::id`] — never by the lookup key — so concurrent chains
+/// for the same key cannot collide.
+pub trait PushdownWorkload {
+    /// The per-request argument (e.g. a lookup key or scan threshold).
+    type Request: Clone + std::fmt::Debug;
+    /// The decoded result of one chain.
+    type Output: Clone + PartialEq + std::fmt::Debug;
+
+    /// Short name; also the default file name stem.
+    fn name(&self) -> &str;
+
+    /// Builds the on-disk image. Called once at session build; the
+    /// workload records its own layout (root/footer offsets) here.
+    ///
+    /// # Errors
+    ///
+    /// Image construction failures (invalid shape parameters etc.).
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError>;
+
+    /// The verified traversal program installed for hook modes.
+    fn program(&self) -> Program;
+
+    /// Install-time flags (e.g. the scan's block budget).
+    fn install_flags(&self) -> u32 {
+        0
+    }
+
+    /// Translates a request into the chain's first read.
+    fn first_read(&mut self, req: &Self::Request) -> ReadSpec;
+
+    /// The next request of a closed-loop run, or `None` to stop the
+    /// issuing thread. Drives [`PushdownSession::run_closed_loop`] /
+    /// [`PushdownSession::run_uring`]; one-shot
+    /// [`PushdownSession::lookup`]s bypass it.
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<Self::Request>;
+
+    /// One native (user-path) step over a completed block. Per-chain
+    /// state must be keyed by `token.id`.
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext;
+
+    /// Decodes a successful terminal status (`status.is_ok()` holds)
+    /// into an output; `None` means a miss. Must release any state keyed
+    /// by `token.id`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed result buffers.
+    fn decode(
+        &mut self,
+        token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<Self::Output>, SessionError>;
+
+    /// Checks a decoded output against the workload's expectation.
+    fn check(&self, _token: &ChainToken, _out: Option<&Self::Output>) -> Verdict {
+        Verdict::Unchecked
+    }
+
+    /// Releases any per-chain state for a chain that terminated without
+    /// reaching [`PushdownWorkload::decode`] — a failed status, or an
+    /// attempt absorbed by the retry policy. Default: nothing to
+    /// release.
+    fn release(&mut self, _token: &ChainToken) {}
+}
+
+/// Counters a session accumulates across runs (also the correctness
+/// verdict: `mismatches` must stay zero for checked workloads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Chains that reached a terminal, non-retried outcome.
+    pub completed: u64,
+    /// Chains whose decoded output was a hit.
+    pub hits: u64,
+    /// Chains whose decoded output was a miss.
+    pub misses: u64,
+    /// Checked outputs that contradicted the expectation.
+    pub mismatches: u64,
+    /// Chains that ended in an error status (after retries).
+    pub errors: u64,
+    /// Device I/Os across completed chains.
+    pub total_ios: u64,
+    /// Automatic rearm-and-retry restarts consumed by the session.
+    pub rearm_retries: u64,
+    /// Chains whose retry budget ran out while still failing.
+    pub retries_exhausted: u64,
+}
+
+impl SessionStats {
+    fn absorb(&mut self, other: &SessionStats) {
+        self.completed += other.completed;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.mismatches += other.mismatches;
+        self.errors += other.errors;
+        self.total_ios += other.total_ios;
+        self.rearm_retries += other.rearm_retries;
+        self.retries_exhausted += other.retries_exhausted;
+    }
+}
+
+/// Builder for a [`PushdownSession`]; created via
+/// [`PushdownSession::builder`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<W> {
+    workload: W,
+    mode: DispatchMode,
+    config: MachineConfig,
+    file_name: Option<String>,
+    retry_budget: u32,
+}
+
+impl<W: PushdownWorkload> SessionBuilder<W> {
+    /// Sets the dispatch mode (default: [`DispatchMode::DriverHook`]).
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the machine configuration.
+    pub fn machine_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the on-disk file name (default: `<workload>.img`).
+    pub fn file_name(mut self, name: impl Into<String>) -> Self {
+        self.file_name = Some(name.into());
+        self
+    }
+
+    /// Sets how many times a chain that fails with
+    /// [`ChainStatus::ExtentMiss`] / [`ChainStatus::Invalidated`] is
+    /// automatically re-armed and retried (default: 2; 0 disables).
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Builds the machine and the workload's file, and (for hook modes)
+    /// installs the traversal program via the ioctl.
+    ///
+    /// # Errors
+    ///
+    /// Workload image failures and kernel/verifier rejections.
+    pub fn build(mut self) -> Result<PushdownSession<W>, SessionError> {
+        let image = self.workload.build_image()?;
+        let file_name = self
+            .file_name
+            .unwrap_or_else(|| format!("{}.img", self.workload.name()));
+        let mut machine = Machine::new(self.config);
+        machine.create_file(&file_name, &image)?;
+        let fd = machine.open(&file_name, true)?;
+        let handle = if self.mode != DispatchMode::User {
+            Some(machine.install(fd, self.workload.program(), self.workload.install_flags())?)
+        } else {
+            None
+        };
+        Ok(PushdownSession {
+            machine,
+            workload: self.workload,
+            fd,
+            handle,
+            mode: self.mode,
+            retry_budget: self.retry_budget,
+            file_name,
+            stats: SessionStats::default(),
+        })
+    }
+}
+
+/// One checked lookup's result (see [`PushdownSession::lookup`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome<O> {
+    /// Whether the request found a value.
+    pub found: bool,
+    /// The decoded output, when found.
+    pub output: Option<O>,
+    /// Device I/Os of the final (successful) attempt.
+    pub ios: u32,
+    /// End-to-end latency of the final attempt.
+    pub latency: Nanos,
+    /// Rearm-retries this lookup consumed.
+    pub attempts: u32,
+}
+
+/// A simulated machine plus one workload's file and program, with a
+/// uniform lookup/benchmark surface across all dispatch modes.
+pub struct PushdownSession<W: PushdownWorkload> {
+    machine: Machine,
+    workload: W,
+    fd: Fd,
+    handle: Option<ProgHandle>,
+    mode: DispatchMode,
+    retry_budget: u32,
+    file_name: String,
+    stats: SessionStats,
+}
+
+impl<W: PushdownWorkload> PushdownSession<W> {
+    /// Starts building a session around `workload` with the
+    /// paper-testbed machine and driver-hook dispatch.
+    pub fn builder(workload: W) -> SessionBuilder<W> {
+        SessionBuilder {
+            workload,
+            mode: DispatchMode::DriverHook,
+            config: MachineConfig::default(),
+            file_name: None,
+            retry_budget: 2,
+        }
+    }
+
+    /// The dispatch mode this session was built for.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// The tagged descriptor of the workload's file.
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// The installed program's handle (`None` in
+    /// [`DispatchMode::User`]).
+    pub fn handle(&self) -> Option<ProgHandle> {
+        self.handle
+    }
+
+    /// The workload's on-disk file name.
+    pub fn file_name(&self) -> &str {
+        &self.file_name
+    }
+
+    /// Cumulative statistics across all runs of this session.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The workload (e.g. to read recorded results).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// Mutable workload access (e.g. to change key-choice policy).
+    pub fn workload_mut(&mut self) -> &mut W {
+        &mut self.workload
+    }
+
+    /// The simulated machine (for advanced use: scheduling mutations,
+    /// reading map values, extent-cache stats).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Schedules a defragmenter-style relocation of the workload's file
+    /// at simulated time `at` in the next run — the §4 invalidation
+    /// trigger the session's retry policy recovers from.
+    pub fn schedule_relocation(&mut self, at: Nanos) {
+        let name = self.file_name.clone();
+        self.machine
+            .schedule_mutation(at, Mutation::Relocate { name });
+    }
+
+    /// Manually re-arms the extent snapshot (the automatic policy does
+    /// this on demand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    pub fn rearm(&mut self) -> Result<(), KernelError> {
+        self.machine.rearm(self.fd)
+    }
+
+    /// Performs one request end to end and decodes its output, retrying
+    /// through extent invalidations up to the retry budget.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Chain`] if the final status is not OK,
+    /// [`SessionError::Mismatch`] if the workload's check fails, plus
+    /// decode failures.
+    pub fn lookup(&mut self, req: W::Request) -> Result<LookupOutcome<W::Output>, SessionError> {
+        let mut driver = SessionDriver {
+            workload: &mut self.workload,
+            fd: self.fd,
+            mode: self.mode,
+            retry_budget: self.retry_budget,
+            stats: SessionStats::default(),
+            one_shot: Some(vec![req]),
+            last: None,
+            decode_errors: Vec::new(),
+        };
+        let _ = self.machine.run_closed_loop(1, SECOND, &mut driver);
+        let run_stats = driver.stats;
+        let last = driver.last.take();
+        let decode_err = driver.decode_errors.pop();
+        self.stats.absorb(&run_stats);
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        let Some(last) = last else {
+            return Err(SessionError::Chain(ChainStatus::IoError));
+        };
+        if !last.status.is_ok() {
+            return Err(SessionError::Chain(last.status));
+        }
+        if last.mismatch {
+            return Err(SessionError::Mismatch(format!(
+                "request {:?} returned {:?}",
+                last.token.arg, last.output
+            )));
+        }
+        Ok(LookupOutcome {
+            found: last.output.is_some(),
+            output: last.output,
+            ios: last.ios,
+            latency: last.latency,
+            attempts: last.attempts,
+        })
+    }
+
+    /// Runs a closed-loop benchmark: `threads` application threads each
+    /// keep one chain in flight, drawing requests from the workload,
+    /// until simulated time `until`. Returns the kernel's report and
+    /// this run's statistics.
+    pub fn run_closed_loop(&mut self, threads: usize, until: Nanos) -> (RunReport, SessionStats) {
+        let mut driver = SessionDriver {
+            workload: &mut self.workload,
+            fd: self.fd,
+            mode: self.mode,
+            retry_budget: self.retry_budget,
+            stats: SessionStats::default(),
+            one_shot: None,
+            last: None,
+            decode_errors: Vec::new(),
+        };
+        let report = self.machine.run_closed_loop(threads, until, &mut driver);
+        let run_stats = driver.stats;
+        self.stats.absorb(&run_stats);
+        (report, run_stats)
+    }
+
+    /// Runs the io_uring variant: each thread keeps `batch` SQEs in
+    /// flight per `io_uring_enter` (Figure 3d).
+    pub fn run_uring(
+        &mut self,
+        threads: usize,
+        batch: u32,
+        until: Nanos,
+    ) -> (RunReport, SessionStats) {
+        let mut driver = SessionDriver {
+            workload: &mut self.workload,
+            fd: self.fd,
+            mode: self.mode,
+            retry_budget: self.retry_budget,
+            stats: SessionStats::default(),
+            one_shot: None,
+            last: None,
+            decode_errors: Vec::new(),
+        };
+        let report = self.machine.run_uring(threads, batch, until, &mut driver);
+        let run_stats = driver.stats;
+        self.stats.absorb(&run_stats);
+        (report, run_stats)
+    }
+}
+
+/// Record of the most recent terminal chain, kept for
+/// [`PushdownSession::lookup`].
+struct LastChain<O> {
+    token: ChainToken,
+    status: ChainStatus,
+    output: Option<O>,
+    mismatch: bool,
+    ios: u32,
+    latency: Nanos,
+    attempts: u32,
+}
+
+/// The internal [`ChainDriver`] adapter translating kernel callbacks
+/// into workload calls and applying the rearm-and-retry policy.
+struct SessionDriver<'a, W: PushdownWorkload> {
+    workload: &'a mut W,
+    fd: Fd,
+    mode: DispatchMode,
+    retry_budget: u32,
+    stats: SessionStats,
+    /// Explicit request queue for one-shot lookups (`None` = draw from
+    /// the workload's request stream).
+    one_shot: Option<Vec<W::Request>>,
+    last: Option<LastChain<W::Output>>,
+    decode_errors: Vec<SessionError>,
+}
+
+impl<W: PushdownWorkload> ChainDriver for SessionDriver<'_, W> {
+    fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    fn next_chain(&mut self, _thread: usize, rng: &mut SimRng) -> Option<ChainStart> {
+        let req = match &mut self.one_shot {
+            Some(queue) => queue.pop()?,
+            None => self.workload.next_request(rng)?,
+        };
+        let spec = self.workload.first_read(&req);
+        Some(ChainStart {
+            fd: self.fd,
+            file_off: spec.file_off,
+            len: spec.len,
+            arg: spec.arg,
+        })
+    }
+
+    fn user_step(&mut self, _thread: usize, token: &ChainToken, data: &[u8]) -> UserNext {
+        self.workload.user_step(token, data)
+    }
+
+    fn chain_done(
+        &mut self,
+        _thread: usize,
+        outcome: &bpfstor_kernel::ChainOutcome,
+    ) -> ChainVerdict {
+        // The §4 recovery, applied by the library: invalidated chains
+        // re-arm the ioctl and restart, invisible to the caller. The
+        // absorbed attempt's per-chain state is released (the restart
+        // gets a fresh token); retries are counted from the final
+        // outcome's attempt counter, which tracks restarts the kernel
+        // actually performed.
+        if outcome.status.is_rearmable() && outcome.attempts < self.retry_budget {
+            self.workload.release(&outcome.token);
+            return ChainVerdict::RearmRetry;
+        }
+        self.stats.completed += 1;
+        self.stats.total_ios += outcome.ios as u64;
+        self.stats.rearm_retries += outcome.attempts as u64;
+        let mut output = None;
+        let mut mismatch = false;
+        if outcome.status.is_ok() {
+            match self.workload.decode(&outcome.token, &outcome.status) {
+                Ok(out) => {
+                    match &out {
+                        Some(_) => self.stats.hits += 1,
+                        None => self.stats.misses += 1,
+                    }
+                    if self.workload.check(&outcome.token, out.as_ref()) == Verdict::Mismatch {
+                        self.stats.mismatches += 1;
+                        mismatch = true;
+                    }
+                    output = out;
+                }
+                Err(e) => {
+                    self.stats.errors += 1;
+                    self.decode_errors.push(e);
+                }
+            }
+        } else {
+            self.workload.release(&outcome.token);
+            self.stats.errors += 1;
+            if outcome.status.is_rearmable() {
+                self.stats.retries_exhausted += 1;
+            }
+        }
+        // Only one-shot lookups read the terminal record back; skip the
+        // (possibly block-sized) status clone on benchmark runs.
+        if self.one_shot.is_some() {
+            self.last = Some(LastChain {
+                token: outcome.token,
+                status: outcome.status.clone(),
+                output,
+                mismatch,
+                ios: outcome.ios,
+                latency: outcome.latency,
+                attempts: outcome.attempts,
+            });
+        }
+        ChainVerdict::Done
+    }
+}

@@ -1,0 +1,677 @@
+//! The four in-tree [`PushdownWorkload`] implementations: B-tree point
+//! lookups, cold SSTable gets, sequential scan/filter/aggregate, and a
+//! generic pointer chase.
+//!
+//! Each bundles (a) the on-disk image builder, (b) the verified BPF
+//! traversal program, (c) the native user-path stepper — per-chain state
+//! keyed by [`ChainToken::id`], never by the lookup key — and (d) the
+//! result decoder and correctness check. The same
+//! [`PushdownSession`](crate::PushdownSession) surface then drives any
+//! of them in any [`DispatchMode`](bpfstor_kernel::DispatchMode).
+
+use std::collections::HashMap;
+
+use bpfstor_btree::tree::{build_pages, shape_for_depth, step_on_page, Step, TreeInfo};
+use bpfstor_btree::{Node, PAGE_SIZE};
+use bpfstor_kernel::{ChainStatus, ChainToken, UserNext};
+use bpfstor_lsm::sstable::Footer;
+use bpfstor_lsm::{data_block_entries, BLOCK};
+use bpfstor_sim::SimRng;
+use bpfstor_vm::Program;
+
+use crate::driver::{sst_native_step, value_of, KeyChoice, SstStage, SstWalk};
+use crate::progs::{
+    btree_lookup_program, pointer_chase_program, scan_aggregate_program, sst_get_program,
+    ScanResult,
+};
+use crate::session::{PushdownWorkload, ReadSpec, SessionError, Verdict};
+
+// --- B-tree -----------------------------------------------------------------
+
+/// B-tree point lookups over a generated tree of the given depth — the
+/// paper's §3 headline workload. Keys are `0..nkeys` with values from
+/// [`value_of`], so every offloaded result is checkable without a
+/// lookup table.
+#[derive(Debug, Clone)]
+pub struct Btree {
+    depth: u32,
+    choice: KeyChoice,
+    check: bool,
+    max_chains: u64,
+    issued: u64,
+    nkeys: u64,
+    info: Option<TreeInfo>,
+}
+
+impl Btree {
+    /// A tree of the given depth (1–10 in the paper's sweeps), uniform
+    /// random lookups, checking enabled, unbounded chain count.
+    pub fn depth(depth: u32) -> Self {
+        let (_, nkeys) = shape_for_depth(depth);
+        Btree {
+            depth,
+            choice: KeyChoice::Uniform,
+            check: true,
+            max_chains: u64::MAX,
+            issued: 0,
+            nkeys: nkeys as u64,
+            info: None,
+        }
+    }
+
+    /// Sets the key-selection policy for closed-loop runs.
+    pub fn key_choice(mut self, choice: KeyChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Enables/disables value checking (disable for runs that expect
+    /// failures, e.g. tight resubmission bounds).
+    pub fn check(mut self, check: bool) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Stops closed-loop runs after this many chains.
+    pub fn max_chains(mut self, max: u64) -> Self {
+        self.max_chains = max;
+        self
+    }
+
+    /// Number of keys in the tree (keys are `0..nkeys`).
+    pub fn nkeys(&self) -> u64 {
+        self.nkeys
+    }
+
+    /// Byte offset of the root node (valid after the session built).
+    pub fn root_off(&self) -> u64 {
+        self.info.as_ref().expect("session built").root_block * PAGE_SIZE as u64
+    }
+
+    /// Shape of the built tree (valid after the session built).
+    pub fn info(&self) -> &TreeInfo {
+        self.info.as_ref().expect("session built")
+    }
+}
+
+impl PushdownWorkload for Btree {
+    type Request = u64;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "btree"
+    }
+
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError> {
+        let (fanout, nkeys) = shape_for_depth(self.depth);
+        let keys: Vec<u64> = (0..nkeys as u64).collect();
+        let values: Vec<u64> = keys.iter().map(|k| value_of(*k)).collect();
+        let (pages, info) =
+            build_pages(&keys, &values, fanout).map_err(|e| SessionError::Build(e.to_string()))?;
+        let mut image = Vec::with_capacity(pages.len() * PAGE_SIZE);
+        for p in &pages {
+            image.extend_from_slice(p);
+        }
+        self.info = Some(info);
+        self.nkeys = nkeys as u64;
+        Ok(image)
+    }
+
+    fn program(&self) -> Program {
+        btree_lookup_program()
+    }
+
+    fn first_read(&mut self, req: &u64) -> ReadSpec {
+        ReadSpec {
+            file_off: self.root_off(),
+            len: PAGE_SIZE as u32,
+            arg: *req,
+        }
+    }
+
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<u64> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        self.issued += 1;
+        Some(match self.choice {
+            KeyChoice::Fixed(k) => k,
+            KeyChoice::Uniform => rng.below(self.nkeys),
+        })
+    }
+
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext {
+        match step_on_page(data, token.arg) {
+            Ok(Step::Next(off)) => UserNext::Continue(off),
+            // Leaf (hit or miss): deliver; decode parses the page.
+            _ => UserNext::Done,
+        }
+    }
+
+    fn decode(
+        &mut self,
+        token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<u64>, SessionError> {
+        match status {
+            ChainStatus::Emitted(v) if v.len() == 8 => {
+                Ok(Some(u64::from_le_bytes(v[..8].try_into().expect("8B"))))
+            }
+            ChainStatus::Emitted(v) => Err(SessionError::Decode(format!(
+                "expected 8-byte value, got {} bytes",
+                v.len()
+            ))),
+            ChainStatus::Halted => Ok(None),
+            ChainStatus::Pass(leaf) => match Node::decode(leaf) {
+                Ok(node) if node.is_leaf() => Ok(node.find(token.arg)),
+                _ => Err(SessionError::Decode("terminal page is not a leaf".into())),
+            },
+            other => Err(SessionError::Decode(format!("unexpected status {other:?}"))),
+        }
+    }
+
+    fn check(&self, token: &ChainToken, out: Option<&u64>) -> Verdict {
+        if !self.check {
+            return Verdict::Unchecked;
+        }
+        let key = token.arg;
+        let expected = (key < self.nkeys).then(|| value_of(key));
+        if out.copied() == expected {
+            Verdict::Ok
+        } else {
+            Verdict::Mismatch
+        }
+    }
+}
+
+// --- SSTable cold get -------------------------------------------------------
+
+/// Cold SSTable point gets (footer → index block(s) → data block) over a
+/// generated fixed-value-size table — the LSM offload of §4.
+#[derive(Debug, Clone)]
+pub struct Sst {
+    entries: Vec<(u64, Vec<u8>)>,
+    probes: Vec<u64>,
+    max_chains: u64,
+    issued: u64,
+    value_size: u32,
+    footer_off: u64,
+    state: HashMap<u64, SstStage>,
+    pending: HashMap<u64, Option<Vec<u8>>>,
+    /// Values returned per completed chain `(key, value-if-found)`, in
+    /// completion order — for cross-mode comparisons.
+    pub results: Vec<(u64, Option<Vec<u8>>)>,
+}
+
+impl Sst {
+    /// A workload over `entries` (sorted by key, uniform value size)
+    /// probing `probes` once each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty entries or non-uniform value sizes (the BPF
+    /// parser needs a fixed stride).
+    pub fn new(entries: Vec<(u64, Vec<u8>)>, probes: Vec<u64>) -> Self {
+        assert!(!entries.is_empty(), "need at least one entry");
+        let value_size = entries[0].1.len() as u32;
+        assert!(
+            entries.iter().all(|(_, v)| v.len() as u32 == value_size),
+            "BPF parsing needs a uniform value size"
+        );
+        let max_chains = probes.len() as u64;
+        Sst {
+            entries,
+            probes,
+            max_chains,
+            issued: 0,
+            value_size,
+            footer_off: 0,
+            state: HashMap::new(),
+            pending: HashMap::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Stops closed-loop runs after this many chains (probes cycle).
+    pub fn max_chains(mut self, max: u64) -> Self {
+        self.max_chains = max;
+        self
+    }
+
+    /// The expected value for `key`.
+    pub fn expected(&self, key: u64) -> Option<Vec<u8>> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.entries[i].1.clone())
+    }
+
+    /// Byte offset of the footer block (valid after the session built).
+    pub fn footer_off(&self) -> u64 {
+        self.footer_off
+    }
+}
+
+impl PushdownWorkload for Sst {
+    type Request = u64;
+    type Output = Vec<u8>;
+
+    fn name(&self) -> &str {
+        "sst"
+    }
+
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError> {
+        let image = bpfstor_lsm::build_image(&self.entries)
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        let footer = Footer::decode(&image[image.len() - BLOCK..])
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        self.footer_off = (footer.total_blocks() - 1) * BLOCK as u64;
+        Ok(image)
+    }
+
+    fn program(&self) -> Program {
+        sst_get_program(self.value_size)
+    }
+
+    fn first_read(&mut self, req: &u64) -> ReadSpec {
+        ReadSpec {
+            file_off: self.footer_off,
+            len: BLOCK as u32,
+            arg: *req,
+        }
+    }
+
+    fn next_request(&mut self, _rng: &mut SimRng) -> Option<u64> {
+        if self.issued >= self.max_chains || self.probes.is_empty() {
+            return None;
+        }
+        let key = self.probes[(self.issued % self.probes.len() as u64) as usize];
+        self.issued += 1;
+        Some(key)
+    }
+
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext {
+        // The walk itself is shared with `SstGetDriver`; this workload
+        // only owns the token-keyed stage/result maps.
+        match sst_native_step(self.state.get(&token.id).copied(), token.arg, data) {
+            SstWalk::Continue(next_off, stage) => {
+                self.state.insert(token.id, stage);
+                UserNext::Continue(next_off)
+            }
+            SstWalk::Finished(found) => {
+                self.state.remove(&token.id);
+                self.pending.insert(token.id, found);
+                UserNext::Done
+            }
+        }
+    }
+
+    fn decode(
+        &mut self,
+        token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<Vec<u8>>, SessionError> {
+        self.state.remove(&token.id);
+        let found = match status {
+            ChainStatus::Emitted(v) => Some(v.clone()),
+            ChainStatus::Halted => None,
+            ChainStatus::Pass(_) => self.pending.remove(&token.id).flatten(),
+            other => {
+                return Err(SessionError::Decode(format!("unexpected status {other:?}")));
+            }
+        };
+        self.results.push((token.arg, found.clone()));
+        Ok(found)
+    }
+
+    fn check(&self, token: &ChainToken, out: Option<&Vec<u8>>) -> Verdict {
+        let expected = self
+            .entries
+            .binary_search_by_key(&token.arg, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1);
+        if out == expected {
+            Verdict::Ok
+        } else {
+            Verdict::Mismatch
+        }
+    }
+
+    fn release(&mut self, token: &ChainToken) {
+        self.state.remove(&token.id);
+        self.pending.remove(&token.id);
+    }
+}
+
+// --- Scan / filter / aggregate ----------------------------------------------
+
+/// Native per-chain scan state, keyed by [`ChainToken::id`].
+#[derive(Debug, Clone, Copy)]
+struct ScanState {
+    remaining: u32,
+    sum: u64,
+    count: u64,
+}
+
+/// Whole-table scan with kernel-side filtering and aggregation: `SELECT
+/// sum(v), count(*) WHERE v >= threshold` over fixed-width rows, one
+/// chain per scan — the paper's database-iterator use case (§3).
+#[derive(Debug, Clone)]
+pub struct Scan {
+    entries: Vec<(u64, Vec<u8>)>,
+    thresholds: Vec<u64>,
+    max_chains: u64,
+    issued: u64,
+    value_size: u32,
+    data_blocks: u32,
+    state: HashMap<u64, ScanState>,
+    pending: HashMap<u64, ScanResult>,
+    /// Expected aggregates precomputed for the workload's own
+    /// thresholds, so `check` does not rescan the table per chain.
+    expected_cache: HashMap<u64, ScanResult>,
+}
+
+impl Scan {
+    /// A workload scanning a table of `entries` once per threshold in
+    /// `thresholds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty entries, non-uniform value sizes, or values
+    /// shorter than the 8-byte aggregated field.
+    pub fn new(entries: Vec<(u64, Vec<u8>)>, thresholds: Vec<u64>) -> Self {
+        assert!(!entries.is_empty(), "need at least one row");
+        let value_size = entries[0].1.len() as u32;
+        assert!(
+            entries.iter().all(|(_, v)| v.len() as u32 == value_size),
+            "BPF parsing needs a uniform value size"
+        );
+        assert!(value_size >= 8, "need at least a u64 field to aggregate");
+        let max_chains = thresholds.len() as u64;
+        let mut scan = Scan {
+            entries,
+            thresholds: Vec::new(),
+            max_chains,
+            issued: 0,
+            value_size,
+            data_blocks: 0,
+            state: HashMap::new(),
+            pending: HashMap::new(),
+            expected_cache: HashMap::new(),
+        };
+        scan.expected_cache = thresholds.iter().map(|&t| (t, scan.expected(t))).collect();
+        scan.thresholds = thresholds;
+        scan
+    }
+
+    /// Stops closed-loop runs after this many chains (thresholds cycle).
+    pub fn max_chains(mut self, max: u64) -> Self {
+        self.max_chains = max;
+        self
+    }
+
+    /// Number of data blocks in the table (valid after the session
+    /// built).
+    pub fn data_blocks(&self) -> u32 {
+        self.data_blocks
+    }
+
+    /// The natively computed aggregate for `threshold`.
+    pub fn expected(&self, threshold: u64) -> ScanResult {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for (_, v) in &self.entries {
+            let field = u64::from_le_bytes(v[..8].try_into().expect("8B"));
+            if field >= threshold {
+                sum += field;
+                count += 1;
+            }
+        }
+        ScanResult { sum, count }
+    }
+}
+
+impl PushdownWorkload for Scan {
+    type Request = u64;
+    type Output = ScanResult;
+
+    fn name(&self) -> &str {
+        "scan"
+    }
+
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError> {
+        let image = bpfstor_lsm::build_image(&self.entries)
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        let footer = Footer::decode(&image[image.len() - BLOCK..])
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        self.data_blocks = footer.data_blocks;
+        Ok(image)
+    }
+
+    fn program(&self) -> Program {
+        scan_aggregate_program(self.value_size)
+    }
+
+    fn install_flags(&self) -> u32 {
+        self.data_blocks
+    }
+
+    fn first_read(&mut self, req: &u64) -> ReadSpec {
+        ReadSpec {
+            file_off: 0,
+            len: BLOCK as u32,
+            arg: *req,
+        }
+    }
+
+    fn next_request(&mut self, _rng: &mut SimRng) -> Option<u64> {
+        if self.issued >= self.max_chains || self.thresholds.is_empty() {
+            return None;
+        }
+        let t = self.thresholds[(self.issued % self.thresholds.len() as u64) as usize];
+        self.issued += 1;
+        Some(t)
+    }
+
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext {
+        let threshold = token.arg;
+        let st = self.state.entry(token.id).or_insert(ScanState {
+            remaining: self.data_blocks,
+            sum: 0,
+            count: 0,
+        });
+        if let Ok(entries) = data_block_entries(data) {
+            for (_, v) in entries {
+                let field = u64::from_le_bytes(v[..8].try_into().expect("8B"));
+                if field >= threshold {
+                    st.sum += field;
+                    st.count += 1;
+                }
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let result = ScanResult {
+                sum: st.sum,
+                count: st.count,
+            };
+            self.state.remove(&token.id);
+            self.pending.insert(token.id, result);
+            UserNext::Done
+        } else {
+            let next_block = (self.data_blocks - st.remaining) as u64;
+            UserNext::Continue(next_block * BLOCK as u64)
+        }
+    }
+
+    fn decode(
+        &mut self,
+        token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<ScanResult>, SessionError> {
+        self.state.remove(&token.id);
+        match status {
+            ChainStatus::Emitted(bytes) => ScanResult::parse(bytes)
+                .map(Some)
+                .ok_or_else(|| SessionError::Decode("malformed 16-byte aggregate".into())),
+            ChainStatus::Pass(_) => self
+                .pending
+                .remove(&token.id)
+                .map(Some)
+                .ok_or_else(|| SessionError::Decode("native scan left no aggregate".into())),
+            other => Err(SessionError::Decode(format!("unexpected status {other:?}"))),
+        }
+    }
+
+    fn check(&self, token: &ChainToken, out: Option<&ScanResult>) -> Verdict {
+        let expected = match self.expected_cache.get(&token.arg) {
+            Some(e) => *e,
+            None => self.expected(token.arg),
+        };
+        match out {
+            Some(got) if *got == expected => Verdict::Ok,
+            _ => Verdict::Mismatch,
+        }
+    }
+
+    fn release(&mut self, token: &ChainToken) {
+        self.state.remove(&token.id);
+        self.pending.remove(&token.id);
+    }
+}
+
+// --- Pointer chase ----------------------------------------------------------
+
+/// Sentinel marking the final block of a chase chain.
+pub const CHASE_END: u64 = u64::MAX;
+
+/// The canonical payload stored in a chase chain's final block.
+pub const CHASE_PAYLOAD: u64 = 0xABAD_1DEA_F00D_CAFE;
+
+/// Generic pointer chase: each 512 B block stores the byte offset of the
+/// next in its first eight bytes; the sentinel block's payload is the
+/// result. The smallest dependent-I/O shape — a microbenchmark of the
+/// resubmit/emit protocol itself. Requests are starting byte offsets.
+#[derive(Debug, Clone)]
+pub struct Chase {
+    hops: u64,
+    max_chains: u64,
+    issued: u64,
+    random_start: bool,
+}
+
+impl Chase {
+    /// A chain of `hops` blocks; closed-loop requests start at block 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is 0.
+    pub fn hops(hops: u64) -> Self {
+        assert!(hops > 0, "need at least one block");
+        Chase {
+            hops,
+            max_chains: u64::MAX,
+            issued: 0,
+            random_start: false,
+        }
+    }
+
+    /// Starts closed-loop chains at uniformly random blocks instead of
+    /// block 0 (chains get varying lengths; the payload is identical).
+    pub fn random_start(mut self, random: bool) -> Self {
+        self.random_start = random;
+        self
+    }
+
+    /// Stops closed-loop runs after this many chains.
+    pub fn max_chains(mut self, max: u64) -> Self {
+        self.max_chains = max;
+        self
+    }
+
+    fn parse_next(data: &[u8]) -> Option<u64> {
+        let next = u64::from_le_bytes(data[..8].try_into().ok()?);
+        (next != CHASE_END).then_some(next)
+    }
+}
+
+impl PushdownWorkload for Chase {
+    type Request = u64;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "chase"
+    }
+
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError> {
+        let block = BLOCK;
+        let n = self.hops as usize;
+        let mut image = vec![0u8; n * block];
+        for i in 0..n {
+            let at = i * block;
+            if i + 1 < n {
+                let next = ((i + 1) * block) as u64;
+                image[at..at + 8].copy_from_slice(&next.to_le_bytes());
+            } else {
+                image[at..at + 8].copy_from_slice(&CHASE_END.to_le_bytes());
+                image[at + 8..at + 16].copy_from_slice(&CHASE_PAYLOAD.to_le_bytes());
+            }
+        }
+        Ok(image)
+    }
+
+    fn program(&self) -> Program {
+        pointer_chase_program()
+    }
+
+    fn first_read(&mut self, req: &u64) -> ReadSpec {
+        ReadSpec {
+            file_off: *req,
+            len: BLOCK as u32,
+            arg: *req,
+        }
+    }
+
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<u64> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        self.issued += 1;
+        Some(if self.random_start {
+            rng.below(self.hops) * BLOCK as u64
+        } else {
+            0
+        })
+    }
+
+    fn user_step(&mut self, _token: &ChainToken, data: &[u8]) -> UserNext {
+        match Self::parse_next(data) {
+            Some(next) => UserNext::Continue(next),
+            None => UserNext::Done,
+        }
+    }
+
+    fn decode(
+        &mut self,
+        _token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<u64>, SessionError> {
+        match status {
+            ChainStatus::Emitted(v) if v.len() == 8 => {
+                Ok(Some(u64::from_le_bytes(v[..8].try_into().expect("8B"))))
+            }
+            ChainStatus::Pass(data) if data.len() >= 16 && Self::parse_next(data).is_none() => Ok(
+                Some(u64::from_le_bytes(data[8..16].try_into().expect("8B"))),
+            ),
+            ChainStatus::Halted => Ok(None),
+            other => Err(SessionError::Decode(format!("unexpected status {other:?}"))),
+        }
+    }
+
+    fn check(&self, _token: &ChainToken, out: Option<&u64>) -> Verdict {
+        match out {
+            Some(&CHASE_PAYLOAD) => Verdict::Ok,
+            _ => Verdict::Mismatch,
+        }
+    }
+}

@@ -317,9 +317,7 @@ mod tests {
     fn read_returns_written_data_with_latency() {
         let mut d = dev(3_000, 1);
         d.store_mut().write(5, &[0xCDu8; SECTOR_SIZE]);
-        let c = d
-            .submit_and_ring(100, 0, read_cmd(1, 5))
-            .expect("submit");
+        let c = d.submit_and_ring(100, 0, read_cmd(1, 5)).expect("submit");
         assert_eq!(c.complete_at, 3_100);
         assert_eq!(c.cid, 1);
         assert_eq!(c.data, vec![0xCDu8; SECTOR_SIZE]);

@@ -172,7 +172,13 @@ mod tests {
     fn allocates_at_goal() {
         let mut a = BlockAllocator::new(1024);
         let r = a.alloc(16, 100).expect("alloc");
-        assert_eq!(r, Run { start: 100, len: 16 });
+        assert_eq!(
+            r,
+            Run {
+                start: 100,
+                len: 16
+            }
+        );
         assert_eq!(a.used(), 16);
     }
 

@@ -72,9 +72,7 @@ impl ExtentTree {
 
     fn find(&self, lb: u64) -> Option<usize> {
         // Binary search for the extent containing lb.
-        let idx = self
-            .exts
-            .partition_point(|e| e.logical_end() <= lb);
+        let idx = self.exts.partition_point(|e| e.logical_end() <= lb);
         if idx < self.exts.len() && self.exts[idx].contains(lb) {
             Some(idx)
         } else {
@@ -113,9 +111,7 @@ impl ExtentTree {
         let mut insert_at = idx;
         if idx > 0 {
             let prev = self.exts[idx - 1];
-            if prev.logical_end() == merged.logical
-                && prev.physical + prev.len == merged.physical
-            {
+            if prev.logical_end() == merged.logical && prev.physical + prev.len == merged.physical {
                 merged = Extent {
                     logical: prev.logical,
                     physical: prev.physical,
@@ -128,8 +124,7 @@ impl ExtentTree {
         // Try merging with the successor.
         if insert_at < self.exts.len() {
             let next = self.exts[insert_at];
-            if merged.logical_end() == next.logical
-                && merged.physical + merged.len == next.physical
+            if merged.logical_end() == next.logical && merged.physical + merged.len == next.physical
             {
                 merged.len += next.len;
                 self.exts.remove(insert_at);

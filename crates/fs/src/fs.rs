@@ -613,7 +613,8 @@ mod tests {
         let ino = fs.create("f").expect("create");
         fs.write(ino, 0, &vec![0xAA; BLOCK_SIZE * 2], &mut store)
             .expect("fill");
-        fs.write(ino, 100, b"hello world", &mut store).expect("patch");
+        fs.write(ino, 100, b"hello world", &mut store)
+            .expect("patch");
         let back = fs.read(ino, 98, 15, &mut store).expect("read");
         assert_eq!(&back[2..13], b"hello world");
         assert_eq!(back[0], 0xAA);
@@ -675,9 +676,7 @@ mod tests {
         fs.write(ino, 0, &vec![0u8; BLOCK_SIZE * 2], &mut store)
             .expect("write");
         let evs = fs.take_events();
-        assert!(evs
-            .iter()
-            .all(|e| matches!(e, ExtentEvent::Mapped { .. })));
+        assert!(evs.iter().all(|e| matches!(e, ExtentEvent::Mapped { .. })));
         fs.truncate(ino, 0, &mut store).expect("truncate");
         let evs = fs.take_events();
         assert!(
@@ -730,21 +729,17 @@ mod tests {
         let extents = fs.fallocate(ino, 0, 128, &mut store).expect("fallocate");
         assert_eq!(extents, 1, "one contiguous extent on empty fs");
         assert_eq!(fs.extents_snapshot(ino).expect("snap").len(), 1);
-        assert_eq!(
-            fs.file_size(ino).expect("size"),
-            128 * BLOCK_SIZE as u64
-        );
+        assert_eq!(fs.file_size(ino).expect("size"), 128 * BLOCK_SIZE as u64);
     }
 
     #[test]
     fn holes_read_as_zero() {
         let (mut fs, mut store) = setup();
         let ino = fs.create("f").expect("create");
-        fs.fallocate(ino, 10, 1, &mut store).expect("fallocate block 10");
+        fs.fallocate(ino, 10, 1, &mut store)
+            .expect("fallocate block 10");
         // Size covers blocks 0..11 but only block 10 is mapped.
-        let data = fs
-            .read(ino, 0, BLOCK_SIZE, &mut store)
-            .expect("read hole");
+        let data = fs.read(ino, 0, BLOCK_SIZE, &mut store).expect("read hole");
         assert!(data.iter().all(|&b| b == 0));
     }
 
@@ -770,7 +765,10 @@ mod tests {
         let recovered = fs.crash_and_recover(65_536);
         let ino2 = recovered.open("persisted").expect("open");
         assert_eq!(ino2, ino);
-        assert_eq!(recovered.extents_snapshot(ino2).expect("snap"), extents_before);
+        assert_eq!(
+            recovered.extents_snapshot(ino2).expect("snap"),
+            extents_before
+        );
         assert_eq!(recovered.file_size(ino2).expect("size"), size_before);
         // Data is still on the device at the mapped blocks.
         assert_eq!(

@@ -13,6 +13,13 @@
 //! - [`DispatchMode::DriverHook`]: hops are reissued from the NVMe
 //!   driver's completion handler with a recycled descriptor — nearly the
 //!   whole software stack is skipped.
+//!
+//! Every in-flight chain is identified by a [`ChainToken`] minted by the
+//! kernel when the chain starts. The token — not the lookup key — is the
+//! identity drivers key per-chain state on, so two concurrent chains for
+//! the same key can never collide. Installed programs are referred to by
+//! [`ProgHandle`]s with an explicit attach/detach lifecycle (see
+//! [`crate::Machine::install`]).
 
 use bpfstor_sim::{Histogram, Nanos, SimRng};
 
@@ -21,6 +28,41 @@ use crate::trace::LayerTrace;
 
 /// A file descriptor in the simulated kernel.
 pub type Fd = u32;
+
+/// A typed reference to one program installed on one descriptor.
+///
+/// Returned by [`crate::Machine::install`]; passed to
+/// [`crate::Machine::attach`] / [`crate::Machine::detach`] /
+/// [`crate::Machine::unload`] and [`crate::Machine::map_value`]. A
+/// descriptor can hold several installed programs; at most one is
+/// *attached* (runs at the hook) at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgHandle {
+    /// The descriptor the program is installed on.
+    pub fd: Fd,
+    /// Slot within the descriptor's program table.
+    pub slot: u32,
+}
+
+/// Kernel-minted identity of one in-flight chain (one *attempt* of a
+/// logical request).
+///
+/// Carried by every [`ChainDriver`] callback and by the terminal
+/// [`ChainOutcome`], so drivers key per-chain state on `id` instead of
+/// on the lookup key — two concurrent chains for the same key get
+/// distinct tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainToken {
+    /// Unique per machine, monotone in issue order — never reused, even
+    /// across runs, so token-keyed driver state cannot collide with a
+    /// stale entry from an earlier run.
+    pub id: u64,
+    /// The chain's argument (e.g. the lookup key), from
+    /// [`ChainStart::arg`].
+    pub arg: u64,
+    /// Simulated time the chain (this attempt) was issued.
+    pub issued: Nanos,
+}
 
 /// Where dependent I/Os are reissued from (Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,7 +96,8 @@ impl DispatchMode {
 /// The first I/O of a new chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChainStart {
-    /// Target file descriptor (must be tagged for hook modes).
+    /// Target file descriptor (must have an attached program for hook
+    /// modes).
     pub fd: Fd,
     /// Byte offset of the first read.
     pub file_off: u64,
@@ -63,7 +106,8 @@ pub struct ChainStart {
     /// Per-chain argument (e.g. the lookup key). The kernel copies it
     /// into the first 8 bytes of the chain's scratch buffer before the
     /// first hop, where the BPF program reads it — the XRP-style
-    /// request-scoped argument.
+    /// request-scoped argument. It is also echoed in the chain's
+    /// [`ChainToken`].
     pub arg: u64,
 }
 
@@ -86,7 +130,9 @@ pub enum ChainStatus {
     /// BPF `ACT_HALT`: the program ended the chain (e.g. key absent).
     Halted,
     /// NVMe-layer translation failed (no/stale snapshot): the
-    /// application must re-arm the ioctl and retry.
+    /// application must re-arm the ioctl and retry — or return
+    /// [`ChainVerdict::RearmRetry`] from [`ChainDriver::chain_done`] to
+    /// have the kernel do both.
     ExtentMiss,
     /// Extents were invalidated while the chain was in flight; the
     /// recycled I/O was discarded (§4's invalidation semantics).
@@ -119,6 +165,12 @@ impl ChainStatus {
             ChainStatus::Pass(_) | ChainStatus::Emitted(_) | ChainStatus::Halted
         )
     }
+
+    /// True for the two statuses an extent invalidation produces, which
+    /// a re-arm of the install ioctl repairs.
+    pub fn is_rearmable(&self) -> bool {
+        matches!(self, ChainStatus::ExtentMiss | ChainStatus::Invalidated)
+    }
 }
 
 /// Everything known about a finished chain.
@@ -126,20 +178,47 @@ impl ChainStatus {
 pub struct ChainOutcome {
     /// Issuing thread.
     pub thread: usize,
-    /// The chain's argument (e.g. the lookup key).
-    pub arg: u64,
+    /// The chain's kernel-minted identity (`token.arg` is the lookup
+    /// key / argument).
+    pub token: ChainToken,
     /// Terminal status.
     pub status: ChainStatus,
-    /// Number of I/Os the chain performed.
+    /// Number of I/Os this attempt performed.
     pub ios: u32,
-    /// End-to-end chain latency.
+    /// How many earlier attempts of this logical request were consumed
+    /// by [`ChainVerdict::RearmRetry`] (0 for a first attempt).
+    pub attempts: u32,
+    /// End-to-end latency of this attempt.
     pub latency: Nanos,
+}
+
+impl ChainOutcome {
+    /// The chain's argument (shorthand for `token.arg`).
+    pub fn arg(&self) -> u64 {
+        self.token.arg
+    }
+}
+
+/// The driver's decision about a finished chain, returned from
+/// [`ChainDriver::chain_done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainVerdict {
+    /// Accept the outcome; the thread moves on to its next chain.
+    #[default]
+    Done,
+    /// Re-arm the descriptor's extent snapshot (rerun the install ioctl)
+    /// and restart the same logical request from its first read, with
+    /// `attempts + 1`. The failed attempt is not counted as a completed
+    /// chain in the [`RunReport`]; the restart is counted in
+    /// [`RunReport::rearm_retries`]. Only meaningful for
+    /// [`ChainStatus::is_rearmable`] outcomes.
+    RearmRetry,
 }
 
 /// Application logic driven by the simulated kernel.
 ///
-/// Implementations hold per-thread state (current key, expected value)
-/// and are called at the simulated times the real application would run.
+/// Implementations hold per-chain state keyed by [`ChainToken::id`] and
+/// are called at the simulated times the real application would run.
 pub trait ChainDriver {
     /// Dispatch mode for this run.
     fn mode(&self) -> DispatchMode;
@@ -148,14 +227,18 @@ pub trait ChainDriver {
     fn next_chain(&mut self, thread: usize, rng: &mut SimRng) -> Option<ChainStart>;
 
     /// User-mode only: one application step over a completed block.
-    /// `arg` identifies the chain (its [`ChainStart::arg`]), so drivers
-    /// can keep per-chain state even with many chains in flight.
-    fn user_step(&mut self, _thread: usize, _arg: u64, _data: &[u8]) -> UserNext {
+    /// `token` identifies the chain, so drivers can keep per-chain state
+    /// even with many chains in flight — including several for the same
+    /// key.
+    fn user_step(&mut self, _thread: usize, _token: &ChainToken, _data: &[u8]) -> UserNext {
         UserNext::Done
     }
 
-    /// Called when a chain finishes.
-    fn chain_done(&mut self, _thread: usize, _outcome: &ChainOutcome) {}
+    /// Called when a chain finishes; the verdict may ask the kernel to
+    /// re-arm and retry (see [`ChainVerdict`]).
+    fn chain_done(&mut self, _thread: usize, _outcome: &ChainOutcome) -> ChainVerdict {
+        ChainVerdict::Done
+    }
 }
 
 /// Aggregate results of a run.
@@ -187,6 +270,9 @@ pub struct RunReport {
     /// summed over threads; per-thread values via
     /// [`crate::Machine::resubmission_accounting`]).
     pub resubmissions: u64,
+    /// Chains restarted through [`ChainVerdict::RearmRetry`] (each
+    /// restart reran the install ioctl's extent snapshot).
+    pub rearm_retries: u64,
 }
 
 impl RunReport {

@@ -27,7 +27,8 @@ pub mod machine;
 pub mod trace;
 
 pub use chain::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, RunReport, UserNext,
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    ProgHandle, RunReport, UserNext,
 };
 pub use costs::LayerCosts;
 pub use extcache::{ExtCacheStats, ExtentCache};

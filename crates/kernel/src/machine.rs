@@ -35,7 +35,8 @@ use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
 use bpfstor_vm::{action, verify, ExecEnv, MapSet, Program, RunCtx, Vm, EMIT_MAX, SCRATCH_SIZE};
 
 use crate::chain::{
-    ChainDriver, ChainOutcome, ChainStatus, DispatchMode, Fd, RunReport, UserNext,
+    ChainDriver, ChainOutcome, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd, ProgHandle,
+    RunReport, UserNext,
 };
 use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
@@ -74,16 +75,18 @@ impl Default for MachineConfig {
     }
 }
 
-/// Errors from control-plane operations (open/install/re-arm).
+/// Errors from control-plane operations (open/install/attach/re-arm).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {
     /// Unknown file name.
     NoSuchFile,
     /// Unknown fd.
     BadFd(Fd),
+    /// Stale or unknown program handle.
+    BadHandle(ProgHandle),
     /// Program rejected by the verifier.
     Verifier(String),
-    /// No program installed on the fd.
+    /// No program attached to the fd.
     NotInstalled,
     /// File-system failure.
     Fs(String),
@@ -94,8 +97,11 @@ impl std::fmt::Display for KernelError {
         match self {
             KernelError::NoSuchFile => write!(f, "no such file"),
             KernelError::BadFd(fd) => write!(f, "bad fd {fd}"),
+            KernelError::BadHandle(h) => {
+                write!(f, "bad program handle (fd {}, slot {})", h.fd, h.slot)
+            }
             KernelError::Verifier(e) => write!(f, "verifier rejected program: {e}"),
-            KernelError::NotInstalled => write!(f, "no program installed on fd"),
+            KernelError::NotInstalled => write!(f, "no program attached to fd"),
             KernelError::Fs(e) => write!(f, "fs: {e}"),
         }
     }
@@ -133,6 +139,15 @@ struct Install {
     flags: u32,
 }
 
+/// Per-descriptor program table: several loaded programs, at most one
+/// attached (running at the hook).
+#[derive(Default)]
+struct ProgTable {
+    progs: HashMap<u32, Install>,
+    attached: Option<u32>,
+    next_slot: u32,
+}
+
 #[derive(Debug)]
 enum Ev {
     AppStart { thread: usize },
@@ -154,7 +169,12 @@ struct Op {
     ino: u64,
     mode: DispatchMode,
     origin: Origin,
-    arg: u64,
+    token: ChainToken,
+    /// First read of the chain, kept for [`ChainVerdict::RearmRetry`]
+    /// restarts.
+    first_off: u64,
+    first_len: u32,
+    attempts: u32,
     file_off: u64,
     len: u32,
     hop: u32,
@@ -168,9 +188,20 @@ struct Op {
     o_direct: bool,
 }
 
+/// A chain queued for re-issue after a rearm-retry verdict.
+#[derive(Debug, Clone, Copy)]
+struct RetrySpec {
+    fd: Fd,
+    file_off: u64,
+    len: u32,
+    arg: u64,
+    attempts: u32,
+}
+
 enum PendingSub {
     NewChain,
     Continue(usize),
+    Retry(RetrySpec),
 }
 
 struct UringState {
@@ -224,7 +255,9 @@ pub struct Machine {
     rng: SimRng,
     fds: HashMap<Fd, FdState>,
     next_fd: Fd,
-    installs: HashMap<Fd, Install>,
+    installs: HashMap<Fd, ProgTable>,
+    next_chain_id: u64,
+    rearm_retries: u64,
     ops: Vec<Option<Op>>,
     free_ops: Vec<usize>,
     threads: Vec<ThreadState>,
@@ -260,6 +293,8 @@ impl Machine {
             fds: HashMap::new(),
             next_fd: 3,
             installs: HashMap::new(),
+            next_chain_id: 0,
+            rearm_retries: 0,
             ops: Vec::new(),
             free_ops: Vec::new(),
             threads: Vec::new(),
@@ -310,28 +345,118 @@ impl Machine {
     }
 
     /// The install ioctl (§4): verifies the program, instantiates its
-    /// maps, tags the fd, and pushes the file's extent snapshot to the
-    /// NVMe layer.
+    /// maps, loads it into the descriptor's program table, attaches it
+    /// (replacing any currently attached program at the hook), and
+    /// pushes the file's extent snapshot to the NVMe layer.
+    ///
+    /// The returned [`ProgHandle`] names the loaded program for
+    /// [`Machine::attach`] / [`Machine::detach`] / [`Machine::unload`]
+    /// and [`Machine::map_value`]. A descriptor can hold several loaded
+    /// programs and switch between them without re-verifying.
     ///
     /// # Errors
     ///
     /// Verifier rejections and bad descriptors.
-    pub fn install(&mut self, fd: Fd, prog: Program, flags: u32) -> Result<(), KernelError> {
+    pub fn install(
+        &mut self,
+        fd: Fd,
+        prog: Program,
+        flags: u32,
+    ) -> Result<ProgHandle, KernelError> {
         let st = *self.fds.get(&fd).ok_or(KernelError::BadFd(fd))?;
         verify(&prog).map_err(|e| KernelError::Verifier(e.to_string()))?;
         let maps =
             MapSet::instantiate(&prog.maps).map_err(|e| KernelError::Verifier(e.to_string()))?;
+        self.snapshot_extents(st.ino)?;
+        let table = self.installs.entry(fd).or_default();
+        let slot = table.next_slot;
+        table.next_slot += 1;
+        table.progs.insert(slot, Install { prog, maps, flags });
+        table.attached = Some(slot);
+        Ok(ProgHandle { fd, slot })
+    }
+
+    /// Attaches a previously loaded program to its descriptor's hook
+    /// (detaching whatever was attached) and re-arms the extent
+    /// snapshot, as activating a program requires a fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadHandle`] for unknown/unloaded handles.
+    pub fn attach(&mut self, handle: ProgHandle) -> Result<(), KernelError> {
+        let st = *self
+            .fds
+            .get(&handle.fd)
+            .ok_or(KernelError::BadFd(handle.fd))?;
+        let table = self
+            .installs
+            .get_mut(&handle.fd)
+            .ok_or(KernelError::BadHandle(handle))?;
+        if !table.progs.contains_key(&handle.slot) {
+            return Err(KernelError::BadHandle(handle));
+        }
+        table.attached = Some(handle.slot);
+        self.snapshot_extents(st.ino)
+    }
+
+    /// Detaches the program from its descriptor's hook; the program
+    /// stays loaded and can be re-attached. Tagged I/O on the fd fails
+    /// with a VM error until another program is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadHandle`] if the handle is not loaded or not the
+    /// attached program.
+    pub fn detach(&mut self, handle: ProgHandle) -> Result<(), KernelError> {
+        let table = self
+            .installs
+            .get_mut(&handle.fd)
+            .ok_or(KernelError::BadHandle(handle))?;
+        if table.attached != Some(handle.slot) {
+            return Err(KernelError::BadHandle(handle));
+        }
+        table.attached = None;
+        Ok(())
+    }
+
+    /// Unloads a program entirely (detaching it first if attached),
+    /// dropping its maps.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadHandle`] for unknown handles.
+    pub fn unload(&mut self, handle: ProgHandle) -> Result<(), KernelError> {
+        let table = self
+            .installs
+            .get_mut(&handle.fd)
+            .ok_or(KernelError::BadHandle(handle))?;
+        if table.progs.remove(&handle.slot).is_none() {
+            return Err(KernelError::BadHandle(handle));
+        }
+        if table.attached == Some(handle.slot) {
+            table.attached = None;
+        }
+        Ok(())
+    }
+
+    /// The handle of the program currently attached to `fd`, if any.
+    pub fn attached(&self, fd: Fd) -> Option<ProgHandle> {
+        let table = self.installs.get(&fd)?;
+        table.attached.map(|slot| ProgHandle { fd, slot })
+    }
+
+    /// Pushes a fresh extent snapshot for `ino` to the NVMe layer.
+    fn snapshot_extents(&mut self, ino: u64) -> Result<(), KernelError> {
         let (_, unmap_gen) = self
             .fs
-            .generations(st.ino)
+            .generations(ino)
             .map_err(|e| KernelError::Fs(e.to_string()))?;
         let snapshot = self
             .fs
-            .extents_snapshot(st.ino)
+            .extents_snapshot(ino)
             .map_err(|e| KernelError::Fs(e.to_string()))?;
-        self.extcache.install(st.ino, snapshot, unmap_gen);
-        self.aborting_inos.remove(&st.ino);
-        self.installs.insert(fd, Install { prog, maps, flags });
+        self.extcache.install(ino, snapshot, unmap_gen);
+        self.aborting_inos.remove(&ino);
         Ok(())
     }
 
@@ -343,25 +468,19 @@ impl Machine {
     /// [`KernelError::NotInstalled`] when no program is attached.
     pub fn rearm(&mut self, fd: Fd) -> Result<(), KernelError> {
         let st = *self.fds.get(&fd).ok_or(KernelError::BadFd(fd))?;
-        if !self.installs.contains_key(&fd) {
+        if self.attached(fd).is_none() {
             return Err(KernelError::NotInstalled);
         }
-        let (_, unmap_gen) = self
-            .fs
-            .generations(st.ino)
-            .map_err(|e| KernelError::Fs(e.to_string()))?;
-        let snapshot = self
-            .fs
-            .extents_snapshot(st.ino)
-            .map_err(|e| KernelError::Fs(e.to_string()))?;
-        self.extcache.install(st.ino, snapshot, unmap_gen);
-        self.aborting_inos.remove(&st.ino);
-        Ok(())
+        self.snapshot_extents(st.ino)
     }
 
     /// Reads back a program's map value after a run (for stats maps).
-    pub fn map_value(&mut self, fd: Fd, map_id: u32, key: &[u8]) -> Option<Vec<u8>> {
-        let install = self.installs.get_mut(&fd)?;
+    pub fn map_value(&mut self, handle: ProgHandle, map_id: u32, key: &[u8]) -> Option<Vec<u8>> {
+        let install = self
+            .installs
+            .get_mut(&handle.fd)?
+            .progs
+            .get_mut(&handle.slot)?;
         install
             .maps
             .lookup(map_id, key)
@@ -430,7 +549,8 @@ impl Machine {
             .collect();
         for t in 0..nthreads {
             // Small stagger desynchronises thread start-up.
-            self.events.push((t as Nanos) * 97, Ev::AppStart { thread: t });
+            self.events
+                .push((t as Nanos) * 97, Ev::AppStart { thread: t });
         }
         self.event_loop(driver);
         self.finish_run()
@@ -458,7 +578,8 @@ impl Machine {
             })
             .collect();
         for t in 0..nthreads {
-            self.events.push((t as Nanos) * 97, Ev::AppStart { thread: t });
+            self.events
+                .push((t as Nanos) * 97, Ev::AppStart { thread: t });
         }
         self.event_loop(driver);
         self.finish_run()
@@ -474,6 +595,10 @@ impl Machine {
         self.chains = 0;
         self.ios = 0;
         self.errors = 0;
+        // next_chain_id deliberately NOT reset: token ids stay unique
+        // across runs of one machine, so driver state keyed by token id
+        // can never collide with a stale entry from an earlier run.
+        self.rearm_retries = 0;
         self.resubmissions.clear();
     }
 
@@ -493,6 +618,7 @@ impl Machine {
             trace: self.trace,
             extcache: self.extcache.stats(),
             resubmissions: self.resubmissions.iter().sum(),
+            rearm_retries: self.rearm_retries,
         }
     }
 
@@ -555,6 +681,7 @@ impl Machine {
             start.arg,
             mode,
             Origin::Sync,
+            0,
         );
     }
 
@@ -568,17 +695,27 @@ impl Machine {
         arg: u64,
         mode: DispatchMode,
         origin: Origin,
+        attempts: u32,
     ) -> Option<usize> {
         let st = self.fds.get(&fd).copied()?;
         let mut scratch = vec![0u8; SCRATCH_SIZE];
         scratch[..8].copy_from_slice(&arg.to_le_bytes());
+        let token = ChainToken {
+            id: self.next_chain_id,
+            arg,
+            issued: self.now,
+        };
+        self.next_chain_id += 1;
         let op = Op {
             thread,
             fd,
             ino: st.ino,
             mode,
             origin,
-            arg,
+            token,
+            first_off: file_off,
+            first_len: len,
+            attempts,
             file_off,
             len,
             hop: 0,
@@ -660,8 +797,7 @@ impl Machine {
             return;
         }
         // Extra bio/driver work for each split segment beyond the first.
-        let extra = (segments.len() as u64 - 1)
-            * (self.costs.bio_submit + self.costs.drv_submit);
+        let extra = (segments.len() as u64 - 1) * (self.costs.bio_submit + self.costs.drv_submit);
         if extra > 0 {
             let end = self.charge(extra);
             self.trace.bio += extra;
@@ -714,9 +850,7 @@ impl Machine {
             return;
         };
         // Mid-chain invalidation: discard recycled I/O (§4).
-        if op_ref.mode == DispatchMode::DriverHook
-            && self.aborting_inos.contains(&op_ref.ino)
-        {
+        if op_ref.mode == DispatchMode::DriverHook && self.aborting_inos.contains(&op_ref.ino) {
             let op = self.ops[id].as_mut().expect("op");
             op.status = Some(ChainStatus::Invalidated);
             let cost = self.costs.sync_complete();
@@ -747,16 +881,21 @@ impl Machine {
 
     /// Runs the installed program over the completed block; returns
     /// `(status_if_terminal, resubmit_target, insns)`.
-    fn run_hook_program(
-        &mut self,
-        id: usize,
-    ) -> (Option<ChainStatus>, Option<u64>, u64) {
+    fn run_hook_program(&mut self, id: usize) -> (Option<ChainStatus>, Option<u64>, u64) {
         let mut op = self.ops[id].take().expect("op exists");
         let result = {
-            let Some(install) = self.installs.get_mut(&op.fd) else {
-                op.status = Some(ChainStatus::VmError("no program installed".to_string()));
+            let install = self
+                .installs
+                .get_mut(&op.fd)
+                .and_then(|t| t.attached.and_then(|slot| t.progs.get_mut(&slot)));
+            let Some(install) = install else {
+                op.status = Some(ChainStatus::VmError("no program attached".to_string()));
                 self.ops[id] = Some(op);
-                return (Some(ChainStatus::VmError("no program".to_string())), None, 0);
+                return (
+                    Some(ChainStatus::VmError("no program attached".to_string())),
+                    None,
+                    0,
+                );
             };
             let mut env = HookEnv {
                 resubmit_to: None,
@@ -864,9 +1003,8 @@ impl Machine {
                             file_off: target,
                             data: op.data.clone(),
                         });
-                        let cost =
-                            self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                                - self.costs.drv_complete;
+                        let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                            - self.costs.drv_complete;
                         let end = self.charge(cost);
                         self.account_complete_trace();
                         self.trace.extent_cache += cache_cost;
@@ -875,9 +1013,8 @@ impl Machine {
                     None => {
                         let op = self.ops[id].as_mut().expect("op");
                         op.status = Some(ChainStatus::ExtentMiss);
-                        let cost =
-                            self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                                - self.costs.drv_complete;
+                        let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
+                            - self.costs.drv_complete;
                         let end = self.charge(cost);
                         self.account_complete_trace();
                         self.trace.extent_cache += cache_cost;
@@ -953,8 +1090,8 @@ impl Machine {
         // User-mode chains may continue from the application.
         if op.mode == DispatchMode::User && op.status.is_none() {
             let data = op.data.clone();
-            let arg = op.arg;
-            match driver.user_step(thread, arg, &data) {
+            let token = op.token;
+            match driver.user_step(thread, &token, &data) {
                 UserNext::Continue(next_off) => {
                     let op = self.ops[id].as_mut().expect("op");
                     op.file_off = next_off;
@@ -969,10 +1106,7 @@ impl Machine {
                         }
                         Origin::Uring => {
                             // Queue the continuation for the next enter.
-                            let ur = self.threads[thread]
-                                .uring
-                                .as_mut()
-                                .expect("uring thread");
+                            let ur = self.threads[thread].uring.as_mut().expect("uring thread");
                             ur.queue.push(PendingSub::Continue(id));
                             self.uring_cqe_arrived(thread);
                         }
@@ -990,17 +1124,28 @@ impl Machine {
         let status = op.status.clone().unwrap_or(ChainStatus::IoError);
         let outcome = ChainOutcome {
             thread,
-            arg: op.arg,
+            token: op.token,
             status: status.clone(),
             ios: op.ios,
+            attempts: op.attempts,
             latency: self.now.saturating_sub(op.started),
         };
+        let verdict = driver.chain_done(thread, &outcome);
+        // The retry protocol only applies to failures a re-arm repairs;
+        // a RearmRetry verdict for any other status is treated as Done
+        // (otherwise a driver retrying successes would loop forever).
+        // restart_chain itself declines when the re-arm ioctl fails —
+        // retrying against a dead snapshot would burn the budget on a
+        // permanent error — in which case the chain completes normally
+        // with its failure status.
+        if verdict == ChainVerdict::RearmRetry && status.is_rearmable() && self.restart_chain(id) {
+            return;
+        }
         self.chains += 1;
         if !status.is_ok() {
             self.errors += 1;
         }
         self.latency.record(outcome.latency);
-        driver.chain_done(thread, &outcome);
         self.free_op(id);
         match origin {
             Origin::Sync => {
@@ -1012,6 +1157,57 @@ impl Machine {
                 self.uring_cqe_arrived(thread);
             }
         }
+    }
+
+    /// The [`ChainVerdict::RearmRetry`] path: rerun the install ioctl's
+    /// extent snapshot for the chain's descriptor and restart the
+    /// request from its first read with `attempts + 1`. The failed
+    /// attempt is absorbed (not counted as a completed chain). Returns
+    /// `false` without restarting when the re-arm itself fails (file
+    /// gone, program detached) — a permanent error retrying cannot fix.
+    fn restart_chain(&mut self, id: usize) -> bool {
+        let op = self.ops[id].as_ref().expect("op exists");
+        let (thread, fd, origin, mode) = (op.thread, op.fd, op.origin, op.mode);
+        // The rearm ioctl itself: boundary crossings, syscall dispatch,
+        // and the file system's extent walk.
+        let ioctl = self.costs.crossing() + self.costs.syscall + self.costs.fs_submit;
+        self.charge(ioctl);
+        self.trace.crossing += self.costs.crossing();
+        self.trace.syscall += self.costs.syscall;
+        self.trace.fs += self.costs.fs_submit;
+        if self.rearm(fd).is_err() {
+            return false;
+        }
+        let op = self.ops[id].as_ref().expect("op exists");
+        let spec = RetrySpec {
+            fd,
+            file_off: op.first_off,
+            len: op.first_len,
+            arg: op.token.arg,
+            attempts: op.attempts + 1,
+        };
+        self.free_op(id);
+        self.rearm_retries += 1;
+        match origin {
+            Origin::Sync => {
+                self.start_chain(
+                    thread,
+                    spec.fd,
+                    spec.file_off,
+                    spec.len,
+                    spec.arg,
+                    mode,
+                    Origin::Sync,
+                    spec.attempts,
+                );
+            }
+            Origin::Uring => {
+                let ur = self.threads[thread].uring.as_mut().expect("uring thread");
+                ur.queue.push(PendingSub::Retry(spec));
+                self.uring_cqe_arrived(thread);
+            }
+        }
+        true
     }
 
     fn uring_cqe_arrived(&mut self, thread: usize) {
@@ -1028,16 +1224,24 @@ impl Machine {
     }
 
     fn uring_enter(&mut self, thread: usize, driver: &mut dyn ChainDriver) {
-        if self.now >= self.until {
-            self.threads[thread].stopped = true;
-            return;
-        }
+        // Past the deadline, no *new* chains start, but queued
+        // continuations and rearm-retries of in-flight logical requests
+        // still submit (matching the sync path, which also finishes
+        // in-flight work past the deadline).
+        let past_deadline = self.now >= self.until;
         let (batch, queue_len) = {
             let ur = self.threads[thread].uring.as_ref().expect("uring");
             (ur.batch, ur.queue.len())
         };
-        // First enter of the run: fill the queue with fresh chains.
-        if queue_len == 0 {
+        if past_deadline {
+            let ur = self.threads[thread].uring.as_mut().expect("uring");
+            ur.queue.retain(|s| !matches!(s, PendingSub::NewChain));
+            if ur.queue.is_empty() {
+                self.threads[thread].stopped = true;
+                return;
+            }
+        } else if queue_len == 0 {
+            // First enter of the run: fill the queue with fresh chains.
             let ur = self.threads[thread].uring.as_mut().expect("uring");
             for _ in 0..batch {
                 ur.queue.push(PendingSub::NewChain);
@@ -1067,6 +1271,7 @@ impl Machine {
                         start.arg,
                         mode,
                         Origin::Uring,
+                        0,
                     ) {
                         submitted.push(id);
                     }
@@ -1074,6 +1279,21 @@ impl Machine {
                 PendingSub::Continue(id) => {
                     app_work += self.costs.app_think;
                     submitted.push(id);
+                }
+                PendingSub::Retry(spec) => {
+                    app_work += self.costs.app_think;
+                    if let Some(id) = self.start_chain(
+                        thread,
+                        spec.fd,
+                        spec.file_off,
+                        spec.len,
+                        spec.arg,
+                        mode,
+                        Origin::Uring,
+                        spec.attempts,
+                    ) {
+                        submitted.push(id);
+                    }
                 }
             }
         }
@@ -1088,15 +1308,13 @@ impl Machine {
             + self.costs.bio_submit
             + self.costs.drv_submit;
         let reap_cost = self.costs.uring_cqe * submitted.len() as u64;
-        let cost = app_work
-            + self.costs.crossing_enter
-            + per_sqe * submitted.len() as u64
-            + reap_cost;
+        let cost =
+            app_work + self.costs.crossing_enter + per_sqe * submitted.len() as u64 + reap_cost;
         let end = self.charge(cost);
         self.trace.app += app_work;
         self.trace.crossing += self.costs.crossing_enter;
-        self.trace.syscall += (self.costs.uring_sqe + self.costs.uring_cqe)
-            * submitted.len() as u64;
+        self.trace.syscall +=
+            (self.costs.uring_sqe + self.costs.uring_cqe) * submitted.len() as u64;
         self.trace.fs += self.costs.fs_submit * submitted.len() as u64;
         self.trace.bio += self.costs.bio_submit * submitted.len() as u64;
         self.trace.drv += self.costs.drv_submit * submitted.len() as u64;

@@ -34,7 +34,13 @@ pub struct LayerTrace {
 impl LayerTrace {
     /// Total software time (everything but the device).
     pub fn software(&self) -> Nanos {
-        self.crossing + self.syscall + self.fs + self.bio + self.drv + self.app + self.bpf
+        self.crossing
+            + self.syscall
+            + self.fs
+            + self.bio
+            + self.drv
+            + self.app
+            + self.bpf
             + self.extent_cache
     }
 

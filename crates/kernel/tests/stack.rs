@@ -4,8 +4,8 @@
 
 use bpfstor_device::SECTOR_SIZE;
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Fd, Machine,
-    MachineConfig, Mutation, UserNext,
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    KernelError, Machine, MachineConfig, Mutation, UserNext,
 };
 use bpfstor_sim::{Nanos, SimRng, MILLISECOND, SECOND};
 use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
@@ -99,7 +99,7 @@ impl ChainDriver for ChaseDriver {
         })
     }
 
-    fn user_step(&mut self, _thread: usize, _arg: u64, data: &[u8]) -> UserNext {
+    fn user_step(&mut self, _thread: usize, _token: &ChainToken, data: &[u8]) -> UserNext {
         let next = u64::from_le_bytes(data[..8].try_into().expect("8B"));
         if next == SENTINEL {
             UserNext::Done
@@ -108,14 +108,16 @@ impl ChainDriver for ChaseDriver {
         }
     }
 
-    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) {
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
         self.outcomes.push(outcome.clone());
+        ChainVerdict::Done
     }
 }
 
 fn setup(n_blocks: usize, mode: DispatchMode) -> (Machine, ChaseDriver) {
     let mut m = Machine::new(MachineConfig::default());
-    m.create_file("chain.db", &chain_file(n_blocks)).expect("create");
+    m.create_file("chain.db", &chain_file(n_blocks))
+        .expect("create");
     let fd = m.open("chain.db", true).expect("open");
     if mode != DispatchMode::User {
         m.install(fd, chase_program(), 0).expect("install");
@@ -174,7 +176,11 @@ fn syscall_hook_chain_works() {
     let report = m.run_closed_loop(1, SECOND, &mut d);
     assert_eq!(d.outcomes.len(), 4);
     for o in &d.outcomes {
-        assert!(matches!(o.status, ChainStatus::Emitted(_)), "{:?}", o.status);
+        assert!(
+            matches!(o.status, ChainStatus::Emitted(_)),
+            "{:?}",
+            o.status
+        );
     }
     assert_eq!(report.errors, 0);
 }
@@ -223,17 +229,17 @@ fn extent_miss_without_install_snapshot() {
     // Install, then invalidate via relocation before running: chains see
     // ExtentMiss (or Invalidated) until rearm.
     let (mut m, mut d) = setup(8, DispatchMode::DriverHook);
-    m.schedule_mutation(0, Mutation::Relocate {
-        name: "chain.db".to_string(),
-    });
+    m.schedule_mutation(
+        0,
+        Mutation::Relocate {
+            name: "chain.db".to_string(),
+        },
+    );
     let _ = m.run_closed_loop(1, 10 * MILLISECOND, &mut d);
     assert!(
         d.outcomes
             .iter()
-            .all(|o| matches!(
-                o.status,
-                ChainStatus::ExtentMiss | ChainStatus::Invalidated
-            )),
+            .all(|o| matches!(o.status, ChainStatus::ExtentMiss | ChainStatus::Invalidated)),
         "chains must fail after invalidation: {:?}",
         d.outcomes.iter().map(|o| &o.status).collect::<Vec<_>>()
     );
@@ -415,5 +421,178 @@ fn user_mode_never_touches_fairness_counters() {
     let (mut m, mut d) = setup(6, DispatchMode::User);
     d.max_chains = 5;
     let report = m.run_closed_loop(2, SECOND, &mut d);
-    assert_eq!(report.resubmissions, 0, "no recycled descriptors in user mode");
+    assert_eq!(
+        report.resubmissions, 0,
+        "no recycled descriptors in user mode"
+    );
+}
+
+/// A trivial program that halts every chain immediately.
+fn halt_program() -> Program {
+    let mut a = Asm::new();
+    a.mov64_imm(0, action::ACT_HALT as i32).exit();
+    Program::new(a.finish().expect("assembles"))
+}
+
+#[test]
+fn program_handles_attach_detach_lifecycle() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("chain.db", &chain_file(4)).expect("create");
+    let fd = m.open("chain.db", true).expect("open");
+
+    // Two programs loaded on one descriptor; the latest install is the
+    // attached one.
+    let chase = m.install(fd, chase_program(), 0).expect("install chase");
+    let halt = m.install(fd, halt_program(), 0).expect("install halt");
+    assert_ne!(chase, halt, "each install gets its own handle");
+    assert_eq!(m.attached(fd), Some(halt));
+
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let _ = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes[0].status, ChainStatus::Halted, "halt prog runs");
+
+    // Switch back to the chase program without re-verifying.
+    m.attach(chase).expect("attach");
+    assert_eq!(m.attached(fd), Some(chase));
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let _ = m.run_closed_loop(1, SECOND, &mut d);
+    assert!(
+        matches!(d.outcomes[0].status, ChainStatus::Emitted(_)),
+        "chase prog runs after attach: {:?}",
+        d.outcomes[0].status
+    );
+
+    // Detached descriptor: tagged I/O fails with a VM error.
+    m.detach(chase).expect("detach");
+    assert_eq!(m.attached(fd), None);
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let _ = m.run_closed_loop(1, SECOND, &mut d);
+    assert!(
+        matches!(d.outcomes[0].status, ChainStatus::VmError(_)),
+        "{:?}",
+        d.outcomes[0].status
+    );
+
+    // Unload invalidates the handle.
+    m.unload(halt).expect("unload");
+    assert_eq!(m.attach(halt), Err(KernelError::BadHandle(halt)));
+    assert_eq!(m.map_value(halt, 0, &[0u8; 4]), None);
+
+    // Detaching a program that is not attached is an error.
+    assert_eq!(m.detach(chase), Err(KernelError::BadHandle(chase)));
+    // rearm needs an attached program.
+    assert_eq!(m.rearm(fd), Err(KernelError::NotInstalled));
+}
+
+#[test]
+fn chain_tokens_are_unique_and_carry_the_argument() {
+    // Many chains in flight at once (uring, batch 4), several with the
+    // same argument: every outcome still has a distinct token id.
+    struct TokenDriver {
+        fd: Fd,
+        issued: u64,
+        outcomes: Vec<ChainOutcome>,
+    }
+    impl ChainDriver for TokenDriver {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::DriverHook
+        }
+        fn next_chain(&mut self, _t: usize, _rng: &mut bpfstor_sim::SimRng) -> Option<ChainStart> {
+            if self.issued >= 12 {
+                return None;
+            }
+            self.issued += 1;
+            Some(ChainStart {
+                fd: self.fd,
+                file_off: 0,
+                len: SECTOR_SIZE as u32,
+                arg: self.issued % 3, // arguments repeat across chains
+            })
+        }
+        fn chain_done(&mut self, _t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            self.outcomes.push(outcome.clone());
+            ChainVerdict::Done
+        }
+    }
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("chain.db", &chain_file(4)).expect("create");
+    let fd = m.open("chain.db", true).expect("open");
+    m.install(fd, chase_program(), 0).expect("install");
+    let mut d = TokenDriver {
+        fd,
+        issued: 0,
+        outcomes: Vec::new(),
+    };
+    let _ = m.run_uring(2, 4, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 12);
+    let mut ids: Vec<u64> = d.outcomes.iter().map(|o| o.token.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 12, "token ids are unique per chain");
+    for o in &d.outcomes {
+        assert!(o.token.arg < 3, "token echoes the chain argument");
+        assert_eq!(o.arg(), o.token.arg);
+    }
+}
+
+#[test]
+fn rearm_retry_verdict_restarts_chains_without_caller_intervention() {
+    /// Chase driver that answers every rearmable failure with the
+    /// kernel-assisted rearm-and-retry protocol.
+    struct RetryDriver {
+        inner: ChaseDriver,
+        budget: u32,
+    }
+    impl ChainDriver for RetryDriver {
+        fn mode(&self) -> DispatchMode {
+            self.inner.mode()
+        }
+        fn next_chain(&mut self, t: usize, rng: &mut bpfstor_sim::SimRng) -> Option<ChainStart> {
+            self.inner.next_chain(t, rng)
+        }
+        fn user_step(&mut self, t: usize, token: &ChainToken, data: &[u8]) -> UserNext {
+            self.inner.user_step(t, token, data)
+        }
+        fn chain_done(&mut self, t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            if outcome.status.is_rearmable() && outcome.attempts < self.budget {
+                return ChainVerdict::RearmRetry;
+            }
+            self.inner.chain_done(t, outcome)
+        }
+    }
+
+    let (mut m, d) = setup(8, DispatchMode::DriverHook);
+    let mut d = RetryDriver {
+        inner: d,
+        budget: 3,
+    };
+    d.inner.max_chains = 6;
+    // Relocate the file while chains are in flight: the §4 invalidation.
+    m.schedule_mutation(
+        50_000,
+        Mutation::Relocate {
+            name: "chain.db".to_string(),
+        },
+    );
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.inner.outcomes.len(), 6, "all logical chains complete");
+    assert!(
+        d.inner.outcomes.iter().all(|o| o.status.is_ok()),
+        "retries absorb the invalidation: {:?}",
+        d.inner
+            .outcomes
+            .iter()
+            .map(|o| &o.status)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.rearm_retries > 0,
+        "the run actually exercised the retry path"
+    );
+    assert!(
+        d.inner.outcomes.iter().any(|o| o.attempts > 0),
+        "some chain carries a non-zero attempt count"
+    );
+    assert_eq!(report.errors, 0, "absorbed attempts are not errors");
+    assert_eq!(report.chains, 6, "retried attempts not double-counted");
 }

@@ -106,9 +106,7 @@ mod tests {
         for key in 0..1000u64 {
             b.insert(key);
         }
-        let fp = (1000u64..101_000)
-            .filter(|&k| b.may_contain(k))
-            .count();
+        let fp = (1000u64..101_000).filter(|&k| b.may_contain(k)).count();
         let rate = fp as f64 / 100_000.0;
         assert!(rate < 0.03, "false-positive rate {rate}");
     }

@@ -21,6 +21,6 @@ pub mod sstable;
 pub use bloom::Bloom;
 pub use lsm::{LsmConfig, LsmError, LsmStats, LsmTree, TableHandle};
 pub use sstable::{
-    build_image, data_block_entries, data_block_search, index_block_search, step_data,
-    step_footer, step_index, Footer, SstError, SstLookup, BLOCK, MAX_VALUE, SST_MAGIC,
+    build_image, data_block_entries, data_block_search, index_block_search, step_data, step_footer,
+    step_index, Footer, SstError, SstLookup, BLOCK, MAX_VALUE, SST_MAGIC,
 };

@@ -18,9 +18,7 @@ use bpfstor_device::SectorStore;
 use bpfstor_fs::{ExtFs, FsError};
 
 use crate::bloom::Bloom;
-use crate::sstable::{
-    build_image, data_block_search, data_block_entries, Footer, SstError, BLOCK,
-};
+use crate::sstable::{build_image, data_block_entries, data_block_search, Footer, SstError, BLOCK};
 
 /// Tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -121,8 +119,7 @@ impl TableHandle {
         let mut bloom_bytes = Vec::new();
         for bb in 0..footer.bloom_blocks {
             let off =
-                (footer.data_blocks as u64 + footer.index_blocks as u64 + bb as u64)
-                    * BLOCK as u64;
+                (footer.data_blocks as u64 + footer.index_blocks as u64 + bb as u64) * BLOCK as u64;
             bloom_bytes.extend(fs.read(ino, off, BLOCK, store)?);
         }
         let words: Vec<u64> = bloom_bytes
@@ -308,16 +305,11 @@ impl LsmTree {
     /// # Errors
     ///
     /// Propagates FS failures.
-    pub fn flush(
-        &mut self,
-        fs: &mut ExtFs,
-        store: &mut SectorStore,
-    ) -> Result<(), LsmError> {
+    pub fn flush(&mut self, fs: &mut ExtFs, store: &mut SectorStore) -> Result<(), LsmError> {
         if self.memtable.is_empty() {
             return Ok(());
         }
-        let entries: Vec<(u64, Vec<u8>)> =
-            std::mem::take(&mut self.memtable).into_iter().collect();
+        let entries: Vec<(u64, Vec<u8>)> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.mem_bytes = 0;
         let name = self.write_table(fs, store, &entries)?;
         let handle = TableHandle::open(fs, store, &name)?;
@@ -443,10 +435,7 @@ mod tests {
     fn memtable_roundtrip_without_flush() {
         let (mut fs, mut store, mut lsm) = setup();
         lsm.put(&mut fs, &mut store, 1, val(1)).expect("put");
-        assert_eq!(
-            lsm.get(&fs, &mut store, 1).expect("get"),
-            Some(val(1))
-        );
+        assert_eq!(lsm.get(&fs, &mut store, 1).expect("get"), Some(val(1)));
         assert_eq!(lsm.get(&fs, &mut store, 2).expect("get"), None);
         assert_eq!(lsm.stats().flushes, 0);
     }
@@ -472,9 +461,11 @@ mod tests {
     #[test]
     fn newest_version_wins_across_tables() {
         let (mut fs, mut store, mut lsm) = setup();
-        lsm.put(&mut fs, &mut store, 7, b"old".to_vec()).expect("put");
+        lsm.put(&mut fs, &mut store, 7, b"old".to_vec())
+            .expect("put");
         lsm.flush(&mut fs, &mut store).expect("flush");
-        lsm.put(&mut fs, &mut store, 7, b"new".to_vec()).expect("put");
+        lsm.put(&mut fs, &mut store, 7, b"new".to_vec())
+            .expect("put");
         lsm.flush(&mut fs, &mut store).expect("flush");
         assert_eq!(
             lsm.get(&fs, &mut store, 7).expect("get"),

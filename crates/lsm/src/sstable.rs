@@ -112,7 +112,13 @@ pub fn build_image(entries: &[(u64, Vec<u8>)]) -> Result<Vec<u8>, SstError> {
         bloom.insert(*key);
         let need = 8 + 2 + value.len();
         if cur.len() + need > BLOCK {
-            finish_data_block(&mut data_blocks, &mut index, &mut cur, cur_entries, cur_first);
+            finish_data_block(
+                &mut data_blocks,
+                &mut index,
+                &mut cur,
+                cur_entries,
+                cur_first,
+            );
             cur = vec![0u8; 2];
             cur_entries = 0;
             cur_first = None;
@@ -125,7 +131,13 @@ pub fn build_image(entries: &[(u64, Vec<u8>)]) -> Result<Vec<u8>, SstError> {
         cur.extend_from_slice(value);
         cur_entries += 1;
     }
-    finish_data_block(&mut data_blocks, &mut index, &mut cur, cur_entries, cur_first);
+    finish_data_block(
+        &mut data_blocks,
+        &mut index,
+        &mut cur,
+        cur_entries,
+        cur_first,
+    );
 
     // Pack index blocks: u16 count then 12-byte entries.
     let per_block = (BLOCK - 2) / 12;
@@ -142,11 +154,7 @@ pub fn build_image(entries: &[(u64, Vec<u8>)]) -> Result<Vec<u8>, SstError> {
     }
 
     // Bloom blocks: raw words.
-    let bloom_bytes: Vec<u8> = bloom
-        .words()
-        .iter()
-        .flat_map(|w| w.to_le_bytes())
-        .collect();
+    let bloom_bytes: Vec<u8> = bloom.words().iter().flat_map(|w| w.to_le_bytes()).collect();
     let bloom_blocks: Vec<Vec<u8>> = bloom_bytes
         .chunks(BLOCK)
         .map(|c| {
@@ -159,14 +167,30 @@ pub fn build_image(entries: &[(u64, Vec<u8>)]) -> Result<Vec<u8>, SstError> {
     // Footer.
     let mut footer = vec![0u8; BLOCK];
     put_u32(&mut footer, footer_off::MAGIC, SST_MAGIC);
-    put_u32(&mut footer, footer_off::DATA_BLOCKS, data_blocks.len() as u32);
-    put_u32(&mut footer, footer_off::INDEX_BLOCKS, index_blocks.len() as u32);
-    put_u32(&mut footer, footer_off::BLOOM_BLOCKS, bloom_blocks.len() as u32);
+    put_u32(
+        &mut footer,
+        footer_off::DATA_BLOCKS,
+        data_blocks.len() as u32,
+    );
+    put_u32(
+        &mut footer,
+        footer_off::INDEX_BLOCKS,
+        index_blocks.len() as u32,
+    );
+    put_u32(
+        &mut footer,
+        footer_off::BLOOM_BLOCKS,
+        bloom_blocks.len() as u32,
+    );
     put_u64(&mut footer, footer_off::NKEYS, entries.len() as u64);
     put_u64(&mut footer, footer_off::BLOOM_BITS, bloom.nbits());
     put_u32(&mut footer, footer_off::BLOOM_K, bloom.k());
     put_u64(&mut footer, footer_off::MIN_KEY, entries[0].0);
-    put_u64(&mut footer, footer_off::MAX_KEY, entries[entries.len() - 1].0);
+    put_u64(
+        &mut footer,
+        footer_off::MAX_KEY,
+        entries[entries.len() - 1].0,
+    );
 
     let mut image = Vec::new();
     for b in data_blocks
@@ -193,7 +217,10 @@ fn finish_data_block(
     cur[..2].copy_from_slice(&entries.to_le_bytes());
     let mut b = std::mem::take(cur);
     b.resize(BLOCK, 0);
-    index.push((first.expect("entries imply a first key"), blocks.len() as u32));
+    index.push((
+        first.expect("entries imply a first key"),
+        blocks.len() as u32,
+    ));
     blocks.push(b);
 }
 
@@ -389,7 +416,9 @@ mod tests {
     use super::*;
 
     fn sample(n: u64) -> Vec<(u64, Vec<u8>)> {
-        (0..n).map(|i| (i * 2, format!("v{i}").into_bytes())).collect()
+        (0..n)
+            .map(|i| (i * 2, format!("v{i}").into_bytes()))
+            .collect()
     }
 
     fn blocks(image: &[u8]) -> Vec<&[u8]> {
@@ -441,11 +470,7 @@ mod tests {
                 }
                 off += BLOCK as u64;
             }
-            assert_eq!(
-                result,
-                Some(SstLookup::Found(value.clone())),
-                "key {key}"
-            );
+            assert_eq!(result, Some(SstLookup::Found(value.clone())), "key {key}");
         }
     }
 
@@ -530,8 +555,7 @@ mod tests {
 
     #[test]
     fn large_values_pack_fewer_per_block() {
-        let entries: Vec<(u64, Vec<u8>)> =
-            (0..20u64).map(|i| (i, vec![i as u8; 200])).collect();
+        let entries: Vec<(u64, Vec<u8>)> = (0..20u64).map(|i| (i, vec![i as u8; 200])).collect();
         let image = build_image(&entries).expect("build");
         let bs = blocks(&image);
         let f = Footer::decode(bs[bs.len() - 1]).expect("footer");

@@ -1,0 +1,90 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros with compatible
+//! signatures. Measurement is a simple calibrated timing loop (median of
+//! several samples) rather than criterion's full statistical pipeline —
+//! good enough for the relative hot-path numbers the component benches
+//! report, and trivially replaceable by the real crate when a registry
+//! is reachable.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` in a calibrated loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the iteration count to ~5 ms per sample.
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_millis() >= 5 || n >= 1 << 24 {
+                break;
+            }
+            n *= 8;
+        }
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,61 @@
+//! Minimal offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build container has no network access, so this shim provides the
+//! tiny slice of the `rand` API the workspace actually uses: the
+//! [`RngCore`] trait (implemented by `bpfstor_sim::SimRng`) and the
+//! [`Error`] type its fallible method returns. Swapping in the real
+//! crate is a one-line `Cargo.toml` change; no source edits needed.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by this
+/// workspace's deterministic generators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (API-compatible subset of
+/// `rand::RngCore` 0.8).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

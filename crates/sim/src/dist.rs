@@ -84,9 +84,7 @@ impl LatencyDist {
             LatencyDist::LogNormal { median, sigma } => {
                 (*median as f64) * (sigma * sigma / 2.0).exp()
             }
-            LatencyDist::Bimodal { p_a, a, b } => {
-                p_a * a.mean() + (1.0 - p_a) * b.mean()
-            }
+            LatencyDist::Bimodal { p_a, a, b } => p_a * a.mean() + (1.0 - p_a) * b.mean(),
         }
     }
 }
@@ -160,7 +158,11 @@ mod tests {
         let med = samples[25_000] as f64;
         assert!((med - 3224.0).abs() / 3224.0 < 0.02, "median {med}");
         let m = empirical_mean(&d, 50_000, 7);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -279,12 +279,24 @@ impl Asm {
 
     /// Byte-swaps `dst` to big-endian at the given width (16/32/64).
     pub fn to_be(&mut self, dst: u8, width_bits: i32) -> &mut Self {
-        self.push(Insn::new(CLS_ALU | ALU_END | END_TO_BE, dst, 0, 0, width_bits))
+        self.push(Insn::new(
+            CLS_ALU | ALU_END | END_TO_BE,
+            dst,
+            0,
+            0,
+            width_bits,
+        ))
     }
 
     /// Interprets `dst` as little-endian at the given width (truncates).
     pub fn to_le(&mut self, dst: u8, width_bits: i32) -> &mut Self {
-        self.push(Insn::new(CLS_ALU | ALU_END | END_TO_LE, dst, 0, 0, width_bits))
+        self.push(Insn::new(
+            CLS_ALU | ALU_END | END_TO_LE,
+            dst,
+            0,
+            0,
+            width_bits,
+        ))
     }
 
     // --- Memory -----------------------------------------------------------
@@ -322,17 +334,11 @@ impl Asm {
     }
 
     fn jcond_imm(&mut self, opcode: u8, reg: u8, imm: i32, target: &str) -> &mut Self {
-        self.push_jump(
-            Insn::new(CLS_JMP | opcode | SRC_K, reg, 0, 0, imm),
-            target,
-        )
+        self.push_jump(Insn::new(CLS_JMP | opcode | SRC_K, reg, 0, 0, imm), target)
     }
 
     fn jcond_reg(&mut self, opcode: u8, reg: u8, src: u8, target: &str) -> &mut Self {
-        self.push_jump(
-            Insn::new(CLS_JMP | opcode | SRC_X, reg, src, 0, 0),
-            target,
-        )
+        self.push_jump(Insn::new(CLS_JMP | opcode | SRC_X, reg, src, 0, 0), target)
     }
 
     /// `if reg == imm goto target`.
@@ -449,8 +455,8 @@ impl Asm {
                         return Err(AsmError::UndefinedLabel(target));
                     };
                     let rel = target_pc as i64 - pc as i64 - 1;
-                    let off = i16::try_from(rel)
-                        .map_err(|_| AsmError::JumpOutOfRange(target.clone()))?;
+                    let off =
+                        i16::try_from(rel).map_err(|_| AsmError::JumpOutOfRange(target.clone()))?;
                     insn.off = off;
                     out.push(insn);
                 }

@@ -143,7 +143,13 @@ pub struct Insn {
 impl Insn {
     /// Builds a plain (single-slot) instruction.
     pub const fn new(op: u8, dst: u8, src: u8, off: i16, imm: i32) -> Self {
-        Insn { op, dst, src, off, imm }
+        Insn {
+            op,
+            dst,
+            src,
+            off,
+            imm,
+        }
     }
 
     /// Builds the two slots of an `LD_IMM64` instruction.
@@ -257,7 +263,13 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Insn>, DecodeError> {
 
 /// Renders one instruction slot as human-readable assembly.
 pub fn disasm(insn: &Insn) -> String {
-    let Insn { op, dst, src, off, imm } = *insn;
+    let Insn {
+        op,
+        dst,
+        src,
+        off,
+        imm,
+    } = *insn;
     if op == 0 {
         return format!(".imm64_hi {imm:#x}");
     }
@@ -458,7 +470,10 @@ mod tests {
 
     #[test]
     fn class_extraction() {
-        assert_eq!(Insn::new(CLS_ALU64 | ALU_ADD, 0, 0, 0, 0).class(), CLS_ALU64);
+        assert_eq!(
+            Insn::new(CLS_ALU64 | ALU_ADD, 0, 0, 0, 0).class(),
+            CLS_ALU64
+        );
         let [lo, _] = Insn::ld_imm64(0, 0);
         assert_eq!(lo.class(), CLS_LD);
     }

@@ -13,11 +13,11 @@
 //! nanoseconds when charging the completion path.
 
 use crate::insn::{
-    access_size, imm64_of, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD,
-    ALU_MOV, ALU_MUL, ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP,
-    CLS_JMP32, CLS_LD, CLS_LDX, CLS_ST, CLS_STX, END_TO_BE, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ,
-    JMP_JGE, JMP_JGT, JMP_JLE, JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE,
-    JMP_JSLT, MODE_MEM, NUM_REGS, OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
+    access_size, imm64_of, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD, ALU_MOV,
+    ALU_MUL, ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32,
+    CLS_LD, CLS_LDX, CLS_ST, CLS_STX, END_TO_BE, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ, JMP_JGE,
+    JMP_JGT, JMP_JLE, JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE, JMP_JSLT, MODE_MEM,
+    NUM_REGS, OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
 };
 use crate::maps::{MapError, MapSet};
 use crate::program::{ctx_off, helper, Program};
@@ -242,7 +242,11 @@ impl Vm {
         let data_len = ctx.data.len() as u64;
         let scratch_len = ctx.scratch.len() as u64;
         write_u64(&mut ctx_buf, ctx_off::DATA as usize, DATA_BASE);
-        write_u64(&mut ctx_buf, ctx_off::DATA_END as usize, DATA_BASE + data_len);
+        write_u64(
+            &mut ctx_buf,
+            ctx_off::DATA_END as usize,
+            DATA_BASE + data_len,
+        );
         write_u64(&mut ctx_buf, ctx_off::FILE_OFF as usize, ctx.file_off);
         write_u32(&mut ctx_buf, ctx_off::HOP as usize, ctx.hop);
         write_u32(&mut ctx_buf, ctx_off::FLAGS as usize, ctx.flags);
@@ -310,7 +314,10 @@ impl Vm {
                             return Err(Trap::IllegalInsn { pc, op });
                         };
                         if hi.op != 0 {
-                            return Err(Trap::IllegalInsn { pc: pc + 1, op: hi.op });
+                            return Err(Trap::IllegalInsn {
+                                pc: pc + 1,
+                                op: hi.op,
+                            });
                         }
                         reg[dst] = imm64_of(insn, hi);
                         pc += 2;
@@ -325,7 +332,14 @@ impl Vm {
                     let size = access_size(op);
                     let addr = reg[src].wrapping_add(insn.off as i64 as u64);
                     let bytes = self.read_mem(
-                        addr, size, pc, &ctx_buf, ctx.data, ctx.scratch, &stack, &mapvals,
+                        addr,
+                        size,
+                        pc,
+                        &ctx_buf,
+                        ctx.data,
+                        ctx.scratch,
+                        &stack,
+                        &mapvals,
                     )?;
                     reg[dst] = load_le(&bytes, size);
                 }
@@ -340,15 +354,7 @@ impl Vm {
                     } else {
                         insn.imm as i64 as u64
                     };
-                    self.write_mem(
-                        addr,
-                        size,
-                        value,
-                        pc,
-                        ctx.scratch,
-                        &mut stack,
-                        &mut mapvals,
-                    )?;
+                    self.write_mem(addr, size, value, pc, ctx.scratch, &mut stack, &mut mapvals)?;
                 }
                 CLS_JMP | CLS_JMP32 => {
                     let code = op & 0xf0;
@@ -402,8 +408,8 @@ impl Vm {
                                 (reg[dst], rhs)
                             };
                             let wide = insn.class() == CLS_JMP;
-                            let taken = jump_taken(code, a, b, wide)
-                                .ok_or(Trap::IllegalInsn { pc, op })?;
+                            let taken =
+                                jump_taken(code, a, b, wide).ok_or(Trap::IllegalInsn { pc, op })?;
                             if taken {
                                 pc = jump_target(pc, insn.off, insns.len())?;
                                 continue;
@@ -470,8 +476,11 @@ impl Vm {
                     .get_mut(slot)
                     .ok_or(Trap::OutOfBounds { addr, len, pc })?;
                 let off = (addr & 0xFFFF_FFFF) as usize;
-                return store_checked(&mut sl.data, off, len, value)
-                    .ok_or(Trap::OutOfBounds { addr, len, pc });
+                return store_checked(&mut sl.data, off, len, value).ok_or(Trap::OutOfBounds {
+                    addr,
+                    len,
+                    pc,
+                });
             }
             _ => return Err(Trap::OutOfBounds { addr, len, pc }),
         };
@@ -543,9 +552,8 @@ impl Vm {
                 flush_mapvals(maps, mapvals)?;
                 let map_id = reg[1] as u32;
                 let key_size = maps.spec(map_id)?.key_size as usize;
-                let key = self.read_bytes(
-                    reg[2], key_size, pc, ctx_buf, data, scratch, stack, mapvals,
-                )?;
+                let key =
+                    self.read_bytes(reg[2], key_size, pc, ctx_buf, data, scratch, stack, mapvals)?;
                 match maps.lookup(map_id, &key)? {
                     Some(value) => {
                         let slot = mapvals.len();
@@ -650,12 +658,7 @@ fn alu64(op: u8, lhs: u64, rhs: u64, pc: usize) -> Result<u64, Trap> {
         ALU_ARSH => ((lhs as i64).wrapping_shr(rhs as u32 & 63)) as u64,
         ALU_MOV => rhs,
         ALU_NEG => (lhs as i64).wrapping_neg() as u64,
-        _ => {
-            return Err(Trap::IllegalInsn {
-                pc,
-                op,
-            })
-        }
+        _ => return Err(Trap::IllegalInsn { pc, op }),
     })
 }
 
@@ -674,12 +677,7 @@ fn alu32(op: u8, lhs: u32, rhs: u32, pc: usize) -> Result<u32, Trap> {
         ALU_ARSH => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
         ALU_MOV => rhs,
         ALU_NEG => (lhs as i32).wrapping_neg() as u32,
-        _ => {
-            return Err(Trap::IllegalInsn {
-                pc,
-                op,
-            })
-        }
+        _ => return Err(Trap::IllegalInsn { pc, op }),
     })
 }
 
@@ -692,12 +690,7 @@ fn endian(op: u8, width: i32, v: u64, pc: usize) -> Result<u64, Trap> {
         (32, false) => (v as u32) as u64,
         (64, true) => v.swap_bytes(),
         (64, false) => v,
-        _ => {
-            return Err(Trap::IllegalInsn {
-                pc,
-                op,
-            })
-        }
+        _ => return Err(Trap::IllegalInsn { pc, op }),
     })
 }
 
@@ -1043,10 +1036,7 @@ mod tests {
             .st_imm(Width::DW, 10, -8, 99)
             .call(helper::MAP_LOOKUP)
             .exit();
-        let p = Program::with_maps(
-            a.finish().expect("assembles"),
-            vec![MapSpec::hash(8, 8, 4)],
-        );
+        let p = Program::with_maps(a.finish().expect("assembles"), vec![MapSpec::hash(8, 8, 4)]);
         let (out, _) = run_prog(&p, &[]).expect("runs");
         assert_eq!(out.ret, 0, "miss yields NULL");
     }
@@ -1074,10 +1064,7 @@ mod tests {
             .label("hit")
             .ldx(Width::DW, 0, 0, 0)
             .exit();
-        let p = Program::with_maps(
-            a.finish().expect("assembles"),
-            vec![MapSpec::hash(8, 8, 4)],
-        );
+        let p = Program::with_maps(a.finish().expect("assembles"), vec![MapSpec::hash(8, 8, 4)]);
         let (out, _) = run_prog(&p, &[]).expect("runs");
         assert_eq!(out.ret, 1234);
     }
@@ -1101,10 +1088,7 @@ mod tests {
             .stx(Width::DW, 0, 0, 3)
             .mov64_imm(0, 0)
             .exit();
-        let p = Program::with_maps(
-            a.finish().expect("assembles"),
-            vec![MapSpec::array(8, 1)],
-        );
+        let p = Program::with_maps(a.finish().expect("assembles"), vec![MapSpec::array(8, 1)]);
         let mut scratch = [0u8; 16];
         let mut maps = MapSet::instantiate(&p.maps).expect("maps");
         let mut env = RecordingEnv::default();

@@ -263,10 +263,12 @@ mod tests {
 
     #[test]
     fn array_lookup_and_update() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
         let key = 2u32.to_le_bytes();
-        let v = set.lookup(0, &key).expect("lookup").expect("array always hits");
+        let v = set
+            .lookup(0, &key)
+            .expect("lookup")
+            .expect("array always hits");
         assert_eq!(v, &[0u8; 8]);
         set.update(0, &key, &7u64.to_le_bytes()).expect("update");
         let v = set.lookup(0, &key).expect("lookup").expect("hit");
@@ -275,8 +277,7 @@ mod tests {
 
     #[test]
     fn array_index_bounds() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
         let key = 4u32.to_le_bytes();
         assert_eq!(
             set.lookup(0, &key),
@@ -286,8 +287,7 @@ mod tests {
 
     #[test]
     fn hash_miss_then_hit() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::hash(8, 16, 2)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::hash(8, 16, 2)]).expect("instantiate");
         let key = [1u8; 8];
         assert!(set.lookup(0, &key).expect("lookup").is_none());
         set.update(0, &key, &[9u8; 16]).expect("update");
@@ -299,8 +299,7 @@ mod tests {
 
     #[test]
     fn hash_capacity_enforced() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::hash(1, 1, 1)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::hash(1, 1, 1)]).expect("instantiate");
         set.update(0, &[1], &[1]).expect("first insert fits");
         assert_eq!(set.update(0, &[2], &[2]), Err(MapError::Full));
         // Overwriting an existing key is always allowed.
@@ -309,8 +308,7 @@ mod tests {
 
     #[test]
     fn hash_delete() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::hash(1, 1, 4)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::hash(1, 1, 4)]).expect("instantiate");
         set.update(0, &[1], &[1]).expect("insert");
         assert!(set.delete(0, &[1]).expect("delete"));
         assert!(!set.delete(0, &[1]).expect("second delete is a miss"));
@@ -318,8 +316,7 @@ mod tests {
 
     #[test]
     fn key_size_checked() {
-        let mut set =
-            MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
+        let mut set = MapSet::instantiate(&[MapSpec::array(8, 4)]).expect("instantiate");
         assert_eq!(
             set.lookup(0, &[0u8; 3]),
             Err(MapError::BadKeySize {

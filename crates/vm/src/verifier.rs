@@ -31,11 +31,11 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 use crate::insn::{
-    access_size, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD, ALU_MOV,
-    ALU_MUL, ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32,
-    CLS_LD, CLS_LDX, CLS_ST, CLS_STX, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ, JMP_JGE, JMP_JGT,
-    JMP_JLE, JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE, JMP_JSLT, MODE_MEM,
-    NUM_REGS, OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
+    access_size, ALU_ADD, ALU_AND, ALU_ARSH, ALU_DIV, ALU_END, ALU_LSH, ALU_MOD, ALU_MOV, ALU_MUL,
+    ALU_NEG, ALU_OR, ALU_RSH, ALU_SUB, ALU_XOR, CLS_ALU, CLS_ALU64, CLS_JMP, CLS_JMP32, CLS_LD,
+    CLS_LDX, CLS_ST, CLS_STX, JMP_CALL, JMP_EXIT, JMP_JA, JMP_JEQ, JMP_JGE, JMP_JGT, JMP_JLE,
+    JMP_JLT, JMP_JNE, JMP_JSET, JMP_JSGE, JMP_JSGT, JMP_JSLE, JMP_JSLT, MODE_MEM, NUM_REGS,
+    OP_LD_IMM64, REG_FP, SRC_X, STACK_SIZE,
 };
 use crate::maps::MapSpec;
 use crate::program::{ctx_off, helper, Program, EMIT_MAX, SCRATCH_SIZE};
@@ -72,21 +72,36 @@ pub enum VerifyErrorKind {
     /// Control flow can fall off the end of the instruction stream.
     FallsOffEnd,
     /// A register was read before being written.
-    UninitRead { /** Which register. */ reg: u8 },
+    UninitRead {
+        /** Which register. */
+        reg: u8,
+    },
     /// A memory access could not be proven in-bounds.
-    OutOfBounds { /** Human-readable reason. */ what: String },
+    OutOfBounds {
+        /** Human-readable reason. */
+        what: String,
+    },
     /// A store targeted the read-only block data or context.
     ReadOnly,
     /// Arithmetic on pointers the analysis cannot model.
-    BadPointerArithmetic { /** Reason. */ what: String },
+    BadPointerArithmetic {
+        /** Reason. */
+        what: String,
+    },
     /// A comparison between incompatible types.
     BadComparison,
     /// Division or modulo by a constant zero.
     DivByZero,
     /// Helper call with malformed arguments.
-    BadHelperCall { /** Reason. */ what: String },
+    BadHelperCall {
+        /** Reason. */
+        what: String,
+    },
     /// Unknown helper id.
-    UnknownHelper { /** The id. */ id: i32 },
+    UnknownHelper {
+        /** The id. */
+        id: i32,
+    },
     /// `exit` with a non-scalar (pointer-leaking) or uninitialised `r0`.
     BadReturn,
     /// A back-edge re-entered an identical abstract state: the loop
@@ -481,12 +496,7 @@ impl<'p> Analyzer<'p> {
         Ok(())
     }
 
-    fn read_reg<'s>(
-        &self,
-        pc: usize,
-        state: &'s State,
-        reg: u8,
-    ) -> Result<&'s Reg, VerifyError> {
+    fn read_reg<'s>(&self, pc: usize, state: &'s State, reg: u8) -> Result<&'s Reg, VerifyError> {
         let r = &state.regs[reg as usize];
         if matches!(r, Reg::Uninit) {
             return Err(VerifyError {
@@ -522,9 +532,7 @@ impl<'p> Analyzer<'p> {
                         umin: 0,
                         umax: u32::MAX as u64,
                     },
-                    (o, 8) if o == ctx_off::SCRATCH as i64 => {
-                        Reg::PtrScratch { omin: 0, omax: 0 }
-                    }
+                    (o, 8) if o == ctx_off::SCRATCH as i64 => Reg::PtrScratch { omin: 0, omax: 0 },
                     (o, 8) if o == ctx_off::SCRATCH_END as i64 => Reg::scalar_unknown(),
                     _ => {
                         return Err(err(VerifyErrorKind::OutOfBounds {
@@ -550,7 +558,16 @@ impl<'p> Analyzer<'p> {
                 Ok(Reg::scalar_unknown())
             }
             Reg::PtrScratch { omin, omax } => {
-                check_static(pc, *omin, *omax, off, size, 0, SCRATCH_SIZE as i64, "scratch")?;
+                check_static(
+                    pc,
+                    *omin,
+                    *omax,
+                    off,
+                    size,
+                    0,
+                    SCRATCH_SIZE as i64,
+                    "scratch",
+                )?;
                 Ok(Reg::scalar_unknown())
             }
             Reg::PtrStack { omin, omax } => {
@@ -594,9 +611,16 @@ impl<'p> Analyzer<'p> {
             Reg::PtrCtx { .. } | Reg::PtrData { .. } | Reg::PtrDataEnd => {
                 Err(err(VerifyErrorKind::ReadOnly))
             }
-            Reg::PtrScratch { omin, omax } => {
-                check_static(pc, *omin, *omax, off, size, 0, SCRATCH_SIZE as i64, "scratch")
-            }
+            Reg::PtrScratch { omin, omax } => check_static(
+                pc,
+                *omin,
+                *omax,
+                off,
+                size,
+                0,
+                SCRATCH_SIZE as i64,
+                "scratch",
+            ),
             Reg::PtrStack { omin, omax } => check_static(
                 pc,
                 *omin,
@@ -720,13 +744,7 @@ impl<'p> Analyzer<'p> {
                 self.check_helper_mem(pc, state, &key, spec.key_size as u64, "map key")?;
                 if id == helper::MAP_UPDATE {
                     let val = self.read_reg(pc, state, 3)?.clone();
-                    self.check_helper_mem(
-                        pc,
-                        state,
-                        &val,
-                        spec.value_size as u64,
-                        "map value",
-                    )?;
+                    self.check_helper_mem(pc, state, &val, spec.value_size as u64, "map value")?;
                     Reg::scalar_unknown()
                 } else {
                     Reg::NullOrMapValue { id: umin as u32 }
@@ -779,13 +797,7 @@ fn scalar_interval(r: &Reg) -> Option<(u64, u64)> {
 }
 
 /// Computes the abstract result of an ALU operation.
-fn alu_result(
-    pc: usize,
-    cls: u8,
-    code: u8,
-    lhs: &Reg,
-    rhs: &Reg,
-) -> Result<Reg, VerifyError> {
+fn alu_result(pc: usize, cls: u8, code: u8, lhs: &Reg, rhs: &Reg) -> Result<Reg, VerifyError> {
     let err_arith = |what: &str| VerifyError {
         pc,
         kind: VerifyErrorKind::BadPointerArithmetic {
@@ -908,8 +920,12 @@ fn ptr_offset(
         }
     };
     let shift = |omin: i64, omax: i64| -> Result<(i64, i64), VerifyError> {
-        let a = omin.checked_add(dmin).ok_or_else(|| err_arith("offset overflow"))?;
-        let b = omax.checked_add(dmax).ok_or_else(|| err_arith("offset overflow"))?;
+        let a = omin
+            .checked_add(dmin)
+            .ok_or_else(|| err_arith("offset overflow"))?;
+        let b = omax
+            .checked_add(dmax)
+            .ok_or_else(|| err_arith("offset overflow"))?;
         if a.abs() > (1 << 31) || b.abs() > (1 << 31) {
             return Err(err_arith("offset out of modelled range"));
         }
@@ -979,9 +995,7 @@ fn scalar_alu(code: u8, a: u64, b: u64, c: u64, d: u64, is32: bool) -> (u64, u64
         ALU_DIV => {
             if c == d {
                 // Constant divisor; zero divides to zero by VM semantics.
-                a.checked_div(c)
-                    .zip(b.checked_div(c))
-                    .unwrap_or_default()
+                a.checked_div(c).zip(b.checked_div(c)).unwrap_or_default()
             } else {
                 match b.checked_div(c) {
                     // c <= divisor <= d, all nonzero.
@@ -1049,7 +1063,10 @@ fn scalar_alu(code: u8, a: u64, b: u64, c: u64, d: u64, is32: bool) -> (u64, u64
         ALU_ARSH | ALU_NEG => {
             if code == ALU_NEG && konst {
                 // NEG ignores rhs; handled with lhs only when constant.
-                ((a as i64).wrapping_neg() as u64, (a as i64).wrapping_neg() as u64)
+                (
+                    (a as i64).wrapping_neg() as u64,
+                    (a as i64).wrapping_neg() as u64,
+                )
             } else {
                 full
             }
@@ -1656,10 +1673,7 @@ mod tests {
     fn helper_clobbers_args_in_analysis() {
         // Reading r1 after a call must be rejected.
         let err = check(|a| {
-            a.mov64_imm(1, 1)
-                .call(helper::TRACE)
-                .mov64_reg(0, 1)
-                .exit();
+            a.mov64_imm(1, 1).call(helper::TRACE).mov64_reg(0, 1).exit();
         })
         .unwrap_err();
         assert_eq!(err.kind, VerifyErrorKind::UninitRead { reg: 1 });

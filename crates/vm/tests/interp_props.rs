@@ -20,8 +20,8 @@ enum Step {
     Add32(i32),
     Mov32(i32),
     Neg,
-    Be(u8),  // 16/32/64
-    Le(u8),  // 16/32/64
+    Be(u8), // 16/32/64
+    Le(u8), // 16/32/64
     SkipIfEq(i32),
     SkipIfGt(i32),
     SkipIfSlt(i32),
@@ -193,8 +193,8 @@ proptest! {
 #[test]
 fn branch_skipping_a_branch() {
     let steps = vec![
-        Step::SkipIfGt(10),  // start > 10: skip the next branch
-        Step::SkipIfEq(0),   // (possibly skipped)
+        Step::SkipIfGt(10), // start > 10: skip the next branch
+        Step::SkipIfEq(0),  // (possibly skipped)
         Step::Add(1),
     ];
     for start in [0u64, 5, 11, u64::MAX] {
@@ -205,7 +205,13 @@ fn branch_skipping_a_branch() {
         let out = Vm::new()
             .run(
                 &prog,
-                RunCtx { data: &[], file_off: 0, hop: 0, flags: 0, scratch: &mut scratch },
+                RunCtx {
+                    data: &[],
+                    file_off: 0,
+                    hop: 0,
+                    flags: 0,
+                    scratch: &mut scratch,
+                },
                 &mut maps,
                 &mut env,
             )

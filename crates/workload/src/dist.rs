@@ -87,10 +87,7 @@ impl ZipfState {
     ///
     /// Panics unless `0 < theta < 1` (the YCSB-supported range).
     pub fn new(n: u64, theta: f64) -> Self {
-        assert!(
-            theta > 0.0 && theta < 1.0,
-            "theta {theta} outside (0, 1)"
-        );
+        assert!(theta > 0.0 && theta < 1.0, "theta {theta} outside (0, 1)");
         let n = n.max(1);
         let zetan = zeta(0, n, theta, 0.0);
         let zeta2 = zeta(0, 2, theta, 0.0);
@@ -107,8 +104,8 @@ impl ZipfState {
     }
 
     fn recompute_eta(&mut self) {
-        self.eta = (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta))
-            / (1.0 - self.zeta2 / self.zetan);
+        self.eta =
+            (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
     }
 
     /// Extends the keyspace to `n` items, updating ζ incrementally.
@@ -132,8 +129,7 @@ impl ZipfState {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank = (self.n as f64
-            * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(n - 1)
     }
 }

@@ -238,14 +238,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mk = || {
-            YcsbGen::new(
-                OpMix::ycsb_a(),
-                KeyDist::zipfian(100, 0.9),
-                100,
-                1234,
-            )
-        };
+        let mk = || YcsbGen::new(OpMix::ycsb_a(), KeyDist::zipfian(100, 0.9), 100, 1234);
         let (mut a, mut b) = (mk(), mk());
         for _ in 0..1_000 {
             assert_eq!(a.next_op(), b.next_op());

@@ -2,170 +2,62 @@
 //! case (§3): "database iterators that scan tables sequentially until an
 //! attribute satisfies a condition".
 //!
-//! The BPF program walks the table's data blocks inside the NVMe driver
+//! The `Scan` workload walks the table's data blocks inside the chosen
 //! hook, filters rows against a threshold, and returns only a 16-byte
 //! `(sum, count)` aggregate to user space — instead of shipping every
-//! block across the kernel boundary.
+//! block across the kernel boundary. The same `PushdownSession` surface
+//! also runs the native baseline: just pick `DispatchMode::User`.
 //!
 //! ```sh
 //! cargo run --release --example db_scan
 //! ```
 
-use bpfstor::core::{scan_aggregate_program, ScanResult};
-use bpfstor::kernel::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, DispatchMode, Machine, MachineConfig,
-    UserNext,
-};
-use bpfstor::lsm::sstable::{build_image, data_block_entries, Footer};
+use bpfstor::core::{DispatchMode, PushdownSession, Scan};
 use bpfstor::lsm::BLOCK;
 use bpfstor::sim::time::pretty;
-use bpfstor::sim::{SimRng, SECOND};
 
 const VALUE_SIZE: usize = 32;
 const ROWS: u64 = 3_000;
 
-/// Drives one whole-table scan chain (or the native equivalent).
-struct ScanDriver {
-    fd: u32,
-    mode: DispatchMode,
-    threshold: u64,
-    /// Blocks still to visit (native path).
-    remaining: u32,
-    /// Total data blocks in the table.
-    total_blocks: u32,
-    issued: bool,
-    native_sum: u64,
-    native_count: u64,
-    result: Option<ScanResult>,
-}
-
-impl ChainDriver for ScanDriver {
-    fn mode(&self) -> DispatchMode {
-        self.mode
-    }
-
-    fn next_chain(&mut self, _t: usize, _rng: &mut SimRng) -> Option<ChainStart> {
-        if self.issued {
-            return None;
-        }
-        self.issued = true;
-        Some(ChainStart {
-            fd: self.fd,
-            file_off: 0,
-            len: BLOCK as u32,
-            arg: self.threshold,
-        })
-    }
-
-    fn user_step(&mut self, _t: usize, _arg: u64, data: &[u8]) -> UserNext {
-        // Native scan: aggregate this block, then read the next one.
-        for (_, value) in data_block_entries(data).expect("data block") {
-            let v = u64::from_le_bytes(value[..8].try_into().expect("8B"));
-            if v >= self.threshold {
-                self.native_sum += v;
-                self.native_count += 1;
-            }
-        }
-        self.remaining -= 1;
-        if self.remaining == 0 {
-            UserNext::Done
-        } else {
-            let next_block = (self.total_blocks - self.remaining) as u64;
-            UserNext::Continue(next_block * BLOCK as u64)
-        }
-    }
-
-    fn chain_done(&mut self, _t: usize, outcome: &ChainOutcome) {
-        if let ChainStatus::Emitted(bytes) = &outcome.status {
-            self.result = ScanResult::parse(bytes);
-        }
-    }
-}
-
-impl ScanDriver {
-    fn new(fd: u32, mode: DispatchMode, threshold: u64, data_blocks: u32) -> Self {
-        ScanDriver {
-            fd,
-            mode,
-            threshold,
-            remaining: data_blocks,
-            total_blocks: data_blocks,
-            issued: false,
-            native_sum: 0,
-            native_count: 0,
-            result: None,
-        }
-    }
-}
-
 fn main() {
     println!("bpfstor scan example — SELECT sum(v), count(*) WHERE v >= threshold\n");
 
-    // Build a table of ROWS fixed-width records.
+    // A table of ROWS fixed-width records with a pseudo-random "price"
+    // column in the first eight value bytes.
     let entries: Vec<(u64, Vec<u8>)> = (0..ROWS)
         .map(|i| {
             let mut v = vec![0u8; VALUE_SIZE];
-            // Pseudo-random "price" column.
             let price = (i.wrapping_mul(2654435761)) % 10_000;
             v[..8].copy_from_slice(&price.to_le_bytes());
             (i, v)
         })
         .collect();
-    let image = build_image(&entries).expect("table image");
-    let footer = Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
-    println!(
-        "table: {} rows in {} data blocks ({} KiB)",
-        ROWS,
-        footer.data_blocks,
-        image.len() / 1024
-    );
-
-    let mut machine = Machine::new(MachineConfig::default());
-    machine.create_file("table.sst", &image).expect("create");
 
     let threshold = 5_000u64;
-    let expect_count = entries
-        .iter()
-        .filter(|(_, v)| u64::from_le_bytes(v[..8].try_into().expect("8B")) >= threshold)
-        .count() as u64;
-    let expect_sum: u64 = entries
-        .iter()
-        .map(|(_, v)| u64::from_le_bytes(v[..8].try_into().expect("8B")))
-        .filter(|v| *v >= threshold)
-        .sum();
-
-    // Offloaded scan.
-    let fd = machine.open("table.sst", true).expect("open");
-    machine
-        .install(fd, scan_aggregate_program(VALUE_SIZE as u32), footer.data_blocks)
-        .expect("install");
-    let mut d = ScanDriver::new(fd, DispatchMode::DriverHook, threshold, footer.data_blocks);
-    let report = machine.run_closed_loop(1, SECOND, &mut d);
-    let got = d.result.expect("aggregate emitted");
-    println!(
-        "driver-hook scan:  sum={} count={}  ios={}  bytes to user space: 16  latency {}",
-        got.sum,
-        got.count,
-        report.ios,
-        pretty(report.mean_latency() as u64),
-    );
-    assert_eq!(got.sum, expect_sum);
-    assert_eq!(got.count, expect_count);
-
-    // Native scan for comparison.
-    let fd = machine.open("table.sst", true).expect("open");
-    let mut d = ScanDriver::new(fd, DispatchMode::User, threshold, footer.data_blocks);
-    let report = machine.run_closed_loop(1, SECOND, &mut d);
-    println!(
-        "user-space scan:   sum={} count={}  ios={}  bytes to user space: {}  latency {}",
-        d.native_sum,
-        d.native_count,
-        report.ios,
-        footer.data_blocks as usize * BLOCK,
-        pretty(report.mean_latency() as u64),
-    );
-    assert_eq!(d.native_sum, expect_sum);
-    assert_eq!(d.native_count, expect_count);
+    for mode in [DispatchMode::DriverHook, DispatchMode::User] {
+        let mut session = PushdownSession::builder(Scan::new(entries.clone(), vec![threshold]))
+            .dispatch(mode)
+            .build()
+            .expect("session construction");
+        let expected = session.workload().expected(threshold);
+        let blocks = session.workload().data_blocks();
+        let hit = session.lookup(threshold).expect("scan");
+        let got = hit.output.expect("aggregate");
+        let bytes_to_user = match mode {
+            DispatchMode::User => blocks as usize * BLOCK,
+            _ => 16,
+        };
+        println!(
+            "{:<28} sum={} count={}  ios={}  bytes to user space: {}  latency {}",
+            mode.label(),
+            got.sum,
+            got.count,
+            hit.ios,
+            bytes_to_user,
+            pretty(hit.latency),
+        );
+        assert_eq!(got, expected, "offload must agree with the native scan");
+    }
 
     println!("\nSame answer, but the offloaded scan crossed the kernel");
     println!("boundary once with 16 bytes instead of once per block.");

@@ -1,55 +1,75 @@
-//! The §4 invalidation protocol, end to end.
+//! The §4 invalidation protocol, end to end — now handled by the
+//! session's automatic rearm-and-retry policy.
 //!
 //! The paper's translation scheme is deliberately "heavy-handed but
 //! simple": the NVMe layer caches a file's extents; if the file system
 //! unmaps *any* block of that file, the snapshot dies, in-flight
-//! recycled I/Os are discarded with an error, and the application must
-//! rerun the install ioctl before tagged I/O works again. This example
-//! walks that whole lifecycle.
+//! recycled I/Os are discarded with an error, and the install ioctl
+//! must rerun before tagged I/O works again. The `PushdownSession` runs
+//! that whole recovery for the application: a chain that fails with
+//! `ExtentMiss`/`Invalidated` re-arms the snapshot and restarts, up to
+//! a configurable retry budget.
 //!
 //! ```sh
 //! cargo run --release --example invalidation
 //! ```
 
-use bpfstor::core::{DispatchMode, StorageBpfBuilder};
-use bpfstor::kernel::ChainStatus;
+use bpfstor::core::{Btree, DispatchMode, PushdownSession, SessionError};
 
 fn main() {
     println!("bpfstor invalidation example — §4 extent cache lifecycle\n");
 
-    let mut env = StorageBpfBuilder::new()
-        .btree_depth(4)
+    // --- Automatic path: the library absorbs the invalidation. --------
+    let mut session = PushdownSession::builder(Btree::depth(4))
         .dispatch(DispatchMode::DriverHook)
+        .retry_budget(2)
         .build()
-        .expect("environment construction");
+        .expect("session construction");
 
-    // 1. Armed: lookups offload through the extent snapshot.
-    let hit = env.lookup_checked(7).expect("lookup");
-    println!("armed:        lookup(7) -> value {:#x} in {} I/Os", hit.value.expect("hit"), hit.ios);
-
-    // 2. A defragmenter moves the file: the FS fires unmap events, the
-    //    NVMe layer drops the snapshot, and the in-flight chain is
-    //    discarded with an error.
-    let status = env.invalidate_and_rearm().expect("rearm");
+    let hit = session.lookup(7).expect("lookup");
     println!(
-        "invalidated:  chain failed with {:?} (expected ExtentMiss/Invalidated)",
-        status
-    );
-    assert!(
-        matches!(status, ChainStatus::ExtentMiss | ChainStatus::Invalidated),
-        "chains must fail-stop after invalidation, got {status:?}"
-    );
-
-    // 3. Re-armed (invalidate_and_rearm reran the ioctl): offload works
-    //    again, against the file's *new* physical layout.
-    let hit = env.lookup_checked(7).expect("lookup after rearm");
-    println!(
-        "re-armed:     lookup(7) -> value {:#x} in {} I/Os",
-        hit.value.expect("hit"),
+        "armed:        lookup(7) -> value {:#x} in {} I/Os",
+        hit.output.expect("hit"),
         hit.ios
     );
 
-    let stats = env.machine.extcache_stats();
+    // A defragmenter moves the file mid-run: the FS fires unmap events,
+    // the NVMe layer drops the snapshot — and the session re-arms and
+    // retries, invisible to the caller.
+    session.schedule_relocation(0);
+    let hit = session.lookup(7).expect("lookup survives relocation");
+    println!(
+        "relocated:    lookup(7) -> value {:#x} in {} I/Os after {} auto-retr{}",
+        hit.output.expect("hit"),
+        hit.ios,
+        hit.attempts,
+        if hit.attempts == 1 { "y" } else { "ies" },
+    );
+    assert!(hit.attempts > 0, "the invalidation really happened");
+
+    // --- Manual path: budget 0 surfaces the §4 failure statuses. ------
+    let mut session = PushdownSession::builder(Btree::depth(4))
+        .dispatch(DispatchMode::DriverHook)
+        .retry_budget(0)
+        .build()
+        .expect("session construction");
+    session.schedule_relocation(0);
+    match session.lookup(7) {
+        Err(SessionError::Chain(status)) => {
+            println!("budget 0:     chain failed with {status:?} (fail-stop, as §4 demands)");
+            assert!(status.is_rearmable());
+        }
+        other => panic!("expected a surfaced invalidation, got {other:?}"),
+    }
+    session.rearm().expect("manual rearm");
+    let hit = session.lookup(7).expect("lookup after manual rearm");
+    println!(
+        "re-armed:     lookup(7) -> value {:#x} in {} I/Os",
+        hit.output.expect("hit"),
+        hit.ios
+    );
+
+    let stats = session.machine().extcache_stats();
     println!(
         "\nextent cache: {} installs, {} hits, {} misses, {} invalidations",
         stats.installs, stats.hits, stats.misses, stats.invalidations

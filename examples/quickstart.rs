@@ -1,6 +1,11 @@
-//! Quickstart: build an on-disk B-tree inside the simulated machine and
-//! compare the three dispatch paths of the paper's Figure 2 on the same
-//! lookups.
+//! Quickstart: one `PushdownSession` per dispatch path of the paper's
+//! Figure 2, over the same on-disk B-tree workload.
+//!
+//! The session is the §4 "library that provides a higher-level
+//! interface than BPF": program generation, the install ioctl, extent
+//! snapshots, and invalidation recovery are all handled behind
+//! `lookup`/`run_closed_loop`. Swap `Btree` for `Sst`, `Scan`, or
+//! `Chase` and nothing else changes.
 //!
 //! Run with:
 //!
@@ -8,26 +13,25 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bpfstor::core::{DispatchMode, StorageBpfBuilder};
+use bpfstor::core::{Btree, DispatchMode, PushdownSession};
 use bpfstor::sim::time::pretty;
 
 fn main() {
     println!("bpfstor quickstart — depth-6 B-tree, one lookup per dispatch path\n");
 
     for mode in DispatchMode::ALL {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(6)
+        let mut session = PushdownSession::builder(Btree::depth(6))
             .dispatch(mode)
             .build()
-            .expect("environment construction");
+            .expect("session construction");
 
         let key = 42;
-        let hit = env.lookup_checked(key).expect("lookup");
+        let hit = session.lookup(key).expect("lookup");
         assert!(hit.found, "key {key} must exist");
         println!(
             "{:<28} key={key:<4} value={:#018x}  ios={}  latency={}",
             mode.label(),
-            hit.value.expect("found"),
+            hit.output.expect("found"),
             hit.ios,
             pretty(hit.latency),
         );
@@ -35,12 +39,11 @@ fn main() {
 
     println!("\nclosed-loop benchmark (6 threads, 20ms simulated):");
     for mode in DispatchMode::ALL {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(6)
+        let mut session = PushdownSession::builder(Btree::depth(6))
             .dispatch(mode)
             .build()
-            .expect("environment construction");
-        let (report, stats) = env.bench_lookups(6, 20_000_000);
+            .expect("session construction");
+        let (report, stats) = session.run_closed_loop(6, 20_000_000);
         assert_eq!(stats.mismatches, 0, "every offloaded value checked");
         println!(
             "{:<28} {:>9.0} lookups/s  {:>9.0} IOPS  p99={}",

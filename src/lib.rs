@@ -13,23 +13,26 @@
 //! - [`btree`] — on-disk B-tree used by the paper's main benchmark
 //! - [`lsm`] — LSM tree / SSTable substrate (immutable index files)
 //! - [`workload`] — YCSB-like workload generator
-//! - [`core`] — the paper's contribution: storage-BPF install + program
-//!   generators + dispatch control
+//! - [`core`] — the paper's contribution: the workload-generic
+//!   `PushdownSession` facade, typed program handles, per-chain tokens,
+//!   verified program generators, and dispatch control
 //!
 //! # Examples
 //!
 //! ```
-//! use bpfstor::core::{DispatchMode, StorageBpfBuilder};
+//! use bpfstor::core::{Btree, DispatchMode, PushdownSession};
 //!
 //! // Build a small on-disk B-tree inside a simulated machine and look a
 //! // key up via a BPF program resubmitted from the NVMe driver hook.
-//! let mut env = StorageBpfBuilder::new()
-//!     .btree_depth(3)
+//! // The same session API drives the Sst, Scan, and Chase workloads —
+//! // and handles extent re-arming and retry automatically.
+//! let mut session = PushdownSession::builder(Btree::depth(3))
 //!     .dispatch(DispatchMode::DriverHook)
 //!     .build()
-//!     .expect("environment construction");
-//! let hit = env.lookup_checked(42).expect("lookup");
+//!     .expect("session construction");
+//! let hit = session.lookup(42).expect("lookup");
 //! assert!(hit.found);
+//! assert_eq!(hit.ios, 3, "depth-3 tree costs three I/Os");
 //! ```
 
 pub use bpfstor_btree as btree;

@@ -1,27 +1,146 @@
 //! Cross-crate integration tests: the full pipeline from on-disk bytes
 //! through the simulated kernel, the verifier, and the interpreter back
-//! to the application, for every dispatch path.
+//! to the application — for every dispatch path and every workload,
+//! through the one workload-generic [`PushdownSession`] API.
 
-use bpfstor::core::{sst_get_program, DispatchMode, SstGetDriver, StorageBpfBuilder};
-use bpfstor::kernel::{ChainStatus, Machine, MachineConfig};
-use bpfstor::lsm::sstable::{build_image, Footer};
-use bpfstor::lsm::BLOCK;
-use bpfstor::sim::SECOND;
+use bpfstor::core::{
+    btree_lookup_program_with_stats, stats_slot, Btree, BtreeLookupDriver, Chase, DispatchMode,
+    PushdownSession, Scan, SessionError, Sst, CHASE_PAYLOAD,
+};
+use bpfstor::kernel::{ChainStatus, Machine, ProgHandle};
+use bpfstor::sim::{MILLISECOND, SECOND};
+
+/// A small SSTable probe set: 600 entries with 48-byte values, probed by
+/// a mix of present and absent keys.
+fn sst_fixture() -> (Vec<(u64, Vec<u8>)>, Vec<u64>) {
+    const VS: usize = 48;
+    let entries: Vec<(u64, Vec<u8>)> = (0..600u64)
+        .map(|i| {
+            let mut v = vec![0u8; VS];
+            v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+            (i * 3, v)
+        })
+        .collect();
+    let probes: Vec<u64> = (0..50u64).map(|i| i * 41 % 2_000).collect();
+    (entries, probes)
+}
+
+/// Fixed-width scan rows with a pseudo-random "price" column.
+fn scan_fixture() -> Vec<(u64, Vec<u8>)> {
+    (0..400u64)
+        .map(|i| {
+            let mut v = vec![0u8; 24];
+            let price = i.wrapping_mul(2654435761) % 10_000;
+            v[..8].copy_from_slice(&price.to_le_bytes());
+            (i, v)
+        })
+        .collect()
+}
 
 #[test]
-fn all_dispatch_modes_agree_on_lookups() {
-    let mut results: Vec<Vec<(bool, Option<u64>)>> = Vec::new();
+fn all_four_workloads_run_in_all_three_modes_closed_loop() {
     for mode in DispatchMode::ALL {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(5)
+        // B-tree point lookups.
+        let mut s = PushdownSession::builder(Btree::depth(4).max_chains(30))
             .dispatch(mode)
             .build()
-            .expect("env");
-        let probes: Vec<u64> = (0..40).map(|i| i * 37 % (env.nkeys + 50)).collect();
+            .expect("btree session");
+        let (report, stats) = s.run_closed_loop(2, SECOND);
+        assert_eq!(stats.completed, 30, "btree {mode:?}");
+        assert_eq!(stats.mismatches, 0, "btree {mode:?}");
+        assert_eq!(stats.errors, 0, "btree {mode:?}");
+        assert_eq!(report.errors, 0, "btree {mode:?}");
+
+        // Cold SSTable gets.
+        let (entries, probes) = sst_fixture();
+        let nprobes = probes.len() as u64;
+        let mut s = PushdownSession::builder(Sst::new(entries, probes))
+            .dispatch(mode)
+            .build()
+            .expect("sst session");
+        let (_, stats) = s.run_closed_loop(1, SECOND);
+        assert_eq!(stats.completed, nprobes, "sst {mode:?}");
+        assert_eq!(stats.mismatches, 0, "sst {mode:?}");
+        assert_eq!(stats.errors, 0, "sst {mode:?}");
+        assert!(stats.hits > 0 && stats.misses > 0, "probe mix {mode:?}");
+
+        // Whole-table scan/filter/aggregate.
+        let mut s = PushdownSession::builder(Scan::new(scan_fixture(), vec![0, 5_000, 20_000]))
+            .dispatch(mode)
+            .build()
+            .expect("scan session");
+        let (_, stats) = s.run_closed_loop(1, SECOND);
+        assert_eq!(stats.completed, 3, "scan {mode:?}");
+        assert_eq!(stats.mismatches, 0, "scan {mode:?}");
+        assert_eq!(stats.errors, 0, "scan {mode:?}");
+
+        // Pointer chase.
+        let mut s = PushdownSession::builder(Chase::hops(6).max_chains(10).random_start(true))
+            .dispatch(mode)
+            .build()
+            .expect("chase session");
+        let (_, stats) = s.run_closed_loop(2, SECOND);
+        assert_eq!(stats.completed, 10, "chase {mode:?}");
+        assert_eq!(stats.mismatches, 0, "chase {mode:?}");
+        assert_eq!(stats.errors, 0, "chase {mode:?}");
+        assert_eq!(stats.hits, 10, "every chase reaches the sentinel");
+    }
+}
+
+#[test]
+fn all_four_workloads_run_in_all_three_modes_uring() {
+    for mode in DispatchMode::ALL {
+        let mut s = PushdownSession::builder(Btree::depth(4).max_chains(16))
+            .dispatch(mode)
+            .build()
+            .expect("btree session");
+        let (_, stats) = s.run_uring(1, 4, SECOND);
+        assert_eq!(stats.completed, 16, "btree uring {mode:?}");
+        assert_eq!(stats.mismatches + stats.errors, 0, "btree uring {mode:?}");
+
+        let (entries, probes) = sst_fixture();
+        let nprobes = probes.len() as u64;
+        let mut s = PushdownSession::builder(Sst::new(entries, probes))
+            .dispatch(mode)
+            .build()
+            .expect("sst session");
+        let (_, stats) = s.run_uring(1, 4, SECOND);
+        assert_eq!(stats.completed, nprobes, "sst uring {mode:?}");
+        assert_eq!(stats.mismatches + stats.errors, 0, "sst uring {mode:?}");
+
+        let mut s = PushdownSession::builder(Scan::new(scan_fixture(), vec![0, 5_000]))
+            .dispatch(mode)
+            .build()
+            .expect("scan session");
+        let (_, stats) = s.run_uring(1, 2, SECOND);
+        assert_eq!(stats.completed, 2, "scan uring {mode:?}");
+        assert_eq!(stats.mismatches + stats.errors, 0, "scan uring {mode:?}");
+
+        let mut s = PushdownSession::builder(Chase::hops(5).max_chains(12))
+            .dispatch(mode)
+            .build()
+            .expect("chase session");
+        let (_, stats) = s.run_uring(1, 4, SECOND);
+        assert_eq!(stats.completed, 12, "chase uring {mode:?}");
+        assert_eq!(stats.mismatches + stats.errors, 0, "chase uring {mode:?}");
+    }
+}
+
+#[test]
+fn all_dispatch_modes_agree_on_btree_lookups() {
+    let mut results: Vec<Vec<(bool, Option<u64>)>> = Vec::new();
+    for mode in DispatchMode::ALL {
+        let mut s = PushdownSession::builder(Btree::depth(5))
+            .dispatch(mode)
+            .build()
+            .expect("session");
+        let nkeys = s.workload().nkeys();
+        let probes: Vec<u64> = (0..40).map(|i| i * 37 % (nkeys + 50)).collect();
         let mut out = Vec::new();
         for key in probes {
-            let hit = env.lookup_checked(key).expect("lookup");
-            out.push((hit.found, hit.value));
+            // Out-of-range probes are misses, not errors.
+            let hit = s.lookup(key).expect("lookup");
+            out.push((hit.found, hit.output));
         }
         results.push(out);
     }
@@ -30,32 +149,79 @@ fn all_dispatch_modes_agree_on_lookups() {
 }
 
 #[test]
+fn all_dispatch_modes_agree_on_sst_gets() {
+    let (entries, probes) = sst_fixture();
+    let mut verdicts: Vec<Vec<(u64, Option<Vec<u8>>)>> = Vec::new();
+    for mode in DispatchMode::ALL {
+        let mut s = PushdownSession::builder(Sst::new(entries.clone(), probes.clone()))
+            .dispatch(mode)
+            .build()
+            .expect("session");
+        let (report, stats) = s.run_closed_loop(1, SECOND);
+        assert_eq!(stats.mismatches, 0, "{mode:?}");
+        assert_eq!(stats.errors, 0, "{mode:?}");
+        assert_eq!(report.errors, 0);
+        let mut sorted = s.workload().results.clone();
+        sorted.sort_by_key(|(k, _)| *k);
+        verdicts.push(sorted);
+    }
+    assert_eq!(verdicts[0], verdicts[1], "native vs syscall-hook gets");
+    assert_eq!(verdicts[0], verdicts[2], "native vs driver-hook gets");
+}
+
+#[test]
+fn scan_aggregates_match_native_computation_in_hook_mode() {
+    let rows = scan_fixture();
+    let mut s = PushdownSession::builder(Scan::new(rows, vec![5_000]))
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("session");
+    let expected = s.workload().expected(5_000);
+    let hit = s.lookup(5_000).expect("scan");
+    assert_eq!(hit.output, Some(expected));
+    assert_eq!(
+        hit.ios,
+        s.workload().data_blocks(),
+        "one I/O per data block, none for the result"
+    );
+}
+
+#[test]
 fn lookup_depth_equals_io_count() {
     for depth in [1u32, 3, 7] {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(depth)
+        let mut s = PushdownSession::builder(Btree::depth(depth))
             .dispatch(DispatchMode::DriverHook)
             .build()
-            .expect("env");
-        let hit = env.lookup_checked(0).expect("lookup");
+            .expect("session");
+        let hit = s.lookup(0).expect("lookup");
         assert!(hit.found);
         assert_eq!(hit.ios, depth, "one I/O per level");
     }
 }
 
 #[test]
+fn chase_emits_the_payload_with_one_io_per_hop() {
+    let mut s = PushdownSession::builder(Chase::hops(9))
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("session");
+    let hit = s.lookup(0).expect("chase");
+    assert_eq!(hit.output, Some(CHASE_PAYLOAD));
+    assert_eq!(hit.ios, 9);
+}
+
+#[test]
 fn uring_and_sync_produce_identical_verdicts() {
     let run = |uring: bool| {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(4)
+        let mut s = PushdownSession::builder(Btree::depth(4))
             .dispatch(DispatchMode::DriverHook)
             .seed(1234)
             .build()
-            .expect("env");
+            .expect("session");
         let (report, stats) = if uring {
-            env.bench_lookups_uring(1, 4, 10_000_000)
+            s.run_uring(1, 4, 10 * MILLISECOND)
         } else {
-            env.bench_lookups(1, 10_000_000)
+            s.run_closed_loop(1, 10 * MILLISECOND)
         };
         assert_eq!(stats.mismatches, 0);
         assert_eq!(report.errors, 0);
@@ -65,73 +231,190 @@ fn uring_and_sync_produce_identical_verdicts() {
     assert!(run(true) > 0);
 }
 
+// --- The §4 failure protocol -------------------------------------------------
+
 #[test]
-fn invalidation_roundtrip_through_facade() {
-    let mut env = StorageBpfBuilder::new()
-        .btree_depth(4)
+fn extent_miss_auto_retry_completes_lookups_mid_relocation() {
+    // The acceptance scenario: the file is relocated (defragmenter
+    // style) while lookups are in flight; the session's rearm-and-retry
+    // policy absorbs the invalidation and every lookup still completes,
+    // without the caller touching the ioctl.
+    let mut s = PushdownSession::builder(Btree::depth(5).max_chains(200))
         .dispatch(DispatchMode::DriverHook)
+        .retry_budget(2)
         .build()
-        .expect("env");
-    assert!(env.lookup_checked(1).expect("before").found);
-    let status = env.invalidate_and_rearm().expect("protocol");
+        .expect("session");
+    s.schedule_relocation(2 * MILLISECOND);
+    let (report, stats) = s.run_closed_loop(2, SECOND);
+    assert_eq!(stats.completed, 200, "every logical lookup completed");
+    assert_eq!(stats.errors, 0, "no failure ever reached the caller");
+    assert_eq!(stats.mismatches, 0, "relocated blocks still decode right");
     assert!(
-        matches!(status, ChainStatus::ExtentMiss | ChainStatus::Invalidated),
-        "{status:?}"
+        stats.rearm_retries > 0,
+        "the relocation really did invalidate in-flight chains"
     );
-    let hit = env.lookup_checked(1).expect("after rearm");
+    assert_eq!(report.rearm_retries, stats.rearm_retries);
+}
+
+#[test]
+fn extent_miss_auto_retry_works_under_uring_too() {
+    // Same scenario through the batched submission path: retries are
+    // queued as pending SQEs and submitted at the next enter.
+    let mut s = PushdownSession::builder(Btree::depth(5).max_chains(200))
+        .dispatch(DispatchMode::DriverHook)
+        .retry_budget(2)
+        .build()
+        .expect("session");
+    s.schedule_relocation(200_000);
+    let (report, stats) = s.run_uring(1, 4, SECOND);
+    assert_eq!(stats.completed, 200, "every logical lookup completed");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.mismatches, 0);
+    assert!(stats.rearm_retries > 0, "retries actually exercised");
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn retry_budget_zero_surfaces_the_extent_miss() {
+    let mut s = PushdownSession::builder(Btree::depth(4))
+        .dispatch(DispatchMode::DriverHook)
+        .retry_budget(0)
+        .build()
+        .expect("session");
+    s.schedule_relocation(0);
+    let err = s.lookup(1).expect_err("invalidation must surface");
+    match err {
+        SessionError::Chain(status) => assert!(
+            status.is_rearmable(),
+            "expected ExtentMiss/Invalidated, got {status:?}"
+        ),
+        other => panic!("unexpected error {other:?}"),
+    }
+    // Manual recovery still works.
+    s.rearm().expect("rearm");
+    let hit = s.lookup(1).expect("after rearm");
     assert!(hit.found, "lookups work against the relocated file");
 }
 
 #[test]
-fn sst_cold_get_offload_agrees_with_native() {
-    const VS: usize = 48;
-    let entries: Vec<(u64, Vec<u8>)> = (0..600u64)
-        .map(|i| {
-            let mut v = vec![0u8; VS];
-            v[..8].copy_from_slice(&(i * 31).to_le_bytes());
-            (i * 3, v)
-        })
-        .collect();
+fn scan_survives_relocation_through_auto_retry() {
+    // A scan chain is long (one hop per data block), so a mid-scan
+    // relocation reliably hits it; the retry restarts the whole scan.
+    let mut s = PushdownSession::builder(Scan::new(scan_fixture(), vec![0]))
+        .dispatch(DispatchMode::DriverHook)
+        .retry_budget(2)
+        .build()
+        .expect("session");
+    s.schedule_relocation(20_000);
+    let expected = s.workload().expected(0);
+    let hit = s.lookup(0).expect("scan completes despite relocation");
+    assert_eq!(hit.output, Some(expected));
+    assert!(hit.attempts > 0, "the scan was actually restarted");
+}
+
+// --- Token-keyed driver state (regression) -----------------------------------
+
+#[test]
+fn sst_same_key_on_two_concurrent_chains_does_not_collide() {
+    // Regression: SstGetDriver used to key its user-path state machine
+    // on the lookup key, so two in-flight chains for the same key
+    // corrupted each other's stage (the second chain parsed its footer
+    // block as an index block). Tokens key the state now.
+    use bpfstor::core::SstGetDriver;
+    use bpfstor::kernel::MachineConfig;
+    use bpfstor::lsm::sstable::{build_image, Footer};
+    use bpfstor::lsm::BLOCK;
+
+    let (entries, _) = sst_fixture();
     let image = build_image(&entries).expect("image");
     let footer = Footer::decode(&image[image.len() - BLOCK..]).expect("footer");
     let footer_off = (footer.total_blocks() - 1) * BLOCK as u64;
-    assert!(footer.index_blocks >= 1);
 
-    let probes: Vec<u64> = (0..50u64).map(|i| i * 41 % 2_000).collect();
-    let mut verdicts: Vec<Vec<(u64, Option<Vec<u8>>)>> = Vec::new();
-    for mode in [DispatchMode::User, DispatchMode::DriverHook] {
-        let mut m = Machine::new(MachineConfig::default());
-        m.create_file("t.sst", &image).expect("create");
-        let fd = m.open("t.sst", true).expect("open");
-        if mode != DispatchMode::User {
-            m.install(fd, sst_get_program(VS as u32), 0).expect("install");
-        }
-        let expect: Vec<Option<Vec<u8>>> = probes
-            .iter()
-            .map(|k| entries.iter().find(|(ek, _)| ek == k).map(|(_, v)| v.clone()))
-            .collect();
-        let mut d = SstGetDriver::new(fd, mode, footer_off, probes.clone(), expect);
-        let report = m.run_closed_loop(1, SECOND, &mut d);
-        assert_eq!(d.stats.mismatches, 0, "{mode:?}");
-        assert_eq!(d.stats.errors, 0, "{mode:?}");
-        assert_eq!(report.errors, 0);
-        let mut sorted = d.results.clone();
-        sorted.sort_by_key(|(k, _)| *k);
-        verdicts.push(sorted);
-    }
-    assert_eq!(verdicts[0], verdicts[1], "native vs offloaded cold gets");
+    let present = entries[17].0;
+    let expect_value = entries[17].1.clone();
+    // The same key issued on two chains that fly concurrently (uring
+    // batch 2), plus a second pair for good measure.
+    let keys = vec![present, present, present, present];
+    let expect = vec![
+        Some(expect_value.clone()),
+        Some(expect_value.clone()),
+        Some(expect_value.clone()),
+        Some(expect_value),
+    ];
+
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("t.sst", &image).expect("create");
+    let fd = m.open("t.sst", true).expect("open");
+    let mut d = SstGetDriver::new(fd, DispatchMode::User, footer_off, keys, expect);
+    let report = m.run_uring(1, 2, SECOND, &mut d);
+    assert_eq!(d.stats.completed, 4);
+    assert_eq!(
+        d.stats.mismatches, 0,
+        "concurrent same-key chains must not share state: {:?}",
+        d.results
+    );
+    assert_eq!(d.stats.errors, 0);
+    assert_eq!(report.errors, 0);
 }
+
+// --- Program handles ----------------------------------------------------------
+
+#[test]
+fn stats_map_counts_kernel_side_through_the_handle() {
+    // Build a depth-4 session, then swap in the stats-map program
+    // variant; its handle addresses the map afterwards.
+    let mut s = PushdownSession::builder(Btree::depth(4))
+        .dispatch(DispatchMode::DriverHook)
+        .build()
+        .expect("session");
+    let fd = s.fd();
+    let root_off = s.workload().root_off();
+    let nkeys = s.workload().nkeys();
+    let stats_handle = s
+        .machine_mut()
+        .install(fd, btree_lookup_program_with_stats(), 0)
+        .expect("install stats variant");
+    assert_ne!(Some(stats_handle), s.handle(), "a second, distinct handle");
+
+    let mut d = BtreeLookupDriver::new(fd, DispatchMode::DriverHook, root_off, nkeys);
+    d.max_chains = 25;
+    let report = s.machine_mut().run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        d.stats.mismatches, 0,
+        "stats variant returns correct values"
+    );
+
+    let slot = |m: &mut Machine, h: ProgHandle, s: u32| -> u64 {
+        let v = m
+            .map_value(h, 0, &s.to_le_bytes())
+            .expect("map value readable after the run");
+        u64::from_le_bytes(v.try_into().expect("8B"))
+    };
+    let m = s.machine_mut();
+    let invocations = slot(m, stats_handle, stats_slot::INVOCATIONS);
+    let resubmits = slot(m, stats_handle, stats_slot::RESUBMITS);
+    let hits = slot(m, stats_handle, stats_slot::HITS);
+    let misses = slot(m, stats_handle, stats_slot::MISSES);
+
+    assert_eq!(invocations, 25 * 4, "one invocation per hop");
+    assert_eq!(resubmits, 25 * 3, "three interior hops per depth-4 lookup");
+    assert_eq!(hits + misses, 25, "every chain terminates at a leaf");
+    assert_eq!(hits, d.stats.hits);
+    assert_eq!(misses, d.stats.misses);
+}
+
+// --- Whole-pipeline properties -------------------------------------------------
 
 #[test]
 fn whole_pipeline_is_deterministic() {
     let run = || {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(6)
+        let mut s = PushdownSession::builder(Btree::depth(6))
             .dispatch(DispatchMode::DriverHook)
             .seed(777)
             .build()
-            .expect("env");
-        let (report, stats) = env.bench_lookups(4, 15_000_000);
+            .expect("session");
+        let (report, stats) = s.run_closed_loop(4, 15 * MILLISECOND);
         (
             report.chains,
             report.ios,
@@ -147,13 +430,12 @@ fn whole_pipeline_is_deterministic() {
 #[test]
 fn different_seeds_give_different_interleavings_but_correct_results() {
     for seed in [1u64, 2, 3] {
-        let mut env = StorageBpfBuilder::new()
-            .btree_depth(5)
+        let mut s = PushdownSession::builder(Btree::depth(5))
             .dispatch(DispatchMode::DriverHook)
             .seed(seed)
             .build()
-            .expect("env");
-        let (report, stats) = env.bench_lookups(3, 10_000_000);
+            .expect("session");
+        let (report, stats) = s.run_closed_loop(3, 10 * MILLISECOND);
         assert_eq!(stats.mismatches, 0, "seed {seed}");
         assert_eq!(report.errors, 0, "seed {seed}");
     }
@@ -161,18 +443,15 @@ fn different_seeds_give_different_interleavings_but_correct_results() {
 
 #[test]
 fn driver_hook_beats_baseline_at_depth() {
-    let mut base = StorageBpfBuilder::new()
-        .btree_depth(8)
-        .dispatch(DispatchMode::User)
-        .build()
-        .expect("env");
-    let mut hook = StorageBpfBuilder::new()
-        .btree_depth(8)
-        .dispatch(DispatchMode::DriverHook)
-        .build()
-        .expect("env");
-    let (rb, _) = base.bench_lookups(4, 15_000_000);
-    let (rh, _) = hook.bench_lookups(4, 15_000_000);
+    let run = |mode: DispatchMode| {
+        let mut s = PushdownSession::builder(Btree::depth(8))
+            .dispatch(mode)
+            .build()
+            .expect("session");
+        s.run_closed_loop(4, 15 * MILLISECOND).0
+    };
+    let rb = run(DispatchMode::User);
+    let rh = run(DispatchMode::DriverHook);
     let speedup = rh.chains_per_sec / rb.chains_per_sec;
     assert!(
         speedup > 1.5,
@@ -180,40 +459,27 @@ fn driver_hook_beats_baseline_at_depth() {
     );
 }
 
-#[test]
-fn stats_map_counts_kernel_side_without_extra_crossings() {
-    use bpfstor::core::{btree_lookup_program_with_stats, stats_slot, BtreeLookupDriver};
+// --- Deprecated shims stay functional ------------------------------------------
 
-    // Build a depth-4 environment but install the stats-map variant.
+#[test]
+#[allow(deprecated)]
+fn legacy_btree_facade_still_works() {
+    use bpfstor::core::StorageBpfBuilder;
+
     let mut env = StorageBpfBuilder::new()
         .btree_depth(4)
         .dispatch(DispatchMode::DriverHook)
         .build()
         .expect("env");
-    env.machine
-        .install(env.fd, btree_lookup_program_with_stats(), 0)
-        .expect("install stats variant");
-
-    let mut d = BtreeLookupDriver::new(env.fd, DispatchMode::DriverHook, env.root_off(), env.nkeys);
-    d.max_chains = 25;
-    let report = env.machine.run_closed_loop(1, SECOND, &mut d);
+    assert!(env.lookup_checked(1).expect("before").found);
+    let status = env.invalidate_and_rearm().expect("protocol");
+    assert!(
+        matches!(status, ChainStatus::ExtentMiss | ChainStatus::Invalidated),
+        "{status:?}"
+    );
+    let hit = env.lookup_checked(1).expect("after rearm");
+    assert!(hit.found, "lookups work against the relocated file");
+    let (report, stats) = env.bench_lookups(2, 5 * MILLISECOND);
+    assert_eq!(stats.mismatches, 0);
     assert_eq!(report.errors, 0);
-    assert_eq!(d.stats.mismatches, 0, "stats variant returns correct values");
-
-    let slot = |m: &mut Machine, s: u32| -> u64 {
-        let v = m
-            .map_value(env.fd, 0, &s.to_le_bytes())
-            .expect("map value readable after the run");
-        u64::from_le_bytes(v.try_into().expect("8B"))
-    };
-    let invocations = slot(&mut env.machine, stats_slot::INVOCATIONS);
-    let resubmits = slot(&mut env.machine, stats_slot::RESUBMITS);
-    let hits = slot(&mut env.machine, stats_slot::HITS);
-    let misses = slot(&mut env.machine, stats_slot::MISSES);
-
-    assert_eq!(invocations, 25 * 4, "one invocation per hop");
-    assert_eq!(resubmits, 25 * 3, "three interior hops per depth-4 lookup");
-    assert_eq!(hits + misses, 25, "every chain terminates at a leaf");
-    assert_eq!(hits, d.stats.hits);
-    assert_eq!(misses, d.stats.misses);
 }

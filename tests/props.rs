@@ -12,9 +12,7 @@ use bpfstor::lsm::sstable::{build_image, data_block_entries, Footer};
 use bpfstor::lsm::BLOCK;
 use bpfstor::sim::Histogram;
 use bpfstor::vm::insn::{decode, encode, Insn};
-use bpfstor::vm::{
-    action, verify, Asm, MapSet, Program, RecordingEnv, RunCtx, Trap, Vm, Width,
-};
+use bpfstor::vm::{action, verify, Asm, MapSet, Program, RecordingEnv, RunCtx, Trap, Vm, Width};
 
 // --- VM: encode/decode ---------------------------------------------------------
 
