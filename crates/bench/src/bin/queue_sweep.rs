@@ -1,0 +1,15 @@
+//! Queue-accuracy sweep: IOPS vs NVMe submission-queue depth and
+//! interrupt-coalescing depth, in every dispatch mode, over the
+//! io_uring path (32 SQEs in flight on one queue pair).
+
+use bpfstor_bench::experiments::{queue_sweep, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = queue_sweep(Scale { quick });
+    t.print();
+    match t.write_csv("queue_sweep") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -224,6 +224,31 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
         self
     }
 
+    /// Overrides the NVMe submission/completion ring depth per queue
+    /// pair (usable capacity is `depth - 1`). Shallow rings turn
+    /// submission overload into EBUSY-style backpressure: requests park
+    /// and retry after the next completion interrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2` (one slot is reserved, per the NVMe
+    /// full/empty disambiguation).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 2, "NVMe rings need at least two slots");
+        self.config.profile.queue_depth = depth;
+        self
+    }
+
+    /// Configures interrupt coalescing: the completion interrupt fires
+    /// once `depth` CQEs are pending, or `us` microseconds after the
+    /// first, whichever comes first. `(0, 1)` — the default — fires on
+    /// every completion.
+    pub fn irq_coalescing(mut self, us: u64, depth: u32) -> Self {
+        self.config.irq_coalesce_us = us;
+        self.config.irq_coalesce_depth = depth;
+        self
+    }
+
     /// Overrides the on-disk file name (default: `<workload>.img`).
     pub fn file_name(mut self, name: impl Into<String>) -> Self {
         self.file_name = Some(name.into());

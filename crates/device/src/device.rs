@@ -2,10 +2,13 @@
 //!
 //! The device owns the backing store and a set of internal channels.
 //! Commands arrive through per-queue-pair submission rings; ringing the
-//! doorbell assigns each command to the earliest-free channel, samples a
-//! service time from the profile, and returns the completion (with real
-//! data for reads) stamped with the simulated time at which the
-//! interrupt should fire. The kernel turns those stamps into events.
+//! doorbell consumes the SQ, assigns each command to the earliest-free
+//! channel, and samples a service time from the profile. Serviced
+//! commands sit *in flight* until their completion instant, at which
+//! point [`NvmeDevice::post_ready`] moves them onto the completion ring
+//! (with real data for reads); the host's interrupt handler drains the
+//! CQ with [`NvmeDevice::reap`]. The kernel decides *when* the
+//! interrupt fires (coalescing is host policy, not device policy).
 //!
 //! The model captures what the paper's evaluation depends on:
 //!
@@ -14,8 +17,11 @@
 //! - **internal parallelism**: a P5800X sustains millions of 512 B IOPS
 //!   only because commands overlap across channels — this is what lets
 //!   driver-hook resubmission scale in Figure 3b/3d;
-//! - **queue backpressure**: full rings reject submissions, which the
-//!   kernel surfaces as EBUSY, exactly like a saturated hardware queue.
+//! - **queue backpressure**: a queue pair admits at most `queue_depth -
+//!   1` outstanding commands (submitted, in flight, or un-reaped);
+//!   beyond that, submissions are rejected, which the kernel surfaces
+//!   as EBUSY-style backpressure, exactly like a saturated hardware
+//!   queue.
 
 use bpfstor_sim::{Nanos, SimRng};
 
@@ -76,14 +82,15 @@ pub struct NvmeCommand {
     pub op: NvmeOp,
 }
 
-/// A completed command, stamped with its interrupt time.
+/// A completed command, stamped with its completion instant.
 #[derive(Debug, Clone)]
 pub struct NvmeCompletion {
     /// Echoed command id.
     pub cid: u64,
     /// Queue pair the command was submitted on.
     pub qp: QueuePairId,
-    /// Simulated time at which the completion interrupt fires.
+    /// Simulated time at which the command finishes on its channel (the
+    /// earliest instant a CQE for it can be posted).
     pub complete_at: Nanos,
     /// Read payload (empty for writes/flushes).
     pub data: Vec<u8>,
@@ -102,12 +109,26 @@ pub struct DeviceStats {
     pub flushes: u64,
     /// Total busy nanoseconds summed over channels.
     pub busy_ns: Nanos,
-    /// Submissions rejected due to a full ring.
+    /// Submissions rejected because the queue pair was at capacity.
     pub rejected: u64,
+    /// Doorbell rings observed.
+    pub doorbells: u64,
+    /// Completion interrupts fired (reaps that returned ≥ 1 CQE).
+    pub irqs: u64,
+    /// Completion-queue entries reaped.
+    pub cqes: u64,
 }
 
 struct QueuePair {
     sq: Ring<NvmeCommand>,
+    cq: Ring<NvmeCompletion>,
+    /// Serviced commands whose completion instant has not been posted
+    /// to the CQ yet, kept sorted by `complete_at` (stable, so ties
+    /// preserve service order).
+    inflight: Vec<NvmeCompletion>,
+    /// Commands admitted but not yet reaped (SQ + inflight + CQ). This
+    /// is the driver's tag budget: it caps at ring capacity.
+    outstanding: usize,
 }
 
 /// The simulated NVMe device.
@@ -131,6 +152,9 @@ impl NvmeDevice {
         let queues = (0..nr_queues)
             .map(|_| QueuePair {
                 sq: Ring::new(profile.queue_depth),
+                cq: Ring::new(profile.queue_depth),
+                inflight: Vec::new(),
+                outstanding: 0,
             })
             .collect();
         NvmeDevice {
@@ -153,6 +177,31 @@ impl NvmeDevice {
         self.queues.len()
     }
 
+    /// Usable slots per queue pair (`queue_depth - 1`, one slot
+    /// sacrificed per the NVMe full/empty disambiguation).
+    pub fn queue_capacity(&self) -> usize {
+        self.profile.queue_depth - 1
+    }
+
+    /// Commands admitted on `qp` that have not been reaped yet.
+    pub fn outstanding(&self, qp: QueuePairId) -> usize {
+        self.queues.get(qp).map_or(0, |q| q.outstanding)
+    }
+
+    /// True when `qp` can admit `n` more commands right now.
+    pub fn can_accept(&self, qp: QueuePairId, n: usize) -> bool {
+        self.queues
+            .get(qp)
+            .is_some_and(|q| q.outstanding + n <= self.queue_capacity())
+    }
+
+    /// Driver-side backpressure accounting: counts a submission the
+    /// driver declined to attempt because [`NvmeDevice::can_accept`]
+    /// said the queue pair was at capacity.
+    pub fn record_rejection(&mut self) {
+        self.stats.rejected += 1;
+    }
+
     /// Direct store access for formatting / test setup (bypasses timing,
     /// like writing an image to the device before boot).
     pub fn store_mut(&mut self) -> &mut SectorStore {
@@ -166,46 +215,93 @@ impl NvmeDevice {
 
     /// Enqueues a command on queue pair `qp` without ringing the
     /// doorbell.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::SubmissionFull`] when the queue pair is at its
+    /// outstanding-command capacity (counted in
+    /// [`DeviceStats::rejected`]), [`QueueError::NoSuchQueue`] for bad
+    /// ids.
     pub fn submit(&mut self, qp: QueuePairId, cmd: NvmeCommand) -> Result<(), QueueError> {
+        let cap = self.queue_capacity();
         let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
-        q.sq.push(cmd).map_err(|_| {
-            self.stats.rejected += 1;
-            QueueError::SubmissionFull
-        })
-    }
-
-    /// Rings the doorbell for queue pair `qp` at time `now`: services all
-    /// queued commands, returning completions stamped with interrupt
-    /// times (in service order).
-    pub fn ring_doorbell(
-        &mut self,
-        now: Nanos,
-        qp: QueuePairId,
-    ) -> Result<Vec<NvmeCompletion>, QueueError> {
-        let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
-        let cmds = q.sq.drain_all();
-        let mut out = Vec::with_capacity(cmds.len());
-        for cmd in cmds {
-            out.push(self.service(now, qp, cmd));
-        }
-        Ok(out)
-    }
-
-    /// Submits and services one command in a single call (the common path
-    /// for the simulated driver, which rings the doorbell per command).
-    pub fn submit_and_ring(
-        &mut self,
-        now: Nanos,
-        qp: QueuePairId,
-        cmd: NvmeCommand,
-    ) -> Result<NvmeCompletion, QueueError> {
-        // Reject as a full ring would, then service immediately.
-        let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
-        if q.sq.is_full() {
+        if q.outstanding >= cap || q.sq.is_full() {
             self.stats.rejected += 1;
             return Err(QueueError::SubmissionFull);
         }
-        Ok(self.service(now, qp, cmd))
+        q.sq.push(cmd).map_err(|_| QueueError::SubmissionFull)?;
+        q.outstanding += 1;
+        Ok(())
+    }
+
+    /// Rings the doorbell for queue pair `qp` at time `now`: consumes
+    /// every queued command, assigns channels and service times, and
+    /// returns the completion instants (in service order). The serviced
+    /// commands stay in flight until [`NvmeDevice::post_ready`] moves
+    /// them to the completion ring.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::NoSuchQueue`] for bad ids.
+    pub fn ring_doorbell(&mut self, now: Nanos, qp: QueuePairId) -> Result<Vec<Nanos>, QueueError> {
+        let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
+        let cmds = q.sq.drain_all();
+        self.stats.doorbells += 1;
+        let mut done = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            done.push(self.service(now, qp, cmd));
+        }
+        let times = done.iter().map(|c| c.complete_at).collect();
+        self.queues[qp].inflight.extend(done);
+        Ok(times)
+    }
+
+    /// Posts every in-flight completion whose instant has passed onto
+    /// the completion ring, in completion-time order (service order on
+    /// ties). Returns how many CQEs were posted. Completions that do
+    /// not fit the CQ stay in flight for the next call.
+    pub fn post_ready(&mut self, now: Nanos, qp: QueuePairId) -> usize {
+        let Some(q) = self.queues.get_mut(qp) else {
+            return 0;
+        };
+        // Stable sort keeps service order on ties; the list is sorted
+        // runs appended per doorbell, so this is near-linear.
+        q.inflight.sort_by_key(|c| c.complete_at);
+        let ready = q.inflight.partition_point(|c| c.complete_at <= now);
+        let free = q.cq.capacity() - q.cq.len();
+        let take = ready.min(free);
+        for c in q.inflight.drain(..take) {
+            let _ = q.cq.push(c);
+        }
+        take
+    }
+
+    /// Drains up to `max` entries from the completion ring (the IRQ
+    /// handler's reap loop), freeing their queue slots.
+    pub fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+        let Some(q) = self.queues.get_mut(qp) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while out.len() < max {
+            match q.cq.pop() {
+                Some(c) => {
+                    q.outstanding -= 1;
+                    out.push(c);
+                }
+                None => break,
+            }
+        }
+        if !out.is_empty() {
+            self.stats.irqs += 1;
+            self.stats.cqes += out.len() as u64;
+        }
+        out
+    }
+
+    /// CQEs currently posted and waiting to be reaped on `qp`.
+    pub fn cq_backlog(&self, qp: QueuePairId) -> usize {
+        self.queues.get(qp).map_or(0, |q| q.cq.len())
     }
 
     fn service(&mut self, now: Nanos, qp: QueuePairId, cmd: NvmeCommand) -> NvmeCompletion {
@@ -265,12 +361,18 @@ impl NvmeDevice {
         self.stats
     }
 
-    /// Resets channel occupancy and counters to time zero (the stored
-    /// bytes are untouched). Called by the simulated kernel between
-    /// benchmark runs that reuse one machine.
+    /// Resets channel occupancy, counters, and queue-pair state to time
+    /// zero (the stored bytes are untouched). Called by the simulated
+    /// kernel between benchmark runs that reuse one machine.
     pub fn reset_timing(&mut self) {
         for c in &mut self.channels {
             *c = 0;
+        }
+        for q in &mut self.queues {
+            q.sq.drain_all();
+            q.cq.drain_all();
+            q.inflight.clear();
+            q.outstanding = 0;
         }
         self.stats = DeviceStats::default();
     }
@@ -313,11 +415,22 @@ mod tests {
         }
     }
 
+    /// Submit one command, ring the doorbell, and reap its completion
+    /// (posting at its completion instant) — the old synchronous path,
+    /// spelled through the queued API.
+    fn submit_ring_reap(d: &mut NvmeDevice, now: Nanos, cmd: NvmeCommand) -> NvmeCompletion {
+        d.submit(0, cmd).expect("submit");
+        let times = d.ring_doorbell(now, 0).expect("doorbell");
+        let t = *times.last().expect("serviced");
+        d.post_ready(t, 0);
+        d.reap(0, usize::MAX).pop().expect("cqe")
+    }
+
     #[test]
     fn read_returns_written_data_with_latency() {
         let mut d = dev(3_000, 1);
         d.store_mut().write(5, &[0xCDu8; SECTOR_SIZE]);
-        let c = d.submit_and_ring(100, 0, read_cmd(1, 5)).expect("submit");
+        let c = submit_ring_reap(&mut d, 100, read_cmd(1, 5));
         assert_eq!(c.complete_at, 3_100);
         assert_eq!(c.cid, 1);
         assert_eq!(c.data, vec![0xCDu8; SECTOR_SIZE]);
@@ -326,8 +439,8 @@ mod tests {
     #[test]
     fn single_channel_serializes() {
         let mut d = dev(1_000, 1);
-        let a = d.submit_and_ring(0, 0, read_cmd(1, 0)).expect("a");
-        let b = d.submit_and_ring(0, 0, read_cmd(2, 1)).expect("b");
+        let a = submit_ring_reap(&mut d, 0, read_cmd(1, 0));
+        let b = submit_ring_reap(&mut d, 0, read_cmd(2, 1));
         assert_eq!(a.complete_at, 1_000);
         assert_eq!(b.complete_at, 2_000, "queued behind a");
     }
@@ -336,41 +449,74 @@ mod tests {
     fn channels_overlap() {
         let mut d = dev(1_000, 4);
         let done: Vec<Nanos> = (0..4)
-            .map(|i| {
-                d.submit_and_ring(0, 0, read_cmd(i, i))
-                    .expect("submit")
-                    .complete_at
-            })
+            .map(|i| submit_ring_reap(&mut d, 0, read_cmd(i, i)).complete_at)
             .collect();
         assert_eq!(done, vec![1_000; 4], "four channels run in parallel");
-        let fifth = d.submit_and_ring(0, 0, read_cmd(9, 9)).expect("submit");
+        let fifth = submit_ring_reap(&mut d, 0, read_cmd(9, 9));
         assert_eq!(fifth.complete_at, 2_000, "fifth waits for a channel");
     }
 
     #[test]
-    fn doorbell_batches() {
+    fn doorbell_batches_and_cq_posts_in_time_order() {
         let mut d = dev(500, 2);
         for i in 0..3 {
             d.submit(0, read_cmd(i, i)).expect("enqueue");
         }
-        let cs = d.ring_doorbell(0, 0).expect("doorbell");
-        assert_eq!(cs.len(), 3);
-        let times: Vec<Nanos> = cs.iter().map(|c| c.complete_at).collect();
+        let times = d.ring_doorbell(0, 0).expect("doorbell");
         assert_eq!(times, vec![500, 500, 1_000]);
+        // Nothing is visible before its completion instant.
+        assert_eq!(d.post_ready(499, 0), 0);
+        assert_eq!(d.cq_backlog(0), 0);
+        // The two channel-parallel completions post together...
+        assert_eq!(d.post_ready(500, 0), 2);
+        let first = d.reap(0, usize::MAX);
+        assert_eq!(
+            first.iter().map(|c| c.cid).collect::<Vec<_>>(),
+            vec![0, 1],
+            "ties keep service order"
+        );
+        // ...and the queued third posts at its own instant.
+        assert_eq!(d.post_ready(1_000, 0), 1);
+        assert_eq!(d.reap(0, usize::MAX)[0].cid, 2);
     }
 
     #[test]
     fn submission_queue_full_rejects() {
         let mut d = dev(100, 1);
         // queue_depth 8 -> capacity 7.
+        assert_eq!(d.queue_capacity(), 7);
         for i in 0..7 {
             d.submit(0, read_cmd(i, i)).expect("fits");
         }
+        assert!(!d.can_accept(0, 1));
         assert_eq!(
             d.submit(0, read_cmd(99, 0)),
             Err(QueueError::SubmissionFull)
         );
         assert_eq!(d.stats().rejected, 1);
+    }
+
+    #[test]
+    fn outstanding_commands_block_submission_until_reaped() {
+        // The doorbell consumes the SQ, but slots only free at reap: the
+        // driver's tag budget, not just ring occupancy.
+        let mut d = dev(100, 1);
+        for i in 0..7 {
+            d.submit(0, read_cmd(i, i)).expect("fits");
+        }
+        d.ring_doorbell(0, 0).expect("doorbell");
+        assert_eq!(d.outstanding(0), 7, "in flight still holds slots");
+        assert_eq!(
+            d.submit(0, read_cmd(8, 0)),
+            Err(QueueError::SubmissionFull),
+            "no tag free before a reap"
+        );
+        d.post_ready(1_000, 0);
+        let reaped = d.reap(0, usize::MAX);
+        assert_eq!(reaped.len(), 7);
+        assert_eq!(d.outstanding(0), 0);
+        d.submit(0, read_cmd(8, 0))
+            .expect("slots freed by the reap");
     }
 
     #[test]
@@ -380,58 +526,53 @@ mod tests {
             d.submit(3, read_cmd(0, 0)).unwrap_err(),
             QueueError::NoSuchQueue
         );
+        assert_eq!(d.ring_doorbell(0, 3).unwrap_err(), QueueError::NoSuchQueue);
     }
 
     #[test]
     fn write_then_read_via_commands() {
         let mut d = dev(200, 2);
         let payload = vec![7u8; SECTOR_SIZE];
-        let w = d
-            .submit_and_ring(
-                0,
-                0,
-                NvmeCommand {
-                    cid: 1,
-                    op: NvmeOp::Write {
-                        slba: 3,
-                        data: payload.clone(),
-                    },
+        let w = submit_ring_reap(
+            &mut d,
+            0,
+            NvmeCommand {
+                cid: 1,
+                op: NvmeOp::Write {
+                    slba: 3,
+                    data: payload.clone(),
                 },
-            )
-            .expect("write");
-        let r = d
-            .submit_and_ring(w.complete_at, 0, read_cmd(2, 3))
-            .expect("read");
+            },
+        );
+        let r = submit_ring_reap(&mut d, w.complete_at, read_cmd(2, 3));
         assert_eq!(r.data, payload);
     }
 
     #[test]
     fn flush_drains_all_channels() {
         let mut d = dev(1_000, 2);
-        d.submit_and_ring(0, 0, read_cmd(1, 0)).expect("a");
-        d.submit_and_ring(0, 0, read_cmd(2, 1)).expect("b");
-        let f = d
-            .submit_and_ring(
-                0,
-                0,
-                NvmeCommand {
-                    cid: 3,
-                    op: NvmeOp::Flush,
-                },
-            )
-            .expect("flush");
+        submit_ring_reap(&mut d, 0, read_cmd(1, 0));
+        submit_ring_reap(&mut d, 0, read_cmd(2, 1));
+        let f = submit_ring_reap(
+            &mut d,
+            0,
+            NvmeCommand {
+                cid: 3,
+                op: NvmeOp::Flush,
+            },
+        );
         assert!(f.complete_at > 1_000, "flush waits for inflight I/O");
-        let after = d.submit_and_ring(0, 0, read_cmd(4, 2)).expect("after");
+        let after = submit_ring_reap(&mut d, 0, read_cmd(4, 2));
         assert!(after.complete_at >= f.complete_at, "barrier holds");
     }
 
     #[test]
     fn stats_accumulate() {
         let mut d = dev(100, 1);
-        d.submit_and_ring(0, 0, read_cmd(1, 0)).expect("r");
-        d.submit_and_ring(
+        submit_ring_reap(&mut d, 0, read_cmd(1, 0));
+        submit_ring_reap(
+            &mut d,
             100,
-            0,
             NvmeCommand {
                 cid: 2,
                 op: NvmeOp::Write {
@@ -439,13 +580,42 @@ mod tests {
                     data: vec![0u8; SECTOR_SIZE],
                 },
             },
-        )
-        .expect("w");
+        );
         let s = d.stats();
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);
         assert_eq!(s.busy_ns, 200);
+        assert_eq!(s.doorbells, 2);
+        assert_eq!(s.irqs, 2);
+        assert_eq!(s.cqes, 2);
         assert!((d.utilization(200) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalesced_reap_counts_one_irq() {
+        let mut d = dev(500, 4);
+        for i in 0..4 {
+            d.submit(0, read_cmd(i, i)).expect("fits");
+        }
+        d.ring_doorbell(0, 0).expect("doorbell");
+        d.post_ready(500, 0);
+        let cqes = d.reap(0, usize::MAX);
+        assert_eq!(cqes.len(), 4);
+        let s = d.stats();
+        assert_eq!(s.irqs, 1, "one interrupt served four completions");
+        assert_eq!(s.cqes, 4);
+    }
+
+    #[test]
+    fn reset_timing_clears_queue_state() {
+        let mut d = dev(100, 1);
+        d.submit(0, read_cmd(1, 0)).expect("submit");
+        d.ring_doorbell(0, 0).expect("doorbell");
+        d.reset_timing();
+        assert_eq!(d.outstanding(0), 0);
+        assert_eq!(d.cq_backlog(0), 0);
+        assert_eq!(d.post_ready(u64::MAX, 0), 0, "no stale inflight survives");
+        assert_eq!(d.stats(), DeviceStats::default());
     }
 
     #[test]
@@ -456,7 +626,7 @@ mod tests {
         let n = 1_600u64;
         let mut last = 0;
         for i in 0..n {
-            let c = d.submit_and_ring(0, 0, read_cmd(i, i)).expect("submit");
+            let c = submit_ring_reap(&mut d, 0, read_cmd(i, i));
             last = last.max(c.complete_at);
         }
         // n commands / 16 channels * 1us = 100us.

@@ -11,10 +11,11 @@
 //!   parse;
 //! - [`ring::Ring`] implements the submission/completion queue pairs with
 //!   real head/tail wrap semantics;
-//! - [`device::NvmeDevice`] services commands on a set of parallel
-//!   channels with service times drawn from the profile's latency
-//!   distribution, returning the simulated completion time for the
-//!   kernel's event loop.
+//! - [`device::NvmeDevice`] batch-services queued commands when the
+//!   doorbell rings, overlapping them across parallel channels with
+//!   service times drawn from the profile's latency distribution;
+//!   completions are posted to the CQ ring at their completion instants
+//!   and reaped by the kernel's interrupt handler.
 //!
 //! Everything is deterministic given the seed of the [`bpfstor_sim::SimRng`]
 //! the device is constructed with.
@@ -24,7 +25,9 @@ pub mod profile;
 pub mod ring;
 pub mod store;
 
-pub use device::{DeviceStats, NvmeCompletion, NvmeDevice, QueueError, QueuePairId};
+pub use device::{
+    DeviceStats, NvmeCommand, NvmeCompletion, NvmeDevice, NvmeOp, QueueError, QueuePairId,
+};
 pub use profile::{DeviceClass, DeviceProfile};
 pub use ring::Ring;
 pub use store::{SectorStore, SECTOR_SIZE};

@@ -21,6 +21,7 @@
 //! [`ProgHandle`]s with an explicit attach/detach lifecycle (see
 //! [`crate::Machine::install`]).
 
+use bpfstor_device::DeviceStats;
 use bpfstor_sim::{Histogram, Nanos, SimRng};
 
 use crate::extcache::ExtCacheStats;
@@ -264,6 +265,9 @@ pub struct RunReport {
     pub device_util: f64,
     /// Per-layer time accounting.
     pub trace: LayerTrace,
+    /// Device counters for this run: doorbell rings, interrupts fired,
+    /// CQEs reaped, and submissions rejected by queue backpressure.
+    pub device: DeviceStats,
     /// Extent-cache counters.
     pub extcache: ExtCacheStats,
     /// Total chained NVMe resubmissions (the §4 fairness counters,

@@ -38,9 +38,16 @@ pub struct LayerCosts {
     pub bio_submit: Nanos,
     /// Block-layer completion half.
     pub bio_complete: Nanos,
-    /// NVMe driver submission half (SQE build + doorbell).
+    /// NVMe driver submission half (SQE build; the doorbell MMIO is
+    /// charged separately so batches can share it).
     pub drv_submit: Nanos,
-    /// NVMe driver completion half (CQE handling in the IRQ handler).
+    /// Doorbell MMIO write, charged once per ring — a batch of SQEs
+    /// submitted together pays this once.
+    pub doorbell: Nanos,
+    /// Interrupt entry/dispatch, charged once per completion interrupt —
+    /// coalesced CQEs amortize it.
+    pub irq_entry: Nanos,
+    /// NVMe driver per-CQE completion handling in the IRQ handler.
     pub drv_complete: Nanos,
     /// Application-level work per pointer lookup: reap the read, parse
     /// the node, compute and issue the next `pread`, plus the scheduler
@@ -54,7 +61,8 @@ pub struct LayerCosts {
     /// NVMe-layer extent soft-state cache lookup (the §4 translation).
     pub extent_cache_lookup: Nanos,
     /// Recycling and retargeting a completed NVMe descriptor (§4: no
-    /// allocations, no bio, just rewrite + doorbell).
+    /// allocations, no bio, just the SQE rewrite; the doorbell MMIO is
+    /// charged separately like any other submission).
     pub recycle_submit: Nanos,
     /// io_uring per-SQE kernel processing (replaces the syscall layer).
     pub uring_sqe: Nanos,
@@ -74,13 +82,15 @@ impl Default for LayerCosts {
             fs_complete: 602,
             bio_submit: 265,
             bio_complete: 114,
-            drv_submit: 79,
-            drv_complete: 34,
+            drv_submit: 63,
+            doorbell: 16,
+            irq_entry: 14,
+            drv_complete: 20,
             app_think: 1000,
             bpf_base: 60,
             bpf_per_insn: 2,
             extent_cache_lookup: 30,
-            recycle_submit: 60,
+            recycle_submit: 44,
             uring_sqe: 160,
             uring_cqe: 70,
             pagecache_hit: 250,
@@ -104,9 +114,11 @@ impl LayerCosts {
         self.bio_submit + self.bio_complete
     }
 
-    /// Total NVMe driver cost (Table 1 row 5).
+    /// Total NVMe driver cost (Table 1 row 5): SQE build, doorbell
+    /// write, interrupt entry, and CQE handling. Doorbell batching and
+    /// interrupt coalescing amortize the middle two below this total.
     pub fn drv_total(&self) -> Nanos {
-        self.drv_submit + self.drv_complete
+        self.drv_submit + self.doorbell + self.irq_entry + self.drv_complete
     }
 
     /// Total software cost of one synchronous O_DIRECT read (everything
@@ -115,12 +127,15 @@ impl LayerCosts {
         self.crossing() + self.syscall + self.fs_total() + self.bio_total() + self.drv_total()
     }
 
-    /// The full submission-side CPU burst of a synchronous read.
+    /// The full submission-side CPU burst of a synchronous read, up to
+    /// (but excluding) the doorbell ring.
     pub fn sync_submit(&self) -> Nanos {
         self.crossing_enter + self.syscall + self.fs_submit + self.bio_submit + self.drv_submit
     }
 
-    /// The full completion-side CPU burst of a synchronous read.
+    /// The full completion-side CPU burst of a synchronous read, from
+    /// the CQE handler up (the per-interrupt entry cost is charged
+    /// separately, once per interrupt).
     pub fn sync_complete(&self) -> Nanos {
         self.drv_complete + self.bio_complete + self.fs_complete + self.crossing_exit
     }
@@ -154,8 +169,13 @@ mod tests {
 
     #[test]
     fn submit_complete_partition() {
+        // The synchronous bursts plus the separately charged doorbell
+        // and interrupt entry partition the software total exactly.
         let c = LayerCosts::default();
-        assert_eq!(c.sync_submit() + c.sync_complete(), c.software_total());
+        assert_eq!(
+            c.sync_submit() + c.doorbell + c.irq_entry + c.sync_complete(),
+            c.software_total()
+        );
     }
 
     #[test]

@@ -13,9 +13,19 @@
 //! What runs where:
 //!
 //! - **submission** (app → syscall → ext4 → bio → driver) is one CPU
-//!   burst; costs follow [`crate::costs::LayerCosts`] (Table 1);
-//! - **device** service occupies a device channel, no CPU;
-//! - **completion** starts in the driver IRQ handler. For tagged I/O in
+//!   burst; costs follow [`crate::costs::LayerCosts`] (Table 1). The
+//!   driver enqueues commands on the device's per-queue-pair submission
+//!   ring and rings the doorbell once per batch ([`Ev::Doorbell`] —
+//!   SQEs submitted at the same instant share the MMIO write);
+//! - **device** service occupies a device channel, no CPU; a full
+//!   submission queue is *backpressure*: the request parks and retries
+//!   after the next completion interrupt frees queue slots;
+//! - **completion** starts in the driver IRQ handler
+//!   ([`Ev::IrqFire`]), whose firing is governed by the interrupt-
+//!   coalescing knobs in [`MachineConfig`]: the interrupt is delayed
+//!   until `irq_coalesce_depth` CQEs are pending or `irq_coalesce_us`
+//!   has elapsed since the first, and one handler invocation reaps the
+//!   whole completion ring. For tagged I/O in
 //!   [`DispatchMode::DriverHook`] the BPF program runs right there; a
 //!   `resubmit` recycles the descriptor (no allocation, no bio/fs) after
 //!   translating the file offset through the extent soft-state cache;
@@ -59,6 +69,14 @@ pub struct MachineConfig {
     pub pagecache_blocks: usize,
     /// NVMe-layer chained-resubmission bound (§4 fairness counter).
     pub resubmit_bound: u32,
+    /// Interrupt-coalescing time budget in microseconds: a pending CQE
+    /// fires an interrupt at most this long after it is posted. `0`
+    /// fires immediately (no time-based coalescing).
+    pub irq_coalesce_us: u64,
+    /// Interrupt-coalescing aggregation threshold: the interrupt fires
+    /// as soon as this many CQEs are pending, even inside the time
+    /// budget. `1` (or `0`) disables depth-based coalescing.
+    pub irq_coalesce_depth: u32,
 }
 
 impl Default for MachineConfig {
@@ -71,6 +89,8 @@ impl Default for MachineConfig {
             fs_blocks: 1 << 22, // 2 GiB of 512 B blocks
             pagecache_blocks: 4096,
             resubmit_bound: 256,
+            irq_coalesce_us: 0,
+            irq_coalesce_depth: 1,
         }
     }
 }
@@ -150,11 +170,33 @@ struct ProgTable {
 
 #[derive(Debug)]
 enum Ev {
-    AppStart { thread: usize },
-    DevSubmit { op: usize },
-    DeviceDone { op: usize },
-    Delivered { op: usize },
-    Mutate { idx: usize },
+    AppStart {
+        thread: usize,
+    },
+    DevSubmit {
+        op: usize,
+    },
+    /// Page-cache hit: the request completes without touching the
+    /// device (or its queues).
+    CacheHit {
+        op: usize,
+    },
+    /// The driver rings a queue pair's doorbell: the device batch-
+    /// services everything queued on that SQ.
+    Doorbell {
+        qp: usize,
+    },
+    /// The completion interrupt for a queue pair fires: post ready
+    /// CQEs and reap the completion ring.
+    IrqFire {
+        qp: usize,
+    },
+    Delivered {
+        op: usize,
+    },
+    Mutate {
+        idx: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +228,21 @@ struct Op {
     emitted: Vec<u8>,
     status: Option<ChainStatus>,
     o_direct: bool,
+    /// Per-segment read buffers of the in-flight device request; CQEs
+    /// may land out of order across channels, so each fills its slot.
+    seg_data: Vec<Option<Vec<u8>>>,
+    /// Segments of the current device request still in flight.
+    segs_pending: u32,
+    /// When the current device request was submitted (queueing delay is
+    /// charged to the device bucket).
+    submitted_at: Nanos,
+    /// A recycled driver-hook hop carries `(physical block, snapshot
+    /// unmap generation)` from the extent-cache translation to the
+    /// submission — the NVMe layer never consults live fs metadata.
+    phys_target: Option<(u64, u64)>,
+    /// Whether the current device request is a recycled hop (bypasses
+    /// the page cache entirely).
+    recycled: bool,
 }
 
 /// A chain queued for re-issue after a rearm-retry verdict.
@@ -214,6 +271,17 @@ struct UringState {
 struct ThreadState {
     stopped: bool,
     uring: Option<UringState>,
+}
+
+/// Kernel-side interrupt-coalescing state for one queue pair.
+#[derive(Debug, Default)]
+struct IrqState {
+    /// Completion instants of serviced commands not yet reaped, sorted
+    /// ascending (the driver learns them when it rings the doorbell).
+    pending: Vec<Nanos>,
+    /// The currently armed interrupt timer; [`Ev::IrqFire`] events that
+    /// do not match are stale and ignored.
+    next_at: Option<Nanos>,
 }
 
 struct HookEnv<'a> {
@@ -261,6 +329,21 @@ pub struct Machine {
     ops: Vec<Option<Op>>,
     free_ops: Vec<usize>,
     threads: Vec<ThreadState>,
+    /// Per-queue-pair: is a doorbell event already scheduled? Submits
+    /// that land at the same instant share one MMIO write.
+    doorbell_armed: Vec<bool>,
+    /// Per-queue-pair interrupt-coalescing state.
+    irq: Vec<IrqState>,
+    /// Per-queue-pair ops parked on queue-full backpressure, re-issued
+    /// after the next interrupt frees slots.
+    stalled: Vec<Vec<usize>>,
+    /// In-flight command id → (op slot, segment index).
+    cid_map: HashMap<u64, (usize, usize)>,
+    irq_coalesce_ns: Nanos,
+    irq_coalesce_depth: u32,
+    /// Monotone per-run counter salting the per-chain RNG forks of the
+    /// uring path, so every SQE in a batch draws an independent stream.
+    rng_streams: u64,
     mutations: Vec<Mutation>,
     aborting_inos: HashSet<u64>,
     resubmit_bound: u32,
@@ -280,11 +363,12 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         let mut rng = SimRng::seed(cfg.seed);
         let dev_rng = rng.fork(1);
+        let nr_queues = cfg.cores.max(1);
         Machine {
             now: 0,
             events: EventQueue::new(),
             cores: Cores::new(cfg.cores),
-            device: NvmeDevice::new(cfg.profile, cfg.cores.max(1), dev_rng),
+            device: NvmeDevice::new(cfg.profile, nr_queues, dev_rng),
             fs: ExtFs::mkfs(cfg.fs_blocks),
             pagecache: PageCache::new(cfg.pagecache_blocks, SECTOR_SIZE),
             extcache: ExtentCache::new(),
@@ -298,6 +382,13 @@ impl Machine {
             ops: Vec::new(),
             free_ops: Vec::new(),
             threads: Vec::new(),
+            doorbell_armed: vec![false; nr_queues],
+            irq: (0..nr_queues).map(|_| IrqState::default()).collect(),
+            stalled: vec![Vec::new(); nr_queues],
+            cid_map: HashMap::new(),
+            irq_coalesce_ns: cfg.irq_coalesce_us.saturating_mul(1_000),
+            irq_coalesce_depth: cfg.irq_coalesce_depth.max(1),
+            rng_streams: 0,
             mutations: Vec::new(),
             aborting_inos: HashSet::new(),
             resubmit_bound: cfg.resubmit_bound,
@@ -524,6 +615,12 @@ impl Machine {
         &self.resubmissions
     }
 
+    /// Device counters for the current/last run: doorbell rings,
+    /// interrupts, reaped CQEs, and backpressure rejections.
+    pub fn device_stats(&self) -> bpfstor_device::DeviceStats {
+        self.device.stats()
+    }
+
     // --- Charging helpers ---------------------------------------------------
 
     fn charge(&mut self, cost: Nanos) -> Nanos {
@@ -600,6 +697,18 @@ impl Machine {
         // can never collide with a stale entry from an earlier run.
         self.rearm_retries = 0;
         self.resubmissions.clear();
+        for armed in &mut self.doorbell_armed {
+            *armed = false;
+        }
+        for st in &mut self.irq {
+            st.pending.clear();
+            st.next_at = None;
+        }
+        for q in &mut self.stalled {
+            q.clear();
+        }
+        self.cid_map.clear();
+        self.rng_streams = 0;
     }
 
     fn finish_run(&mut self) -> RunReport {
@@ -615,6 +724,7 @@ impl Machine {
             latency: self.latency.clone(),
             cpu_util: self.cores.utilization(sim_time),
             device_util: self.device.utilization(sim_time),
+            device: self.device.stats(),
             trace: self.trace,
             extcache: self.extcache.stats(),
             resubmissions: self.resubmissions.iter().sum(),
@@ -629,7 +739,9 @@ impl Machine {
             match ev {
                 Ev::AppStart { thread } => self.on_app_start(thread, driver),
                 Ev::DevSubmit { op } => self.on_dev_submit(op),
-                Ev::DeviceDone { op } => self.on_device_done(op, driver),
+                Ev::CacheHit { op } => self.on_device_done(op, driver),
+                Ev::Doorbell { qp } => self.on_doorbell(qp),
+                Ev::IrqFire { qp } => self.on_irq_fire(qp, driver),
                 Ev::Delivered { op } => self.on_delivered(op, driver),
                 Ev::Mutate { idx } => self.on_mutate(idx),
             }
@@ -727,6 +839,11 @@ impl Machine {
             emitted: Vec::new(),
             status: None,
             o_direct: st.o_direct,
+            seg_data: Vec::new(),
+            segs_pending: 0,
+            submitted_at: 0,
+            phys_target: None,
+            recycled: false,
         };
         let id = self.alloc_op(op);
         if origin == Origin::Sync {
@@ -748,52 +865,112 @@ impl Machine {
         self.trace.drv += self.costs.drv_submit;
     }
 
-    /// Issues the op's current target to the device. Translation goes
-    /// through the FS for first hops / user paths and through the extent
-    /// cache for recycled driver-hook hops (the caller has already done
-    /// that and set `file_off` to a translated-able offset).
+    /// Fails the op's current request and schedules delivery after the
+    /// completion-side CPU burst.
+    fn fail_submit(&mut self, id: usize, status: ChainStatus, unwind_trace: bool) {
+        let op = self.ops[id].as_mut().expect("op");
+        op.status = Some(status);
+        let cost = self.costs.sync_complete();
+        let end = self.charge(cost);
+        if unwind_trace {
+            self.account_complete_trace();
+        }
+        self.events.push(end, Ev::Delivered { op: id });
+    }
+
+    /// Issues the op's current target to the device: translate, enqueue
+    /// every segment on the thread's submission ring, and arm the
+    /// doorbell. First hops and user-path reissues translate through
+    /// live FS metadata (the normal submission path did this work
+    /// inside `fs_submit` cost); recycled driver-hook hops carry the
+    /// extent-snapshot's physical target and *never* consult the FS —
+    /// a snapshot that went stale aborts the chain instead of silently
+    /// healing. A queue pair at capacity parks the op until the next
+    /// completion interrupt frees slots (EBUSY-style backpressure).
     fn on_dev_submit(&mut self, id: usize) {
-        let Some(op) = self.ops[id].as_mut() else {
+        let Some(op) = self.ops[id].as_ref() else {
             return;
         };
-        let nblocks = (op.len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
-        let lb = op.file_off / SECTOR_SIZE as u64;
-        // Buffered path: page-cache hit skips the device entirely.
-        if !op.o_direct {
-            if let Some(data) = self.pagecache.get((op.ino, lb)) {
-                let data = data.to_vec();
+        let (len, file_off, ino, o_direct, thread, phys_target) = (
+            op.len,
+            op.file_off,
+            op.ino,
+            op.o_direct,
+            op.thread,
+            op.phys_target,
+        );
+        let nblocks = (len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
+        let lb = file_off / SECTOR_SIZE as u64;
+        // Buffered path: a whole-request page-cache hit skips the device
+        // (and its queues) entirely.
+        if !o_direct && phys_target.is_none() {
+            let mut assembled = Vec::with_capacity((nblocks as usize) * SECTOR_SIZE);
+            let mut complete = true;
+            for i in 0..nblocks {
+                match self.pagecache.get((ino, lb + i)) {
+                    Some(block) => assembled.extend_from_slice(block),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
                 let op = self.ops[id].as_mut().expect("op exists");
-                op.data = data;
-                let cost = self.costs.pagecache_hit;
+                op.data = assembled;
+                let cost = self.costs.pagecache_hit * nblocks;
                 let end = self.charge(cost);
                 self.trace.fs += cost;
-                self.events.push(end, Ev::DeviceDone { op: id });
+                self.events.push(end, Ev::CacheHit { op: id });
                 return;
             }
         }
-        // Translate logical blocks to physical segments via the FS (the
-        // normal submission path did this work inside fs_submit cost).
-        let ino = self.ops[id].as_ref().expect("op").ino;
-        let mut segments: Vec<(u64, u32)> = Vec::new();
-        let mut remaining = nblocks;
-        let mut cur = lb;
-        while remaining > 0 {
-            match self.fs.map(ino, cur) {
-                Ok(Some((phys, run))) => {
-                    let take = remaining.min(run) as u32;
-                    segments.push((phys, take));
-                    cur += take as u64;
-                    remaining -= take as u64;
-                }
-                _ => break,
+        let segments: Vec<(u64, u32)> = if let Some((phys, snap_gen)) = phys_target {
+            // Recycled hop: submit to the snapshot's physical target.
+            // If the file's extents changed under the snapshot (its
+            // unmap generation moved, or the entry died), the recycled
+            // descriptor is discarded — §4's invalidation semantics —
+            // rather than re-translated through live fs metadata.
+            let live_gen = self.fs.generations(ino).ok().map(|(_, unmap)| unmap);
+            if !self.extcache.is_armed(ino) || live_gen != Some(snap_gen) {
+                self.fail_submit(id, ChainStatus::Invalidated, true);
+                return;
             }
+            vec![(phys, nblocks as u32)]
+        } else {
+            // Translate logical blocks to physical segments via the FS.
+            let mut segments: Vec<(u64, u32)> = Vec::new();
+            let mut remaining = nblocks;
+            let mut cur = lb;
+            while remaining > 0 {
+                match self.fs.map(ino, cur) {
+                    Ok(Some((phys, run))) => {
+                        let take = remaining.min(run) as u32;
+                        segments.push((phys, take));
+                        cur += take as u64;
+                        remaining -= take as u64;
+                    }
+                    _ => break,
+                }
+            }
+            if segments.is_empty() || remaining > 0 {
+                self.fail_submit(id, ChainStatus::IoError, false);
+                return;
+            }
+            segments
+        };
+        let qp = thread % self.device.nr_queues();
+        // A request that can never fit the SQ is an I/O error (a real
+        // driver would split it; the workloads never get near this).
+        if segments.len() > self.device.queue_capacity() {
+            self.fail_submit(id, ChainStatus::IoError, false);
+            return;
         }
-        if segments.is_empty() || remaining > 0 {
-            let op = self.ops[id].as_mut().expect("op");
-            op.status = Some(ChainStatus::IoError);
-            let cost = self.costs.sync_complete();
-            let end = self.charge(cost);
-            self.events.push(end, Ev::Delivered { op: id });
+        // Backpressure: the whole request must fit, or the op parks
+        // until the next interrupt frees queue slots.
+        if !self.device.can_accept(qp, segments.len()) {
+            self.device.record_rejection();
+            self.stalled[qp].push(id);
             return;
         }
         // Extra bio/driver work for each split segment beyond the first.
@@ -803,18 +980,20 @@ impl Machine {
             self.trace.bio += extra;
             let _ = end;
         }
-        // Issue all segments; completion fires when the last lands.
-        let mut assembled = Vec::with_capacity((nblocks as usize) * SECTOR_SIZE);
-        let mut last_done = self.now;
-        let mut device_ns_total = 0;
-        let qp = self.ops[id].as_ref().expect("op").thread % self.device.nr_queues();
-        for (phys, take) in &segments {
+        let op = self.ops[id].as_mut().expect("op");
+        op.segs_pending = segments.len() as u32;
+        op.seg_data = segments.iter().map(|_| None).collect();
+        op.submitted_at = self.now;
+        op.recycled = phys_target.is_some();
+        op.phys_target = None;
+        op.ios += segments.len() as u32;
+        self.trace.ios += segments.len() as u64;
+        for (seg, (phys, take)) in segments.iter().enumerate() {
             let cid = self.ios;
             self.ios += 1;
-            let completion = self
-                .device
-                .submit_and_ring(
-                    self.now,
+            self.cid_map.insert(cid, (id, seg));
+            self.device
+                .submit(
                     qp,
                     NvmeCommand {
                         cid,
@@ -824,25 +1003,134 @@ impl Machine {
                         },
                     },
                 )
-                .expect("queue depth sized for the workload");
-            last_done = last_done.max(completion.complete_at);
-            device_ns_total += completion.complete_at.saturating_sub(self.now);
-            assembled.extend_from_slice(&completion.data);
+                .expect("capacity checked above");
+        }
+        if !self.doorbell_armed[qp] {
+            self.doorbell_armed[qp] = true;
+            self.events.push(self.now, Ev::Doorbell { qp });
+        }
+    }
+
+    /// The driver's doorbell MMIO write: the device batch-services the
+    /// queue pair's SQ, and the interrupt timer re-arms around the new
+    /// completion instants. SQEs enqueued at the same instant share one
+    /// ring (and one charge).
+    fn on_doorbell(&mut self, qp: usize) {
+        self.doorbell_armed[qp] = false;
+        let cost = self.costs.doorbell;
+        let _ = self.charge(cost);
+        self.trace.drv += cost;
+        self.trace.doorbells += 1;
+        // The MMIO write is issued inline by the submitting path; the
+        // charge accounts its CPU time but does not gate the device —
+        // service starts at the ring instant.
+        let times = self
+            .device
+            .ring_doorbell(self.now, qp)
+            .expect("queue pair exists");
+        if times.is_empty() {
+            return;
+        }
+        self.irq[qp].pending.extend(times);
+        self.irq[qp].pending.sort_unstable();
+        self.schedule_irq(qp);
+    }
+
+    /// (Re-)arms the interrupt timer for `qp` from its pending
+    /// completion instants: the interrupt fires when
+    /// `irq_coalesce_depth` CQEs are pending, or `irq_coalesce_us`
+    /// after the first, whichever comes first.
+    fn schedule_irq(&mut self, qp: usize) {
+        let depth = self.irq_coalesce_depth as usize;
+        let coalesce = self.irq_coalesce_ns;
+        let st = &mut self.irq[qp];
+        let Some(&first) = st.pending.first() else {
+            st.next_at = None;
+            return;
+        };
+        let by_time = first.saturating_add(coalesce);
+        let fire = match st.pending.get(depth - 1) {
+            Some(&by_depth) => by_depth.min(by_time),
+            None => by_time,
+        };
+        if st.next_at != Some(fire) {
+            st.next_at = Some(fire);
+            self.events.push(fire, Ev::IrqFire { qp });
+        }
+    }
+
+    /// The completion interrupt: post every CQE whose completion
+    /// instant has passed, drain the completion ring, run the
+    /// completion path of every finished request, and re-issue ops
+    /// parked on backpressure. One interrupt entry is charged no matter
+    /// how many CQEs it reaps — the coalescing win.
+    fn on_irq_fire(&mut self, qp: usize, driver: &mut dyn ChainDriver) {
+        if self.irq[qp].next_at != Some(self.now) {
+            return; // stale timer — a newer arm superseded this event
+        }
+        self.irq[qp].next_at = None;
+        self.device.post_ready(self.now, qp);
+        let cqes = self.device.reap(qp, usize::MAX);
+        self.irq[qp].pending.retain(|&t| t > self.now);
+        if cqes.is_empty() {
+            self.schedule_irq(qp);
+            return;
+        }
+        let cost = self.costs.irq_entry;
+        let _ = self.charge(cost);
+        self.trace.drv += cost;
+        self.trace.irqs += 1;
+        for c in cqes {
+            self.on_cqe(c, driver);
+        }
+        // Freed queue slots un-park stalled submissions.
+        let stalled = std::mem::take(&mut self.stalled[qp]);
+        for id in stalled {
+            self.events.push(self.now, Ev::DevSubmit { op: id });
+        }
+        self.schedule_irq(qp);
+    }
+
+    /// One reaped CQE: fill the op's segment slot; when the last
+    /// segment lands, assemble the buffer, warm the page cache (per
+    /// block, buffered non-recycled requests only), and run the
+    /// completion path.
+    fn on_cqe(&mut self, c: bpfstor_device::NvmeCompletion, driver: &mut dyn ChainDriver) {
+        let Some((id, seg)) = self.cid_map.remove(&c.cid) else {
+            return;
+        };
+        let Some(op) = self.ops[id].as_mut() else {
+            return;
+        };
+        let dev_ns = c.complete_at.saturating_sub(op.submitted_at);
+        op.device_ns += dev_ns;
+        op.seg_data[seg] = Some(c.data);
+        op.segs_pending -= 1;
+        self.trace.device += dev_ns;
+        let op = self.ops[id].as_ref().expect("op");
+        if op.segs_pending > 0 {
+            return;
         }
         let op = self.ops[id].as_mut().expect("op");
-        op.ios += segments.len() as u32;
-        op.data = assembled;
-        op.device_ns = device_ns_total;
-        self.trace.device += device_ns_total;
-        self.trace.ios += segments.len() as u64;
-        if !op.o_direct {
-            // Populate the page cache on the miss path (single-block ops).
-            if nblocks == 1 {
-                let (ino, data) = (op.ino, op.data.clone());
-                self.pagecache.insert((ino, lb), &data);
+        let mut data = Vec::with_capacity(
+            op.seg_data
+                .iter()
+                .map(|d| d.as_ref().map_or(0, Vec::len))
+                .sum(),
+        );
+        for d in op.seg_data.drain(..) {
+            data.extend_from_slice(&d.expect("all segments completed"));
+        }
+        op.data = data;
+        if !op.o_direct && !op.recycled {
+            let ino = op.ino;
+            let lb = op.file_off / SECTOR_SIZE as u64;
+            let data = op.data.clone();
+            for (i, block) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+                self.pagecache.insert((ino, lb + i as u64), block);
             }
         }
-        self.events.push(last_done, Ev::DeviceDone { op: id });
+        self.on_device_done(id, driver);
     }
 
     fn on_device_done(&mut self, id: usize, driver: &mut dyn ChainDriver) {
@@ -976,9 +1264,15 @@ impl Machine {
                 let lb = target / SECTOR_SIZE as u64;
                 let cache_cost = self.costs.extent_cache_lookup;
                 match self.extcache.lookup(ino, lb) {
-                    Some((_phys, run)) if run >= nblocks => {
+                    Some((phys, run)) if run >= nblocks => {
+                        // Carry the snapshot's physical target (and the
+                        // generation it was taken at) to the recycled
+                        // submission — the NVMe layer must never heal a
+                        // stale snapshot through live fs metadata.
+                        let snap_gen = self.extcache.generation(ino).unwrap_or(0);
                         let op = self.ops[id].as_mut().expect("op");
                         op.file_off = target;
+                        op.phys_target = Some((phys, snap_gen));
                         op.hop += 1;
                         let thread = op.thread;
                         if self.resubmissions.len() <= thread {
@@ -1258,7 +1552,12 @@ impl Machine {
         for sub in queue {
             match sub {
                 PendingSub::NewChain => {
-                    let mut rng = self.rng.fork(thread as u64 * 6151 + self.chains);
+                    // Each SQE in a batch gets its own stream: salt the
+                    // fork with a monotone sequence number, not the
+                    // (batch-constant) completed-chain counter.
+                    let stream = self.rng_streams;
+                    self.rng_streams += 1;
+                    let mut rng = self.rng.fork(thread as u64 * 6151 + stream);
                     let Some(start) = driver.next_chain(thread, &mut rng) else {
                         continue;
                     };

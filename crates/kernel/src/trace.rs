@@ -29,6 +29,10 @@ pub struct LayerTrace {
     pub extent_cache: Nanos,
     /// I/Os sampled.
     pub ios: u64,
+    /// Doorbell rings (each may cover a batch of SQEs).
+    pub doorbells: u64,
+    /// Completion interrupts fired (each may reap several CQEs).
+    pub irqs: u64,
 }
 
 impl LayerTrace {
@@ -86,6 +90,7 @@ mod tests {
             bpf: 2,
             extent_cache: 1,
             ios: 1,
+            ..LayerTrace::default()
         };
         assert_eq!(t.software(), 158);
     }

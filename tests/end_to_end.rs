@@ -483,3 +483,45 @@ fn legacy_btree_facade_still_works() {
     assert_eq!(stats.mismatches, 0);
     assert_eq!(report.errors, 0);
 }
+
+// --- Queue-accurate device path -------------------------------------------------
+
+#[test]
+fn session_queue_knobs_backpressure_and_coalescing() {
+    // A one-slot NVMe ring under 32 in-flight SQEs: submissions park
+    // and retry (visible as rejections), every lookup still completes
+    // correctly, and throughput degrades instead of panicking.
+    let run = |qd: usize, irq_us: u64, irq_depth: u32| {
+        let mut s = PushdownSession::builder(Btree::depth(4).max_chains(64))
+            .dispatch(DispatchMode::DriverHook)
+            .queue_depth(qd)
+            .irq_coalescing(irq_us, irq_depth)
+            .build()
+            .expect("session");
+        let (report, stats) = s.run_uring(1, 32, SECOND);
+        assert_eq!(stats.completed, 64, "qd={qd}: every lookup completes");
+        assert_eq!(stats.mismatches, 0, "qd={qd}");
+        assert_eq!(stats.errors, 0, "qd={qd}");
+        report
+    };
+    let shallow = run(2, 0, 1);
+    let deep = run(4096, 0, 1);
+    assert!(
+        shallow.device.rejected > 0,
+        "one-slot ring must backpressure"
+    );
+    assert_eq!(deep.device.rejected, 0);
+    assert!(
+        shallow.iops < deep.iops,
+        "shallow ring serializes the device"
+    );
+
+    // Coalescing reaps many CQEs per interrupt without losing lookups.
+    let coalesced = run(4096, 8, 8);
+    assert!(
+        coalesced.device.irqs < deep.device.irqs,
+        "coalescing aggregates interrupts: {} vs {}",
+        coalesced.device.irqs,
+        deep.device.irqs
+    );
+}
