@@ -1,0 +1,15 @@
+//! Write-mix smoke sweep: write IOPS vs NVMe submission-queue depth
+//! under the paper's 40r/40u/20i YCSB mix, with journaled writes and
+//! fsync flush barriers riding the same rings as the pushdown reads.
+
+use bpfstor_bench::experiments::{write_mix, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = write_mix(Scale { quick });
+    t.print();
+    match t.write_csv("write_mix") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

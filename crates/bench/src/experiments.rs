@@ -5,7 +5,7 @@
 //! The `quick` flag trades precision for speed; the dedicated binaries
 //! run full scale, the `figures` bench runs quick.
 
-use bpfstor_core::{Btree, DispatchMode, PushdownSession};
+use bpfstor_core::{Btree, DispatchMode, PushdownSession, YcsbMix};
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
 use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, RunReport};
@@ -359,6 +359,85 @@ pub fn queue_sweep(scale: Scale) -> Table {
     t
 }
 
+// --- Write-mix sweep -------------------------------------------------------------
+
+/// Queue-depth sweep under the paper's 40r/40u/20i TokuDB mix: writes
+/// ride the same per-queue SQ/CQ rings as reads (journaled data writes
+/// plus fsync flush barriers), so the ring depth gates *write*
+/// throughput exactly as it gates reads. Write IOPS must be monotone
+/// non-decreasing in queue depth in every dispatch mode, and the
+/// write-heavy mix must cost readers tail latency versus read-only at
+/// the same depth.
+pub fn write_mix(scale: Scale) -> Table {
+    let duration = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        20 * MILLISECOND
+    };
+    let entries: Vec<(u64, Vec<u8>)> = (0..600u64)
+        .map(|i| {
+            let mut v = vec![0u8; 48];
+            v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+            (i * 3, v)
+        })
+        .collect();
+    let mut t = Table::new(
+        "Write mix — SQ depth vs write IOPS (YCSB 40r/40u/20i, uring batch 16)",
+        &[
+            "mode",
+            "qd",
+            "write IOPS",
+            "read IOPS",
+            "p99 read us",
+            "flushes",
+            "rejected",
+        ],
+    );
+    let mut run = |mode: DispatchMode, qd: usize| -> (f64, f64) {
+        let mut session =
+            PushdownSession::builder(YcsbMix::new(entries.clone(), OpMix::paper_tokudb(), 0x3117))
+                .dispatch(mode)
+                .queue_depth(qd)
+                .seed(0x3117)
+                .build()
+                .expect("session");
+        let (report, stats) = session.run_uring(2, 16, duration);
+        assert_eq!(
+            stats.mismatches, 0,
+            "reads stay correct under the write storm"
+        );
+        assert_eq!(stats.errors, 0);
+        let secs = report.sim_time as f64 / 1e9;
+        let write_iops = report.device.writes as f64 / secs;
+        let read_iops = report.device.reads as f64 / secs;
+        t.row(vec![
+            mode.label().to_string(),
+            qd.to_string(),
+            iops(write_iops),
+            iops(read_iops),
+            us(report.read_latency.quantile(0.99) as f64),
+            report.device.flushes.to_string(),
+            report.device.rejected.to_string(),
+        ]);
+        (write_iops, report.read_latency.quantile(0.99) as f64)
+    };
+    for mode in DispatchMode::ALL {
+        let mut prev = 0.0;
+        for qd in [2usize, 8, 64] {
+            let (got, _) = run(mode, qd);
+            assert!(
+                got >= prev,
+                "{}: write IOPS must be monotone in queue depth (qd={qd}: {got:.0} after {prev:.0})",
+                mode.label()
+            );
+            prev = got;
+        }
+    }
+    t.note("write commands contend with reads for SQ slots; depth gates both");
+    t.note("every fsync is an ordered flush barrier committing the journal");
+    t
+}
+
 // --- §4 extent stability -------------------------------------------------------
 
 /// §4's TokuDB/YCSB measurement: how often do index-file extents change
@@ -505,7 +584,7 @@ pub fn lsm_stability(scale: Scale) -> Table {
     for _ in 0..ops {
         match gen.next_op() {
             Op::Read(k) => {
-                let _ = lsm.get(&fs, &mut store, k).expect("get");
+                let _ = lsm.get(&mut fs, &mut store, k).expect("get");
             }
             Op::Update(k) | Op::Insert(k) => {
                 lsm.put(&mut fs, &mut store, k, value(k)).expect("put");

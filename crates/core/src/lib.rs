@@ -38,23 +38,26 @@
 
 pub mod driver;
 pub mod env;
+pub mod lsm_io;
 pub mod progs;
 pub mod session;
 pub mod workloads;
 
 pub use bpfstor_kernel::{
-    ChainStatus, ChainToken, ChainVerdict, DispatchMode, ProgHandle, RunReport,
+    ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, ProgHandle, RunReport,
+    WriteStart,
 };
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
 pub use env::LookupHit;
 #[allow(deprecated)]
 pub use env::{BtreeEnv, StorageBpfBuilder};
+pub use lsm_io::MachineLsmIo;
 pub use progs::{
     btree_lookup_program, btree_lookup_program_with_stats, pointer_chase_program,
     scan_aggregate_program, sst_get_program, stats_slot, ScanResult,
 };
 pub use session::{
-    LookupOutcome, PushdownSession, PushdownWorkload, ReadSpec, SessionBuilder, SessionError,
-    SessionStats, Verdict,
+    LookupOutcome, OpSpec, PushdownSession, PushdownWorkload, ReadSpec, SessionBuilder,
+    SessionError, SessionStats, Verdict, WriteSpec,
 };
-pub use workloads::{Btree, Chase, Scan, Sst, CHASE_END, CHASE_PAYLOAD};
+pub use workloads::{Btree, Chase, MixRequest, Scan, Sst, YcsbMix, CHASE_END, CHASE_PAYLOAD};

@@ -1,0 +1,67 @@
+//! An [`LsmIo`] backend over the simulated kernel: LSM flush and
+//! compaction I/O issued through the machine's journaled write path.
+//!
+//! Every table write rides the per-queue-pair SQ/CQ rings as real
+//! `Write` commands (queueing delay, shared doorbells, coalesced
+//! interrupts), every flushed table is made durable by an fsync flush
+//! barrier that commits the journal, and compaction reads are timed
+//! one-hop read chains. Deleting a dead table propagates the unmap
+//! events to the NVMe-layer caches exactly like a scheduled mutation —
+//! which is what makes mid-run extent remaps visible to in-flight
+//! pushdown chains.
+
+use bpfstor_kernel::Machine;
+use bpfstor_lsm::{LsmError, LsmIo};
+
+/// Routes LSM table I/O through a [`Machine`]'s rings.
+pub struct MachineLsmIo<'a> {
+    machine: &'a mut Machine,
+}
+
+impl<'a> MachineLsmIo<'a> {
+    /// Wraps the machine.
+    pub fn new(machine: &'a mut Machine) -> Self {
+        MachineLsmIo { machine }
+    }
+}
+
+fn backend_err(e: bpfstor_kernel::KernelError) -> LsmError {
+    LsmError::Backend(e.to_string())
+}
+
+impl LsmIo for MachineLsmIo<'_> {
+    fn create(&mut self, name: &str) -> Result<u64, LsmError> {
+        let (fs, _) = self.machine.fs_and_store();
+        fs.create(name).map_err(LsmError::Fs)
+    }
+
+    fn unlink(&mut self, name: &str) -> Result<(), LsmError> {
+        self.machine.unlink_file(name).map_err(backend_err)
+    }
+
+    fn open(&mut self, name: &str) -> Result<u64, LsmError> {
+        self.machine.fs().open(name).map_err(LsmError::Fs)
+    }
+
+    fn file_size(&mut self, ino: u64) -> Result<u64, LsmError> {
+        self.machine.fs().file_size(ino).map_err(LsmError::Fs)
+    }
+
+    fn write(&mut self, ino: u64, off: u64, data: &[u8]) -> Result<(), LsmError> {
+        self.machine
+            .write_file(ino, off, data, false)
+            .map(|_| ())
+            .map_err(backend_err)
+    }
+
+    fn read(&mut self, ino: u64, off: u64, len: usize) -> Result<Vec<u8>, LsmError> {
+        self.machine.read_file(ino, off, len).map_err(backend_err)
+    }
+
+    fn sync(&mut self, ino: u64) -> Result<(), LsmError> {
+        self.machine
+            .write_file(ino, 0, &[], true)
+            .map(|_| ())
+            .map_err(backend_err)
+    }
+}

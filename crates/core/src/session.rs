@@ -25,8 +25,8 @@
 //! [`run_uring`]: PushdownSession::run_uring
 
 use bpfstor_kernel::{
-    ChainDriver, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd, KernelError,
-    Machine, MachineConfig, Mutation, ProgHandle, RunReport, UserNext,
+    ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    KernelError, Machine, MachineConfig, Mutation, ProgHandle, RunReport, UserNext, WriteStart,
 };
 use bpfstor_sim::{Nanos, SimRng, SECOND};
 use bpfstor_vm::Program;
@@ -79,6 +79,31 @@ pub struct ReadSpec {
     pub arg: u64,
 }
 
+/// A journaled write issued by a workload: the payload goes through the
+/// kernel's SQ/CQ rings as real `Write` commands, contending with reads
+/// for queue slots; `fsync` chases the data with an ordered flush
+/// barrier that commits the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteSpec {
+    /// Byte offset of the write.
+    pub file_off: u64,
+    /// The payload.
+    pub data: Vec<u8>,
+    /// Commit the journal with a flush barrier after the data CQEs.
+    pub fsync: bool,
+    /// Per-chain argument, echoed in the chain's [`ChainToken`].
+    pub arg: u64,
+}
+
+/// A request's opening operation, as described by a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpSpec {
+    /// A (possibly multi-hop) read chain.
+    Read(ReadSpec),
+    /// A journaled write through the rings.
+    Write(WriteSpec),
+}
+
 /// A workload's judgement of one decoded output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -124,6 +149,15 @@ pub trait PushdownWorkload {
     /// Translates a request into the chain's first read.
     fn first_read(&mut self, req: &Self::Request) -> ReadSpec;
 
+    /// Translates a request into its opening operation. Read-only
+    /// workloads keep the default (delegate to
+    /// [`PushdownWorkload::first_read`]); mixed read/write workloads
+    /// override this to route update/insert requests through the
+    /// journaled write path.
+    fn first_op(&mut self, req: &Self::Request) -> OpSpec {
+        OpSpec::Read(self.first_read(req))
+    }
+
     /// The next request of a closed-loop run, or `None` to stop the
     /// issuing thread. Drives [`PushdownSession::run_closed_loop`] /
     /// [`PushdownSession::run_uring`]; one-shot
@@ -165,6 +199,10 @@ pub trait PushdownWorkload {
 pub struct SessionStats {
     /// Chains that reached a terminal, non-retried outcome.
     pub completed: u64,
+    /// Write chains completed (payload delivered through the rings).
+    pub writes: u64,
+    /// Payload bytes written across completed write chains.
+    pub bytes_written: u64,
     /// Chains whose decoded output was a hit.
     pub hits: u64,
     /// Chains whose decoded output was a miss.
@@ -184,6 +222,8 @@ pub struct SessionStats {
 impl SessionStats {
     fn absorb(&mut self, other: &SessionStats) {
         self.completed += other.completed;
+        self.writes += other.writes;
+        self.bytes_written += other.bytes_written;
         self.hits += other.hits;
         self.misses += other.misses;
         self.mismatches += other.mismatches;
@@ -402,6 +442,41 @@ impl<W: PushdownWorkload> PushdownSession<W> {
         self.machine.rearm(self.fd)
     }
 
+    /// Writes `data` at `off` in the workload's file as a synchronous
+    /// journaled write through the SQ/CQ rings (advancing simulated
+    /// time); with `fsync` the journal commits behind an ordered flush
+    /// barrier. Returns `(latency, device commands)` of the chain.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures surface as [`SessionError::Kernel`].
+    pub fn write(
+        &mut self,
+        off: u64,
+        data: &[u8],
+        fsync: bool,
+    ) -> Result<(Nanos, u32), SessionError> {
+        let ino = self
+            .machine
+            .ino_of(self.fd)
+            .ok_or(SessionError::Kernel(KernelError::BadFd(self.fd)))?;
+        let outcome = self.machine.write_file(ino, off, data, fsync)?;
+        self.stats.completed += 1;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.total_ios += outcome.ios as u64;
+        Ok((outcome.latency, outcome.ios))
+    }
+
+    /// Commits the journal with a pure fsync (flush barrier, no data).
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures surface as [`SessionError::Kernel`].
+    pub fn fsync(&mut self) -> Result<(Nanos, u32), SessionError> {
+        self.write(0, &[], true)
+    }
+
     /// Performs one request end to end and decodes its output, retrying
     /// through extent invalidations up to the retry budget.
     ///
@@ -528,17 +603,25 @@ impl<W: PushdownWorkload> ChainDriver for SessionDriver<'_, W> {
         self.mode
     }
 
-    fn next_chain(&mut self, _thread: usize, rng: &mut SimRng) -> Option<ChainStart> {
+    fn next_op(&mut self, _thread: usize, rng: &mut SimRng) -> Option<ChainSpec> {
         let req = match &mut self.one_shot {
             Some(queue) => queue.pop()?,
             None => self.workload.next_request(rng)?,
         };
-        let spec = self.workload.first_read(&req);
-        Some(ChainStart {
-            fd: self.fd,
-            file_off: spec.file_off,
-            len: spec.len,
-            arg: spec.arg,
+        Some(match self.workload.first_op(&req) {
+            OpSpec::Read(spec) => ChainSpec::Read(ChainStart {
+                fd: self.fd,
+                file_off: spec.file_off,
+                len: spec.len,
+                arg: spec.arg,
+            }),
+            OpSpec::Write(w) => ChainSpec::Write(WriteStart {
+                fd: self.fd,
+                file_off: w.file_off,
+                data: w.data,
+                fsync: w.fsync,
+                arg: w.arg,
+            }),
         })
     }
 
@@ -564,6 +647,23 @@ impl<W: PushdownWorkload> ChainDriver for SessionDriver<'_, W> {
         self.stats.completed += 1;
         self.stats.total_ios += outcome.ios as u64;
         self.stats.rearm_retries += outcome.attempts as u64;
+        // Write chains carry no decodable output: count and return.
+        if let ChainStatus::Written(bytes) = outcome.status {
+            self.stats.writes += 1;
+            self.stats.bytes_written += bytes as u64;
+            if self.one_shot.is_some() {
+                self.last = Some(LastChain {
+                    token: outcome.token,
+                    status: outcome.status.clone(),
+                    output: None,
+                    mismatch: false,
+                    ios: outcome.ios,
+                    latency: outcome.latency,
+                    attempts: outcome.attempts,
+                });
+            }
+            return ChainVerdict::Done;
+        }
         let mut output = None;
         let mut mismatch = false;
         if outcome.status.is_ok() {

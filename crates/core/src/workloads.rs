@@ -19,12 +19,14 @@ use bpfstor_lsm::{data_block_entries, BLOCK};
 use bpfstor_sim::SimRng;
 use bpfstor_vm::Program;
 
+use bpfstor_workload::{KeyDist, Op, OpMix, YcsbGen};
+
 use crate::driver::{sst_native_step, value_of, KeyChoice, SstStage, SstWalk};
 use crate::progs::{
     btree_lookup_program, pointer_chase_program, scan_aggregate_program, sst_get_program,
     ScanResult,
 };
-use crate::session::{PushdownWorkload, ReadSpec, SessionError, Verdict};
+use crate::session::{OpSpec, PushdownWorkload, ReadSpec, SessionError, Verdict, WriteSpec};
 
 // --- B-tree -----------------------------------------------------------------
 
@@ -537,6 +539,232 @@ impl PushdownWorkload for Scan {
     fn release(&mut self, token: &ChainToken) {
         self.state.remove(&token.id);
         self.pending.remove(&token.id);
+    }
+}
+
+// --- YCSB mixed read/write --------------------------------------------------
+
+/// One request of the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixRequest {
+    /// Cold SSTable point get (pushdown-eligible read chain).
+    Get(u64),
+    /// Log-structured update/insert: append a value record to the write
+    /// log past the table image, as a journaled write through the rings.
+    Append {
+        /// Key being written.
+        key: u64,
+        /// Chase the data with an fsync barrier (journal commit).
+        fsync: bool,
+    },
+}
+
+/// An LSM-front-end-shaped YCSB mix over one SSTable: reads are cold
+/// pushdown gets against the immutable table (any dispatch mode),
+/// updates and inserts append fixed-size records to a write log at the
+/// end of the same file — journaled writes through the same per-queue
+/// SQ/CQ rings, so reads and writes contend for queue slots, doorbells,
+/// and interrupts. The table itself is never mutated (extent appends
+/// map new blocks without unmapping), so read snapshots stay valid and
+/// every read's correctness check still holds under the write storm.
+///
+/// [`OpMix::paper_tokudb`] (40r/40u/20i) reproduces the paper's TokuDB
+/// framing; [`OpMix::ycsb_a`]/[`OpMix::ycsb_b`] cover the standard
+/// mixed presets. Scans (absent from these mixes) fall back to gets.
+#[derive(Debug, Clone)]
+pub struct YcsbMix {
+    sst: Sst,
+    mix: OpMix,
+    seed: u64,
+    gen: Option<YcsbGen>,
+    /// Byte offset of the next log append (starts at the table image's
+    /// end; valid after the session built).
+    log_off: u64,
+    /// Bytes per appended record (rounded up to whole blocks on disk).
+    write_size: usize,
+    /// Every Nth write carries an fsync barrier (0 = never).
+    fsync_every: u32,
+    writes_issued: u64,
+    reads_issued: u64,
+    max_chains: u64,
+    issued: u64,
+}
+
+impl YcsbMix {
+    /// A mixed workload over `entries` (sorted, uniform value size) with
+    /// the given operation mix. Defaults: 512-byte log records, fsync
+    /// every 8th write, Zipfian(0.7) key popularity, unbounded chains.
+    pub fn new(entries: Vec<(u64, Vec<u8>)>, mix: OpMix, seed: u64) -> Self {
+        YcsbMix {
+            sst: Sst::new(entries, Vec::new()),
+            mix,
+            seed,
+            gen: None,
+            log_off: 0,
+            write_size: 512,
+            fsync_every: 8,
+            writes_issued: 0,
+            reads_issued: 0,
+            max_chains: u64::MAX,
+            issued: 0,
+        }
+    }
+
+    /// Stops closed-loop runs after this many chains.
+    pub fn max_chains(mut self, max: u64) -> Self {
+        self.max_chains = max;
+        self
+    }
+
+    /// Overrides the appended record size in bytes.
+    pub fn write_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "records need at least one byte");
+        self.write_size = bytes;
+        self
+    }
+
+    /// Overrides the fsync cadence (every Nth write; 0 disables).
+    pub fn fsync_every(mut self, n: u32) -> Self {
+        self.fsync_every = n;
+        self
+    }
+
+    /// Write chains issued so far.
+    pub fn writes_issued(&self) -> u64 {
+        self.writes_issued
+    }
+
+    /// Read chains issued so far.
+    pub fn reads_issued(&self) -> u64 {
+        self.reads_issued
+    }
+
+    fn nkeys(&self) -> u64 {
+        self.sst.entries.len() as u64
+    }
+
+    /// Maps a YCSB keyspace index to a probe key: resident indices hit
+    /// the table, indices minted by inserts probe past `max_key` (a
+    /// miss — the log is not indexed for reads).
+    fn probe_key(&self, idx: u64) -> u64 {
+        let n = self.nkeys();
+        if idx < n {
+            self.sst.entries[idx as usize].0
+        } else {
+            self.sst.entries[(n - 1) as usize].0 + 1 + (idx - n)
+        }
+    }
+
+    fn record_bytes(&self, key: u64) -> Vec<u8> {
+        let mut rec = vec![0u8; self.write_size];
+        let n = rec.len().min(8);
+        rec[..n].copy_from_slice(&key.to_le_bytes()[..n]);
+        rec
+    }
+}
+
+impl PushdownWorkload for YcsbMix {
+    type Request = MixRequest;
+    type Output = Vec<u8>;
+
+    fn name(&self) -> &str {
+        "ycsb_mix"
+    }
+
+    fn build_image(&mut self) -> Result<Vec<u8>, SessionError> {
+        let image = self.sst.build_image()?;
+        // The write log opens right after the table image; appends map
+        // fresh blocks (no unmaps), so read snapshots stay armed.
+        self.log_off = image.len() as u64;
+        Ok(image)
+    }
+
+    fn program(&self) -> Program {
+        self.sst.program()
+    }
+
+    fn first_read(&mut self, req: &MixRequest) -> ReadSpec {
+        match req {
+            MixRequest::Get(key) => self.sst.first_read(key),
+            MixRequest::Append { key, .. } => ReadSpec {
+                file_off: self.log_off,
+                len: self.write_size as u32,
+                arg: *key,
+            },
+        }
+    }
+
+    fn first_op(&mut self, req: &MixRequest) -> OpSpec {
+        match req {
+            MixRequest::Get(key) => OpSpec::Read(self.sst.first_read(key)),
+            MixRequest::Append { key, fsync } => {
+                let off = self.log_off;
+                let blocks = self.write_size.div_ceil(BLOCK) as u64;
+                self.log_off += blocks * BLOCK as u64;
+                OpSpec::Write(WriteSpec {
+                    file_off: off,
+                    data: self.record_bytes(*key),
+                    fsync: *fsync,
+                    arg: *key,
+                })
+            }
+        }
+    }
+
+    fn next_request(&mut self, _rng: &mut SimRng) -> Option<MixRequest> {
+        if self.issued >= self.max_chains {
+            return None;
+        }
+        self.issued += 1;
+        let (mix, seed, nkeys) = (self.mix, self.seed, self.nkeys());
+        let gen = self
+            .gen
+            .get_or_insert_with(|| YcsbGen::new(mix, KeyDist::zipfian(nkeys, 0.7), nkeys, seed));
+        let op = gen.next_op();
+        Some(match op {
+            Op::Read(k) | Op::Scan { key: k, .. } => {
+                self.reads_issued += 1;
+                MixRequest::Get(self.probe_key(k))
+            }
+            Op::Update(k) => {
+                self.writes_issued += 1;
+                let fsync = self.fsync_every != 0
+                    && self.writes_issued.is_multiple_of(self.fsync_every as u64);
+                MixRequest::Append {
+                    key: self.probe_key(k),
+                    fsync,
+                }
+            }
+            Op::Insert(k) => {
+                self.writes_issued += 1;
+                let fsync = self.fsync_every != 0
+                    && self.writes_issued.is_multiple_of(self.fsync_every as u64);
+                MixRequest::Append {
+                    key: self.probe_key(k),
+                    fsync,
+                }
+            }
+        })
+    }
+
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext {
+        self.sst.user_step(token, data)
+    }
+
+    fn decode(
+        &mut self,
+        token: &ChainToken,
+        status: &ChainStatus,
+    ) -> Result<Option<Vec<u8>>, SessionError> {
+        self.sst.decode(token, status)
+    }
+
+    fn check(&self, token: &ChainToken, out: Option<&Vec<u8>>) -> Verdict {
+        self.sst.check(token, out)
+    }
+
+    fn release(&mut self, token: &ChainToken) {
+        self.sst.release(token);
     }
 }
 

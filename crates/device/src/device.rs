@@ -82,6 +82,17 @@ pub struct NvmeCommand {
     pub op: NvmeOp,
 }
 
+/// The command class echoed in a completion (for per-class accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// A read command.
+    Read,
+    /// A write command.
+    Write,
+    /// A flush barrier.
+    Flush,
+}
+
 /// A completed command, stamped with its completion instant.
 #[derive(Debug, Clone)]
 pub struct NvmeCompletion {
@@ -89,6 +100,8 @@ pub struct NvmeCompletion {
     pub cid: u64,
     /// Queue pair the command was submitted on.
     pub qp: QueuePairId,
+    /// What class of command completed.
+    pub kind: CmdKind,
     /// Simulated time at which the command finishes on its channel (the
     /// earliest instant a CQE for it can be posted).
     pub complete_at: Nanos,
@@ -113,10 +126,15 @@ pub struct DeviceStats {
     pub rejected: u64,
     /// Doorbell rings observed.
     pub doorbells: u64,
+    /// Doorbell rings whose batch carried at least one write or flush
+    /// command (the write path's MMIO footprint).
+    pub write_doorbells: u64,
     /// Completion interrupts fired (reaps that returned ≥ 1 CQE).
     pub irqs: u64,
     /// Completion-queue entries reaped.
     pub cqes: u64,
+    /// Write/flush completion-queue entries reaped.
+    pub write_cqes: u64,
 }
 
 struct QueuePair {
@@ -247,6 +265,9 @@ impl NvmeDevice {
         let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
         let cmds = q.sq.drain_all();
         self.stats.doorbells += 1;
+        if cmds.iter().any(|c| !matches!(c.op, NvmeOp::Read { .. })) {
+            self.stats.write_doorbells += 1;
+        }
         let mut done = Vec::with_capacity(cmds.len());
         for cmd in cmds {
             done.push(self.service(now, qp, cmd));
@@ -295,6 +316,10 @@ impl NvmeDevice {
         if !out.is_empty() {
             self.stats.irqs += 1;
             self.stats.cqes += out.len() as u64;
+            self.stats.write_cqes += out
+                .iter()
+                .filter(|c| !matches!(c.kind, CmdKind::Read))
+                .count() as u64;
         }
         out
     }
@@ -313,17 +338,17 @@ impl NvmeDevice {
             }
         }
         let start = self.channels[ch].max(now);
-        let (dur, data) = match &cmd.op {
+        let (kind, dur, data) = match &cmd.op {
             NvmeOp::Read { slba, nlb } => {
                 self.stats.reads += 1;
                 let d = self.profile.read_latency.sample(&mut self.rng);
-                (d, self.store.read(*slba, *nlb))
+                (CmdKind::Read, d, self.store.read(*slba, *nlb))
             }
             NvmeOp::Write { slba, data } => {
                 self.stats.writes += 1;
                 let d = self.profile.write_latency.sample(&mut self.rng);
                 self.store.write(*slba, data);
-                (d, Vec::new())
+                (CmdKind::Write, d, Vec::new())
             }
             NvmeOp::Flush => {
                 self.stats.flushes += 1;
@@ -338,6 +363,7 @@ impl NvmeDevice {
                 return NvmeCompletion {
                     cid: cmd.cid,
                     qp,
+                    kind: CmdKind::Flush,
                     complete_at: end,
                     data: Vec::new(),
                     channel: ch,
@@ -350,6 +376,7 @@ impl NvmeDevice {
         NvmeCompletion {
             cid: cmd.cid,
             qp,
+            kind,
             complete_at: end,
             data,
             channel: ch,

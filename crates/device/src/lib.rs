@@ -26,7 +26,7 @@ pub mod ring;
 pub mod store;
 
 pub use device::{
-    DeviceStats, NvmeCommand, NvmeCompletion, NvmeDevice, NvmeOp, QueueError, QueuePairId,
+    CmdKind, DeviceStats, NvmeCommand, NvmeCompletion, NvmeDevice, NvmeOp, QueueError, QueuePairId,
 };
 pub use profile::{DeviceClass, DeviceProfile};
 pub use ring::Ring;

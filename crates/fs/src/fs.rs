@@ -214,12 +214,15 @@ impl ExtFs {
 
     /// Writes `data` at byte offset `off`, allocating blocks as needed.
     /// In-place overwrites do **not** change extents; only fresh
-    /// allocations do.
+    /// allocations do. The `MapExtent`/`SetSize` records are one
+    /// journal transaction: a crash replay sees either the whole write's
+    /// metadata or none of it, never a size without its extents.
     ///
     /// # Errors
     ///
     /// [`FsError::NoSpace`] if allocation fails mid-write (already-
-    /// written bytes stay written, as on a real FS).
+    /// written bytes stay written, as on a real FS; the journal
+    /// transaction still commits the allocations that succeeded).
     pub fn write(
         &mut self,
         ino: u64,
@@ -231,16 +234,27 @@ impl ExtFs {
             return Ok(());
         }
         self.inode(ino)?;
+        // Joins an already-open transaction (runtime writes awaiting an
+        // fsync barrier) instead of committing it early.
+        let nested = self.journal.in_transaction();
+        self.journal.begin();
         let bs = BLOCK_SIZE as u64;
         let mut pos = off;
         let mut remaining = data;
+        let mut failure = None;
         while !remaining.is_empty() {
             let lb = pos / bs;
             let in_block = (pos % bs) as usize;
             let chunk = remaining.len().min(BLOCK_SIZE - in_block);
             let phys = match self.inode(ino)?.extents.lookup(lb) {
                 Some((p, _)) => p,
-                None => self.allocate_block(ino, lb, store)?,
+                None => match self.allocate_block(ino, lb, store) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                },
             };
             if in_block == 0 && chunk == BLOCK_SIZE {
                 store.write(phys, &remaining[..BLOCK_SIZE]);
@@ -259,7 +273,70 @@ impl ExtFs {
             let size = inode.size;
             self.journal.log(JournalRecord::SetSize { ino, size });
         }
-        Ok(())
+        if !nested {
+            self.journal.commit();
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Plans a *runtime* write for device submission: performs the
+    /// metadata half — block allocation, journal records, size update —
+    /// and returns the physical segments, leaving the data transfer to
+    /// the caller (the simulated kernel routes it through the NVMe
+    /// submission rings as real `Write` commands).
+    ///
+    /// The journal transaction is left **open**: the records become
+    /// crash-durable only when [`ExtFs::commit_journal`] runs, which the
+    /// kernel calls when the fsync flush barrier completes on the device
+    /// — ext4's ordered-mode contract.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] when allocation fails (segments planned so
+    /// far are returned in the open transaction, as on a real FS).
+    pub fn plan_write(
+        &mut self,
+        ino: u64,
+        off: u64,
+        len: usize,
+        store: &mut SectorStore,
+    ) -> Result<Vec<(u64, u64)>, FsError> {
+        self.inode(ino)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        self.journal.begin();
+        let bs = BLOCK_SIZE as u64;
+        let first_lb = off / bs;
+        let last_lb = (off + len as u64 - 1) / bs;
+        let mut segments: Vec<(u64, u64)> = Vec::new();
+        for lb in first_lb..=last_lb {
+            let phys = match self.inode(ino)?.extents.lookup(lb) {
+                Some((p, _)) => p,
+                None => self.allocate_block(ino, lb, store)?,
+            };
+            match segments.last_mut() {
+                Some((start, n)) if *start + *n == phys => *n += 1,
+                _ => segments.push((phys, 1)),
+            }
+        }
+        let end = off + len as u64;
+        let inode = self.inode_mut(ino)?;
+        if end > inode.size {
+            inode.size = end;
+            self.journal.log(JournalRecord::SetSize { ino, size: end });
+        }
+        Ok(segments)
+    }
+
+    /// Commits the open journal transaction (the kernel calls this when
+    /// the fsync flush barrier completes on the device). A no-op when
+    /// nothing is pending.
+    pub fn commit_journal(&mut self) {
+        self.journal.commit();
     }
 
     /// Reads `len` bytes at offset `off` (zero-filled over holes; short
@@ -350,13 +427,33 @@ impl ExtFs {
             Some((p, _)) => p + 1,
             None => 0,
         };
+        let nested = self.journal.in_transaction();
+        self.journal.begin();
+        // Mid-allocation failure must still commit what was logged (the
+        // blocks allocated so far stay allocated, as in `write`) — an
+        // early return would leave the transaction open and silently
+        // disable durability for every later operation.
+        let mut failure = None;
         while left > 0 {
             if self.inode(ino)?.extents.lookup(lb).is_some() {
                 lb += 1;
                 left -= 1;
                 continue;
             }
-            let run = self.alloc.alloc(left, goal).ok_or(FsError::NoSpace)?;
+            // Allocate at most up to the next already-mapped block, so a
+            // run never overlaps an extent further into the gap.
+            let gap = self
+                .inode(ino)?
+                .extents
+                .iter()
+                .map(|e| e.logical)
+                .filter(|&l| l > lb)
+                .min()
+                .map_or(left, |next| left.min(next - lb));
+            let Some(run) = self.alloc.alloc(gap, goal) else {
+                failure = Some(FsError::NoSpace);
+                break;
+            };
             store.discard(run.start, run.len as u32);
             let extent = Extent {
                 logical: lb,
@@ -375,9 +472,24 @@ impl ExtFs {
             left -= run.len;
             goal = run.start + run.len;
         }
-        let inode = self.inode_mut(ino)?;
-        inode.size = inode.size.max((lb_start + blocks) * BLOCK_SIZE as u64);
-        Ok(created)
+        if failure.is_none() {
+            let inode = self.inode_mut(ino)?;
+            let new_size = inode.size.max((lb_start + blocks) * BLOCK_SIZE as u64);
+            if new_size > inode.size {
+                inode.size = new_size;
+                self.journal.log(JournalRecord::SetSize {
+                    ino,
+                    size: new_size,
+                });
+            }
+        }
+        if !nested {
+            self.journal.commit();
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(created),
+        }
     }
 
     /// Truncates the file to `new_size` bytes, unmapping whole blocks
@@ -390,10 +502,20 @@ impl ExtFs {
         store: &mut SectorStore,
     ) -> Result<(), FsError> {
         let bs = BLOCK_SIZE as u64;
-        self.truncate_blocks(ino, new_size.div_ceil(bs))?;
+        let nested = self.journal.in_transaction();
+        self.journal.begin();
+        if let Err(e) = self.truncate_blocks(ino, new_size.div_ceil(bs)) {
+            // Close the transaction before surfacing the failure — an
+            // open txn would swallow every later implicit commit.
+            if !nested {
+                self.journal.commit();
+            }
+            return Err(e);
+        }
         let inode = self.inode_mut(ino)?;
         let shrunk = new_size < inode.size;
         inode.size = inode.size.min(new_size);
+        let final_size = inode.size;
         if shrunk && !new_size.is_multiple_of(bs) {
             if let Some((phys, _)) = self.inode(ino)?.extents.lookup(new_size / bs) {
                 let keep = (new_size % bs) as usize;
@@ -402,10 +524,15 @@ impl ExtFs {
                 store.write(phys, &buf);
             }
         }
+        // Journal the size the inode actually ends at (truncate never
+        // extends here), so replay converges with the live state.
         self.journal.log(JournalRecord::SetSize {
             ino,
-            size: new_size,
+            size: final_size,
         });
+        if !nested {
+            self.journal.commit();
+        }
         Ok(())
     }
 
@@ -531,6 +658,19 @@ impl ExtFs {
     /// metadata plane. Returns the recovered file system.
     pub fn crash_and_recover(mut self, nblocks: u64) -> ExtFs {
         self.journal.crash();
+        let mut fresh = ExtFs::mkfs(nblocks);
+        for rec in self.journal.committed_records() {
+            fresh.apply(rec);
+        }
+        fresh
+    }
+
+    /// Simulates a crash after exactly `persisted` journal records
+    /// reached the log (see [`crate::Journal::crash_at`]) and replays
+    /// into a fresh metadata plane: the recovered state is some prefix
+    /// of committed transactions, never a torn one.
+    pub fn crash_and_recover_at(mut self, nblocks: u64, persisted: usize) -> ExtFs {
+        self.journal.crash_at(persisted);
         let mut fresh = ExtFs::mkfs(nblocks);
         for rec in self.journal.committed_records() {
             fresh.apply(rec);
@@ -752,6 +892,39 @@ mod tests {
             .write(ino, 0, &vec![0u8; BLOCK_SIZE * 8], &mut store)
             .unwrap_err();
         assert_eq!(err, FsError::NoSpace);
+    }
+
+    #[test]
+    fn failed_ops_do_not_wedge_the_journal_open() {
+        // Regression: an error path that returned after begin() without
+        // commit() left the transaction open forever, silently making
+        // every later metadata op non-durable.
+        let mut fs = ExtFs::mkfs(4);
+        let mut store = SectorStore::new();
+        let ino = fs.create("f").expect("create");
+        assert_eq!(
+            fs.fallocate(ino, 0, 100, &mut store).unwrap_err(),
+            FsError::NoSpace
+        );
+        assert!(!fs.journal().in_transaction(), "fallocate failure commits");
+        assert_eq!(
+            fs.write(ino, 0, &vec![1u8; BLOCK_SIZE * 8], &mut store)
+                .unwrap_err(),
+            FsError::NoSpace
+        );
+        assert!(!fs.journal().in_transaction(), "write failure commits");
+        assert_eq!(
+            fs.truncate(99, 0, &mut store).unwrap_err(),
+            FsError::BadInode(99)
+        );
+        assert!(!fs.journal().in_transaction(), "truncate failure commits");
+        // Later single-op durability still works.
+        fs.create("g").expect("create");
+        assert_eq!(
+            fs.journal().len(),
+            fs.journal().committed_records().len(),
+            "implicit commits function again"
+        );
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct Journal {
     records: Vec<JournalRecord>,
     /// Records up to this index are committed (crash-durable).
     committed: usize,
+    /// Record count after each committed transaction, ascending — the
+    /// on-disk commit-block positions a crash can land between.
+    commit_points: Vec<usize>,
     /// Open-transaction flag.
     in_txn: bool,
     txns: u64,
@@ -68,9 +71,17 @@ impl Journal {
     }
 
     /// Opens a transaction; records appended before [`Journal::commit`]
-    /// are lost on a simulated crash.
+    /// are lost on a simulated crash. Calling `begin` while a
+    /// transaction is already open joins it (nested metadata updates
+    /// commit together, as in jbd2 handle nesting).
     pub fn begin(&mut self) {
         self.in_txn = true;
+    }
+
+    /// True while a transaction is open (records logged now are not yet
+    /// crash-durable).
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
     }
 
     /// Appends a record to the open transaction (or as an implicit
@@ -80,6 +91,7 @@ impl Journal {
         self.records.push(rec);
         if implicit {
             self.committed = self.records.len();
+            self.commit_points.push(self.committed);
             self.txns += 1;
         }
     }
@@ -87,14 +99,40 @@ impl Journal {
     /// Commits the open transaction.
     pub fn commit(&mut self) {
         self.in_txn = false;
-        self.committed = self.records.len();
-        self.txns += 1;
+        if self.records.len() > self.committed {
+            self.committed = self.records.len();
+            self.commit_points.push(self.committed);
+            self.txns += 1;
+        }
     }
 
     /// Simulates a crash: uncommitted records vanish.
     pub fn crash(&mut self) {
         self.records.truncate(self.committed);
         self.in_txn = false;
+    }
+
+    /// Simulates a crash after exactly `persisted` records reached the
+    /// log: everything past the last commit block at or before that
+    /// point vanishes — a torn transaction is discarded whole, never
+    /// half-applied.
+    pub fn crash_at(&mut self, persisted: usize) {
+        let durable = self
+            .commit_points
+            .iter()
+            .rev()
+            .find(|&&p| p <= persisted)
+            .copied()
+            .unwrap_or(0);
+        self.records.truncate(durable);
+        self.committed = durable;
+        self.commit_points.retain(|&p| p <= durable);
+        self.in_txn = false;
+    }
+
+    /// Record counts at each committed transaction boundary, ascending.
+    pub fn commit_points(&self) -> &[usize] {
+        &self.commit_points
     }
 
     /// Committed records, oldest first (the replay input).
@@ -155,6 +193,44 @@ mod tests {
         j.crash();
         assert_eq!(j.committed_records().len(), 1);
         assert_eq!(j.len(), 1, "uncommitted record physically dropped");
+    }
+
+    #[test]
+    fn crash_at_discards_torn_transactions_whole() {
+        let mut j = Journal::new();
+        j.log(rec(1)); // txn 1: one record
+        j.begin();
+        j.log(rec(2));
+        j.log(rec(3));
+        j.commit(); // txn 2: two records
+        assert_eq!(j.commit_points(), &[1, 3]);
+        // A crash after only the first record of txn 2 hit the log must
+        // roll back to txn 1 — never expose rec(2) without rec(3).
+        j.crash_at(2);
+        assert_eq!(j.committed_records().len(), 1);
+        assert_eq!(j.commit_points(), &[1]);
+    }
+
+    #[test]
+    fn crash_at_keeps_fully_persisted_transactions() {
+        let mut j = Journal::new();
+        j.begin();
+        j.log(rec(1));
+        j.log(rec(2));
+        j.commit();
+        j.crash_at(2);
+        assert_eq!(j.committed_records().len(), 2);
+        j.crash_at(0);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn empty_commit_is_not_a_transaction() {
+        let mut j = Journal::new();
+        j.begin();
+        j.commit();
+        assert_eq!(j.transactions(), 0);
+        assert!(j.commit_points().is_empty());
     }
 
     #[test]

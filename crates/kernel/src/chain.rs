@@ -112,6 +112,39 @@ pub struct ChainStart {
     pub arg: u64,
 }
 
+/// A journaled write issued as a chain: the payload goes to the device
+/// as real `Write` commands through the submission rings (paying
+/// queueing delay, doorbells, and interrupts like any read), and an
+/// optional fsync commits the journal with an ordered flush barrier
+/// *after* the data CQEs return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteStart {
+    /// Target file descriptor.
+    pub fd: Fd,
+    /// Byte offset of the write.
+    pub file_off: u64,
+    /// The payload. Empty with `fsync: true` is a pure fsync (flush
+    /// barrier + journal commit, no data write).
+    pub data: Vec<u8>,
+    /// Commit the journal with a device flush once the data is on the
+    /// rings' completion side (ext4 ordered-mode semantics). Without it
+    /// the metadata stays in the open journal transaction — durable
+    /// only at the next fsync, lost on a crash before it.
+    pub fsync: bool,
+    /// Per-chain argument, echoed in the chain's [`ChainToken`].
+    pub arg: u64,
+}
+
+/// The opening operation of a new chain: a (possibly multi-hop) read, or
+/// a journaled write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainSpec {
+    /// A read chain (the paper's dependent-I/O traversal).
+    Read(ChainStart),
+    /// A journaled write through the same SQ/CQ rings.
+    Write(WriteStart),
+}
+
 /// The application's decision after a hop in [`DispatchMode::User`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UserNext {
@@ -154,6 +187,10 @@ pub enum ChainStatus {
     /// The program trapped or returned an inconsistent action; the chain
     /// was aborted.
     VmError(String),
+    /// A write chain completed: this many payload bytes reached the
+    /// device through the rings (journal committed iff the chain carried
+    /// an fsync).
+    Written(u32),
     /// I/O error (unmapped offset, device error).
     IoError,
 }
@@ -163,7 +200,10 @@ impl ChainStatus {
     pub fn is_ok(&self) -> bool {
         matches!(
             self,
-            ChainStatus::Pass(_) | ChainStatus::Emitted(_) | ChainStatus::Halted
+            ChainStatus::Pass(_)
+                | ChainStatus::Emitted(_)
+                | ChainStatus::Halted
+                | ChainStatus::Written(_)
         )
     }
 
@@ -224,8 +264,20 @@ pub trait ChainDriver {
     /// Dispatch mode for this run.
     fn mode(&self) -> DispatchMode;
 
-    /// The next chain for `thread`, or `None` to stop that thread.
-    fn next_chain(&mut self, thread: usize, rng: &mut SimRng) -> Option<ChainStart>;
+    /// The next read chain for `thread`, or `None` to stop that thread.
+    /// Read-only drivers implement this; mixed read/write drivers
+    /// override [`ChainDriver::next_op`] instead.
+    fn next_chain(&mut self, _thread: usize, _rng: &mut SimRng) -> Option<ChainStart> {
+        None
+    }
+
+    /// The next operation for `thread` — a read chain or a journaled
+    /// write — or `None` to stop that thread. The default delegates to
+    /// [`ChainDriver::next_chain`], so read-only drivers need not
+    /// implement it.
+    fn next_op(&mut self, thread: usize, rng: &mut SimRng) -> Option<ChainSpec> {
+        self.next_chain(thread, rng).map(ChainSpec::Read)
+    }
 
     /// User-mode only: one application step over a completed block.
     /// `token` identifies the chain, so drivers can keep per-chain state
@@ -257,8 +309,13 @@ pub struct RunReport {
     pub iops: f64,
     /// Chains (application-level lookups) per second.
     pub chains_per_sec: f64,
-    /// Chain latency distribution.
+    /// Chain latency distribution (reads and writes together).
     pub latency: Histogram,
+    /// Latency distribution of read chains only.
+    pub read_latency: Histogram,
+    /// Latency distribution of write chains only (data write through
+    /// the rings, plus the flush barrier when fsynced).
+    pub write_latency: Histogram,
     /// CPU utilization over the run.
     pub cpu_util: f64,
     /// Device channel utilization over the run.

@@ -70,6 +70,21 @@ pub struct LayerCosts {
     pub uring_cqe: Nanos,
     /// Page-cache hit service cost (buffered reads only).
     pub pagecache_hit: Nanos,
+    /// File-system submission half of a `write` syscall *excluding* the
+    /// journal record append: block allocation, extent-tree insert,
+    /// size update. Carved out of Table 1's ext4 submit row so
+    /// `wr_fs_submit + journal_log == fs_submit` — the per-I/O ext4
+    /// total is unchanged, but the journal share is visible in its own
+    /// trace bucket (the same carve PR 2 applied to the driver row's
+    /// doorbell and interrupt entry).
+    pub wr_fs_submit: Nanos,
+    /// Appending the write's metadata records to the running journal
+    /// transaction (jbd2 handle work). Charged per write submission.
+    pub journal_log: Nanos,
+    /// Building and issuing the journal commit record at fsync. The
+    /// flush barrier itself is a device command through the rings; this
+    /// is only the CPU half.
+    pub journal_commit: Nanos,
 }
 
 impl Default for LayerCosts {
@@ -94,6 +109,9 @@ impl Default for LayerCosts {
             uring_sqe: 160,
             uring_cqe: 70,
             pagecache_hit: 250,
+            wr_fs_submit: 1269,
+            journal_log: 135,
+            journal_commit: 250,
         }
     }
 }
@@ -144,6 +162,26 @@ impl LayerCosts {
     pub fn bpf_exec(&self, insns: u64) -> Nanos {
         self.bpf_base + self.bpf_per_insn * insns
     }
+
+    /// The submission-side CPU burst of a synchronous `write`, up to
+    /// (but excluding) the doorbell ring: the ext4 half is split into
+    /// allocation/extent work and the journal record append, summing to
+    /// the same Table 1 ext4 submit share as a read.
+    pub fn sync_write_submit(&self) -> Nanos {
+        self.crossing_enter
+            + self.syscall
+            + self.wr_fs_submit
+            + self.journal_log
+            + self.bio_submit
+            + self.drv_submit
+    }
+
+    /// The completion-side CPU burst of a synchronous `write` (identical
+    /// layer walk to a read completion; the journal commit at fsync is
+    /// charged separately via [`LayerCosts::journal_commit`]).
+    pub fn sync_write_complete(&self) -> Nanos {
+        self.sync_complete()
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +214,17 @@ mod tests {
             c.sync_submit() + c.doorbell + c.irq_entry + c.sync_complete(),
             c.software_total()
         );
+    }
+
+    #[test]
+    fn write_submit_carve_preserves_ext4_total() {
+        // The write path splits the ext4 submit row into allocation +
+        // journal append without changing the per-I/O total: the
+        // synchronous write burst equals the read burst.
+        let c = LayerCosts::default();
+        assert_eq!(c.wr_fs_submit + c.journal_log, c.fs_submit);
+        assert_eq!(c.sync_write_submit(), c.sync_submit());
+        assert_eq!(c.sync_write_complete(), c.sync_complete());
     }
 
     #[test]

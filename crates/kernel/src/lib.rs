@@ -27,8 +27,8 @@ pub mod machine;
 pub mod trace;
 
 pub use chain::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
-    ProgHandle, RunReport, UserNext,
+    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict,
+    DispatchMode, Fd, ProgHandle, RunReport, UserNext, WriteStart,
 };
 pub use costs::LayerCosts;
 pub use extcache::{ExtCacheStats, ExtentCache};

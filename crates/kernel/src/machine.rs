@@ -45,8 +45,8 @@ use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
 use bpfstor_vm::{action, verify, ExecEnv, MapSet, Program, RunCtx, Vm, EMIT_MAX, SCRATCH_SIZE};
 
 use crate::chain::{
-    ChainDriver, ChainOutcome, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd, ProgHandle,
-    RunReport, UserNext,
+    ChainDriver, ChainOutcome, ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
+    ProgHandle, RunReport, UserNext, WriteStart,
 };
 use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
@@ -205,10 +205,27 @@ enum Origin {
     Uring,
 }
 
+/// What the op is doing on the device right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// A read chain (may hop).
+    Read,
+    /// A journaled write's data phase: payload `Write` commands are on
+    /// the rings (or parked on backpressure).
+    WriteData {
+        /// Chase the data CQEs with a flush barrier + journal commit.
+        fsync: bool,
+    },
+    /// The fsync flush barrier is on the rings; its CQE commits the
+    /// journal transaction.
+    WriteFlush,
+}
+
 struct Op {
     thread: usize,
     fd: Fd,
     ino: u64,
+    kind: OpKind,
     mode: DispatchMode,
     origin: Origin,
     token: ChainToken,
@@ -243,6 +260,14 @@ struct Op {
     /// Whether the current device request is a recycled hop (bypasses
     /// the page cache entirely).
     recycled: bool,
+    /// A write chain's payload before submission planning.
+    wr_data: Vec<u8>,
+    /// Planned write segments `(physical block, payload)`, built once at
+    /// first submission and preserved across backpressure parking.
+    wr_segments: Option<Vec<(u64, Vec<u8>)>>,
+    /// Logical block range of the write (page-cache coherence).
+    wr_lb: u64,
+    wr_nblocks: u64,
 }
 
 /// A chain queued for re-issue after a rearm-retry verdict.
@@ -349,6 +374,8 @@ pub struct Machine {
     resubmit_bound: u32,
     trace: LayerTrace,
     latency: Histogram,
+    lat_read: Histogram,
+    lat_write: Histogram,
     chains: u64,
     ios: u64,
     errors: u64,
@@ -394,6 +421,8 @@ impl Machine {
             resubmit_bound: cfg.resubmit_bound,
             trace: LayerTrace::default(),
             latency: Histogram::new(),
+            lat_read: Histogram::new(),
+            lat_write: Histogram::new(),
             chains: 0,
             ios: 0,
             errors: 0,
@@ -621,6 +650,173 @@ impl Machine {
         self.device.stats()
     }
 
+    // --- Synchronous file I/O through the rings ------------------------------
+
+    /// Writes `data` at `off` in `ino` as a synchronous journaled write
+    /// through the SQ/CQ rings, blocking (in simulated time) until the
+    /// chain delivers. With `fsync`, an ordered flush barrier commits
+    /// the journal after the data CQEs; `data` may be empty with
+    /// `fsync: true` for a pure fsync. This is the path LSM flush and
+    /// compaction I/O ride — it advances [`Machine::now`] and shares
+    /// queue slots, doorbells, and interrupts with any later run.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Fs`] on metadata failures surfaced as a failed
+    /// chain.
+    pub fn write_file(
+        &mut self,
+        ino: u64,
+        off: u64,
+        data: &[u8],
+        fsync: bool,
+    ) -> Result<ChainOutcome, KernelError> {
+        let fd = self.sync_fd(ino);
+        let spec = ChainSpec::Write(WriteStart {
+            fd,
+            file_off: off,
+            data: data.to_vec(),
+            fsync,
+            arg: 0,
+        });
+        let outcome = self.run_one_shot(spec)?;
+        match outcome.status {
+            ChainStatus::Written(_) => Ok(outcome),
+            ref other => Err(KernelError::Fs(format!("write failed: {other:?}"))),
+        }
+    }
+
+    /// Reads `len` bytes at `off` from `ino` as a synchronous one-hop
+    /// read chain through the rings (no program, User-path completion).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Fs`] on unmapped ranges / failed chains.
+    pub fn read_file(&mut self, ino: u64, off: u64, len: usize) -> Result<Vec<u8>, KernelError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let fd = self.sync_fd(ino);
+        // The device path reads whole blocks from the containing block
+        // boundary: size the request to cover the unaligned head too,
+        // then trim to the requested byte range.
+        let skip = (off % SECTOR_SIZE as u64) as usize;
+        let spec = ChainSpec::Read(crate::chain::ChainStart {
+            fd,
+            file_off: off - skip as u64,
+            len: (skip + len) as u32,
+            arg: 0,
+        });
+        let outcome = self.run_one_shot(spec)?;
+        match outcome.status {
+            ChainStatus::Pass(data) => {
+                let end = (skip + len).min(data.len());
+                Ok(data.get(skip..end).map(<[u8]>::to_vec).unwrap_or_default())
+            }
+            ref other => Err(KernelError::Fs(format!("read failed: {other:?}"))),
+        }
+    }
+
+    /// Control-plane unlink that also propagates the unmap events to the
+    /// NVMe-layer caches (extent snapshot, page cache), exactly like a
+    /// scheduled mutation would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn unlink_file(&mut self, name: &str) -> Result<(), KernelError> {
+        self.fs
+            .unlink(name)
+            .map_err(|e| KernelError::Fs(e.to_string()))?;
+        self.apply_fs_events();
+        Ok(())
+    }
+
+    fn apply_fs_events(&mut self) {
+        for ev in self.fs.take_events() {
+            if let ExtentEvent::Unmapped { ino, .. } = ev {
+                self.extcache.invalidate(ino);
+                self.aborting_inos.insert(ino);
+                self.pagecache.invalidate_inode(ino);
+            }
+        }
+    }
+
+    /// A reusable internal descriptor for by-inode synchronous I/O.
+    fn sync_fd(&mut self, ino: u64) -> Fd {
+        const SYNC_FD: Fd = u32::MAX;
+        self.fds.insert(
+            SYNC_FD,
+            FdState {
+                ino,
+                o_direct: true,
+            },
+        );
+        SYNC_FD
+    }
+
+    /// Drives one chain to completion outside a benchmark run: pushes
+    /// the app event and drains the event queue with a driver that
+    /// issues exactly this chain. Simulated time advances monotonically
+    /// across calls; counters reset at the next `run_*`.
+    fn run_one_shot(&mut self, spec: ChainSpec) -> Result<ChainOutcome, KernelError> {
+        struct OneShot {
+            spec: Option<ChainSpec>,
+            out: Option<ChainOutcome>,
+        }
+        impl ChainDriver for OneShot {
+            fn mode(&self) -> DispatchMode {
+                DispatchMode::User
+            }
+            fn next_op(&mut self, _thread: usize, _rng: &mut SimRng) -> Option<ChainSpec> {
+                self.spec.take()
+            }
+            fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
+                self.out = Some(outcome.clone());
+                ChainVerdict::Done
+            }
+        }
+        let saved_until = self.until;
+        self.until = Nanos::MAX;
+        if self.threads.is_empty() {
+            self.threads.push(ThreadState {
+                stopped: false,
+                uring: None,
+            });
+        } else {
+            self.threads[0].stopped = false;
+            self.threads[0].uring = None;
+        }
+        let mut d = OneShot {
+            spec: Some(spec),
+            out: None,
+        };
+        self.events.push(self.now, Ev::AppStart { thread: 0 });
+        // Drive only this chain to delivery — do NOT drain the whole
+        // queue, which may hold mutations scheduled for a future run.
+        // One-shot ops run between runs, so a queued event may predate
+        // the current clock (runs reset `now` to 0): clamp instead of
+        // asserting monotonicity.
+        while d.out.is_none() {
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
+            self.now = self.now.max(t);
+            self.dispatch_ev(ev, &mut d);
+        }
+        // Consume the op's own trailing bookkeeping (the AppStart pushed
+        // at delivery, any already-due timers) without touching events
+        // scheduled strictly in the future.
+        while self.events.peek_time().is_some_and(|t| t <= self.now) {
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = self.now.max(t);
+            self.dispatch_ev(ev, &mut d);
+        }
+        self.until = saved_until;
+        d.out
+            .ok_or_else(|| KernelError::Fs("one-shot chain never delivered".to_string()))
+    }
+
     // --- Charging helpers ---------------------------------------------------
 
     fn charge(&mut self, cost: Nanos) -> Nanos {
@@ -689,6 +885,8 @@ impl Machine {
         self.device.reset_timing();
         self.trace = LayerTrace::default();
         self.latency = Histogram::new();
+        self.lat_read = Histogram::new();
+        self.lat_write = Histogram::new();
         self.chains = 0;
         self.ios = 0;
         self.errors = 0;
@@ -722,6 +920,8 @@ impl Machine {
             iops: self.ios as f64 / secs,
             chains_per_sec: self.chains as f64 / secs,
             latency: self.latency.clone(),
+            read_latency: self.lat_read.clone(),
+            write_latency: self.lat_write.clone(),
             cpu_util: self.cores.utilization(sim_time),
             device_util: self.device.utilization(sim_time),
             device: self.device.stats(),
@@ -736,15 +936,19 @@ impl Machine {
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            match ev {
-                Ev::AppStart { thread } => self.on_app_start(thread, driver),
-                Ev::DevSubmit { op } => self.on_dev_submit(op),
-                Ev::CacheHit { op } => self.on_device_done(op, driver),
-                Ev::Doorbell { qp } => self.on_doorbell(qp),
-                Ev::IrqFire { qp } => self.on_irq_fire(qp, driver),
-                Ev::Delivered { op } => self.on_delivered(op, driver),
-                Ev::Mutate { idx } => self.on_mutate(idx),
-            }
+            self.dispatch_ev(ev, driver);
+        }
+    }
+
+    fn dispatch_ev(&mut self, ev: Ev, driver: &mut dyn ChainDriver) {
+        match ev {
+            Ev::AppStart { thread } => self.on_app_start(thread, driver),
+            Ev::DevSubmit { op } => self.on_dev_submit(op),
+            Ev::CacheHit { op } => self.on_device_done(op, driver),
+            Ev::Doorbell { qp } => self.on_doorbell(qp),
+            Ev::IrqFire { qp } => self.on_irq_fire(qp, driver),
+            Ev::Delivered { op } => self.on_delivered(op, driver),
+            Ev::Mutate { idx } => self.on_mutate(idx),
         }
     }
 
@@ -780,35 +984,36 @@ impl Machine {
             return;
         }
         let mut rng = self.rng.fork(thread as u64 * 7919 + self.chains);
-        let Some(start) = driver.next_chain(thread, &mut rng) else {
+        let Some(spec) = driver.next_op(thread, &mut rng) else {
             self.threads[thread].stopped = true;
             return;
         };
         let mode = driver.mode();
-        self.start_chain(
-            thread,
-            start.fd,
-            start.file_off,
-            start.len,
-            start.arg,
-            mode,
-            Origin::Sync,
-            0,
-        );
+        self.start_chain(thread, spec, mode, Origin::Sync, 0);
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn start_chain(
         &mut self,
         thread: usize,
-        fd: Fd,
-        file_off: u64,
-        len: u32,
-        arg: u64,
+        spec: ChainSpec,
         mode: DispatchMode,
         origin: Origin,
         attempts: u32,
     ) -> Option<usize> {
+        let (fd, file_off, len, arg, kind, wr_data) = match spec {
+            ChainSpec::Read(s) => (s.fd, s.file_off, s.len, s.arg, OpKind::Read, Vec::new()),
+            ChainSpec::Write(w) => {
+                let len = w.data.len() as u32;
+                (
+                    w.fd,
+                    w.file_off,
+                    len,
+                    w.arg,
+                    OpKind::WriteData { fsync: w.fsync },
+                    w.data,
+                )
+            }
+        };
         let st = self.fds.get(&fd).copied()?;
         let mut scratch = vec![0u8; SCRATCH_SIZE];
         scratch[..8].copy_from_slice(&arg.to_le_bytes());
@@ -822,6 +1027,7 @@ impl Machine {
             thread,
             fd,
             ino: st.ino,
+            kind,
             mode,
             origin,
             token,
@@ -844,14 +1050,25 @@ impl Machine {
             submitted_at: 0,
             phys_target: None,
             recycled: false,
+            wr_data,
+            wr_segments: None,
+            wr_lb: 0,
+            wr_nblocks: 0,
         };
         let id = self.alloc_op(op);
         if origin == Origin::Sync {
             // App think + full submission burst in one CPU job.
-            let cost = self.costs.app_think + self.costs.sync_submit();
+            let submit = match kind {
+                OpKind::Read => self.costs.sync_submit(),
+                _ => self.costs.sync_write_submit(),
+            };
+            let cost = self.costs.app_think + submit;
             let end = self.charge(cost);
             self.trace.app += self.costs.app_think;
-            self.account_submit_trace();
+            match kind {
+                OpKind::Read => self.account_submit_trace(),
+                _ => self.account_write_submit_trace(),
+            }
             self.events.push(end, Ev::DevSubmit { op: id });
         }
         Some(id)
@@ -861,6 +1078,15 @@ impl Machine {
         self.trace.crossing += self.costs.crossing_enter;
         self.trace.syscall += self.costs.syscall;
         self.trace.fs += self.costs.fs_submit;
+        self.trace.bio += self.costs.bio_submit;
+        self.trace.drv += self.costs.drv_submit;
+    }
+
+    fn account_write_submit_trace(&mut self) {
+        self.trace.crossing += self.costs.crossing_enter;
+        self.trace.syscall += self.costs.syscall;
+        self.trace.fs += self.costs.wr_fs_submit;
+        self.trace.journal += self.costs.journal_log;
         self.trace.bio += self.costs.bio_submit;
         self.trace.drv += self.costs.drv_submit;
     }
@@ -888,6 +1114,200 @@ impl Machine {
     /// healing. A queue pair at capacity parks the op until the next
     /// completion interrupt frees slots (EBUSY-style backpressure).
     fn on_dev_submit(&mut self, id: usize) {
+        let Some(op) = self.ops[id].as_ref() else {
+            return;
+        };
+        match op.kind {
+            OpKind::Read => self.submit_read(id),
+            OpKind::WriteData { fsync } => self.submit_write_data(id, fsync),
+            OpKind::WriteFlush => self.submit_write_flush(id),
+        }
+    }
+
+    /// Plans (on the first attempt) and submits a write chain's payload
+    /// as `Write` commands on the thread's queue pair: the file system
+    /// performs the metadata half (allocation, journal records, size)
+    /// and the data rides the same SQ/CQ rings as reads — paying
+    /// queueing delay, the shared doorbell, and the coalesced interrupt.
+    /// A full queue pair parks the op exactly like a read.
+    fn submit_write_data(&mut self, id: usize, fsync: bool) {
+        let op = self.ops[id].as_ref().expect("op");
+        let (ino, file_off, thread) = (op.ino, op.file_off, op.thread);
+        if op.wr_segments.is_none() {
+            // First attempt: metadata plan + payload assembly. The plan
+            // survives backpressure parking (no double allocation).
+            let len = op.wr_data.len();
+            if len == 0 {
+                // Pure fsync: skip straight to the flush barrier.
+                if fsync {
+                    let op = self.ops[id].as_mut().expect("op");
+                    op.kind = OpKind::WriteFlush;
+                    self.submit_write_flush(id);
+                } else {
+                    // Zero-byte write: nothing to do.
+                    let op = self.ops[id].as_mut().expect("op");
+                    op.status = Some(ChainStatus::Written(0));
+                    let end = self.charge(self.costs.sync_write_complete());
+                    self.account_complete_trace();
+                    self.events.push(end, Ev::Delivered { op: id });
+                }
+                return;
+            }
+            let plan = match self
+                .fs
+                .plan_write(ino, file_off, len, self.device.store_mut())
+            {
+                Ok(p) => p,
+                Err(_) => {
+                    self.fail_submit(id, ChainStatus::IoError, false);
+                    return;
+                }
+            };
+            // Assemble per-segment payloads, read-modify-writing the
+            // partial edge blocks from the current stored bytes.
+            let bs = SECTOR_SIZE as u64;
+            let first_lb = file_off / bs;
+            let last_lb = (file_off + len as u64 - 1) / bs;
+            let nblocks = last_lb - first_lb + 1;
+            let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(nblocks as usize);
+            {
+                let op = self.ops[id].as_ref().expect("op");
+                let mut pos = file_off;
+                let mut remaining = &op.wr_data[..];
+                let mut segs = plan.iter();
+                let mut cur: Option<(u64, u64)> = None; // (phys base, blocks left)
+                for lb in first_lb..=last_lb {
+                    let (base, left) = match cur {
+                        Some((b, l)) if l > 0 => (b, l),
+                        _ => {
+                            let &(b, l) = segs.next().expect("plan covers range");
+                            (b, l)
+                        }
+                    };
+                    let phys = base;
+                    cur = Some((base + 1, left - 1));
+                    let in_block = (pos % bs) as usize;
+                    let chunk = remaining.len().min(SECTOR_SIZE - in_block);
+                    let block = if in_block == 0 && chunk == SECTOR_SIZE {
+                        remaining[..SECTOR_SIZE].to_vec()
+                    } else {
+                        let mut buf = self.device.store_mut().read(phys, 1);
+                        buf[in_block..in_block + chunk].copy_from_slice(&remaining[..chunk]);
+                        buf
+                    };
+                    let _ = lb;
+                    blocks.push(block);
+                    pos += chunk as u64;
+                    remaining = &remaining[chunk..];
+                }
+            }
+            // Re-chunk the per-block payloads into the plan's physically
+            // contiguous segments (one SQE per segment, like the bio
+            // layer merging adjacent blocks).
+            let mut segments: Vec<(u64, Vec<u8>)> = Vec::with_capacity(plan.len());
+            let mut block_iter = blocks.into_iter();
+            for (phys, run) in &plan {
+                let mut payload = Vec::with_capacity(*run as usize * SECTOR_SIZE);
+                for _ in 0..*run {
+                    payload.extend_from_slice(&block_iter.next().expect("block per plan slot"));
+                }
+                segments.push((*phys, payload));
+            }
+            let op = self.ops[id].as_mut().expect("op");
+            op.wr_lb = first_lb;
+            op.wr_nblocks = nblocks;
+            op.wr_segments = Some(segments);
+            op.wr_data = Vec::new();
+        }
+        let nsegs = self.ops[id]
+            .as_ref()
+            .expect("op")
+            .wr_segments
+            .as_ref()
+            .expect("planned")
+            .len();
+        let qp = thread % self.device.nr_queues();
+        if nsegs > self.device.queue_capacity() {
+            self.fail_submit(id, ChainStatus::IoError, false);
+            return;
+        }
+        if !self.device.can_accept(qp, nsegs) {
+            self.device.record_rejection();
+            self.stalled[qp].push(id);
+            return;
+        }
+        // Extra bio/driver work for each split segment beyond the first.
+        let extra = (nsegs as u64 - 1) * (self.costs.bio_submit + self.costs.drv_submit);
+        if extra > 0 {
+            self.charge(extra);
+            self.trace.bio += extra;
+        }
+        let op = self.ops[id].as_mut().expect("op");
+        let segments = op.wr_segments.take().expect("planned");
+        op.segs_pending = segments.len() as u32;
+        op.seg_data = segments.iter().map(|_| None).collect();
+        op.submitted_at = self.now;
+        op.ios += segments.len() as u32;
+        self.trace.ios += segments.len() as u64;
+        self.trace.write_ios += segments.len() as u64;
+        for (seg, (phys, payload)) in segments.into_iter().enumerate() {
+            let cid = self.ios;
+            self.ios += 1;
+            self.cid_map.insert(cid, (id, seg));
+            self.device
+                .submit(
+                    qp,
+                    NvmeCommand {
+                        cid,
+                        op: NvmeOp::Write {
+                            slba: phys,
+                            data: payload,
+                        },
+                    },
+                )
+                .expect("capacity checked above");
+        }
+        if !self.doorbell_armed[qp] {
+            self.doorbell_armed[qp] = true;
+            self.events.push(self.now, Ev::Doorbell { qp });
+        }
+    }
+
+    /// Submits the fsync flush barrier; its CQE commits the journal.
+    fn submit_write_flush(&mut self, id: usize) {
+        let thread = self.ops[id].as_ref().expect("op").thread;
+        let qp = thread % self.device.nr_queues();
+        if !self.device.can_accept(qp, 1) {
+            self.device.record_rejection();
+            self.stalled[qp].push(id);
+            return;
+        }
+        let op = self.ops[id].as_mut().expect("op");
+        op.segs_pending = 1;
+        op.seg_data = vec![None];
+        op.submitted_at = self.now;
+        op.ios += 1;
+        self.trace.ios += 1;
+        self.trace.write_ios += 1;
+        let cid = self.ios;
+        self.ios += 1;
+        self.cid_map.insert(cid, (id, 0));
+        self.device
+            .submit(
+                qp,
+                NvmeCommand {
+                    cid,
+                    op: NvmeOp::Flush,
+                },
+            )
+            .expect("capacity checked above");
+        if !self.doorbell_armed[qp] {
+            self.doorbell_armed[qp] = true;
+            self.events.push(self.now, Ev::Doorbell { qp });
+        }
+    }
+
+    fn submit_read(&mut self, id: usize) {
         let Some(op) = self.ops[id].as_ref() else {
             return;
         };
@@ -1122,7 +1542,7 @@ impl Machine {
             data.extend_from_slice(&d.expect("all segments completed"));
         }
         op.data = data;
-        if !op.o_direct && !op.recycled {
+        if op.kind == OpKind::Read && !op.o_direct && !op.recycled {
             let ino = op.ino;
             let lb = op.file_off / SECTOR_SIZE as u64;
             let data = op.data.clone();
@@ -1137,6 +1557,11 @@ impl Machine {
         let Some(op_ref) = self.ops[id].as_ref() else {
             return;
         };
+        if op_ref.kind != OpKind::Read {
+            self.on_write_device_done(id);
+            let _ = driver;
+            return;
+        }
         // Mid-chain invalidation: discard recycled I/O (§4).
         if op_ref.mode == DispatchMode::DriverHook && self.aborting_inos.contains(&op_ref.ino) {
             let op = self.ops[id].as_mut().expect("op");
@@ -1165,6 +1590,48 @@ impl Machine {
         self.trace.bio += self.costs.bio_complete;
         self.trace.fs += self.costs.fs_complete;
         self.trace.crossing += self.costs.crossing_exit;
+    }
+
+    /// A write chain's device phase finished: either chase the data
+    /// CQEs with the fsync flush barrier (whose completion commits the
+    /// journal), or unwind the completion path and deliver.
+    fn on_write_device_done(&mut self, id: usize) {
+        let op = self.ops[id].as_mut().expect("op");
+        match op.kind {
+            OpKind::WriteData { fsync: true } => {
+                // Ordered journal commit: the commit record + flush
+                // barrier go to the device only after the data CQEs.
+                op.kind = OpKind::WriteFlush;
+                let cost = self.costs.journal_commit + self.costs.drv_submit;
+                let end = self.charge(cost);
+                self.trace.journal += self.costs.journal_commit;
+                self.trace.drv += self.costs.drv_submit;
+                self.events.push(end, Ev::DevSubmit { op: id });
+            }
+            OpKind::WriteFlush => {
+                // The barrier is durable: the journal transaction
+                // commits, then the completion path unwinds.
+                self.fs.commit_journal();
+                self.complete_write(id);
+            }
+            OpKind::WriteData { fsync: false } => self.complete_write(id),
+            OpKind::Read => unreachable!("read handled by on_device_done"),
+        }
+    }
+
+    fn complete_write(&mut self, id: usize) {
+        let op = self.ops[id].as_mut().expect("op");
+        op.status = Some(ChainStatus::Written(op.len));
+        let (ino, lb, nblocks) = (op.ino, op.wr_lb, op.wr_nblocks);
+        // Page-cache coherence: drop any cached copies of the written
+        // blocks so buffered readers refetch the new bytes.
+        for b in lb..lb + nblocks {
+            self.pagecache.invalidate((ino, b));
+        }
+        let cost = self.costs.sync_write_complete();
+        let end = self.charge(cost);
+        self.account_complete_trace();
+        self.events.push(end, Ev::Delivered { op: id });
     }
 
     /// Runs the installed program over the completed block; returns
@@ -1440,6 +1907,11 @@ impl Machine {
             self.errors += 1;
         }
         self.latency.record(outcome.latency);
+        let op = self.ops[id].as_ref().expect("op");
+        match op.kind {
+            OpKind::Read => self.lat_read.record(outcome.latency),
+            _ => self.lat_write.record(outcome.latency),
+        }
         self.free_op(id);
         match origin {
             Origin::Sync => {
@@ -1486,10 +1958,12 @@ impl Machine {
             Origin::Sync => {
                 self.start_chain(
                     thread,
-                    spec.fd,
-                    spec.file_off,
-                    spec.len,
-                    spec.arg,
+                    ChainSpec::Read(crate::chain::ChainStart {
+                        fd: spec.fd,
+                        file_off: spec.file_off,
+                        len: spec.len,
+                        arg: spec.arg,
+                    }),
                     mode,
                     Origin::Sync,
                     spec.attempts,
@@ -1548,6 +2022,7 @@ impl Machine {
         };
         let mode = driver.mode();
         let mut submitted: Vec<usize> = Vec::new();
+        let mut n_writes: u64 = 0;
         let mut app_work: Nanos = 0;
         for sub in queue {
             match sub {
@@ -1558,20 +2033,18 @@ impl Machine {
                     let stream = self.rng_streams;
                     self.rng_streams += 1;
                     let mut rng = self.rng.fork(thread as u64 * 6151 + stream);
-                    let Some(start) = driver.next_chain(thread, &mut rng) else {
+                    let Some(spec) = driver.next_op(thread, &mut rng) else {
                         continue;
                     };
+                    let is_write = matches!(spec, ChainSpec::Write(_));
                     app_work += self.costs.app_think;
-                    if let Some(id) = self.start_chain(
-                        thread,
-                        start.fd,
-                        start.file_off,
-                        start.len,
-                        start.arg,
-                        mode,
-                        Origin::Uring,
-                        0,
-                    ) {
+                    if let Some(id) = self.start_chain(thread, spec, mode, Origin::Uring, 0) {
+                        // Count the class only for accepted SQEs, or
+                        // `n_reads = submitted - n_writes` underflows
+                        // when a write spec names a bad fd.
+                        if is_write {
+                            n_writes += 1;
+                        }
                         submitted.push(id);
                     }
                 }
@@ -1583,10 +2056,12 @@ impl Machine {
                     app_work += self.costs.app_think;
                     if let Some(id) = self.start_chain(
                         thread,
-                        spec.fd,
-                        spec.file_off,
-                        spec.len,
-                        spec.arg,
+                        ChainSpec::Read(crate::chain::ChainStart {
+                            fd: spec.fd,
+                            file_off: spec.file_off,
+                            len: spec.len,
+                            arg: spec.arg,
+                        }),
                         mode,
                         Origin::Uring,
                         spec.attempts,
@@ -1601,7 +2076,10 @@ impl Machine {
             return;
         }
         // One crossing for the whole batch; per-SQE kernel work covers
-        // the uring + fs + bio + driver submission of each request.
+        // the uring + fs + bio + driver submission of each request. The
+        // ext4 share of a write SQE splits into allocation + journal
+        // append (same total as a read SQE).
+        let n_reads = submitted.len() as u64 - n_writes;
         let per_sqe = self.costs.uring_sqe
             + self.costs.fs_submit
             + self.costs.bio_submit
@@ -1614,7 +2092,8 @@ impl Machine {
         self.trace.crossing += self.costs.crossing_enter;
         self.trace.syscall +=
             (self.costs.uring_sqe + self.costs.uring_cqe) * submitted.len() as u64;
-        self.trace.fs += self.costs.fs_submit * submitted.len() as u64;
+        self.trace.fs += self.costs.fs_submit * n_reads + self.costs.wr_fs_submit * n_writes;
+        self.trace.journal += self.costs.journal_log * n_writes;
         self.trace.bio += self.costs.bio_submit * submitted.len() as u64;
         self.trace.drv += self.costs.drv_submit * submitted.len() as u64;
         let n = submitted.len() as u32;
@@ -1641,12 +2120,6 @@ impl Machine {
         }
         // The §4 invalidation hook: unmap events kill the NVMe-layer
         // snapshot and doom in-flight recycled I/Os on that inode.
-        for ev in self.fs.take_events() {
-            if let ExtentEvent::Unmapped { ino, .. } = ev {
-                self.extcache.invalidate(ino);
-                self.aborting_inos.insert(ino);
-                self.pagecache.invalidate_inode(ino);
-            }
-        }
+        self.apply_fs_events();
     }
 }

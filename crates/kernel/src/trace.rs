@@ -27,8 +27,13 @@ pub struct LayerTrace {
     pub bpf: Nanos,
     /// NVMe-layer extent-cache lookups.
     pub extent_cache: Nanos,
+    /// Journal work on the write path: record appends per write
+    /// submission plus the commit record built at fsync.
+    pub journal: Nanos,
     /// I/Os sampled.
     pub ios: u64,
+    /// Write/flush device commands among them.
+    pub write_ios: u64,
     /// Doorbell rings (each may cover a batch of SQEs).
     pub doorbells: u64,
     /// Completion interrupts fired (each may reap several CQEs).
@@ -46,6 +51,7 @@ impl LayerTrace {
             + self.app
             + self.bpf
             + self.extent_cache
+            + self.journal
     }
 
     /// Average nanoseconds per I/O for a bucket total.
@@ -67,6 +73,7 @@ impl LayerTrace {
             ("NVMe driver", self.drv),
             ("BPF exec", self.bpf),
             ("extent cache", self.extent_cache),
+            ("journal", self.journal),
             ("application", self.app),
             ("storage device", self.device),
         ]
@@ -89,10 +96,11 @@ mod tests {
             app: 5,
             bpf: 2,
             extent_cache: 1,
+            journal: 4,
             ios: 1,
             ..LayerTrace::default()
         };
-        assert_eq!(t.software(), 158);
+        assert_eq!(t.software(), 162);
     }
 
     #[test]
@@ -110,6 +118,6 @@ mod tests {
     #[test]
     fn rows_cover_all_buckets() {
         let t = LayerTrace::default();
-        assert_eq!(t.rows().len(), 9);
+        assert_eq!(t.rows().len(), 10);
     }
 }

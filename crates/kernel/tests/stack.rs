@@ -863,3 +863,429 @@ fn repeated_multiblock_buffered_reads_hit_the_page_cache() {
         "only the first multi-block read reaches the device"
     );
 }
+
+// --- The journaled write path through the rings ------------------------------
+
+/// Closed-loop driver issuing `writes` journaled writes of `len` bytes
+/// at successive offsets, every `fsync_every`-th one fsynced.
+struct WriteDriver {
+    fd: Fd,
+    len: usize,
+    writes: u64,
+    fsync_every: u64,
+    issued: u64,
+    outcomes: Vec<ChainOutcome>,
+}
+
+impl WriteDriver {
+    fn new(fd: Fd, len: usize, writes: u64, fsync_every: u64) -> Self {
+        WriteDriver {
+            fd,
+            len,
+            writes,
+            fsync_every,
+            issued: 0,
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+impl ChainDriver for WriteDriver {
+    fn mode(&self) -> DispatchMode {
+        DispatchMode::User
+    }
+
+    fn next_op(&mut self, _t: usize, _rng: &mut SimRng) -> Option<bpfstor_kernel::ChainSpec> {
+        if self.issued >= self.writes {
+            return None;
+        }
+        let i = self.issued;
+        self.issued += 1;
+        let fsync = self.fsync_every != 0 && (i + 1).is_multiple_of(self.fsync_every);
+        Some(bpfstor_kernel::ChainSpec::Write(
+            bpfstor_kernel::WriteStart {
+                fd: self.fd,
+                file_off: i * self.len as u64,
+                data: vec![(i % 251) as u8 + 1; self.len],
+                fsync,
+                arg: i,
+            },
+        ))
+    }
+
+    fn chain_done(&mut self, _t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+        self.outcomes.push(outcome.clone());
+        ChainVerdict::Done
+    }
+}
+
+#[test]
+fn write_chains_ride_the_rings_and_land_on_the_store() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("log.db", &[]).expect("create");
+    let fd = m.open("log.db", true).expect("open");
+    let mut d = WriteDriver::new(fd, SECTOR_SIZE, 16, 4);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 16);
+    for o in &d.outcomes {
+        assert!(
+            matches!(o.status, ChainStatus::Written(n) if n as usize == SECTOR_SIZE),
+            "unexpected status {:?}",
+            o.status
+        );
+    }
+    // The data went through the device as real write commands...
+    assert_eq!(report.device.writes, 16, "one write command per block");
+    assert_eq!(report.device.flushes, 4, "every 4th write carried fsync");
+    assert!(report.device.write_doorbells > 0, "writes rang doorbells");
+    assert!(report.device.write_cqes >= 20, "write + flush CQEs reaped");
+    assert_eq!(report.errors, 0);
+    // ...and the bytes are really on the store, through the fs mapping.
+    let ino = m.ino_of(fd).expect("ino");
+    let (fs, store) = m.fs_and_store();
+    for i in 0..16u64 {
+        let got = fs
+            .read(ino, i * SECTOR_SIZE as u64, SECTOR_SIZE, store)
+            .expect("read");
+        assert_eq!(got, vec![(i % 251) as u8 + 1; SECTOR_SIZE], "block {i}");
+    }
+    // Write latency is tracked in its own histogram.
+    assert_eq!(report.write_latency.count(), 16);
+    assert_eq!(report.read_latency.count(), 0);
+    assert_eq!(report.latency.count(), 16);
+}
+
+#[test]
+fn fsync_commits_the_journal_unfsynced_writes_stay_pending() {
+    let mut m = Machine::new(MachineConfig::default());
+    {
+        let (fs, _) = m.fs_and_store();
+        fs.create("wal.db").expect("create");
+    }
+    let ino = m.fs().open("wal.db").expect("open");
+    // Un-fsynced runtime write: metadata records stay in the open
+    // transaction — not crash-durable yet.
+    m.write_file(ino, 0, &vec![7u8; SECTOR_SIZE], false)
+        .expect("write");
+    let j = m.fs().journal();
+    assert!(j.in_transaction(), "runtime write leaves the txn open");
+    assert!(
+        j.len() > j.committed_records().len(),
+        "records pending, not committed"
+    );
+    // The fsync barrier commits them.
+    m.write_file(ino, 0, &[], true).expect("fsync");
+    let j = m.fs().journal();
+    assert!(!j.in_transaction());
+    assert_eq!(j.len(), j.committed_records().len(), "all records durable");
+}
+
+#[test]
+fn fsync_write_pays_data_then_flush_ordering() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("f.db", &[]).expect("create");
+    let ino = m.fs().open("f.db").expect("open");
+    let o_plain = m
+        .write_file(ino, 0, &vec![1u8; SECTOR_SIZE], false)
+        .expect("plain write");
+    let o_fsync = m
+        .write_file(ino, SECTOR_SIZE as u64, &vec![2u8; SECTOR_SIZE], true)
+        .expect("fsync write");
+    assert_eq!(o_plain.ios, 1, "data command only");
+    assert_eq!(o_fsync.ios, 2, "data command + flush barrier");
+    assert!(
+        o_fsync.latency > o_plain.latency,
+        "the ordered flush serializes behind the data CQE: {} !> {}",
+        o_fsync.latency,
+        o_plain.latency
+    );
+    let st = m.device_stats();
+    assert_eq!(st.writes, 2);
+    assert_eq!(st.flushes, 1);
+}
+
+#[test]
+fn write_backpressure_parks_and_retries_until_done() {
+    // A two-slot ring (capacity 1) under a uring batch of 8 writers:
+    // submissions must park on the full SQ and retry after interrupts
+    // free slots — every write still completes, none are dropped.
+    let mut profile = bpfstor_device::DeviceProfile::optane_gen2_p5800x();
+    profile.queue_depth = 2;
+    let cfg = MachineConfig {
+        profile,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.create_file("log.db", &[]).expect("create");
+    let fd = m.open("log.db", true).expect("open");
+    let mut d = WriteDriver::new(fd, SECTOR_SIZE, 32, 0);
+    let report = m.run_uring(1, 8, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 32, "no write lost to backpressure");
+    assert!(
+        d.outcomes
+            .iter()
+            .all(|o| matches!(o.status, ChainStatus::Written(_))),
+        "all delivered as written"
+    );
+    assert!(
+        report.device.rejected > 0,
+        "the one-slot ring must have parked submissions"
+    );
+    assert_eq!(report.device.writes, 32);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn multi_block_write_merges_into_contiguous_segments() {
+    // A fresh file's sequential allocation is contiguous, so an 8-block
+    // write should reach the device as ONE write command.
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("big.db", &[]).expect("create");
+    let ino = m.fs().open("big.db").expect("open");
+    let payload: Vec<u8> = (0..8 * SECTOR_SIZE).map(|i| (i % 253) as u8).collect();
+    let outcome = m.write_file(ino, 0, &payload, false).expect("write");
+    assert_eq!(outcome.ios, 1, "bio-style merge into one command");
+    let st = m.device_stats();
+    assert_eq!(st.writes, 1);
+    let (fs, store) = m.fs_and_store();
+    assert_eq!(
+        fs.read(ino, 0, payload.len(), store).expect("read"),
+        payload
+    );
+}
+
+#[test]
+fn unaligned_write_read_modify_writes_the_edges() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("rmw.db", &vec![0xAAu8; 2 * SECTOR_SIZE])
+        .expect("create");
+    let ino = m.fs().open("rmw.db").expect("open");
+    m.write_file(ino, 100, b"hello world", false)
+        .expect("write");
+    let (fs, store) = m.fs_and_store();
+    let back = fs.read(ino, 98, 15, store).expect("read");
+    assert_eq!(&back[2..13], b"hello world");
+    assert_eq!(back[0], 0xAA, "surrounding bytes preserved");
+}
+
+#[test]
+fn writes_invalidate_cached_pages() {
+    // A buffered reader warms the page cache; a runtime write to the
+    // same blocks must invalidate them so the next read sees new bytes.
+    struct OneRead {
+        fd: Fd,
+        left: u32,
+        got: Vec<Vec<u8>>,
+    }
+    impl ChainDriver for OneRead {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::User
+        }
+        fn next_chain(&mut self, _t: usize, _rng: &mut SimRng) -> Option<ChainStart> {
+            if self.left == 0 {
+                return None;
+            }
+            self.left -= 1;
+            Some(ChainStart {
+                fd: self.fd,
+                file_off: 0,
+                len: SECTOR_SIZE as u32,
+                arg: 0,
+            })
+        }
+        fn chain_done(&mut self, _t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            if let ChainStatus::Pass(d) = &outcome.status {
+                self.got.push(d.clone());
+            }
+            ChainVerdict::Done
+        }
+    }
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("page.db", &vec![1u8; SECTOR_SIZE])
+        .expect("create");
+    let fd = m.open("page.db", false).expect("open buffered");
+    let ino = m.ino_of(fd).expect("ino");
+    let mut d = OneRead {
+        fd,
+        left: 1,
+        got: Vec::new(),
+    };
+    m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.got[0], vec![1u8; SECTOR_SIZE], "cache warmed with v1");
+    m.write_file(ino, 0, &vec![2u8; SECTOR_SIZE], true)
+        .expect("write");
+    let mut d = OneRead {
+        fd,
+        left: 1,
+        got: Vec::new(),
+    };
+    m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(
+        d.got[0],
+        vec![2u8; SECTOR_SIZE],
+        "stale cached page must not survive the write"
+    );
+}
+
+#[test]
+fn mixed_read_write_chains_share_queue_slots() {
+    // Interleave reads and writes on one thread's queue pair and check
+    // both classes complete, with per-class histograms partitioning the
+    // total.
+    struct MixedDriver {
+        fd: Fd,
+        left: u64,
+        toggle: bool,
+        reads: u64,
+        writes: u64,
+    }
+    impl ChainDriver for MixedDriver {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::User
+        }
+        fn next_op(&mut self, _t: usize, _rng: &mut SimRng) -> Option<bpfstor_kernel::ChainSpec> {
+            if self.left == 0 {
+                return None;
+            }
+            self.left -= 1;
+            self.toggle = !self.toggle;
+            Some(if self.toggle {
+                bpfstor_kernel::ChainSpec::Read(ChainStart {
+                    fd: self.fd,
+                    file_off: 0,
+                    len: SECTOR_SIZE as u32,
+                    arg: 0,
+                })
+            } else {
+                bpfstor_kernel::ChainSpec::Write(bpfstor_kernel::WriteStart {
+                    fd: self.fd,
+                    file_off: (8 + self.left) * SECTOR_SIZE as u64,
+                    data: vec![9u8; SECTOR_SIZE],
+                    fsync: false,
+                    arg: 0,
+                })
+            })
+        }
+        fn chain_done(&mut self, _t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            match outcome.status {
+                ChainStatus::Written(_) => self.writes += 1,
+                _ => self.reads += 1,
+            }
+            ChainVerdict::Done
+        }
+    }
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("mix.db", &vec![5u8; 8 * SECTOR_SIZE])
+        .expect("create");
+    let fd = m.open("mix.db", true).expect("open");
+    let mut d = MixedDriver {
+        fd,
+        left: 40,
+        toggle: false,
+        reads: 0,
+        writes: 0,
+    };
+    let report = m.run_closed_loop(2, SECOND, &mut d);
+    assert_eq!(d.reads, 20);
+    assert_eq!(d.writes, 20);
+    assert_eq!(report.read_latency.count(), 20);
+    assert_eq!(report.write_latency.count(), 20);
+    assert_eq!(report.latency.count(), 40);
+    assert!(report.device.write_doorbells > 0);
+    assert!(report.device.reads >= 20 && report.device.writes == 20);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn read_file_handles_unaligned_ranges_spanning_blocks() {
+    // Regression: the request must be sized from (off % block) + len,
+    // or an unaligned read spanning a block boundary comes back short.
+    let mut m = Machine::new(MachineConfig::default());
+    let image: Vec<u8> = (0..4 * SECTOR_SIZE).map(|i| (i % 251) as u8).collect();
+    m.create_file("u.db", &image).expect("create");
+    let ino = m.fs().open("u.db").expect("open");
+    let got = m.read_file(ino, 100, SECTOR_SIZE).expect("read");
+    assert_eq!(got.len(), SECTOR_SIZE, "full length, not truncated");
+    assert_eq!(got, &image[100..100 + SECTOR_SIZE]);
+    let tail = m
+        .read_file(ino, 3 * SECTOR_SIZE as u64 + 500, 12)
+        .expect("tail");
+    assert_eq!(tail, &image[3 * SECTOR_SIZE + 500..3 * SECTOR_SIZE + 512]);
+}
+
+#[test]
+fn one_shot_io_leaves_future_mutations_for_the_next_run() {
+    // Regression: write_file/read_file between runs must not consume a
+    // mutation scheduled for a later simulated instant.
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("data.db", &chain_file(4)).expect("create");
+    m.create_file("scratch.db", &[]).expect("create scratch");
+    let scratch = m.fs().open("scratch.db").expect("open");
+    // Schedule a relocation far in the future, then do preload I/O.
+    m.schedule_mutation(
+        1_000 * SECOND,
+        Mutation::Relocate {
+            name: "data.db".to_string(),
+        },
+    );
+    let (gen_before, _) = m
+        .fs()
+        .generations(m.fs().open("data.db").expect("ino"))
+        .expect("gens");
+    m.write_file(scratch, 0, &vec![1u8; SECTOR_SIZE], true)
+        .expect("preload write");
+    let ino = m.fs().open("data.db").expect("ino");
+    let (gen_after, _) = m.fs().generations(ino).expect("gens");
+    assert_eq!(
+        gen_before, gen_after,
+        "the future relocation must not fire during preload I/O"
+    );
+}
+
+#[test]
+fn uring_write_to_bad_fd_is_dropped_not_panicking() {
+    // Regression: a write SQE naming an unregistered fd used to skew
+    // the batch's read/write accounting into a u64 underflow.
+    struct BadFdWriter {
+        good_fd: Fd,
+        left: u64,
+    }
+    impl ChainDriver for BadFdWriter {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::User
+        }
+        fn next_op(&mut self, _t: usize, _rng: &mut SimRng) -> Option<bpfstor_kernel::ChainSpec> {
+            if self.left == 0 {
+                return None;
+            }
+            self.left -= 1;
+            // Alternate a bogus-fd write with a valid read.
+            Some(if self.left.is_multiple_of(2) {
+                bpfstor_kernel::ChainSpec::Write(bpfstor_kernel::WriteStart {
+                    fd: 9999,
+                    file_off: 0,
+                    data: vec![1u8; SECTOR_SIZE],
+                    fsync: false,
+                    arg: 0,
+                })
+            } else {
+                bpfstor_kernel::ChainSpec::Read(ChainStart {
+                    fd: self.good_fd,
+                    file_off: 0,
+                    len: SECTOR_SIZE as u32,
+                    arg: 0,
+                })
+            })
+        }
+    }
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("ok.db", &chain_file(1)).expect("create");
+    let good_fd = m.open("ok.db", true).expect("open");
+    let mut d = BadFdWriter { good_fd, left: 8 };
+    let report = m.run_uring(1, 4, SECOND, &mut d);
+    assert!(report.chains > 0, "valid reads still complete");
+    assert_eq!(
+        report.device.writes, 0,
+        "bad-fd writes never reach the device"
+    );
+}

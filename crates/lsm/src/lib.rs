@@ -15,10 +15,12 @@
 //!   unmap-event pattern the §4 extent-stability experiment measures.
 
 pub mod bloom;
+pub mod io;
 pub mod lsm;
 pub mod sstable;
 
 pub use bloom::Bloom;
+pub use io::{DirectIo, LsmIo};
 pub use lsm::{LsmConfig, LsmError, LsmStats, LsmTree, TableHandle};
 pub use sstable::{
     build_image, data_block_entries, data_block_search, index_block_search, step_data, step_footer,

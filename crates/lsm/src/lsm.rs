@@ -18,6 +18,7 @@ use bpfstor_device::SectorStore;
 use bpfstor_fs::{ExtFs, FsError};
 
 use crate::bloom::Bloom;
+use crate::io::{DirectIo, LsmIo};
 use crate::sstable::{build_image, data_block_entries, data_block_search, Footer, SstError, BLOCK};
 
 /// Tuning knobs.
@@ -45,6 +46,9 @@ pub enum LsmError {
     Fs(FsError),
     /// SSTable format failure.
     Sst(SstError),
+    /// Backend I/O failure (e.g. a failed chain on the simulated
+    /// kernel's ring-routed write path).
+    Backend(String),
     /// Empty values are reserved for tombstones.
     EmptyValue,
 }
@@ -66,6 +70,7 @@ impl std::fmt::Display for LsmError {
         match self {
             LsmError::Fs(e) => write!(f, "fs: {e}"),
             LsmError::Sst(e) => write!(f, "sstable: {e}"),
+            LsmError::Backend(e) => write!(f, "backend: {e}"),
             LsmError::EmptyValue => write!(f, "empty values are reserved for tombstones"),
         }
     }
@@ -88,25 +93,37 @@ pub struct TableHandle {
 }
 
 impl TableHandle {
-    /// Opens a table by name, loading footer + index + bloom.
+    /// Opens a table by name, loading footer + index + bloom (untimed
+    /// [`DirectIo`] convenience over [`TableHandle::open_io`]).
     ///
     /// # Errors
     ///
     /// Fails if the file is missing or malformed.
-    pub fn open(fs: &ExtFs, store: &mut SectorStore, name: &str) -> Result<Self, LsmError> {
-        let ino = fs.open(name)?;
-        let size = fs.file_size(ino)?;
+    pub fn open(fs: &mut ExtFs, store: &mut SectorStore, name: &str) -> Result<Self, LsmError> {
+        Self::open_io(&mut DirectIo::new(fs, store), name)
+    }
+
+    /// Opens a table by name through an [`LsmIo`] backend: the footer,
+    /// index, and bloom reads go wherever the backend routes them (the
+    /// machine backend pays real ring round-trips for each).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing or malformed.
+    pub fn open_io(io: &mut dyn LsmIo, name: &str) -> Result<Self, LsmError> {
+        let ino = io.open(name)?;
+        let size = io.file_size(ino)?;
         let nblocks = size / BLOCK as u64;
         if nblocks == 0 {
             return Err(LsmError::Sst(SstError::BadFooter));
         }
-        let footer_bytes = fs.read(ino, (nblocks - 1) * BLOCK as u64, BLOCK, store)?;
+        let footer_bytes = io.read(ino, (nblocks - 1) * BLOCK as u64, BLOCK)?;
         let footer = Footer::decode(&footer_bytes)?;
         // Index blocks.
         let mut index = Vec::new();
         for ib in 0..footer.index_blocks {
             let off = (footer.data_blocks as u64 + ib as u64) * BLOCK as u64;
-            let block = fs.read(ino, off, BLOCK, store)?;
+            let block = io.read(ino, off, BLOCK)?;
             let n = u16::from_le_bytes([block[0], block[1]]) as usize;
             for i in 0..n {
                 let at = 2 + i * 12;
@@ -120,7 +137,7 @@ impl TableHandle {
         for bb in 0..footer.bloom_blocks {
             let off =
                 (footer.data_blocks as u64 + footer.index_blocks as u64 + bb as u64) * BLOCK as u64;
-            bloom_bytes.extend(fs.read(ino, off, BLOCK, store)?);
+            bloom_bytes.extend(io.read(ino, off, BLOCK)?);
         }
         let words: Vec<u64> = bloom_bytes
             .chunks(8)
@@ -142,7 +159,8 @@ impl TableHandle {
         key >= self.footer.min_key && key <= self.footer.max_key && self.bloom.may_contain(key)
     }
 
-    /// Warm lookup: one data-block read using the cached index.
+    /// Warm lookup: one data-block read using the cached index (untimed
+    /// [`DirectIo`] convenience over [`TableHandle::get_io`]).
     ///
     /// Returns `None` when absent; `Some(empty)` is a tombstone.
     ///
@@ -151,10 +169,19 @@ impl TableHandle {
     /// Propagates FS/format failures.
     pub fn get(
         &self,
-        fs: &ExtFs,
+        fs: &mut ExtFs,
         store: &mut SectorStore,
         key: u64,
     ) -> Result<Option<Vec<u8>>, LsmError> {
+        self.get_io(&mut DirectIo::new(fs, store), key)
+    }
+
+    /// Warm lookup through an [`LsmIo`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend/format failures.
+    pub fn get_io(&self, io: &mut dyn LsmIo, key: u64) -> Result<Option<Vec<u8>>, LsmError> {
         if !self.may_contain(key) {
             return Ok(None);
         }
@@ -163,7 +190,7 @@ impl TableHandle {
             return Ok(None);
         }
         let data_block = self.index[idx - 1].1;
-        let block = fs.read(self.ino, data_block as u64 * BLOCK as u64, BLOCK, store)?;
+        let block = io.read(self.ino, data_block as u64 * BLOCK as u64, BLOCK)?;
         Ok(data_block_search(&block, key)?)
     }
 
@@ -174,12 +201,21 @@ impl TableHandle {
     /// Propagates FS/format failures.
     pub fn read_all(
         &self,
-        fs: &ExtFs,
+        fs: &mut ExtFs,
         store: &mut SectorStore,
     ) -> Result<Vec<(u64, Vec<u8>)>, LsmError> {
+        self.read_all_io(&mut DirectIo::new(fs, store))
+    }
+
+    /// Reads every entry through an [`LsmIo`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend/format failures.
+    pub fn read_all_io(&self, io: &mut dyn LsmIo) -> Result<Vec<(u64, Vec<u8>)>, LsmError> {
         let mut out = Vec::new();
         for db in 0..self.footer.data_blocks {
-            let block = fs.read(self.ino, db as u64 * BLOCK as u64, BLOCK, store)?;
+            let block = io.read(self.ino, db as u64 * BLOCK as u64, BLOCK)?;
             out.extend(data_block_entries(&block)?);
         }
         Ok(out)
@@ -231,7 +267,8 @@ impl LsmTree {
         }
     }
 
-    /// Inserts a key/value pair, flushing and compacting as needed.
+    /// Inserts a key/value pair, flushing and compacting as needed
+    /// (untimed [`DirectIo`] convenience over [`LsmTree::put_io`]).
     ///
     /// # Errors
     ///
@@ -244,6 +281,17 @@ impl LsmTree {
         key: u64,
         value: Vec<u8>,
     ) -> Result<(), LsmError> {
+        self.put_io(&mut DirectIo::new(fs, store), key, value)
+    }
+
+    /// Inserts a key/value pair through an [`LsmIo`] backend; a full
+    /// memtable flushes (and possibly compacts) through the same
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty values; propagates backend failures.
+    pub fn put_io(&mut self, io: &mut dyn LsmIo, key: u64, value: Vec<u8>) -> Result<(), LsmError> {
         if value.is_empty() {
             return Err(LsmError::EmptyValue);
         }
@@ -251,7 +299,7 @@ impl LsmTree {
         self.mem_bytes += 8 + value.len();
         self.memtable.insert(key, value);
         if self.mem_bytes >= self.cfg.memtable_limit {
-            self.flush(fs, store)?;
+            self.flush_io(io)?;
         }
         Ok(())
     }
@@ -267,10 +315,19 @@ impl LsmTree {
         store: &mut SectorStore,
         key: u64,
     ) -> Result<(), LsmError> {
+        self.delete_io(&mut DirectIo::new(fs, store), key)
+    }
+
+    /// Deletes a key through an [`LsmIo`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures on flush.
+    pub fn delete_io(&mut self, io: &mut dyn LsmIo, key: u64) -> Result<(), LsmError> {
         self.mem_bytes += 8;
         self.memtable.insert(key, Vec::new());
         if self.mem_bytes >= self.cfg.memtable_limit {
-            self.flush(fs, store)?;
+            self.flush_io(io)?;
         }
         Ok(())
     }
@@ -282,17 +339,26 @@ impl LsmTree {
     /// Propagates FS/format failures.
     pub fn get(
         &mut self,
-        fs: &ExtFs,
+        fs: &mut ExtFs,
         store: &mut SectorStore,
         key: u64,
     ) -> Result<Option<Vec<u8>>, LsmError> {
+        self.get_io(&mut DirectIo::new(fs, store), key)
+    }
+
+    /// Point lookup through an [`LsmIo`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend/format failures.
+    pub fn get_io(&mut self, io: &mut dyn LsmIo, key: u64) -> Result<Option<Vec<u8>>, LsmError> {
         self.stats.gets += 1;
         if let Some(v) = self.memtable.get(&key) {
             return Ok(if v.is_empty() { None } else { Some(v.clone()) });
         }
         for level in &self.levels {
             for table in level {
-                if let Some(v) = table.get(fs, store, key)? {
+                if let Some(v) = table.get_io(io, key)? {
                     return Ok(if v.is_empty() { None } else { Some(v) });
                 }
             }
@@ -306,65 +372,70 @@ impl LsmTree {
     ///
     /// Propagates FS failures.
     pub fn flush(&mut self, fs: &mut ExtFs, store: &mut SectorStore) -> Result<(), LsmError> {
+        self.flush_io(&mut DirectIo::new(fs, store))
+    }
+
+    /// Flushes the memtable into a new level-0 table through an
+    /// [`LsmIo`] backend: on the machine backend the table image rides
+    /// the SQ/CQ rings as journaled writes and is made durable by the
+    /// backend's sync (fsync barrier) before the table goes live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn flush_io(&mut self, io: &mut dyn LsmIo) -> Result<(), LsmError> {
         if self.memtable.is_empty() {
             return Ok(());
         }
         let entries: Vec<(u64, Vec<u8>)> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.mem_bytes = 0;
-        let name = self.write_table(fs, store, &entries)?;
-        let handle = TableHandle::open(fs, store, &name)?;
+        let name = self.write_table_io(io, &entries)?;
+        let handle = TableHandle::open_io(io, &name)?;
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
         self.levels[0].insert(0, handle);
         self.stats.flushes += 1;
-        self.compact_if_needed(fs, store)?;
+        self.compact_if_needed_io(io)?;
         Ok(())
     }
 
-    fn write_table(
+    fn write_table_io(
         &mut self,
-        fs: &mut ExtFs,
-        store: &mut SectorStore,
+        io: &mut dyn LsmIo,
         entries: &[(u64, Vec<u8>)],
     ) -> Result<String, LsmError> {
         let name = format!("sst-{:06}.sst", self.seq);
         self.seq += 1;
         let image = build_image(entries)?;
-        let ino = fs.create(&name)?;
-        fs.write(ino, 0, &image, store)?;
+        let ino = io.create(&name)?;
+        io.write(ino, 0, &image)?;
+        // Durability point: the table must survive a crash before it can
+        // shadow (or replace) older data.
+        io.sync(ino)?;
         self.stats.tables_written += 1;
         Ok(name)
     }
 
-    fn compact_if_needed(
-        &mut self,
-        fs: &mut ExtFs,
-        store: &mut SectorStore,
-    ) -> Result<(), LsmError> {
+    fn compact_if_needed_io(&mut self, io: &mut dyn LsmIo) -> Result<(), LsmError> {
         let mut level = 0;
         while level < self.levels.len() {
             if self.levels[level].len() >= self.cfg.level_trigger {
-                self.compact_level(fs, store, level)?;
+                self.compact_level_io(io, level)?;
             }
             level += 1;
         }
         Ok(())
     }
 
-    fn compact_level(
-        &mut self,
-        fs: &mut ExtFs,
-        store: &mut SectorStore,
-        level: usize,
-    ) -> Result<(), LsmError> {
+    fn compact_level_io(&mut self, io: &mut dyn LsmIo, level: usize) -> Result<(), LsmError> {
         self.stats.compactions += 1;
         let tables = std::mem::take(&mut self.levels[level]);
         // Merge newest-wins: iterate oldest table first so newer entries
         // overwrite.
         let mut merged: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for table in tables.iter().rev() {
-            for (k, v) in table.read_all(fs, store)? {
+            for (k, v) in table.read_all_io(io)? {
                 merged.insert(k, v);
             }
         }
@@ -376,14 +447,14 @@ impl LsmTree {
             .collect();
         // Delete inputs first (fires unmap events — the §4 signal).
         for t in tables {
-            fs.unlink(&t.name)?;
+            io.unlink(&t.name)?;
             self.stats.tables_deleted += 1;
         }
         if entries.is_empty() {
             return Ok(());
         }
-        let name = self.write_table(fs, store, &entries)?;
-        let handle = TableHandle::open(fs, store, &name)?;
+        let name = self.write_table_io(io, &entries)?;
+        let handle = TableHandle::open_io(io, &name)?;
         if self.levels.len() <= level + 1 {
             self.levels.push(Vec::new());
         }
@@ -435,8 +506,8 @@ mod tests {
     fn memtable_roundtrip_without_flush() {
         let (mut fs, mut store, mut lsm) = setup();
         lsm.put(&mut fs, &mut store, 1, val(1)).expect("put");
-        assert_eq!(lsm.get(&fs, &mut store, 1).expect("get"), Some(val(1)));
-        assert_eq!(lsm.get(&fs, &mut store, 2).expect("get"), None);
+        assert_eq!(lsm.get(&mut fs, &mut store, 1).expect("get"), Some(val(1)));
+        assert_eq!(lsm.get(&mut fs, &mut store, 2).expect("get"), None);
         assert_eq!(lsm.stats().flushes, 0);
     }
 
@@ -451,7 +522,7 @@ mod tests {
         assert!(lsm.table_count() >= 1);
         for i in 0..50u64 {
             assert_eq!(
-                lsm.get(&fs, &mut store, i).expect("get"),
+                lsm.get(&mut fs, &mut store, i).expect("get"),
                 Some(val(i)),
                 "key {i}"
             );
@@ -468,7 +539,7 @@ mod tests {
             .expect("put");
         lsm.flush(&mut fs, &mut store).expect("flush");
         assert_eq!(
-            lsm.get(&fs, &mut store, 7).expect("get"),
+            lsm.get(&mut fs, &mut store, 7).expect("get"),
             Some(b"new".to_vec())
         );
     }
@@ -479,9 +550,9 @@ mod tests {
         lsm.put(&mut fs, &mut store, 9, val(9)).expect("put");
         lsm.flush(&mut fs, &mut store).expect("flush");
         lsm.delete(&mut fs, &mut store, 9).expect("delete");
-        assert_eq!(lsm.get(&fs, &mut store, 9).expect("get"), None);
+        assert_eq!(lsm.get(&mut fs, &mut store, 9).expect("get"), None);
         lsm.flush(&mut fs, &mut store).expect("flush");
-        assert_eq!(lsm.get(&fs, &mut store, 9).expect("get"), None);
+        assert_eq!(lsm.get(&mut fs, &mut store, 9).expect("get"), None);
     }
 
     #[test]
@@ -500,7 +571,7 @@ mod tests {
         // Latest round (3) wins for every key.
         for i in 0..40u64 {
             assert_eq!(
-                lsm.get(&fs, &mut store, i).expect("get"),
+                lsm.get(&mut fs, &mut store, i).expect("get"),
                 Some(val(i * 10 + 3)),
                 "key {i}"
             );
@@ -528,7 +599,11 @@ mod tests {
             lsm.flush(&mut fs, &mut store).expect("flush");
         }
         for i in 0..30u64 {
-            assert_eq!(lsm.get(&fs, &mut store, i).expect("get"), None, "key {i}");
+            assert_eq!(
+                lsm.get(&mut fs, &mut store, i).expect("get"),
+                None,
+                "key {i}"
+            );
         }
     }
 
@@ -594,7 +669,7 @@ mod tests {
         }
         for key in 0..97u64 {
             assert_eq!(
-                lsm.get(&fs, &mut store, key).expect("get"),
+                lsm.get(&mut fs, &mut store, key).expect("get"),
                 reference.get(&key).cloned(),
                 "key {key}"
             );

@@ -58,7 +58,7 @@ proptest! {
         // Every key agrees with the reference, present or absent.
         for k in 0u64..200 {
             prop_assert_eq!(
-                lsm.get(&fs, &mut store, k).expect("get"),
+                lsm.get(&mut fs, &mut store, k).expect("get"),
                 reference.get(&k).cloned(),
                 "key {}", k
             );

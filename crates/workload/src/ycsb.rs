@@ -97,6 +97,7 @@ impl OpMix {
 }
 
 /// Deterministic operation stream.
+#[derive(Debug, Clone)]
 pub struct YcsbGen {
     mix: OpMix,
     dist: KeyDist,

@@ -525,3 +525,325 @@ fn session_queue_knobs_backpressure_and_coalescing() {
         deep.device.irqs
     );
 }
+
+// --- The journaled write path: mixed read/write workloads ---------------------
+
+mod write_mixes {
+    use super::*;
+    use bpfstor::core::YcsbMix;
+    use bpfstor::workload::OpMix;
+
+    fn mix_entries() -> Vec<(u64, Vec<u8>)> {
+        (0..600u64)
+            .map(|i| {
+                let mut v = vec![0u8; 48];
+                v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+                (i * 3, v)
+            })
+            .collect()
+    }
+
+    /// The acceptance scenario: the paper's 40r/40u/20i TokuDB mix runs
+    /// end to end in ALL THREE dispatch modes, with writes really going
+    /// through the rings (nonzero write doorbells and write CQEs) and
+    /// every read still checking out against the table.
+    #[test]
+    fn tokudb_40_40_20_runs_in_all_three_modes() {
+        for mode in DispatchMode::ALL {
+            let mut s = PushdownSession::builder(
+                YcsbMix::new(mix_entries(), OpMix::paper_tokudb(), 0x40_40_20).max_chains(300),
+            )
+            .dispatch(mode)
+            .build()
+            .expect("session");
+            let (report, stats) = s.run_closed_loop(4, SECOND);
+            assert_eq!(stats.completed, 300, "{mode:?}");
+            assert_eq!(
+                stats.mismatches, 0,
+                "{mode:?}: reads stay correct under writes"
+            );
+            assert_eq!(stats.errors, 0, "{mode:?}");
+            assert!(stats.writes > 0, "{mode:?}: the mix produced writes");
+            assert!(
+                (0.5..0.7).contains(&(stats.writes as f64 / 300.0)),
+                "{mode:?}: ~60% of a 40/40/20 mix is writes, got {}",
+                stats.writes
+            );
+            assert!(
+                report.device.write_doorbells > 0,
+                "{mode:?}: write submissions rang doorbells"
+            );
+            assert!(
+                report.device.write_cqes > 0,
+                "{mode:?}: write completions were reaped"
+            );
+            assert!(report.device.flushes > 0, "{mode:?}: fsyncs hit the device");
+            assert_eq!(
+                report.write_latency.count(),
+                stats.writes,
+                "{mode:?}: every write chain recorded write latency"
+            );
+            assert_eq!(report.errors, 0, "{mode:?}");
+        }
+    }
+
+    /// YCSB-A (50/50) and YCSB-B (95/5) complete through both submission
+    /// paths (sync closed-loop and io_uring batches) in every mode.
+    #[test]
+    fn ycsb_a_and_b_run_sync_and_uring_in_all_modes() {
+        for mix in [OpMix::ycsb_a(), OpMix::ycsb_b()] {
+            for mode in DispatchMode::ALL {
+                for uring in [false, true] {
+                    let mut s = PushdownSession::builder(
+                        YcsbMix::new(mix_entries(), mix, 0xAB).max_chains(160),
+                    )
+                    .dispatch(mode)
+                    .build()
+                    .expect("session");
+                    let (report, stats) = if uring {
+                        s.run_uring(2, 4, SECOND)
+                    } else {
+                        s.run_closed_loop(2, SECOND)
+                    };
+                    assert_eq!(stats.completed, 160, "{mix:?} {mode:?} uring={uring}");
+                    assert_eq!(stats.mismatches, 0, "{mix:?} {mode:?} uring={uring}");
+                    assert_eq!(stats.errors, 0, "{mix:?} {mode:?} uring={uring}");
+                    assert!(stats.writes > 0, "{mix:?} {mode:?} uring={uring}");
+                    assert!(
+                        report.device.write_cqes > 0,
+                        "{mix:?} {mode:?} uring={uring}"
+                    );
+                    assert_eq!(
+                        stats.writes + stats.hits + stats.misses,
+                        160,
+                        "{mix:?} {mode:?} uring={uring}: chains partition into reads and writes"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Writes contending for SQ slots must cost readers tail latency:
+    /// at the same queue depth, the write-heavy mix's p99 READ latency
+    /// is strictly above the read-only mix's, in every dispatch mode.
+    #[test]
+    fn write_heavy_mix_raises_read_p99_at_same_queue_depth() {
+        let run = |mode: DispatchMode, mix: OpMix| {
+            let mut s =
+                PushdownSession::builder(YcsbMix::new(mix_entries(), mix, 77).max_chains(400))
+                    .dispatch(mode)
+                    .queue_depth(8)
+                    .build()
+                    .expect("session");
+            let (report, stats) = s.run_closed_loop(4, SECOND);
+            assert_eq!(stats.mismatches, 0);
+            assert_eq!(stats.errors, 0);
+            assert!(report.read_latency.count() > 0, "reads recorded");
+            report.read_latency.quantile(0.99)
+        };
+        for mode in DispatchMode::ALL {
+            let read_only = run(mode, OpMix::ycsb_c());
+            let write_heavy = run(mode, OpMix::paper_tokudb());
+            assert!(
+                write_heavy > read_only,
+                "{mode:?}: p99 read latency must rise under writes: {write_heavy} !> {read_only}"
+            );
+        }
+    }
+
+    /// The session's direct write surface: bytes through the rings, an
+    /// fsync barrier, and the journal committed.
+    #[test]
+    fn session_write_surface_journals_through_the_rings() {
+        let mut s = PushdownSession::builder(Btree::depth(3))
+            .dispatch(DispatchMode::DriverHook)
+            .build()
+            .expect("session");
+        let before = s.machine().device_stats();
+        let (lat, ios) = s.write(1 << 20, &vec![0x5Au8; 1024], true).expect("write");
+        assert!(lat > 0);
+        assert_eq!(ios, 2, "one merged 2-block write command + flush");
+        let after = s.machine().device_stats();
+        assert_eq!(after.writes - before.writes, 1);
+        assert_eq!(after.flushes - before.flushes, 1);
+        assert!(after.write_doorbells > before.write_doorbells);
+        let j = s.machine().fs().journal();
+        assert!(!j.in_transaction(), "fsync committed the txn");
+        assert_eq!(s.stats().writes, 1);
+        assert_eq!(s.stats().bytes_written, 1024);
+        // Reads on the same session still work afterwards.
+        let hit = s.lookup(1).expect("lookup");
+        assert!(hit.found);
+    }
+}
+
+// --- LSM end to end: flush/compaction through the rings, pushdown reads -------
+
+mod lsm_end_to_end {
+    use super::*;
+    use bpfstor::core::{sst_get_program, MachineLsmIo, SstGetDriver};
+    use bpfstor::kernel::{
+        ChainDriver, ChainOutcome, ChainStart, ChainVerdict, Machine, MachineConfig, Mutation,
+        UserNext,
+    };
+    use bpfstor::lsm::{LsmConfig, LsmTree, BLOCK};
+    use bpfstor::sim::SimRng;
+
+    const VS: usize = 64;
+
+    fn value_for(key: u64) -> Vec<u8> {
+        let mut v = vec![0u8; VS];
+        v[..8].copy_from_slice(&key.wrapping_mul(0xBEEF17).to_le_bytes());
+        v
+    }
+
+    /// Delegating driver that applies the §4 rearm-and-retry protocol on
+    /// top of `SstGetDriver` (the kernel reruns the snapshot ioctl and
+    /// restarts the chain).
+    struct RetrySst(SstGetDriver);
+
+    impl ChainDriver for RetrySst {
+        fn mode(&self) -> DispatchMode {
+            self.0.mode
+        }
+        fn next_chain(&mut self, t: usize, rng: &mut SimRng) -> Option<ChainStart> {
+            self.0.next_chain(t, rng)
+        }
+        fn user_step(
+            &mut self,
+            t: usize,
+            token: &bpfstor::kernel::ChainToken,
+            data: &[u8],
+        ) -> UserNext {
+            self.0.user_step(t, token, data)
+        }
+        fn chain_done(&mut self, t: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            if outcome.status.is_rearmable() && outcome.attempts < 3 {
+                return ChainVerdict::RearmRetry;
+            }
+            self.0.chain_done(t, outcome)
+        }
+    }
+
+    /// The cold-SSTable-get workload, truly end to end: inserts buffer
+    /// in the memtable, flushes write SSTables through the SQ/CQ rings
+    /// (journaled, fsync-barriered), compactions read and rewrite
+    /// tables through the same rings — and then pushdown reads run
+    /// against the freshly written tables in all three dispatch modes.
+    #[test]
+    fn inserts_flush_then_pushdown_reads_in_all_modes() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut lsm = LsmTree::new(LsmConfig {
+            memtable_limit: 8 * 1024,
+            level_trigger: 3,
+        });
+        {
+            let mut io = MachineLsmIo::new(&mut m);
+            for key in 0..1_500u64 {
+                lsm.put_io(&mut io, key * 2, value_for(key * 2))
+                    .expect("put");
+            }
+            lsm.flush_io(&mut io).expect("flush");
+        }
+        let st = m.device_stats();
+        assert!(st.writes > 0, "flush images went through the rings");
+        assert!(st.flushes > 0, "every table was fsync-barriered");
+        assert!(st.write_doorbells > 0 && st.write_cqes > 0);
+        assert!(lsm.stats().compactions > 0, "enough tables to compact");
+        assert!(
+            st.reads > 0,
+            "table opens + compaction inputs were timed ring reads"
+        );
+
+        // Pick the biggest live table and probe it cold in every mode.
+        let table = lsm
+            .levels()
+            .iter()
+            .flatten()
+            .max_by_key(|t| t.footer.nkeys)
+            .expect("a live table");
+        let name = table.name.clone();
+        let footer_off = (table.file_blocks() - 1) * BLOCK as u64;
+        let (min_key, max_key) = (table.footer.min_key, table.footer.max_key);
+        let keys: Vec<u64> = (0..60u64)
+            .map(|i| min_key + (i * (max_key - min_key) / 60) / 2 * 2)
+            .chain([max_key + 7])
+            .collect();
+        let expect: Vec<Option<Vec<u8>>> = keys
+            .iter()
+            .map(|k| {
+                if *k >= min_key && *k <= max_key && *k % 2 == 0 {
+                    Some(value_for(*k))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for mode in DispatchMode::ALL {
+            let fd = m.open(&name, true).expect("open");
+            if mode != DispatchMode::User {
+                m.install(fd, sst_get_program(VS as u32), 0)
+                    .expect("install");
+            }
+            let mut d = SstGetDriver::new(fd, mode, footer_off, keys.clone(), expect.clone());
+            let report = m.run_closed_loop(1, SECOND, &mut d);
+            assert_eq!(d.stats.completed, keys.len() as u64, "{mode:?}");
+            assert_eq!(
+                d.stats.mismatches, 0,
+                "{mode:?}: pushdown over a freshly flushed table agrees with the oracle"
+            );
+            assert_eq!(d.stats.errors, 0, "{mode:?}");
+            assert!(d.stats.hits > 0 && d.stats.misses > 0, "{mode:?}");
+            assert_eq!(report.errors, 0, "{mode:?}");
+        }
+    }
+
+    /// Mid-run extent remap on a freshly written SSTable: the relocation
+    /// invalidates the NVMe-layer snapshot while driver-hook chains are
+    /// in flight; the rearm-and-retry machinery (PR 1) restarts them and
+    /// every lookup still completes correctly.
+    #[test]
+    fn mid_run_remap_of_fresh_sstable_exercises_rearm_retry() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut lsm = LsmTree::new(LsmConfig {
+            memtable_limit: 64 * 1024,
+            level_trigger: 8,
+        });
+        {
+            let mut io = MachineLsmIo::new(&mut m);
+            for key in 0..800u64 {
+                lsm.put_io(&mut io, key, value_for(key)).expect("put");
+            }
+            lsm.flush_io(&mut io).expect("flush");
+        }
+        let table = &lsm.levels()[0][0];
+        let name = table.name.clone();
+        let footer_off = (table.file_blocks() - 1) * BLOCK as u64;
+        let keys: Vec<u64> = (0..400u64).map(|i| (i * 13) % 800).collect();
+        let expect: Vec<Option<Vec<u8>>> = keys.iter().map(|k| Some(value_for(*k))).collect();
+        let fd = m.open(&name, true).expect("open");
+        m.install(fd, sst_get_program(VS as u32), 0)
+            .expect("install");
+        // Defragment the table's extents shortly into the run.
+        let at = m.now + 100_000;
+        m.schedule_mutation(at, Mutation::Relocate { name });
+        let mut d = RetrySst(SstGetDriver::new(
+            fd,
+            DispatchMode::DriverHook,
+            footer_off,
+            keys.clone(),
+            expect,
+        ));
+        let report = m.run_closed_loop(2, SECOND, &mut d);
+        assert_eq!(d.0.stats.completed, keys.len() as u64);
+        assert_eq!(
+            d.0.stats.mismatches, 0,
+            "relocated blocks still decode right"
+        );
+        assert_eq!(d.0.stats.errors, 0, "retry absorbed every invalidation");
+        assert!(
+            report.rearm_retries > 0,
+            "the remap really hit in-flight chains"
+        );
+    }
+}

@@ -456,3 +456,287 @@ proptest! {
         prop_assert_eq!(h.max(), values[values.len() - 1]);
     }
 }
+
+// --- Journal crash-consistency: every record-boundary crash recovers a prefix ----
+
+/// One random metadata-plane operation.
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write { file: u8, block: u8, blocks: u8 },
+    Truncate { file: u8, blocks: u8 },
+    Unlink { file: u8 },
+    Fallocate { file: u8, block: u8, blocks: u8 },
+}
+
+fn fs_op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        5 => (0u8..3, 0u8..12, 1u8..5).prop_map(|(file, block, blocks)| FsOp::Write { file, block, blocks }),
+        2 => (0u8..3, 0u8..8).prop_map(|(file, blocks)| FsOp::Truncate { file, blocks }),
+        1 => (0u8..3).prop_map(|file| FsOp::Unlink { file }),
+        2 => (0u8..3, 0u8..12, 1u8..5).prop_map(|(file, block, blocks)| FsOp::Fallocate { file, block, blocks }),
+    ]
+}
+
+/// Everything journal replay must reproduce: directory, sizes, extents,
+/// and the allocator's free-space accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FsMeta {
+    files: Vec<(String, u64, u64, Vec<bpfstor::fs::Extent>)>,
+    free: u64,
+}
+
+fn fs_meta(fs: &bpfstor::fs::ExtFs) -> FsMeta {
+    let files = fs
+        .readdir()
+        .into_iter()
+        .map(|(name, ino)| {
+            (
+                name,
+                ino,
+                fs.file_size(ino).expect("size"),
+                fs.extents_snapshot(ino).expect("extents"),
+            )
+        })
+        .collect();
+    FsMeta {
+        files,
+        free: fs.free_blocks(),
+    }
+}
+
+/// Applies `ops` from scratch, returning the fs plus the metadata
+/// snapshot at every committed-transaction boundary (`snaps[t]` = state
+/// after `t` transactions).
+fn replay_ops(ops: &[FsOp]) -> (ExtFs, Vec<FsMeta>) {
+    const NBLOCKS: u64 = 1 << 14;
+    const BS: u64 = 512;
+    let mut fs = ExtFs::mkfs(NBLOCKS);
+    let mut store = bpfstor::device::SectorStore::new();
+    let mut snaps = vec![fs_meta(&fs)];
+    for op in ops {
+        // Each arm commits AT MOST one transaction (a missing file costs
+        // the op: it only creates), so txn boundaries line up with the
+        // snapshots below.
+        match op {
+            FsOp::Write {
+                file,
+                block,
+                blocks,
+            } => {
+                let name = format!("f{file}");
+                match fs.open(&name) {
+                    Ok(ino) => {
+                        let data = vec![*block ^ *blocks; *blocks as usize * BS as usize];
+                        let _ = fs.write(ino, *block as u64 * BS, &data, &mut store);
+                    }
+                    Err(_) => {
+                        fs.create(&name).expect("create");
+                    }
+                }
+            }
+            FsOp::Truncate { file, blocks } => {
+                if let Ok(ino) = fs.open(&format!("f{file}")) {
+                    fs.truncate(ino, *blocks as u64 * BS, &mut store)
+                        .expect("truncate");
+                }
+            }
+            FsOp::Unlink { file } => {
+                let name = format!("f{file}");
+                if fs.open(&name).is_ok() {
+                    fs.unlink(&name).expect("unlink");
+                }
+            }
+            FsOp::Fallocate {
+                file,
+                block,
+                blocks,
+            } => {
+                let name = format!("f{file}");
+                match fs.open(&name) {
+                    Ok(ino) => {
+                        let _ = fs.fallocate(ino, *block as u64, *blocks as u64, &mut store);
+                    }
+                    Err(_) => {
+                        fs.create(&name).expect("create");
+                    }
+                }
+            }
+        }
+        let t = fs.journal().commit_points().len();
+        // Ops always commit whole transactions; snapshot state at txn t.
+        if t >= snaps.len() {
+            snaps.resize(t + 1, fs_meta(&fs));
+        }
+        snaps[t] = fs_meta(&fs);
+    }
+    (fs, snaps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn journal_replay_after_any_crash_point_is_a_txn_prefix(
+        ops in proptest::collection::vec(fs_op_strategy(), 1..18)
+    ) {
+        const NBLOCKS: u64 = 1 << 14;
+        let (reference, snaps) = replay_ops(&ops);
+        let total_records = reference.journal().len();
+        let commit_points: Vec<usize> = reference.journal().commit_points().to_vec();
+        prop_assert_eq!(
+            total_records,
+            *commit_points.last().unwrap_or(&0),
+            "ops commit whole transactions; nothing dangles"
+        );
+        // Crash at EVERY record boundary: the recovered metadata must be
+        // exactly the state after some prefix of committed transactions
+        // — never a torn mix (e.g. a size without its extents).
+        for k in 0..=total_records {
+            let (crashed, _) = replay_ops(&ops);
+            let recovered = crashed.crash_and_recover_at(NBLOCKS, k);
+            let t = commit_points.iter().filter(|&&p| p <= k).count();
+            prop_assert_eq!(
+                fs_meta(&recovered),
+                snaps[t].clone(),
+                "crash after {} of {} records must recover exactly txn-prefix {}",
+                k, total_records, t
+            );
+        }
+    }
+}
+
+// --- Ring invariants under random mixed read/write submission --------------------
+
+/// One random driver action against the raw NVMe device.
+#[derive(Debug, Clone)]
+enum RingAction {
+    SubmitRead { slba: u8 },
+    SubmitWrite { slba: u8 },
+    SubmitFlush,
+    Doorbell,
+    AdvanceAndIrq { ns: u16 },
+}
+
+fn ring_action_strategy() -> impl Strategy<Value = RingAction> {
+    prop_oneof![
+        4 => (0u8..64).prop_map(|slba| RingAction::SubmitRead { slba }),
+        3 => (0u8..64).prop_map(|slba| RingAction::SubmitWrite { slba }),
+        1 => Just(RingAction::SubmitFlush),
+        3 => Just(RingAction::Doorbell),
+        3 => (1u16..5_000).prop_map(|ns| RingAction::AdvanceAndIrq { ns }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn ring_invariants_hold_under_random_mixed_submission(
+        actions in proptest::collection::vec(ring_action_strategy(), 1..120),
+        depth in 2usize..10,
+    ) {
+        use bpfstor::device::{NvmeCommand, NvmeOp, NvmeDevice, QueueError, SECTOR_SIZE};
+        use bpfstor::sim::SimRng;
+
+        let mut profile = bpfstor::device::DeviceProfile::optane_gen2_p5800x();
+        profile.queue_depth = depth;
+        let cap = depth - 1;
+        let mut dev = NvmeDevice::new(profile, 1, SimRng::seed(0xD1CE));
+        let mut now: u64 = 0;
+        let mut next_cid: u64 = 0;
+        // The driver's model: tags handed out but not yet reaped, plus
+        // commands a full SQ pushed back (parked, NOT dropped).
+        let mut in_flight = std::collections::HashSet::new();
+        let mut parked: Vec<NvmeCommand> = Vec::new();
+        let mut accepted: u64 = 0;
+        let mut reaped_cids = std::collections::HashSet::new();
+
+        let submit = |dev: &mut NvmeDevice,
+                          in_flight: &mut std::collections::HashSet<u64>,
+                          accepted: &mut u64,
+                          cmd: NvmeCommand| {
+            let cid = cmd.cid;
+            let outstanding_before = dev.outstanding(0);
+            match dev.submit(0, cmd) {
+                Ok(()) => {
+                    prop_assert!(outstanding_before < cap, "accepted only below capacity");
+                    prop_assert!(in_flight.insert(cid), "tag never double-allocated");
+                    *accepted += 1;
+                }
+                Err(QueueError::SubmissionFull) => {
+                    // Full SQ parks: the command is returned, not lost.
+                    prop_assert_eq!(outstanding_before, cap, "reject only at capacity");
+                }
+                Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            }
+        };
+
+        let mk = |cid: u64, action: &RingAction| -> NvmeCommand {
+            let op = match action {
+                RingAction::SubmitRead { slba } => NvmeOp::Read { slba: *slba as u64, nlb: 1 },
+                RingAction::SubmitWrite { slba } => NvmeOp::Write {
+                    slba: *slba as u64,
+                    data: vec![cid as u8; SECTOR_SIZE],
+                },
+                _ => NvmeOp::Flush,
+            };
+            NvmeCommand { cid, op }
+        };
+
+        for action in &actions {
+            match action {
+                RingAction::SubmitRead { .. } | RingAction::SubmitWrite { .. } | RingAction::SubmitFlush => {
+                    let cmd = mk(next_cid, action);
+                    next_cid += 1;
+                    let before = dev.outstanding(0);
+                    if before >= cap {
+                        parked.push(cmd); // driver-side parking on backpressure
+                        dev.record_rejection();
+                    } else {
+                        submit(&mut dev, &mut in_flight, &mut accepted, cmd);
+                    }
+                }
+                RingAction::Doorbell => {
+                    dev.ring_doorbell(now, 0).expect("qp 0 exists");
+                }
+                RingAction::AdvanceAndIrq { ns } => {
+                    now += *ns as u64;
+                    dev.post_ready(now, 0);
+                    for c in dev.reap(0, usize::MAX) {
+                        prop_assert!(in_flight.remove(&c.cid), "one CQE per SQE, no ghosts");
+                        prop_assert!(reaped_cids.insert(c.cid), "no duplicate CQE");
+                    }
+                    // Freed slots readmit parked commands, oldest first.
+                    while dev.outstanding(0) < cap {
+                        let Some(cmd) = parked.pop() else { break };
+                        submit(&mut dev, &mut in_flight, &mut accepted, cmd);
+                    }
+                }
+            }
+            prop_assert!(dev.outstanding(0) <= cap, "outstanding never exceeds queue depth");
+        }
+
+        // Drain: ring, advance far, reap — until every accepted command
+        // (including everything parked) has exactly one CQE.
+        let mut guard = 0;
+        while dev.outstanding(0) > 0 || !parked.is_empty() {
+            dev.ring_doorbell(now, 0).expect("qp 0");
+            now += 100_000;
+            dev.post_ready(now, 0);
+            for c in dev.reap(0, usize::MAX) {
+                prop_assert!(in_flight.remove(&c.cid));
+                prop_assert!(reaped_cids.insert(c.cid));
+            }
+            while dev.outstanding(0) < cap {
+                let Some(cmd) = parked.pop() else { break };
+                submit(&mut dev, &mut in_flight, &mut accepted, cmd);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain must terminate");
+        }
+        prop_assert!(in_flight.is_empty(), "every SQE produced exactly one CQE");
+        prop_assert_eq!(reaped_cids.len() as u64, accepted, "CQE count equals accepted SQEs");
+        prop_assert_eq!(reaped_cids.len() as u64, next_cid, "a full SQ parked rather than dropped");
+        let stats = dev.stats();
+        prop_assert_eq!(stats.cqes, accepted);
+        prop_assert_eq!(stats.reads + stats.writes + stats.flushes, accepted);
+    }
+}
