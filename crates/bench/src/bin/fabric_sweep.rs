@@ -1,0 +1,17 @@
+//! Fabric sweep: pushdown-over-fabric vs per-hop round trips on the
+//! depth-8 pointer chase, across three network latencies, with the
+//! local driver hook as baseline. Asserts the BPF-oF shapes: remote
+//! p50 exceeds local p50, remote pushdown out-runs remote no-pushdown,
+//! and the gap grows with the configured wire latency.
+
+use bpfstor_bench::experiments::{fabric_sweep, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = fabric_sweep(Scale { quick });
+    t.print();
+    match t.write_csv("fabric_sweep") {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -5,7 +5,7 @@
 //! The `quick` flag trades precision for speed; the dedicated binaries
 //! run full scale, the `figures` bench runs quick.
 
-use bpfstor_core::{Btree, DispatchMode, PushdownSession, YcsbMix};
+use bpfstor_core::{Btree, Chase, DispatchMode, FabricConfig, PushdownSession, YcsbMix};
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
 use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, RunReport};
@@ -435,6 +435,102 @@ pub fn write_mix(scale: Scale) -> Table {
     }
     t.note("write commands contend with reads for SQ slots; depth gates both");
     t.note("every fsync is an ordered flush barrier committing the journal");
+    t
+}
+
+// --- Fabric sweep (pushdown over NVMe-oF) ---------------------------------------
+
+/// Network-latency sweep over the pointer-chase dependency chain — the
+/// BPF-oF headline, end to end: remote dispatch without pushdown pays a
+/// fabric round trip per dependent hop, pushdown-over-fabric runs the
+/// whole chain target-side and pays ~1, and the gap between them grows
+/// with the configured network latency. `LocalTransport` numbers ride
+/// along as the baseline. The function asserts all three shapes.
+pub fn fabric_sweep(scale: Scale) -> Table {
+    const HOPS: u64 = 8;
+    let duration = if scale.quick {
+        8 * MILLISECOND
+    } else {
+        40 * MILLISECOND
+    };
+    let mut t = Table::new(
+        "Fabric sweep — pushdown vs per-hop round trips, depth-8 chase, 2 threads",
+        &[
+            "one-way us",
+            "dispatch",
+            "chains/s",
+            "p50 us",
+            "IOPS",
+            "capsules",
+            "responses",
+            "target-local",
+        ],
+    );
+    let mut run = |mode: DispatchMode, link: Option<FabricConfig>, label: String| -> RunReport {
+        let mut b = PushdownSession::builder(Chase::hops(HOPS))
+            .dispatch(mode)
+            .seed(4077);
+        if let Some(link) = link {
+            b = b.fabric(link);
+        }
+        let mut session = b.build().expect("session");
+        let (report, stats) = session.run_closed_loop(2, duration);
+        assert_eq!(stats.mismatches, 0, "offloaded chases must be correct");
+        assert_eq!(stats.errors, 0, "{label}: no chain may fail");
+        t.row(vec![
+            label.clone(),
+            mode.label().to_string(),
+            iops(report.chains_per_sec),
+            us(report.latency.quantile(0.5) as f64),
+            iops(report.iops),
+            report.fabric.capsules_sent.to_string(),
+            report.fabric.responses.to_string(),
+            report.fabric.target_local.to_string(),
+        ]);
+        report
+    };
+    let local = run(DispatchMode::DriverHook, None, "local".to_string());
+    let local_p50 = local.latency.quantile(0.5);
+    let mut prev_gap = 1.0;
+    for one_way_us in [5u64, 20, 80] {
+        let link = FabricConfig::symmetric(one_way_us * 1_000, one_way_us * 200);
+        let nopd = run(
+            DispatchMode::Remote,
+            Some(link.clone()),
+            format!("{one_way_us}"),
+        );
+        let pd = run(
+            DispatchMode::DriverHook,
+            Some(link),
+            format!("{one_way_us}"),
+        );
+        for (name, r) in [("remote", &nopd), ("remote-pushdown", &pd)] {
+            assert!(
+                r.latency.quantile(0.5) > local_p50,
+                "{name} p50 must exceed local p50 at {one_way_us}us one-way"
+            );
+        }
+        assert!(
+            pd.chains_per_sec > nopd.chains_per_sec && pd.iops > nopd.iops,
+            "pushdown must out-run per-hop round trips at {one_way_us}us \
+             ({:.0} vs {:.0} chains/s)",
+            pd.chains_per_sec,
+            nopd.chains_per_sec
+        );
+        let gap = nopd.mean_latency() / pd.mean_latency();
+        assert!(
+            gap > prev_gap,
+            "the pushdown gap must grow with network latency \
+             ({gap:.2}x at {one_way_us}us, was {prev_gap:.2}x)"
+        );
+        prev_gap = gap;
+    }
+    t.note(
+        "remote (no pushdown) pays one fabric RTT per dependent hop; pushdown pays ~1 per chain",
+    );
+    t.note(&format!(
+        "depth-{HOPS} chase: the latency gap approaches {HOPS}x as the wire dominates"
+    ));
     t
 }
 

@@ -12,6 +12,9 @@
 //! | Figure 3c | `fig3c` | [`experiments::fig3c`] |
 //! | Figure 3d | `fig3d` | [`experiments::fig3d`] |
 //! | §4 extent stability | `extent_stability` | [`experiments::extent_stability`] |
+//! | Queue sweep | `queue_sweep` | [`experiments::queue_sweep`] |
+//! | Write mix | `write_mix` | [`experiments::write_mix`] |
+//! | Fabric sweep (BPF-oF) | `fabric_sweep` | [`experiments::fabric_sweep`] |
 //! | Ablations A1–A4 | `ablations` | [`experiments::ablation_extent_cache`] ... |
 //!
 //! `cargo bench` additionally runs the `figures` harness (all of the

@@ -44,8 +44,8 @@ pub mod session;
 pub mod workloads;
 
 pub use bpfstor_kernel::{
-    ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, ProgHandle, RunReport,
-    WriteStart,
+    ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, FabricConfig, FabricStats,
+    ProgHandle, RunReport, TransportConfig, WriteStart,
 };
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
 pub use env::LookupHit;

@@ -25,8 +25,9 @@
 //! [`run_uring`]: PushdownSession::run_uring
 
 use bpfstor_kernel::{
-    ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
-    KernelError, Machine, MachineConfig, Mutation, ProgHandle, RunReport, UserNext, WriteStart,
+    ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
+    FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle, RunReport,
+    TransportConfig, UserNext, WriteStart,
 };
 use bpfstor_sim::{Nanos, SimRng, SECOND};
 use bpfstor_vm::Program;
@@ -289,6 +290,23 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
         self
     }
 
+    /// Sets the ring→device transport (default:
+    /// [`TransportConfig::Local`], the paper's PCIe testbed).
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Shorthand for an NVMe-oF fabric transport: the workload's device
+    /// sits behind a modelled network. Combine with
+    /// [`DispatchMode::Remote`] for the no-pushdown baseline (every
+    /// dependent hop pays a round trip) or [`DispatchMode::DriverHook`]
+    /// for pushdown-over-fabric (the chain runs target-side and returns
+    /// one capsule).
+    pub fn fabric(self, config: FabricConfig) -> Self {
+        self.transport(TransportConfig::Fabric(config))
+    }
+
     /// Overrides the on-disk file name (default: `<workload>.img`).
     pub fn file_name(mut self, name: impl Into<String>) -> Self {
         self.file_name = Some(name.into());
@@ -317,7 +335,12 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
         let mut machine = Machine::new(self.config);
         machine.create_file(&file_name, &image)?;
         let fd = machine.open(&file_name, true)?;
-        let handle = if self.mode != DispatchMode::User {
+        // Only the hook modes run a program; User and Remote traverse
+        // natively from the application.
+        let handle = if matches!(
+            self.mode,
+            DispatchMode::SyscallHook | DispatchMode::DriverHook
+        ) {
             Some(machine.install(fd, self.workload.program(), self.workload.install_flags())?)
         } else {
             None

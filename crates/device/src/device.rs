@@ -109,6 +109,10 @@ pub struct NvmeCompletion {
     pub data: Vec<u8>,
     /// Device channel that serviced the command (for utilization stats).
     pub channel: usize,
+    /// Non-device time a transport added on top of the service instant
+    /// (wire latency + target-side capsule processing). Zero straight
+    /// off the device; the fabric transport fills it in.
+    pub fabric_ns: Nanos,
 }
 
 /// Aggregate device statistics.
@@ -367,6 +371,7 @@ impl NvmeDevice {
                     complete_at: end,
                     data: Vec::new(),
                     channel: ch,
+                    fabric_ns: 0,
                 };
             }
         };
@@ -380,6 +385,7 @@ impl NvmeDevice {
             complete_at: end,
             data,
             channel: ch,
+            fabric_ns: 0,
         }
     }
 

@@ -24,6 +24,7 @@ pub mod device;
 pub mod profile;
 pub mod ring;
 pub mod store;
+pub mod transport;
 
 pub use device::{
     CmdKind, DeviceStats, NvmeCommand, NvmeCompletion, NvmeDevice, NvmeOp, QueueError, QueuePairId,
@@ -31,3 +32,7 @@ pub use device::{
 pub use profile::{DeviceClass, DeviceProfile};
 pub use ring::Ring;
 pub use store::{SectorStore, SECTOR_SIZE};
+pub use transport::{
+    FabricConfig, FabricStats, FabricTransport, LocalTransport, SubmitClass, Transport,
+    TransportConfig,
+};

@@ -1,0 +1,694 @@
+//! The ring→device transport abstraction.
+//!
+//! The kernel's NVMe layer talks to the device through a [`Transport`]:
+//! it enqueues commands, rings a doorbell, and later reaps completions.
+//! Two implementations exist:
+//!
+//! - [`LocalTransport`] is the PCIe path the paper's testbed uses: a
+//!   pass-through to [`NvmeDevice`]'s memory-mapped SQ/CQ rings. It
+//!   preserves the pre-transport behaviour byte for byte — same ring
+//!   semantics, same instants, same statistics.
+//! - [`FabricTransport`] models an NVMe-oF initiator/target pair (the
+//!   BPF-oF setting): each command is encoded into a *capsule* that pays
+//!   a per-direction network latency (with jitter) before the target's
+//!   local SQ/CQ rings service it, and each completion returns as a
+//!   response capsule over the same wire. An in-flight-capsule window
+//!   provides credit-style flow control with its own backpressure,
+//!   independent of the target ring depth.
+//!
+//! The transport also understands *pushdown* submissions
+//! ([`SubmitClass`]): a chain whose BPF program runs target-side crosses
+//! the fabric once on submission, its dependent hops are recycled
+//! entirely at the target, and only the terminal response capsule
+//! ([`Transport::response_capsule`]) crosses back — the BPF-oF
+//! round-trip elision this refactor exists to measure.
+
+use std::collections::HashMap;
+
+use bpfstor_sim::{LatencyDist, Nanos, SimRng};
+
+use crate::device::{NvmeCommand, NvmeCompletion, NvmeDevice, QueueError};
+use crate::QueuePairId;
+
+/// How a submission relates to the fabric (ignored by the local path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitClass {
+    /// Host-originated command whose completion returns to the host:
+    /// over a fabric both directions cross the wire (command capsule
+    /// out, response capsule back).
+    Host,
+    /// Host-originated first hop of a target-resident (pushdown) chain:
+    /// the command capsule crosses the wire, but the completion is
+    /// consumed by the target-side hook — no response capsule until the
+    /// chain terminates.
+    PushdownStart,
+    /// Target-originated recycled resubmission of a pushdown chain:
+    /// never touches the wire in either direction.
+    TargetLocal,
+}
+
+/// Wire/flow-control model of one NVMe-oF connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// One-way host→target wire latency, sampled per command capsule.
+    pub to_target: LatencyDist,
+    /// One-way target→host wire latency, sampled per response capsule.
+    pub to_host: LatencyDist,
+    /// Fixed target-side capsule processing (decode, local ring write /
+    /// response build) charged per wire crossing, in nanoseconds.
+    pub target_proc_ns: Nanos,
+    /// Maximum command capsules in flight per queue pair (submitted and
+    /// not yet reaped by the host) — NVMe-oF's queue-granular credit
+    /// window. Submissions beyond it are rejected as backpressure,
+    /// counted in [`FabricStats::capsule_stalls`].
+    pub inflight_cap: usize,
+}
+
+impl FabricConfig {
+    /// A symmetric link: `one_way` ns each direction, uniform jitter of
+    /// `±jitter` ns, with the default window and target processing cost.
+    pub fn symmetric(one_way: Nanos, jitter: Nanos) -> Self {
+        let dist = |mid: Nanos| {
+            if jitter == 0 {
+                LatencyDist::Constant(mid)
+            } else {
+                LatencyDist::Uniform(mid.saturating_sub(jitter), mid + jitter)
+            }
+        };
+        FabricConfig {
+            to_target: dist(one_way),
+            to_host: dist(one_way),
+            target_proc_ns: 500,
+            inflight_cap: 32,
+        }
+    }
+
+    /// Overrides the in-flight-capsule window.
+    pub fn with_inflight_cap(mut self, cap: usize) -> Self {
+        self.inflight_cap = cap.max(1);
+        self
+    }
+}
+
+impl Default for FabricConfig {
+    /// A same-rack RDMA-class link: 15 µs ± 3 µs each way.
+    fn default() -> Self {
+        FabricConfig::symmetric(15_000, 3_000)
+    }
+}
+
+/// Which transport a machine uses between its rings and the device.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TransportConfig {
+    /// PCIe pass-through (the paper's testbed).
+    #[default]
+    Local,
+    /// NVMe-oF initiator/target pair over a modelled network.
+    Fabric(FabricConfig),
+}
+
+/// Fabric-side counters for one run (all zero on the local transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Command capsules that crossed host→target.
+    pub capsules_sent: u64,
+    /// Response capsules that crossed target→host (per-command responses
+    /// plus terminal pushdown responses).
+    pub responses: u64,
+    /// Target-local recycled submissions that never touched the wire.
+    pub target_local: u64,
+    /// Total one-way wire time accumulated over both directions,
+    /// including the fixed target-side capsule processing.
+    pub wire_ns: Nanos,
+    /// Submissions declined because the in-flight-capsule window (not
+    /// the target ring) was the binding constraint.
+    pub capsule_stalls: u64,
+    /// High-water mark of in-flight capsules on any queue pair.
+    pub max_inflight: usize,
+}
+
+/// The ring→device hop, as the kernel's NVMe layer sees it.
+///
+/// Completion instants returned by [`Transport::ring_doorbell`] and
+/// carried by reaped [`NvmeCompletion`]s are *host-visible* instants:
+/// the local transport reports device completion times, the fabric
+/// transport adds the wire (and marks the added non-device time in
+/// [`NvmeCompletion::fabric_ns`]).
+pub trait Transport {
+    /// Number of queue pairs.
+    fn nr_queues(&self) -> usize;
+
+    /// Usable outstanding-command slots per queue pair (the tighter of
+    /// the ring capacity and any fabric credit window).
+    fn queue_capacity(&self) -> usize;
+
+    /// Commands admitted on `qp` and not yet reaped by the host.
+    fn outstanding(&self, qp: QueuePairId) -> usize;
+
+    /// True when `qp` can admit `n` more commands right now.
+    fn can_accept(&self, qp: QueuePairId, n: usize) -> bool;
+
+    /// Counts a submission the driver declined to attempt because
+    /// [`Transport::can_accept`] said no.
+    fn record_rejection(&mut self);
+
+    /// Enqueues a command without ringing the doorbell.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::SubmissionFull`] at capacity,
+    /// [`QueueError::NoSuchQueue`] for bad ids.
+    fn submit(
+        &mut self,
+        qp: QueuePairId,
+        cmd: NvmeCommand,
+        class: SubmitClass,
+    ) -> Result<(), QueueError>;
+
+    /// Rings the doorbell at `now`: everything queued on `qp` is put in
+    /// motion. Returns the host-visible completion instants (for the
+    /// interrupt timer).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::NoSuchQueue`] for bad ids.
+    fn ring_doorbell(&mut self, now: Nanos, qp: QueuePairId) -> Result<Vec<Nanos>, QueueError>;
+
+    /// Posts every completion whose host-visible instant has passed onto
+    /// the host completion queue; returns how many were posted.
+    fn post_ready(&mut self, now: Nanos, qp: QueuePairId) -> usize;
+
+    /// Drains up to `max` posted completions (the IRQ handler's reap),
+    /// freeing their slots/credits.
+    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion>;
+
+    /// Puts a terminal pushdown response capsule on the wire at `now`:
+    /// returns `(host arrival instant, wire nanoseconds)` on a fabric,
+    /// `None` on the local transport (nothing to cross).
+    fn response_capsule(&mut self, now: Nanos) -> Option<(Nanos, Nanos)>;
+
+    /// True for fabric transports.
+    fn is_fabric(&self) -> bool;
+
+    /// Fabric counters for the current run (zeroes on local).
+    fn fabric_stats(&self) -> FabricStats;
+
+    /// The backing device (target-side on a fabric).
+    fn device(&self) -> &NvmeDevice;
+
+    /// Mutable device access (store formatting, test setup).
+    fn device_mut(&mut self) -> &mut NvmeDevice;
+
+    /// Resets per-run timing/counter state (stored bytes untouched).
+    fn reset_timing(&mut self);
+}
+
+/// PCIe pass-through: the pre-transport dispatch path, unchanged.
+pub struct LocalTransport {
+    dev: NvmeDevice,
+}
+
+impl LocalTransport {
+    /// Wraps a device.
+    pub fn new(dev: NvmeDevice) -> Self {
+        LocalTransport { dev }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn nr_queues(&self) -> usize {
+        self.dev.nr_queues()
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.dev.queue_capacity()
+    }
+
+    fn outstanding(&self, qp: QueuePairId) -> usize {
+        self.dev.outstanding(qp)
+    }
+
+    fn can_accept(&self, qp: QueuePairId, n: usize) -> bool {
+        self.dev.can_accept(qp, n)
+    }
+
+    fn record_rejection(&mut self) {
+        self.dev.record_rejection();
+    }
+
+    fn submit(
+        &mut self,
+        qp: QueuePairId,
+        cmd: NvmeCommand,
+        _class: SubmitClass,
+    ) -> Result<(), QueueError> {
+        self.dev.submit(qp, cmd)
+    }
+
+    fn ring_doorbell(&mut self, now: Nanos, qp: QueuePairId) -> Result<Vec<Nanos>, QueueError> {
+        self.dev.ring_doorbell(now, qp)
+    }
+
+    fn post_ready(&mut self, now: Nanos, qp: QueuePairId) -> usize {
+        self.dev.post_ready(now, qp)
+    }
+
+    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+        self.dev.reap(qp, max)
+    }
+
+    fn response_capsule(&mut self, _now: Nanos) -> Option<(Nanos, Nanos)> {
+        None
+    }
+
+    fn is_fabric(&self) -> bool {
+        false
+    }
+
+    fn fabric_stats(&self) -> FabricStats {
+        FabricStats::default()
+    }
+
+    fn device(&self) -> &NvmeDevice {
+        &self.dev
+    }
+
+    fn device_mut(&mut self) -> &mut NvmeDevice {
+        &mut self.dev
+    }
+
+    fn reset_timing(&mut self) {
+        self.dev.reset_timing();
+    }
+}
+
+/// Per-queue-pair initiator state.
+#[derive(Default)]
+struct InitiatorQueue {
+    /// Commands enqueued by the host, awaiting the next doorbell.
+    sq: Vec<(NvmeCommand, SubmitClass)>,
+    /// Completions back at the host whose instant has not passed yet,
+    /// kept sorted by host-visible `complete_at`.
+    pending: Vec<NvmeCompletion>,
+    /// Posted completions ready for the IRQ handler.
+    ready: Vec<NvmeCompletion>,
+    /// Admitted and not yet host-reaped (the capsule credit budget).
+    outstanding: usize,
+}
+
+/// NVMe-oF initiator/target pair: command capsules cross a modelled
+/// network, the target's real SQ/CQ rings service them, responses cross
+/// back. Deterministic given the construction RNG.
+pub struct FabricTransport {
+    dev: NvmeDevice,
+    cfg: FabricConfig,
+    rng: SimRng,
+    queues: Vec<InitiatorQueue>,
+    stats: FabricStats,
+}
+
+impl FabricTransport {
+    /// Builds the pair around a target-side device. A zero
+    /// `inflight_cap` is clamped to one (a window that admits nothing
+    /// would turn every I/O into a silent error).
+    pub fn new(dev: NvmeDevice, mut cfg: FabricConfig, rng: SimRng) -> Self {
+        cfg.inflight_cap = cfg.inflight_cap.max(1);
+        let queues = (0..dev.nr_queues())
+            .map(|_| InitiatorQueue::default())
+            .collect();
+        FabricTransport {
+            dev,
+            cfg,
+            rng,
+            queues,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// One wire crossing: fixed target-side processing plus a sampled
+    /// one-way latency.
+    fn crossing(&mut self, dist_to_target: bool) -> Nanos {
+        let wire = if dist_to_target {
+            self.cfg.to_target.sample(&mut self.rng)
+        } else {
+            self.cfg.to_host.sample(&mut self.rng)
+        };
+        let total = wire + self.cfg.target_proc_ns;
+        self.stats.wire_ns += total;
+        total
+    }
+}
+
+impl Transport for FabricTransport {
+    fn nr_queues(&self) -> usize {
+        self.dev.nr_queues()
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.dev.queue_capacity().min(self.cfg.inflight_cap)
+    }
+
+    fn outstanding(&self, qp: QueuePairId) -> usize {
+        self.queues.get(qp).map_or(0, |q| q.outstanding)
+    }
+
+    fn can_accept(&self, qp: QueuePairId, n: usize) -> bool {
+        self.queues
+            .get(qp)
+            .is_some_and(|q| q.outstanding + n <= self.queue_capacity())
+    }
+
+    fn record_rejection(&mut self) {
+        // Attribute the stall to the capsule window when it is the
+        // binding constraint (the ring alone would have accepted).
+        if self.cfg.inflight_cap < self.dev.queue_capacity() {
+            self.stats.capsule_stalls += 1;
+        }
+        self.dev.record_rejection();
+    }
+
+    fn submit(
+        &mut self,
+        qp: QueuePairId,
+        cmd: NvmeCommand,
+        class: SubmitClass,
+    ) -> Result<(), QueueError> {
+        let cap = self.queue_capacity();
+        let q = self.queues.get_mut(qp).ok_or(QueueError::NoSuchQueue)?;
+        if q.outstanding >= cap {
+            self.record_rejection();
+            return Err(QueueError::SubmissionFull);
+        }
+        q.outstanding += 1;
+        self.stats.max_inflight = self.stats.max_inflight.max(q.outstanding);
+        q.sq.push((cmd, class));
+        Ok(())
+    }
+
+    fn ring_doorbell(&mut self, now: Nanos, qp: QueuePairId) -> Result<Vec<Nanos>, QueueError> {
+        if qp >= self.queues.len() {
+            return Err(QueueError::NoSuchQueue);
+        }
+        let batch = std::mem::take(&mut self.queues[qp].sq);
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Each command capsule crosses the wire on its own (NVMe-oF has
+        // no doorbells on the fabric); jitter may reorder a batch, so
+        // capsules hit the target's rings in arrival order.
+        let mut meta: HashMap<u64, (Nanos, bool)> = HashMap::new(); // cid → (outbound, returns)
+        let mut arrivals: Vec<(Nanos, NvmeCommand)> = Vec::with_capacity(batch.len());
+        for (cmd, class) in batch {
+            let outbound = match class {
+                SubmitClass::TargetLocal => {
+                    self.stats.target_local += 1;
+                    0
+                }
+                SubmitClass::Host | SubmitClass::PushdownStart => {
+                    self.stats.capsules_sent += 1;
+                    self.crossing(true)
+                }
+            };
+            meta.insert(cmd.cid, (outbound, matches!(class, SubmitClass::Host)));
+            arrivals.push((now + outbound, cmd));
+        }
+        arrivals.sort_by_key(|(at, _)| *at);
+        for (arrive, cmd) in arrivals {
+            self.dev
+                .submit(qp, cmd)
+                .expect("initiator window never exceeds target ring capacity");
+            self.dev
+                .ring_doorbell(arrive, qp)
+                .expect("queue pair exists");
+        }
+        // The target's service instants are fixed at its doorbell: drain
+        // its completion ring eagerly and compute the host-visible
+        // instants (response capsules pay the return wire; target-side
+        // pushdown completions stay at their local instants).
+        self.dev.post_ready(Nanos::MAX, qp);
+        let mut times = Vec::new();
+        for mut c in self.dev.reap(qp, usize::MAX) {
+            let (outbound, returns) = meta.get(&c.cid).copied().unwrap_or((0, true));
+            let back = if returns {
+                self.stats.responses += 1;
+                self.crossing(false)
+            } else {
+                0
+            };
+            c.fabric_ns = outbound + back;
+            c.complete_at += back;
+            times.push(c.complete_at);
+            self.queues[qp].pending.push(c);
+        }
+        self.queues[qp].pending.sort_by_key(|c| c.complete_at);
+        Ok(times)
+    }
+
+    fn post_ready(&mut self, now: Nanos, qp: QueuePairId) -> usize {
+        let Some(q) = self.queues.get_mut(qp) else {
+            return 0;
+        };
+        // `pending` is only appended to in ring_doorbell, which leaves
+        // it sorted by host-visible instant.
+        let take = q.pending.partition_point(|c| c.complete_at <= now);
+        let mut posted: Vec<NvmeCompletion> = q.pending.drain(..take).collect();
+        q.ready.append(&mut posted);
+        take
+    }
+
+    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+        let Some(q) = self.queues.get_mut(qp) else {
+            return Vec::new();
+        };
+        let take = q.ready.len().min(max);
+        let out: Vec<NvmeCompletion> = q.ready.drain(..take).collect();
+        q.outstanding -= out.len();
+        out
+    }
+
+    fn response_capsule(&mut self, now: Nanos) -> Option<(Nanos, Nanos)> {
+        self.stats.responses += 1;
+        let wire = self.crossing(false);
+        Some((now + wire, wire))
+    }
+
+    fn is_fabric(&self) -> bool {
+        true
+    }
+
+    fn fabric_stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    fn device(&self) -> &NvmeDevice {
+        &self.dev
+    }
+
+    fn device_mut(&mut self) -> &mut NvmeDevice {
+        &mut self.dev
+    }
+
+    fn reset_timing(&mut self) {
+        self.dev.reset_timing();
+        for q in &mut self.queues {
+            q.sq.clear();
+            q.pending.clear();
+            q.ready.clear();
+            q.outstanding = 0;
+        }
+        self.stats = FabricStats::default();
+    }
+}
+
+impl TransportConfig {
+    /// Builds a transport around `dev`, drawing fabric randomness from
+    /// `rng` (unused by the local path).
+    pub fn build(&self, dev: NvmeDevice, rng: SimRng) -> Box<dyn Transport> {
+        match self {
+            TransportConfig::Local => Box::new(LocalTransport::new(dev)),
+            TransportConfig::Fabric(fc) => Box::new(FabricTransport::new(dev, fc.clone(), rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::NvmeOp;
+    use crate::profile::{DeviceClass, DeviceProfile};
+
+    const SVC: Nanos = 3_000;
+
+    fn dev(depth: usize) -> NvmeDevice {
+        let profile = DeviceProfile {
+            name: "test",
+            class: DeviceClass::NvmGen2,
+            read_latency: LatencyDist::Constant(SVC),
+            write_latency: LatencyDist::Constant(SVC),
+            channels: 4,
+            queue_depth: depth,
+        };
+        NvmeDevice::new(profile, 1, SimRng::seed(7))
+    }
+
+    fn read_cmd(cid: u64) -> NvmeCommand {
+        NvmeCommand {
+            cid,
+            op: NvmeOp::Read { slba: cid, nlb: 1 },
+        }
+    }
+
+    fn link(one_way: Nanos) -> FabricConfig {
+        FabricConfig {
+            to_target: LatencyDist::Constant(one_way),
+            to_host: LatencyDist::Constant(one_way),
+            target_proc_ns: 0,
+            inflight_cap: 32,
+        }
+    }
+
+    fn fabric(one_way: Nanos) -> FabricTransport {
+        FabricTransport::new(dev(8), link(one_way), SimRng::seed(1))
+    }
+
+    #[test]
+    fn local_transport_is_a_pass_through() {
+        let mut t = LocalTransport::new(dev(8));
+        let mut d = dev(8);
+        for cid in 0..3 {
+            t.submit(0, read_cmd(cid), SubmitClass::Host).expect("t");
+            d.submit(0, read_cmd(cid)).expect("d");
+        }
+        let tt = t.ring_doorbell(100, 0).expect("t bell");
+        let dt = d.ring_doorbell(100, 0).expect("d bell");
+        assert_eq!(tt, dt, "identical completion instants");
+        let at = *tt.last().expect("times");
+        assert_eq!(t.post_ready(at, 0), d.post_ready(at, 0));
+        let tc = t.reap(0, usize::MAX);
+        let dc = d.reap(0, usize::MAX);
+        assert_eq!(tc.len(), dc.len());
+        for (a, b) in tc.iter().zip(&dc) {
+            assert_eq!(
+                (a.cid, a.complete_at, a.fabric_ns),
+                (b.cid, b.complete_at, 0)
+            );
+        }
+        assert_eq!(t.device().stats(), d.stats());
+        assert_eq!(t.fabric_stats(), FabricStats::default());
+        assert!(t.response_capsule(0).is_none());
+    }
+
+    #[test]
+    fn host_class_pays_both_directions() {
+        let mut t = fabric(10_000);
+        t.submit(0, read_cmd(1), SubmitClass::Host).expect("submit");
+        let times = t.ring_doorbell(0, 0).expect("bell");
+        assert_eq!(times, vec![10_000 + SVC + 10_000]);
+        assert_eq!(t.post_ready(23_000, 0), 1);
+        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        assert_eq!(c.fabric_ns, 20_000);
+        assert_eq!(c.complete_at, 23_000);
+        let s = t.fabric_stats();
+        assert_eq!((s.capsules_sent, s.responses, s.target_local), (1, 1, 0));
+        assert_eq!(s.wire_ns, 20_000);
+    }
+
+    #[test]
+    fn pushdown_start_pays_outbound_only() {
+        let mut t = fabric(10_000);
+        t.submit(0, read_cmd(1), SubmitClass::PushdownStart)
+            .expect("submit");
+        let times = t.ring_doorbell(0, 0).expect("bell");
+        assert_eq!(times, vec![10_000 + SVC], "completion stays target-side");
+        t.post_ready(13_000, 0);
+        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        assert_eq!(c.fabric_ns, 10_000);
+        let s = t.fabric_stats();
+        assert_eq!((s.capsules_sent, s.responses), (1, 0));
+    }
+
+    #[test]
+    fn target_local_never_touches_the_wire() {
+        let mut t = fabric(10_000);
+        t.submit(0, read_cmd(1), SubmitClass::TargetLocal)
+            .expect("submit");
+        let times = t.ring_doorbell(500, 0).expect("bell");
+        assert_eq!(times, vec![500 + SVC]);
+        t.post_ready(500 + SVC, 0);
+        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        assert_eq!(c.fabric_ns, 0);
+        let s = t.fabric_stats();
+        assert_eq!((s.capsules_sent, s.target_local, s.wire_ns), (0, 1, 0));
+    }
+
+    #[test]
+    fn response_capsule_crosses_back() {
+        let mut t = fabric(7_000);
+        let (arrive, wire) = t.response_capsule(1_000).expect("fabric");
+        assert_eq!((arrive, wire), (8_000, 7_000));
+        assert_eq!(t.fabric_stats().responses, 1);
+    }
+
+    #[test]
+    fn capsule_window_backpressures_before_the_ring() {
+        let mut t = FabricTransport::new(dev(8), link(1_000).with_inflight_cap(2), SimRng::seed(2));
+        assert_eq!(t.queue_capacity(), 2, "window tighter than the ring");
+        t.submit(0, read_cmd(1), SubmitClass::Host).expect("one");
+        t.submit(0, read_cmd(2), SubmitClass::Host).expect("two");
+        assert!(!t.can_accept(0, 1));
+        assert_eq!(
+            t.submit(0, read_cmd(3), SubmitClass::Host).unwrap_err(),
+            QueueError::SubmissionFull
+        );
+        assert_eq!(t.fabric_stats().capsule_stalls, 1);
+        assert_eq!(t.fabric_stats().max_inflight, 2);
+        // Credits free at host reap, not at target completion.
+        t.ring_doorbell(0, 0).expect("bell");
+        t.post_ready(Nanos::MAX, 0);
+        assert!(
+            !t.can_accept(0, 1),
+            "posted but unreaped still holds credits"
+        );
+        assert_eq!(t.reap(0, usize::MAX).len(), 2);
+        assert!(t.can_accept(0, 2));
+    }
+
+    #[test]
+    fn jitter_reorders_but_loses_nothing() {
+        let cfg = FabricConfig {
+            to_target: LatencyDist::Uniform(1_000, 50_000),
+            to_host: LatencyDist::Uniform(1_000, 50_000),
+            target_proc_ns: 250,
+            inflight_cap: 32,
+        };
+        let mut t = FabricTransport::new(dev(8), cfg, SimRng::seed(99));
+        for cid in 0..6 {
+            t.submit(0, read_cmd(cid), SubmitClass::Host).expect("fits");
+        }
+        let times = t.ring_doorbell(0, 0).expect("bell");
+        assert_eq!(times.len(), 6);
+        let horizon = *times.iter().max().expect("nonempty");
+        t.post_ready(horizon, 0);
+        let cqes = t.reap(0, usize::MAX);
+        let mut cids: Vec<u64> = cqes.iter().map(|c| c.cid).collect();
+        cids.sort_unstable();
+        assert_eq!(cids, vec![0, 1, 2, 3, 4, 5], "exactly one CQE per SQE");
+        assert!(
+            cqes.windows(2)
+                .all(|w| w[0].complete_at <= w[1].complete_at),
+            "host reaps in completion order"
+        );
+        assert_eq!(t.outstanding(0), 0);
+    }
+
+    #[test]
+    fn reset_timing_clears_fabric_state() {
+        let mut t = fabric(5_000);
+        t.submit(0, read_cmd(1), SubmitClass::Host).expect("submit");
+        t.ring_doorbell(0, 0).expect("bell");
+        t.reset_timing();
+        assert_eq!(t.outstanding(0), 0);
+        assert_eq!(t.fabric_stats(), FabricStats::default());
+        assert_eq!(t.post_ready(Nanos::MAX, 0), 0, "no stale completions");
+    }
+}

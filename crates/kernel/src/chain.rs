@@ -21,7 +21,7 @@
 //! [`ProgHandle`]s with an explicit attach/detach lifecycle (see
 //! [`crate::Machine::install`]).
 
-use bpfstor_device::DeviceStats;
+use bpfstor_device::{DeviceStats, FabricStats};
 use bpfstor_sim::{Histogram, Nanos, SimRng};
 
 use crate::extcache::ExtCacheStats;
@@ -65,19 +65,31 @@ pub struct ChainToken {
     pub issued: Nanos,
 }
 
-/// Where dependent I/Os are reissued from (Figure 2).
+/// Where dependent I/Os are reissued from (Figure 2, extended with the
+/// BPF-oF fabric setting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DispatchMode {
     /// Application-level reissue (baseline).
     User,
     /// Reissue from the syscall dispatch layer hook.
     SyscallHook,
-    /// Reissue from the NVMe driver completion hook.
+    /// Reissue from the NVMe driver completion hook. Over a fabric
+    /// transport this is *pushdown over fabric*: the hook runs on the
+    /// NVMe-oF target, dependent hops are recycled target-side, and only
+    /// the terminal response capsule crosses back.
     DriverHook,
+    /// Remote dispatch without pushdown: hops unwind to the application
+    /// exactly like [`DispatchMode::User`], so over a fabric transport
+    /// every dependent access pays a full network round trip — the
+    /// BPF-oF baseline. On the local transport it behaves identically
+    /// to [`DispatchMode::User`].
+    Remote,
 }
 
 impl DispatchMode {
-    /// All modes, for sweep harnesses.
+    /// The paper's three local modes, for sweep harnesses (the fabric
+    /// comparison pairs [`DispatchMode::Remote`] with
+    /// [`DispatchMode::DriverHook`] over a fabric transport instead).
     pub const ALL: [DispatchMode; 3] = [
         DispatchMode::User,
         DispatchMode::SyscallHook,
@@ -90,6 +102,7 @@ impl DispatchMode {
             DispatchMode::User => "Dispatch from User Space",
             DispatchMode::SyscallHook => "Dispatch from Syscall",
             DispatchMode::DriverHook => "Dispatch from NVMe Driver",
+            DispatchMode::Remote => "Dispatch from Remote Initiator",
         }
     }
 }
@@ -323,8 +336,12 @@ pub struct RunReport {
     /// Per-layer time accounting.
     pub trace: LayerTrace,
     /// Device counters for this run: doorbell rings, interrupts fired,
-    /// CQEs reaped, and submissions rejected by queue backpressure.
+    /// CQEs reaped, and submissions rejected by queue backpressure. On
+    /// a fabric transport these are target-side counters.
     pub device: DeviceStats,
+    /// Fabric counters for this run: capsules each way, wire time,
+    /// window stalls. All zero on the local transport.
+    pub fabric: FabricStats,
     /// Extent-cache counters.
     pub extcache: ExtCacheStats,
     /// Total chained NVMe resubmissions (the §4 fairness counters,

@@ -85,6 +85,14 @@ pub struct LayerCosts {
     /// flush barrier itself is a device command through the rings; this
     /// is only the CPU half.
     pub journal_commit: Nanos,
+    /// Encoding one NVMe-oF command/response capsule (header build,
+    /// in-capsule data copy, CRC). Charged per capsule on whichever
+    /// side puts it on the wire; never charged on the local transport.
+    pub fab_encode: Nanos,
+    /// Decoding one received capsule (validation, completion match).
+    /// Charged per capsule on the receiving side; never charged on the
+    /// local transport.
+    pub fab_decode: Nanos,
 }
 
 impl Default for LayerCosts {
@@ -112,6 +120,8 @@ impl Default for LayerCosts {
             wr_fs_submit: 1269,
             journal_log: 135,
             journal_commit: 250,
+            fab_encode: 400,
+            fab_decode: 300,
         }
     }
 }
@@ -161,6 +171,13 @@ impl LayerCosts {
     /// Cost of one BPF invocation that retired `insns` instructions.
     pub fn bpf_exec(&self, insns: u64) -> Nanos {
         self.bpf_base + self.bpf_per_insn * insns
+    }
+
+    /// Host-side capsule CPU cost of one fabric round trip (encode the
+    /// command, decode the response). Wire time is modelled by the
+    /// transport, not the cost table.
+    pub fn fab_round_trip(&self) -> Nanos {
+        self.fab_encode + self.fab_decode
     }
 
     /// The submission-side CPU burst of a synchronous `write`, up to

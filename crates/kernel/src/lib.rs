@@ -26,6 +26,7 @@ pub mod extcache;
 pub mod machine;
 pub mod trace;
 
+pub use bpfstor_device::{FabricConfig, FabricStats, TransportConfig};
 pub use chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict,
     DispatchMode, Fd, ProgHandle, RunReport, UserNext, WriteStart,

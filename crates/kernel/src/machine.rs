@@ -35,11 +35,23 @@
 //!   submission path (but no boundary crossing);
 //! - in [`DispatchMode::User`] everything unwinds to the application,
 //!   which parses the block and issues a fresh `pread`.
+//!
+//! The ring→device hop itself is a [`Transport`]
+//! ([`MachineConfig::transport`]): the default `LocalTransport` is the
+//! PCIe pass-through described above, while a `FabricTransport` puts an
+//! NVMe-oF-style network (capsule encode costs, per-direction latency
+//! with jitter, an in-flight-capsule credit window) between the rings
+//! and the device. Over a fabric, [`DispatchMode::Remote`] pays a round
+//! trip per dependent hop, while [`DispatchMode::DriverHook`] chains
+//! become *target-resident*: hops recycle on the target and only the
+//! terminal response capsule crosses back ([`Ev::CapsuleRx`]).
 
 use std::collections::{HashMap, HashSet};
 
 use bpfstor_device::device::{NvmeCommand, NvmeOp};
-use bpfstor_device::{DeviceProfile, NvmeDevice, SECTOR_SIZE};
+use bpfstor_device::{
+    DeviceProfile, FabricStats, NvmeDevice, SubmitClass, Transport, TransportConfig, SECTOR_SIZE,
+};
 use bpfstor_fs::{ExtFs, ExtentEvent, PageCache};
 use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
 use bpfstor_vm::{action, verify, ExecEnv, MapSet, Program, RunCtx, Vm, EMIT_MAX, SCRATCH_SIZE};
@@ -77,6 +89,14 @@ pub struct MachineConfig {
     /// as soon as this many CQEs are pending, even inside the time
     /// budget. `1` (or `0`) disables depth-based coalescing.
     pub irq_coalesce_depth: u32,
+    /// The ring→device hop: PCIe pass-through (the default) or an
+    /// NVMe-oF initiator/target pair over a modelled network.
+    pub transport: TransportConfig,
+    /// Explicit queue-pair→core interrupt affinity (MSI-X vector
+    /// steering): entry `q` names the core whose IRQ handler serves
+    /// queue pair `q`. `None` gives the identity mapping (`qp % cores`),
+    /// which matches the per-thread queue-pair layout.
+    pub qp_affinity: Option<Vec<usize>>,
 }
 
 impl Default for MachineConfig {
@@ -91,6 +111,8 @@ impl Default for MachineConfig {
             resubmit_bound: 256,
             irq_coalesce_us: 0,
             irq_coalesce_depth: 1,
+            transport: TransportConfig::Local,
+            qp_affinity: None,
         }
     }
 }
@@ -194,6 +216,11 @@ enum Ev {
     Delivered {
         op: usize,
     },
+    /// A terminal pushdown response capsule arrives at the host NIC:
+    /// decode it and unwind the host-side completion path.
+    CapsuleRx {
+        op: usize,
+    },
     Mutate {
         idx: usize,
     },
@@ -268,6 +295,10 @@ struct Op {
     /// Logical block range of the write (page-cache coherence).
     wr_lb: u64,
     wr_nblocks: u64,
+    /// Pushdown over fabric: the chain's hook runs on the NVMe-oF
+    /// target, hops recycle target-side, and the terminal outcome
+    /// returns as one response capsule.
+    remote_pushdown: bool,
 }
 
 /// A chain queued for re-issue after a rearm-retry verdict.
@@ -340,7 +371,12 @@ pub struct Machine {
     pub now: Nanos,
     events: EventQueue<Ev>,
     cores: Cores,
-    device: NvmeDevice,
+    /// The ring→device hop (local PCIe or NVMe-oF fabric).
+    transport: Box<dyn Transport>,
+    /// Cached `transport.is_fabric()` (hot paths branch on it).
+    fabric: bool,
+    /// Queue-pair→core interrupt affinity (MSI-X steering).
+    qp_core: Vec<usize>,
     fs: ExtFs,
     pagecache: PageCache,
     extcache: ExtentCache,
@@ -387,15 +423,42 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit [`MachineConfig::qp_affinity`] map does not
+    /// name one in-range core per queue pair.
     pub fn new(cfg: MachineConfig) -> Self {
         let mut rng = SimRng::seed(cfg.seed);
         let dev_rng = rng.fork(1);
         let nr_queues = cfg.cores.max(1);
+        let device = NvmeDevice::new(cfg.profile, nr_queues, dev_rng);
+        // The local path must not consume parent randomness beyond the
+        // device fork, so existing seeds reproduce bit-for-bit; only a
+        // fabric forks a wire-latency stream.
+        let transport: Box<dyn Transport> = match &cfg.transport {
+            TransportConfig::Local => cfg.transport.build(device, SimRng::seed(0)),
+            TransportConfig::Fabric(_) => cfg.transport.build(device, rng.fork(2)),
+        };
+        let fabric = transport.is_fabric();
+        let qp_core: Vec<usize> = match cfg.qp_affinity {
+            Some(map) => {
+                assert_eq!(map.len(), nr_queues, "one affinity entry per queue pair");
+                assert!(
+                    map.iter().all(|&c| c < cfg.cores),
+                    "affinity core out of range"
+                );
+                map
+            }
+            None => (0..nr_queues).map(|q| q % cfg.cores.max(1)).collect(),
+        };
         Machine {
             now: 0,
             events: EventQueue::new(),
             cores: Cores::new(cfg.cores),
-            device: NvmeDevice::new(cfg.profile, nr_queues, dev_rng),
+            transport,
+            fabric,
+            qp_core,
             fs: ExtFs::mkfs(cfg.fs_blocks),
             pagecache: PageCache::new(cfg.pagecache_blocks, SECTOR_SIZE),
             extcache: ExtentCache::new(),
@@ -445,7 +508,7 @@ impl Machine {
             .create(name)
             .map_err(|e| KernelError::Fs(e.to_string()))?;
         self.fs
-            .write(ino, 0, data, self.device.store_mut())
+            .write(ino, 0, data, self.transport.device_mut().store_mut())
             .map_err(|e| KernelError::Fs(e.to_string()))?;
         self.fs.take_events();
         Ok(ino)
@@ -624,7 +687,7 @@ impl Machine {
 
     /// Direct mutable FS + store access for setup.
     pub fn fs_and_store(&mut self) -> (&mut ExtFs, &mut bpfstor_device::SectorStore) {
-        (&mut self.fs, self.device.store_mut())
+        (&mut self.fs, self.transport.device_mut().store_mut())
     }
 
     /// The extent-cache statistics.
@@ -645,9 +708,33 @@ impl Machine {
     }
 
     /// Device counters for the current/last run: doorbell rings,
-    /// interrupts, reaped CQEs, and backpressure rejections.
+    /// interrupts, reaped CQEs, and backpressure rejections. On a
+    /// fabric transport these are target-side counters.
     pub fn device_stats(&self) -> bpfstor_device::DeviceStats {
-        self.device.stats()
+        self.transport.device().stats()
+    }
+
+    /// Fabric counters for the current/last run (all zero on the local
+    /// transport).
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.transport.fabric_stats()
+    }
+
+    /// True when the ring→device hop crosses an NVMe-oF fabric.
+    pub fn is_fabric(&self) -> bool {
+        self.fabric
+    }
+
+    /// The core whose interrupt handler serves queue pair `qp` (MSI-X
+    /// affinity), or `None` for an unknown queue pair.
+    pub fn qp_core(&self, qp: usize) -> Option<usize> {
+        self.qp_core.get(qp).copied()
+    }
+
+    /// Busy nanoseconds accumulated on `core` in the current/last run
+    /// (affinity test hook).
+    pub fn core_busy_ns(&self, core: usize) -> Nanos {
+        self.cores.busy_ns(core)
     }
 
     // --- Synchronous file I/O through the rings ------------------------------
@@ -823,6 +910,59 @@ impl Machine {
         self.cores.run(self.now, None, cost).end
     }
 
+    /// Charges CPU time pinned to a specific core (MSI-X interrupt
+    /// affinity: the queue pair's interrupt handler runs on its owning
+    /// core, not on whichever core happens to be free).
+    fn charge_on(&mut self, core: usize, cost: Nanos) -> Nanos {
+        self.cores.run(self.now, Some(core), cost).end
+    }
+
+    /// Fabric only: the CPU cost of encoding `n` command capsules on
+    /// the submitting side. A no-op on the local transport.
+    fn charge_capsule_encode(&mut self, n: u64) {
+        if !self.fabric || n == 0 {
+            return;
+        }
+        let cost = self.costs.fab_encode * n;
+        self.charge(cost);
+        self.trace.fabric += cost;
+    }
+
+    /// Terminal hop of a target-resident (pushdown-over-fabric) chain:
+    /// the target runs its final work (`target_cost`), encodes the
+    /// response capsule, and puts it on the wire; the host unwinds its
+    /// completion path when the capsule arrives ([`Ev::CapsuleRx`]).
+    fn send_response_capsule(&mut self, id: usize, target_cost: Nanos) {
+        let cost = target_cost + self.costs.fab_encode;
+        let end = self.charge(cost);
+        self.trace.fabric += self.costs.fab_encode;
+        let (arrive, wire) = self
+            .transport
+            .response_capsule(end)
+            .expect("target-resident chains require a fabric transport");
+        self.trace.fabric_wire += wire;
+        self.events.push(arrive, Ev::CapsuleRx { op: id });
+    }
+
+    /// True when the chain's outcome lives on the NVMe-oF target and
+    /// must return as a response capsule: a pushdown-over-fabric chain
+    /// that actually reached the device (a host page-cache hit never
+    /// leaves the initiator).
+    fn target_resident(&self, id: usize) -> bool {
+        self.ops[id]
+            .as_ref()
+            .is_some_and(|op| op.remote_pushdown && op.ios > 0)
+    }
+
+    /// §4 fairness accounting: one chained kernel-side resubmission on
+    /// behalf of `thread` (read hop recycle or write flush chase).
+    fn note_resubmission(&mut self, thread: usize) {
+        if self.resubmissions.len() <= thread {
+            self.resubmissions.resize(thread + 1, 0);
+        }
+        self.resubmissions[thread] += 1;
+    }
+
     // --- Run loops -----------------------------------------------------------
 
     /// Runs a closed-loop workload: `nthreads` application threads, each
@@ -882,7 +1022,7 @@ impl Machine {
         self.until = until;
         self.now = 0;
         self.cores.reset();
-        self.device.reset_timing();
+        self.transport.reset_timing();
         self.trace = LayerTrace::default();
         self.latency = Histogram::new();
         self.lat_read = Histogram::new();
@@ -923,8 +1063,9 @@ impl Machine {
             read_latency: self.lat_read.clone(),
             write_latency: self.lat_write.clone(),
             cpu_util: self.cores.utilization(sim_time),
-            device_util: self.device.utilization(sim_time),
-            device: self.device.stats(),
+            device_util: self.transport.device().utilization(sim_time),
+            device: self.transport.device().stats(),
+            fabric: self.transport.fabric_stats(),
             trace: self.trace,
             extcache: self.extcache.stats(),
             resubmissions: self.resubmissions.iter().sum(),
@@ -948,8 +1089,22 @@ impl Machine {
             Ev::Doorbell { qp } => self.on_doorbell(qp),
             Ev::IrqFire { qp } => self.on_irq_fire(qp, driver),
             Ev::Delivered { op } => self.on_delivered(op, driver),
+            Ev::CapsuleRx { op } => self.on_capsule_rx(op),
             Ev::Mutate { idx } => self.on_mutate(idx),
         }
+    }
+
+    /// A terminal pushdown response capsule reaches the host: decode it
+    /// and unwind the initiator-side completion path to the application.
+    fn on_capsule_rx(&mut self, id: usize) {
+        if self.ops[id].is_none() {
+            return;
+        }
+        let cost = self.costs.fab_decode + self.costs.sync_complete();
+        let end = self.charge(cost);
+        self.trace.fabric += self.costs.fab_decode;
+        self.account_complete_trace();
+        self.events.push(end, Ev::Delivered { op: id });
     }
 
     // --- Op slab --------------------------------------------------------------
@@ -1054,6 +1209,9 @@ impl Machine {
             wr_segments: None,
             wr_lb: 0,
             wr_nblocks: 0,
+            remote_pushdown: self.fabric
+                && mode == DispatchMode::DriverHook
+                && kind == OpKind::Read,
         };
         let id = self.alloc_op(op);
         if origin == Origin::Sync {
@@ -1092,10 +1250,16 @@ impl Machine {
     }
 
     /// Fails the op's current request and schedules delivery after the
-    /// completion-side CPU burst.
+    /// completion-side CPU burst. For a target-resident chain (a stale
+    /// recycled hop caught at the target) the failure returns to the
+    /// host as a response capsule first.
     fn fail_submit(&mut self, id: usize, status: ChainStatus, unwind_trace: bool) {
         let op = self.ops[id].as_mut().expect("op");
         op.status = Some(status);
+        if self.target_resident(id) {
+            self.send_response_capsule(id, 0);
+            return;
+        }
         let cost = self.costs.sync_complete();
         let end = self.charge(cost);
         if unwind_trace {
@@ -1153,10 +1317,12 @@ impl Machine {
                 }
                 return;
             }
-            let plan = match self
-                .fs
-                .plan_write(ino, file_off, len, self.device.store_mut())
-            {
+            let plan = match self.fs.plan_write(
+                ino,
+                file_off,
+                len,
+                self.transport.device_mut().store_mut(),
+            ) {
                 Ok(p) => p,
                 Err(_) => {
                     self.fail_submit(id, ChainStatus::IoError, false);
@@ -1191,7 +1357,7 @@ impl Machine {
                     let block = if in_block == 0 && chunk == SECTOR_SIZE {
                         remaining[..SECTOR_SIZE].to_vec()
                     } else {
-                        let mut buf = self.device.store_mut().read(phys, 1);
+                        let mut buf = self.transport.device_mut().store_mut().read(phys, 1);
                         buf[in_block..in_block + chunk].copy_from_slice(&remaining[..chunk]);
                         buf
                     };
@@ -1226,13 +1392,13 @@ impl Machine {
             .as_ref()
             .expect("planned")
             .len();
-        let qp = thread % self.device.nr_queues();
-        if nsegs > self.device.queue_capacity() {
+        let qp = thread % self.transport.nr_queues();
+        if nsegs > self.transport.queue_capacity() {
             self.fail_submit(id, ChainStatus::IoError, false);
             return;
         }
-        if !self.device.can_accept(qp, nsegs) {
-            self.device.record_rejection();
+        if !self.transport.can_accept(qp, nsegs) {
+            self.transport.record_rejection();
             self.stalled[qp].push(id);
             return;
         }
@@ -1250,11 +1416,12 @@ impl Machine {
         op.ios += segments.len() as u32;
         self.trace.ios += segments.len() as u64;
         self.trace.write_ios += segments.len() as u64;
+        self.charge_capsule_encode(segments.len() as u64);
         for (seg, (phys, payload)) in segments.into_iter().enumerate() {
             let cid = self.ios;
             self.ios += 1;
             self.cid_map.insert(cid, (id, seg));
-            self.device
+            self.transport
                 .submit(
                     qp,
                     NvmeCommand {
@@ -1264,6 +1431,7 @@ impl Machine {
                             data: payload,
                         },
                     },
+                    SubmitClass::Host,
                 )
                 .expect("capacity checked above");
         }
@@ -1276,9 +1444,9 @@ impl Machine {
     /// Submits the fsync flush barrier; its CQE commits the journal.
     fn submit_write_flush(&mut self, id: usize) {
         let thread = self.ops[id].as_ref().expect("op").thread;
-        let qp = thread % self.device.nr_queues();
-        if !self.device.can_accept(qp, 1) {
-            self.device.record_rejection();
+        let qp = thread % self.transport.nr_queues();
+        if !self.transport.can_accept(qp, 1) {
+            self.transport.record_rejection();
             self.stalled[qp].push(id);
             return;
         }
@@ -1292,13 +1460,15 @@ impl Machine {
         let cid = self.ios;
         self.ios += 1;
         self.cid_map.insert(cid, (id, 0));
-        self.device
+        self.charge_capsule_encode(1);
+        self.transport
             .submit(
                 qp,
                 NvmeCommand {
                     cid,
                     op: NvmeOp::Flush,
                 },
+                SubmitClass::Host,
             )
             .expect("capacity checked above");
         if !self.doorbell_armed[qp] {
@@ -1379,17 +1549,17 @@ impl Machine {
             }
             segments
         };
-        let qp = thread % self.device.nr_queues();
+        let qp = thread % self.transport.nr_queues();
         // A request that can never fit the SQ is an I/O error (a real
         // driver would split it; the workloads never get near this).
-        if segments.len() > self.device.queue_capacity() {
+        if segments.len() > self.transport.queue_capacity() {
             self.fail_submit(id, ChainStatus::IoError, false);
             return;
         }
         // Backpressure: the whole request must fit, or the op parks
         // until the next interrupt frees queue slots.
-        if !self.device.can_accept(qp, segments.len()) {
-            self.device.record_rejection();
+        if !self.transport.can_accept(qp, segments.len()) {
+            self.transport.record_rejection();
             self.stalled[qp].push(id);
             return;
         }
@@ -1408,11 +1578,23 @@ impl Machine {
         op.phys_target = None;
         op.ios += segments.len() as u32;
         self.trace.ios += segments.len() as u64;
+        // Over a fabric, a pushdown chain's first read crosses as a
+        // command capsule whose completion stays target-side; recycled
+        // hops never touch the wire at all. Everything else is an
+        // ordinary host command (full round trip per hop).
+        let class = match (op.remote_pushdown, op.recycled) {
+            (true, true) => SubmitClass::TargetLocal,
+            (true, false) => SubmitClass::PushdownStart,
+            (false, _) => SubmitClass::Host,
+        };
+        if class != SubmitClass::TargetLocal {
+            self.charge_capsule_encode(segments.len() as u64);
+        }
         for (seg, (phys, take)) in segments.iter().enumerate() {
             let cid = self.ios;
             self.ios += 1;
             self.cid_map.insert(cid, (id, seg));
-            self.device
+            self.transport
                 .submit(
                     qp,
                     NvmeCommand {
@@ -1422,6 +1604,7 @@ impl Machine {
                             nlb: *take,
                         },
                     },
+                    class,
                 )
                 .expect("capacity checked above");
         }
@@ -1445,7 +1628,7 @@ impl Machine {
         // charge accounts its CPU time but does not gate the device —
         // service starts at the ring instant.
         let times = self
-            .device
+            .transport
             .ring_doorbell(self.now, qp)
             .expect("queue pair exists");
         if times.is_empty() {
@@ -1489,15 +1672,17 @@ impl Machine {
             return; // stale timer — a newer arm superseded this event
         }
         self.irq[qp].next_at = None;
-        self.device.post_ready(self.now, qp);
-        let cqes = self.device.reap(qp, usize::MAX);
+        self.transport.post_ready(self.now, qp);
+        let cqes = self.transport.reap(qp, usize::MAX);
         self.irq[qp].pending.retain(|&t| t > self.now);
         if cqes.is_empty() {
             self.schedule_irq(qp);
             return;
         }
+        // MSI-X affinity: the interrupt lands on the queue pair's owning
+        // core, not on whichever core is idle.
         let cost = self.costs.irq_entry;
-        let _ = self.charge(cost);
+        let _ = self.charge_on(self.qp_core[qp], cost);
         self.trace.drv += cost;
         self.trace.irqs += 1;
         for c in cqes {
@@ -1522,11 +1707,23 @@ impl Machine {
         let Some(op) = self.ops[id].as_mut() else {
             return;
         };
+        // Time on the wire (fabric only) is accounted apart from the
+        // device bucket so Table 1's device row stays a device row.
+        let wire = c.fabric_ns;
         let dev_ns = c.complete_at.saturating_sub(op.submitted_at);
-        op.device_ns += dev_ns;
+        op.device_ns += dev_ns.saturating_sub(wire);
         op.seg_data[seg] = Some(c.data);
         op.segs_pending -= 1;
-        self.trace.device += dev_ns;
+        let host_capsule = self.fabric && !op.remote_pushdown;
+        self.trace.device += dev_ns.saturating_sub(wire);
+        self.trace.fabric_wire += wire;
+        if host_capsule {
+            // Each host-class CQE arrived as a response capsule the
+            // initiator must decode.
+            let dec = self.costs.fab_decode;
+            self.charge(dec);
+            self.trace.fabric += dec;
+        }
         let op = self.ops[id].as_ref().expect("op");
         if op.segs_pending > 0 {
             return;
@@ -1542,7 +1739,10 @@ impl Machine {
             data.extend_from_slice(&d.expect("all segments completed"));
         }
         op.data = data;
-        if op.kind == OpKind::Read && !op.o_direct && !op.recycled {
+        // Buffered reads warm the host page cache — except target-
+        // resident pushdown completions, whose data lives on the NVMe-oF
+        // target and never reached the host.
+        if op.kind == OpKind::Read && !op.o_direct && !op.recycled && !op.remote_pushdown {
             let ino = op.ino;
             let lb = op.file_off / SECTOR_SIZE as u64;
             let data = op.data.clone();
@@ -1562,10 +1762,15 @@ impl Machine {
             let _ = driver;
             return;
         }
-        // Mid-chain invalidation: discard recycled I/O (§4).
+        // Mid-chain invalidation: discard recycled I/O (§4). Over a
+        // fabric the target detects it and returns an error capsule.
         if op_ref.mode == DispatchMode::DriverHook && self.aborting_inos.contains(&op_ref.ino) {
             let op = self.ops[id].as_mut().expect("op");
             op.status = Some(ChainStatus::Invalidated);
+            if self.target_resident(id) {
+                self.send_response_capsule(id, 0);
+                return;
+            }
             let cost = self.costs.sync_complete();
             let end = self.charge(cost);
             self.account_complete_trace();
@@ -1573,7 +1778,7 @@ impl Machine {
             return;
         }
         match op_ref.mode {
-            DispatchMode::User => {
+            DispatchMode::User | DispatchMode::Remote => {
                 let cost = self.costs.sync_complete();
                 let end = self.charge(cost);
                 self.account_complete_trace();
@@ -1599,9 +1804,26 @@ impl Machine {
         let op = self.ops[id].as_mut().expect("op");
         match op.kind {
             OpKind::WriteData { fsync: true } => {
+                // §4 fairness, write-aware: the ordered flush chase is a
+                // kernel-side dependent resubmission exactly like a read
+                // hop recycle, so it meters against the same per-process
+                // budget. A write that hits the bound completes as
+                // BoundExceeded with its journal transaction uncommitted
+                // (crash-before-fsync durability).
+                if op.hop + 1 >= self.resubmit_bound {
+                    op.status = Some(ChainStatus::BoundExceeded);
+                    let cost = self.costs.sync_write_complete();
+                    let end = self.charge(cost);
+                    self.account_complete_trace();
+                    self.events.push(end, Ev::Delivered { op: id });
+                    return;
+                }
+                op.hop += 1;
+                let thread = op.thread;
                 // Ordered journal commit: the commit record + flush
                 // barrier go to the device only after the data CQEs.
                 op.kind = OpKind::WriteFlush;
+                self.note_resubmission(thread);
                 let cost = self.costs.journal_commit + self.costs.drv_submit;
                 let end = self.charge(cost);
                 self.trace.journal += self.costs.journal_commit;
@@ -1707,6 +1929,21 @@ impl Machine {
         ret
     }
 
+    /// Schedules terminal delivery of a driver-hook chain after
+    /// `hook_cost` of hook-side CPU work: a target-resident chain
+    /// returns its outcome as one response capsule over the wire; a
+    /// local chain unwinds the completion stack directly.
+    fn finish_driver_chain(&mut self, id: usize, hook_cost: Nanos) {
+        if self.target_resident(id) {
+            self.send_response_capsule(id, hook_cost);
+            return;
+        }
+        let cost = hook_cost + self.costs.sync_complete();
+        let end = self.charge(cost);
+        self.account_complete_trace();
+        self.events.push(end, Ev::Delivered { op: id });
+    }
+
     fn hook_at_driver(&mut self, id: usize) {
         let (terminal, resubmit_to, insns) = self.run_hook_program(id);
         let bpf_cost = self.costs.bpf_exec(insns);
@@ -1719,11 +1956,7 @@ impl Machine {
                 // §4 fairness: bound chained resubmissions per process.
                 if op.hop + 1 >= self.resubmit_bound {
                     op.status = Some(ChainStatus::BoundExceeded);
-                    let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                        - self.costs.drv_complete;
-                    let end = self.charge(cost);
-                    self.account_complete_trace();
-                    self.events.push(end, Ev::Delivered { op: id });
+                    self.finish_driver_chain(id, bpf_cost);
                     return;
                 }
                 // Translate through the extent soft-state cache.
@@ -1742,10 +1975,7 @@ impl Machine {
                         op.phys_target = Some((phys, snap_gen));
                         op.hop += 1;
                         let thread = op.thread;
-                        if self.resubmissions.len() <= thread {
-                            self.resubmissions.resize(thread + 1, 0);
-                        }
-                        self.resubmissions[thread] += 1;
+                        self.note_resubmission(thread);
                         let cost = self.costs.drv_complete
                             + bpf_cost
                             + cache_cost
@@ -1764,32 +1994,21 @@ impl Machine {
                             file_off: target,
                             data: op.data.clone(),
                         });
-                        let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                            - self.costs.drv_complete;
-                        let end = self.charge(cost);
-                        self.account_complete_trace();
                         self.trace.extent_cache += cache_cost;
-                        self.events.push(end, Ev::Delivered { op: id });
+                        self.finish_driver_chain(id, bpf_cost);
                     }
                     None => {
                         let op = self.ops[id].as_mut().expect("op");
                         op.status = Some(ChainStatus::ExtentMiss);
-                        let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                            - self.costs.drv_complete;
-                        let end = self.charge(cost);
-                        self.account_complete_trace();
                         self.trace.extent_cache += cache_cost;
-                        self.events.push(end, Ev::Delivered { op: id });
+                        self.finish_driver_chain(id, bpf_cost);
                     }
                 }
             }
             Some(_) => {
-                // Terminal: the completion unwinds the full stack once.
-                let cost = self.costs.drv_complete + bpf_cost + self.costs.sync_complete()
-                    - self.costs.drv_complete;
-                let end = self.charge(cost);
-                self.account_complete_trace();
-                self.events.push(end, Ev::Delivered { op: id });
+                // Terminal: the completion unwinds the full stack once
+                // (over a fabric, after the response capsule lands).
+                self.finish_driver_chain(id, bpf_cost);
             }
         }
     }
@@ -1848,8 +2067,9 @@ impl Machine {
         let op = self.ops[id].as_ref().expect("op exists");
         let thread = op.thread;
         let origin = op.origin;
-        // User-mode chains may continue from the application.
-        if op.mode == DispatchMode::User && op.status.is_none() {
+        // User-mode (and remote-initiator) chains may continue from the
+        // application; over a fabric every such hop pays a round trip.
+        if matches!(op.mode, DispatchMode::User | DispatchMode::Remote) && op.status.is_none() {
             let data = op.data.clone();
             let token = op.token;
             match driver.user_step(thread, &token, &data) {
@@ -2109,12 +2329,16 @@ impl Machine {
         match m {
             Mutation::Relocate { name } => {
                 if let Ok(ino) = self.fs.open(&name) {
-                    let _ = self.fs.relocate(ino, self.device.store_mut());
+                    let _ = self
+                        .fs
+                        .relocate(ino, self.transport.device_mut().store_mut());
                 }
             }
             Mutation::Truncate { name, size } => {
                 if let Ok(ino) = self.fs.open(&name) {
-                    let _ = self.fs.truncate(ino, size, self.device.store_mut());
+                    let _ = self
+                        .fs
+                        .truncate(ino, size, self.transport.device_mut().store_mut());
                 }
             }
         }

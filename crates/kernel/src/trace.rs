@@ -30,6 +30,13 @@ pub struct LayerTrace {
     /// Journal work on the write path: record appends per write
     /// submission plus the commit record built at fsync.
     pub journal: Nanos,
+    /// Fabric capsule CPU work (encode/decode on host and target).
+    /// Zero on the local transport.
+    pub fabric: Nanos,
+    /// Fabric wire time (one-way latencies plus fixed target-side
+    /// capsule processing) — wait time like [`LayerTrace::device`], not
+    /// CPU. Zero on the local transport.
+    pub fabric_wire: Nanos,
     /// I/Os sampled.
     pub ios: u64,
     /// Write/flush device commands among them.
@@ -41,7 +48,7 @@ pub struct LayerTrace {
 }
 
 impl LayerTrace {
-    /// Total software time (everything but the device).
+    /// Total software time (everything but the device and the wire).
     pub fn software(&self) -> Nanos {
         self.crossing
             + self.syscall
@@ -52,6 +59,7 @@ impl LayerTrace {
             + self.bpf
             + self.extent_cache
             + self.journal
+            + self.fabric
     }
 
     /// Average nanoseconds per I/O for a bucket total.
@@ -74,8 +82,10 @@ impl LayerTrace {
             ("BPF exec", self.bpf),
             ("extent cache", self.extent_cache),
             ("journal", self.journal),
+            ("fabric capsule", self.fabric),
             ("application", self.app),
             ("storage device", self.device),
+            ("fabric wire", self.fabric_wire),
         ]
     }
 }
@@ -97,10 +107,12 @@ mod tests {
             bpf: 2,
             extent_cache: 1,
             journal: 4,
+            fabric: 8,
+            fabric_wire: 500,
             ios: 1,
             ..LayerTrace::default()
         };
-        assert_eq!(t.software(), 162);
+        assert_eq!(t.software(), 170, "wire time is a wait, not software");
     }
 
     #[test]
@@ -118,6 +130,6 @@ mod tests {
     #[test]
     fn rows_cover_all_buckets() {
         let t = LayerTrace::default();
-        assert_eq!(t.rows().len(), 10);
+        assert_eq!(t.rows().len(), 12);
     }
 }

@@ -4,10 +4,10 @@
 
 use bpfstor_device::SECTOR_SIZE;
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
-    KernelError, Machine, MachineConfig, Mutation, UserNext,
+    ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
+    FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, TransportConfig, UserNext,
 };
-use bpfstor_sim::{Nanos, SimRng, MILLISECOND, SECOND};
+use bpfstor_sim::{LatencyDist, Nanos, SimRng, MILLISECOND, SECOND};
 use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
 
 /// Sentinel marking the last block of a pointer chain.
@@ -1288,4 +1288,287 @@ fn uring_write_to_bad_fd_is_dropped_not_panicking() {
         report.device.writes, 0,
         "bad-fd writes never reach the device"
     );
+}
+
+// --- Transport-abstracted dispatch: fabric, affinity, write fairness --------
+
+/// A zero-jitter fabric link: `one_way` ns each direction, no fixed
+/// target-side processing — keeps latency arithmetic exact in tests.
+fn exact_link(one_way: Nanos) -> FabricConfig {
+    FabricConfig {
+        to_target: LatencyDist::Constant(one_way),
+        to_host: LatencyDist::Constant(one_way),
+        target_proc_ns: 0,
+        inflight_cap: 32,
+    }
+}
+
+fn setup_with(cfg: MachineConfig, n_blocks: usize, mode: DispatchMode) -> (Machine, ChaseDriver) {
+    let mut m = Machine::new(cfg);
+    m.create_file("chain.db", &chain_file(n_blocks))
+        .expect("create");
+    let fd = m.open("chain.db", true).expect("open");
+    if matches!(mode, DispatchMode::SyscallHook | DispatchMode::DriverHook) {
+        m.install(fd, chase_program(), 0).expect("install");
+    }
+    (m, ChaseDriver::new(fd, mode, 4))
+}
+
+fn fabric_cfg(one_way: Nanos) -> MachineConfig {
+    MachineConfig {
+        transport: TransportConfig::Fabric(exact_link(one_way)),
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn zero_latency_fabric_matches_local_user_path() {
+    // With a zero-cost wire and zero capsule CPU, remote dispatch over
+    // the fabric transport must reproduce the local user path exactly —
+    // the refactor's "LocalTransport is byte-for-byte" guarantee, probed
+    // from the other side.
+    let (mut local, mut dl) = setup_with(MachineConfig::default(), 8, DispatchMode::User);
+    let rl = local.run_closed_loop(1, SECOND, &mut dl);
+    let mut cfg = fabric_cfg(0);
+    cfg.costs.fab_encode = 0;
+    cfg.costs.fab_decode = 0;
+    let (mut fab, mut df) = setup_with(cfg, 8, DispatchMode::Remote);
+    let rf = fab.run_closed_loop(1, SECOND, &mut df);
+    assert_eq!(rl.chains, rf.chains);
+    assert_eq!(rl.ios, rf.ios);
+    assert_eq!(
+        rl.mean_latency().to_bits(),
+        rf.mean_latency().to_bits(),
+        "zero-latency fabric must not perturb timing"
+    );
+    assert_eq!(rf.trace.fabric_wire, 0);
+}
+
+#[test]
+fn remote_dispatch_pays_a_round_trip_per_dependent_hop() {
+    const ONE_WAY: Nanos = 50_000;
+    const HOPS: u64 = 8;
+    let (mut local, mut dl) =
+        setup_with(MachineConfig::default(), HOPS as usize, DispatchMode::User);
+    let rl = local.run_closed_loop(1, SECOND, &mut dl);
+    let (mut fab, mut df) = setup_with(fabric_cfg(ONE_WAY), HOPS as usize, DispatchMode::Remote);
+    let rf = fab.run_closed_loop(1, SECOND, &mut df);
+    let added = rf.mean_latency() - rl.mean_latency();
+    let rtt = (2 * ONE_WAY) as f64;
+    assert!(
+        added >= HOPS as f64 * rtt * 0.999,
+        "every dependent hop crosses the fabric: added {added} < {HOPS} RTTs"
+    );
+    assert!(
+        added <= HOPS as f64 * rtt + 60_000.0,
+        "remote baseline should add little beyond the wire: {added}"
+    );
+    // One command capsule and one response capsule per hop.
+    let stats = rf.fabric;
+    assert_eq!(stats.capsules_sent, rf.ios);
+    assert_eq!(stats.responses, rf.ios);
+    assert_eq!(stats.target_local, 0);
+    assert_eq!(rf.trace.fabric_wire, 2 * ONE_WAY * rf.ios);
+}
+
+#[test]
+fn pushdown_over_fabric_pays_one_round_trip_per_chain() {
+    const ONE_WAY: Nanos = 50_000;
+    const HOPS: usize = 8;
+    let (mut local, mut dl) = setup_with(MachineConfig::default(), HOPS, DispatchMode::DriverHook);
+    let rl = local.run_closed_loop(1, SECOND, &mut dl);
+    let (mut pd, mut dp) = setup_with(fabric_cfg(ONE_WAY), HOPS, DispatchMode::DriverHook);
+    let rp = pd.run_closed_loop(1, SECOND, &mut dp);
+    // The offloaded result is still byte-correct after crossing back.
+    for o in &dp.outcomes {
+        match &o.status {
+            ChainStatus::Emitted(v) => {
+                assert_eq!(
+                    u64::from_le_bytes(v[..8].try_into().expect("8B")),
+                    0xABAD_1DEA_F00D_CAFE
+                );
+            }
+            other => panic!("pushdown chain failed: {other:?}"),
+        }
+    }
+    let added = rp.mean_latency() - rl.mean_latency();
+    let rtt = (2 * ONE_WAY) as f64;
+    assert!(
+        added >= rtt * 0.999,
+        "the chain crosses at least once: added {added}"
+    );
+    assert!(
+        added <= 1.5 * rtt,
+        "dependent hops must stay target-side: added {added} vs one RTT {rtt}"
+    );
+    // One command capsule in, (HOPS-1) target-local recycles, one
+    // response capsule out — per chain.
+    let chains = rp.chains;
+    let stats = rp.fabric;
+    assert_eq!(stats.capsules_sent, chains);
+    assert_eq!(stats.responses, chains);
+    assert_eq!(stats.target_local, (HOPS as u64 - 1) * chains);
+
+    // And the BPF-oF headline: the no-pushdown remote baseline is
+    // O(depth) RTTs slower than pushdown on the same fabric.
+    let (mut nopd, mut dn) = setup_with(fabric_cfg(ONE_WAY), HOPS, DispatchMode::Remote);
+    let rn = nopd.run_closed_loop(1, SECOND, &mut dn);
+    assert!(
+        rn.mean_latency() - rp.mean_latency() >= (HOPS as f64 - 1.0) * rtt * 0.999,
+        "pushdown must elide {} of {} round trips",
+        HOPS - 1,
+        HOPS
+    );
+}
+
+#[test]
+fn fabric_capsule_window_backpressures_and_recovers() {
+    // A window of 2 capsules under an 8-deep ring: uring keeps 8 SQEs
+    // in flight, so submissions stall on the window, park, and retry —
+    // every chain still completes exactly once.
+    let mut cfg = fabric_cfg(10_000);
+    if let TransportConfig::Fabric(fc) = &mut cfg.transport {
+        fc.inflight_cap = 2;
+    }
+    let (mut m, mut d) = setup_with(cfg, 4, DispatchMode::Remote);
+    d.max_chains = 24;
+    let report = m.run_uring(1, 8, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 24);
+    assert!(d.outcomes.iter().all(|o| o.status.is_ok()));
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.fabric.capsule_stalls > 0,
+        "the 2-capsule window must bind under 8 in-flight SQEs"
+    );
+    assert!(report.fabric.max_inflight <= 2);
+}
+
+#[test]
+fn write_flush_chase_meters_the_fairness_budget() {
+    // resubmit_bound 1 permits no kernel-side dependent resubmission:
+    // the fsync flush chase (data CQEs → flush barrier) must trip it.
+    let cfg = MachineConfig {
+        resubmit_bound: 1,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    let ino = m
+        .create_file("wal.db", &[0u8; 4 * SECTOR_SIZE])
+        .expect("create");
+    let err = m
+        .write_file(ino, 0, &vec![7u8; SECTOR_SIZE], true)
+        .expect_err("fsync write chains a dependent flush");
+    assert!(
+        format!("{err}").contains("BoundExceeded"),
+        "wrong failure: {err}"
+    );
+    // A data-only write has no dependent hop and still completes...
+    m.write_file(ino, 0, &vec![8u8; SECTOR_SIZE], false)
+        .expect("no chase, no bound");
+    // ...and a pure fsync's barrier is the chain's first device op,
+    // not a resubmission.
+    m.write_file(ino, 0, &[], true)
+        .expect("pure fsync is hop 0");
+}
+
+#[test]
+fn write_chains_count_in_resubmission_accounting() {
+    struct FsyncWriter {
+        fd: Fd,
+        left: u32,
+    }
+    impl ChainDriver for FsyncWriter {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::User
+        }
+        fn next_op(
+            &mut self,
+            _thread: usize,
+            _rng: &mut SimRng,
+        ) -> Option<bpfstor_kernel::ChainSpec> {
+            if self.left == 0 {
+                return None;
+            }
+            self.left -= 1;
+            Some(bpfstor_kernel::ChainSpec::Write(
+                bpfstor_kernel::WriteStart {
+                    fd: self.fd,
+                    file_off: 0,
+                    data: vec![3u8; SECTOR_SIZE],
+                    fsync: true,
+                    arg: 0,
+                },
+            ))
+        }
+    }
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("wal.db", &[0u8; 4 * SECTOR_SIZE])
+        .expect("create");
+    let fd = m.open("wal.db", true).expect("open");
+    let mut d = FsyncWriter { fd, left: 3 };
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(report.chains, 3);
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        report.resubmissions, 3,
+        "each fsync write's flush chase is one metered resubmission"
+    );
+    assert_eq!(m.resubmission_accounting(), &[3]);
+}
+
+#[test]
+fn irq_charge_lands_on_the_owning_core() {
+    let run = |affinity: Vec<usize>| -> (Nanos, u64) {
+        let mut cfg = MachineConfig {
+            cores: 2,
+            ..MachineConfig::default()
+        };
+        // Make the interrupt charge dominate so placement is visible.
+        cfg.costs.irq_entry = 50_000;
+        cfg.qp_affinity = Some(affinity);
+        let mut m = Machine::new(cfg);
+        m.create_file("chain.db", &chain_file(1)).expect("create");
+        let fd = m.open("chain.db", true).expect("open");
+        let mut d = ChaseDriver::new(fd, DispatchMode::User, 20);
+        let r = m.run_closed_loop(1, SECOND, &mut d);
+        (m.core_busy_ns(1), r.trace.irqs)
+    };
+    let (busy1_pinned, irqs) = run(vec![1, 1]);
+    assert!(irqs >= 20, "one interrupt per uncoalesced chain");
+    assert!(
+        busy1_pinned >= irqs * 50_000,
+        "pinned interrupts must land on core 1: busy {busy1_pinned}, irqs {irqs}"
+    );
+    let (busy1_away, irqs_away) = run(vec![0, 0]);
+    assert!(
+        busy1_away < irqs_away * 50_000,
+        "with affinity on core 0, core 1 sees only incidental work: busy {busy1_away}"
+    );
+    // The default mapping is the identity qp→core layout.
+    let m = Machine::new(MachineConfig::default());
+    assert_eq!(m.qp_core(0), Some(0));
+    assert_eq!(m.qp_core(5), Some(5));
+    assert_eq!(m.qp_core(99), None);
+}
+
+#[test]
+fn buffered_pushdown_never_warms_the_host_cache_with_target_data() {
+    // Regression: a target-resident completion's data never reached the
+    // host, so it must not populate the host page cache — otherwise a
+    // later chain "hits" locally and skips its command capsule, an
+    // impossible traffic pattern.
+    let cfg = fabric_cfg(10_000);
+    let mut m = Machine::new(cfg);
+    m.create_file("chain.db", &chain_file(4)).expect("create");
+    let fd = m.open("chain.db", false).expect("buffered open");
+    m.install(fd, chase_program(), 0).expect("install");
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 3);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 3);
+    assert!(d.outcomes.iter().all(|o| o.status.is_ok()));
+    assert_eq!(
+        report.fabric.capsules_sent, 3,
+        "every chain must cross the wire exactly once"
+    );
+    assert_eq!(report.fabric.responses, 3);
 }

@@ -847,3 +847,104 @@ mod lsm_end_to_end {
         );
     }
 }
+
+// --- Pushdown over fabric (NVMe-oF-style remote queues) ---------------------
+
+/// A fixed-latency fabric link for deterministic latency arithmetic.
+fn test_link(one_way: u64) -> bpfstor::kernel::FabricConfig {
+    bpfstor::kernel::FabricConfig {
+        to_target: bpfstor::sim::LatencyDist::Constant(one_way),
+        to_host: bpfstor::sim::LatencyDist::Constant(one_way),
+        target_proc_ns: 0,
+        inflight_cap: 32,
+    }
+}
+
+#[test]
+fn remote_modes_stay_correct_on_every_workload() {
+    for mode in [DispatchMode::Remote, DispatchMode::DriverHook] {
+        let mut s = PushdownSession::builder(Btree::depth(4).max_chains(20))
+            .dispatch(mode)
+            .fabric(test_link(8_000))
+            .build()
+            .expect("btree session");
+        let (report, stats) = s.run_closed_loop(2, SECOND);
+        assert_eq!(stats.completed, 20, "btree {mode:?}");
+        assert_eq!(stats.mismatches, 0, "btree {mode:?}");
+        assert_eq!(stats.errors, 0, "btree {mode:?}");
+        assert_eq!(report.errors, 0, "btree {mode:?}");
+        assert!(report.fabric.capsules_sent > 0, "traffic crossed the wire");
+
+        let mut s = PushdownSession::builder(Chase::hops(6).max_chains(12))
+            .dispatch(mode)
+            .fabric(test_link(8_000))
+            .build()
+            .expect("chase session");
+        let (report, stats) = s.run_uring(1, 4, SECOND);
+        assert_eq!(stats.completed, 12, "chase {mode:?}");
+        assert_eq!(stats.mismatches, 0, "chase {mode:?}");
+        assert_eq!(report.errors, 0, "chase {mode:?}");
+    }
+}
+
+#[test]
+fn fabric_lookup_returns_the_same_value_as_local() {
+    let value_at = |mode: DispatchMode, fabric: bool| {
+        let mut b = PushdownSession::builder(Btree::depth(3));
+        b = b.dispatch(mode);
+        if fabric {
+            b = b.fabric(test_link(5_000));
+        }
+        let mut s = b.build().expect("session");
+        let out = s.lookup(42).expect("lookup");
+        assert!(out.found);
+        out.output.expect("value")
+    };
+    let local = value_at(DispatchMode::User, false);
+    assert_eq!(value_at(DispatchMode::Remote, true), local);
+    assert_eq!(value_at(DispatchMode::DriverHook, true), local);
+}
+
+#[test]
+fn pushdown_elides_fabric_round_trips_on_dependency_chains() {
+    const ONE_WAY: u64 = 40_000;
+    const HOPS: u64 = 8;
+    let mean = |mode: DispatchMode| {
+        let mut s = PushdownSession::builder(Chase::hops(HOPS).max_chains(10))
+            .dispatch(mode)
+            .fabric(test_link(ONE_WAY))
+            .build()
+            .expect("session");
+        let (report, stats) = s.run_closed_loop(1, SECOND);
+        assert_eq!(stats.mismatches, 0);
+        assert_eq!(stats.errors, 0);
+        report.mean_latency()
+    };
+    let no_pushdown = mean(DispatchMode::Remote);
+    let pushdown = mean(DispatchMode::DriverHook);
+    let rtt = (2 * ONE_WAY) as f64;
+    assert!(
+        no_pushdown - pushdown >= (HOPS - 1) as f64 * rtt * 0.999,
+        "pushdown must elide {} round trips: nopd {no_pushdown}, pd {pushdown}",
+        HOPS - 1
+    );
+}
+
+#[test]
+fn fabric_pushdown_survives_relocation_through_auto_retry() {
+    // The §4 invalidation protocol still works when the snapshot lives
+    // on the target: the error returns as a capsule, the session
+    // re-arms, and the retried chains succeed.
+    let mut s = PushdownSession::builder(Chase::hops(5).max_chains(40))
+        .dispatch(DispatchMode::DriverHook)
+        .fabric(test_link(6_000))
+        .retry_budget(3)
+        .build()
+        .expect("session");
+    s.schedule_relocation(2 * MILLISECOND);
+    let (report, stats) = s.run_closed_loop(2, SECOND);
+    assert_eq!(stats.completed, 40);
+    assert_eq!(stats.mismatches, 0);
+    assert_eq!(stats.errors, 0, "auto-retry absorbs the invalidation");
+    assert_eq!(report.errors, 0);
+}

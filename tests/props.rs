@@ -740,3 +740,163 @@ proptest! {
         prop_assert_eq!(stats.reads + stats.writes + stats.flushes, accepted);
     }
 }
+
+// --- Fabric transport: capsule invariants under reordering/delay ---------------
+
+#[derive(Debug, Clone)]
+enum FabricAction {
+    Submit { slba: u8, class: u8 },
+    Doorbell,
+    AdvanceAndReap { ns: u32 },
+}
+
+fn fabric_action_strategy() -> impl Strategy<Value = FabricAction> {
+    prop_oneof![
+        5 => ((0u8..64), (0u8..3)).prop_map(|(slba, class)| FabricAction::Submit { slba, class }),
+        3 => Just(FabricAction::Doorbell),
+        3 => (1u32..200_000).prop_map(|ns| FabricAction::AdvanceAndReap { ns }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn fabric_capsules_yield_exactly_one_cqe_per_sqe(
+        actions in proptest::collection::vec(fabric_action_strategy(), 1..120),
+        depth in 2usize..10,
+        cap in 1usize..12,
+        one_way in 100u64..40_000,
+        jitter_num in 0u64..30_000,
+    ) {
+        use bpfstor::device::transport::{FabricConfig, FabricTransport, SubmitClass, Transport};
+        use bpfstor::device::{NvmeCommand, NvmeOp, QueueError};
+        use bpfstor::sim::{LatencyDist, SimRng};
+
+        let jitter = jitter_num.min(one_way.saturating_sub(1));
+        let mut profile = bpfstor::device::DeviceProfile::optane_gen2_p5800x();
+        profile.queue_depth = depth;
+        let dev = bpfstor::device::NvmeDevice::new(profile, 1, SimRng::seed(0xFAB));
+        let cfg = FabricConfig {
+            to_target: LatencyDist::Uniform(one_way - jitter, one_way + jitter),
+            to_host: LatencyDist::Uniform(one_way - jitter, one_way + jitter),
+            target_proc_ns: 250,
+            inflight_cap: cap,
+        };
+        let mut t = FabricTransport::new(dev, cfg, SimRng::seed(0xCAB1E));
+        // The effective window: the tighter of the credit cap and ring.
+        let window = t.queue_capacity();
+        prop_assert_eq!(window, cap.min(depth - 1));
+
+        let mut now: u64 = 0;
+        let mut next_cid: u64 = 0;
+        let mut in_flight = std::collections::HashSet::new();
+        let mut reaped_cids = std::collections::HashSet::new();
+        let mut parked: Vec<(NvmeCommand, SubmitClass)> = Vec::new();
+        let mut accepted: u64 = 0;
+        let mut host_class: u64 = 0;
+
+        let class_of = |c: u8| match c {
+            0 => SubmitClass::Host,
+            1 => SubmitClass::PushdownStart,
+            _ => SubmitClass::TargetLocal,
+        };
+
+        for action in &actions {
+            match action {
+                FabricAction::Submit { slba, class } => {
+                    let cmd = NvmeCommand {
+                        cid: next_cid,
+                        op: NvmeOp::Read { slba: *slba as u64, nlb: 1 },
+                    };
+                    let cid = next_cid;
+                    next_cid += 1;
+                    let cls = class_of(*class);
+                    if t.can_accept(0, 1) {
+                        let before = t.outstanding(0);
+                        prop_assert!(before < window);
+                        t.submit(0, cmd, cls).expect("can_accept said yes");
+                        prop_assert!(in_flight.insert(cid), "no double tag");
+                        if cls == SubmitClass::Host {
+                            host_class += 1;
+                        }
+                        accepted += 1;
+                    } else {
+                        prop_assert_eq!(t.outstanding(0), window, "reject only at the window");
+                        prop_assert_eq!(
+                            t.submit(0, cmd.clone(), cls).unwrap_err(),
+                            QueueError::SubmissionFull
+                        );
+                        parked.push((cmd, cls));
+                    }
+                }
+                FabricAction::Doorbell => {
+                    t.ring_doorbell(now, 0).expect("qp 0");
+                }
+                FabricAction::AdvanceAndReap { ns } => {
+                    now += *ns as u64;
+                    t.post_ready(now, 0);
+                    let cqes = t.reap(0, usize::MAX);
+                    prop_assert!(
+                        cqes.windows(2).all(|w| w[0].complete_at <= w[1].complete_at),
+                        "host sees completions in host-time order"
+                    );
+                    for c in cqes {
+                        prop_assert!(c.complete_at <= now, "nothing from the future");
+                        prop_assert!(in_flight.remove(&c.cid), "one CQE per SQE");
+                        prop_assert!(reaped_cids.insert(c.cid), "no duplicate CQE");
+                    }
+                    // Freed credits readmit parked capsules, oldest first.
+                    while t.can_accept(0, 1) {
+                        let Some((cmd, cls)) = parked.pop() else { break };
+                        let cid = cmd.cid;
+                        t.submit(0, cmd, cls).expect("credit freed");
+                        prop_assert!(in_flight.insert(cid));
+                        if cls == SubmitClass::Host {
+                            host_class += 1;
+                        }
+                        accepted += 1;
+                    }
+                }
+            }
+            prop_assert!(
+                t.outstanding(0) <= window,
+                "in-flight capsules never exceed the configured cap"
+            );
+            prop_assert!(
+                t.fabric_stats().max_inflight <= window,
+                "high-water mark respects the window"
+            );
+        }
+
+        // Drain: every accepted capsule (including re-admitted parked
+        // ones) must produce exactly one host CQE.
+        let mut guard = 0;
+        while t.outstanding(0) > 0 || !parked.is_empty() {
+            t.ring_doorbell(now, 0).expect("qp 0");
+            now += 1_000_000;
+            t.post_ready(now, 0);
+            for c in t.reap(0, usize::MAX) {
+                prop_assert!(in_flight.remove(&c.cid));
+                prop_assert!(reaped_cids.insert(c.cid));
+            }
+            while t.can_accept(0, 1) {
+                let Some((cmd, cls)) = parked.pop() else { break };
+                let cid = cmd.cid;
+                t.submit(0, cmd, cls).expect("credit freed");
+                prop_assert!(in_flight.insert(cid));
+                if cls == SubmitClass::Host {
+                    host_class += 1;
+                }
+                accepted += 1;
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain must terminate");
+        }
+        prop_assert!(in_flight.is_empty());
+        prop_assert_eq!(reaped_cids.len() as u64, accepted, "one CQE per accepted SQE");
+        prop_assert_eq!(reaped_cids.len() as u64, next_cid, "full SQ parked, not dropped");
+        let s = t.fabric_stats();
+        prop_assert_eq!(s.capsules_sent + s.target_local, accepted, "every capsule classified");
+        prop_assert_eq!(s.responses, host_class, "one response capsule per host-class command");
+    }
+}
