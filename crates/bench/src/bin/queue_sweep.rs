@@ -1,15 +1,22 @@
 //! Queue-accuracy sweep: IOPS vs NVMe submission-queue depth and
 //! interrupt-coalescing depth, in every dispatch mode, over the
-//! io_uring path (32 SQEs in flight on one queue pair).
+//! io_uring path (32 SQEs in flight on one queue pair) — followed by
+//! the completion-reaping sweep (polled vs coalesced-interrupt vs
+//! hybrid across light-to-deep batches).
 
-use bpfstor_bench::experiments::{queue_sweep, Scale};
+use bpfstor_bench::experiments::{queue_sweep, reap_sweep, Scale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let t = queue_sweep(Scale { quick });
-    t.print();
-    match t.write_csv("queue_sweep") {
-        Ok(p) => println!("csv: {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+    let scale = Scale { quick };
+    for (t, name) in [
+        (queue_sweep(scale), "queue_sweep"),
+        (reap_sweep(scale), "reap_sweep"),
+    ] {
+        t.print();
+        match t.write_csv(name) {
+            Ok(p) => println!("csv: {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
     }
 }

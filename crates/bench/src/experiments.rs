@@ -5,7 +5,7 @@
 //! The `quick` flag trades precision for speed; the dedicated binaries
 //! run full scale, the `figures` bench runs quick.
 
-use bpfstor_core::{Btree, Chase, DispatchMode, FabricConfig, PushdownSession, YcsbMix};
+use bpfstor_core::{Btree, Chase, DispatchMode, FabricConfig, PushdownSession, ReapMode, YcsbMix};
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
 use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, RunReport};
@@ -356,6 +356,122 @@ pub fn queue_sweep(scale: Scale) -> Table {
     }
     t.note("queue depth gates device parallelism: IOPS grows monotonically with it");
     t.note("coalescing trades completion latency for interrupt amortization (the qd=64 row is the irq=1 point)");
+    t
+}
+
+/// Completion-reaping sweep: the three reap modes across light-to-deep
+/// uring batches on the depth-4 B-tree. Exercises the crossover the
+/// reaper exists to navigate — polling wins IOPS once coalesced
+/// interrupts start deferring tag turnover at depth, interrupts win
+/// CPU-per-IO when the queue is nearly empty and a poll loop would spin
+/// on an idle CQ, and the hybrid scheduler must land within 10% of the
+/// better fixed mode at every swept point.
+pub fn reap_sweep(scale: Scale) -> Table {
+    let duration = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        20 * MILLISECOND
+    };
+    let mut t = Table::new(
+        "Reap sweep — polled vs coalesced-interrupt vs hybrid (DriverHook, depth-4 B-tree)",
+        &[
+            "reap mode",
+            "batch",
+            "IOPS",
+            "mean us",
+            "cpu ns/IO",
+            "poll share",
+            "irqs",
+            "polls",
+            "switches",
+        ],
+    );
+    #[derive(Clone, Copy)]
+    struct Point {
+        iops: f64,
+        cpu_per_io: f64,
+        switches: u64,
+    }
+    let mut run = |label: &str, mode: ReapMode, batch: u32| -> Point {
+        let mut builder = PushdownSession::builder(Btree::depth(4))
+            .dispatch(DispatchMode::DriverHook)
+            .seed(2024);
+        // The fixed-interrupt arm models a conventionally tuned NIC-style
+        // moderation profile (8us budget, 8-deep threshold); the other
+        // modes bring their own reap policy.
+        if mode == ReapMode::Interrupt {
+            builder = builder.irq_coalescing(8, 8);
+        }
+        let mut session = builder.reap_mode(mode).build().expect("session");
+        let (report, stats) = session.run_uring(1, batch, duration);
+        assert_eq!(stats.mismatches, 0, "offloaded lookups must be correct");
+        assert_eq!(stats.errors, 0);
+        // Aggregate CPU across the 6 simulated cores, charged per IO.
+        let cpu_per_io = report.cpu_util * report.sim_time as f64 * 6.0 / report.ios.max(1) as f64;
+        t.row(vec![
+            label.to_string(),
+            batch.to_string(),
+            iops(report.iops),
+            us(report.mean_latency()),
+            format!("{cpu_per_io:.0}"),
+            format!("{:.0}%", report.reaper.cpu_split().0 * 100.0),
+            report.trace.irqs.to_string(),
+            report.trace.polls.to_string(),
+            report.reaper.mode_transitions.to_string(),
+        ]);
+        Point {
+            iops: report.iops,
+            cpu_per_io,
+            switches: report.reaper.mode_transitions,
+        }
+    };
+    let batches = [1u32, 4, 32];
+    let mut fixed: Vec<(Point, Point)> = Vec::new();
+    for &b in &batches {
+        let irq = run("interrupt", ReapMode::Interrupt, b);
+        let adaptive = run("adaptive-irq", ReapMode::AdaptiveIrq(Default::default()), b);
+        let polled = run("polled", ReapMode::Polled(Default::default()), b);
+        assert_eq!(irq.switches + adaptive.switches + polled.switches, 0);
+        fixed.push((irq, polled));
+    }
+    let mut hybrid = Vec::new();
+    for &b in &batches {
+        hybrid.push(run("hybrid", ReapMode::Hybrid(Default::default()), b));
+    }
+    // Crossover, per the paper's polling-vs-interrupt trade: polling
+    // must win throughput at the deepest batch, interrupts must win
+    // CPU-per-IO at the lightest.
+    let (irq_deep, polled_deep) = fixed[batches.len() - 1];
+    assert!(
+        polled_deep.iops >= irq_deep.iops,
+        "polling must out-reap coalesced interrupts at depth: {:.0} vs {:.0}",
+        polled_deep.iops,
+        irq_deep.iops
+    );
+    let (irq_light, polled_light) = fixed[0];
+    assert!(
+        irq_light.cpu_per_io <= polled_light.cpu_per_io,
+        "interrupts must burn less CPU per IO on a near-empty queue: {:.0} vs {:.0}",
+        irq_light.cpu_per_io,
+        polled_light.cpu_per_io
+    );
+    // The load-adaptive scheduler tracks the better fixed mode everywhere.
+    for (i, &b) in batches.iter().enumerate() {
+        let (irq, polled) = fixed[i];
+        let best = irq.iops.max(polled.iops);
+        assert!(
+            hybrid[i].iops >= 0.9 * best,
+            "hybrid must stay within 10% of the best fixed mode at batch {b}: {:.0} vs {:.0}",
+            hybrid[i].iops,
+            best
+        );
+    }
+    assert!(
+        hybrid.last().expect("points").switches >= 1,
+        "the deepest batch must trip the hybrid high watermark"
+    );
+    t.note("interrupt rows use an 8us/8-deep moderation profile; polled reaps every 250ns");
+    t.note("hybrid starts on interrupts and switches per-qp when the backlog window crosses its watermarks");
     t
 }
 

@@ -44,8 +44,9 @@ pub mod session;
 pub mod workloads;
 
 pub use bpfstor_kernel::{
-    ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, FabricConfig, FabricStats,
-    ProgHandle, RunReport, TransportConfig, WriteStart,
+    AdaptiveIrqConfig, ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
+    FabricConfig, FabricStats, HybridConfig, ModeTransition, PollConfig, ProgHandle, ReapKind,
+    ReapMode, ReaperStats, RunReport, TransportConfig, WriteStart,
 };
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
 pub use env::LookupHit;

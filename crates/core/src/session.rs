@@ -26,8 +26,8 @@
 
 use bpfstor_kernel::{
     ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
-    FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle, RunReport,
-    TransportConfig, UserNext, WriteStart,
+    FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle, ReapMode,
+    RunReport, TransportConfig, UserNext, WriteStart,
 };
 use bpfstor_sim::{Nanos, SimRng, SECOND};
 use bpfstor_vm::Program;
@@ -283,10 +283,32 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
     /// Configures interrupt coalescing: the completion interrupt fires
     /// once `depth` CQEs are pending, or `us` microseconds after the
     /// first, whichever comes first. `(0, 1)` — the default — fires on
-    /// every completion.
+    /// every completion. These knobs drive [`ReapMode::Interrupt`]
+    /// only; the adaptive modes carry their own parameters (see
+    /// [`SessionBuilder::reap_mode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`: a threshold that can never be reached
+    /// would silently disable depth-based firing (use `1` to fire on
+    /// every completion).
     pub fn irq_coalescing(mut self, us: u64, depth: u32) -> Self {
+        assert!(
+            depth >= 1,
+            "irq_coalesce_depth 0 can never fire; use 1 for per-completion interrupts"
+        );
         self.config.irq_coalesce_us = us;
         self.config.irq_coalesce_depth = depth;
+        self
+    }
+
+    /// Sets the completion-delivery policy (default:
+    /// [`ReapMode::Interrupt`], driven by the
+    /// [`SessionBuilder::irq_coalescing`] knobs): adaptive interrupt
+    /// coalescing, dedicated per-core pollers, or the load-adaptive
+    /// hybrid scheduler that switches each queue pair between the two.
+    pub fn reap_mode(mut self, mode: ReapMode) -> Self {
+        self.config.reap_mode = mode;
         self
     }
 

@@ -113,6 +113,10 @@ pub struct NvmeCompletion {
     /// (wire latency + target-side capsule processing). Zero straight
     /// off the device; the fabric transport fills it in.
     pub fabric_ns: Nanos,
+    /// Instant the doorbell that put this command in motion rang (the
+    /// start of the doorbell→reap gap tracked in
+    /// [`DeviceStats::reap_lag_ns`]).
+    pub rang_at: Nanos,
 }
 
 /// Aggregate device statistics.
@@ -133,12 +137,24 @@ pub struct DeviceStats {
     /// Doorbell rings whose batch carried at least one write or flush
     /// command (the write path's MMIO footprint).
     pub write_doorbells: u64,
-    /// Completion interrupts fired (reaps that returned ≥ 1 CQE).
+    /// Non-empty reap batches drained from the CQ. In interrupt mode
+    /// every batch is one completion interrupt; in polled mode this
+    /// counts productive polls instead (the kernel's `LayerTrace::irqs`
+    /// is the authoritative hardware-interrupt count).
     pub irqs: u64,
     /// Completion-queue entries reaped.
     pub cqes: u64,
     /// Write/flush completion-queue entries reaped.
     pub write_cqes: u64,
+    /// Poll-loop iterations that found the completion queue empty (only
+    /// a polled reaper burns these).
+    pub empty_polls: u64,
+    /// High-water mark of CQEs posted and waiting to be reaped on any
+    /// queue pair — the hybrid scheduler's load signal.
+    pub cq_backlog_hwm: u64,
+    /// Total doorbell→reap gap summed over reaped CQEs (mean reap
+    /// latency is `reap_lag_ns / cqes`).
+    pub reap_lag_ns: Nanos,
 }
 
 struct QueuePair {
@@ -298,6 +314,8 @@ impl NvmeDevice {
         for c in q.inflight.drain(..take) {
             let _ = q.cq.push(c);
         }
+        let backlog = q.cq.len() as u64;
+        self.stats.cq_backlog_hwm = self.stats.cq_backlog_hwm.max(backlog);
         take
     }
 
@@ -326,6 +344,34 @@ impl NvmeDevice {
                 .count() as u64;
         }
         out
+    }
+
+    /// Like [`NvmeDevice::reap`], but also accounts the doorbell→reap
+    /// gap of each drained CQE at host-visible time `now` (the polled /
+    /// interrupt reaper's entry point).
+    pub fn reap_at(&mut self, now: Nanos, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+        let out = self.reap(qp, max);
+        for c in &out {
+            self.stats.reap_lag_ns += now.saturating_sub(c.rang_at);
+        }
+        out
+    }
+
+    /// Records one poll-loop iteration that found the CQ empty.
+    pub fn record_empty_poll(&mut self) {
+        self.stats.empty_polls += 1;
+    }
+
+    /// Folds an externally observed completion backlog (e.g. the fabric
+    /// initiator's ready list) into the high-water mark.
+    pub fn note_cq_backlog(&mut self, backlog: usize) {
+        self.stats.cq_backlog_hwm = self.stats.cq_backlog_hwm.max(backlog as u64);
+    }
+
+    /// Folds an externally measured doorbell→reap gap (e.g. measured at
+    /// the fabric initiator) into [`DeviceStats::reap_lag_ns`].
+    pub fn note_reap_lag(&mut self, lag: Nanos) {
+        self.stats.reap_lag_ns += lag;
     }
 
     /// CQEs currently posted and waiting to be reaped on `qp`.
@@ -372,6 +418,7 @@ impl NvmeDevice {
                     data: Vec::new(),
                     channel: ch,
                     fabric_ns: 0,
+                    rang_at: now,
                 };
             }
         };
@@ -386,6 +433,7 @@ impl NvmeDevice {
             data,
             channel: ch,
             fabric_ns: 0,
+            rang_at: now,
         }
     }
 
@@ -649,6 +697,35 @@ mod tests {
         assert_eq!(d.cq_backlog(0), 0);
         assert_eq!(d.post_ready(u64::MAX, 0), 0, "no stale inflight survives");
         assert_eq!(d.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn backlog_hwm_and_reap_lag_track_the_load_signal() {
+        let mut d = dev(500, 2);
+        for i in 0..3 {
+            d.submit(0, read_cmd(i, i)).expect("enqueue");
+        }
+        // Doorbell at t=0: two complete at 500, the third at 1_000.
+        d.ring_doorbell(0, 0).expect("doorbell");
+        d.post_ready(500, 0);
+        assert_eq!(d.stats().cq_backlog_hwm, 2, "two CQEs sat un-reaped");
+        // Reap the pair late, at t=700: lag = 700ns each from the t=0
+        // doorbell.
+        assert_eq!(d.reap_at(700, 0, usize::MAX).len(), 2);
+        assert_eq!(d.stats().reap_lag_ns, 1_400);
+        d.post_ready(1_000, 0);
+        assert_eq!(d.stats().cq_backlog_hwm, 2, "hwm is sticky");
+        assert_eq!(d.reap_at(1_000, 0, usize::MAX).len(), 1);
+        assert_eq!(d.stats().reap_lag_ns, 2_400);
+        d.record_empty_poll();
+        d.note_cq_backlog(9);
+        assert_eq!(d.stats().empty_polls, 1);
+        assert_eq!(d.stats().cq_backlog_hwm, 9, "external backlog folds in");
+        // reset_timing clears the load signal with the rest of the stats.
+        d.reset_timing();
+        let s = d.stats();
+        assert_eq!((s.empty_polls, s.cq_backlog_hwm, s.reap_lag_ns), (0, 0, 0));
+        assert_eq!(s, DeviceStats::default());
     }
 
     #[test]

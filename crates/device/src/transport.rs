@@ -178,9 +178,11 @@ pub trait Transport {
     /// the host completion queue; returns how many were posted.
     fn post_ready(&mut self, now: Nanos, qp: QueuePairId) -> usize;
 
-    /// Drains up to `max` posted completions (the IRQ handler's reap),
-    /// freeing their slots/credits.
-    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion>;
+    /// Drains up to `max` posted completions at host-visible time `now`
+    /// (the IRQ handler's or poller's reap), freeing their
+    /// slots/credits and accounting each CQE's doorbell→reap gap in
+    /// [`crate::DeviceStats::reap_lag_ns`].
+    fn reap(&mut self, now: Nanos, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion>;
 
     /// Puts a terminal pushdown response capsule on the wire at `now`:
     /// returns `(host arrival instant, wire nanoseconds)` on a fabric,
@@ -253,8 +255,8 @@ impl Transport for LocalTransport {
         self.dev.post_ready(now, qp)
     }
 
-    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
-        self.dev.reap(qp, max)
+    fn reap(&mut self, now: Nanos, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+        self.dev.reap_at(now, qp, max)
     }
 
     fn response_capsule(&mut self, _now: Nanos) -> Option<(Nanos, Nanos)> {
@@ -453,16 +455,23 @@ impl Transport for FabricTransport {
         let take = q.pending.partition_point(|c| c.complete_at <= now);
         let mut posted: Vec<NvmeCompletion> = q.pending.drain(..take).collect();
         q.ready.append(&mut posted);
+        let backlog = q.ready.len();
+        self.dev.note_cq_backlog(backlog);
         take
     }
 
-    fn reap(&mut self, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
+    fn reap(&mut self, now: Nanos, qp: QueuePairId, max: usize) -> Vec<NvmeCompletion> {
         let Some(q) = self.queues.get_mut(qp) else {
             return Vec::new();
         };
         let take = q.ready.len().min(max);
         let out: Vec<NvmeCompletion> = q.ready.drain(..take).collect();
         q.outstanding -= out.len();
+        // The initiator is where the host observes the gap: the target's
+        // eager drain in `ring_doorbell` reaps at service time, so the
+        // meaningful doorbell→reap lag is measured here.
+        let lag: Nanos = out.iter().map(|c| now.saturating_sub(c.rang_at)).sum();
+        self.dev.note_reap_lag(lag);
         out
     }
 
@@ -564,8 +573,8 @@ mod tests {
         assert_eq!(tt, dt, "identical completion instants");
         let at = *tt.last().expect("times");
         assert_eq!(t.post_ready(at, 0), d.post_ready(at, 0));
-        let tc = t.reap(0, usize::MAX);
-        let dc = d.reap(0, usize::MAX);
+        let tc = t.reap(at, 0, usize::MAX);
+        let dc = d.reap_at(at, 0, usize::MAX);
         assert_eq!(tc.len(), dc.len());
         for (a, b) in tc.iter().zip(&dc) {
             assert_eq!(
@@ -585,7 +594,7 @@ mod tests {
         let times = t.ring_doorbell(0, 0).expect("bell");
         assert_eq!(times, vec![10_000 + SVC + 10_000]);
         assert_eq!(t.post_ready(23_000, 0), 1);
-        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        let c = t.reap(23_000, 0, usize::MAX).pop().expect("cqe");
         assert_eq!(c.fabric_ns, 20_000);
         assert_eq!(c.complete_at, 23_000);
         let s = t.fabric_stats();
@@ -601,7 +610,7 @@ mod tests {
         let times = t.ring_doorbell(0, 0).expect("bell");
         assert_eq!(times, vec![10_000 + SVC], "completion stays target-side");
         t.post_ready(13_000, 0);
-        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        let c = t.reap(13_000, 0, usize::MAX).pop().expect("cqe");
         assert_eq!(c.fabric_ns, 10_000);
         let s = t.fabric_stats();
         assert_eq!((s.capsules_sent, s.responses), (1, 0));
@@ -615,7 +624,7 @@ mod tests {
         let times = t.ring_doorbell(500, 0).expect("bell");
         assert_eq!(times, vec![500 + SVC]);
         t.post_ready(500 + SVC, 0);
-        let c = t.reap(0, usize::MAX).pop().expect("cqe");
+        let c = t.reap(500 + SVC, 0, usize::MAX).pop().expect("cqe");
         assert_eq!(c.fabric_ns, 0);
         let s = t.fabric_stats();
         assert_eq!((s.capsules_sent, s.target_local, s.wire_ns), (0, 1, 0));
@@ -649,7 +658,7 @@ mod tests {
             !t.can_accept(0, 1),
             "posted but unreaped still holds credits"
         );
-        assert_eq!(t.reap(0, usize::MAX).len(), 2);
+        assert_eq!(t.reap(10_000, 0, usize::MAX).len(), 2);
         assert!(t.can_accept(0, 2));
     }
 
@@ -669,7 +678,7 @@ mod tests {
         assert_eq!(times.len(), 6);
         let horizon = *times.iter().max().expect("nonempty");
         t.post_ready(horizon, 0);
-        let cqes = t.reap(0, usize::MAX);
+        let cqes = t.reap(horizon, 0, usize::MAX);
         let mut cids: Vec<u64> = cqes.iter().map(|c| c.cid).collect();
         cids.sort_unstable();
         assert_eq!(cids, vec![0, 1, 2, 3, 4, 5], "exactly one CQE per SQE");

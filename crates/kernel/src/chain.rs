@@ -25,6 +25,7 @@ use bpfstor_device::{DeviceStats, FabricStats};
 use bpfstor_sim::{Histogram, Nanos, SimRng};
 
 use crate::extcache::ExtCacheStats;
+use crate::reaper::ReaperStats;
 use crate::trace::LayerTrace;
 
 /// A file descriptor in the simulated kernel.
@@ -351,6 +352,10 @@ pub struct RunReport {
     /// Chains restarted through [`ChainVerdict::RearmRetry`] (each
     /// restart reran the install ioctl's extent snapshot).
     pub rearm_retries: u64,
+    /// Completion-reaping counters for this run: poll visits, poll-CPU
+    /// vs IRQ-CPU split, adaptive-coalescing depth movement, and the
+    /// hybrid scheduler's mode-transition timeline.
+    pub reaper: ReaperStats,
 }
 
 impl RunReport {

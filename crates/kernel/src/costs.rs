@@ -93,6 +93,14 @@ pub struct LayerCosts {
     /// Charged per capsule on the receiving side; never charged on the
     /// local transport.
     pub fab_decode: Nanos,
+    /// One completion-poller loop iteration: CQ head check plus loop
+    /// bookkeeping, charged per visit on the queue pair's owning core
+    /// (polled/hybrid reaping only). Sits outside
+    /// [`LayerCosts::drv_total`] like the fabric costs: a polled queue
+    /// pair never pays the per-interrupt `irq_entry` slice of Table 1's
+    /// driver row and burns this instead, so the Table 1 sums are
+    /// unchanged in the default interrupt mode.
+    pub poll_loop: Nanos,
 }
 
 impl Default for LayerCosts {
@@ -122,6 +130,7 @@ impl Default for LayerCosts {
             journal_commit: 250,
             fab_encode: 400,
             fab_decode: 300,
+            poll_loop: 100,
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod chain;
 pub mod costs;
 pub mod extcache;
 pub mod machine;
+pub mod reaper;
 pub mod trace;
 
 pub use bpfstor_device::{FabricConfig, FabricStats, TransportConfig};
@@ -34,4 +35,7 @@ pub use chain::{
 pub use costs::LayerCosts;
 pub use extcache::{ExtCacheStats, ExtentCache};
 pub use machine::{KernelError, Machine, MachineConfig, Mutation};
+pub use reaper::{
+    AdaptiveIrqConfig, HybridConfig, ModeTransition, PollConfig, ReapKind, ReapMode, ReaperStats,
+};
 pub use trace::LayerTrace;

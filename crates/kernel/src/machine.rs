@@ -62,6 +62,7 @@ use crate::chain::{
 };
 use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
+use crate::reaper::{ReapKind, ReapMode, Reaper, ReaperStats};
 use crate::trace::LayerTrace;
 
 /// Machine construction parameters.
@@ -89,6 +90,10 @@ pub struct MachineConfig {
     /// as soon as this many CQEs are pending, even inside the time
     /// budget. `1` (or `0`) disables depth-based coalescing.
     pub irq_coalesce_depth: u32,
+    /// Completion-delivery policy: static interrupts (the default, using
+    /// the two coalescing knobs above), adaptive interrupts, dedicated
+    /// pollers, or the load-adaptive hybrid scheduler.
+    pub reap_mode: ReapMode,
     /// The ring→device hop: PCIe pass-through (the default) or an
     /// NVMe-oF initiator/target pair over a modelled network.
     pub transport: TransportConfig,
@@ -111,6 +116,7 @@ impl Default for MachineConfig {
             resubmit_bound: 256,
             irq_coalesce_us: 0,
             irq_coalesce_depth: 1,
+            reap_mode: ReapMode::Interrupt,
             transport: TransportConfig::Local,
             qp_affinity: None,
         }
@@ -211,6 +217,12 @@ enum Ev {
     /// The completion interrupt for a queue pair fires: post ready
     /// CQEs and reap the completion ring.
     IrqFire {
+        qp: usize,
+    },
+    /// The dedicated poller visits a queue pair's completion ring
+    /// (polled/hybrid reaping): reap whatever has posted, productive
+    /// or not, and re-arm while work is in flight.
+    Poll {
         qp: usize,
     },
     Delivered {
@@ -329,17 +341,6 @@ struct ThreadState {
     uring: Option<UringState>,
 }
 
-/// Kernel-side interrupt-coalescing state for one queue pair.
-#[derive(Debug, Default)]
-struct IrqState {
-    /// Completion instants of serviced commands not yet reaped, sorted
-    /// ascending (the driver learns them when it rings the doorbell).
-    pending: Vec<Nanos>,
-    /// The currently armed interrupt timer; [`Ev::IrqFire`] events that
-    /// do not match are stale and ignored.
-    next_at: Option<Nanos>,
-}
-
 struct HookEnv<'a> {
     resubmit_to: Option<u64>,
     resubmit_calls: u32,
@@ -393,15 +394,19 @@ pub struct Machine {
     /// Per-queue-pair: is a doorbell event already scheduled? Submits
     /// that land at the same instant share one MMIO write.
     doorbell_armed: Vec<bool>,
-    /// Per-queue-pair interrupt-coalescing state.
-    irq: Vec<IrqState>,
+    /// The completion-reaping state machine: per-queue-pair pending
+    /// instants, armed timers, adaptive coalescing, hybrid scheduling.
+    reaper: Reaper,
     /// Per-queue-pair ops parked on queue-full backpressure, re-issued
-    /// after the next interrupt frees slots.
+    /// after the next reap frees slots.
     stalled: Vec<Vec<usize>>,
+    /// Peak in-flight depth seen at doorbell time since the last
+    /// productive reap: the hybrid scheduler's load signal. Sampling
+    /// the instantaneous residue at reap time instead would read a
+    /// promptly-polled queue as idle and a coalesced one as busy.
+    load_peak: Vec<usize>,
     /// In-flight command id → (op slot, segment index).
     cid_map: HashMap<u64, (usize, usize)>,
-    irq_coalesce_ns: Nanos,
-    irq_coalesce_depth: u32,
     /// Monotone per-run counter salting the per-chain RNG forks of the
     /// uring path, so every SQE in a batch draws an independent stream.
     rng_streams: u64,
@@ -473,11 +478,19 @@ impl Machine {
             free_ops: Vec::new(),
             threads: Vec::new(),
             doorbell_armed: vec![false; nr_queues],
-            irq: (0..nr_queues).map(|_| IrqState::default()).collect(),
+            // A zero aggregation threshold is clamped to one ("fire
+            // immediately"): a depth that can never be reached would
+            // silently disable depth-based firing. The session builder
+            // rejects 0 outright so misconfiguration is loud.
+            reaper: Reaper::new(
+                cfg.reap_mode.clone(),
+                nr_queues,
+                cfg.irq_coalesce_us.saturating_mul(1_000),
+                cfg.irq_coalesce_depth.max(1),
+            ),
             stalled: vec![Vec::new(); nr_queues],
+            load_peak: vec![0; nr_queues],
             cid_map: HashMap::new(),
-            irq_coalesce_ns: cfg.irq_coalesce_us.saturating_mul(1_000),
-            irq_coalesce_depth: cfg.irq_coalesce_depth.max(1),
             rng_streams: 0,
             mutations: Vec::new(),
             aborting_inos: HashSet::new(),
@@ -1038,10 +1051,7 @@ impl Machine {
         for armed in &mut self.doorbell_armed {
             *armed = false;
         }
-        for st in &mut self.irq {
-            st.pending.clear();
-            st.next_at = None;
-        }
+        self.reaper.reset();
         for q in &mut self.stalled {
             q.clear();
         }
@@ -1070,7 +1080,13 @@ impl Machine {
             extcache: self.extcache.stats(),
             resubmissions: self.resubmissions.iter().sum(),
             rearm_retries: self.rearm_retries,
+            reaper: self.reaper.stats().clone(),
         }
+    }
+
+    /// Completion-reaping counters accumulated since the last run began.
+    pub fn reaper_stats(&self) -> &ReaperStats {
+        self.reaper.stats()
     }
 
     fn event_loop(&mut self, driver: &mut dyn ChainDriver) {
@@ -1088,6 +1104,7 @@ impl Machine {
             Ev::CacheHit { op } => self.on_device_done(op, driver),
             Ev::Doorbell { qp } => self.on_doorbell(qp),
             Ev::IrqFire { qp } => self.on_irq_fire(qp, driver),
+            Ev::Poll { qp } => self.on_poll(qp, driver),
             Ev::Delivered { op } => self.on_delivered(op, driver),
             Ev::CapsuleRx { op } => self.on_capsule_rx(op),
             Ev::Mutate { idx } => self.on_mutate(idx),
@@ -1615,9 +1632,9 @@ impl Machine {
     }
 
     /// The driver's doorbell MMIO write: the device batch-services the
-    /// queue pair's SQ, and the interrupt timer re-arms around the new
-    /// completion instants. SQEs enqueued at the same instant share one
-    /// ring (and one charge).
+    /// queue pair's SQ, and the live reaping mechanism (interrupt timer
+    /// or poller) arms around the new completion instants. SQEs
+    /// enqueued at the same instant share one ring (and one charge).
     fn on_doorbell(&mut self, qp: usize) {
         self.doorbell_armed[qp] = false;
         let cost = self.costs.doorbell;
@@ -1634,66 +1651,138 @@ impl Machine {
         if times.is_empty() {
             return;
         }
-        self.irq[qp].pending.extend(times);
-        self.irq[qp].pending.sort_unstable();
-        self.schedule_irq(qp);
+        self.reaper.note_doorbell(qp, &times);
+        let depth = self.transport.outstanding(qp);
+        self.load_peak[qp] = self.load_peak[qp].max(depth);
+        self.arm_reap(qp);
     }
 
-    /// (Re-)arms the interrupt timer for `qp` from its pending
-    /// completion instants: the interrupt fires when
-    /// `irq_coalesce_depth` CQEs are pending, or `irq_coalesce_us`
-    /// after the first, whichever comes first.
-    fn schedule_irq(&mut self, qp: usize) {
-        let depth = self.irq_coalesce_depth as usize;
-        let coalesce = self.irq_coalesce_ns;
-        let st = &mut self.irq[qp];
-        let Some(&first) = st.pending.first() else {
-            st.next_at = None;
-            return;
-        };
-        let by_time = first.saturating_add(coalesce);
-        let fire = match st.pending.get(depth - 1) {
-            Some(&by_depth) => by_depth.min(by_time),
-            None => by_time,
-        };
-        if st.next_at != Some(fire) {
-            st.next_at = Some(fire);
-            self.events.push(fire, Ev::IrqFire { qp });
+    /// One hybrid-scheduler load sample: the peak doorbell-time depth
+    /// since the last productive reap (floored by what this reap
+    /// drained plus the residue). The peak resets only on productive
+    /// reaps so idle poll visits re-observe recent pressure instead of
+    /// reporting a spurious lull.
+    fn sample_load(&mut self, qp: usize, reaped: usize) -> usize {
+        let load = self.load_peak[qp].max(self.transport.outstanding(qp) + reaped);
+        if reaped > 0 {
+            self.load_peak[qp] = 0;
+        }
+        load
+    }
+
+    /// Arms whichever reaping mechanism is live on `qp`: the coalescing
+    /// interrupt timer from its pending completion instants, or the
+    /// next poller visit (pollers park on an idle queue pair; the next
+    /// doorbell wakes them).
+    fn arm_reap(&mut self, qp: usize) {
+        match self.reaper.active(qp) {
+            ReapKind::Interrupt => {
+                if let Some(fire) = self.reaper.arm_irq(qp) {
+                    self.events.push(fire, Ev::IrqFire { qp });
+                }
+            }
+            ReapKind::Polled => {
+                if self.transport.outstanding(qp) > 0 {
+                    let at = self.now + self.reaper.poll_interval();
+                    if let Some(at) = self.reaper.arm_poll(qp, at) {
+                        self.events.push(at, Ev::Poll { qp });
+                    }
+                }
+            }
         }
     }
 
-    /// The completion interrupt: post every CQE whose completion
-    /// instant has passed, drain the completion ring, run the
-    /// completion path of every finished request, and re-issue ops
-    /// parked on backpressure. One interrupt entry is charged no matter
-    /// how many CQEs it reaps — the coalescing win.
-    fn on_irq_fire(&mut self, qp: usize, driver: &mut dyn ChainDriver) {
-        if self.irq[qp].next_at != Some(self.now) {
-            return; // stale timer — a newer arm superseded this event
-        }
-        self.irq[qp].next_at = None;
+    /// Reaps `qp` at the current instant on behalf of either mechanism:
+    /// post ready CQEs, drain the completion ring, run the completion
+    /// path of every finished request, and re-issue ops parked on
+    /// backpressure. Returns how many CQEs were drained.
+    fn reap_qp(&mut self, qp: usize, driver: &mut dyn ChainDriver) -> usize {
         self.transport.post_ready(self.now, qp);
-        let cqes = self.transport.reap(qp, usize::MAX);
-        self.irq[qp].pending.retain(|&t| t > self.now);
-        if cqes.is_empty() {
-            self.schedule_irq(qp);
-            return;
-        }
-        // MSI-X affinity: the interrupt lands on the queue pair's owning
-        // core, not on whichever core is idle.
-        let cost = self.costs.irq_entry;
-        let _ = self.charge_on(self.qp_core[qp], cost);
-        self.trace.drv += cost;
-        self.trace.irqs += 1;
+        let cqes = self.transport.reap(self.now, qp, usize::MAX);
+        let reaped = cqes.len();
         for c in cqes {
             self.on_cqe(c, driver);
         }
-        // Freed queue slots un-park stalled submissions.
-        let stalled = std::mem::take(&mut self.stalled[qp]);
-        for id in stalled {
-            self.events.push(self.now, Ev::DevSubmit { op: id });
+        if reaped > 0 {
+            // Freed queue slots un-park stalled submissions.
+            let stalled = std::mem::take(&mut self.stalled[qp]);
+            for id in stalled {
+                self.events.push(self.now, Ev::DevSubmit { op: id });
+            }
         }
-        self.schedule_irq(qp);
+        reaped
+    }
+
+    /// The completion interrupt: one interrupt entry is charged no
+    /// matter how many CQEs it reaps — the coalescing win. Feeds the
+    /// adaptive-coalescing controller and the hybrid scheduler.
+    fn on_irq_fire(&mut self, qp: usize, driver: &mut dyn ChainDriver) {
+        if !self.reaper.irq_due(self.now, qp) {
+            return; // stale timer — a newer arm (or a mode switch) superseded it
+        }
+        let reaped = {
+            self.transport.post_ready(self.now, qp);
+            let cqes = self.transport.reap(self.now, qp, usize::MAX);
+            if !cqes.is_empty() {
+                // MSI-X affinity: the interrupt lands on the queue
+                // pair's owning core, not on whichever core is idle.
+                let cost = self.costs.irq_entry;
+                let _ = self.charge_on(self.qp_core[qp], cost);
+                self.trace.drv += cost;
+                self.trace.irqs += 1;
+                self.reaper.charge_irq(cost);
+            }
+            let reaped = cqes.len();
+            for c in cqes {
+                self.on_cqe(c, driver);
+            }
+            if reaped > 0 {
+                let stalled = std::mem::take(&mut self.stalled[qp]);
+                for id in stalled {
+                    self.events.push(self.now, Ev::DevSubmit { op: id });
+                }
+            }
+            reaped
+        };
+        let load = self.sample_load(qp, reaped);
+        self.reaper
+            .note_reap(self.now, qp, reaped, load, ReapKind::Interrupt);
+        self.arm_reap(qp);
+    }
+
+    /// One poller visit: pay the poll-loop cost on the owning core
+    /// whether or not anything has posted (an empty visit is the
+    /// polling tax), reap what has, and re-arm while the queue pair
+    /// has commands in flight.
+    fn on_poll(&mut self, qp: usize, driver: &mut dyn ChainDriver) {
+        if !self.reaper.poll_due(self.now, qp) {
+            return; // stale visit — the pair switched to interrupts
+        }
+        let cost = self.costs.poll_loop;
+        let end = self.charge_on(self.qp_core[qp], cost);
+        self.trace.poll += cost;
+        self.trace.polls += 1;
+        let reaped = self.reap_qp(qp, driver);
+        self.reaper.charge_poll(cost, reaped == 0);
+        if reaped == 0 {
+            self.transport.device_mut().record_empty_poll();
+        }
+        let load = self.sample_load(qp, reaped);
+        self.reaper
+            .note_reap(self.now, qp, reaped, load, ReapKind::Polled);
+        match self.reaper.active(qp) {
+            ReapKind::Polled => {
+                if self.transport.outstanding(qp) > 0 || !self.stalled[qp].is_empty() {
+                    // Next visit no sooner than the loop body finishes
+                    // on a contended core.
+                    let at = end.max(self.now + self.reaper.poll_interval());
+                    if let Some(at) = self.reaper.arm_poll(qp, at) {
+                        self.events.push(at, Ev::Poll { qp });
+                    }
+                }
+            }
+            ReapKind::Interrupt => self.arm_reap(qp),
+        }
     }
 
     /// One reaped CQE: fill the op's segment slot; when the last

@@ -1,0 +1,666 @@
+//! The completion-reaping subsystem: how the kernel learns that the
+//! device finished work.
+//!
+//! The paper's baseline stack is interrupt-driven, but its kernel-bypass
+//! comparison point (SPDK-style polling) reaps completion queues from a
+//! dedicated poller loop and never takes an interrupt. This module makes
+//! that axis a per-machine policy with three selectable modes:
+//!
+//! - [`ReapMode::Interrupt`] — the classic path: a (statically
+//!   configured) coalescing timer arms an interrupt per queue pair, the
+//!   handler pays `irq_entry` on the queue pair's owning core and drains
+//!   the CQ. This is the pre-reaper behaviour, bit for bit.
+//! - [`ReapMode::AdaptiveIrq`] — interrupts whose aggregation threshold
+//!   follows the observed CQE arrival rate (NVMe coalescing feedback):
+//!   the reaper keeps an EWMA of the inter-completion gap and widens the
+//!   depth toward `budget / gap` under load, narrowing back to immediate
+//!   delivery when the queue goes quiet.
+//! - [`ReapMode::Polled`] — no interrupts at all: a per-core poller
+//!   visits the queue pair every [`PollConfig::interval_ns`], paying the
+//!   poll-loop cost on the owning core whether or not the CQ has
+//!   anything (empty visits are counted in `DeviceStats::empty_polls`).
+//!   Completions are reaped within one poll interval of posting, at the
+//!   price of burned CPU while the device works.
+//! - [`ReapMode::Hybrid`] — a load-adaptive scheduler: each queue pair
+//!   starts interrupt-driven, and a sliding window of in-flight depth
+//!   observed at reap time switches it to polling past
+//!   [`HybridConfig::high_watermark`] and back below
+//!   [`HybridConfig::low_watermark`]. A dwell counter enforces
+//!   hysteresis so the pair cannot flap on every sample.
+//!
+//! The [`Reaper`] owns the per-queue-pair state machine (pending
+//! completion instants, armed timers, adaptive depth, the hybrid
+//! window); the [`Machine`](crate::machine::Machine) keeps what it
+//! always had — event scheduling, CPU charging, and the reap itself —
+//! and consults the reaper for *when* and *by which mechanism*.
+
+use bpfstor_sim::Nanos;
+
+/// Which reaping mechanism is live on a queue pair right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReapKind {
+    /// Completions are delivered by (coalesced) interrupts.
+    Interrupt,
+    /// Completions are reaped by the per-core poller loop.
+    Polled,
+}
+
+/// Dedicated-poller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollConfig {
+    /// Gap between poll-loop visits to a queue pair. Each visit costs
+    /// `LayerCosts::poll_loop` on the owning core, so the idle duty
+    /// cycle is `poll_loop / interval_ns`.
+    pub interval_ns: Nanos,
+}
+
+impl Default for PollConfig {
+    fn default() -> Self {
+        PollConfig { interval_ns: 250 }
+    }
+}
+
+/// Adaptive interrupt-coalescing configuration (NVMe aggregation
+/// threshold driven by the observed completion rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveIrqConfig {
+    /// Lower bound on the aggregation threshold (≥ 1).
+    pub min_depth: u32,
+    /// Upper bound on the aggregation threshold.
+    pub max_depth: u32,
+    /// Latency budget in microseconds: a pending CQE fires an interrupt
+    /// at most this long after it is posted, whatever the threshold.
+    pub budget_us: u64,
+}
+
+impl Default for AdaptiveIrqConfig {
+    fn default() -> Self {
+        AdaptiveIrqConfig {
+            min_depth: 1,
+            max_depth: 32,
+            budget_us: 8,
+        }
+    }
+}
+
+impl AdaptiveIrqConfig {
+    fn budget_ns(&self) -> Nanos {
+        self.budget_us.saturating_mul(1_000)
+    }
+}
+
+/// Load-adaptive hybrid scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Poller parameters used while a queue pair is in polled mode.
+    pub poll: PollConfig,
+    /// Interrupt parameters used while a queue pair is interrupt-driven.
+    pub irq: AdaptiveIrqConfig,
+    /// Switch to polling when the windowed mean in-flight depth reaches
+    /// this many commands.
+    pub high_watermark: usize,
+    /// Switch back to interrupts when it falls to this many or fewer.
+    pub low_watermark: usize,
+    /// Sliding-window length in reap-time load samples.
+    pub window: usize,
+    /// Hysteresis: samples to ignore after a transition before the next
+    /// switch is allowed (keeps the scheduler from flapping).
+    pub dwell: u32,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            poll: PollConfig::default(),
+            irq: AdaptiveIrqConfig::default(),
+            high_watermark: 4,
+            low_watermark: 1,
+            window: 16,
+            dwell: 8,
+        }
+    }
+}
+
+/// The machine-wide completion-delivery policy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ReapMode {
+    /// Static interrupt coalescing from `MachineConfig::irq_coalesce_us`
+    /// / `irq_coalesce_depth` (the pre-reaper default).
+    #[default]
+    Interrupt,
+    /// Interrupts with a rate-adaptive aggregation threshold.
+    AdaptiveIrq(AdaptiveIrqConfig),
+    /// Dedicated per-core pollers, no interrupts.
+    Polled(PollConfig),
+    /// Per-queue-pair switching between polling and interrupts by load.
+    Hybrid(HybridConfig),
+}
+
+/// One hybrid-scheduler mode switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeTransition {
+    /// Simulated instant of the switch.
+    pub at: Nanos,
+    /// Queue pair that switched.
+    pub qp: usize,
+    /// Mechanism it switched to.
+    pub to: ReapKind,
+}
+
+/// Timeline entries kept per run (the count keeps going past the cap).
+const TRANSITION_LOG_CAP: usize = 256;
+
+/// Per-run reaping statistics (reported in `RunReport::reaper`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReaperStats {
+    /// Poll-loop visits (productive or not).
+    pub polls: u64,
+    /// Visits that found the CQ empty.
+    pub empty_polls: u64,
+    /// CPU nanoseconds burned by the poller loops.
+    pub poll_cpu_ns: Nanos,
+    /// Interrupt entries taken.
+    pub irqs: u64,
+    /// CPU nanoseconds spent in interrupt entries.
+    pub irq_cpu_ns: Nanos,
+    /// Hybrid mode switches (total, across queue pairs).
+    pub mode_transitions: u64,
+    /// Timeline of the first [`TRANSITION_LOG_CAP`] switches.
+    pub transitions: Vec<ModeTransition>,
+    /// Adaptive-coalescing threshold increases.
+    pub depth_widens: u64,
+    /// Adaptive-coalescing threshold decreases.
+    pub depth_narrows: u64,
+    /// Widest aggregation threshold the controller reached.
+    pub depth_hwm: u32,
+}
+
+impl ReaperStats {
+    /// Poll-CPU vs IRQ-CPU spent per reaped mechanism, as fractions of
+    /// their sum (the polling-vs-interrupt CPU trade). Returns
+    /// `(poll_share, irq_share)`; `(0, 0)` when neither charged.
+    pub fn cpu_split(&self) -> (f64, f64) {
+        let total = (self.poll_cpu_ns + self.irq_cpu_ns) as f64;
+        if total == 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            self.poll_cpu_ns as f64 / total,
+            self.irq_cpu_ns as f64 / total,
+        )
+    }
+}
+
+/// Per-queue-pair reaping state.
+#[derive(Debug)]
+struct QpReap {
+    /// Completion instants of serviced commands not yet reaped, sorted
+    /// ascending (the driver learns them when it rings the doorbell).
+    pending: Vec<Nanos>,
+    /// The armed interrupt timer; `Ev::IrqFire` events that do not match
+    /// are stale and ignored.
+    irq_at: Option<Nanos>,
+    /// The armed poller visit; `Ev::Poll` events that do not match are
+    /// stale and ignored.
+    poll_at: Option<Nanos>,
+    /// Mechanism currently live on this queue pair.
+    active: ReapKind,
+    /// Current aggregation threshold (static in `Interrupt` mode,
+    /// controller-driven otherwise).
+    depth: u32,
+    /// EWMA of the inter-completion gap, ns (0 = no observation yet).
+    avg_gap: Nanos,
+    /// Instant of the last productive interrupt reap (EWMA clock).
+    last_reap_at: Nanos,
+    /// Sliding window of in-flight depth samples (hybrid only).
+    window: Vec<usize>,
+    /// Next slot to overwrite in `window`.
+    window_pos: usize,
+    /// Samples already in `window` (≤ its configured length).
+    window_len: usize,
+    /// Samples left to ignore before the next switch is allowed.
+    dwell_left: u32,
+}
+
+/// The completion-reaping state machine (see the module docs).
+pub struct Reaper {
+    mode: ReapMode,
+    /// Static coalescing budget (ns) for [`ReapMode::Interrupt`].
+    static_coalesce_ns: Nanos,
+    /// Static aggregation threshold for [`ReapMode::Interrupt`].
+    static_depth: u32,
+    qps: Vec<QpReap>,
+    stats: ReaperStats,
+}
+
+impl Reaper {
+    /// Builds the reaper for `nr_queues` queue pairs. `static_ns` /
+    /// `static_depth` are the legacy coalescing knobs, used only by
+    /// [`ReapMode::Interrupt`]. A zero `static_depth` is clamped to one
+    /// ("fire immediately"), mirroring the documented machine-level
+    /// clamp.
+    pub fn new(mode: ReapMode, nr_queues: usize, static_ns: Nanos, static_depth: u32) -> Self {
+        let mut r = Reaper {
+            mode,
+            static_coalesce_ns: static_ns,
+            static_depth: static_depth.max(1),
+            qps: Vec::new(),
+            stats: ReaperStats::default(),
+        };
+        r.qps = (0..nr_queues).map(|_| r.fresh_qp()).collect();
+        r
+    }
+
+    fn fresh_qp(&self) -> QpReap {
+        let (active, depth) = match &self.mode {
+            ReapMode::Interrupt => (ReapKind::Interrupt, self.static_depth),
+            ReapMode::AdaptiveIrq(c) => (ReapKind::Interrupt, c.min_depth.max(1)),
+            ReapMode::Polled(_) => (ReapKind::Polled, 1),
+            // The hybrid pair starts interrupt-driven and earns its
+            // poller under load.
+            ReapMode::Hybrid(c) => (ReapKind::Interrupt, c.irq.min_depth.max(1)),
+        };
+        QpReap {
+            pending: Vec::new(),
+            irq_at: None,
+            poll_at: None,
+            active,
+            depth,
+            avg_gap: 0,
+            last_reap_at: 0,
+            window: match &self.mode {
+                ReapMode::Hybrid(c) => vec![0; c.window.max(1)],
+                _ => Vec::new(),
+            },
+            window_pos: 0,
+            window_len: 0,
+            dwell_left: 0,
+        }
+    }
+
+    /// Resets all per-queue-pair state and counters for a new run.
+    pub fn reset(&mut self) {
+        for i in 0..self.qps.len() {
+            self.qps[i] = self.fresh_qp();
+        }
+        self.stats = ReaperStats::default();
+    }
+
+    /// The configured policy.
+    pub fn mode(&self) -> &ReapMode {
+        &self.mode
+    }
+
+    /// The mechanism currently live on `qp`.
+    pub fn active(&self, qp: usize) -> ReapKind {
+        self.qps[qp].active
+    }
+
+    /// The poll interval for `qp`'s poller (polled and hybrid modes).
+    pub fn poll_interval(&self) -> Nanos {
+        match &self.mode {
+            ReapMode::Polled(p) => p.interval_ns.max(1),
+            ReapMode::Hybrid(c) => c.poll.interval_ns.max(1),
+            _ => PollConfig::default().interval_ns,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ReaperStats {
+        &self.stats
+    }
+
+    /// Records completion instants learned at a doorbell ring.
+    pub fn note_doorbell(&mut self, qp: usize, times: &[Nanos]) {
+        let q = &mut self.qps[qp];
+        q.pending.extend_from_slice(times);
+        q.pending.sort_unstable();
+    }
+
+    /// (Re-)arms the interrupt timer for `qp` from its pending instants:
+    /// the interrupt fires when the aggregation threshold is reached, or
+    /// the coalescing budget after the first CQE, whichever is earlier.
+    /// Returns the fire instant when a new `Ev::IrqFire` must be pushed
+    /// (an already-armed matching timer returns `None`).
+    pub fn arm_irq(&mut self, qp: usize) -> Option<Nanos> {
+        let budget = match &self.mode {
+            ReapMode::Interrupt => self.static_coalesce_ns,
+            ReapMode::AdaptiveIrq(c) => c.budget_ns(),
+            ReapMode::Hybrid(c) => c.irq.budget_ns(),
+            ReapMode::Polled(_) => 0,
+        };
+        let q = &mut self.qps[qp];
+        let Some(&first) = q.pending.first() else {
+            q.irq_at = None;
+            return None;
+        };
+        let by_time = first.saturating_add(budget);
+        let fire = match q.pending.get(q.depth as usize - 1) {
+            Some(&by_depth) => by_depth.min(by_time),
+            None => by_time,
+        };
+        if q.irq_at == Some(fire) {
+            return None;
+        }
+        q.irq_at = Some(fire);
+        Some(fire)
+    }
+
+    /// Arms a poller visit at `at` unless one is already armed. Returns
+    /// the instant when a new `Ev::Poll` must be pushed.
+    pub fn arm_poll(&mut self, qp: usize, at: Nanos) -> Option<Nanos> {
+        let q = &mut self.qps[qp];
+        if q.poll_at.is_some() {
+            return None;
+        }
+        q.poll_at = Some(at);
+        Some(at)
+    }
+
+    /// Stale-timer guard for `Ev::IrqFire`: true exactly when this event
+    /// is the armed interrupt and the pair is still interrupt-driven
+    /// (consumes the arm).
+    pub fn irq_due(&mut self, now: Nanos, qp: usize) -> bool {
+        let q = &mut self.qps[qp];
+        if q.active != ReapKind::Interrupt || q.irq_at != Some(now) {
+            return false;
+        }
+        q.irq_at = None;
+        true
+    }
+
+    /// Stale-timer guard for `Ev::Poll` (consumes the arm).
+    pub fn poll_due(&mut self, now: Nanos, qp: usize) -> bool {
+        let q = &mut self.qps[qp];
+        if q.active != ReapKind::Polled || q.poll_at != Some(now) {
+            return false;
+        }
+        q.poll_at = None;
+        true
+    }
+
+    /// Accounts one interrupt entry's CPU charge.
+    pub fn charge_irq(&mut self, cost: Nanos) {
+        self.stats.irqs += 1;
+        self.stats.irq_cpu_ns += cost;
+    }
+
+    /// Accounts one poll visit's CPU charge.
+    pub fn charge_poll(&mut self, cost: Nanos, empty: bool) {
+        self.stats.polls += 1;
+        self.stats.poll_cpu_ns += cost;
+        if empty {
+            self.stats.empty_polls += 1;
+        }
+    }
+
+    /// Digests one reap: drops elapsed pending instants, feeds the
+    /// adaptive-coalescing controller (`reaped` CQEs drained at `now`
+    /// via `via`), and runs the hybrid scheduler on the observed
+    /// in-flight `load`. Returns the mechanism switched *to* when the
+    /// scheduler transitions, so the caller can arm it.
+    pub fn note_reap(
+        &mut self,
+        now: Nanos,
+        qp: usize,
+        reaped: usize,
+        load: usize,
+        via: ReapKind,
+    ) -> Option<ReapKind> {
+        self.qps[qp].pending.retain(|&t| t > now);
+        if reaped > 0 && via == ReapKind::Interrupt {
+            self.adapt_depth(now, qp, reaped);
+        }
+        self.observe_load(now, qp, load)
+    }
+
+    /// Rate feedback: EWMA the per-CQE gap and retarget the aggregation
+    /// threshold at `budget / gap` — sticky under load (a steady arrival
+    /// rate holds the threshold wide), immediate delivery when idle.
+    fn adapt_depth(&mut self, now: Nanos, qp: usize, reaped: usize) {
+        let (min_d, max_d, budget) = match &self.mode {
+            ReapMode::AdaptiveIrq(c) => (c.min_depth.max(1), c.max_depth, c.budget_ns()),
+            ReapMode::Hybrid(c) => (c.irq.min_depth.max(1), c.irq.max_depth, c.irq.budget_ns()),
+            _ => return,
+        };
+        let max_d = max_d.max(min_d);
+        let q = &mut self.qps[qp];
+        let elapsed = now.saturating_sub(q.last_reap_at).max(1);
+        q.last_reap_at = now;
+        let gap = (elapsed / reaped as Nanos).max(1);
+        q.avg_gap = if q.avg_gap == 0 {
+            gap
+        } else {
+            (3 * q.avg_gap + gap) / 4
+        };
+        let target = (budget / q.avg_gap).clamp(min_d as Nanos, max_d as Nanos) as u32;
+        if target > q.depth {
+            self.stats.depth_widens += 1;
+        } else if target < q.depth {
+            self.stats.depth_narrows += 1;
+        }
+        q.depth = target;
+        self.stats.depth_hwm = self.stats.depth_hwm.max(target);
+    }
+
+    /// Hybrid scheduler: slide `load` into the window and switch
+    /// mechanisms at the watermarks, honouring the dwell hysteresis.
+    fn observe_load(&mut self, now: Nanos, qp: usize, load: usize) -> Option<ReapKind> {
+        let ReapMode::Hybrid(cfg) = &self.mode else {
+            return None;
+        };
+        let (high, low, dwell) = (cfg.high_watermark, cfg.low_watermark, cfg.dwell);
+        let q = &mut self.qps[qp];
+        let len = q.window.len();
+        q.window[q.window_pos] = load;
+        q.window_pos = (q.window_pos + 1) % len;
+        q.window_len = (q.window_len + 1).min(len);
+        if q.dwell_left > 0 {
+            q.dwell_left -= 1;
+            return None;
+        }
+        // Rounded mean: a window mixing 3s and 4s reads as 4, so a
+        // watermark of 4 trips on sustained ~4-deep pressure instead of
+        // being defeated by integer truncation.
+        let sum = q.window[..].iter().take(q.window_len).sum::<usize>();
+        let n = q.window_len.max(1);
+        let avg = (sum + n / 2) / n;
+        let to = match q.active {
+            ReapKind::Interrupt if avg >= high => ReapKind::Polled,
+            ReapKind::Polled if avg <= low => ReapKind::Interrupt,
+            _ => return None,
+        };
+        q.active = to;
+        // Timers of the abandoned mechanism die on the due-guards.
+        q.irq_at = None;
+        q.poll_at = None;
+        q.dwell_left = dwell;
+        self.stats.mode_transitions += 1;
+        if self.stats.transitions.len() < TRANSITION_LOG_CAP {
+            self.stats
+                .transitions
+                .push(ModeTransition { at: now, qp, to });
+        }
+        Some(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adaptive() -> Reaper {
+        Reaper::new(
+            ReapMode::AdaptiveIrq(AdaptiveIrqConfig {
+                min_depth: 1,
+                max_depth: 32,
+                budget_us: 8,
+            }),
+            1,
+            0,
+            1,
+        )
+    }
+
+    #[test]
+    fn static_interrupt_matches_legacy_schedule() {
+        let mut r = Reaper::new(ReapMode::Interrupt, 1, 8_000, 4);
+        r.note_doorbell(0, &[1_000, 2_000, 3_000, 3_500, 9_000]);
+        // Depth 4 is reached at 3_500, inside the 1_000 + 8_000 budget.
+        assert_eq!(r.arm_irq(0), Some(3_500));
+        assert_eq!(r.arm_irq(0), None, "same instant: already armed");
+        assert!(!r.irq_due(3_000, 0), "stale guard");
+        assert!(r.irq_due(3_500, 0));
+        assert_eq!(r.note_reap(3_500, 0, 4, 0, ReapKind::Interrupt), None);
+        // One straggler left: the budget, not the depth, now binds.
+        assert_eq!(r.arm_irq(0), Some(17_000));
+    }
+
+    #[test]
+    fn zero_static_depth_clamps_to_immediate() {
+        let mut r = Reaper::new(ReapMode::Interrupt, 1, 0, 0);
+        r.note_doorbell(0, &[500]);
+        assert_eq!(r.arm_irq(0), Some(500), "depth 0 behaves like depth 1");
+    }
+
+    #[test]
+    fn adaptive_depth_widens_under_load_and_narrows_when_idle() {
+        let mut r = adaptive();
+        // A dense completion stream: 8 CQEs per microsecond-ish reap.
+        let mut now = 0;
+        for _ in 0..6 {
+            now += 1_000;
+            r.note_reap(now, 0, 8, 0, ReapKind::Interrupt);
+        }
+        let widened = r.qps[0].depth;
+        assert!(
+            widened >= 16,
+            "8µs budget / 125ns gap should widen well past 16, got {widened}"
+        );
+        assert!(r.stats().depth_widens > 0);
+        assert_eq!(r.stats().depth_hwm, widened);
+        // Then a trickle: one CQE every 50µs narrows back to immediate.
+        for _ in 0..8 {
+            now += 50_000;
+            r.note_reap(now, 0, 1, 0, ReapKind::Interrupt);
+        }
+        assert_eq!(r.qps[0].depth, 1, "idle queue returns to depth 1");
+        assert!(r.stats().depth_narrows > 0);
+    }
+
+    #[test]
+    fn polled_reaps_ignore_the_depth_controller() {
+        let mut r = adaptive();
+        r.note_reap(1_000, 0, 8, 0, ReapKind::Polled);
+        assert_eq!(r.qps[0].depth, 1, "poll reaps do not feed the EWMA");
+    }
+
+    #[test]
+    fn poll_arm_is_level_triggered() {
+        let mut r = Reaper::new(ReapMode::Polled(PollConfig { interval_ns: 250 }), 1, 0, 1);
+        assert_eq!(r.active(0), ReapKind::Polled);
+        assert_eq!(r.arm_poll(0, 250), Some(250));
+        assert_eq!(r.arm_poll(0, 300), None, "one visit armed at a time");
+        assert!(!r.poll_due(200, 0), "stale guard");
+        assert!(r.poll_due(250, 0));
+        assert_eq!(r.arm_poll(0, 500), Some(500), "re-arms after the visit");
+    }
+
+    #[test]
+    fn hybrid_switches_at_watermarks_with_hysteresis() {
+        let cfg = HybridConfig {
+            high_watermark: 8,
+            low_watermark: 2,
+            window: 4,
+            dwell: 3,
+            ..HybridConfig::default()
+        };
+        let mut r = Reaper::new(ReapMode::Hybrid(cfg), 1, 0, 1);
+        assert_eq!(r.active(0), ReapKind::Interrupt, "starts interrupt-driven");
+        // Light load: no switch.
+        assert_eq!(r.note_reap(1_000, 0, 1, 1, ReapKind::Interrupt), None);
+        // Sustained heavy load trips the high watermark.
+        let mut switched = None;
+        for i in 0..4 {
+            switched = r.note_reap(2_000 + i, 0, 1, 16, ReapKind::Interrupt);
+            if switched.is_some() {
+                break;
+            }
+        }
+        assert_eq!(switched, Some(ReapKind::Polled));
+        assert_eq!(r.active(0), ReapKind::Polled);
+        assert_eq!(r.stats().mode_transitions, 1);
+        assert_eq!(r.stats().transitions[0].to, ReapKind::Polled);
+        // Dwell: three idle samples are ignored before the next switch.
+        for i in 0..3 {
+            assert_eq!(
+                r.note_reap(3_000 + i, 0, 1, 0, ReapKind::Polled),
+                None,
+                "hysteresis holds"
+            );
+        }
+        // Once the dwell expires and the window has drained low, it
+        // returns to interrupts.
+        let mut back = None;
+        for i in 0..4 {
+            back = r.note_reap(4_000 + i, 0, 1, 0, ReapKind::Polled);
+            if back.is_some() {
+                break;
+            }
+        }
+        assert_eq!(back, Some(ReapKind::Interrupt));
+        assert_eq!(r.stats().mode_transitions, 2);
+    }
+
+    #[test]
+    fn transition_clears_stale_timers() {
+        let cfg = HybridConfig {
+            high_watermark: 1,
+            low_watermark: 0,
+            window: 1,
+            dwell: 0,
+            ..HybridConfig::default()
+        };
+        let mut r = Reaper::new(ReapMode::Hybrid(cfg), 1, 0, 1);
+        r.note_doorbell(0, &[5_000]);
+        let fire = r.arm_irq(0).expect("armed");
+        assert_eq!(
+            r.note_reap(1_000, 0, 0, 4, ReapKind::Interrupt),
+            Some(ReapKind::Polled)
+        );
+        assert!(!r.irq_due(fire, 0), "abandoned interrupt is stale");
+        let visit = r.arm_poll(0, 1_250).expect("poller armed");
+        assert_eq!(
+            r.note_reap(1_250, 0, 0, 0, ReapKind::Polled),
+            Some(ReapKind::Interrupt)
+        );
+        assert!(!r.poll_due(visit, 0), "abandoned poll visit is stale");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut r = Reaper::new(ReapMode::Hybrid(HybridConfig::default()), 2, 0, 1);
+        r.note_doorbell(1, &[10]);
+        for _ in 0..16 {
+            r.note_reap(100, 1, 1, 100, ReapKind::Interrupt);
+        }
+        assert!(r.stats().mode_transitions > 0);
+        r.reset();
+        assert_eq!(r.stats(), &ReaperStats::default());
+        assert_eq!(r.active(1), ReapKind::Interrupt);
+        assert!(r.qps[1].pending.is_empty());
+    }
+
+    #[test]
+    fn cpu_split_reports_the_trade() {
+        let mut r = Reaper::new(ReapMode::Interrupt, 1, 0, 1);
+        assert_eq!(r.stats().cpu_split(), (0.0, 0.0));
+        r.charge_poll(300, true);
+        r.charge_irq(100);
+        let (p, i) = r.stats().cpu_split();
+        assert!((p - 0.75).abs() < 1e-9 && (i - 0.25).abs() < 1e-9);
+        assert_eq!(r.stats().empty_polls, 1);
+        assert_eq!(r.stats().polls, 1);
+        assert_eq!(r.stats().irqs, 1);
+    }
+}

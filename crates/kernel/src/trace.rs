@@ -37,14 +37,22 @@ pub struct LayerTrace {
     /// capsule processing) — wait time like [`LayerTrace::device`], not
     /// CPU. Zero on the local transport.
     pub fabric_wire: Nanos,
+    /// Completion-poller loop time (polled/hybrid reaping only): CPU
+    /// burned visiting CQs, productive or not. The carve against Table
+    /// 1's NVMe-driver row: a polled queue pair pays this instead of
+    /// the per-interrupt `irq_entry` slice of `drv`.
+    pub poll: Nanos,
     /// I/Os sampled.
     pub ios: u64,
     /// Write/flush device commands among them.
     pub write_ios: u64,
     /// Doorbell rings (each may cover a batch of SQEs).
     pub doorbells: u64,
-    /// Completion interrupts fired (each may reap several CQEs).
+    /// Completion interrupts fired (each may reap several CQEs). Zero
+    /// when a queue pair is polled.
     pub irqs: u64,
+    /// Poll-loop visits (each may reap several CQEs, or none).
+    pub polls: u64,
 }
 
 impl LayerTrace {
@@ -60,6 +68,7 @@ impl LayerTrace {
             + self.extent_cache
             + self.journal
             + self.fabric
+            + self.poll
     }
 
     /// Average nanoseconds per I/O for a bucket total.
@@ -83,6 +92,7 @@ impl LayerTrace {
             ("extent cache", self.extent_cache),
             ("journal", self.journal),
             ("fabric capsule", self.fabric),
+            ("poll loop", self.poll),
             ("application", self.app),
             ("storage device", self.device),
             ("fabric wire", self.fabric_wire),
@@ -109,10 +119,11 @@ mod tests {
             journal: 4,
             fabric: 8,
             fabric_wire: 500,
+            poll: 6,
             ios: 1,
             ..LayerTrace::default()
         };
-        assert_eq!(t.software(), 170, "wire time is a wait, not software");
+        assert_eq!(t.software(), 176, "wire time is a wait, not software");
     }
 
     #[test]
@@ -130,6 +141,6 @@ mod tests {
     #[test]
     fn rows_cover_all_buckets() {
         let t = LayerTrace::default();
-        assert_eq!(t.rows().len(), 12);
+        assert_eq!(t.rows().len(), 13);
     }
 }

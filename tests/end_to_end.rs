@@ -526,6 +526,43 @@ fn session_queue_knobs_backpressure_and_coalescing() {
     );
 }
 
+#[test]
+#[should_panic(expected = "irq_coalesce_depth 0 can never fire")]
+fn zero_coalescing_depth_is_rejected_loudly() {
+    // Regression: depth 0 used to be silently clamped to 1 deep inside
+    // the machine, making "no coalescing" configs lie about themselves.
+    let _ = PushdownSession::builder(Btree::depth(3)).irq_coalescing(8, 0);
+}
+
+#[test]
+fn all_reap_modes_complete_the_same_lookups() {
+    use bpfstor::core::ReapMode;
+    let run = |mode: ReapMode| {
+        let mut s = PushdownSession::builder(Btree::depth(4).max_chains(64))
+            .dispatch(DispatchMode::DriverHook)
+            .reap_mode(mode)
+            .build()
+            .expect("session");
+        let (report, stats) = s.run_uring(1, 32, SECOND);
+        assert_eq!(stats.completed, 64, "every lookup completes");
+        assert_eq!(stats.mismatches, 0);
+        assert_eq!(stats.errors, 0);
+        report
+    };
+    let irq = run(ReapMode::Interrupt);
+    let adaptive = run(ReapMode::AdaptiveIrq(Default::default()));
+    let polled = run(ReapMode::Polled(Default::default()));
+    let hybrid = run(ReapMode::Hybrid(Default::default()));
+    for r in [&adaptive, &polled, &hybrid] {
+        assert_eq!(r.device.cqes, irq.device.cqes, "same completions per mode");
+    }
+    assert_eq!(polled.trace.irqs, 0, "polled mode never interrupts");
+    assert!(
+        hybrid.reaper.mode_transitions >= 1,
+        "32-deep load flips hybrid"
+    );
+}
+
 // --- The journaled write path: mixed read/write workloads ---------------------
 
 mod write_mixes {

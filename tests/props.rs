@@ -835,7 +835,7 @@ proptest! {
                 FabricAction::AdvanceAndReap { ns } => {
                     now += *ns as u64;
                     t.post_ready(now, 0);
-                    let cqes = t.reap(0, usize::MAX);
+                    let cqes = t.reap(now, 0, usize::MAX);
                     prop_assert!(
                         cqes.windows(2).all(|w| w[0].complete_at <= w[1].complete_at),
                         "host sees completions in host-time order"
@@ -875,7 +875,7 @@ proptest! {
             t.ring_doorbell(now, 0).expect("qp 0");
             now += 1_000_000;
             t.post_ready(now, 0);
-            for c in t.reap(0, usize::MAX) {
+            for c in t.reap(now, 0, usize::MAX) {
                 prop_assert!(in_flight.remove(&c.cid));
                 prop_assert!(reaped_cids.insert(c.cid));
             }
@@ -898,5 +898,86 @@ proptest! {
         let s = t.fabric_stats();
         prop_assert_eq!(s.capsules_sent + s.target_local, accepted, "every capsule classified");
         prop_assert_eq!(s.responses, host_class, "one response capsule per host-class command");
+    }
+}
+
+// --- Completion reaping: exactly-once delivery across mode switches ------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Under a random read/update/insert mix (with fsync barriers) on
+    /// the uring path, a hybrid reaper with arbitrary — including
+    /// degenerate, flap-happy — watermarks still delivers exactly one
+    /// CQE per SQE: every chain completes, nothing errors, and every
+    /// command the device serviced is reaped exactly once no matter
+    /// how often the queue pair bounces between polling and
+    /// interrupts.
+    #[test]
+    fn hybrid_mode_switches_never_lose_or_duplicate_completions(
+        (high, gap, window, dwell) in (1usize..6, 0usize..3, 1usize..12, 0u32..6),
+        (interval, batch_pick) in (50u64..2_000, 0usize..4),
+        (read_pct, update_split) in (10u8..=100, 0u8..=100),
+        seed in any::<u64>(),
+    ) {
+        use bpfstor::core::{
+            AdaptiveIrqConfig, DispatchMode, HybridConfig, PollConfig, PushdownSession,
+            ReapMode, YcsbMix,
+        };
+        use bpfstor::sim::SECOND;
+        use bpfstor::workload::OpMix;
+
+        let batch = [1u32, 3, 8, 32][batch_pick];
+        let entries: Vec<(u64, Vec<u8>)> = (0..400u64)
+            .map(|i| {
+                let mut v = vec![0u8; 48];
+                v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+                (i * 3, v)
+            })
+            .collect();
+        let cfg = HybridConfig {
+            poll: PollConfig { interval_ns: interval },
+            irq: AdaptiveIrqConfig::default(),
+            // low < high always; gap 0 makes the scheduler maximally
+            // twitchy, which is exactly what the property stresses.
+            high_watermark: high,
+            low_watermark: high - 1 - gap.min(high - 1),
+            window,
+            dwell,
+        };
+        let update = ((100 - read_pct) as u16 * update_split as u16 / 100) as u8;
+        let mix = OpMix {
+            read: read_pct,
+            update,
+            insert: 100 - read_pct - update,
+            scan: 0,
+        };
+        let chains = 150u64;
+        let mut s = PushdownSession::builder(
+            YcsbMix::new(entries, mix, seed).max_chains(chains),
+        )
+        .dispatch(DispatchMode::DriverHook)
+        .reap_mode(ReapMode::Hybrid(cfg))
+        .seed(seed)
+        .build()
+        .expect("session");
+        let (report, stats) = s.run_uring(1, batch, SECOND);
+
+        prop_assert_eq!(stats.completed, chains, "every chain completes");
+        prop_assert_eq!(stats.errors, 0);
+        prop_assert_eq!(stats.mismatches, 0);
+        let serviced = report.device.reads + report.device.writes + report.device.flushes;
+        prop_assert_eq!(
+            report.device.cqes, serviced,
+            "exactly one CQE reaped per serviced command"
+        );
+        // The two delivery mechanisms account for all their work and
+        // nothing else's.
+        prop_assert_eq!(report.trace.polls, report.reaper.polls);
+        prop_assert_eq!(report.trace.irqs, report.reaper.irqs);
+        prop_assert_eq!(
+            report.reaper.mode_transitions as usize >= report.reaper.transitions.len(),
+            true,
+            "the timeline never exceeds the count"
+        );
     }
 }
