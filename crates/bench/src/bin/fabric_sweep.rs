@@ -4,14 +4,10 @@
 //! p50 exceeds local p50, remote pushdown out-runs remote no-pushdown,
 //! and the gap grows with the configured wire latency.
 
-use bpfstor_bench::experiments::{fabric_sweep, Scale};
+use bpfstor_bench::cli;
+use bpfstor_bench::experiments::fabric_sweep_with;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let t = fabric_sweep(Scale { quick });
-    t.print();
-    match t.write_csv("fabric_sweep") {
-        Ok(p) => println!("csv: {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    let args = cli::parse_args();
+    cli::emit(&[(fabric_sweep_with(args.scale(), args.seed), "fabric_sweep")]);
 }

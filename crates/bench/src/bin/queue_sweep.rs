@@ -4,19 +4,13 @@
 //! the completion-reaping sweep (polled vs coalesced-interrupt vs
 //! hybrid across light-to-deep batches).
 
-use bpfstor_bench::experiments::{queue_sweep, reap_sweep, Scale};
+use bpfstor_bench::cli;
+use bpfstor_bench::experiments::{queue_sweep_with, reap_sweep_with};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = Scale { quick };
-    for (t, name) in [
-        (queue_sweep(scale), "queue_sweep"),
-        (reap_sweep(scale), "reap_sweep"),
-    ] {
-        t.print();
-        match t.write_csv(name) {
-            Ok(p) => println!("csv: {}", p.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
-    }
+    let args = cli::parse_args();
+    cli::emit(&[
+        (queue_sweep_with(args.scale(), args.seed), "queue_sweep"),
+        (reap_sweep_with(args.scale(), args.seed), "reap_sweep"),
+    ]);
 }

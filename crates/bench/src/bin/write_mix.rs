@@ -2,14 +2,10 @@
 //! under the paper's 40r/40u/20i YCSB mix, with journaled writes and
 //! fsync flush barriers riding the same rings as the pushdown reads.
 
-use bpfstor_bench::experiments::{write_mix, Scale};
+use bpfstor_bench::cli;
+use bpfstor_bench::experiments::write_mix_with;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let t = write_mix(Scale { quick });
-    t.print();
-    match t.write_csv("write_mix") {
-        Ok(p) => println!("csv: {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    let args = cli::parse_args();
+    cli::emit(&[(write_mix_with(args.scale(), args.seed), "write_mix")]);
 }

@@ -1,0 +1,85 @@
+//! Shared command-line handling and output emission for the sweep
+//! binaries, so every harness offers the same flags and prints/writes
+//! results identically.
+//!
+//! Flags:
+//!
+//! - `--quick`: reduced durations/counts (the `figures` bench scale);
+//! - `--seed <N>` (or `--seed=N`): override the experiment's default
+//!   RNG seed — decimal or `0x`-prefixed hex.
+
+use crate::experiments::Scale;
+use crate::report::Table;
+
+/// Parsed sweep-binary arguments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepArgs {
+    /// `--quick` was passed.
+    pub quick: bool,
+    /// `--seed <N>` override, if passed.
+    pub seed: Option<u64>,
+}
+
+impl SweepArgs {
+    /// The run-scale knob for the experiment functions.
+    pub fn scale(&self) -> Scale {
+        Scale { quick: self.quick }
+    }
+}
+
+/// Parses the process arguments.
+///
+/// # Panics
+///
+/// Panics with a usage message on a malformed or missing `--seed`
+/// value — a sweep silently running on the wrong seed is worse than a
+/// crash.
+pub fn parse_args() -> SweepArgs {
+    let mut out = SweepArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--quick" {
+            out.quick = true;
+        } else if arg == "--seed" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--seed needs a value"));
+            out.seed = Some(parse_seed(&v));
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            out.seed = Some(parse_seed(v));
+        }
+    }
+    out
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("--seed wants a u64 (decimal or 0x hex), got {v:?}"))
+}
+
+/// Prints each table and drops its CSV under `results/`, with the
+/// uniform `csv: <path>` / `csv write failed: <err>` messages the
+/// binaries have always emitted.
+pub fn emit(tables: &[(Table, &str)]) {
+    for (t, name) in tables {
+        t.print();
+        match t.write_csv(name) {
+            Ok(p) => println!("csv: {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("2024"), 2024);
+        assert_eq!(parse_seed("0x3117"), 0x3117);
+    }
+}

@@ -5,7 +5,10 @@
 //! The `quick` flag trades precision for speed; the dedicated binaries
 //! run full scale, the `figures` bench runs quick.
 
-use bpfstor_core::{Btree, Chase, DispatchMode, FabricConfig, PushdownSession, ReapMode, YcsbMix};
+use bpfstor_core::{
+    Btree, Chase, DispatchMode, FabricConfig, PushdownSession, ReapMode, TenantGroup, TenantId,
+    TenantLimits, YcsbMix,
+};
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
 use bpfstor_kernel::{ChainStatus, Machine, MachineConfig, RunReport};
@@ -288,6 +291,13 @@ pub fn fig3d(scale: Scale) -> Table {
 /// completion latency against per-CQE interrupt cost. IOPS must vary
 /// monotonically along both axes in every dispatch mode.
 pub fn queue_sweep(scale: Scale) -> Table {
+    queue_sweep_with(scale, None)
+}
+
+/// [`queue_sweep`] with an explicit seed override (`None` keeps the
+/// canonical seed the CSVs were calibrated on).
+pub fn queue_sweep_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(2024);
     let duration = if scale.quick {
         4 * MILLISECOND
     } else {
@@ -311,7 +321,7 @@ pub fn queue_sweep(scale: Scale) -> Table {
                 .dispatch(mode)
                 .queue_depth(qd)
                 .irq_coalescing(coalesce_us, irq_depth)
-                .seed(2024)
+                .seed(seed)
                 .build()
                 .expect("session");
             let (report, stats) = session.run_uring(1, 32, duration);
@@ -367,6 +377,12 @@ pub fn queue_sweep(scale: Scale) -> Table {
 /// on an idle CQ, and the hybrid scheduler must land within 10% of the
 /// better fixed mode at every swept point.
 pub fn reap_sweep(scale: Scale) -> Table {
+    reap_sweep_with(scale, None)
+}
+
+/// [`reap_sweep`] with an explicit seed override.
+pub fn reap_sweep_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(2024);
     let duration = if scale.quick {
         4 * MILLISECOND
     } else {
@@ -395,7 +411,7 @@ pub fn reap_sweep(scale: Scale) -> Table {
     let mut run = |label: &str, mode: ReapMode, batch: u32| -> Point {
         let mut builder = PushdownSession::builder(Btree::depth(4))
             .dispatch(DispatchMode::DriverHook)
-            .seed(2024);
+            .seed(seed);
         // The fixed-interrupt arm models a conventionally tuned NIC-style
         // moderation profile (8us budget, 8-deep threshold); the other
         // modes bring their own reap policy.
@@ -485,6 +501,12 @@ pub fn reap_sweep(scale: Scale) -> Table {
 /// write-heavy mix must cost readers tail latency versus read-only at
 /// the same depth.
 pub fn write_mix(scale: Scale) -> Table {
+    write_mix_with(scale, None)
+}
+
+/// [`write_mix`] with an explicit seed override.
+pub fn write_mix_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(0x3117);
     let duration = if scale.quick {
         4 * MILLISECOND
     } else {
@@ -511,10 +533,10 @@ pub fn write_mix(scale: Scale) -> Table {
     );
     let mut run = |mode: DispatchMode, qd: usize| -> (f64, f64) {
         let mut session =
-            PushdownSession::builder(YcsbMix::new(entries.clone(), OpMix::paper_tokudb(), 0x3117))
+            PushdownSession::builder(YcsbMix::new(entries.clone(), OpMix::paper_tokudb(), seed))
                 .dispatch(mode)
                 .queue_depth(qd)
-                .seed(0x3117)
+                .seed(seed)
                 .build()
                 .expect("session");
         let (report, stats) = session.run_uring(2, 16, duration);
@@ -563,6 +585,12 @@ pub fn write_mix(scale: Scale) -> Table {
 /// with the configured network latency. `LocalTransport` numbers ride
 /// along as the baseline. The function asserts all three shapes.
 pub fn fabric_sweep(scale: Scale) -> Table {
+    fabric_sweep_with(scale, None)
+}
+
+/// [`fabric_sweep`] with an explicit seed override.
+pub fn fabric_sweep_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(4077);
     const HOPS: u64 = 8;
     let duration = if scale.quick {
         8 * MILLISECOND
@@ -585,7 +613,7 @@ pub fn fabric_sweep(scale: Scale) -> Table {
     let mut run = |mode: DispatchMode, link: Option<FabricConfig>, label: String| -> RunReport {
         let mut b = PushdownSession::builder(Chase::hops(HOPS))
             .dispatch(mode)
-            .seed(4077);
+            .seed(seed);
         if let Some(link) = link {
             b = b.fabric(link);
         }
@@ -647,6 +675,211 @@ pub fn fabric_sweep(scale: Scale) -> Table {
     t.note(&format!(
         "depth-{HOPS} chase: the latency gap approaches {HOPS}x as the wire dominates"
     ));
+    t
+}
+
+// --- Tenant sweep (multi-tenant fairness over shared queue pairs) ---------------
+
+/// Multi-tenant noisy-neighbor sweep: N tenant sessions share one queue
+/// pair (`cores = 1`, ring depth 8). The victim runs depth-3 B-tree
+/// lookups on one thread; each aggressor hammers deep fsynced write
+/// chains. Three properties are asserted, not just tabulated: SQ slot
+/// budgets plus weighted fair reaping bound the victim's p99 near its
+/// solo baseline while the unfair configuration blows past it; a
+/// program whose verified worst case exceeds the tenant's instruction
+/// budget is rejected at install time; and a single-tenant group with
+/// default limits reproduces the standalone session bit for bit.
+pub fn tenant_sweep(scale: Scale) -> Table {
+    tenant_sweep_with(scale, None)
+}
+
+/// [`tenant_sweep`] with an explicit seed override.
+pub fn tenant_sweep_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(0x7E4A);
+    let duration = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        20 * MILLISECOND
+    };
+    let entries: Vec<(u64, Vec<u8>)> = (0..256u64)
+        .map(|i| {
+            let mut v = vec![0u8; 48];
+            v[..8].copy_from_slice(&(i * 17).to_le_bytes());
+            (i * 3, v)
+        })
+        .collect();
+    // Deep write chains: 4 KiB journaled payloads, fsync every 4th, so
+    // the pain comes from SQ slot occupancy rather than flush barriers
+    // (which serialize the victim no matter how the ring is shaped).
+    let write_storm = OpMix {
+        read: 0,
+        update: 80,
+        insert: 20,
+        scan: 0,
+    };
+    let aggressor = |tseed: u64| {
+        YcsbMix::new(entries.clone(), write_storm, tseed)
+            .write_size(4096)
+            .fsync_every(4)
+    };
+    let mut t = Table::new(
+        "Tenant sweep — noisy neighbor over one shared queue pair (cores=1, qd=16, 8us/8-deep IRQ)",
+        &[
+            "setup",
+            "tenants",
+            "victim p99 us",
+            "victim chains",
+            "victim reap %",
+            "aggr cmds",
+            "sq parks",
+        ],
+    );
+    let run = |fair: bool, victim: TenantLimits, aggr: TenantLimits, n_aggr: usize| {
+        let mut g = TenantGroup::builder()
+            .machine_config(MachineConfig {
+                cores: 1,
+                seed,
+                // NIC-style moderation so completions arrive in mixed
+                // batches — the regime where reap order matters and the
+                // ring actually backs up.
+                irq_coalesce_us: 8,
+                irq_coalesce_depth: 8,
+                ..MachineConfig::default()
+            })
+            .queue_depth(16)
+            .fair_reap(fair)
+            .build();
+        let v = g
+            .add_tenant(Btree::depth(3), victim)
+            .expect("victim tenant");
+        for i in 0..n_aggr {
+            g.add_tenant(aggressor(seed ^ (0x9E37 + i as u64)), aggr)
+                .expect("aggressor tenant");
+        }
+        // One victim thread; six threads per aggressor keep several
+        // write chains in flight at once so the ring actually contends.
+        let mut threads = vec![1usize];
+        threads.extend(std::iter::repeat_n(6, n_aggr));
+        let report = g.run_closed_loop(&threads, duration);
+        (report, v)
+    };
+    let mut row = |label: &str, r: &RunReport, v: TenantId| -> f64 {
+        let total_cqes: u64 = r.tenants.iter().map(|b| b.cqes).sum();
+        let victim = r.tenant(v).expect("victim breakdown");
+        let aggr_cmds: u64 = r
+            .tenants
+            .iter()
+            .filter(|b| b.tenant != v)
+            .map(|b| b.dev_writes + b.dev_flushes)
+            .sum();
+        let parks: u64 = r.tenants.iter().map(|b| b.sq_parks).sum();
+        let p99 = victim.latency.quantile(0.99) as f64;
+        t.row(vec![
+            label.to_string(),
+            r.tenants.len().to_string(),
+            us(p99),
+            victim.chains.to_string(),
+            format!("{:.0}%", victim.reap_share(total_cqes) * 100.0),
+            aggr_cmds.to_string(),
+            parks.to_string(),
+        ]);
+        p99
+    };
+    // Baseline: the victim with the machine to itself.
+    let (solo_r, solo_v) = run(false, TenantLimits::default(), TenantLimits::default(), 0);
+    let solo_p99 = row("solo", &solo_r, solo_v);
+    // Unfair: no SQ budgets, FIFO reaping — the aggressor owns the ring.
+    let (unfair_r, unfair_v) = run(false, TenantLimits::default(), TenantLimits::default(), 1);
+    let unfair_p99 = row("unfair x1", &unfair_r, unfair_v);
+    // Fair: the aggressor is capped to 2 of the 8 SQ slots and the
+    // victim gets 8x the reap weight.
+    let victim_limits = TenantLimits::weighted(8);
+    let aggr_limits = TenantLimits {
+        sq_slots: Some(2),
+        ..TenantLimits::default()
+    };
+    let (fair_r, fair_v) = run(true, victim_limits, aggr_limits, 1);
+    let fair_p99 = row("fair x1", &fair_r, fair_v);
+    for n in [2usize, 4] {
+        let (r, v) = run(true, victim_limits, aggr_limits, n);
+        row(&format!("fair x{n}"), &r, v);
+    }
+    assert!(
+        unfair_p99 >= 1.5 * fair_p99,
+        "budgets + fair reaping must cut the victim p99 well below the unshaped run: \
+         {:.0}ns vs {:.0}ns\n{}",
+        unfair_p99,
+        fair_p99,
+        t.render()
+    );
+    assert!(
+        fair_p99 <= 1.25 * solo_p99,
+        "the shaped victim p99 must stay near solo: {:.0}ns vs {:.0}ns solo\n{}",
+        fair_p99,
+        solo_p99,
+        t.render()
+    );
+    assert!(
+        unfair_p99 >= 1.4 * solo_p99,
+        "the unshaped victim p99 must blow up vs solo: {:.0}ns vs {:.0}ns solo\n{}",
+        unfair_p99,
+        solo_p99,
+        t.render()
+    );
+    let aggr_chains: u64 = fair_r
+        .tenants
+        .iter()
+        .filter(|b| b.tenant != fair_v)
+        .map(|b| b.chains)
+        .sum();
+    assert!(aggr_chains > 0, "the budgeted aggressor must not starve");
+
+    // Verification-time resource bounds: a depth-3 traversal program
+    // cannot fit a 4-instruction budget, and must be rejected before it
+    // ever runs.
+    let mut strict = TenantGroup::builder().seed(seed).build();
+    let tight = TenantLimits {
+        insn_budget: Some(4),
+        ..TenantLimits::default()
+    };
+    let rejection = strict
+        .add_tenant(Btree::depth(3), tight)
+        .expect_err("over-budget program must be rejected at install time");
+    let msg = format!("{rejection:?}");
+    assert!(
+        msg.contains("BudgetExceeded"),
+        "rejection must cite the budget: {msg}"
+    );
+
+    // Bit-for-bit: one tenant with default limits reproduces the
+    // standalone session on the same machine config and seed.
+    let mut lone = TenantGroup::builder().seed(seed).build();
+    lone.add_tenant(Btree::depth(3), TenantLimits::default())
+        .expect("lone tenant");
+    let grouped = lone.run_closed_loop(&[2], duration);
+    let mut session = PushdownSession::builder(Btree::depth(3))
+        .dispatch(DispatchMode::DriverHook)
+        .seed(seed)
+        .build()
+        .expect("session");
+    let (standalone, _) = session.run_closed_loop(2, duration);
+    assert_eq!(
+        (grouped.chains, grouped.ios),
+        (standalone.chains, standalone.ios),
+        "a single-tenant group must reproduce the standalone session"
+    );
+    assert_eq!(grouped.trace, standalone.trace, "layer traces must match");
+    for q in [0.5, 0.99] {
+        assert_eq!(
+            grouped.latency.quantile(q),
+            standalone.latency.quantile(q),
+            "latency quantile {q} must match"
+        );
+    }
+
+    t.note("victim: depth-3 B-tree reads, 1 thread; aggressors: 6 threads of 4 KiB journaled writes, fsync every 4th");
+    t.note("fair rows: aggressors capped to 2/16 SQ slots, victim reap weight 8x");
+    t.note("checked: over-budget install rejected; single-tenant group == standalone session bit-for-bit");
     t
 }
 

@@ -15,15 +15,18 @@
 //! | Queue sweep | `queue_sweep` | [`experiments::queue_sweep`] |
 //! | Write mix | `write_mix` | [`experiments::write_mix`] |
 //! | Fabric sweep (BPF-oF) | `fabric_sweep` | [`experiments::fabric_sweep`] |
+//! | Tenant sweep (noisy neighbor) | `tenant_sweep` | [`experiments::tenant_sweep`] |
 //! | Ablations A1–A4 | `ablations` | [`experiments::ablation_extent_cache`] ... |
 //!
 //! `cargo bench` additionally runs the `figures` harness (all of the
 //! above at quick scale) and Criterion microbenchmarks of the real hot
 //! paths (`components`).
 
+pub mod cli;
 pub mod drivers;
 pub mod experiments;
 pub mod report;
 
+pub use cli::SweepArgs;
 pub use experiments::Scale;
 pub use report::Table;

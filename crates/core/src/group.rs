@@ -1,0 +1,364 @@
+//! Multi-tenant sessions over one shared machine.
+//!
+//! A [`TenantGroup`] is the multi-session entry point: one simulated
+//! [`Machine`] serving N tenants concurrently over shared queue pairs,
+//! each tenant bringing its own [`PushdownWorkload`], file, installed
+//! program, and [`TenantLimits`]. Chains from every tenant contend for
+//! the same SQ/CQ rings, doorbells, and interrupts; the kernel's
+//! per-tenant mechanisms (SQ slot budgets, weighted fair reaping,
+//! verification-time resource bounds, per-tenant §4 resubmission
+//! accounting) keep them from interfering — see
+//! [`bpfstor_kernel::tenant`].
+//!
+//! A group with a single tenant registered with default limits is
+//! bit-for-bit identical to a standalone
+//! [`PushdownSession`](crate::PushdownSession) with the same machine
+//! configuration: the first tenant *is* the kernel's default tenant,
+//! and fair reaping is off unless enabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpfstor_core::{Btree, DispatchMode, TenantGroup, TenantLimits};
+//! use bpfstor_sim::MILLISECOND;
+//!
+//! let mut group = TenantGroup::builder()
+//!     .dispatch(DispatchMode::DriverHook)
+//!     .fair_reap(true)
+//!     .build();
+//! let a = group
+//!     .add_tenant(Btree::depth(3), TenantLimits::weighted(4))
+//!     .expect("tenant A");
+//! let b = group
+//!     .add_tenant(Btree::depth(3), TenantLimits::weighted(1))
+//!     .expect("tenant B");
+//! let report = group.run_closed_loop(&[1, 1], 5 * MILLISECOND);
+//! assert!(report.tenant(a).is_some() && report.tenant(b).is_some());
+//! ```
+
+use bpfstor_kernel::{
+    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, DispatchMode, Fd,
+    Machine, MachineConfig, ReapMode, RunReport, TenantId, TenantLimits, UserNext, WriteStart,
+    DEFAULT_TENANT,
+};
+use bpfstor_sim::{Nanos, SimRng};
+
+use crate::session::{settle_chain, OpSpec, PushdownWorkload, SessionError, SessionStats};
+
+/// Builder for a [`TenantGroup`]; created via [`TenantGroup::builder`].
+#[derive(Debug, Clone)]
+pub struct TenantGroupBuilder {
+    config: MachineConfig,
+    mode: DispatchMode,
+    retry_budget: u32,
+    fair_reap: bool,
+}
+
+impl TenantGroupBuilder {
+    /// Sets the dispatch mode shared by every tenant (default:
+    /// [`DispatchMode::DriverHook`]).
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the shared machine configuration.
+    pub fn machine_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the NVMe ring depth per shared queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2` (one slot is reserved).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 2, "NVMe rings need at least two slots");
+        self.config.profile.queue_depth = depth;
+        self
+    }
+
+    /// Sets the completion-delivery policy of the shared machine.
+    pub fn reap_mode(mut self, mode: ReapMode) -> Self {
+        self.config.reap_mode = mode;
+        self
+    }
+
+    /// Enables weighted fair reaping across tenants (default: off —
+    /// FIFO, the bit-for-bit single-tenant order).
+    pub fn fair_reap(mut self, on: bool) -> Self {
+        self.fair_reap = on;
+        self
+    }
+
+    /// Sets every tenant's rearm-and-retry budget (default: 2).
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Builds the shared machine; tenants attach afterwards with
+    /// [`TenantGroup::add_tenant`].
+    pub fn build(self) -> TenantGroup {
+        let mut machine = Machine::new(self.config);
+        machine.set_fair_reap(self.fair_reap);
+        TenantGroup {
+            machine,
+            mode: self.mode,
+            retry_budget: self.retry_budget,
+            members: Vec::new(),
+        }
+    }
+}
+
+/// N tenant sessions multiplexed over one shared [`Machine`].
+pub struct TenantGroup {
+    machine: Machine,
+    mode: DispatchMode,
+    retry_budget: u32,
+    members: Vec<Box<dyn GroupMember>>,
+}
+
+impl TenantGroup {
+    /// Starts building a group with the paper-testbed machine and
+    /// driver-hook dispatch.
+    pub fn builder() -> TenantGroupBuilder {
+        TenantGroupBuilder {
+            config: MachineConfig::default(),
+            mode: DispatchMode::DriverHook,
+            retry_budget: 2,
+            fair_reap: false,
+        }
+    }
+
+    /// Adds a tenant: builds the workload's file on the shared machine,
+    /// opens it on the tenant's behalf, and (for hook modes) installs
+    /// the traversal program under the tenant's verification-time
+    /// resource bounds — a program whose verified worst case exceeds
+    /// [`TenantLimits::insn_budget`] is rejected here, before it ever
+    /// runs.
+    ///
+    /// The first tenant added becomes the kernel's default tenant
+    /// (id 0), re-limited to `limits`; later tenants get fresh ids in
+    /// order. The returned id indexes
+    /// [`RunReport::tenants`](bpfstor_kernel::RunReport::tenants) and
+    /// the per-tenant accessors on this group.
+    ///
+    /// # Errors
+    ///
+    /// Workload image failures and kernel/verifier rejections
+    /// (including budget rejections).
+    pub fn add_tenant<W: PushdownWorkload + 'static>(
+        &mut self,
+        mut workload: W,
+        limits: TenantLimits,
+    ) -> Result<TenantId, SessionError> {
+        let tenant = if self.members.is_empty() {
+            self.machine.set_tenant_limits(DEFAULT_TENANT, limits);
+            DEFAULT_TENANT
+        } else {
+            self.machine.register_tenant(limits)
+        };
+        let image = workload.build_image()?;
+        let file_name = format!("{}-t{}.img", workload.name(), tenant);
+        self.machine.create_file(&file_name, &image)?;
+        let fd = self.machine.open_for(tenant, &file_name, true)?;
+        if matches!(
+            self.mode,
+            DispatchMode::SyscallHook | DispatchMode::DriverHook
+        ) {
+            self.machine
+                .install(fd, workload.program(), workload.install_flags())?;
+        }
+        self.members.push(Box::new(Member {
+            workload,
+            fd,
+            retry_budget: self.retry_budget,
+            stats: SessionStats::default(),
+            decode_errors: Vec::new(),
+        }));
+        Ok(tenant)
+    }
+
+    /// Number of tenants attached so far.
+    pub fn tenant_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The dispatch mode shared by every tenant.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Cumulative session statistics for one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tenant id.
+    pub fn stats(&self, tenant: TenantId) -> SessionStats {
+        self.members[tenant as usize].stats()
+    }
+
+    /// The shared machine (e.g. per-tenant §4 accounting via
+    /// [`Machine::resubmission_accounting_for`]).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable shared-machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Runs a closed-loop benchmark over every tenant at once:
+    /// `threads_per_tenant[t]` application threads draw requests from
+    /// tenant `t`'s workload, all contending for the shared queue
+    /// pairs, until simulated time `until`. The report's
+    /// [`tenants`](bpfstor_kernel::RunReport::tenants) field carries
+    /// the per-tenant breakdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threads_per_tenant` names every tenant exactly
+    /// once.
+    pub fn run_closed_loop(&mut self, threads_per_tenant: &[usize], until: Nanos) -> RunReport {
+        let thread_member = self.thread_map(threads_per_tenant);
+        let nthreads = thread_member.len();
+        let mut driver = GroupDriver {
+            mode: self.mode,
+            members: &mut self.members,
+            thread_member,
+        };
+        self.machine.run_closed_loop(nthreads, until, &mut driver)
+    }
+
+    /// The io_uring variant: each thread keeps `batch` SQEs in flight
+    /// per `io_uring_enter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threads_per_tenant` names every tenant exactly
+    /// once.
+    pub fn run_uring(
+        &mut self,
+        threads_per_tenant: &[usize],
+        batch: u32,
+        until: Nanos,
+    ) -> RunReport {
+        let thread_member = self.thread_map(threads_per_tenant);
+        let nthreads = thread_member.len();
+        let mut driver = GroupDriver {
+            mode: self.mode,
+            members: &mut self.members,
+            thread_member,
+        };
+        self.machine.run_uring(nthreads, batch, until, &mut driver)
+    }
+
+    fn thread_map(&self, threads_per_tenant: &[usize]) -> Vec<usize> {
+        assert_eq!(
+            threads_per_tenant.len(),
+            self.members.len(),
+            "one thread count per tenant"
+        );
+        let mut map = Vec::new();
+        for (member, &n) in threads_per_tenant.iter().enumerate() {
+            for _ in 0..n {
+                map.push(member);
+            }
+        }
+        map
+    }
+}
+
+/// Object-safe per-tenant half of the group driver: one attached
+/// workload plus its session accounting, erased over the workload type.
+trait GroupMember {
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<ChainSpec>;
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext;
+    fn chain_done(&mut self, outcome: &ChainOutcome) -> ChainVerdict;
+    fn stats(&self) -> SessionStats;
+}
+
+struct Member<W: PushdownWorkload> {
+    workload: W,
+    fd: Fd,
+    retry_budget: u32,
+    stats: SessionStats,
+    decode_errors: Vec<SessionError>,
+}
+
+impl<W: PushdownWorkload> GroupMember for Member<W> {
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<ChainSpec> {
+        let req = self.workload.next_request(rng)?;
+        Some(match self.workload.first_op(&req) {
+            OpSpec::Read(spec) => ChainSpec::Read(ChainStart {
+                fd: self.fd,
+                file_off: spec.file_off,
+                len: spec.len,
+                arg: spec.arg,
+            }),
+            OpSpec::Write(w) => ChainSpec::Write(WriteStart {
+                fd: self.fd,
+                file_off: w.file_off,
+                data: w.data,
+                fsync: w.fsync,
+                arg: w.arg,
+            }),
+        })
+    }
+
+    fn user_step(&mut self, token: &ChainToken, data: &[u8]) -> UserNext {
+        self.workload.user_step(token, data)
+    }
+
+    fn chain_done(&mut self, outcome: &ChainOutcome) -> ChainVerdict {
+        settle_chain(
+            &mut self.workload,
+            &mut self.stats,
+            self.retry_budget,
+            outcome,
+            &mut self.decode_errors,
+            None,
+        )
+    }
+
+    fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+/// The [`ChainDriver`] multiplexer: requests route by the issuing
+/// thread's tenant assignment; completion callbacks route by the
+/// token's tenant, so a thread can never settle another tenant's chain.
+struct GroupDriver<'a> {
+    mode: DispatchMode,
+    members: &'a mut [Box<dyn GroupMember>],
+    thread_member: Vec<usize>,
+}
+
+impl ChainDriver for GroupDriver<'_> {
+    fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    fn next_op(&mut self, thread: usize, rng: &mut SimRng) -> Option<ChainSpec> {
+        let member = *self.thread_member.get(thread)?;
+        self.members[member].next_op(rng)
+    }
+
+    fn user_step(&mut self, _thread: usize, token: &ChainToken, data: &[u8]) -> UserNext {
+        self.members[token.tenant as usize].user_step(token, data)
+    }
+
+    fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
+        self.members[outcome.token.tenant as usize].chain_done(outcome)
+    }
+}

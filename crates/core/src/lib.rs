@@ -38,6 +38,7 @@
 
 pub mod driver;
 pub mod env;
+pub mod group;
 pub mod lsm_io;
 pub mod progs;
 pub mod session;
@@ -48,10 +49,12 @@ pub use bpfstor_kernel::{
     FabricConfig, FabricStats, HybridConfig, ModeTransition, PollConfig, ProgHandle, ReapKind,
     ReapMode, ReaperStats, RunReport, TransportConfig, WriteStart,
 };
+pub use bpfstor_kernel::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};
 pub use env::LookupHit;
 #[allow(deprecated)]
 pub use env::{BtreeEnv, StorageBpfBuilder};
+pub use group::{TenantGroup, TenantGroupBuilder};
 pub use lsm_io::MachineLsmIo;
 pub use progs::{
     btree_lookup_program, btree_lookup_program_with_stats, pointer_chase_program,

@@ -618,7 +618,7 @@ impl<W: PushdownWorkload> PushdownSession<W> {
 
 /// Record of the most recent terminal chain, kept for
 /// [`PushdownSession::lookup`].
-struct LastChain<O> {
+pub(crate) struct LastChain<O> {
     token: ChainToken,
     status: ChainStatus,
     output: Option<O>,
@@ -679,76 +679,99 @@ impl<W: PushdownWorkload> ChainDriver for SessionDriver<'_, W> {
         _thread: usize,
         outcome: &bpfstor_kernel::ChainOutcome,
     ) -> ChainVerdict {
-        // The §4 recovery, applied by the library: invalidated chains
-        // re-arm the ioctl and restart, invisible to the caller. The
-        // absorbed attempt's per-chain state is released (the restart
-        // gets a fresh token); retries are counted from the final
-        // outcome's attempt counter, which tracks restarts the kernel
-        // actually performed.
-        if outcome.status.is_rearmable() && outcome.attempts < self.retry_budget {
-            self.workload.release(&outcome.token);
-            return ChainVerdict::RearmRetry;
-        }
-        self.stats.completed += 1;
-        self.stats.total_ios += outcome.ios as u64;
-        self.stats.rearm_retries += outcome.attempts as u64;
-        // Write chains carry no decodable output: count and return.
-        if let ChainStatus::Written(bytes) = outcome.status {
-            self.stats.writes += 1;
-            self.stats.bytes_written += bytes as u64;
-            if self.one_shot.is_some() {
-                self.last = Some(LastChain {
-                    token: outcome.token,
-                    status: outcome.status.clone(),
-                    output: None,
-                    mismatch: false,
-                    ios: outcome.ios,
-                    latency: outcome.latency,
-                    attempts: outcome.attempts,
-                });
-            }
-            return ChainVerdict::Done;
-        }
-        let mut output = None;
-        let mut mismatch = false;
-        if outcome.status.is_ok() {
-            match self.workload.decode(&outcome.token, &outcome.status) {
-                Ok(out) => {
-                    match &out {
-                        Some(_) => self.stats.hits += 1,
-                        None => self.stats.misses += 1,
-                    }
-                    if self.workload.check(&outcome.token, out.as_ref()) == Verdict::Mismatch {
-                        self.stats.mismatches += 1;
-                        mismatch = true;
-                    }
-                    output = out;
-                }
-                Err(e) => {
-                    self.stats.errors += 1;
-                    self.decode_errors.push(e);
-                }
-            }
+        let last = if self.one_shot.is_some() {
+            Some(&mut self.last)
         } else {
-            self.workload.release(&outcome.token);
-            self.stats.errors += 1;
-            if outcome.status.is_rearmable() {
-                self.stats.retries_exhausted += 1;
-            }
-        }
-        // Only one-shot lookups read the terminal record back; skip the
-        // (possibly block-sized) status clone on benchmark runs.
-        if self.one_shot.is_some() {
-            self.last = Some(LastChain {
+            None
+        };
+        settle_chain(
+            self.workload,
+            &mut self.stats,
+            self.retry_budget,
+            outcome,
+            &mut self.decode_errors,
+            last,
+        )
+    }
+}
+
+/// Terminal-chain settlement shared by the single-session driver and
+/// the tenant-group members ([`crate::TenantGroup`]): applies the §4
+/// rearm-and-retry recovery — invalidated chains re-arm the ioctl and
+/// restart, invisible to the caller, with the absorbed attempt's
+/// per-chain state released (the restart gets a fresh token) — then
+/// accounts the outcome and decodes/checks the output. A `Some(last)`
+/// records the terminal chain for one-shot lookups; benchmark runs pass
+/// `None` to skip the (possibly block-sized) status clone.
+pub(crate) fn settle_chain<W: PushdownWorkload>(
+    workload: &mut W,
+    stats: &mut SessionStats,
+    retry_budget: u32,
+    outcome: &bpfstor_kernel::ChainOutcome,
+    decode_errors: &mut Vec<SessionError>,
+    last: Option<&mut Option<LastChain<W::Output>>>,
+) -> ChainVerdict {
+    if outcome.status.is_rearmable() && outcome.attempts < retry_budget {
+        workload.release(&outcome.token);
+        return ChainVerdict::RearmRetry;
+    }
+    stats.completed += 1;
+    stats.total_ios += outcome.ios as u64;
+    stats.rearm_retries += outcome.attempts as u64;
+    // Write chains carry no decodable output: count and return.
+    if let ChainStatus::Written(bytes) = outcome.status {
+        stats.writes += 1;
+        stats.bytes_written += bytes as u64;
+        if let Some(last) = last {
+            *last = Some(LastChain {
                 token: outcome.token,
                 status: outcome.status.clone(),
-                output,
-                mismatch,
+                output: None,
+                mismatch: false,
                 ios: outcome.ios,
                 latency: outcome.latency,
                 attempts: outcome.attempts,
             });
         }
-        ChainVerdict::Done
+        return ChainVerdict::Done;
     }
+    let mut output = None;
+    let mut mismatch = false;
+    if outcome.status.is_ok() {
+        match workload.decode(&outcome.token, &outcome.status) {
+            Ok(out) => {
+                match &out {
+                    Some(_) => stats.hits += 1,
+                    None => stats.misses += 1,
+                }
+                if workload.check(&outcome.token, out.as_ref()) == Verdict::Mismatch {
+                    stats.mismatches += 1;
+                    mismatch = true;
+                }
+                output = out;
+            }
+            Err(e) => {
+                stats.errors += 1;
+                decode_errors.push(e);
+            }
+        }
+    } else {
+        workload.release(&outcome.token);
+        stats.errors += 1;
+        if outcome.status.is_rearmable() {
+            stats.retries_exhausted += 1;
+        }
+    }
+    if let Some(last) = last {
+        *last = Some(LastChain {
+            token: outcome.token,
+            status: outcome.status.clone(),
+            output,
+            mismatch,
+            ios: outcome.ios,
+            latency: outcome.latency,
+            attempts: outcome.attempts,
+        });
+    }
+    ChainVerdict::Done
 }

@@ -59,6 +59,10 @@ pub struct ChainToken {
     /// across runs, so token-keyed driver state cannot collide with a
     /// stale entry from an earlier run.
     pub id: u64,
+    /// The tenant that owns the chain's descriptor (0 on a
+    /// single-tenant machine). Multi-tenant drivers route completions
+    /// by this field.
+    pub tenant: crate::tenant::TenantId,
     /// The chain's argument (e.g. the lookup key), from
     /// [`ChainStart::arg`].
     pub arg: u64,
@@ -356,11 +360,24 @@ pub struct RunReport {
     /// vs IRQ-CPU split, adaptive-coalescing depth movement, and the
     /// hybrid scheduler's mode-transition timeline.
     pub reaper: ReaperStats,
+    /// Per-tenant breakdown, one entry per registered tenant (a
+    /// single-tenant machine has exactly one, mirroring the aggregate).
+    /// The top-level fields of this report remain the all-tenant
+    /// aggregate view.
+    pub tenants: Vec<crate::tenant::TenantBreakdown>,
 }
 
 impl RunReport {
     /// Mean chain latency in nanoseconds.
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean()
+    }
+
+    /// The breakdown for one tenant, if it was registered.
+    pub fn tenant(
+        &self,
+        tenant: crate::tenant::TenantId,
+    ) -> Option<&crate::tenant::TenantBreakdown> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 }

@@ -25,6 +25,7 @@ pub mod costs;
 pub mod extcache;
 pub mod machine;
 pub mod reaper;
+pub mod tenant;
 pub mod trace;
 
 pub use bpfstor_device::{FabricConfig, FabricStats, TransportConfig};
@@ -38,4 +39,5 @@ pub use machine::{KernelError, Machine, MachineConfig, Mutation};
 pub use reaper::{
     AdaptiveIrqConfig, HybridConfig, ModeTransition, PollConfig, ReapKind, ReapMode, ReaperStats,
 };
+pub use tenant::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
 pub use trace::LayerTrace;

@@ -54,7 +54,10 @@ use bpfstor_device::{
 };
 use bpfstor_fs::{ExtFs, ExtentEvent, PageCache};
 use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
-use bpfstor_vm::{action, verify, ExecEnv, MapSet, Program, RunCtx, Vm, EMIT_MAX, SCRATCH_SIZE};
+use bpfstor_vm::{
+    action, verify_bounded, ExecEnv, MapSet, Program, ResourceBudget, RunCtx, Vm, EMIT_MAX,
+    SCRATCH_SIZE,
+};
 
 use crate::chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
@@ -62,7 +65,8 @@ use crate::chain::{
 };
 use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
-use crate::reaper::{ReapKind, ReapMode, Reaper, ReaperStats};
+use crate::reaper::{FairSched, ReapKind, ReapMode, Reaper, ReaperStats};
+use crate::tenant::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
 use crate::trace::LayerTrace;
 
 /// Machine construction parameters.
@@ -179,6 +183,7 @@ pub enum Mutation {
 struct FdState {
     ino: u64,
     o_direct: bool,
+    tenant: TenantId,
 }
 
 struct Install {
@@ -263,6 +268,9 @@ enum OpKind {
 struct Op {
     thread: usize,
     fd: Fd,
+    /// The tenant that owns the chain's descriptor — the identity every
+    /// per-tenant budget, bound, and counter keys on.
+    tenant: TenantId,
     ino: u64,
     kind: OpKind,
     mode: DispatchMode,
@@ -397,9 +405,29 @@ pub struct Machine {
     /// The completion-reaping state machine: per-queue-pair pending
     /// instants, armed timers, adaptive coalescing, hybrid scheduling.
     reaper: Reaper,
-    /// Per-queue-pair ops parked on queue-full backpressure, re-issued
-    /// after the next reap frees slots.
-    stalled: Vec<Vec<usize>>,
+    /// Parked ops keyed `[queue pair][tenant]`: queue-full backpressure
+    /// and tenant SQ-budget parks both land here, re-issued after the
+    /// next reap frees slots. Tenants' queues drain round-robin so no
+    /// tenant's backlog can starve another's re-issue.
+    stalled: Vec<Vec<Vec<usize>>>,
+    /// Per-queue-pair rotation cursor for the round-robin un-park.
+    unpark_cursor: Vec<usize>,
+    /// Registered tenants; index = [`TenantId`]. Tenant 0 always exists.
+    tenants: Vec<TenantLimits>,
+    /// Per-run, per-tenant counters (index = tenant id).
+    tstats: Vec<TenantBreakdown>,
+    /// In-flight commands keyed `[queue pair][tenant]` — the SQ
+    /// slot-budget meter.
+    sq_inflight: Vec<Vec<usize>>,
+    /// §4 resubmissions keyed `[tenant][thread]` — the per-thread view
+    /// ([`Machine::resubmission_accounting`]) is kept separately so the
+    /// single-tenant surface is unchanged.
+    resub_matrix: Vec<Vec<u64>>,
+    /// Deficit-round-robin state for weighted fair reaping.
+    fair: FairSched,
+    /// Whether reap batches are reordered by the fair scheduler
+    /// (default off: FIFO, bit-for-bit the single-tenant behaviour).
+    fair_reap: bool,
     /// Peak in-flight depth seen at doorbell time since the last
     /// productive reap: the hybrid scheduler's load signal. Sampling
     /// the instantaneous residue at reap time instead would read a
@@ -488,7 +516,14 @@ impl Machine {
                 cfg.irq_coalesce_us.saturating_mul(1_000),
                 cfg.irq_coalesce_depth.max(1),
             ),
-            stalled: vec![Vec::new(); nr_queues],
+            stalled: vec![vec![Vec::new()]; nr_queues],
+            unpark_cursor: vec![0; nr_queues],
+            tenants: vec![TenantLimits::default()],
+            tstats: vec![TenantBreakdown::fresh(DEFAULT_TENANT, 1)],
+            sq_inflight: vec![vec![0]; nr_queues],
+            resub_matrix: vec![Vec::new()],
+            fair: FairSched::new(nr_queues),
+            fair_reap: false,
             load_peak: vec![0; nr_queues],
             cid_map: HashMap::new(),
             rng_streams: 0,
@@ -527,17 +562,108 @@ impl Machine {
         Ok(ino)
     }
 
-    /// Opens a file, returning a descriptor.
+    /// Opens a file for the default tenant, returning a descriptor.
     ///
     /// # Errors
     ///
     /// [`KernelError::NoSuchFile`] when absent.
     pub fn open(&mut self, name: &str, o_direct: bool) -> Result<Fd, KernelError> {
+        self.open_for(DEFAULT_TENANT, name, o_direct)
+    }
+
+    /// Opens a file on behalf of `tenant`. Every chain issued on the
+    /// descriptor is charged to that tenant: its SQ slot budget, its
+    /// resubmission bound, its fair-reaping weight, and its slice of the
+    /// run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant (register first with
+    /// [`Machine::register_tenant`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchFile`] when absent.
+    pub fn open_for(
+        &mut self,
+        tenant: TenantId,
+        name: &str,
+        o_direct: bool,
+    ) -> Result<Fd, KernelError> {
+        assert!(
+            (tenant as usize) < self.tenants.len(),
+            "tenant {tenant} not registered"
+        );
         let ino = self.fs.open(name).map_err(|_| KernelError::NoSuchFile)?;
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.fds.insert(fd, FdState { ino, o_direct });
+        self.fds.insert(
+            fd,
+            FdState {
+                ino,
+                o_direct,
+                tenant,
+            },
+        );
         Ok(fd)
+    }
+
+    /// Registers a tenant with its resource limits, returning its id.
+    /// Tenant 0 (default limits) exists from construction; re-limiting
+    /// it goes through [`Machine::set_tenant_limits`].
+    pub fn register_tenant(&mut self, limits: TenantLimits) -> TenantId {
+        let id = self.tenants.len() as TenantId;
+        self.tenants.push(limits);
+        self.tstats
+            .push(TenantBreakdown::fresh(id, limits.weight.max(1)));
+        self.resub_matrix.push(Vec::new());
+        for qp in 0..self.sq_inflight.len() {
+            self.sq_inflight[qp].push(0);
+            self.stalled[qp].push(Vec::new());
+        }
+        self.fair.set_weight(id as usize, limits.weight);
+        id
+    }
+
+    /// Replaces a registered tenant's limits (e.g. re-weighting the
+    /// default tenant before a fairness experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant.
+    pub fn set_tenant_limits(&mut self, tenant: TenantId, limits: TenantLimits) {
+        let t = tenant as usize;
+        assert!(t < self.tenants.len(), "tenant {tenant} not registered");
+        self.tenants[t] = limits;
+        self.tstats[t].weight = limits.weight.max(1);
+        self.fair.set_weight(t, limits.weight);
+    }
+
+    /// The limits a tenant was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant.
+    pub fn tenant_limits(&self, tenant: TenantId) -> TenantLimits {
+        self.tenants[tenant as usize]
+    }
+
+    /// Number of registered tenants (≥ 1: tenant 0 always exists).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant owning a descriptor.
+    pub fn tenant_of(&self, fd: Fd) -> Option<TenantId> {
+        self.fds.get(&fd).map(|s| s.tenant)
+    }
+
+    /// Enables or disables weighted fair reaping: when on, each reap
+    /// batch is serviced deficit-round-robin across tenants by weight
+    /// instead of FIFO. Off (the default) is bit-for-bit the
+    /// single-tenant completion order.
+    pub fn set_fair_reap(&mut self, on: bool) {
+        self.fair_reap = on;
     }
 
     /// The install ioctl (§4): verifies the program, instantiates its
@@ -560,7 +686,13 @@ impl Machine {
         flags: u32,
     ) -> Result<ProgHandle, KernelError> {
         let st = *self.fds.get(&fd).ok_or(KernelError::BadFd(fd))?;
-        verify(&prog).map_err(|e| KernelError::Verifier(e.to_string()))?;
+        let budget = self.tenants[st.tenant as usize]
+            .insn_budget
+            .map(|max_insns| ResourceBudget {
+                chain_depth: self.bound_for(st.tenant) as u64,
+                max_insns,
+            });
+        verify_bounded(&prog, budget).map_err(|e| KernelError::Verifier(e.to_string()))?;
         let maps =
             MapSet::instantiate(&prog.maps).map_err(|e| KernelError::Verifier(e.to_string()))?;
         self.snapshot_extents(st.ino)?;
@@ -720,6 +852,19 @@ impl Machine {
         &self.resubmissions
     }
 
+    /// §4 fairness accounting keyed by (tenant, thread): chained NVMe
+    /// resubmissions charged to one tenant in the last run, per thread.
+    /// Summing a row gives [`crate::TenantBreakdown::resubmissions`];
+    /// summing column `t` across all tenants gives
+    /// [`Machine::resubmission_accounting`]`()[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered tenant.
+    pub fn resubmission_accounting_for(&self, tenant: TenantId) -> &[u64] {
+        &self.resub_matrix[tenant as usize]
+    }
+
     /// Device counters for the current/last run: doorbell rings,
     /// interrupts, reaped CQEs, and backpressure rejections. On a
     /// fabric transport these are target-side counters.
@@ -850,6 +995,7 @@ impl Machine {
             FdState {
                 ino,
                 o_direct: true,
+                tenant: DEFAULT_TENANT,
             },
         );
         SYNC_FD
@@ -968,12 +1114,78 @@ impl Machine {
     }
 
     /// §4 fairness accounting: one chained kernel-side resubmission on
-    /// behalf of `thread` (read hop recycle or write flush chase).
-    fn note_resubmission(&mut self, thread: usize) {
+    /// behalf of `(tenant, thread)` (read hop recycle or write flush
+    /// chase). The per-thread view sums across tenants; the per-tenant
+    /// matrix keeps each tenant's charges separate so one tenant hitting
+    /// its bound never bills another.
+    fn note_resubmission(&mut self, tenant: TenantId, thread: usize) {
         if self.resubmissions.len() <= thread {
             self.resubmissions.resize(thread + 1, 0);
         }
         self.resubmissions[thread] += 1;
+        let row = &mut self.resub_matrix[tenant as usize];
+        if row.len() <= thread {
+            row.resize(thread + 1, 0);
+        }
+        row[thread] += 1;
+        self.tstats[tenant as usize].resubmissions += 1;
+    }
+
+    /// The §4 chained-resubmission bound in force for a tenant: its own
+    /// override if registered with one, else the machine-wide bound.
+    fn bound_for(&self, tenant: TenantId) -> u32 {
+        self.tenants[tenant as usize]
+            .resubmit_bound
+            .unwrap_or(self.resubmit_bound)
+    }
+
+    /// True when `tenant` may put `n` more commands on `qp` under its
+    /// SQ slot budget. A tenant with nothing in flight is always
+    /// admitted, so a request wider than its budget cannot park forever.
+    fn tenant_can_submit(&self, qp: usize, tenant: TenantId, n: usize) -> bool {
+        let t = tenant as usize;
+        match self.tenants[t].sq_slots {
+            None => true,
+            Some(budget) => {
+                let inflight = self.sq_inflight[qp][t];
+                inflight == 0 || inflight + n <= budget
+            }
+        }
+    }
+
+    /// Re-issues parked submissions after completions freed SQ slots or
+    /// tenant budget: one op per tenant per round-robin pass, starting
+    /// after the tenant served first on the previous unpark, so no
+    /// tenant's parked queue starves behind another's. With a single
+    /// tenant this is exactly the old FIFO drain.
+    fn unpark(&mut self, qp: usize) {
+        let nt = self.stalled[qp].len();
+        let total: usize = self.stalled[qp].iter().map(Vec::len).sum();
+        if total == 0 {
+            return;
+        }
+        let mut queues: Vec<std::collections::VecDeque<usize>> = self.stalled[qp]
+            .iter_mut()
+            .map(|q| std::mem::take(q).into())
+            .collect();
+        let start = self.unpark_cursor[qp] % nt;
+        let mut out = Vec::with_capacity(total);
+        while out.len() < total {
+            for i in 0..nt {
+                if let Some(id) = queues[(start + i) % nt].pop_front() {
+                    out.push(id);
+                }
+            }
+        }
+        self.unpark_cursor[qp] = (start + 1) % nt;
+        for id in out {
+            self.events.push(self.now, Ev::DevSubmit { op: id });
+        }
+    }
+
+    /// Whether any submission is parked on `qp` (budget or backpressure).
+    fn has_stalled(&self, qp: usize) -> bool {
+        self.stalled[qp].iter().any(|q| !q.is_empty())
     }
 
     // --- Run loops -----------------------------------------------------------
@@ -1052,9 +1264,26 @@ impl Machine {
             *armed = false;
         }
         self.reaper.reset();
-        for q in &mut self.stalled {
-            q.clear();
+        for per_qp in &mut self.stalled {
+            for q in per_qp.iter_mut() {
+                q.clear();
+            }
         }
+        for c in &mut self.unpark_cursor {
+            *c = 0;
+        }
+        for (t, stats) in self.tstats.iter_mut().enumerate() {
+            *stats = TenantBreakdown::fresh(t as TenantId, self.tenants[t].weight.max(1));
+        }
+        for per_qp in &mut self.sq_inflight {
+            for n in per_qp.iter_mut() {
+                *n = 0;
+            }
+        }
+        for row in &mut self.resub_matrix {
+            row.clear();
+        }
+        self.fair.reset();
         self.cid_map.clear();
         self.rng_streams = 0;
     }
@@ -1081,6 +1310,7 @@ impl Machine {
             resubmissions: self.resubmissions.iter().sum(),
             rearm_retries: self.rearm_retries,
             reaper: self.reaper.stats().clone(),
+            tenants: self.tstats.clone(),
         }
     }
 
@@ -1191,6 +1421,7 @@ impl Machine {
         scratch[..8].copy_from_slice(&arg.to_le_bytes());
         let token = ChainToken {
             id: self.next_chain_id,
+            tenant: st.tenant,
             arg,
             issued: self.now,
         };
@@ -1198,6 +1429,7 @@ impl Machine {
         let op = Op {
             thread,
             fd,
+            tenant: st.tenant,
             ino: st.ino,
             kind,
             mode,
@@ -1313,7 +1545,7 @@ impl Machine {
     /// A full queue pair parks the op exactly like a read.
     fn submit_write_data(&mut self, id: usize, fsync: bool) {
         let op = self.ops[id].as_ref().expect("op");
-        let (ino, file_off, thread) = (op.ino, op.file_off, op.thread);
+        let (ino, file_off, thread, tenant) = (op.ino, op.file_off, op.thread, op.tenant);
         if op.wr_segments.is_none() {
             // First attempt: metadata plan + payload assembly. The plan
             // survives backpressure parking (no double allocation).
@@ -1414,9 +1646,14 @@ impl Machine {
             self.fail_submit(id, ChainStatus::IoError, false);
             return;
         }
+        if !self.tenant_can_submit(qp, tenant, nsegs) {
+            self.tstats[tenant as usize].sq_parks += 1;
+            self.stalled[qp][tenant as usize].push(id);
+            return;
+        }
         if !self.transport.can_accept(qp, nsegs) {
             self.transport.record_rejection();
-            self.stalled[qp].push(id);
+            self.stalled[qp][tenant as usize].push(id);
             return;
         }
         // Extra bio/driver work for each split segment beyond the first.
@@ -1433,6 +1670,10 @@ impl Machine {
         op.ios += segments.len() as u32;
         self.trace.ios += segments.len() as u64;
         self.trace.write_ios += segments.len() as u64;
+        self.sq_inflight[qp][tenant as usize] += segments.len();
+        let ts = &mut self.tstats[tenant as usize];
+        ts.ios += segments.len() as u64;
+        ts.dev_writes += segments.len() as u64;
         self.charge_capsule_encode(segments.len() as u64);
         for (seg, (phys, payload)) in segments.into_iter().enumerate() {
             let cid = self.ios;
@@ -1460,11 +1701,19 @@ impl Machine {
 
     /// Submits the fsync flush barrier; its CQE commits the journal.
     fn submit_write_flush(&mut self, id: usize) {
-        let thread = self.ops[id].as_ref().expect("op").thread;
+        let (thread, tenant) = {
+            let op = self.ops[id].as_ref().expect("op");
+            (op.thread, op.tenant)
+        };
         let qp = thread % self.transport.nr_queues();
+        if !self.tenant_can_submit(qp, tenant, 1) {
+            self.tstats[tenant as usize].sq_parks += 1;
+            self.stalled[qp][tenant as usize].push(id);
+            return;
+        }
         if !self.transport.can_accept(qp, 1) {
             self.transport.record_rejection();
-            self.stalled[qp].push(id);
+            self.stalled[qp][tenant as usize].push(id);
             return;
         }
         let op = self.ops[id].as_mut().expect("op");
@@ -1474,6 +1723,10 @@ impl Machine {
         op.ios += 1;
         self.trace.ios += 1;
         self.trace.write_ios += 1;
+        self.sq_inflight[qp][tenant as usize] += 1;
+        let ts = &mut self.tstats[tenant as usize];
+        ts.ios += 1;
+        ts.dev_flushes += 1;
         let cid = self.ios;
         self.ios += 1;
         self.cid_map.insert(cid, (id, 0));
@@ -1498,12 +1751,13 @@ impl Machine {
         let Some(op) = self.ops[id].as_ref() else {
             return;
         };
-        let (len, file_off, ino, o_direct, thread, phys_target) = (
+        let (len, file_off, ino, o_direct, thread, tenant, phys_target) = (
             op.len,
             op.file_off,
             op.ino,
             op.o_direct,
             op.thread,
+            op.tenant,
             op.phys_target,
         );
         let nblocks = (len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
@@ -1573,11 +1827,18 @@ impl Machine {
             self.fail_submit(id, ChainStatus::IoError, false);
             return;
         }
+        // Tenant SQ budget: a tenant at its per-qp slot budget parks in
+        // its own queue without consuming shared slots.
+        if !self.tenant_can_submit(qp, tenant, segments.len()) {
+            self.tstats[tenant as usize].sq_parks += 1;
+            self.stalled[qp][tenant as usize].push(id);
+            return;
+        }
         // Backpressure: the whole request must fit, or the op parks
         // until the next interrupt frees queue slots.
         if !self.transport.can_accept(qp, segments.len()) {
             self.transport.record_rejection();
-            self.stalled[qp].push(id);
+            self.stalled[qp][tenant as usize].push(id);
             return;
         }
         // Extra bio/driver work for each split segment beyond the first.
@@ -1595,6 +1856,10 @@ impl Machine {
         op.phys_target = None;
         op.ios += segments.len() as u32;
         self.trace.ios += segments.len() as u64;
+        self.sq_inflight[qp][tenant as usize] += segments.len();
+        let ts = &mut self.tstats[tenant as usize];
+        ts.ios += segments.len() as u64;
+        ts.dev_reads += segments.len() as u64;
         // Over a fabric, a pushdown chain's first read crosses as a
         // command capsule whose completion stays target-side; recycled
         // hops never touch the wire at all. Everything else is an
@@ -1699,18 +1964,46 @@ impl Machine {
     fn reap_qp(&mut self, qp: usize, driver: &mut dyn ChainDriver) -> usize {
         self.transport.post_ready(self.now, qp);
         let cqes = self.transport.reap(self.now, qp, usize::MAX);
+        let cqes = self.fair_order(qp, cqes);
         let reaped = cqes.len();
         for c in cqes {
             self.on_cqe(c, driver);
         }
         if reaped > 0 {
             // Freed queue slots un-park stalled submissions.
-            let stalled = std::mem::take(&mut self.stalled[qp]);
-            for id in stalled {
-                self.events.push(self.now, Ev::DevSubmit { op: id });
-            }
+            self.unpark(qp);
         }
         reaped
+    }
+
+    /// Applies weighted deficit-round-robin across tenants to one reap
+    /// batch. Identity (FIFO) unless fair reaping is enabled and the
+    /// batch holds more than one CQE; always a permutation of the
+    /// input, so exactly-once delivery is policy-independent.
+    fn fair_order(
+        &mut self,
+        qp: usize,
+        cqes: Vec<bpfstor_device::NvmeCompletion>,
+    ) -> Vec<bpfstor_device::NvmeCompletion> {
+        if !self.fair_reap || cqes.len() <= 1 {
+            return cqes;
+        }
+        let tenants: Vec<u32> = cqes
+            .iter()
+            .map(|c| {
+                self.cid_map
+                    .get(&c.cid)
+                    .and_then(|&(id, _)| self.ops[id].as_ref())
+                    .map_or(DEFAULT_TENANT, |op| op.tenant)
+            })
+            .collect();
+        let order = self.fair.order(qp, &tenants);
+        let mut slots: Vec<Option<bpfstor_device::NvmeCompletion>> =
+            cqes.into_iter().map(Some).collect();
+        order
+            .into_iter()
+            .map(|i| slots[i].take().expect("DRR order is a permutation"))
+            .collect()
     }
 
     /// The completion interrupt: one interrupt entry is charged no
@@ -1723,6 +2016,7 @@ impl Machine {
         let reaped = {
             self.transport.post_ready(self.now, qp);
             let cqes = self.transport.reap(self.now, qp, usize::MAX);
+            let cqes = self.fair_order(qp, cqes);
             if !cqes.is_empty() {
                 // MSI-X affinity: the interrupt lands on the queue
                 // pair's owning core, not on whichever core is idle.
@@ -1737,10 +2031,7 @@ impl Machine {
                 self.on_cqe(c, driver);
             }
             if reaped > 0 {
-                let stalled = std::mem::take(&mut self.stalled[qp]);
-                for id in stalled {
-                    self.events.push(self.now, Ev::DevSubmit { op: id });
-                }
+                self.unpark(qp);
             }
             reaped
         };
@@ -1772,7 +2063,7 @@ impl Machine {
             .note_reap(self.now, qp, reaped, load, ReapKind::Polled);
         match self.reaper.active(qp) {
             ReapKind::Polled => {
-                if self.transport.outstanding(qp) > 0 || !self.stalled[qp].is_empty() {
+                if self.transport.outstanding(qp) > 0 || self.has_stalled(qp) {
                     // Next visit no sooner than the loop body finishes
                     // on a contended core.
                     let at = end.max(self.now + self.reaper.poll_interval());
@@ -1804,6 +2095,12 @@ impl Machine {
         op.seg_data[seg] = Some(c.data);
         op.segs_pending -= 1;
         let host_capsule = self.fabric && !op.remote_pushdown;
+        let tenant = op.tenant as usize;
+        let qp = op.thread % self.transport.nr_queues();
+        self.sq_inflight[qp][tenant] = self.sq_inflight[qp][tenant].saturating_sub(1);
+        let ts = &mut self.tstats[tenant];
+        ts.cqes += 1;
+        ts.device_ns += dev_ns.saturating_sub(wire);
         self.trace.device += dev_ns.saturating_sub(wire);
         self.trace.fabric_wire += wire;
         if host_capsule {
@@ -1890,16 +2187,18 @@ impl Machine {
     /// CQEs with the fsync flush barrier (whose completion commits the
     /// journal), or unwind the completion path and deliver.
     fn on_write_device_done(&mut self, id: usize) {
+        let tenant = self.ops[id].as_ref().expect("op").tenant;
+        let bound = self.bound_for(tenant);
         let op = self.ops[id].as_mut().expect("op");
         match op.kind {
             OpKind::WriteData { fsync: true } => {
                 // §4 fairness, write-aware: the ordered flush chase is a
                 // kernel-side dependent resubmission exactly like a read
-                // hop recycle, so it meters against the same per-process
+                // hop recycle, so it meters against the same per-tenant
                 // budget. A write that hits the bound completes as
                 // BoundExceeded with its journal transaction uncommitted
                 // (crash-before-fsync durability).
-                if op.hop + 1 >= self.resubmit_bound {
+                if op.hop + 1 >= bound {
                     op.status = Some(ChainStatus::BoundExceeded);
                     let cost = self.costs.sync_write_complete();
                     let end = self.charge(cost);
@@ -1912,7 +2211,7 @@ impl Machine {
                 // Ordered journal commit: the commit record + flush
                 // barrier go to the device only after the data CQEs.
                 op.kind = OpKind::WriteFlush;
-                self.note_resubmission(thread);
+                self.note_resubmission(tenant, thread);
                 let cost = self.costs.journal_commit + self.costs.drv_submit;
                 let end = self.charge(cost);
                 self.trace.journal += self.costs.journal_commit;
@@ -2037,13 +2336,16 @@ impl Machine {
         let (terminal, resubmit_to, insns) = self.run_hook_program(id);
         let bpf_cost = self.costs.bpf_exec(insns);
         self.trace.bpf += bpf_cost;
+        let tenant = self.ops[id].as_ref().expect("op").tenant;
+        let bound = self.bound_for(tenant);
+        self.tstats[tenant as usize].bpf_ns += bpf_cost;
         match terminal {
             None => {
                 let target = resubmit_to.expect("resubmit target");
                 let op = self.ops[id].as_mut().expect("op");
                 let nblocks = (op.len as u64).div_ceil(SECTOR_SIZE as u64).max(1);
-                // §4 fairness: bound chained resubmissions per process.
-                if op.hop + 1 >= self.resubmit_bound {
+                // §4 fairness: bound chained resubmissions per tenant.
+                if op.hop + 1 >= bound {
                     op.status = Some(ChainStatus::BoundExceeded);
                     self.finish_driver_chain(id, bpf_cost);
                     return;
@@ -2064,7 +2366,7 @@ impl Machine {
                         op.phys_target = Some((phys, snap_gen));
                         op.hop += 1;
                         let thread = op.thread;
-                        self.note_resubmission(thread);
+                        self.note_resubmission(tenant, thread);
                         let cost = self.costs.drv_complete
                             + bpf_cost
                             + cache_cost
@@ -2108,12 +2410,15 @@ impl Machine {
         let (terminal, resubmit_to, insns) = self.run_hook_program(id);
         let bpf_cost = self.costs.bpf_exec(insns);
         self.trace.bpf += bpf_cost;
+        let tenant = self.ops[id].as_ref().expect("op").tenant;
+        let bound = self.bound_for(tenant);
+        self.tstats[tenant as usize].bpf_ns += bpf_cost;
         let unwind = self.costs.drv_complete + self.costs.bio_complete + self.costs.fs_complete;
         match terminal {
             None => {
                 let target = resubmit_to.expect("resubmit target");
                 let op = self.ops[id].as_mut().expect("op");
-                if op.hop + 1 >= self.resubmit_bound {
+                if op.hop + 1 >= bound {
                     op.status = Some(ChainStatus::BoundExceeded);
                     let cost = unwind + bpf_cost + self.costs.crossing_exit;
                     let end = self.charge(cost);
@@ -2212,10 +2517,14 @@ impl Machine {
             return;
         }
         self.chains += 1;
+        let tenant = self.ops[id].as_ref().expect("op").tenant as usize;
+        self.tstats[tenant].chains += 1;
         if !status.is_ok() {
             self.errors += 1;
+            self.tstats[tenant].errors += 1;
         }
         self.latency.record(outcome.latency);
+        self.tstats[tenant].latency.record(outcome.latency);
         let op = self.ops[id].as_ref().expect("op");
         match op.kind {
             OpKind::Read => self.lat_read.record(outcome.latency),

@@ -1,0 +1,152 @@
+//! Tenant identity and per-tenant resource limits.
+//!
+//! One shared [`crate::Machine`] can serve several *tenants* — mutually
+//! untrusting applications multiplexed over the same queue pairs. Every
+//! descriptor (and therefore every chain, token, and NVMe command)
+//! belongs to exactly one tenant; the machine always has tenant 0
+//! ([`DEFAULT_TENANT`]) with default limits, so single-tenant callers
+//! never see the machinery.
+//!
+//! Limits compose three mechanisms:
+//!
+//! - **SQ slot budgets** ([`TenantLimits::sq_slots`]): a tenant may keep
+//!   at most this many commands in flight per queue pair. At the budget,
+//!   its submissions park in a per-tenant queue (distinct from device
+//!   backpressure) and re-issue when its own completions return — other
+//!   tenants' slots are never consumed.
+//! - **Weighted fair reaping** ([`TenantLimits::weight`] +
+//!   [`crate::Machine::set_fair_reap`]): pending CQEs on a queue pair
+//!   are serviced deficit-round-robin across tenants in proportion to
+//!   weight, so one tenant's completion storm cannot monopolise the
+//!   completion path.
+//! - **Verification-time resource bounds** ([`TenantLimits::insn_budget`]
+//!   with the tenant's chain-depth bound): the install ioctl rejects a
+//!   program whose verified worst case (`max_path × chain_depth`)
+//!   exceeds the tenant's instruction budget — enforcement happens
+//!   before the program ever runs.
+
+use bpfstor_sim::{Histogram, Nanos};
+
+/// Identifies one tenant of a shared machine. Tenant 0 always exists.
+pub type TenantId = u32;
+
+/// The implicit tenant of every descriptor opened without an explicit
+/// tenant ([`crate::Machine::open`]); it has default limits (weight 1,
+/// no budgets), so single-tenant machines behave exactly as before.
+pub const DEFAULT_TENANT: TenantId = 0;
+
+/// Per-tenant resource limits, fixed at registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Fair-reaping weight (deficit-round-robin quantum). Relative: a
+    /// weight-4 tenant is serviced four CQEs for every one of a
+    /// weight-1 tenant when both have completions pending. Ignored
+    /// until [`crate::Machine::set_fair_reap`] enables fair reaping.
+    pub weight: u64,
+    /// Per-queue-pair submission-slot budget: at most this many of the
+    /// tenant's commands in flight per queue pair. `None` = unlimited
+    /// (the single-tenant default). A request wider than the budget is
+    /// still admitted when the tenant has nothing in flight, so
+    /// progress is always possible.
+    pub sq_slots: Option<usize>,
+    /// Per-tenant chained-resubmission bound, overriding the machine's
+    /// [`crate::MachineConfig::resubmit_bound`] (§4 fairness). Also the
+    /// chain-depth factor of the verification-time budget.
+    pub resubmit_bound: Option<u32>,
+    /// Verification-time instruction budget for one full chain: a
+    /// program is rejected at install when its verified worst-case path
+    /// times the tenant's chain-depth bound exceeds this. `None` skips
+    /// the check.
+    pub insn_budget: Option<u64>,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        TenantLimits {
+            weight: 1,
+            sq_slots: None,
+            resubmit_bound: None,
+            insn_budget: None,
+        }
+    }
+}
+
+impl TenantLimits {
+    /// Shorthand for a weight-only tenant (no budgets).
+    pub fn weighted(weight: u64) -> Self {
+        TenantLimits {
+            weight: weight.max(1),
+            ..TenantLimits::default()
+        }
+    }
+}
+
+/// Per-tenant slice of a run's results — one entry per registered
+/// tenant in [`crate::RunReport::tenants`]. The existing top-level
+/// report fields remain the aggregate view across all tenants.
+#[derive(Debug, Clone)]
+pub struct TenantBreakdown {
+    /// The tenant these counters describe.
+    pub tenant: TenantId,
+    /// The tenant's fair-reaping weight at run time.
+    pub weight: u64,
+    /// Chains completed.
+    pub chains: u64,
+    /// Device commands submitted on the tenant's behalf.
+    pub ios: u64,
+    /// Chains that ended with a non-OK status.
+    pub errors: u64,
+    /// §4 chained resubmissions charged to this tenant (all threads;
+    /// the (tenant, thread) matrix via
+    /// [`crate::Machine::resubmission_accounting_for`]).
+    pub resubmissions: u64,
+    /// Submissions parked because the tenant hit its SQ slot budget
+    /// (not device backpressure — that is shared and counted in
+    /// [`crate::RunReport::device`]).
+    pub sq_parks: u64,
+    /// CQEs completed for this tenant (its share of the reap stream).
+    pub cqes: u64,
+    /// Read commands submitted.
+    pub dev_reads: u64,
+    /// Write commands submitted.
+    pub dev_writes: u64,
+    /// Flush barriers submitted.
+    pub dev_flushes: u64,
+    /// Device-busy time attributed to the tenant's commands.
+    pub device_ns: Nanos,
+    /// BPF hook execution time attributed to the tenant's chains.
+    pub bpf_ns: Nanos,
+    /// Chain latency distribution for this tenant alone.
+    pub latency: Histogram,
+}
+
+impl TenantBreakdown {
+    pub(crate) fn fresh(tenant: TenantId, weight: u64) -> Self {
+        TenantBreakdown {
+            tenant,
+            weight,
+            chains: 0,
+            ios: 0,
+            errors: 0,
+            resubmissions: 0,
+            sq_parks: 0,
+            cqes: 0,
+            dev_reads: 0,
+            dev_writes: 0,
+            dev_flushes: 0,
+            device_ns: 0,
+            bpf_ns: 0,
+            latency: Histogram::new(),
+        }
+    }
+
+    /// This tenant's fraction of `total` reaped CQEs (0.0 when none
+    /// were reaped) — the reap-share split of the fairness experiments.
+    pub fn reap_share(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.cqes as f64 / total as f64
+        }
+    }
+}

@@ -6,7 +6,8 @@ use bpfstor_device::SECTOR_SIZE;
 use bpfstor_kernel::{
     AdaptiveIrqConfig, ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken,
     ChainVerdict, DispatchMode, FabricConfig, Fd, HybridConfig, KernelError, Machine,
-    MachineConfig, Mutation, PollConfig, ReapKind, ReapMode, TransportConfig, UserNext,
+    MachineConfig, Mutation, PollConfig, ReapKind, ReapMode, TenantLimits, TransportConfig,
+    UserNext, DEFAULT_TENANT,
 };
 use bpfstor_sim::{LatencyDist, Nanos, SimRng, MILLISECOND, SECOND};
 use bpfstor_vm::{action, ctx_off, helper, Asm, Program, Width};
@@ -1743,4 +1744,94 @@ fn backlog_high_watermark_reflects_delivery_policy() {
             > immediate.device.reap_lag_ns / immediate.device.cqes.max(1),
         "held-back completions wait longer between doorbell and reap"
     );
+}
+
+#[test]
+fn resubmission_bound_is_per_tenant() {
+    // Two tenants share the machine, one deep pointer chase each on its
+    // own thread. Tenant B carries a §4 override of 2 dependent
+    // submissions; the machine default (64) covers tenant A. B's chain
+    // must abort with BoundExceeded without charging — or aborting —
+    // A's chain, and the (tenant, thread) accounting matrix must keep
+    // the two ledgers apart.
+    struct PerTenantChase {
+        fds: [Fd; 2],
+        issued: [bool; 2],
+        outcomes: Vec<ChainOutcome>,
+    }
+    impl ChainDriver for PerTenantChase {
+        fn mode(&self) -> DispatchMode {
+            DispatchMode::DriverHook
+        }
+        fn next_chain(&mut self, thread: usize, _rng: &mut SimRng) -> Option<ChainStart> {
+            if self.issued[thread] {
+                return None;
+            }
+            self.issued[thread] = true;
+            Some(ChainStart {
+                fd: self.fds[thread],
+                file_off: 0,
+                len: SECTOR_SIZE as u32,
+                arg: 0,
+            })
+        }
+        fn user_step(&mut self, _thread: usize, _token: &ChainToken, _data: &[u8]) -> UserNext {
+            UserNext::Done
+        }
+        fn chain_done(&mut self, _thread: usize, outcome: &ChainOutcome) -> ChainVerdict {
+            self.outcomes.push(outcome.clone());
+            ChainVerdict::Done
+        }
+    }
+
+    let cfg = MachineConfig {
+        resubmit_bound: 64,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.create_file("a.db", &chain_file(8)).expect("create a");
+    m.create_file("b.db", &chain_file(8)).expect("create b");
+    let fd_a = m.open("a.db", true).expect("open a");
+    let tenant_b = m.register_tenant(TenantLimits {
+        resubmit_bound: Some(2),
+        ..TenantLimits::default()
+    });
+    let fd_b = m.open_for(tenant_b, "b.db", true).expect("open b");
+    m.install(fd_a, chase_program(), 0).expect("install a");
+    m.install(fd_b, chase_program(), 0).expect("install b");
+
+    let mut d = PerTenantChase {
+        fds: [fd_a, fd_b],
+        issued: [false; 2],
+        outcomes: Vec::new(),
+    };
+    let report = m.run_closed_loop(2, SECOND, &mut d);
+
+    assert_eq!(d.outcomes.len(), 2);
+    for o in &d.outcomes {
+        match o.token.tenant {
+            DEFAULT_TENANT => assert!(
+                o.status.is_ok(),
+                "tenant A's 8-hop chase fits the default bound: {:?}",
+                o.status
+            ),
+            t if t == tenant_b => assert_eq!(
+                o.status,
+                ChainStatus::BoundExceeded,
+                "tenant B's override of 2 must trip on the same workload"
+            ),
+            t => panic!("unexpected tenant {t}"),
+        }
+    }
+    // A full chase resubmits hops-1 = 7 times on thread 0; B is cut off
+    // after its single allowed resubmission on thread 1. Each tenant's
+    // row only extends to the highest thread that charged it.
+    assert_eq!(m.resubmission_accounting_for(DEFAULT_TENANT), &[7]);
+    assert_eq!(m.resubmission_accounting_for(tenant_b), &[0, 1]);
+    // The per-thread view every §4 test predates still sums the tenants.
+    assert_eq!(m.resubmission_accounting(), &[7, 1]);
+    assert_eq!(report.tenants[DEFAULT_TENANT as usize].resubmissions, 7);
+    assert_eq!(report.tenants[tenant_b as usize].resubmissions, 1);
+    assert_eq!(report.tenants[tenant_b as usize].errors, 1);
+    assert_eq!(report.tenants[DEFAULT_TENANT as usize].errors, 0);
 }

@@ -67,4 +67,4 @@ pub use asm::{Asm, Width};
 pub use interp::{ExecEnv, RecordingEnv, RunCtx, RunOutcome, Trap, Vm};
 pub use maps::{MapKind, MapSet, MapSpec};
 pub use program::{action, ctx_off, helper, Program, EMIT_MAX, SCRATCH_SIZE};
-pub use verifier::{verify, VerifyError};
+pub use verifier::{verify, verify_bounded, ResourceBudget, VerifiedStats, VerifyError};

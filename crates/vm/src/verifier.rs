@@ -111,6 +111,15 @@ pub enum VerifyErrorKind {
     TooComplex,
     /// Access to a possibly-NULL map value without a null check.
     PossiblyNull,
+    /// The program verifies, but its worst-case instruction count over a
+    /// full chain exceeds the caller's resource budget (see
+    /// [`ResourceBudget`]).
+    BudgetExceeded {
+        /** Worst-case instructions for one full chain. */
+        worst_case: u64,
+        /** The budget it exceeded. */
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -265,6 +274,72 @@ pub fn verify(prog: &Program) -> Result<VerifiedStats, VerifyError> {
         states: an.states,
         max_path: an.max_path,
     })
+}
+
+/// A tenant's verification-time resource budget: the worst case a chain
+/// may cost at runtime, priced *before* the program is admitted.
+///
+/// The verifier already derives the longest instruction path of one
+/// invocation ([`VerifiedStats::max_path`]); a kernel that also bounds
+/// chained resubmissions to `chain_depth` hops therefore knows the whole
+/// chain can execute at most `max_path * chain_depth` instructions. A
+/// program whose worst case exceeds `max_insns` is rejected at install
+/// time — an untrusted tenant cannot exceed its bound at runtime because
+/// it never gets to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Hops the kernel will allow the chain (its resubmission bound).
+    pub chain_depth: u64,
+    /// Total instruction budget for one full chain.
+    pub max_insns: u64,
+}
+
+/// Verifies `prog` and enforces `budget` on its worst-case chain cost.
+///
+/// With `budget: None` this is exactly [`verify`]. With a budget, the
+/// longest verified path per invocation times the chain-depth bound must
+/// fit `max_insns`, or the program is rejected with
+/// [`VerifyErrorKind::BudgetExceeded`].
+///
+/// # Errors
+///
+/// Everything [`verify`] rejects, plus budget violations.
+///
+/// # Examples
+///
+/// ```
+/// use bpfstor_vm::asm::Asm;
+/// use bpfstor_vm::program::Program;
+/// use bpfstor_vm::verifier::{verify_bounded, ResourceBudget};
+///
+/// let mut a = Asm::new();
+/// a.mov64_imm(0, 0).exit();
+/// let prog = Program::new(a.finish().unwrap());
+/// // Two instructions per hop, 4 hops: a budget of 8 admits it...
+/// let b = ResourceBudget { chain_depth: 4, max_insns: 8 };
+/// assert!(verify_bounded(&prog, Some(b)).is_ok());
+/// // ...a budget of 7 rejects it at install time.
+/// let b = ResourceBudget { chain_depth: 4, max_insns: 7 };
+/// assert!(verify_bounded(&prog, Some(b)).is_err());
+/// ```
+pub fn verify_bounded(
+    prog: &Program,
+    budget: Option<ResourceBudget>,
+) -> Result<VerifiedStats, VerifyError> {
+    let stats = verify(prog)?;
+    if let Some(b) = budget {
+        let worst_case = (stats.max_path as u64).saturating_mul(b.chain_depth.max(1));
+        if worst_case > b.max_insns {
+            return Err(VerifyError {
+                pc: 0,
+                kind: VerifyErrorKind::BudgetExceeded {
+                    worst_case,
+                    budget: b.max_insns,
+                },
+            });
+        }
+    }
+    Ok(stats)
 }
 
 struct Frame {
