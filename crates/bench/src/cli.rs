@@ -6,7 +6,11 @@
 //!
 //! - `--quick`: reduced durations/counts (the `figures` bench scale);
 //! - `--seed <N>` (or `--seed=N`): override the experiment's default
-//!   RNG seed — decimal or `0x`-prefixed hex.
+//!   RNG seed — decimal or `0x`-prefixed hex;
+//! - `--engine <interp|compiled>` (or `--engine=...`): select the hook
+//!   execution engine, overriding `BPFSTOR_ENGINE` and the default.
+
+use bpfstor_kernel::ExecEngine;
 
 use crate::experiments::Scale;
 use crate::report::Table;
@@ -18,6 +22,8 @@ pub struct SweepArgs {
     pub quick: bool,
     /// `--seed <N>` override, if passed.
     pub seed: Option<u64>,
+    /// `--engine <interp|compiled>` override, if passed.
+    pub engine: Option<ExecEngine>,
 }
 
 impl SweepArgs {
@@ -47,9 +53,21 @@ pub fn parse_args() -> SweepArgs {
             out.seed = Some(parse_seed(&v));
         } else if let Some(v) = arg.strip_prefix("--seed=") {
             out.seed = Some(parse_seed(v));
+        } else if arg == "--engine" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--engine needs a value"));
+            out.engine = Some(parse_engine(&v));
+        } else if let Some(v) = arg.strip_prefix("--engine=") {
+            out.engine = Some(parse_engine(v));
         }
     }
     out
+}
+
+fn parse_engine(v: &str) -> ExecEngine {
+    ExecEngine::parse(v)
+        .unwrap_or_else(|| panic!("--engine wants 'interp' or 'compiled', got {v:?}"))
 }
 
 fn parse_seed(v: &str) -> u64 {
@@ -81,5 +99,12 @@ mod tests {
     fn seed_parses_decimal_and_hex() {
         assert_eq!(parse_seed("2024"), 2024);
         assert_eq!(parse_seed("0x3117"), 0x3117);
+    }
+
+    #[test]
+    fn engine_parses_both_tiers() {
+        assert_eq!(parse_engine("interp"), ExecEngine::Interp);
+        assert_eq!(parse_engine("compiled"), ExecEngine::Compiled);
+        assert_eq!(parse_engine("jit"), ExecEngine::Compiled);
     }
 }

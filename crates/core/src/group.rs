@@ -37,9 +37,9 @@
 //! ```
 
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, DispatchMode, Fd,
-    Machine, MachineConfig, ReapMode, RunReport, TenantId, TenantLimits, UserNext, WriteStart,
-    DEFAULT_TENANT,
+    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, DispatchMode,
+    ExecEngine, Fd, Machine, MachineConfig, ReapMode, RunReport, TenantId, TenantLimits, UserNext,
+    WriteStart, DEFAULT_TENANT,
 };
 use bpfstor_sim::{Nanos, SimRng};
 
@@ -71,6 +71,14 @@ impl TenantGroupBuilder {
     /// Overrides the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Selects the hook execution engine for every tenant's programs
+    /// (interpreter or compiled tier). Observable behaviour and
+    /// simulated costs are identical across engines.
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.config.exec_engine = engine;
         self
     }
 

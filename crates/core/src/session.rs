@@ -26,8 +26,8 @@
 
 use bpfstor_kernel::{
     ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
-    FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle, ReapMode,
-    RunReport, TransportConfig, UserNext, WriteStart,
+    ExecEngine, FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle,
+    ReapMode, RunReport, TransportConfig, UserNext, WriteStart,
 };
 use bpfstor_sim::{Nanos, SimRng, SECOND};
 use bpfstor_vm::Program;
@@ -262,6 +262,15 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
     /// Overrides the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Selects the hook execution engine: the interpreter (the default,
+    /// unless `BPFSTOR_ENGINE` says otherwise) or the compiled tier.
+    /// Observable behaviour and simulated costs are identical; only
+    /// real host CPU per hop differs ([`RunReport::exec`]).
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.config.exec_engine = engine;
         self
     }
 

@@ -26,7 +26,7 @@ use bpfstor_sim::{Histogram, Nanos, SimRng};
 
 use crate::extcache::ExtCacheStats;
 use crate::reaper::ReaperStats;
-use crate::trace::LayerTrace;
+use crate::trace::{ExecSplit, LayerTrace};
 
 /// A file descriptor in the simulated kernel.
 pub type Fd = u32;
@@ -365,6 +365,12 @@ pub struct RunReport {
     /// The top-level fields of this report remain the all-tenant
     /// aggregate view.
     pub tenants: Vec<crate::tenant::TenantBreakdown>,
+    /// Measured host-CPU execution-engine split across all hook
+    /// invocations of the run (per-engine hops, real nanoseconds when a
+    /// [`crate::ExecClock`] is injected, and interpreter fallbacks).
+    /// The *simulated* BPF charge stays in `trace.bpf` and is
+    /// bit-for-bit identical across engines.
+    pub exec: ExecSplit,
 }
 
 impl RunReport {

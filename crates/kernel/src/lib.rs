@@ -29,15 +29,16 @@ pub mod tenant;
 pub mod trace;
 
 pub use bpfstor_device::{FabricConfig, FabricStats, TransportConfig};
+pub use bpfstor_vm::ExecEngine;
 pub use chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict,
     DispatchMode, Fd, ProgHandle, RunReport, UserNext, WriteStart,
 };
 pub use costs::LayerCosts;
 pub use extcache::{ExtCacheStats, ExtentCache};
-pub use machine::{KernelError, Machine, MachineConfig, Mutation};
+pub use machine::{ExecClock, KernelError, Machine, MachineConfig, Mutation};
 pub use reaper::{
     AdaptiveIrqConfig, HybridConfig, ModeTransition, PollConfig, ReapKind, ReapMode, ReaperStats,
 };
 pub use tenant::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
-pub use trace::LayerTrace;
+pub use trace::{ExecSplit, LayerTrace};

@@ -55,8 +55,8 @@ use bpfstor_device::{
 use bpfstor_fs::{ExtFs, ExtentEvent, PageCache};
 use bpfstor_sim::{Cores, EventQueue, Histogram, Nanos, SimRng};
 use bpfstor_vm::{
-    action, verify_bounded, ExecEnv, MapSet, Program, ResourceBudget, RunCtx, Vm, EMIT_MAX,
-    SCRATCH_SIZE,
+    action, compile, verify_bounded, CompiledProg, ExecEngine, ExecEnv, MapSet, Program,
+    ResourceBudget, RunCtx, Vm, DEFAULT_INSN_BUDGET, EMIT_MAX, SCRATCH_SIZE,
 };
 
 use crate::chain::{
@@ -67,7 +67,32 @@ use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
 use crate::reaper::{FairSched, ReapKind, ReapMode, Reaper, ReaperStats};
 use crate::tenant::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
-use crate::trace::LayerTrace;
+use crate::trace::{ExecSplit, LayerTrace};
+
+/// A monotonic host-CPU clock the harness injects to *measure* real
+/// per-hop execution time ([`MachineConfig::exec_clock`]). The machine
+/// samples it around every hook invocation and accumulates the deltas
+/// into [`RunReport::exec`]; it never feeds the simulated timeline, so
+/// a machine without a clock stays fully deterministic.
+#[derive(Clone)]
+pub struct ExecClock(pub std::sync::Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl ExecClock {
+    /// Wraps a monotonic nanosecond counter.
+    pub fn new(f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        ExecClock(std::sync::Arc::new(f))
+    }
+
+    fn now(&self) -> u64 {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for ExecClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExecClock(..)")
+    }
+}
 
 /// Machine construction parameters.
 #[derive(Debug, Clone)]
@@ -106,6 +131,20 @@ pub struct MachineConfig {
     /// queue pair `q`. `None` gives the identity mapping (`qp % cores`),
     /// which matches the per-thread queue-pair layout.
     pub qp_affinity: Option<Vec<usize>>,
+    /// Which engine executes hook programs: the interpreter or the
+    /// template-JIT compiled tier. Compiled execution is observably
+    /// identical (same traps, same retired-instruction counts — so
+    /// [`LayerCosts::bpf_exec`] simulated charging is bit-for-bit
+    /// unchanged) but cheaper in real host CPU; programs the compiler
+    /// declines transparently fall back to the interpreter. The default
+    /// honours the `BPFSTOR_ENGINE` environment variable
+    /// ([`ExecEngine::from_env`]), interpreter when unset.
+    pub exec_engine: ExecEngine,
+    /// Optional monotonic host clock sampled around each hook
+    /// invocation to fill [`RunReport::exec`] with *measured*
+    /// per-engine nanoseconds. `None` (the default) skips sampling:
+    /// hop and fallback counters still move, the `_ns` fields stay 0.
+    pub exec_clock: Option<ExecClock>,
 }
 
 impl Default for MachineConfig {
@@ -123,6 +162,8 @@ impl Default for MachineConfig {
             reap_mode: ReapMode::Interrupt,
             transport: TransportConfig::Local,
             qp_affinity: None,
+            exec_engine: ExecEngine::from_env(),
+            exec_clock: None,
         }
     }
 }
@@ -190,6 +231,11 @@ struct Install {
     prog: Program,
     maps: MapSet,
     flags: u32,
+    /// The template-JIT lowering, built once at install when the
+    /// machine's engine is [`ExecEngine::Compiled`]. `None` means the
+    /// compiler declined (or the engine is the interpreter): hops run
+    /// interpreted and, under the compiled engine, count as fallbacks.
+    compiled: Option<CompiledProg>,
 }
 
 /// Per-descriptor program table: several loaded programs, at most one
@@ -284,6 +330,11 @@ struct Op {
     file_off: u64,
     len: u32,
     hop: u32,
+    /// Instructions retired by the chain's hops so far: each hop runs
+    /// under the owning tenant's instruction budget *minus* this, so a
+    /// chain's cumulative execution traps at the tenant's bound (the
+    /// verification-time budget covers the same whole-chain worst case).
+    insns_used: u64,
     ios: u32,
     started: Nanos,
     data: Vec<u8>,
@@ -441,6 +492,12 @@ pub struct Machine {
     mutations: Vec<Mutation>,
     aborting_inos: HashSet<u64>,
     resubmit_bound: u32,
+    /// Engine executing hook programs ([`MachineConfig::exec_engine`]).
+    exec_engine: ExecEngine,
+    /// Optional measured-time clock ([`MachineConfig::exec_clock`]).
+    exec_clock: Option<ExecClock>,
+    /// Per-run measured execution split (all tenants).
+    exec: ExecSplit,
     trace: LayerTrace,
     latency: Histogram,
     lat_read: Histogram,
@@ -530,6 +587,9 @@ impl Machine {
             mutations: Vec::new(),
             aborting_inos: HashSet::new(),
             resubmit_bound: cfg.resubmit_bound,
+            exec_engine: cfg.exec_engine,
+            exec_clock: cfg.exec_clock,
+            exec: ExecSplit::default(),
             trace: LayerTrace::default(),
             latency: Histogram::new(),
             lat_read: Histogram::new(),
@@ -696,10 +756,25 @@ impl Machine {
         let maps =
             MapSet::instantiate(&prog.maps).map_err(|e| KernelError::Verifier(e.to_string()))?;
         self.snapshot_extents(st.ino)?;
+        // Lower to the compiled tier up front (install is untimed, like
+        // a real JIT running at load). A decline is not an error — the
+        // hop path falls back to the interpreter and counts it.
+        let compiled = match self.exec_engine {
+            ExecEngine::Compiled => compile(&prog).ok(),
+            ExecEngine::Interp => None,
+        };
         let table = self.installs.entry(fd).or_default();
         let slot = table.next_slot;
         table.next_slot += 1;
-        table.progs.insert(slot, Install { prog, maps, flags });
+        table.progs.insert(
+            slot,
+            Install {
+                prog,
+                maps,
+                flags,
+                compiled,
+            },
+        );
         table.attached = Some(slot);
         Ok(ProgHandle { fd, slot })
     }
@@ -1249,6 +1324,7 @@ impl Machine {
         self.cores.reset();
         self.transport.reset_timing();
         self.trace = LayerTrace::default();
+        self.exec = ExecSplit::default();
         self.latency = Histogram::new();
         self.lat_read = Histogram::new();
         self.lat_write = Histogram::new();
@@ -1311,6 +1387,7 @@ impl Machine {
             rearm_retries: self.rearm_retries,
             reaper: self.reaper.stats().clone(),
             tenants: self.tstats.clone(),
+            exec: self.exec,
         }
     }
 
@@ -1441,6 +1518,7 @@ impl Machine {
             file_off,
             len,
             hop: 0,
+            insns_used: 0,
             ios: 0,
             started: self.now,
             data: Vec::new(),
@@ -2246,8 +2324,25 @@ impl Machine {
 
     /// Runs the installed program over the completed block; returns
     /// `(status_if_terminal, resubmit_target, insns)`.
+    ///
+    /// Execution runs under the owning tenant's *remaining* instruction
+    /// budget (its `insn_budget` minus instructions retired by the
+    /// chain's earlier hops) — the runtime backstop behind the
+    /// verification-time check — and on the engine the machine was
+    /// configured with; a program the compiler declined falls back to
+    /// the interpreter and is counted in [`ExecSplit::fallbacks`].
     fn run_hook_program(&mut self, id: usize) -> (Option<ChainStatus>, Option<u64>, u64) {
         let mut op = self.ops[id].take().expect("op exists");
+        // Tenant budget, engine, and clock are read before the install
+        // borrow: the remaining budget follows the tenant's *current*
+        // limits, so tightening them mid-stream binds running chains.
+        let budget = self.tenants[op.tenant as usize]
+            .insn_budget
+            .map(|b| b.saturating_sub(op.insns_used))
+            .unwrap_or(DEFAULT_INSN_BUDGET);
+        let engine = self.exec_engine;
+        let clock = self.exec_clock.clone();
+        let mut compiled_hop = false;
         let result = {
             let install = self
                 .installs
@@ -2274,9 +2369,40 @@ impl Machine {
                 flags: install.flags,
                 scratch: &mut op.scratch,
             };
-            let r = Vm::new().run(&install.prog, ctx, &mut install.maps, &mut env);
+            let t0 = clock.as_ref().map(ExecClock::now);
+            let r = match &install.compiled {
+                Some(cp) => {
+                    compiled_hop = true;
+                    cp.run_budgeted(budget, ctx, &mut install.maps, &mut env)
+                }
+                None => {
+                    Vm::with_budget(budget).run(&install.prog, ctx, &mut install.maps, &mut env)
+                }
+            };
+            let elapsed = t0
+                .and_then(|t0| clock.as_ref().map(|c| c.now().saturating_sub(t0)))
+                .unwrap_or(0);
+            let t = op.tenant as usize;
+            if compiled_hop {
+                self.exec.compiled_hops += 1;
+                self.exec.compiled_ns += elapsed;
+                self.tstats[t].exec.compiled_hops += 1;
+                self.tstats[t].exec.compiled_ns += elapsed;
+            } else {
+                self.exec.interp_hops += 1;
+                self.exec.interp_ns += elapsed;
+                self.tstats[t].exec.interp_hops += 1;
+                self.tstats[t].exec.interp_ns += elapsed;
+                if engine == ExecEngine::Compiled {
+                    self.exec.fallbacks += 1;
+                    self.tstats[t].exec.fallbacks += 1;
+                }
+            }
             r.map(|out| (out, env.resubmit_to, env.resubmit_calls))
         };
+        if let Ok((out, _, _)) = &result {
+            op.insns_used += out.insns;
+        }
         let ret = match result {
             Err(trap) => {
                 let s = ChainStatus::VmError(trap.to_string());

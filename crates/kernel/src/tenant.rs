@@ -19,13 +19,18 @@
 //!   are serviced deficit-round-robin across tenants in proportion to
 //!   weight, so one tenant's completion storm cannot monopolise the
 //!   completion path.
-//! - **Verification-time resource bounds** ([`TenantLimits::insn_budget`]
-//!   with the tenant's chain-depth bound): the install ioctl rejects a
-//!   program whose verified worst case (`max_path × chain_depth`)
-//!   exceeds the tenant's instruction budget — enforcement happens
-//!   before the program ever runs.
+//! - **Instruction budgets** ([`TenantLimits::insn_budget`] with the
+//!   tenant's chain-depth bound): the install ioctl rejects a program
+//!   whose verified worst case (`max_path × chain_depth`) exceeds the
+//!   tenant's instruction budget, and the same budget backstops the
+//!   runtime — every hop of a tenant's chain executes with the budget's
+//!   *remainder* (budget minus instructions already retired by earlier
+//!   hops), so a runaway program traps `BudgetExceeded` at its owner's
+//!   bound even if the limits were tightened after install.
 
 use bpfstor_sim::{Histogram, Nanos};
+
+use crate::trace::ExecSplit;
 
 /// Identifies one tenant of a shared machine. Tenant 0 always exists.
 pub type TenantId = u32;
@@ -116,6 +121,9 @@ pub struct TenantBreakdown {
     pub device_ns: Nanos,
     /// BPF hook execution time attributed to the tenant's chains.
     pub bpf_ns: Nanos,
+    /// Measured (host-CPU) execution-engine split for the tenant's
+    /// hops; simulated charging stays in [`TenantBreakdown::bpf_ns`].
+    pub exec: ExecSplit,
     /// Chain latency distribution for this tenant alone.
     pub latency: Histogram,
 }
@@ -136,6 +144,7 @@ impl TenantBreakdown {
             dev_flushes: 0,
             device_ns: 0,
             bpf_ns: 0,
+            exec: ExecSplit::default(),
             latency: Histogram::new(),
         }
     }

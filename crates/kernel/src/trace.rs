@@ -100,6 +100,65 @@ impl LayerTrace {
     }
 }
 
+/// Measured host-CPU split of BPF hook execution by engine.
+///
+/// Unlike every other bucket in this module, these nanoseconds are
+/// *real* host CPU sampled from a monotonic clock injected via
+/// [`crate::ExecClock`] — they never enter the simulated timeline.
+/// The simulated charge for the same hops stays in
+/// [`LayerTrace::bpf`], priced from retired instructions, which both
+/// engines count identically. With no clock injected the `_ns` fields
+/// stay zero and only the hop counters move.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSplit {
+    /// Hook invocations executed by the interpreter.
+    pub interp_hops: u64,
+    /// Measured host nanoseconds across interpreter hops.
+    pub interp_ns: u64,
+    /// Hook invocations executed by the compiled engine.
+    pub compiled_hops: u64,
+    /// Measured host nanoseconds across compiled hops.
+    pub compiled_ns: u64,
+    /// Hops that ran under [`bpfstor_vm::ExecEngine::Compiled`] but
+    /// fell back to the interpreter because compilation declined the
+    /// program (these are also counted in `interp_hops`).
+    pub fallbacks: u64,
+}
+
+impl ExecSplit {
+    /// Average measured nanoseconds per interpreter hop.
+    pub fn interp_ns_per_hop(&self) -> f64 {
+        if self.interp_hops == 0 {
+            0.0
+        } else {
+            self.interp_ns as f64 / self.interp_hops as f64
+        }
+    }
+
+    /// Average measured nanoseconds per compiled hop.
+    pub fn compiled_ns_per_hop(&self) -> f64 {
+        if self.compiled_hops == 0 {
+            0.0
+        } else {
+            self.compiled_ns as f64 / self.compiled_hops as f64
+        }
+    }
+
+    /// Total hook invocations, either engine.
+    pub fn hops(&self) -> u64 {
+        self.interp_hops + self.compiled_hops
+    }
+
+    /// Folds another split into this one (per-tenant → machine total).
+    pub fn absorb(&mut self, other: &ExecSplit) {
+        self.interp_hops += other.interp_hops;
+        self.interp_ns += other.interp_ns;
+        self.compiled_hops += other.compiled_hops;
+        self.compiled_ns += other.compiled_ns;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +201,30 @@ mod tests {
     fn rows_cover_all_buckets() {
         let t = LayerTrace::default();
         assert_eq!(t.rows().len(), 13);
+    }
+
+    #[test]
+    fn exec_split_averages_and_absorb() {
+        let mut total = ExecSplit::default();
+        assert_eq!(total.interp_ns_per_hop(), 0.0);
+        assert_eq!(total.compiled_ns_per_hop(), 0.0);
+        let a = ExecSplit {
+            interp_hops: 4,
+            interp_ns: 400,
+            compiled_hops: 2,
+            compiled_ns: 50,
+            fallbacks: 1,
+        };
+        let b = ExecSplit {
+            interp_hops: 1,
+            interp_ns: 100,
+            ..ExecSplit::default()
+        };
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.hops(), 7);
+        assert_eq!(total.fallbacks, 1);
+        assert!((total.interp_ns_per_hop() - 100.0).abs() < 1e-9);
+        assert!((total.compiled_ns_per_hop() - 25.0).abs() < 1e-9);
     }
 }

@@ -364,6 +364,86 @@ fn vm_error_surfaces_as_chain_error() {
 }
 
 #[test]
+fn tenant_insn_budget_binds_at_runtime() {
+    // The chase program retires 12 instructions per resubmit hop and 14
+    // on the terminal emit hop. Install under permissive limits, then
+    // tighten the tenant's budget below the chain's cumulative total:
+    // execution must trap at the owner's bound even though the
+    // install-time check never saw the tighter limit.
+    let mut m = Machine::new(MachineConfig::default());
+    m.create_file("chain.db", &chain_file(8)).expect("create");
+    let tenant = m.register_tenant(TenantLimits::default());
+    let fd = m.open_for(tenant, "chain.db", true).expect("open");
+    m.install(fd, chase_program(), 0)
+        .expect("install under permissive limits");
+    m.set_tenant_limits(
+        tenant,
+        TenantLimits {
+            insn_budget: Some(30),
+            ..TenantLimits::default()
+        },
+    );
+    let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 1);
+    let report = m.run_closed_loop(1, SECOND, &mut d);
+    assert_eq!(report.errors, 1);
+    match &d.outcomes[0].status {
+        ChainStatus::VmError(e) => assert_eq!(e, "instruction budget exceeded"),
+        other => panic!("unexpected status {other:?}"),
+    }
+    // Two 12-insn hops fit under 30; the third runs with a 6-insn
+    // remainder and traps — the budget is cumulative across the
+    // chain's hops, not re-granted per hop.
+    assert_eq!(d.outcomes[0].ios, 3, "trap lands mid-chain");
+
+    // The default tenant on the same machine is unaffected.
+    let fd0 = m.open("chain.db", true).expect("open default");
+    m.install(fd0, chase_program(), 0).expect("install default");
+    let mut d0 = ChaseDriver::new(fd0, DispatchMode::DriverHook, 1);
+    let report0 = m.run_closed_loop(1, SECOND, &mut d0);
+    assert_eq!(report0.errors, 0);
+    assert!(matches!(d0.outcomes[0].status, ChainStatus::Emitted(_)));
+}
+
+#[test]
+fn exec_split_counts_hops_and_engines_match() {
+    // The same chase run under both engines: identical chains, IOs,
+    // outcomes, and simulated BPF charge; the measured split attributes
+    // every hook invocation to the engine that ran it.
+    let run = |engine: bpfstor_kernel::ExecEngine| {
+        let mut m = Machine::new(MachineConfig {
+            exec_engine: engine,
+            ..MachineConfig::default()
+        });
+        m.create_file("chain.db", &chain_file(8)).expect("create");
+        let fd = m.open("chain.db", true).expect("open");
+        m.install(fd, chase_program(), 0).expect("install");
+        let mut d = ChaseDriver::new(fd, DispatchMode::DriverHook, 4);
+        let report = m.run_closed_loop(1, SECOND, &mut d);
+        let statuses: Vec<ChainStatus> = d.outcomes.iter().map(|o| o.status.clone()).collect();
+        (report, statuses)
+    };
+    let (ri, si) = run(bpfstor_kernel::ExecEngine::Interp);
+    let (rc, sc) = run(bpfstor_kernel::ExecEngine::Compiled);
+    assert_eq!(si, sc, "identical outcomes across engines");
+    assert_eq!(ri.chains, rc.chains);
+    assert_eq!(ri.ios, rc.ios);
+    assert_eq!(
+        ri.trace.bpf, rc.trace.bpf,
+        "simulated charge is engine-independent"
+    );
+    // 4 chains × 8 hops each.
+    assert_eq!(ri.exec.interp_hops, 32);
+    assert_eq!(ri.exec.compiled_hops, 0);
+    assert_eq!(rc.exec.compiled_hops, 32);
+    assert_eq!(rc.exec.interp_hops, 0);
+    assert_eq!(rc.exec.fallbacks, 0, "verified programs always compile");
+    // No clock injected: hop counters move, nanoseconds stay zero.
+    assert_eq!(ri.exec.interp_ns + rc.exec.compiled_ns, 0);
+    // Per-tenant split mirrors the machine total on one tenant.
+    assert_eq!(rc.tenants[0].exec, rc.exec);
+}
+
+#[test]
 fn unverifiable_program_rejected_at_install() {
     let mut a = Asm::new();
     a.ldx(Width::DW, 2, 1, ctx_off::DATA)

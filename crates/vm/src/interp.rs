@@ -190,10 +190,10 @@ pub struct RunOutcome {
     pub helper_calls: u64,
 }
 
-struct MapValSlot {
-    map_id: u32,
-    key: Vec<u8>,
-    data: Vec<u8>,
+pub(crate) struct MapValSlot {
+    pub(crate) map_id: u32,
+    pub(crate) key: Vec<u8>,
+    pub(crate) data: Vec<u8>,
 }
 
 /// The interpreter; owns no program state between runs except the
@@ -238,24 +238,7 @@ impl Vm {
         let insns = &prog.insns;
         let mut reg = [0u64; NUM_REGS];
         let mut stack = [0u8; STACK_SIZE];
-        let mut ctx_buf = [0u8; ctx_off::SIZE as usize];
-        let data_len = ctx.data.len() as u64;
-        let scratch_len = ctx.scratch.len() as u64;
-        write_u64(&mut ctx_buf, ctx_off::DATA as usize, DATA_BASE);
-        write_u64(
-            &mut ctx_buf,
-            ctx_off::DATA_END as usize,
-            DATA_BASE + data_len,
-        );
-        write_u64(&mut ctx_buf, ctx_off::FILE_OFF as usize, ctx.file_off);
-        write_u32(&mut ctx_buf, ctx_off::HOP as usize, ctx.hop);
-        write_u32(&mut ctx_buf, ctx_off::FLAGS as usize, ctx.flags);
-        write_u64(&mut ctx_buf, ctx_off::SCRATCH as usize, SCRATCH_BASE);
-        write_u64(
-            &mut ctx_buf,
-            ctx_off::SCRATCH_END as usize,
-            SCRATCH_BASE + scratch_len,
-        );
+        let ctx_buf = build_ctx_buf(&ctx);
 
         reg[1] = CTX_BASE;
         reg[REG_FP as usize] = STACK_BASE + STACK_SIZE as u64;
@@ -331,7 +314,7 @@ impl Vm {
                     }
                     let size = access_size(op);
                     let addr = reg[src].wrapping_add(insn.off as i64 as u64);
-                    let bytes = self.read_mem(
+                    let bytes = read_mem(
                         addr,
                         size,
                         pc,
@@ -354,14 +337,14 @@ impl Vm {
                     } else {
                         insn.imm as i64 as u64
                     };
-                    self.write_mem(addr, size, value, pc, ctx.scratch, &mut stack, &mut mapvals)?;
+                    write_mem(addr, size, value, pc, ctx.scratch, &mut stack, &mut mapvals)?;
                 }
                 CLS_JMP | CLS_JMP32 => {
                     let code = op & 0xf0;
                     match code {
                         JMP_CALL => {
                             helper_calls += 1;
-                            self.call_helper(
+                            call_helper(
                                 insn.imm,
                                 pc,
                                 &mut reg,
@@ -422,92 +405,182 @@ impl Vm {
             pc += 1;
         }
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn read_mem(
-        &self,
-        addr: u64,
-        len: usize,
-        pc: usize,
-        ctx_buf: &[u8],
-        data: &[u8],
-        scratch: &[u8],
-        stack: &[u8],
-        mapvals: &[MapValSlot],
-    ) -> Result<[u8; 8], Trap> {
-        let oob = Trap::OutOfBounds { addr, len, pc };
-        let region = addr & REGION_MASK;
-        let slice: &[u8] = match region {
-            CTX_BASE => ctx_buf,
-            DATA_BASE => data,
-            SCRATCH_BASE => scratch,
-            STACK_BASE => stack,
-            MAPVAL_BASE => {
-                let slot = ((addr >> 32) & 0xFFF) as usize;
-                let sl = mapvals.get(slot).ok_or(oob.clone())?;
-                let off = (addr & 0xFFFF_FFFF) as usize;
-                return copy_checked(&sl.data, off, len).ok_or(oob);
-            }
-            _ => return Err(oob),
-        };
-        let off = (addr - region) as usize;
-        copy_checked(slice, off, len).ok_or(Trap::OutOfBounds { addr, len, pc })
+/// Builds the synthetic context block the program reads through `r1`:
+/// the data/scratch pointers point into their synthetic regions so the
+/// bounds encoded here match what [`read_mem`]/[`write_mem`] enforce.
+/// Shared verbatim by the interpreter and the compiled engine.
+pub(crate) fn build_ctx_buf(ctx: &RunCtx<'_>) -> [u8; ctx_off::SIZE as usize] {
+    let mut ctx_buf = [0u8; ctx_off::SIZE as usize];
+    let data_len = ctx.data.len() as u64;
+    let scratch_len = ctx.scratch.len() as u64;
+    write_u64(&mut ctx_buf, ctx_off::DATA as usize, DATA_BASE);
+    write_u64(
+        &mut ctx_buf,
+        ctx_off::DATA_END as usize,
+        DATA_BASE + data_len,
+    );
+    write_u64(&mut ctx_buf, ctx_off::FILE_OFF as usize, ctx.file_off);
+    write_u32(&mut ctx_buf, ctx_off::HOP as usize, ctx.hop);
+    write_u32(&mut ctx_buf, ctx_off::FLAGS as usize, ctx.flags);
+    write_u64(&mut ctx_buf, ctx_off::SCRATCH as usize, SCRATCH_BASE);
+    write_u64(
+        &mut ctx_buf,
+        ctx_off::SCRATCH_END as usize,
+        SCRATCH_BASE + scratch_len,
+    );
+    ctx_buf
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn read_mem(
+    addr: u64,
+    len: usize,
+    pc: usize,
+    ctx_buf: &[u8],
+    data: &[u8],
+    scratch: &[u8],
+    stack: &[u8],
+    mapvals: &[MapValSlot],
+) -> Result<[u8; 8], Trap> {
+    let oob = Trap::OutOfBounds { addr, len, pc };
+    let region = addr & REGION_MASK;
+    let slice: &[u8] = match region {
+        CTX_BASE => ctx_buf,
+        DATA_BASE => data,
+        SCRATCH_BASE => scratch,
+        STACK_BASE => stack,
+        MAPVAL_BASE => {
+            let slot = ((addr >> 32) & 0xFFF) as usize;
+            let sl = mapvals.get(slot).ok_or(oob.clone())?;
+            let off = (addr & 0xFFFF_FFFF) as usize;
+            return copy_checked(&sl.data, off, len).ok_or(oob);
+        }
+        _ => return Err(oob),
+    };
+    let off = (addr - region) as usize;
+    copy_checked(slice, off, len).ok_or(Trap::OutOfBounds { addr, len, pc })
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_mem(
+    addr: u64,
+    len: usize,
+    value: u64,
+    pc: usize,
+    scratch: &mut [u8],
+    stack: &mut [u8],
+    mapvals: &mut [MapValSlot],
+) -> Result<(), Trap> {
+    let region = addr & REGION_MASK;
+    let slice: &mut [u8] = match region {
+        CTX_BASE | DATA_BASE => return Err(Trap::WriteToReadOnly { addr, pc }),
+        SCRATCH_BASE => scratch,
+        STACK_BASE => stack,
+        MAPVAL_BASE => {
+            let slot = ((addr >> 32) & 0xFFF) as usize;
+            let sl = mapvals
+                .get_mut(slot)
+                .ok_or(Trap::OutOfBounds { addr, len, pc })?;
+            let off = (addr & 0xFFFF_FFFF) as usize;
+            return store_checked(&mut sl.data, off, len, value).ok_or(Trap::OutOfBounds {
+                addr,
+                len,
+                pc,
+            });
+        }
+        _ => return Err(Trap::OutOfBounds { addr, len, pc }),
+    };
+    let off = (addr - region) as usize;
+    store_checked(slice, off, len, value).ok_or(Trap::OutOfBounds { addr, len, pc })
+}
+
+/// Reads `len` bytes for a helper's pointer argument from any
+/// readable region.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn read_bytes(
+    addr: u64,
+    len: usize,
+    pc: usize,
+    ctx_buf: &[u8],
+    data: &[u8],
+    scratch: &[u8],
+    stack: &[u8],
+    mapvals: &[MapValSlot],
+) -> Result<Vec<u8>, Trap> {
+    let mut out = Vec::with_capacity(len);
+    // Byte-at-a-time is fine: helper keys/emits are small.
+    for i in 0..len {
+        let b = read_mem(
+            addr + i as u64,
+            1,
+            pc,
+            ctx_buf,
+            data,
+            scratch,
+            stack,
+            mapvals,
+        )?;
+        out.push(b[0]);
     }
+    Ok(out)
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn write_mem(
-        &self,
-        addr: u64,
-        len: usize,
-        value: u64,
-        pc: usize,
-        scratch: &mut [u8],
-        stack: &mut [u8],
-        mapvals: &mut [MapValSlot],
-    ) -> Result<(), Trap> {
-        let region = addr & REGION_MASK;
-        let slice: &mut [u8] = match region {
-            CTX_BASE | DATA_BASE => return Err(Trap::WriteToReadOnly { addr, pc }),
-            SCRATCH_BASE => scratch,
-            STACK_BASE => stack,
-            MAPVAL_BASE => {
-                let slot = ((addr >> 32) & 0xFFF) as usize;
-                let sl = mapvals
-                    .get_mut(slot)
-                    .ok_or(Trap::OutOfBounds { addr, len, pc })?;
-                let off = (addr & 0xFFFF_FFFF) as usize;
-                return store_checked(&mut sl.data, off, len, value).ok_or(Trap::OutOfBounds {
-                    addr,
-                    len,
-                    pc,
-                });
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn call_helper(
+    id: i32,
+    pc: usize,
+    reg: &mut [u64; NUM_REGS],
+    ctx_buf: &[u8],
+    data: &[u8],
+    scratch: &[u8],
+    stack: &[u8],
+    maps: &mut MapSet,
+    mapvals: &mut Vec<MapValSlot>,
+    env: &mut dyn ExecEnv,
+) -> Result<(), Trap> {
+    match id {
+        helper::TRACE => {
+            env.trace(reg[1]);
+            reg[0] = 0;
+        }
+        helper::RESUBMIT => {
+            reg[0] = env.resubmit(reg[1]) as u64;
+        }
+        helper::EMIT => {
+            let len = reg[2] as usize;
+            let bytes = read_bytes(reg[1], len, pc, ctx_buf, data, scratch, stack, mapvals)?;
+            reg[0] = env.emit(&bytes) as u64;
+        }
+        helper::MAP_LOOKUP => {
+            flush_mapvals(maps, mapvals)?;
+            let map_id = reg[1] as u32;
+            let key_size = maps.spec(map_id)?.key_size as usize;
+            let key = read_bytes(reg[2], key_size, pc, ctx_buf, data, scratch, stack, mapvals)?;
+            match maps.lookup(map_id, &key)? {
+                Some(value) => {
+                    let slot = mapvals.len();
+                    if slot >= 0x1000 {
+                        return Err(Trap::Map(MapError::Full));
+                    }
+                    mapvals.push(MapValSlot {
+                        map_id,
+                        key,
+                        data: value.to_vec(),
+                    });
+                    reg[0] = MAPVAL_BASE | ((slot as u64) << 32);
+                }
+                None => reg[0] = 0,
             }
-            _ => return Err(Trap::OutOfBounds { addr, len, pc }),
-        };
-        let off = (addr - region) as usize;
-        store_checked(slice, off, len, value).ok_or(Trap::OutOfBounds { addr, len, pc })
-    }
-
-    /// Reads `len` bytes for a helper's pointer argument from any
-    /// readable region.
-    #[allow(clippy::too_many_arguments)]
-    fn read_bytes(
-        &self,
-        addr: u64,
-        len: usize,
-        pc: usize,
-        ctx_buf: &[u8],
-        data: &[u8],
-        scratch: &[u8],
-        stack: &[u8],
-        mapvals: &[MapValSlot],
-    ) -> Result<Vec<u8>, Trap> {
-        let mut out = Vec::with_capacity(len);
-        // Byte-at-a-time is fine: helper keys/emits are small.
-        for i in 0..len {
-            let b = self.read_mem(
-                addr + i as u64,
-                1,
+        }
+        helper::MAP_UPDATE => {
+            flush_mapvals(maps, mapvals)?;
+            let map_id = reg[1] as u32;
+            let spec = maps.spec(map_id)?;
+            let key = read_bytes(
+                reg[2],
+                spec.key_size as usize,
                 pc,
                 ctx_buf,
                 data,
@@ -515,105 +588,35 @@ impl Vm {
                 stack,
                 mapvals,
             )?;
-            out.push(b[0]);
+            let value = read_bytes(
+                reg[3],
+                spec.value_size as usize,
+                pc,
+                ctx_buf,
+                data,
+                scratch,
+                stack,
+                mapvals,
+            )?;
+            maps.update(map_id, &key, &value)?;
+            reg[0] = 0;
         }
-        Ok(out)
+        _ => return Err(Trap::BadHelper { pc, id }),
     }
-
-    #[allow(clippy::too_many_arguments)]
-    fn call_helper(
-        &self,
-        id: i32,
-        pc: usize,
-        reg: &mut [u64; NUM_REGS],
-        ctx_buf: &[u8],
-        data: &[u8],
-        scratch: &[u8],
-        stack: &[u8],
-        maps: &mut MapSet,
-        mapvals: &mut Vec<MapValSlot>,
-        env: &mut dyn ExecEnv,
-    ) -> Result<(), Trap> {
-        match id {
-            helper::TRACE => {
-                env.trace(reg[1]);
-                reg[0] = 0;
-            }
-            helper::RESUBMIT => {
-                reg[0] = env.resubmit(reg[1]) as u64;
-            }
-            helper::EMIT => {
-                let len = reg[2] as usize;
-                let bytes =
-                    self.read_bytes(reg[1], len, pc, ctx_buf, data, scratch, stack, mapvals)?;
-                reg[0] = env.emit(&bytes) as u64;
-            }
-            helper::MAP_LOOKUP => {
-                flush_mapvals(maps, mapvals)?;
-                let map_id = reg[1] as u32;
-                let key_size = maps.spec(map_id)?.key_size as usize;
-                let key =
-                    self.read_bytes(reg[2], key_size, pc, ctx_buf, data, scratch, stack, mapvals)?;
-                match maps.lookup(map_id, &key)? {
-                    Some(value) => {
-                        let slot = mapvals.len();
-                        if slot >= 0x1000 {
-                            return Err(Trap::Map(MapError::Full));
-                        }
-                        mapvals.push(MapValSlot {
-                            map_id,
-                            key,
-                            data: value.to_vec(),
-                        });
-                        reg[0] = MAPVAL_BASE | ((slot as u64) << 32);
-                    }
-                    None => reg[0] = 0,
-                }
-            }
-            helper::MAP_UPDATE => {
-                flush_mapvals(maps, mapvals)?;
-                let map_id = reg[1] as u32;
-                let spec = maps.spec(map_id)?;
-                let key = self.read_bytes(
-                    reg[2],
-                    spec.key_size as usize,
-                    pc,
-                    ctx_buf,
-                    data,
-                    scratch,
-                    stack,
-                    mapvals,
-                )?;
-                let value = self.read_bytes(
-                    reg[3],
-                    spec.value_size as usize,
-                    pc,
-                    ctx_buf,
-                    data,
-                    scratch,
-                    stack,
-                    mapvals,
-                )?;
-                maps.update(map_id, &key, &value)?;
-                reg[0] = 0;
-            }
-            _ => return Err(Trap::BadHelper { pc, id }),
-        }
-        Ok(())
-    }
+    Ok(())
 }
 
 /// Writes live map-value shadow buffers back into their maps so that
 /// later helper calls (and the application, after the run) observe the
 /// program's stores.
-fn flush_mapvals(maps: &mut MapSet, mapvals: &mut [MapValSlot]) -> Result<(), Trap> {
+pub(crate) fn flush_mapvals(maps: &mut MapSet, mapvals: &mut [MapValSlot]) -> Result<(), Trap> {
     for sl in mapvals.iter() {
         maps.update(sl.map_id, &sl.key, &sl.data)?;
     }
     Ok(())
 }
 
-fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, Trap> {
+pub(crate) fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, Trap> {
     let to = pc as i64 + 1 + off as i64;
     if to < 0 || to as usize >= len {
         return Err(Trap::BadJump { pc, to });
@@ -621,7 +624,7 @@ fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, Trap> {
     Ok(to as usize)
 }
 
-fn jump_taken(code: u8, a: u64, b: u64, wide: bool) -> Option<bool> {
+pub(crate) fn jump_taken(code: u8, a: u64, b: u64, wide: bool) -> Option<bool> {
     let (sa, sb) = if wide {
         (a as i64, b as i64)
     } else {
@@ -643,8 +646,14 @@ fn jump_taken(code: u8, a: u64, b: u64, wide: bool) -> Option<bool> {
     })
 }
 
-fn alu64(op: u8, lhs: u64, rhs: u64, pc: usize) -> Result<u64, Trap> {
-    Ok(match op & 0xf0 {
+/// The total ALU64 function over the *known* opcodes. Every known op is
+/// defined on all inputs (division by zero yields 0, modulo by zero
+/// leaves `lhs`, shift amounts are masked), so callers that have
+/// validated `code` — the fused blocks of the compiled tier — can apply
+/// it without threading a `Result` through the hot loop. Unknown codes
+/// fall through to `lhs` (a no-op); [`alu64`] screens them out first.
+pub(crate) fn alu64_total(code: u8, lhs: u64, rhs: u64) -> u64 {
+    match code {
         ALU_ADD => lhs.wrapping_add(rhs),
         ALU_SUB => lhs.wrapping_sub(rhs),
         ALU_MUL => lhs.wrapping_mul(rhs),
@@ -658,12 +667,21 @@ fn alu64(op: u8, lhs: u64, rhs: u64, pc: usize) -> Result<u64, Trap> {
         ALU_ARSH => ((lhs as i64).wrapping_shr(rhs as u32 & 63)) as u64,
         ALU_MOV => rhs,
         ALU_NEG => (lhs as i64).wrapping_neg() as u64,
-        _ => return Err(Trap::IllegalInsn { pc, op }),
-    })
+        _ => lhs,
+    }
 }
 
-fn alu32(op: u8, lhs: u32, rhs: u32, pc: usize) -> Result<u32, Trap> {
-    Ok(match op & 0xf0 {
+pub(crate) fn alu64(op: u8, lhs: u64, rhs: u64, pc: usize) -> Result<u64, Trap> {
+    match op & 0xf0 {
+        ALU_ADD | ALU_SUB | ALU_MUL | ALU_DIV | ALU_MOD | ALU_OR | ALU_AND | ALU_XOR | ALU_LSH
+        | ALU_RSH | ALU_ARSH | ALU_MOV | ALU_NEG => Ok(alu64_total(op & 0xf0, lhs, rhs)),
+        _ => Err(Trap::IllegalInsn { pc, op }),
+    }
+}
+
+/// 32-bit analogue of [`alu64_total`]; see there for the contract.
+pub(crate) fn alu32_total(code: u8, lhs: u32, rhs: u32) -> u32 {
+    match code {
         ALU_ADD => lhs.wrapping_add(rhs),
         ALU_SUB => lhs.wrapping_sub(rhs),
         ALU_MUL => lhs.wrapping_mul(rhs),
@@ -677,21 +695,39 @@ fn alu32(op: u8, lhs: u32, rhs: u32, pc: usize) -> Result<u32, Trap> {
         ALU_ARSH => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
         ALU_MOV => rhs,
         ALU_NEG => (lhs as i32).wrapping_neg() as u32,
-        _ => return Err(Trap::IllegalInsn { pc, op }),
-    })
+        _ => lhs,
+    }
 }
 
-fn endian(op: u8, width: i32, v: u64, pc: usize) -> Result<u64, Trap> {
+pub(crate) fn alu32(op: u8, lhs: u32, rhs: u32, pc: usize) -> Result<u32, Trap> {
+    match op & 0xf0 {
+        ALU_ADD | ALU_SUB | ALU_MUL | ALU_DIV | ALU_MOD | ALU_OR | ALU_AND | ALU_XOR | ALU_LSH
+        | ALU_RSH | ALU_ARSH | ALU_MOV | ALU_NEG => Ok(alu32_total(op & 0xf0, lhs, rhs)),
+        _ => Err(Trap::IllegalInsn { pc, op }),
+    }
+}
+
+/// Byte-swap with a *validated* width (16/32/64); total like
+/// [`alu64_total`]. An invalid width acts as a no-op; [`endian`]
+/// screens widths before execution reaches here.
+pub(crate) fn endian_total(op: u8, width: i32, v: u64) -> u64 {
     let to_be = op & 0x08 == END_TO_BE;
-    Ok(match (width, to_be) {
+    match (width, to_be) {
         (16, true) => (v as u16).swap_bytes() as u64,
         (16, false) => (v as u16) as u64,
         (32, true) => (v as u32).swap_bytes() as u64,
         (32, false) => (v as u32) as u64,
         (64, true) => v.swap_bytes(),
         (64, false) => v,
-        _ => return Err(Trap::IllegalInsn { pc, op }),
-    })
+        _ => v,
+    }
+}
+
+pub(crate) fn endian(op: u8, width: i32, v: u64, pc: usize) -> Result<u64, Trap> {
+    match width {
+        16 | 32 | 64 => Ok(endian_total(op, width, v)),
+        _ => Err(Trap::IllegalInsn { pc, op }),
+    }
 }
 
 fn copy_checked(slice: &[u8], off: usize, len: usize) -> Option<[u8; 8]> {
@@ -713,7 +749,7 @@ fn store_checked(slice: &mut [u8], off: usize, len: usize, value: u64) -> Option
     Some(())
 }
 
-fn load_le(bytes: &[u8; 8], len: usize) -> u64 {
+pub(crate) fn load_le(bytes: &[u8; 8], len: usize) -> u64 {
     let mut v = 0u64;
     for i in (0..len).rev() {
         v = (v << 8) | bytes[i] as u64;
@@ -1161,5 +1197,170 @@ mod tests {
         });
         let (_, env) = run_prog(&p, &[]).expect("runs");
         assert_eq!(env.traces, vec![7]);
+    }
+
+    use crate::insn::Insn;
+
+    /// Runs `r0 <code>.32 r1` with 64-bit preloaded operands; the result
+    /// is `r0` after the op, so every vector also checks zero-extension.
+    fn alu32_reg_vec(code: u8, dst_val: u64, rhs_val: u64) -> u64 {
+        let mut a = Asm::new();
+        a.ld_imm64(0, dst_val).ld_imm64(1, rhs_val);
+        let mut insns = a.finish().expect("assembles");
+        insns.push(Insn {
+            op: CLS_ALU | SRC_X | code,
+            dst: 0,
+            src: 1,
+            off: 0,
+            imm: 0,
+        });
+        insns.push(Insn {
+            op: CLS_JMP | JMP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        });
+        let p = Program::new(insns);
+        run_prog(&p, &[]).expect("runs").0.ret
+    }
+
+    /// The immediate form: `r0 <code>.32 imm` (imm is NOT sign-extended
+    /// to 64 bits on the 32-bit class, unlike ALU64).
+    fn alu32_imm_vec(code: u8, dst_val: u64, imm: i32) -> u64 {
+        let mut a = Asm::new();
+        a.ld_imm64(0, dst_val);
+        let mut insns = a.finish().expect("assembles");
+        insns.push(Insn {
+            op: CLS_ALU | code,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm,
+        });
+        insns.push(Insn {
+            op: CLS_JMP | JMP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        });
+        let p = Program::new(insns);
+        run_prog(&p, &[]).expect("runs").0.ret
+    }
+
+    #[test]
+    fn alu32_add_sub_wrap_and_zero_extend() {
+        assert_eq!(alu32_reg_vec(ALU_ADD, u64::MAX, 1), 0);
+        assert_eq!(alu32_reg_vec(ALU_ADD, 0xAAAA_BBBB_0000_0001, 2), 3);
+        assert_eq!(alu32_reg_vec(ALU_SUB, 0x1_0000_0005, 7), 0xFFFF_FFFE);
+        // 32-bit imms are zero-extended, not sign-extended: -1 is +0xFFFF_FFFF.
+        assert_eq!(alu32_imm_vec(ALU_ADD, 5, -1), 4);
+    }
+
+    #[test]
+    fn alu32_mul_div_truncate_before_operating() {
+        assert_eq!(alu32_reg_vec(ALU_MUL, 0x8000_0001, 2), 2);
+        assert_eq!(alu32_reg_vec(ALU_DIV, 0xFFFF_FFFF_0000_0008, 2), 4);
+        assert_eq!(alu32_reg_vec(ALU_DIV, 42, 0), 0, "div32 by zero yields 0");
+    }
+
+    #[test]
+    fn alu32_mod_by_zero_leaves_truncated_dst() {
+        assert_eq!(alu32_reg_vec(ALU_MOD, 10, 3), 1);
+        // Linux semantics: mod-by-zero leaves dst, but dst is the 32-bit
+        // truncation — the upper half must NOT survive.
+        assert_eq!(alu32_reg_vec(ALU_MOD, 0xFFFF_FFFF_0000_0007, 0), 7);
+        assert_eq!(alu32_imm_vec(ALU_MOD, 0xDEAD_BEEF_0000_002A, 0), 0x2A);
+    }
+
+    #[test]
+    fn alu32_bitwise_clear_upper_half() {
+        assert_eq!(
+            alu32_reg_vec(ALU_OR, 0xFFFF_0000_0000_00F0, 0x0F),
+            0x0000_00FF
+        );
+        assert_eq!(
+            alu32_reg_vec(ALU_AND, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678),
+            0x1234_5678
+        );
+        assert_eq!(
+            alu32_reg_vec(ALU_XOR, 0xAAAA_AAAA_FFFF_FFFF, 0x0000_FFFF),
+            0xFFFF_0000
+        );
+    }
+
+    #[test]
+    fn alu32_shifts_mask_to_31_and_stay_32_bit() {
+        assert_eq!(alu32_reg_vec(ALU_LSH, 1, 33), 2, "shift of 33 == 1");
+        assert_eq!(alu32_reg_vec(ALU_RSH, 0x8000_0000, 31), 1);
+        // Logical right shift must not pull in bits 32..: only the low
+        // word participates.
+        assert_eq!(alu32_reg_vec(ALU_RSH, 0xFFFF_FFFF_8000_0000, 31), 1);
+        // Arithmetic right shift sign-extends within 32 bits, then
+        // zero-extends to 64.
+        assert_eq!(alu32_reg_vec(ALU_ARSH, 0x8000_0000, 4), 0xF800_0000);
+    }
+
+    #[test]
+    fn alu32_mov_and_neg_zero_extend() {
+        assert_eq!(
+            alu32_reg_vec(ALU_MOV, 0, 0xDEAD_BEEF_1234_5678),
+            0x1234_5678
+        );
+        assert_eq!(alu32_imm_vec(ALU_NEG, 1, 0), 0xFFFF_FFFF);
+        assert_eq!(alu32_imm_vec(ALU_NEG, 0xFFFF_FFFF_0000_0000, 0), 0);
+    }
+
+    fn end_vec(to_be: bool, width: i32, dst_val: u64) -> u64 {
+        let mut a = Asm::new();
+        a.ld_imm64(0, dst_val);
+        let mut insns = a.finish().expect("assembles");
+        insns.push(Insn {
+            op: CLS_ALU | ALU_END | if to_be { END_TO_BE } else { 0 },
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: width,
+        });
+        insns.push(Insn {
+            op: CLS_JMP | JMP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        });
+        let p = Program::new(insns);
+        run_prog(&p, &[]).expect("runs").0.ret
+    }
+
+    #[test]
+    fn alu32_endian_zero_extends_all_widths() {
+        let v = 0xAABB_CCDD_1122_3344u64;
+        // On the little-endian simulated machine, to_le truncates and
+        // zero-extends; to_be byte-swaps the truncated value.
+        assert_eq!(end_vec(false, 16, v), 0x3344);
+        assert_eq!(end_vec(false, 32, v), 0x1122_3344);
+        assert_eq!(end_vec(false, 64, v), v);
+        assert_eq!(end_vec(true, 16, v), 0x4433);
+        assert_eq!(end_vec(true, 32, v), 0x4433_2211);
+        assert_eq!(end_vec(true, 64, v), 0x4433_2211_DDCC_BBAA);
+    }
+
+    #[test]
+    fn alu32_endian_bad_width_traps() {
+        let mut a = Asm::new();
+        a.ld_imm64(0, 7);
+        let mut insns = a.finish().expect("assembles");
+        insns.push(Insn {
+            op: CLS_ALU | ALU_END,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 24,
+        });
+        let p = Program::new(insns);
+        let err = run_prog(&p, &[]).unwrap_err();
+        assert!(matches!(err, Trap::IllegalInsn { pc: 2, .. }), "{err:?}");
     }
 }

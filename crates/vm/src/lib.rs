@@ -13,6 +13,11 @@
 //! - [`interp`]: a safe interpreter with instruction accounting, used by
 //!   the simulated kernel to both *execute* traversal logic over real
 //!   block bytes and *charge* its cost to the simulated clock;
+//! - [`compile`]: a threaded-dispatch template JIT lowering verified
+//!   programs' basic blocks to native closures, observationally
+//!   identical to the interpreter (same traps, same retired counts) but
+//!   cheaper per hop in real host CPU; declined programs fall back to
+//!   the interpreter;
 //! - [`maps`]: array/hash maps for program↔application communication.
 //!
 //! # Examples
@@ -57,6 +62,7 @@
 //! ```
 
 pub mod asm;
+pub mod compile;
 pub mod insn;
 pub mod interp;
 pub mod maps;
@@ -64,7 +70,10 @@ pub mod program;
 pub mod verifier;
 
 pub use asm::{Asm, Width};
-pub use interp::{ExecEnv, RecordingEnv, RunCtx, RunOutcome, Trap, Vm};
+pub use compile::{compile, CompileError, CompiledProg, ExecEngine};
+pub use interp::{ExecEnv, RecordingEnv, RunCtx, RunOutcome, Trap, Vm, DEFAULT_INSN_BUDGET};
 pub use maps::{MapKind, MapSet, MapSpec};
 pub use program::{action, ctx_off, helper, Program, EMIT_MAX, SCRATCH_SIZE};
-pub use verifier::{verify, verify_bounded, ResourceBudget, VerifiedStats, VerifyError};
+pub use verifier::{
+    build_cfg, verify, verify_bounded, BasicBlock, Cfg, ResourceBudget, VerifiedStats, VerifyError,
+};

@@ -342,6 +342,189 @@ pub fn verify_bounded(
     Ok(stats)
 }
 
+/// One straight-line run of slots `[start, end)`: control enters only at
+/// `start` and leaves only after the last instruction (a jump, `exit`,
+/// or a fall into the next block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First slot of the block.
+    pub start: usize,
+    /// One past the last slot (an `ld_imm64` pair counts both slots).
+    pub end: usize,
+    /// Successor block indices: empty for `exit` (and for a block that
+    /// runs off the end of the program), one for unconditional edges,
+    /// taken-then-fallthrough for conditional jumps.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of a structurally valid program, as used by
+/// the compilation tier ([`crate::compile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Blocks in program order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Owning block index per slot (every slot belongs to exactly one
+    /// block, so the entries are always `Some`; the `Option` keeps
+    /// lookups total for hand-built indices).
+    pub block_at: Vec<Option<usize>>,
+}
+
+/// Builds the control-flow graph over `prog`'s instruction slots.
+///
+/// This runs only the *structural* checks (program size, register
+/// ranges, `ld_imm64` pairing, jump-target validity, known jump
+/// opcodes) — it does **not** prove memory safety or termination; use
+/// [`verify`] for that. The split exists because the compiler wants the
+/// block structure of programs the full verifier has already admitted,
+/// while tests want CFGs of deliberately unsafe programs.
+///
+/// # Errors
+///
+/// Returns the same [`VerifyError`] categories the full verifier's
+/// structural pass produces.
+pub fn build_cfg(prog: &Program) -> Result<Cfg, VerifyError> {
+    let n = prog.insns.len();
+    if n == 0 || n > MAX_SLOTS {
+        return Err(VerifyError {
+            pc: 0,
+            kind: VerifyErrorKind::BadProgramSize,
+        });
+    }
+    let mut second_slot = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        let insn = &prog.insns[i];
+        if insn.dst as usize >= NUM_REGS || insn.src as usize >= NUM_REGS {
+            return Err(VerifyError {
+                pc: i,
+                kind: VerifyErrorKind::BadRegister,
+            });
+        }
+        if insn.op == OP_LD_IMM64 {
+            if i + 1 >= n || prog.insns[i + 1].op != 0 {
+                return Err(VerifyError {
+                    pc: i,
+                    kind: VerifyErrorKind::IllegalInsn,
+                });
+            }
+            second_slot[i + 1] = true;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    let jump_dest = |pc: usize| -> Result<usize, VerifyError> {
+        let to = pc as i64 + 1 + prog.insns[pc].off as i64;
+        if to < 0 || to as usize >= n || second_slot[to as usize] {
+            return Err(VerifyError {
+                pc,
+                kind: VerifyErrorKind::BadJumpTarget,
+            });
+        }
+        Ok(to as usize)
+    };
+
+    // Leaders: the entry, every jump target, and every slot after a
+    // control-flow instruction.
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (pc, insn) in prog.insns.iter().enumerate() {
+        if second_slot[pc] {
+            continue;
+        }
+        let class = insn.class();
+        if class != CLS_JMP && class != CLS_JMP32 {
+            continue;
+        }
+        match insn.op & 0xf0 {
+            JMP_CALL => {}
+            JMP_EXIT => {
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            JMP_JA | JMP_JEQ | JMP_JNE | JMP_JGT | JMP_JGE | JMP_JLT | JMP_JLE | JMP_JSET
+            | JMP_JSGT | JMP_JSGE | JMP_JSLT | JMP_JSLE => {
+                leader[jump_dest(pc)?] = true;
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            _ => {
+                return Err(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::IllegalInsn,
+                })
+            }
+        }
+    }
+
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut start = 0;
+    let mut pc = 0;
+    while pc < n {
+        let insn = &prog.insns[pc];
+        let next = if insn.op == OP_LD_IMM64 {
+            pc + 2
+        } else {
+            pc + 1
+        };
+        let class = insn.class();
+        let is_term = (class == CLS_JMP || class == CLS_JMP32) && insn.op & 0xf0 != JMP_CALL;
+        if is_term || next >= n || leader[next] {
+            blocks.push(BasicBlock {
+                start,
+                end: next,
+                succs: Vec::new(),
+            });
+            start = next;
+        }
+        pc = next;
+    }
+
+    let mut block_at = vec![None; n];
+    for (idx, b) in blocks.iter().enumerate() {
+        for owner in &mut block_at[b.start..b.end] {
+            *owner = Some(idx);
+        }
+    }
+
+    let mut all_succs = Vec::with_capacity(blocks.len());
+    for b in &blocks {
+        let (b_start, b_end) = (b.start, b.end);
+        let last = if b_end - 1 > b_start && second_slot[b_end - 1] {
+            b_end - 2
+        } else {
+            b_end - 1
+        };
+        let insn = &prog.insns[last];
+        let class = insn.class();
+        let code = insn.op & 0xf0;
+        let mut succs = Vec::new();
+        if (class == CLS_JMP || class == CLS_JMP32) && code != JMP_CALL {
+            match code {
+                JMP_EXIT => {}
+                JMP_JA => succs.push(block_at[jump_dest(last)?].expect("covered")),
+                _ => {
+                    succs.push(block_at[jump_dest(last)?].expect("covered"));
+                    if b_end < n {
+                        succs.push(block_at[b_end].expect("covered"));
+                    }
+                }
+            }
+        } else if b_end < n {
+            succs.push(block_at[b_end].expect("covered"));
+        }
+        all_succs.push(succs);
+    }
+    for (b, succs) in blocks.iter_mut().zip(all_succs) {
+        b.succs = succs;
+    }
+
+    Ok(Cfg { blocks, block_at })
+}
+
 struct Frame {
     key: (usize, u64),
     succs: Vec<(usize, State)>,
@@ -1932,5 +2115,64 @@ mod tests {
         .expect("accepted");
         assert!(stats.states >= 2);
         assert!(stats.max_path >= 2);
+    }
+
+    #[test]
+    fn cfg_blocks_and_successors() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 0) // slot 0: block 0
+            .jeq_imm(0, 0, "t") // slot 1: block 0 terminator
+            .mov64_imm(0, 1) // slot 2: block 1 (falls into block 2)
+            .label("t")
+            .exit(); // slot 3: block 2
+        let p = Program::new(a.finish().expect("assembles"));
+        let cfg = build_cfg(&p).expect("cfg");
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!((cfg.blocks[0].start, cfg.blocks[0].end), (0, 2));
+        assert_eq!(cfg.blocks[0].succs, vec![2, 1], "taken then fallthrough");
+        assert_eq!(cfg.blocks[1].succs, vec![2]);
+        assert_eq!(cfg.blocks[2].succs, Vec::<usize>::new());
+        assert_eq!(cfg.block_at, vec![Some(0), Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn cfg_keeps_ld_imm64_pairs_whole() {
+        let mut a = Asm::new();
+        a.ld_imm64(0, u64::MAX).exit();
+        let p = Program::new(a.finish().expect("assembles"));
+        let cfg = build_cfg(&p).expect("cfg");
+        assert_eq!(cfg.blocks.len(), 1, "straight-line code is one block");
+        assert_eq!((cfg.blocks[0].start, cfg.blocks[0].end), (0, 3));
+        assert_eq!(cfg.block_at, vec![Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn cfg_rejects_jump_into_ld_imm64_pair() {
+        use crate::insn::Insn;
+        let insns = vec![
+            Insn {
+                op: CLS_JMP | JMP_JA,
+                dst: 0,
+                src: 0,
+                off: 1, // into slot 2, the pair's second half
+                imm: 0,
+            },
+            Insn {
+                op: OP_LD_IMM64,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: 0,
+            },
+            Insn {
+                op: 0,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: 0,
+            },
+        ];
+        let err = build_cfg(&Program::new(insns)).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadJumpTarget);
     }
 }

@@ -12,7 +12,9 @@ use bpfstor::lsm::sstable::{build_image, data_block_entries, Footer};
 use bpfstor::lsm::BLOCK;
 use bpfstor::sim::Histogram;
 use bpfstor::vm::insn::{decode, encode, Insn};
-use bpfstor::vm::{action, verify, Asm, MapSet, Program, RecordingEnv, RunCtx, Trap, Vm, Width};
+use bpfstor::vm::{
+    action, compile, verify, Asm, MapSet, Program, RecordingEnv, RunCtx, Trap, Vm, Width,
+};
 
 // --- VM: encode/decode ---------------------------------------------------------
 
@@ -236,6 +238,112 @@ proptest! {
                 ),
                 "verified program trapped: {result:?}"
             );
+        }
+    }
+}
+
+// --- Engine differential: compiled execution is observationally identical --------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Every verified program must compile, and the compiled engine
+    /// must be observationally identical to the interpreter: same
+    /// return value, same retired-instruction count (so simulated cost
+    /// charging is engine-independent), same helper effects, same
+    /// scratch bytes, same traps.
+    #[test]
+    fn compiled_engine_matches_interpreter_on_verified_programs(
+        prog in arb_program(),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        file_off in any::<u64>(),
+        hop in any::<u32>(),
+    ) {
+        if verify(&prog).is_ok() {
+            let compiled = compile(&prog).expect("verified programs always compile");
+            let mut maps_i = MapSet::instantiate(&prog.maps).expect("maps");
+            let mut maps_c = MapSet::instantiate(&prog.maps).expect("maps");
+            let mut env_i = RecordingEnv::default();
+            let mut env_c = RecordingEnv::default();
+            let mut scratch_i = [0u8; 256];
+            let mut scratch_c = [0u8; 256];
+            let ri = Vm::new().run(
+                &prog,
+                RunCtx { data: &data, file_off, hop, flags: 0, scratch: &mut scratch_i },
+                &mut maps_i,
+                &mut env_i,
+            );
+            let rc = compiled.run(
+                RunCtx { data: &data, file_off, hop, flags: 0, scratch: &mut scratch_c },
+                &mut maps_c,
+                &mut env_c,
+            );
+            match (&ri, &rc) {
+                (Ok(oi), Ok(oc)) => {
+                    prop_assert_eq!(oi.ret, oc.ret, "return value");
+                    prop_assert_eq!(oi.insns, oc.insns, "retired-instruction count");
+                    prop_assert_eq!(oi.helper_calls, oc.helper_calls, "helper calls");
+                }
+                (Err(ti), Err(tc)) => prop_assert_eq!(ti, tc, "identical traps"),
+                other => prop_assert!(false, "engines diverged: {other:?}"),
+            }
+            prop_assert_eq!(&scratch_i[..], &scratch_c[..], "scratch effects");
+            prop_assert_eq!(&env_i.resubmits, &env_c.resubmits);
+            prop_assert_eq!(&env_i.emitted, &env_c.emitted);
+            prop_assert_eq!(&env_i.traces, &env_c.traces);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Wild instruction streams (unverified, usually trap-inducing):
+    /// when the compiler accepts one, both engines must produce the
+    /// same result — including the same runtime trap at the same
+    /// budget. When the compiler declines, the machine falls back to
+    /// the interpreter, which must still run without panicking.
+    #[test]
+    fn unverified_programs_trap_identically_or_fall_back(
+        ops in proptest::collection::vec(
+            (0u8..=255, 0u8..11, 0u8..11, any::<i16>(), any::<i32>()),
+            1..24
+        ),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        const BUDGET: u64 = 10_000;
+        let insns: Vec<Insn> = ops
+            .into_iter()
+            .map(|(op, dst, src, off, imm)| Insn::new(op, dst, src, off, imm))
+            .collect();
+        let prog = Program::new(insns);
+        let mut maps_i = MapSet::instantiate(&prog.maps).expect("maps");
+        let mut env_i = RecordingEnv::default();
+        let mut scratch_i = [0u8; 256];
+        let ri = Vm::with_budget(BUDGET).run(
+            &prog,
+            RunCtx { data: &data, file_off: 0, hop: 0, flags: 0, scratch: &mut scratch_i },
+            &mut maps_i,
+            &mut env_i,
+        );
+        match compile(&prog) {
+            Ok(cp) => {
+                let mut maps_c = MapSet::instantiate(&prog.maps).expect("maps");
+                let mut env_c = RecordingEnv::default();
+                let mut scratch_c = [0u8; 256];
+                let rc = cp.run_budgeted(
+                    BUDGET,
+                    RunCtx { data: &data, file_off: 0, hop: 0, flags: 0, scratch: &mut scratch_c },
+                    &mut maps_c,
+                    &mut env_c,
+                );
+                prop_assert_eq!(&ri, &rc, "engines agree on unverified programs");
+                prop_assert_eq!(&scratch_i[..], &scratch_c[..]);
+                prop_assert_eq!(&env_i.emitted, &env_c.emitted);
+            }
+            Err(_) => {
+                // Declined: interpreter fallback. The interpreter's
+                // result above already ran without panicking; nothing
+                // further to compare.
+            }
         }
     }
 }
