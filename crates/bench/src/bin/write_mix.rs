@@ -1,11 +1,19 @@
 //! Write-mix smoke sweep: write IOPS vs NVMe submission-queue depth
 //! under the paper's 40r/40u/20i YCSB mix, with journaled writes and
-//! fsync flush barriers riding the same rings as the pushdown reads.
+//! fsync flush barriers riding the same rings as the pushdown reads —
+//! plus the group-commit study sweeping fsyncing writers under the
+//! three journal commit policies.
 
 use bpfstor_bench::cli;
-use bpfstor_bench::experiments::write_mix_with;
+use bpfstor_bench::experiments::{group_commit_study_with, write_mix_with};
 
 fn main() {
     let args = cli::parse_args();
-    cli::emit(&[(write_mix_with(args.scale(), args.seed), "write_mix")]);
+    cli::emit(&[
+        (write_mix_with(args.scale(), args.seed), "write_mix"),
+        (
+            group_commit_study_with(args.scale(), args.seed),
+            "group_commit",
+        ),
+    ]);
 }

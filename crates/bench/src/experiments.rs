@@ -6,8 +6,8 @@
 //! run full scale, the `figures` bench runs quick.
 
 use bpfstor_core::{
-    Btree, Chase, DispatchMode, FabricConfig, PushdownSession, ReapMode, TenantGroup, TenantId,
-    TenantLimits, YcsbMix,
+    Btree, Chase, CommitPolicy, DispatchMode, FabricConfig, PushdownSession, ReapMode, TenantGroup,
+    TenantId, TenantLimits, YcsbMix,
 };
 use bpfstor_device::{DeviceClass, DeviceProfile, SECTOR_SIZE};
 use bpfstor_fs::{ExtFs, ExtentEvent};
@@ -573,6 +573,129 @@ pub fn write_mix_with(scale: Scale, seed: Option<u64>) -> Table {
     }
     t.note("write commands contend with reads for SQ slots; depth gates both");
     t.note("every fsync is an ordered flush barrier committing the journal");
+    t
+}
+
+// --- Group-commit study ----------------------------------------------------------
+
+/// Group-commit study: write throughput versus concurrent fsyncing
+/// writers under the three [`CommitPolicy`] variants. Per-fsync commit
+/// pays one flush barrier per writer per write, so IOPS flatline as
+/// writers are added; group commit seals one shared transaction whose
+/// single barrier commits every joined handle, and writeback adds a
+/// background flush timer on top. The function asserts the amortization
+/// headline: at 8+ writers the grouped policies deliver at least 1.5×
+/// the per-fsync write IOPS with fewer than one barrier per fsync.
+pub fn group_commit_study(scale: Scale) -> Table {
+    group_commit_study_with(scale, None)
+}
+
+/// [`group_commit_study`] with an explicit seed override.
+pub fn group_commit_study_with(scale: Scale, seed: Option<u64>) -> Table {
+    let seed = seed.unwrap_or(0x6C01);
+    let duration = if scale.quick {
+        4 * MILLISECOND
+    } else {
+        16 * MILLISECOND
+    };
+    let writer_counts: &[usize] = if scale.quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    let entries: Vec<(u64, Vec<u8>)> = (0..64u64)
+        .map(|i| {
+            let mut v = vec![0u8; 48];
+            v[..8].copy_from_slice(&(i * 31).to_le_bytes());
+            (i * 3, v)
+        })
+        .collect();
+    // 100% updates, fsync on every write: the pure flush-barrier storm.
+    let storm = OpMix {
+        read: 0,
+        update: 100,
+        insert: 0,
+        scan: 0,
+    };
+    let mut t = Table::new(
+        "Group commit — write IOPS vs fsyncing writers (100% updates, fsync every write)",
+        &[
+            "policy",
+            "writers",
+            "write IOPS",
+            "fsync p50 us",
+            "flushes/fsync",
+            "handles/commit",
+            "barriers",
+        ],
+    );
+    let mut run = |label: &str, policy: CommitPolicy, writers: usize| -> (f64, f64) {
+        let mut session = PushdownSession::builder(
+            YcsbMix::new(entries.clone(), storm, seed)
+                .write_size(512)
+                .fsync_every(1),
+        )
+        .dispatch(DispatchMode::DriverHook)
+        .commit_policy(policy)
+        .seed(seed)
+        .build()
+        .expect("session");
+        let (report, stats) = session.run_closed_loop(writers, duration);
+        assert_eq!(stats.errors, 0, "write chains must complete cleanly");
+        let secs = report.sim_time as f64 / 1e9;
+        let write_iops = stats.writes as f64 / secs;
+        let commit = report.commit;
+        t.row(vec![
+            label.to_string(),
+            writers.to_string(),
+            iops(write_iops),
+            us(report.fsync_latency.quantile(0.5) as f64),
+            format!("{:.2}", commit.flushes_per_fsync()),
+            format!("{:.1}", commit.mean_handles()),
+            commit.commits.to_string(),
+        ]);
+        (write_iops, commit.flushes_per_fsync())
+    };
+    for &w in writer_counts {
+        let (base_iops, base_fpf) = run("per-fsync", CommitPolicy::PerFsync, w);
+        // One barrier per fsync, minus at most the handful still in
+        // flight when the run's clock expires.
+        assert!(
+            base_fpf > 0.9 && base_fpf <= 1.0 + 1e-9,
+            "per-fsync must pay ~one barrier per fsync at {w} writers (got {base_fpf:.3})"
+        );
+        let (group_iops, group_fpf) = run(
+            "group",
+            CommitPolicy::Group {
+                max_wait_us: 30,
+                max_handles: w as u32,
+            },
+            w,
+        );
+        let (wb_iops, _) = run(
+            "writeback",
+            CommitPolicy::Writeback {
+                flush_interval_us: 200,
+            },
+            w,
+        );
+        if w >= 8 {
+            assert!(
+                group_fpf < 1.0,
+                "group commit must share barriers at {w} writers (flushes/fsync {group_fpf:.3})"
+            );
+            assert!(
+                group_iops >= 1.5 * base_iops,
+                "group commit must amortize the barrier at {w} writers: {group_iops:.0} vs {base_iops:.0}"
+            );
+            assert!(
+                wb_iops >= 1.2 * base_iops,
+                "writeback must also share barriers at {w} writers: {wb_iops:.0} vs {base_iops:.0}"
+            );
+        }
+    }
+    t.note("group seals at max(writers) joined handles or 30us, whichever first");
+    t.note("writeback seals fsyncs immediately and flushes idle journal dirt every 200us");
     t
 }
 

@@ -37,9 +37,9 @@
 //! ```
 
 use bpfstor_kernel::{
-    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, DispatchMode,
-    ExecEngine, Fd, Machine, MachineConfig, ReapMode, RunReport, TenantId, TenantLimits, UserNext,
-    WriteStart, DEFAULT_TENANT,
+    ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, CommitPolicy,
+    DispatchMode, ExecEngine, Fd, Machine, MachineConfig, ReapMode, RunReport, TenantId,
+    TenantLimits, UserNext, WriteStart, DEFAULT_TENANT,
 };
 use bpfstor_sim::{Nanos, SimRng};
 
@@ -96,6 +96,15 @@ impl TenantGroupBuilder {
     /// Sets the completion-delivery policy of the shared machine.
     pub fn reap_mode(mut self, mode: ReapMode) -> Self {
         self.config.reap_mode = mode;
+        self
+    }
+
+    /// Sets the shared machine's journal commit policy (default:
+    /// [`CommitPolicy::PerFsync`]). Under a grouped policy fsyncs from
+    /// *different tenants* share one flush barrier, with its device
+    /// time split across the joined tenants in the report.
+    pub fn commit_policy(mut self, policy: CommitPolicy) -> Self {
+        self.config.commit_policy = policy;
         self
     }
 

@@ -25,9 +25,9 @@
 //! [`run_uring`]: PushdownSession::run_uring
 
 use bpfstor_kernel::{
-    ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, DispatchMode,
-    ExecEngine, FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation, ProgHandle,
-    ReapMode, RunReport, TransportConfig, UserNext, WriteStart,
+    ChainDriver, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict, CommitPolicy,
+    DispatchMode, ExecEngine, FabricConfig, Fd, KernelError, Machine, MachineConfig, Mutation,
+    ProgHandle, ReapMode, RunReport, TransportConfig, UserNext, WriteStart,
 };
 use bpfstor_sim::{Nanos, SimRng, SECOND};
 use bpfstor_vm::Program;
@@ -318,6 +318,16 @@ impl<W: PushdownWorkload> SessionBuilder<W> {
     /// hybrid scheduler that switches each queue pair between the two.
     pub fn reap_mode(mut self, mode: ReapMode) -> Self {
         self.config.reap_mode = mode;
+        self
+    }
+
+    /// Sets the journal commit policy (default:
+    /// [`CommitPolicy::PerFsync`], one flush barrier per fsync):
+    /// jbd2-style group commit shares one barrier across concurrent
+    /// fsyncs, and writeback adds a background flush timer for
+    /// un-fsynced data. See [`bpfstor_kernel::commit`].
+    pub fn commit_policy(mut self, policy: CommitPolicy) -> Self {
+        self.config.commit_policy = policy;
         self
     }
 

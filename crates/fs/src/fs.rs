@@ -21,7 +21,7 @@ use bpfstor_device::{SectorStore, SECTOR_SIZE};
 use crate::alloc::BlockAllocator;
 use crate::extent::Extent;
 use crate::inode::Inode;
-use crate::journal::{Journal, JournalRecord};
+use crate::journal::{Journal, JournalRecord, SealedTxn};
 
 /// File-system block size; equal to the device sector size so one block
 /// maps to one NVMe logical block (as in the paper's 512 B experiments).
@@ -94,6 +94,7 @@ pub struct FsStats {
 }
 
 /// The extent file system (metadata plane).
+#[derive(Debug, Clone)]
 pub struct ExtFs {
     alloc: BlockAllocator,
     inodes: HashMap<u64, Inode>,
@@ -308,7 +309,7 @@ impl ExtFs {
         if len == 0 {
             return Ok(Vec::new());
         }
-        self.journal.begin();
+        self.journal.join_running();
         let bs = BLOCK_SIZE as u64;
         let first_lb = off / bs;
         let last_lb = (off + len as u64 - 1) / bs;
@@ -334,9 +335,38 @@ impl ExtFs {
 
     /// Commits the open journal transaction (the kernel calls this when
     /// the fsync flush barrier completes on the device). A no-op when
-    /// nothing is pending.
-    pub fn commit_journal(&mut self) {
-        self.journal.commit();
+    /// nothing is pending. Returns the writer handles the transaction
+    /// carried.
+    pub fn commit_journal(&mut self) -> usize {
+        self.journal.commit()
+    }
+
+    /// Seals the running journal transaction for a group commit: the
+    /// record range freezes, the caller issues one flush barrier, and
+    /// [`ExtFs::commit_journal_sealed`] runs on its CQE. Writers
+    /// arriving in between keep logging into a fresh running
+    /// transaction.
+    pub fn seal_journal(&mut self) -> SealedTxn {
+        self.journal.seal()
+    }
+
+    /// Makes the sealed transaction durable (the shared barrier's CQE
+    /// arrived).
+    pub fn commit_journal_sealed(&mut self) {
+        self.journal.commit_sealed();
+    }
+
+    /// Total journal records (committed + pending) — the seal horizon a
+    /// submitting writer's records fall under.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// True while the journal holds records that are not yet
+    /// crash-durable (open running transaction or a seal awaiting its
+    /// barrier) — what a background writeback flush would persist.
+    pub fn journal_dirty(&self) -> bool {
+        self.journal.in_transaction() || self.journal.committing_end().is_some()
     }
 
     /// Reads `len` bytes at offset `off` (zero-filled over holes; short

@@ -50,8 +50,30 @@ pub enum JournalRecord {
     },
 }
 
+/// A sealed transaction: the running transaction frozen at a commit
+/// request, waiting for its flush barrier's CQE. Between
+/// [`Journal::seal`] and [`Journal::commit_sealed`] the records up to
+/// `end` are *committing* — on the log but not yet crash-durable; a
+/// crash in that window discards every joined handle atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedTxn {
+    /// Record count at the seal point (the commit block's position).
+    pub end: usize,
+    /// Records this transaction carries (past the previous commit).
+    pub records: usize,
+    /// Handles that joined the running transaction before the seal.
+    pub handles: usize,
+}
+
 /// An append-only journal with transaction boundaries.
-#[derive(Debug, Default)]
+///
+/// The jbd2-style split: at most one *running* transaction accepts new
+/// handles ([`Journal::begin`] / [`Journal::join_running`]) while at
+/// most one *committing* transaction ([`Journal::seal`]) waits for its
+/// flush barrier. Handles arriving during a commit keep logging into
+/// the running transaction; [`Journal::commit_sealed`] makes only the
+/// sealed prefix durable.
+#[derive(Debug, Clone, Default)]
 pub struct Journal {
     records: Vec<JournalRecord>,
     /// Records up to this index are committed (crash-durable).
@@ -61,6 +83,11 @@ pub struct Journal {
     commit_points: Vec<usize>,
     /// Open-transaction flag.
     in_txn: bool,
+    /// Handles that joined the running transaction via
+    /// [`Journal::join_running`].
+    running_handles: usize,
+    /// Seal point of the committing transaction, if a seal is in flight.
+    committing: Option<usize>,
     txns: u64,
 }
 
@@ -84,6 +111,66 @@ impl Journal {
         self.in_txn
     }
 
+    /// Joins the running transaction as one committing handle: opens it
+    /// if needed and counts the handle toward the next seal's
+    /// [`SealedTxn::handles`].
+    pub fn join_running(&mut self) {
+        self.in_txn = true;
+        self.running_handles += 1;
+    }
+
+    /// Handles currently joined to the running transaction.
+    pub fn running_handles(&self) -> usize {
+        self.running_handles
+    }
+
+    /// Seal point of the committing transaction, if one is in flight.
+    pub fn committing_end(&self) -> Option<usize> {
+        self.committing
+    }
+
+    /// Seals the running transaction for commit: freezes its record
+    /// range and hands back the [`SealedTxn`] the flush barrier will
+    /// make durable via [`Journal::commit_sealed`]. New handles start a
+    /// fresh running transaction. An empty seal (no records past the
+    /// last commit) is returned but never becomes a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sealed transaction is already waiting for its
+    /// barrier — the caller serializes commits (one barrier in flight).
+    pub fn seal(&mut self) -> SealedTxn {
+        assert!(
+            self.committing.is_none(),
+            "journal: seal while a committing transaction is in flight"
+        );
+        let end = self.records.len();
+        let sealed = SealedTxn {
+            end,
+            records: end - self.committed,
+            handles: self.running_handles,
+        };
+        self.running_handles = 0;
+        self.in_txn = false;
+        if end > self.committed {
+            self.committing = Some(end);
+        }
+        sealed
+    }
+
+    /// Makes the sealed transaction durable (the flush barrier's CQE
+    /// arrived): records up to the seal point commit; anything logged
+    /// after it stays in the running transaction. No-op if the seal was
+    /// empty.
+    pub fn commit_sealed(&mut self) {
+        if let Some(end) = self.committing.take() {
+            debug_assert!(end > self.committed);
+            self.committed = end;
+            self.commit_points.push(end);
+            self.txns += 1;
+        }
+    }
+
     /// Appends a record to the open transaction (or as an implicit
     /// single-record transaction when none is open).
     pub fn log(&mut self, rec: JournalRecord) {
@@ -96,38 +183,49 @@ impl Journal {
         }
     }
 
-    /// Commits the open transaction.
-    pub fn commit(&mut self) {
+    /// Commits the open transaction in one step (seal + barrier CQE
+    /// collapsed — the per-fsync path). Returns the handles the
+    /// transaction carried.
+    pub fn commit(&mut self) -> usize {
+        let handles = self.running_handles;
+        self.running_handles = 0;
         self.in_txn = false;
         if self.records.len() > self.committed {
             self.committed = self.records.len();
             self.commit_points.push(self.committed);
             self.txns += 1;
         }
+        handles
     }
 
-    /// Simulates a crash: uncommitted records vanish.
+    /// Simulates a crash: uncommitted records vanish — including a
+    /// sealed transaction still waiting for its barrier (every joined
+    /// handle is lost atomically).
     pub fn crash(&mut self) {
         self.records.truncate(self.committed);
         self.in_txn = false;
+        self.running_handles = 0;
+        self.committing = None;
     }
 
     /// Simulates a crash after exactly `persisted` records reached the
     /// log: everything past the last commit block at or before that
     /// point vanishes — a torn transaction is discarded whole, never
-    /// half-applied.
+    /// half-applied. The last durable commit block is found by binary
+    /// search (`commit_points` is ascending by construction).
     pub fn crash_at(&mut self, persisted: usize) {
-        let durable = self
-            .commit_points
-            .iter()
-            .rev()
-            .find(|&&p| p <= persisted)
-            .copied()
-            .unwrap_or(0);
+        let idx = self.commit_points.partition_point(|&p| p <= persisted);
+        let durable = if idx == 0 {
+            0
+        } else {
+            self.commit_points[idx - 1]
+        };
         self.records.truncate(durable);
         self.committed = durable;
-        self.commit_points.retain(|&p| p <= durable);
+        self.commit_points.truncate(idx);
         self.in_txn = false;
+        self.running_handles = 0;
+        self.committing = None;
     }
 
     /// Record counts at each committed transaction boundary, ascending.
@@ -231,6 +329,112 @@ mod tests {
         j.commit();
         assert_eq!(j.transactions(), 0);
         assert!(j.commit_points().is_empty());
+    }
+
+    #[test]
+    fn crash_at_binary_search_matches_on_dense_commit_points() {
+        // Many single-record transactions: every persisted count from 0
+        // to len lands the binary search on exactly that boundary, and
+        // points strictly between commits (simulated by a torn trailing
+        // txn) roll back to the last durable one.
+        let mut j = Journal::new();
+        for i in 0..512 {
+            j.log(rec(i));
+        }
+        assert_eq!(j.commit_points().len(), 512);
+        for persisted in (0..=512).rev() {
+            let mut crashed = Journal::new();
+            for i in 0..512 {
+                crashed.log(rec(i));
+            }
+            crashed.begin();
+            crashed.log(rec(999)); // torn: on the log, never committed
+            crashed.crash_at(persisted);
+            assert_eq!(crashed.committed_records().len(), persisted);
+            assert_eq!(crashed.commit_points().len(), persisted);
+            assert_eq!(crashed.len(), persisted, "torn tail dropped whole");
+        }
+        // Multi-record transactions: a crash inside a txn rolls back to
+        // the previous boundary (partition_point lands between points).
+        let mut j = Journal::new();
+        for t in 0..64 {
+            j.begin();
+            j.log(rec(t));
+            j.log(rec(t));
+            j.log(rec(t));
+            j.commit();
+        }
+        j.crash_at(100); // inside txn 33 (records 99..102)
+        assert_eq!(j.committed_records().len(), 99);
+        assert_eq!(j.commit_points().len(), 33);
+    }
+
+    #[test]
+    fn sealed_txn_commits_every_joined_handle_at_once() {
+        let mut j = Journal::new();
+        j.join_running();
+        j.log(rec(1));
+        j.join_running();
+        j.log(rec(2));
+        assert_eq!(j.running_handles(), 2);
+        let sealed = j.seal();
+        assert_eq!(
+            sealed,
+            SealedTxn {
+                end: 2,
+                records: 2,
+                handles: 2
+            }
+        );
+        assert_eq!(j.committing_end(), Some(2));
+        assert_eq!(j.committed_records().len(), 0, "sealed, not durable yet");
+        // A handle arriving mid-commit joins the NEXT running txn.
+        j.join_running();
+        j.log(rec(3));
+        j.commit_sealed();
+        assert_eq!(j.committed_records().len(), 2, "seal point, not tail");
+        assert_eq!(j.commit_points(), &[2]);
+        assert_eq!(j.running_handles(), 1);
+        assert!(j.in_transaction(), "late handle keeps a running txn open");
+    }
+
+    #[test]
+    fn crash_before_barrier_loses_all_joined_handles_atomically() {
+        let mut j = Journal::new();
+        j.log(rec(0)); // txn 1, durable
+        j.join_running();
+        j.log(rec(1));
+        j.join_running();
+        j.log(rec(2));
+        let sealed = j.seal();
+        assert_eq!(sealed.handles, 2);
+        // Crash in the seal→CQE window: both handles vanish together.
+        j.crash();
+        assert_eq!(j.committed_records().len(), 1);
+        assert_eq!(j.committing_end(), None);
+        assert_eq!(j.running_handles(), 0);
+    }
+
+    #[test]
+    fn empty_seal_never_becomes_a_transaction() {
+        let mut j = Journal::new();
+        j.join_running();
+        let sealed = j.seal();
+        assert_eq!(sealed.records, 0);
+        assert_eq!(j.committing_end(), None);
+        j.commit_sealed();
+        assert_eq!(j.transactions(), 0);
+    }
+
+    #[test]
+    fn commit_reports_joined_handles() {
+        let mut j = Journal::new();
+        j.join_running();
+        j.log(rec(1));
+        j.join_running();
+        j.log(rec(2));
+        assert_eq!(j.commit(), 2);
+        assert_eq!(j.commit(), 0, "handles reset after commit");
     }
 
     #[test]

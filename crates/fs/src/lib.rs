@@ -30,5 +30,5 @@ pub use alloc::BlockAllocator;
 pub use extent::{Extent, ExtentTree};
 pub use fs::{ExtFs, ExtentEvent, FsError, FsStats, BLOCK_SIZE};
 pub use inode::Inode;
-pub use journal::{Journal, JournalRecord};
+pub use journal::{Journal, JournalRecord, SealedTxn};
 pub use pagecache::{CacheStats, PageCache};

@@ -334,6 +334,12 @@ pub struct RunReport {
     /// Latency distribution of write chains only (data write through
     /// the rings, plus the flush barrier when fsynced).
     pub write_latency: Histogram,
+    /// Latency distribution of the fsync tail alone: from the instant a
+    /// chain's fsync requested its barrier (data CQEs already back) to
+    /// the flush barrier's CQE. Split out of
+    /// [`RunReport::write_latency`] because group commit deliberately
+    /// trades this figure for throughput — the report shows both sides.
+    pub fsync_latency: Histogram,
     /// CPU utilization over the run.
     pub cpu_util: f64,
     /// Device channel utilization over the run.
@@ -371,6 +377,13 @@ pub struct RunReport {
     /// The *simulated* BPF charge stays in `trace.bpf` and is
     /// bit-for-bit identical across engines.
     pub exec: ExecSplit,
+    /// Journal commit activity: transactions committed, handles and
+    /// records per commit, barrier latency, and the
+    /// flushes-per-fsync amortization headline (see
+    /// [`crate::CommitLog`]). Under the default
+    /// [`crate::CommitPolicy::PerFsync`] this is pure observation — one
+    /// commit per fsync.
+    pub commit: crate::commit::CommitLog,
 }
 
 impl RunReport {

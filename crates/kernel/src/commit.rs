@@ -1,0 +1,205 @@
+//! Journal commit policies: per-fsync barriers, jbd2-style group
+//! commit, and background writeback.
+//!
+//! The write path's dominant residual overhead is the fsync flush
+//! barrier: under [`CommitPolicy::PerFsync`] every fsyncing chain pays
+//! its own `journal_commit` CPU burst plus a device flush round trip,
+//! so write IOPS flatline as writer count grows. The alternatives
+//! amortize that barrier:
+//!
+//! - [`CommitPolicy::Group`] defers sealing the running transaction up
+//!   to a timer/size bound so more concurrent fsyncs join it, then
+//!   issues **one** flush whose CQE commits every joined handle at
+//!   once;
+//! - [`CommitPolicy::Writeback`] additionally flushes un-fsynced
+//!   writes from a background timer, so a crash loses at most one
+//!   flush interval of acknowledged-but-unsynced data (fsync still
+//!   forces a seal and keeps its durability contract).
+//!
+//! Every commit is summarized in a [`CommitStats`] and aggregated into
+//! the run's [`CommitLog`] ([`RunReport::commit`]); the headline
+//! amortization figure is [`CommitLog::flushes_per_fsync`].
+//!
+//! [`RunReport::commit`]: crate::chain::RunReport::commit
+
+use bpfstor_sim::Nanos;
+
+/// When the journal's running transaction seals and pays its flush
+/// barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPolicy {
+    /// Every fsync seals and flushes immediately — one barrier per
+    /// fsyncing chain, today's behaviour, bit-for-bit. The default.
+    #[default]
+    PerFsync,
+    /// Group commit: the first fsync arms a seal timer and waits; the
+    /// transaction seals when `max_wait_us` expires or `max_handles`
+    /// fsyncs have joined, whichever comes first. One barrier commits
+    /// every joined handle; fsyncs arriving while that barrier is in
+    /// flight park on it (their records permitting) instead of issuing
+    /// their own.
+    Group {
+        /// Longest an fsync waits for company before the seal, in
+        /// microseconds. `0` seals on the next event-loop step.
+        max_wait_us: u64,
+        /// Seal early once this many fsyncs have joined the window.
+        /// `1` degenerates to per-fsync timing (still one barrier per
+        /// seal, but nothing waits).
+        max_handles: u32,
+    },
+    /// Group commit plus background writeback: un-fsynced journal
+    /// records are sealed and flushed by a timer every
+    /// `flush_interval_us`, bounding un-synced data loss without any
+    /// application fsync. Explicit fsyncs still force a seal (with no
+    /// added wait) and block until their barrier's CQE.
+    Writeback {
+        /// Background flush period, in microseconds.
+        flush_interval_us: u64,
+    },
+}
+
+impl CommitPolicy {
+    /// True for the policies that share barriers (anything but
+    /// [`CommitPolicy::PerFsync`]).
+    pub fn is_grouped(&self) -> bool {
+        !matches!(self, CommitPolicy::PerFsync)
+    }
+}
+
+/// One committed transaction, as the barrier's CQE saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Writer handles that joined the transaction before its seal.
+    pub handles: usize,
+    /// Journal records the transaction carried.
+    pub records: usize,
+    /// Seal-to-CQE latency of the flush barrier.
+    pub barrier_ns: Nanos,
+}
+
+/// Aggregate commit activity of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitLog {
+    /// Transactions committed (barriers whose CQE arrived).
+    pub commits: u64,
+    /// Writer handles committed across them.
+    pub handles: u64,
+    /// Journal records committed across them.
+    pub records: u64,
+    /// Total seal-to-CQE barrier time.
+    pub barrier_ns: Nanos,
+    /// Largest single commit, in handles.
+    pub max_handles: u64,
+    /// Application fsyncs that requested a barrier.
+    pub fsyncs: u64,
+    /// Fsyncs that parked on an already-in-flight barrier instead of
+    /// issuing (or waiting for) their own.
+    pub barrier_joins: u64,
+    /// Seals forced by the background writeback timer rather than an
+    /// application fsync.
+    pub writeback_flushes: u64,
+}
+
+impl CommitLog {
+    /// Folds one commit into the aggregate.
+    pub fn absorb(&mut self, c: CommitStats) {
+        self.commits += 1;
+        self.handles += c.handles as u64;
+        self.records += c.records as u64;
+        self.barrier_ns += c.barrier_ns;
+        self.max_handles = self.max_handles.max(c.handles as u64);
+    }
+
+    /// Flush barriers issued per application fsync — the amortization
+    /// headline. `1.0` under per-fsync commit; below `1.0` once group
+    /// commit shares barriers. Writeback flushes with no fsync in the
+    /// run report as `0.0`.
+    pub fn flushes_per_fsync(&self) -> f64 {
+        if self.fsyncs == 0 {
+            0.0
+        } else {
+            (self.commits - self.writeback_flushes.min(self.commits)) as f64 / self.fsyncs as f64
+        }
+    }
+
+    /// Mean handles per committed transaction.
+    pub fn mean_handles(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.handles as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean seal-to-CQE barrier latency.
+    pub fn mean_barrier_ns(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.barrier_ns as f64 / self.commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_per_fsync() {
+        assert_eq!(CommitPolicy::default(), CommitPolicy::PerFsync);
+        assert!(!CommitPolicy::PerFsync.is_grouped());
+        assert!(CommitPolicy::Group {
+            max_wait_us: 50,
+            max_handles: 8
+        }
+        .is_grouped());
+        assert!(CommitPolicy::Writeback {
+            flush_interval_us: 500
+        }
+        .is_grouped());
+    }
+
+    #[test]
+    fn log_aggregates_commits() {
+        let mut log = CommitLog::default();
+        assert_eq!(log.flushes_per_fsync(), 0.0);
+        log.fsyncs = 8;
+        log.absorb(CommitStats {
+            handles: 6,
+            records: 12,
+            barrier_ns: 1000,
+        });
+        log.absorb(CommitStats {
+            handles: 2,
+            records: 4,
+            barrier_ns: 3000,
+        });
+        assert_eq!(log.commits, 2);
+        assert_eq!(log.handles, 8);
+        assert_eq!(log.records, 16);
+        assert_eq!(log.max_handles, 6);
+        assert!((log.flushes_per_fsync() - 0.25).abs() < 1e-9);
+        assert!((log.mean_handles() - 4.0).abs() < 1e-9);
+        assert!((log.mean_barrier_ns() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writeback_flushes_do_not_count_against_fsyncs() {
+        let mut log = CommitLog {
+            fsyncs: 4,
+            writeback_flushes: 2,
+            ..CommitLog::default()
+        };
+        for _ in 0..6 {
+            log.absorb(CommitStats {
+                handles: 1,
+                records: 1,
+                barrier_ns: 100,
+            });
+        }
+        // 6 commits, 2 of them background: 4 fsync-driven barriers over
+        // 4 fsyncs.
+        assert!((log.flushes_per_fsync() - 1.0).abs() < 1e-9);
+    }
+}

@@ -21,6 +21,7 @@
 //! model; [`trace`] accumulates per-layer time for the Table 1 bench.
 
 pub mod chain;
+pub mod commit;
 pub mod costs;
 pub mod extcache;
 pub mod machine;
@@ -34,6 +35,7 @@ pub use chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict,
     DispatchMode, Fd, ProgHandle, RunReport, UserNext, WriteStart,
 };
+pub use commit::{CommitLog, CommitPolicy, CommitStats};
 pub use costs::LayerCosts;
 pub use extcache::{ExtCacheStats, ExtentCache};
 pub use machine::{ExecClock, KernelError, Machine, MachineConfig, Mutation};

@@ -63,6 +63,7 @@ use crate::chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStatus, ChainToken, ChainVerdict, DispatchMode, Fd,
     ProgHandle, RunReport, UserNext, WriteStart,
 };
+use crate::commit::{CommitLog, CommitPolicy, CommitStats};
 use crate::costs::LayerCosts;
 use crate::extcache::ExtentCache;
 use crate::reaper::{FairSched, ReapKind, ReapMode, Reaper, ReaperStats};
@@ -145,6 +146,11 @@ pub struct MachineConfig {
     /// per-engine nanoseconds. `None` (the default) skips sampling:
     /// hop and fallback counters still move, the `_ns` fields stay 0.
     pub exec_clock: Option<ExecClock>,
+    /// When the journal's running transaction seals and pays its flush
+    /// barrier: per-fsync (the default — one barrier per fsyncing
+    /// chain, bit-for-bit the historical write path), jbd2-style group
+    /// commit, or group commit plus background writeback.
+    pub commit_policy: CommitPolicy,
 }
 
 impl Default for MachineConfig {
@@ -164,6 +170,7 @@ impl Default for MachineConfig {
             qp_affinity: None,
             exec_engine: ExecEngine::from_env(),
             exec_clock: None,
+            commit_policy: CommitPolicy::PerFsync,
         }
     }
 }
@@ -287,6 +294,20 @@ enum Ev {
     Mutate {
         idx: usize,
     },
+    /// The group-commit window timer expired: seal the running journal
+    /// transaction (or defer to the in-flight barrier's CQE). The epoch
+    /// invalidates timers superseded by an earlier seal or run reset —
+    /// stale ones are skipped at pop time, before they can advance the
+    /// clock.
+    CommitSeal {
+        epoch: u64,
+    },
+    /// The background writeback timer fired: flush un-fsynced journal
+    /// records ([`CommitPolicy::Writeback`]). Epoch-guarded like
+    /// [`Ev::CommitSeal`].
+    WritebackTick {
+        epoch: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -370,6 +391,18 @@ struct Op {
     /// target, hops recycle target-side, and the terminal outcome
     /// returns as one response capsule.
     remote_pushdown: bool,
+    /// Journal length right after this write's records were logged: the
+    /// seal horizon its fsync needs durable. An fsync may park on an
+    /// in-flight barrier only when the sealed transaction's end covers
+    /// this point.
+    journal_end: usize,
+    /// Instant the chain's fsync requested its barrier (data CQEs
+    /// already back) — the start of the fsync-latency measurement.
+    fsync_from: Nanos,
+    /// A synthetic kernel-side op carrying a background writeback
+    /// flush: freed silently at the barrier's CQE, never delivered to
+    /// the application and never counted as a chain.
+    internal: bool,
 }
 
 /// A chain queued for re-issue after a rearm-retry verdict.
@@ -509,6 +542,48 @@ pub struct Machine {
     /// NVMe layer would periodically report them to the BIO layer.
     resubmissions: Vec<u64>,
     until: Nanos,
+    /// When the journal's running transaction seals and flushes
+    /// ([`MachineConfig::commit_policy`]).
+    commit_policy: CommitPolicy,
+    /// The op whose flush command carries the in-flight shared barrier,
+    /// if a sealed transaction is awaiting its CQE.
+    barrier_leader: Option<usize>,
+    /// Fsyncs parked on the in-flight barrier, released at its CQE.
+    barrier_joined: Vec<usize>,
+    /// Seal point of the in-flight barrier's transaction (record index;
+    /// fsyncs whose [`Op::journal_end`] falls under it may join).
+    barrier_seal_end: usize,
+    /// Records the in-flight barrier's transaction carries.
+    barrier_records: usize,
+    /// Writer handles joined to the in-flight barrier's transaction.
+    barrier_handles: usize,
+    /// Instant the in-flight barrier's transaction sealed.
+    barrier_sealed_at: Nanos,
+    /// Device time of the barrier's flush command, captured at its CQE
+    /// and re-split proportionally across the released fsyncs' tenants.
+    barrier_dev_ns: Nanos,
+    /// Whether the in-flight barrier was sealed by the background
+    /// writeback timer rather than an application fsync.
+    barrier_background: bool,
+    /// Fsyncs awaiting the next seal (the group-commit window).
+    window: Vec<usize>,
+    /// Seal again as soon as the in-flight barrier's CQE lands (fsyncs
+    /// queued up behind it — jbd2's chained commit).
+    window_due: bool,
+    /// Whether a valid [`Ev::CommitSeal`] timer is outstanding.
+    window_timer_armed: bool,
+    /// Epoch of valid [`Ev::CommitSeal`] events; bumped on every seal
+    /// and run reset so superseded timers die at pop time.
+    window_epoch: u64,
+    /// Whether a valid [`Ev::WritebackTick`] is outstanding.
+    wb_armed: bool,
+    /// Epoch of valid [`Ev::WritebackTick`] events.
+    wb_epoch: u64,
+    /// Per-run commit activity ([`RunReport::commit`]).
+    commit_log: CommitLog,
+    /// Per-run fsync-issue-to-barrier-CQE latency
+    /// ([`RunReport::fsync_latency`]).
+    fsync_lat: Histogram,
 }
 
 impl Machine {
@@ -599,6 +674,23 @@ impl Machine {
             errors: 0,
             resubmissions: Vec::new(),
             until: 0,
+            commit_policy: cfg.commit_policy,
+            barrier_leader: None,
+            barrier_joined: Vec::new(),
+            barrier_seal_end: 0,
+            barrier_records: 0,
+            barrier_handles: 0,
+            barrier_sealed_at: 0,
+            barrier_dev_ns: 0,
+            barrier_background: false,
+            window: Vec::new(),
+            window_due: false,
+            window_timer_armed: false,
+            window_epoch: 0,
+            wb_armed: false,
+            wb_epoch: 0,
+            commit_log: CommitLog::default(),
+            fsync_lat: Histogram::new(),
         }
     }
 
@@ -1122,6 +1214,9 @@ impl Machine {
             let Some((t, ev)) = self.events.pop() else {
                 break;
             };
+            if self.stale_timer(&ev) {
+                continue;
+            }
             self.now = self.now.max(t);
             self.dispatch_ev(ev, &mut d);
         }
@@ -1130,6 +1225,9 @@ impl Machine {
         // scheduled strictly in the future.
         while self.events.peek_time().is_some_and(|t| t <= self.now) {
             let (t, ev) = self.events.pop().expect("peeked");
+            if self.stale_timer(&ev) {
+                continue;
+            }
             self.now = self.now.max(t);
             self.dispatch_ev(ev, &mut d);
         }
@@ -1362,6 +1460,19 @@ impl Machine {
         self.fair.reset();
         self.cid_map.clear();
         self.rng_streams = 0;
+        // Commit-layer state: a run never starts with a barrier in
+        // flight (every prior chain delivered), so only the stats and
+        // timer epochs reset — the epoch bumps kill any timer events
+        // left in the queue by an earlier run or one-shot.
+        debug_assert!(self.barrier_leader.is_none());
+        debug_assert!(self.barrier_joined.is_empty() && self.window.is_empty());
+        self.window_epoch += 1;
+        self.window_timer_armed = false;
+        self.window_due = false;
+        self.wb_epoch += 1;
+        self.wb_armed = false;
+        self.commit_log = CommitLog::default();
+        self.fsync_lat = Histogram::new();
     }
 
     fn finish_run(&mut self) -> RunReport {
@@ -1377,6 +1488,7 @@ impl Machine {
             latency: self.latency.clone(),
             read_latency: self.lat_read.clone(),
             write_latency: self.lat_write.clone(),
+            fsync_latency: self.fsync_lat.clone(),
             cpu_util: self.cores.utilization(sim_time),
             device_util: self.transport.device().utilization(sim_time),
             device: self.transport.device().stats(),
@@ -1388,7 +1500,19 @@ impl Machine {
             reaper: self.reaper.stats().clone(),
             tenants: self.tstats.clone(),
             exec: self.exec,
+            commit: self.commit_log,
         }
+    }
+
+    /// Commit activity accumulated since the last run began (also in
+    /// [`RunReport::commit`]).
+    pub fn commit_log(&self) -> CommitLog {
+        self.commit_log
+    }
+
+    /// The commit policy the machine was built with.
+    pub fn commit_policy(&self) -> CommitPolicy {
+        self.commit_policy
     }
 
     /// Completion-reaping counters accumulated since the last run began.
@@ -1398,9 +1522,25 @@ impl Machine {
 
     fn event_loop(&mut self, driver: &mut dyn ChainDriver) {
         while let Some((t, ev)) = self.events.pop() {
+            // Superseded commit timers die *before* the clock advances,
+            // so a stale tick from an earlier epoch can never inflate a
+            // later run's sim_time.
+            if self.stale_timer(&ev) {
+                continue;
+            }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch_ev(ev, driver);
+        }
+    }
+
+    /// True for an epoch-tagged commit timer superseded by a later seal
+    /// or run reset. Checked at pop time in every event loop.
+    fn stale_timer(&self, ev: &Ev) -> bool {
+        match *ev {
+            Ev::CommitSeal { epoch } => epoch != self.window_epoch,
+            Ev::WritebackTick { epoch } => epoch != self.wb_epoch,
+            _ => false,
         }
     }
 
@@ -1415,6 +1555,8 @@ impl Machine {
             Ev::Delivered { op } => self.on_delivered(op, driver),
             Ev::CapsuleRx { op } => self.on_capsule_rx(op),
             Ev::Mutate { idx } => self.on_mutate(idx),
+            Ev::CommitSeal { .. } => self.on_commit_seal(),
+            Ev::WritebackTick { .. } => self.on_writeback_tick(),
         }
     }
 
@@ -1539,6 +1681,9 @@ impl Machine {
             remote_pushdown: self.fabric
                 && mode == DispatchMode::DriverHook
                 && kind == OpKind::Read,
+            journal_end: 0,
+            fsync_from: 0,
+            internal: false,
         };
         let id = self.alloc_op(op);
         if origin == Origin::Sync {
@@ -1631,9 +1776,21 @@ impl Machine {
             if len == 0 {
                 // Pure fsync: skip straight to the flush barrier.
                 if fsync {
+                    let journal_end = self.fs.journal_len();
+                    let grouped = self.commit_policy.is_grouped();
                     let op = self.ops[id].as_mut().expect("op");
                     op.kind = OpKind::WriteFlush;
-                    self.submit_write_flush(id);
+                    op.fsync_from = self.now;
+                    // A pure fsync wants everything logged so far
+                    // durable, not just its own (absent) records.
+                    op.journal_end = journal_end;
+                    self.commit_log.fsyncs += 1;
+                    self.tstats[tenant as usize].fsyncs += 1;
+                    if grouped {
+                        self.fsync_request_barrier(id);
+                    } else {
+                        self.submit_write_flush(id);
+                    }
                 } else {
                     // Zero-byte write: nothing to do.
                     let op = self.ops[id].as_mut().expect("op");
@@ -1706,11 +1863,15 @@ impl Machine {
                 }
                 segments.push((*phys, payload));
             }
+            let journal_end = self.fs.journal_len();
             let op = self.ops[id].as_mut().expect("op");
             op.wr_lb = first_lb;
             op.wr_nblocks = nblocks;
             op.wr_segments = Some(segments);
             op.wr_data = Vec::new();
+            // The plan just logged this write's journal records: any
+            // seal at or past this point covers them.
+            op.journal_end = journal_end;
         }
         let nsegs = self.ops[id]
             .as_ref()
@@ -2181,6 +2342,11 @@ impl Machine {
         ts.device_ns += dev_ns.saturating_sub(wire);
         self.trace.device += dev_ns.saturating_sub(wire);
         self.trace.fabric_wire += wire;
+        if self.barrier_leader == Some(id) {
+            // The shared barrier's flush time, re-split across the
+            // released fsyncs' tenants at the barrier's completion.
+            self.barrier_dev_ns = dev_ns.saturating_sub(wire);
+        }
         if host_capsule {
             // Each host-class CQE arrived as a response capsule the
             // initiator must decode.
@@ -2289,7 +2455,18 @@ impl Machine {
                 // Ordered journal commit: the commit record + flush
                 // barrier go to the device only after the data CQEs.
                 op.kind = OpKind::WriteFlush;
+                op.fsync_from = self.now;
                 self.note_resubmission(tenant, thread);
+                self.commit_log.fsyncs += 1;
+                self.tstats[tenant as usize].fsyncs += 1;
+                if self.commit_policy.is_grouped() {
+                    // Shared barrier: park on the in-flight one or wait
+                    // for the next seal — the journal_commit build and
+                    // the flush itself are paid once per transaction by
+                    // the seal, not per fsync.
+                    self.fsync_request_barrier(id);
+                    return;
+                }
                 let cost = self.costs.journal_commit + self.costs.drv_submit;
                 let end = self.charge(cost);
                 self.trace.journal += self.costs.journal_commit;
@@ -2297,13 +2474,296 @@ impl Machine {
                 self.events.push(end, Ev::DevSubmit { op: id });
             }
             OpKind::WriteFlush => {
+                if self.commit_policy.is_grouped() {
+                    self.on_barrier_cqe(id);
+                    return;
+                }
                 // The barrier is durable: the journal transaction
-                // commits, then the completion path unwinds.
-                self.fs.commit_journal();
+                // commits, then the completion path unwinds. The
+                // commit log and fsync-latency histogram are pure
+                // observation here — one commit per fsync, no new
+                // charges or events, bit-for-bit the historical path.
+                let committed_before = self.fs.journal().committed_records().len();
+                let handles = self.fs.commit_journal();
+                let records = self.fs.journal().committed_records().len() - committed_before;
+                let op = self.ops[id].as_ref().expect("op");
+                let (tenant, lat) = (op.tenant, self.now.saturating_sub(op.fsync_from));
+                self.commit_log.absorb(CommitStats {
+                    handles,
+                    records,
+                    barrier_ns: lat,
+                });
+                self.fsync_lat.record(lat);
+                self.tstats[tenant as usize].fsync_latency.record(lat);
                 self.complete_write(id);
             }
-            OpKind::WriteData { fsync: false } => self.complete_write(id),
+            OpKind::WriteData { fsync: false } => {
+                self.maybe_arm_writeback();
+                self.complete_write(id);
+            }
             OpKind::Read => unreachable!("read handled by on_device_done"),
+        }
+    }
+
+    /// Routes one fsync's barrier request under a grouped
+    /// [`CommitPolicy`]: park on the in-flight barrier when its sealed
+    /// transaction already covers the op's records, else join the
+    /// window awaiting the next seal.
+    fn fsync_request_barrier(&mut self, id: usize) {
+        let (tenant, journal_end) = {
+            let op = self.ops[id].as_ref().expect("op");
+            (op.tenant, op.journal_end)
+        };
+        if self.barrier_leader.is_some() {
+            if journal_end <= self.barrier_seal_end {
+                // The committing transaction covers this fsync's
+                // records: its CQE makes them durable, so ride it.
+                self.barrier_joined.push(id);
+                self.commit_log.barrier_joins += 1;
+                self.tstats[tenant as usize].barrier_joins += 1;
+            } else {
+                // Records landed after the seal — they need the *next*
+                // transaction, chained at the in-flight barrier's CQE.
+                self.window.push(id);
+                self.window_due = true;
+            }
+            return;
+        }
+        self.window.push(id);
+        match self.commit_policy {
+            CommitPolicy::Group {
+                max_wait_us,
+                max_handles,
+            } => {
+                if self.window.len() >= max_handles.max(1) as usize {
+                    self.seal_and_issue(false);
+                } else if !self.window_timer_armed {
+                    self.window_timer_armed = true;
+                    self.events.push(
+                        self.now + max_wait_us.saturating_mul(1_000),
+                        Ev::CommitSeal {
+                            epoch: self.window_epoch,
+                        },
+                    );
+                }
+            }
+            // Writeback batches opportunistically (joins + chaining)
+            // but an explicit fsync never waits for company.
+            CommitPolicy::Writeback { .. } => self.seal_and_issue(false),
+            CommitPolicy::PerFsync => unreachable!("per-fsync never windows"),
+        }
+    }
+
+    /// Seals the running journal transaction and puts its single flush
+    /// barrier on the rings. The first windowed fsync leads — its op
+    /// carries the flush through the submission path — and the rest
+    /// park on the barrier. A background seal with no windowed fsync
+    /// allocates a synthetic kernel op to carry the flush.
+    fn seal_and_issue(&mut self, background: bool) {
+        debug_assert!(self.barrier_leader.is_none(), "one barrier in flight");
+        let sealed = self.fs.seal_journal();
+        self.window_epoch += 1;
+        self.window_timer_armed = false;
+        self.window_due = false;
+        let mut waiters = std::mem::take(&mut self.window);
+        let leader = if waiters.is_empty() {
+            debug_assert!(background, "an fsync-driven seal always has a waiter");
+            self.alloc_internal_flush()
+        } else {
+            waiters.remove(0)
+        };
+        debug_assert!(self.barrier_joined.is_empty());
+        self.barrier_joined = waiters;
+        self.barrier_leader = Some(leader);
+        self.barrier_seal_end = sealed.end;
+        self.barrier_records = sealed.records;
+        self.barrier_handles = sealed.handles;
+        self.barrier_sealed_at = self.now;
+        self.barrier_dev_ns = 0;
+        self.barrier_background = background;
+        // One amortized commit-record build + driver submission for the
+        // whole transaction — the group-commit win.
+        let cost = self.costs.journal_commit + self.costs.drv_submit;
+        let end = self.charge(cost);
+        self.trace.journal += self.costs.journal_commit;
+        self.trace.drv += self.costs.drv_submit;
+        self.events.push(end, Ev::DevSubmit { op: leader });
+    }
+
+    /// Allocates the synthetic op that carries a background writeback
+    /// flush: it rides the rings like any flush but is freed silently
+    /// at the barrier's CQE — no delivery, no chain counted.
+    fn alloc_internal_flush(&mut self) -> usize {
+        let token = ChainToken {
+            id: self.next_chain_id,
+            tenant: DEFAULT_TENANT,
+            arg: 0,
+            issued: self.now,
+        };
+        self.next_chain_id += 1;
+        let op = Op {
+            thread: 0,
+            fd: 0,
+            tenant: DEFAULT_TENANT,
+            ino: 0,
+            kind: OpKind::WriteFlush,
+            mode: DispatchMode::User,
+            origin: Origin::Sync,
+            token,
+            first_off: 0,
+            first_len: 0,
+            attempts: 0,
+            file_off: 0,
+            len: 0,
+            hop: 0,
+            insns_used: 0,
+            ios: 0,
+            started: self.now,
+            data: Vec::new(),
+            device_ns: 0,
+            scratch: Vec::new(),
+            emitted: Vec::new(),
+            status: None,
+            o_direct: true,
+            seg_data: Vec::new(),
+            segs_pending: 0,
+            submitted_at: 0,
+            phys_target: None,
+            recycled: false,
+            wr_data: Vec::new(),
+            wr_segments: None,
+            wr_lb: 0,
+            wr_nblocks: 0,
+            remote_pushdown: false,
+            journal_end: 0,
+            fsync_from: self.now,
+            internal: true,
+        };
+        self.alloc_op(op)
+    }
+
+    /// The shared barrier's CQE: the sealed transaction commits, every
+    /// parked fsync releases at once, the flush's device time re-splits
+    /// proportionally across their tenants, and the next seal chains
+    /// immediately if fsyncs queued up behind the barrier.
+    fn on_barrier_cqe(&mut self, id: usize) {
+        debug_assert_eq!(
+            self.barrier_leader,
+            Some(id),
+            "only the leader's flush reaps"
+        );
+        self.fs.commit_journal_sealed();
+        self.commit_log.absorb(CommitStats {
+            handles: self.barrier_handles,
+            records: self.barrier_records,
+            barrier_ns: self.now.saturating_sub(self.barrier_sealed_at),
+        });
+        if self.barrier_background {
+            self.commit_log.writeback_flushes += 1;
+        }
+        self.barrier_leader = None;
+        let joined = std::mem::take(&mut self.barrier_joined);
+        let internal = self.ops[id].as_ref().expect("op").internal;
+        // Per-tenant §4-style accounting for the shared barrier: the
+        // flush's device time was billed to the leader's tenant at its
+        // CQE; re-split it evenly across every released fsync's tenant
+        // (each already paid its own resubmission charge when its
+        // chain flipped to the flush chase).
+        let mut parts: Vec<TenantId> = Vec::with_capacity(joined.len() + 1);
+        if !internal {
+            parts.push(self.ops[id].as_ref().expect("op").tenant);
+        }
+        for &j in &joined {
+            parts.push(self.ops[j].as_ref().expect("op").tenant);
+        }
+        if !parts.is_empty() && self.barrier_dev_ns > 0 {
+            let total = self.barrier_dev_ns;
+            let leader_tenant = self.ops[id].as_ref().expect("op").tenant as usize;
+            self.tstats[leader_tenant].device_ns =
+                self.tstats[leader_tenant].device_ns.saturating_sub(total);
+            let share = total / parts.len() as u64;
+            let rem = total - share * parts.len() as u64;
+            for (i, &t) in parts.iter().enumerate() {
+                self.tstats[t as usize].device_ns += share + if i == 0 { rem } else { 0 };
+            }
+        }
+        self.barrier_dev_ns = 0;
+        if internal {
+            self.free_op(id);
+        } else {
+            self.record_fsync_latency(id);
+            self.complete_write(id);
+        }
+        for j in joined {
+            self.record_fsync_latency(j);
+            self.complete_write(j);
+        }
+        // jbd2-style chaining: fsyncs that arrived too late for this
+        // transaction seal the next one right away.
+        if self.window_due && !self.window.is_empty() {
+            self.seal_and_issue(false);
+        } else {
+            self.window_due = false;
+        }
+    }
+
+    fn record_fsync_latency(&mut self, id: usize) {
+        let op = self.ops[id].as_ref().expect("op");
+        let (tenant, lat) = (op.tenant, self.now.saturating_sub(op.fsync_from));
+        self.fsync_lat.record(lat);
+        self.tstats[tenant as usize].fsync_latency.record(lat);
+    }
+
+    /// The group-commit window timer: seal now, or defer to the
+    /// in-flight barrier's CQE. Stale epochs never reach here — they
+    /// are skipped at pop time.
+    fn on_commit_seal(&mut self) {
+        self.window_timer_armed = false;
+        if self.barrier_leader.is_some() {
+            self.window_due = true;
+        } else if !self.window.is_empty() {
+            self.seal_and_issue(false);
+        }
+    }
+
+    /// Under [`CommitPolicy::Writeback`], (re-)arms the background
+    /// flush tick after an un-fsynced write completes. No-op under the
+    /// other policies, so the default path stays event-free.
+    fn maybe_arm_writeback(&mut self) {
+        let CommitPolicy::Writeback { flush_interval_us } = self.commit_policy else {
+            return;
+        };
+        if self.wb_armed {
+            return;
+        }
+        self.wb_armed = true;
+        self.events.push(
+            self.now + flush_interval_us.saturating_mul(1_000).max(1),
+            Ev::WritebackTick {
+                epoch: self.wb_epoch,
+            },
+        );
+    }
+
+    /// The background writeback timer: flush un-fsynced journal records
+    /// with a background-sealed barrier. While a barrier is already in
+    /// flight the tick re-arms and checks again next period; once the
+    /// journal is clean it stays disarmed until the next un-fsynced
+    /// write completes.
+    fn on_writeback_tick(&mut self) {
+        self.wb_armed = false;
+        if self.barrier_leader.is_some() {
+            self.maybe_arm_writeback();
+            return;
+        }
+        if !self.window.is_empty() {
+            // Shouldn't happen (a windowed fsync seals immediately
+            // under writeback), but a seal is always safe.
+            self.seal_and_issue(false);
+            return;
+        }
+        if self.fs.journal_dirty() {
+            self.seal_and_issue(true);
         }
     }
 

@@ -117,6 +117,14 @@ pub struct TenantBreakdown {
     pub dev_writes: u64,
     /// Flush barriers submitted.
     pub dev_flushes: u64,
+    /// Application fsyncs the tenant's chains requested (each demands a
+    /// barrier; under a grouped [`crate::CommitPolicy`] several may
+    /// share one).
+    pub fsyncs: u64,
+    /// Fsyncs that parked on an already-in-flight shared barrier
+    /// instead of issuing (or waiting for) their own — the tenant's
+    /// slice of [`crate::CommitLog::barrier_joins`].
+    pub barrier_joins: u64,
     /// Device-busy time attributed to the tenant's commands.
     pub device_ns: Nanos,
     /// BPF hook execution time attributed to the tenant's chains.
@@ -126,6 +134,10 @@ pub struct TenantBreakdown {
     pub exec: ExecSplit,
     /// Chain latency distribution for this tenant alone.
     pub latency: Histogram,
+    /// Fsync-issue-to-barrier-CQE latency distribution for this tenant
+    /// alone (the per-tenant slice of
+    /// [`crate::RunReport::fsync_latency`]).
+    pub fsync_latency: Histogram,
 }
 
 impl TenantBreakdown {
@@ -142,10 +154,13 @@ impl TenantBreakdown {
             dev_reads: 0,
             dev_writes: 0,
             dev_flushes: 0,
+            fsyncs: 0,
+            barrier_joins: 0,
             device_ns: 0,
             bpf_ns: 0,
             exec: ExecSplit::default(),
             latency: Histogram::new(),
+            fsync_latency: Histogram::new(),
         }
     }
 

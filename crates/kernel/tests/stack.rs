@@ -5,7 +5,7 @@
 use bpfstor_device::SECTOR_SIZE;
 use bpfstor_kernel::{
     AdaptiveIrqConfig, ChainDriver, ChainOutcome, ChainStart, ChainStatus, ChainToken,
-    ChainVerdict, DispatchMode, FabricConfig, Fd, HybridConfig, KernelError, Machine,
+    ChainVerdict, CommitPolicy, DispatchMode, FabricConfig, Fd, HybridConfig, KernelError, Machine,
     MachineConfig, Mutation, PollConfig, ReapKind, ReapMode, TenantLimits, TransportConfig,
     UserNext, DEFAULT_TENANT,
 };
@@ -1060,6 +1060,80 @@ fn fsync_commits_the_journal_unfsynced_writes_stay_pending() {
     let j = m.fs().journal();
     assert!(!j.in_transaction());
     assert_eq!(j.len(), j.committed_records().len(), "all records durable");
+}
+
+#[test]
+fn group_commit_shares_one_barrier_across_concurrent_fsyncs() {
+    let writers = 8;
+    let mut m = Machine::new(MachineConfig {
+        commit_policy: CommitPolicy::Group {
+            max_wait_us: 50,
+            max_handles: writers as u32,
+        },
+        ..MachineConfig::default()
+    });
+    m.create_file("wal.db", &[]).expect("create");
+    let fd = m.open("wal.db", true).expect("open");
+    // Every write fsyncs; eight closed-loop writers pile into shared
+    // transactions.
+    let mut d = WriteDriver::new(fd, SECTOR_SIZE, 32, 1);
+    let report = m.run_closed_loop(writers, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 32);
+    for o in &d.outcomes {
+        assert!(matches!(o.status, ChainStatus::Written(_)));
+    }
+    let commit = report.commit;
+    assert_eq!(commit.fsyncs, 32);
+    assert!(
+        commit.commits < commit.fsyncs,
+        "barriers must be shared: {} commits for {} fsyncs",
+        commit.commits,
+        commit.fsyncs
+    );
+    assert_eq!(
+        report.device.flushes, commit.commits,
+        "one device flush per committed transaction"
+    );
+    assert!(
+        commit.max_handles >= 2,
+        "at least one transaction carried multiple handles"
+    );
+    assert!(commit.flushes_per_fsync() < 1.0);
+    // Everything fsynced is durable once the run drains.
+    let j = m.fs().journal();
+    assert_eq!(j.len(), j.committed_records().len());
+    // Fsync latency is measured issue-to-barrier-CQE, once per fsync.
+    assert_eq!(report.fsync_latency.count(), 32);
+}
+
+#[test]
+fn writeback_timer_flushes_unfsynced_journal_records() {
+    let mut m = Machine::new(MachineConfig {
+        commit_policy: CommitPolicy::Writeback {
+            flush_interval_us: 100,
+        },
+        ..MachineConfig::default()
+    });
+    m.create_file("wal.db", &[]).expect("create");
+    let fd = m.open("wal.db", true).expect("open");
+    // No application fsync at all: only the background timer commits.
+    let mut d = WriteDriver::new(fd, SECTOR_SIZE, 12, 0);
+    let report = m.run_closed_loop(2, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), 12);
+    let commit = report.commit;
+    assert_eq!(commit.fsyncs, 0, "nothing fsynced");
+    assert!(
+        commit.writeback_flushes >= 1,
+        "the timer sealed the journal dirt"
+    );
+    let j = m.fs().journal();
+    assert_eq!(
+        j.len(),
+        j.committed_records().len(),
+        "background flush drained the journal before the run ended"
+    );
+    // No fsync means no fsync latency samples.
+    assert_eq!(report.fsync_latency.count(), 0);
 }
 
 #[test]

@@ -712,6 +712,202 @@ proptest! {
     }
 }
 
+// --- Machine crash consistency under every commit policy --------------------------
+
+/// Closed-loop driver for the machine-level crash tests: `writes`
+/// journaled sector writes at successive offsets (every
+/// `fsync_every`-th one fsynced, 0 = never), then one final pure fsync
+/// when `final_fsync` is set — so everything logged is durable when the
+/// run drains.
+struct CrashWriters {
+    fd: bpfstor::kernel::Fd,
+    writes: u64,
+    fsync_every: u64,
+    final_fsync: bool,
+    issued: u64,
+    done: u64,
+    errors: u64,
+}
+
+impl bpfstor::kernel::ChainDriver for CrashWriters {
+    fn mode(&self) -> bpfstor::kernel::DispatchMode {
+        bpfstor::kernel::DispatchMode::User
+    }
+
+    fn next_op(
+        &mut self,
+        _t: usize,
+        _rng: &mut bpfstor::sim::SimRng,
+    ) -> Option<bpfstor::kernel::ChainSpec> {
+        use bpfstor::device::SECTOR_SIZE;
+        if self.issued >= self.writes {
+            if self.final_fsync {
+                self.final_fsync = false;
+                return Some(bpfstor::kernel::ChainSpec::Write(
+                    bpfstor::kernel::WriteStart {
+                        fd: self.fd,
+                        file_off: 0,
+                        data: Vec::new(),
+                        fsync: true,
+                        arg: u64::MAX,
+                    },
+                ));
+            }
+            return None;
+        }
+        let i = self.issued;
+        self.issued += 1;
+        let fsync = self.fsync_every != 0 && (i + 1).is_multiple_of(self.fsync_every);
+        Some(bpfstor::kernel::ChainSpec::Write(
+            bpfstor::kernel::WriteStart {
+                fd: self.fd,
+                file_off: i * SECTOR_SIZE as u64,
+                data: vec![(i % 250) as u8 + 1; SECTOR_SIZE],
+                fsync,
+                arg: i,
+            },
+        ))
+    }
+
+    fn chain_done(
+        &mut self,
+        _t: usize,
+        outcome: &bpfstor::kernel::ChainOutcome,
+    ) -> bpfstor::kernel::ChainVerdict {
+        self.done += 1;
+        if !matches!(outcome.status, bpfstor::kernel::ChainStatus::Written(_)) {
+            self.errors += 1;
+        }
+        bpfstor::kernel::ChainVerdict::Done
+    }
+}
+
+/// Runs `writers` concurrent fsyncing writers under `policy` and
+/// returns the drained machine.
+fn run_crash_writers(
+    policy: bpfstor::kernel::CommitPolicy,
+    writers: usize,
+    writes: u64,
+    fsync_every: u64,
+    final_fsync: bool,
+    seed: u64,
+) -> (bpfstor::kernel::Machine, bpfstor::kernel::RunReport) {
+    use bpfstor::kernel::{Machine, MachineConfig};
+    let cfg = MachineConfig {
+        commit_policy: policy,
+        seed,
+        // Match the crash-replay target so free-space accounting lines
+        // up between live and recovered metadata.
+        fs_blocks: 1 << 14,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.create_file("wal.db", &[]).expect("create");
+    let fd = m.open("wal.db", true).expect("open");
+    let mut d = CrashWriters {
+        fd,
+        writes,
+        fsync_every,
+        final_fsync,
+        issued: 0,
+        done: 0,
+        errors: 0,
+    };
+    let report = m.run_closed_loop(writers, bpfstor::sim::SECOND, &mut d);
+    assert_eq!(d.errors, 0, "write chains must complete cleanly");
+    assert_eq!(d.done, writes + u64::from(final_fsync));
+    (m, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn machine_crash_at_any_boundary_recovers_a_txn_prefix_under_every_policy(
+        writers in 1usize..5,
+        writes in 4u64..24,
+        fsync_every in 1u64..4,
+        max_wait_us in 5u64..60,
+        seed in 0u64..1_000,
+    ) {
+        const NBLOCKS: u64 = 1 << 14;
+        use bpfstor::kernel::CommitPolicy;
+        let policies = [
+            CommitPolicy::PerFsync,
+            CommitPolicy::Group { max_wait_us, max_handles: writers as u32 },
+            CommitPolicy::Writeback { flush_interval_us: 100 },
+        ];
+        for policy in policies {
+            let (m, report) = run_crash_writers(policy, writers, writes, fsync_every, true, seed);
+            let j = m.fs().journal();
+            // Durability: the trailing pure fsync saw every record, so
+            // the drained journal is fully committed under all policies.
+            prop_assert_eq!(
+                j.len(), j.committed_records().len(),
+                "{:?}: final fsync must commit everything logged", policy
+            );
+            // Sharing never mints extra barriers; per-fsync never shares.
+            let commit = report.commit;
+            if policy == CommitPolicy::PerFsync {
+                prop_assert_eq!(commit.commits, commit.fsyncs, "{:?}", policy);
+                prop_assert_eq!(commit.barrier_joins, 0, "{:?}", policy);
+            } else {
+                prop_assert!(
+                    commit.commits <= commit.fsyncs + commit.writeback_flushes,
+                    "{:?}: {} commits for {} fsyncs", policy, commit.commits, commit.fsyncs
+                );
+            }
+            // Crash at EVERY record boundary: recovery must land exactly
+            // on the last commit point at or before the crash — a torn
+            // transaction (shared barrier not yet durable) loses every
+            // joined handle's records atomically, a durable one loses
+            // none.
+            let total = j.len();
+            let commit_points: Vec<usize> = j.commit_points().to_vec();
+            let live = fs_meta(m.fs());
+            let at = |k: usize| fs_meta(&m.fs().clone().crash_and_recover_at(NBLOCKS, k));
+            prop_assert_eq!(
+                at(total), live.clone(),
+                "{:?}: full-log replay must reproduce the live metadata", policy
+            );
+            let mut prefix = at(0);
+            let mut next_cp = 0usize;
+            for k in 0..=total {
+                if commit_points.get(next_cp) == Some(&k) {
+                    next_cp += 1;
+                    prefix = at(k);
+                }
+                prop_assert_eq!(
+                    at(k), prefix.clone(),
+                    "{:?}: crash after {} of {} records must recover the \
+                     txn prefix at commit point {:?}", policy, k, total,
+                    commit_points.get(next_cp.wrapping_sub(1))
+                );
+            }
+        }
+        // Writeback with no application fsync at all: the background
+        // timer alone must eventually make the journal durable — but
+        // never ahead of its records (replay still reproduces the live
+        // metadata exactly).
+        let (m, report) = run_crash_writers(
+            CommitPolicy::Writeback { flush_interval_us: 50 },
+            writers, writes, 0, false, seed,
+        );
+        let j = m.fs().journal();
+        prop_assert_eq!(j.len(), j.committed_records().len(), "writeback drains the journal");
+        prop_assert!(report.commit.writeback_flushes >= 1, "the timer did the flushing");
+        prop_assert_eq!(report.commit.fsyncs, 0);
+        prop_assert_eq!(
+            fs_meta(&m.fs().clone().crash_and_recover_at(NBLOCKS, j.len())),
+            fs_meta(m.fs())
+        );
+        // Per-fsync with no fsyncs leaves the records pending: a crash
+        // loses them, which is exactly the contract writeback tightens.
+        let (m, _) = run_crash_writers(CommitPolicy::PerFsync, writers, writes, 0, false, seed);
+        let j = m.fs().journal();
+        prop_assert!(j.len() > j.committed_records().len(), "no fsync, nothing durable");
+    }
+}
+
 // --- Ring invariants under random mixed read/write submission --------------------
 
 /// One random driver action against the raw NVMe device.
