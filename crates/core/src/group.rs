@@ -38,8 +38,8 @@
 
 use bpfstor_kernel::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainToken, ChainVerdict, CommitPolicy,
-    DispatchMode, ExecEngine, Fd, Machine, MachineConfig, ReapMode, RunReport, TenantId,
-    TenantLimits, UserNext, WriteStart, DEFAULT_TENANT,
+    DispatchMode, ExecEngine, FabricConfig, Fd, Machine, MachineConfig, ReapMode, RunReport,
+    TenantId, TenantLimits, TransportConfig, UserNext, WriteStart, DEFAULT_TENANT,
 };
 use bpfstor_sim::{Nanos, SimRng};
 
@@ -96,6 +96,18 @@ impl TenantGroupBuilder {
     /// Sets the completion-delivery policy of the shared machine.
     pub fn reap_mode(mut self, mode: ReapMode) -> Self {
         self.config.reap_mode = mode;
+        self
+    }
+
+    /// Shorthand for an NVMe-oF fabric transport shared by the group:
+    /// every tenant becomes an initiator on the same target (its
+    /// submissions are attributed to its tenant id for per-initiator
+    /// credit windows, weighted admission, and the per-initiator
+    /// counters in [`RunReport::fabric_initiators`]).
+    ///
+    /// [`RunReport::fabric_initiators`]: bpfstor_kernel::RunReport::fabric_initiators
+    pub fn fabric(mut self, config: FabricConfig) -> Self {
+        self.config.transport = TransportConfig::Fabric(config);
         self
     }
 

@@ -47,8 +47,8 @@ pub mod workloads;
 pub use bpfstor_kernel::{
     AdaptiveIrqConfig, ChainSpec, ChainStatus, ChainToken, ChainVerdict, CommitLog, CommitPolicy,
     CommitStats, DispatchMode, ExecClock, ExecEngine, ExecSplit, FabricConfig, FabricStats,
-    HybridConfig, MachineConfig, ModeTransition, PollConfig, ProgHandle, ReapKind, ReapMode,
-    ReaperStats, RunReport, TransportConfig, WriteStart,
+    HybridConfig, InitiatorStats, MachineConfig, ModeTransition, PollConfig, ProgHandle, ReapKind,
+    ReapMode, ReaperStats, RunReport, TransportConfig, WriteStart,
 };
 pub use bpfstor_kernel::{TenantBreakdown, TenantId, TenantLimits, DEFAULT_TENANT};
 pub use driver::{value_of, BtreeLookupDriver, KeyChoice, LookupStats, SstGetDriver};

@@ -33,6 +33,6 @@ pub use profile::{DeviceClass, DeviceProfile};
 pub use ring::Ring;
 pub use store::{SectorStore, SECTOR_SIZE};
 pub use transport::{
-    FabricConfig, FabricStats, FabricTransport, LocalTransport, SubmitClass, Transport,
-    TransportConfig,
+    FabricConfig, FabricStats, FabricTransport, InitiatorStats, LocalTransport, SubmitClass,
+    Transport, TransportConfig,
 };

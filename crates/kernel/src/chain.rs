@@ -21,7 +21,7 @@
 //! [`ProgHandle`]s with an explicit attach/detach lifecycle (see
 //! [`crate::Machine::install`]).
 
-use bpfstor_device::{DeviceStats, FabricStats};
+use bpfstor_device::{DeviceStats, FabricStats, InitiatorStats};
 use bpfstor_sim::{Histogram, Nanos, SimRng};
 
 use crate::extcache::ExtCacheStats;
@@ -353,6 +353,9 @@ pub struct RunReport {
     /// Fabric counters for this run: capsules each way, wire time,
     /// window stalls. All zero on the local transport.
     pub fabric: FabricStats,
+    /// Per-initiator fabric counters, one entry per configured
+    /// initiator (empty on the local transport).
+    pub fabric_initiators: Vec<InitiatorStats>,
     /// Extent-cache counters.
     pub extcache: ExtCacheStats,
     /// Total chained NVMe resubmissions (the §4 fairness counters,

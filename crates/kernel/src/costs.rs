@@ -93,6 +93,11 @@ pub struct LayerCosts {
     /// Charged per capsule on the receiving side; never charged on the
     /// local transport.
     pub fab_decode: Nanos,
+    /// Extra encode cost per KiB of in-capsule data (the copy/CRC over
+    /// a write capsule's payload; read commands are header-only, so
+    /// [`LayerCosts::fab_encode`] alone covers them). Never charged on
+    /// the local transport.
+    pub fab_encode_per_kb: Nanos,
     /// One completion-poller loop iteration: CQ head check plus loop
     /// bookkeeping, charged per visit on the queue pair's owning core
     /// (polled/hybrid reaping only). Sits outside
@@ -130,6 +135,7 @@ impl Default for LayerCosts {
             journal_commit: 250,
             fab_encode: 400,
             fab_decode: 300,
+            fab_encode_per_kb: 120,
             poll_loop: 100,
         }
     }

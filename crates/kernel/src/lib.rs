@@ -29,7 +29,7 @@ pub mod reaper;
 pub mod tenant;
 pub mod trace;
 
-pub use bpfstor_device::{FabricConfig, FabricStats, TransportConfig};
+pub use bpfstor_device::{FabricConfig, FabricStats, InitiatorStats, TransportConfig};
 pub use bpfstor_vm::ExecEngine;
 pub use chain::{
     ChainDriver, ChainOutcome, ChainSpec, ChainStart, ChainStatus, ChainToken, ChainVerdict,

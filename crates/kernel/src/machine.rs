@@ -391,6 +391,11 @@ struct Op {
     /// target, hops recycle target-side, and the terminal outcome
     /// returns as one response capsule.
     remote_pushdown: bool,
+    /// This target-resident fsync released on a shared commit barrier
+    /// and rides the barrier's single acknowledgement capsule instead
+    /// of crossing on its own (its [`Ev::CapsuleRx`] skips the decode —
+    /// the leader pays it once).
+    capsule_joined: bool,
     /// Journal length right after this write's records were logged: the
     /// seal horizon its fsync needs durable. An fsync may park on an
     /// in-flight barrier only when the sealed transaction's end covers
@@ -565,6 +570,12 @@ pub struct Machine {
     /// Whether the in-flight barrier was sealed by the background
     /// writeback timer rather than an application fsync.
     barrier_background: bool,
+    /// True while a barrier CQE is releasing its fsyncs: the first
+    /// target-resident release sends the barrier's single shared
+    /// acknowledgement capsule, the rest ride it.
+    barrier_ack_pending: bool,
+    /// Host arrival instant of that shared acknowledgement capsule.
+    barrier_ack_arrive: Option<Nanos>,
     /// Fsyncs awaiting the next seal (the group-commit window).
     window: Vec<usize>,
     /// Seal again as soon as the in-flight barrier's CQE lands (fsyncs
@@ -683,6 +694,8 @@ impl Machine {
             barrier_sealed_at: 0,
             barrier_dev_ns: 0,
             barrier_background: false,
+            barrier_ack_pending: false,
+            barrier_ack_arrive: None,
             window: Vec::new(),
             window_due: false,
             window_timer_armed: false,
@@ -1249,13 +1262,15 @@ impl Machine {
         self.cores.run(self.now, Some(core), cost).end
     }
 
-    /// Fabric only: the CPU cost of encoding `n` command capsules on
-    /// the submitting side. A no-op on the local transport.
-    fn charge_capsule_encode(&mut self, n: u64) {
+    /// Fabric only: the CPU cost of encoding `n` command capsules
+    /// carrying `payload_bytes` of in-capsule data on the submitting
+    /// side (write capsules haul their payload; read commands are
+    /// header-only). A no-op on the local transport.
+    fn charge_capsule_encode(&mut self, n: u64, payload_bytes: u64) {
         if !self.fabric || n == 0 {
             return;
         }
-        let cost = self.costs.fab_encode * n;
+        let cost = self.costs.fab_encode * n + self.costs.fab_encode_per_kb * payload_bytes / 1024;
         self.charge(cost);
         self.trace.fabric += cost;
     }
@@ -1264,16 +1279,20 @@ impl Machine {
     /// the target runs its final work (`target_cost`), encodes the
     /// response capsule, and puts it on the wire; the host unwinds its
     /// completion path when the capsule arrives ([`Ev::CapsuleRx`]).
-    fn send_response_capsule(&mut self, id: usize, target_cost: Nanos) {
+    /// Returns the capsule's host arrival instant so a grouped commit
+    /// barrier can ack its other released fsyncs on the same capsule.
+    fn send_response_capsule(&mut self, id: usize, target_cost: Nanos) -> Nanos {
         let cost = target_cost + self.costs.fab_encode;
         let end = self.charge(cost);
         self.trace.fabric += self.costs.fab_encode;
+        let initiator = self.ops[id].as_ref().expect("op").tenant;
         let (arrive, wire) = self
             .transport
-            .response_capsule(end)
+            .response_capsule(end, initiator)
             .expect("target-resident chains require a fabric transport");
         self.trace.fabric_wire += wire;
         self.events.push(arrive, Ev::CapsuleRx { op: id });
+        arrive
     }
 
     /// True when the chain's outcome lives on the NVMe-oF target and
@@ -1493,6 +1512,7 @@ impl Machine {
             device_util: self.transport.device().utilization(sim_time),
             device: self.transport.device().stats(),
             fabric: self.transport.fabric_stats(),
+            fabric_initiators: self.transport.initiator_stats(),
             trace: self.trace,
             extcache: self.extcache.stats(),
             resubmissions: self.resubmissions.iter().sum(),
@@ -1562,13 +1582,25 @@ impl Machine {
 
     /// A terminal pushdown response capsule reaches the host: decode it
     /// and unwind the initiator-side completion path to the application.
+    /// A write chain unwinds the write completion path; an fsync that
+    /// rode a shared barrier's acknowledgement capsule
+    /// ([`Op::capsule_joined`]) skips the decode — the capsule was
+    /// decoded once by the barrier leader.
     fn on_capsule_rx(&mut self, id: usize) {
-        if self.ops[id].is_none() {
+        let Some(op) = self.ops[id].as_ref() else {
             return;
-        }
-        let cost = self.costs.fab_decode + self.costs.sync_complete();
-        let end = self.charge(cost);
-        self.trace.fabric += self.costs.fab_decode;
+        };
+        let unwind = match op.kind {
+            OpKind::Read => self.costs.sync_complete(),
+            _ => self.costs.sync_write_complete(),
+        };
+        let decode = if op.capsule_joined {
+            0
+        } else {
+            self.costs.fab_decode
+        };
+        let end = self.charge(decode + unwind);
+        self.trace.fabric += decode;
         self.account_complete_trace();
         self.events.push(end, Ev::Delivered { op: id });
     }
@@ -1680,7 +1712,8 @@ impl Machine {
             wr_nblocks: 0,
             remote_pushdown: self.fabric
                 && mode == DispatchMode::DriverHook
-                && kind == OpKind::Read,
+                && matches!(kind, OpKind::Read | OpKind::WriteData { .. }),
+            capsule_joined: false,
             journal_end: 0,
             fsync_from: 0,
             internal: false,
@@ -1890,8 +1923,19 @@ impl Machine {
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
-        if !self.transport.can_accept(qp, nsegs) {
-            self.transport.record_rejection();
+        // Write pushdown: the chain's *first* device phase crosses as
+        // one capsule carrying the data payload; everything after it
+        // (flush chase, rearm resubmissions) is already target-side.
+        let class = {
+            let op = self.ops[id].as_ref().expect("op");
+            match (op.remote_pushdown, op.ios == 0) {
+                (true, true) => SubmitClass::PushdownStart,
+                (true, false) => SubmitClass::TargetLocal,
+                (false, _) => SubmitClass::Host,
+            }
+        };
+        if !self.transport.can_accept(qp, nsegs, tenant, class) {
+            self.transport.record_rejection(tenant);
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
@@ -1913,7 +1957,10 @@ impl Machine {
         let ts = &mut self.tstats[tenant as usize];
         ts.ios += segments.len() as u64;
         ts.dev_writes += segments.len() as u64;
-        self.charge_capsule_encode(segments.len() as u64);
+        if class != SubmitClass::TargetLocal {
+            let payload: u64 = segments.iter().map(|(_, p)| p.len() as u64).sum();
+            self.charge_capsule_encode(segments.len() as u64, payload);
+        }
         for (seg, (phys, payload)) in segments.into_iter().enumerate() {
             let cid = self.ios;
             self.ios += 1;
@@ -1928,7 +1975,8 @@ impl Machine {
                             data: payload,
                         },
                     },
-                    SubmitClass::Host,
+                    class,
+                    tenant,
                 )
                 .expect("capacity checked above");
         }
@@ -1950,8 +1998,18 @@ impl Machine {
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
-        if !self.transport.can_accept(qp, 1) {
-            self.transport.record_rejection();
+        // A pushdown chain's flush chase is already target-side; only a
+        // pure fsync (no data phase) crosses as its own capsule.
+        let class = {
+            let op = self.ops[id].as_ref().expect("op");
+            match (op.remote_pushdown, op.ios == 0) {
+                (true, true) => SubmitClass::PushdownStart,
+                (true, false) => SubmitClass::TargetLocal,
+                (false, _) => SubmitClass::Host,
+            }
+        };
+        if !self.transport.can_accept(qp, 1, tenant, class) {
+            self.transport.record_rejection(tenant);
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
@@ -1969,7 +2027,9 @@ impl Machine {
         let cid = self.ios;
         self.ios += 1;
         self.cid_map.insert(cid, (id, 0));
-        self.charge_capsule_encode(1);
+        if class != SubmitClass::TargetLocal {
+            self.charge_capsule_encode(1, 0);
+        }
         self.transport
             .submit(
                 qp,
@@ -1977,7 +2037,8 @@ impl Machine {
                     cid,
                     op: NvmeOp::Flush,
                 },
-                SubmitClass::Host,
+                class,
+                tenant,
             )
             .expect("capacity checked above");
         if !self.doorbell_armed[qp] {
@@ -2073,10 +2134,22 @@ impl Machine {
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
+        // Over a fabric, a pushdown chain's first read crosses as a
+        // command capsule whose completion stays target-side; recycled
+        // hops never touch the wire at all. Everything else is an
+        // ordinary host command (full round trip per hop).
+        let class = {
+            let op = self.ops[id].as_ref().expect("op");
+            match (op.remote_pushdown, phys_target.is_some()) {
+                (true, true) => SubmitClass::TargetLocal,
+                (true, false) => SubmitClass::PushdownStart,
+                (false, _) => SubmitClass::Host,
+            }
+        };
         // Backpressure: the whole request must fit, or the op parks
         // until the next interrupt frees queue slots.
-        if !self.transport.can_accept(qp, segments.len()) {
-            self.transport.record_rejection();
+        if !self.transport.can_accept(qp, segments.len(), tenant, class) {
+            self.transport.record_rejection(tenant);
             self.stalled[qp][tenant as usize].push(id);
             return;
         }
@@ -2099,17 +2172,8 @@ impl Machine {
         let ts = &mut self.tstats[tenant as usize];
         ts.ios += segments.len() as u64;
         ts.dev_reads += segments.len() as u64;
-        // Over a fabric, a pushdown chain's first read crosses as a
-        // command capsule whose completion stays target-side; recycled
-        // hops never touch the wire at all. Everything else is an
-        // ordinary host command (full round trip per hop).
-        let class = match (op.remote_pushdown, op.recycled) {
-            (true, true) => SubmitClass::TargetLocal,
-            (true, false) => SubmitClass::PushdownStart,
-            (false, _) => SubmitClass::Host,
-        };
         if class != SubmitClass::TargetLocal {
-            self.charge_capsule_encode(segments.len() as u64);
+            self.charge_capsule_encode(segments.len() as u64, 0);
         }
         for (seg, (phys, take)) in segments.iter().enumerate() {
             let cid = self.ios;
@@ -2126,6 +2190,7 @@ impl Machine {
                         },
                     },
                     class,
+                    tenant,
                 )
                 .expect("capacity checked above");
         }
@@ -2444,6 +2509,12 @@ impl Machine {
                 // (crash-before-fsync durability).
                 if op.hop + 1 >= bound {
                     op.status = Some(ChainStatus::BoundExceeded);
+                    if self.target_resident(id) {
+                        // The bound tripped on the target: the verdict
+                        // returns as the chain's one response capsule.
+                        self.send_response_capsule(id, 0);
+                        return;
+                    }
                     let cost = self.costs.sync_write_complete();
                     let end = self.charge(cost);
                     self.account_complete_trace();
@@ -2635,6 +2706,7 @@ impl Machine {
             wr_lb: 0,
             wr_nblocks: 0,
             remote_pushdown: false,
+            capsule_joined: false,
             journal_end: 0,
             fsync_from: self.now,
             internal: true,
@@ -2688,6 +2760,10 @@ impl Machine {
             }
         }
         self.barrier_dev_ns = 0;
+        // One return capsule acks every target-resident fsync this
+        // barrier releases: the first release sends it, the rest join.
+        self.barrier_ack_pending = true;
+        self.barrier_ack_arrive = None;
         if internal {
             self.free_op(id);
         } else {
@@ -2698,6 +2774,8 @@ impl Machine {
             self.record_fsync_latency(j);
             self.complete_write(j);
         }
+        self.barrier_ack_pending = false;
+        self.barrier_ack_arrive = None;
         // jbd2-style chaining: fsyncs that arrived too late for this
         // transaction seal the next one right away.
         if self.window_due && !self.window.is_empty() {
@@ -2775,6 +2853,23 @@ impl Machine {
         // blocks so buffered readers refetch the new bytes.
         for b in lb..lb + nblocks {
             self.pagecache.invalidate((ino, b));
+        }
+        if self.target_resident(id) {
+            // The commit happened on the NVMe-oF target: the
+            // acknowledgement returns as the chain's one response
+            // capsule. When a shared barrier releases several pushdown
+            // fsyncs at once, the first release carries them all —
+            // the rest ride the same capsule ([`Op::capsule_joined`]).
+            if let Some(arrive) = self.barrier_ack_arrive {
+                self.ops[id].as_mut().expect("op").capsule_joined = true;
+                self.events.push(arrive, Ev::CapsuleRx { op: id });
+            } else {
+                let arrive = self.send_response_capsule(id, 0);
+                if self.barrier_ack_pending {
+                    self.barrier_ack_arrive = Some(arrive);
+                }
+            }
+            return;
         }
         let cost = self.costs.sync_write_complete();
         let end = self.charge(cost);

@@ -955,6 +955,7 @@ struct WriteDriver {
     len: usize,
     writes: u64,
     fsync_every: u64,
+    mode: DispatchMode,
     issued: u64,
     outcomes: Vec<ChainOutcome>,
 }
@@ -966,15 +967,25 @@ impl WriteDriver {
             len,
             writes,
             fsync_every,
+            mode: DispatchMode::User,
             issued: 0,
             outcomes: Vec::new(),
+        }
+    }
+
+    /// Same write stream, dispatched in `mode` (write pushdown over a
+    /// fabric machine needs [`DispatchMode::DriverHook`]).
+    fn with_mode(fd: Fd, len: usize, writes: u64, fsync_every: u64, mode: DispatchMode) -> Self {
+        WriteDriver {
+            mode,
+            ..WriteDriver::new(fd, len, writes, fsync_every)
         }
     }
 }
 
 impl ChainDriver for WriteDriver {
     fn mode(&self) -> DispatchMode {
-        DispatchMode::User
+        self.mode
     }
 
     fn next_op(&mut self, _t: usize, _rng: &mut SimRng) -> Option<bpfstor_kernel::ChainSpec> {
@@ -1456,6 +1467,7 @@ fn exact_link(one_way: Nanos) -> FabricConfig {
         to_host: LatencyDist::Constant(one_way),
         target_proc_ns: 0,
         inflight_cap: 32,
+        ..FabricConfig::contention_defaults()
     }
 }
 
@@ -1727,6 +1739,113 @@ fn buffered_pushdown_never_warms_the_host_cache_with_target_data() {
         "every chain must cross the wire exactly once"
     );
     assert_eq!(report.fabric.responses, 3);
+}
+
+#[test]
+fn write_pushdown_crosses_once_and_commits_on_the_target() {
+    // Write pushdown: the data capsule crosses once (carrying its
+    // payload), the fsync flush chase recycles target-side, and only
+    // the commit acknowledgement returns. The no-pushdown path pays a
+    // full round trip per phase.
+    const ONE_WAY: Nanos = 20_000;
+    const WRITES: u64 = 8;
+    // 512 B of in-capsule payload at the 320 ns/KiB default link rate.
+    const SER: Nanos = SECTOR_SIZE as u64 * 320 / 1024;
+    let run = |mode: DispatchMode| {
+        let mut m = Machine::new(fabric_cfg(ONE_WAY));
+        m.create_file("wal.db", &[]).expect("create");
+        let fd = m.open("wal.db", true).expect("open");
+        let mut d = WriteDriver::with_mode(fd, SECTOR_SIZE, WRITES, 1, mode);
+        let r = m.run_closed_loop(1, SECOND, &mut d);
+        assert_eq!(d.outcomes.len(), WRITES as usize);
+        for o in &d.outcomes {
+            assert!(
+                matches!(o.status, ChainStatus::Written(n) if n as usize == SECTOR_SIZE),
+                "unexpected status {:?}",
+                o.status
+            );
+        }
+        assert_eq!(r.errors, 0);
+        r
+    };
+    let pd = run(DispatchMode::DriverHook);
+    // Per chain: one data capsule in, the flush recycled target-side,
+    // one commit-ack capsule out.
+    assert_eq!(pd.fabric.capsules_sent, WRITES);
+    assert_eq!(
+        pd.fabric.target_local, WRITES,
+        "flush chases stay target-side"
+    );
+    assert_eq!(pd.fabric.responses, WRITES);
+    assert_eq!(
+        pd.fabric.bytes_tx,
+        WRITES * (64 + SECTOR_SIZE as u64),
+        "write capsules haul their payload"
+    );
+    assert_eq!(
+        pd.trace.fabric_wire,
+        WRITES * (2 * ONE_WAY + SER),
+        "one serialized round trip per chain"
+    );
+    // §4 metering still sees the flush chase as a dependent
+    // resubmission even though it never crossed the wire.
+    assert_eq!(pd.resubmissions, WRITES);
+    assert_eq!(pd.fabric_initiators.len(), 1);
+    assert_eq!(pd.fabric_initiators[0].capsules_sent, WRITES);
+    // No-pushdown: both the data phase and the flush barrier pay the
+    // full round trip.
+    let host = run(DispatchMode::User);
+    assert_eq!(host.fabric.target_local, 0);
+    assert_eq!(host.fabric.capsules_sent, 2 * WRITES);
+    assert_eq!(
+        host.trace.fabric_wire,
+        WRITES * (4 * ONE_WAY + SER),
+        "two round trips per chain without pushdown"
+    );
+    assert!(
+        pd.write_latency.mean() < host.write_latency.mean(),
+        "pushdown elides a round trip per fsync write: {} vs {}",
+        pd.write_latency.mean(),
+        host.write_latency.mean()
+    );
+}
+
+#[test]
+fn grouped_barrier_acks_pushdown_fsyncs_with_one_capsule() {
+    // Under group commit, one shared flush barrier releases many
+    // pushdown fsyncs — and ONE response capsule acks them all.
+    const WRITERS: usize = 8;
+    const WRITES: u64 = 24;
+    let mut cfg = fabric_cfg(20_000);
+    cfg.commit_policy = CommitPolicy::Group {
+        max_wait_us: 50,
+        max_handles: 8,
+    };
+    let mut m = Machine::new(cfg);
+    m.create_file("wal.db", &[]).expect("create");
+    let fd = m.open("wal.db", true).expect("open");
+    let mut d = WriteDriver::with_mode(fd, SECTOR_SIZE, WRITES, 1, DispatchMode::DriverHook);
+    let r = m.run_closed_loop(WRITERS, SECOND, &mut d);
+    assert_eq!(d.outcomes.len(), WRITES as usize);
+    assert!(d.outcomes.iter().all(|o| o.status.is_ok()));
+    assert_eq!(r.errors, 0);
+    assert_eq!(r.commit.fsyncs, WRITES, "every write fsynced");
+    assert!(
+        r.commit.commits < WRITES,
+        "concurrent fsyncs must share barriers: {} commits",
+        r.commit.commits
+    );
+    // Every chain's data phase crossed once; each shared barrier came
+    // back as exactly one acknowledgement capsule.
+    assert_eq!(r.fabric.capsules_sent, WRITES);
+    assert_eq!(
+        r.fabric.responses, r.commit.commits,
+        "one return capsule per barrier, not per fsync"
+    );
+    assert_eq!(
+        r.fabric.target_local, r.commit.commits,
+        "one target-side flush per barrier"
+    );
 }
 
 // --- Completion reaping: polled, adaptive, hybrid ------------------------------

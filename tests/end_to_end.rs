@@ -894,6 +894,7 @@ fn test_link(one_way: u64) -> bpfstor::kernel::FabricConfig {
         to_host: bpfstor::sim::LatencyDist::Constant(one_way),
         target_proc_ns: 0,
         inflight_cap: 32,
+        ..bpfstor::kernel::FabricConfig::contention_defaults()
     }
 }
 

@@ -727,11 +727,12 @@ struct CrashWriters {
     issued: u64,
     done: u64,
     errors: u64,
+    mode: bpfstor::kernel::DispatchMode,
 }
 
 impl bpfstor::kernel::ChainDriver for CrashWriters {
     fn mode(&self) -> bpfstor::kernel::DispatchMode {
-        bpfstor::kernel::DispatchMode::User
+        self.mode
     }
 
     fn next_op(
@@ -792,10 +793,37 @@ fn run_crash_writers(
     final_fsync: bool,
     seed: u64,
 ) -> (bpfstor::kernel::Machine, bpfstor::kernel::RunReport) {
+    run_crash_writers_on(
+        policy,
+        writers,
+        writes,
+        fsync_every,
+        final_fsync,
+        seed,
+        bpfstor::kernel::TransportConfig::Local,
+        bpfstor::kernel::DispatchMode::User,
+    )
+}
+
+/// [`run_crash_writers`] over an arbitrary transport and dispatch mode
+/// (the fabric variants put the fsync flush barrier on the far side of
+/// the wire).
+#[allow(clippy::too_many_arguments)]
+fn run_crash_writers_on(
+    policy: bpfstor::kernel::CommitPolicy,
+    writers: usize,
+    writes: u64,
+    fsync_every: u64,
+    final_fsync: bool,
+    seed: u64,
+    transport: bpfstor::kernel::TransportConfig,
+    mode: bpfstor::kernel::DispatchMode,
+) -> (bpfstor::kernel::Machine, bpfstor::kernel::RunReport) {
     use bpfstor::kernel::{Machine, MachineConfig};
     let cfg = MachineConfig {
         commit_policy: policy,
         seed,
+        transport,
         // Match the crash-replay target so free-space accounting lines
         // up between live and recovered metadata.
         fs_blocks: 1 << 14,
@@ -812,6 +840,7 @@ fn run_crash_writers(
         issued: 0,
         done: 0,
         errors: 0,
+        mode,
     };
     let report = m.run_closed_loop(writers, bpfstor::sim::SECOND, &mut d);
     assert_eq!(d.errors, 0, "write chains must complete cleanly");
@@ -1085,6 +1114,7 @@ proptest! {
             to_host: LatencyDist::Uniform(one_way - jitter, one_way + jitter),
             target_proc_ns: 250,
             inflight_cap: cap,
+            ..FabricConfig::contention_defaults()
         };
         let mut t = FabricTransport::new(dev, cfg, SimRng::seed(0xCAB1E));
         // The effective window: the tighter of the credit cap and ring.
@@ -1115,10 +1145,10 @@ proptest! {
                     let cid = next_cid;
                     next_cid += 1;
                     let cls = class_of(*class);
-                    if t.can_accept(0, 1) {
+                    if t.can_accept(0, 1, 0, cls) {
                         let before = t.outstanding(0);
                         prop_assert!(before < window);
-                        t.submit(0, cmd, cls).expect("can_accept said yes");
+                        t.submit(0, cmd, cls, 0).expect("can_accept said yes");
                         prop_assert!(in_flight.insert(cid), "no double tag");
                         if cls == SubmitClass::Host {
                             host_class += 1;
@@ -1127,7 +1157,7 @@ proptest! {
                     } else {
                         prop_assert_eq!(t.outstanding(0), window, "reject only at the window");
                         prop_assert_eq!(
-                            t.submit(0, cmd.clone(), cls).unwrap_err(),
+                            t.submit(0, cmd.clone(), cls, 0).unwrap_err(),
                             QueueError::SubmissionFull
                         );
                         parked.push((cmd, cls));
@@ -1150,10 +1180,10 @@ proptest! {
                         prop_assert!(reaped_cids.insert(c.cid), "no duplicate CQE");
                     }
                     // Freed credits readmit parked capsules, oldest first.
-                    while t.can_accept(0, 1) {
+                    while t.can_accept(0, 1, 0, SubmitClass::Host) {
                         let Some((cmd, cls)) = parked.pop() else { break };
                         let cid = cmd.cid;
-                        t.submit(0, cmd, cls).expect("credit freed");
+                        t.submit(0, cmd, cls, 0).expect("credit freed");
                         prop_assert!(in_flight.insert(cid));
                         if cls == SubmitClass::Host {
                             host_class += 1;
@@ -1183,10 +1213,10 @@ proptest! {
                 prop_assert!(in_flight.remove(&c.cid));
                 prop_assert!(reaped_cids.insert(c.cid));
             }
-            while t.can_accept(0, 1) {
+            while t.can_accept(0, 1, 0, SubmitClass::Host) {
                 let Some((cmd, cls)) = parked.pop() else { break };
                 let cid = cmd.cid;
-                t.submit(0, cmd, cls).expect("credit freed");
+                t.submit(0, cmd, cls, 0).expect("credit freed");
                 prop_assert!(in_flight.insert(cid));
                 if cls == SubmitClass::Host {
                     host_class += 1;
@@ -1202,6 +1232,211 @@ proptest! {
         let s = t.fabric_stats();
         prop_assert_eq!(s.capsules_sent + s.target_local, accepted, "every capsule classified");
         prop_assert_eq!(s.responses, host_class, "one response capsule per host-class command");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// A lossy, jittery, congested multi-initiator wire still delivers
+    /// every submitted command to exactly one completion: losses pay a
+    /// retransmission timeout (never drop the command), duplicate
+    /// deliveries are suppressed by the target's command-id dedup, and
+    /// reordering from jitter never double-completes or loses a tag.
+    #[test]
+    fn lossy_fabric_delivers_every_command_exactly_once(
+        actions in proptest::collection::vec(fabric_action_strategy(), 1..120),
+        depth in 3usize..10,
+        initiators in 1usize..5,
+        one_way in 100u64..40_000,
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.5,
+        timeout in 1u64..200_000,
+        rng_seed in 0u64..1_000,
+    ) {
+        use bpfstor::device::transport::{FabricConfig, FabricTransport, SubmitClass, Transport};
+        use bpfstor::device::{NvmeCommand, NvmeOp};
+        use bpfstor::sim::{LatencyDist, SimRng};
+
+        // Derived knobs keep the parameter tuple within proptest's
+        // arity limit without shrinking the explored space much.
+        let jitter = (one_way / 3).min(one_way.saturating_sub(1));
+        let admit_ns = (rng_seed % 4) * 500;
+        let mut profile = bpfstor::device::DeviceProfile::optane_gen2_p5800x();
+        profile.queue_depth = depth;
+        let dev = bpfstor::device::NvmeDevice::new(profile, 1, SimRng::seed(0xFAB ^ rng_seed));
+        let cfg = FabricConfig {
+            to_target: LatencyDist::Uniform(one_way - jitter, one_way + jitter),
+            to_host: LatencyDist::Uniform(one_way - jitter, one_way + jitter),
+            target_proc_ns: 250,
+            initiators,
+            admit_ns,
+            congestion_knee: 2,
+            congestion_ns_per_capsule: 500,
+            loss_prob: loss,
+            retransmit_timeout_ns: timeout,
+            dup_prob: dup,
+            ..FabricConfig::contention_defaults()
+        };
+        let mut t = FabricTransport::new(dev, cfg, SimRng::seed(0xCAB1E ^ rng_seed));
+        let window = t.queue_capacity();
+
+        let class_of = |c: u8| match c {
+            0 => SubmitClass::Host,
+            1 => SubmitClass::PushdownStart,
+            _ => SubmitClass::TargetLocal,
+        };
+
+        let mut now: u64 = 0;
+        let mut next_cid: u64 = 0;
+        let mut in_flight = std::collections::HashSet::new();
+        let mut reaped_cids = std::collections::HashSet::new();
+        let mut accepted: u64 = 0;
+        let mut host_class: u64 = 0;
+
+        for action in &actions {
+            match action {
+                FabricAction::Submit { slba, class } => {
+                    let cmd = NvmeCommand {
+                        cid: next_cid,
+                        op: NvmeOp::Read { slba: *slba as u64, nlb: 1 },
+                    };
+                    let cid = next_cid;
+                    next_cid += 1;
+                    let cls = class_of(*class);
+                    let init = (cid % initiators as u64) as u32;
+                    // A full window parks driver-side; drop here (the
+                    // parking path is covered by the window proptest).
+                    if t.can_accept(0, 1, init, cls) {
+                        t.submit(0, cmd, cls, init).expect("can_accept said yes");
+                        prop_assert!(in_flight.insert(cid), "no double tag");
+                        if cls == SubmitClass::Host {
+                            host_class += 1;
+                        }
+                        accepted += 1;
+                    }
+                }
+                FabricAction::Doorbell => {
+                    t.ring_doorbell(now, 0).expect("qp 0");
+                }
+                FabricAction::AdvanceAndReap { ns } => {
+                    now += *ns as u64;
+                    t.post_ready(now, 0);
+                    for c in t.reap(now, 0, usize::MAX) {
+                        prop_assert!(c.complete_at <= now, "nothing from the future");
+                        prop_assert!(in_flight.remove(&c.cid), "one CQE per SQE");
+                        prop_assert!(reaped_cids.insert(c.cid), "no duplicate CQE");
+                    }
+                }
+            }
+            prop_assert!(t.outstanding(0) <= window, "window holds under loss");
+        }
+
+        // Drain: every accepted capsule must surface exactly once no
+        // matter how many crossings were lost along the way.
+        let mut guard = 0;
+        while t.outstanding(0) > 0 {
+            t.ring_doorbell(now, 0).expect("qp 0");
+            now += 10_000_000;
+            t.post_ready(now, 0);
+            for c in t.reap(now, 0, usize::MAX) {
+                prop_assert!(in_flight.remove(&c.cid));
+                prop_assert!(reaped_cids.insert(c.cid));
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain must terminate");
+        }
+        prop_assert!(in_flight.is_empty(), "every accepted SQE completed");
+        prop_assert_eq!(reaped_cids.len() as u64, accepted, "exactly one CQE each");
+        let s = t.fabric_stats();
+        prop_assert_eq!(s.responses, host_class, "one response per host-class command");
+        prop_assert_eq!(s.lost, s.retransmits, "every loss is retransmitted, never dropped");
+        prop_assert!(s.dups_suppressed <= s.retransmits, "dups only from retransmissions");
+        if loss == 0.0 {
+            prop_assert_eq!(s.retransmits, 0, "no loss, no retransmissions");
+        }
+        let per_init: u64 = t.initiator_stats().iter().map(|i| i.retransmits).sum();
+        prop_assert_eq!(per_init, s.retransmits, "per-initiator retransmits sum to the total");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Crash recovery when the fsync flush barrier crosses the fabric:
+    /// whether the barrier is submitted from the host (`User` dispatch,
+    /// one capsule per flush) or runs target-side under write pushdown
+    /// (`DriverHook`, the commit acknowledged by the terminal response
+    /// capsule), a crash at every journal record boundary must land on
+    /// the last durable commit point — never a torn transaction.
+    #[test]
+    fn fabric_crash_at_any_boundary_recovers_the_last_durable_commit(
+        writers in 1usize..4,
+        writes in 4u64..16,
+        fsync_every in 1u64..3,
+        max_wait_us in 5u64..60,
+        seed in 0u64..1_000,
+    ) {
+        const NBLOCKS: u64 = 1 << 14;
+        use bpfstor::kernel::{CommitPolicy, DispatchMode, FabricConfig, TransportConfig};
+        let link = || {
+            TransportConfig::Fabric(
+                FabricConfig::symmetric(20_000, 4_000)
+                    .with_initiators(2)
+                    .with_initiator_window(4)
+                    .with_admit_ns(500)
+                    .with_loss(0.02, 50_000, 0.25),
+            )
+        };
+        let policies = [
+            CommitPolicy::PerFsync,
+            CommitPolicy::Group { max_wait_us, max_handles: writers as u32 },
+        ];
+        for policy in policies {
+            for mode in [DispatchMode::User, DispatchMode::DriverHook] {
+                let (m, report) = run_crash_writers_on(
+                    policy, writers, writes, fsync_every, true, seed, link(), mode,
+                );
+                let j = m.fs().journal();
+                prop_assert_eq!(
+                    j.len(), j.committed_records().len(),
+                    "{:?}/{:?}: the trailing fsync commits everything logged",
+                    policy, mode
+                );
+                // Pushdown moves the barrier to the target but may not
+                // change what commits: under group commit a shared
+                // barrier still acks every joined fsync.
+                let commit = report.commit;
+                if policy == CommitPolicy::PerFsync {
+                    prop_assert_eq!(commit.commits, commit.fsyncs, "{:?}/{:?}", policy, mode);
+                }
+                if mode == DispatchMode::DriverHook {
+                    prop_assert!(
+                        report.fabric.target_local > 0,
+                        "pushdown runs the barrier target-side"
+                    );
+                }
+                let total = j.len();
+                let commit_points: Vec<usize> = j.commit_points().to_vec();
+                let live = fs_meta(m.fs());
+                let at = |k: usize| fs_meta(&m.fs().clone().crash_and_recover_at(NBLOCKS, k));
+                prop_assert_eq!(
+                    at(total), live.clone(),
+                    "{:?}/{:?}: full-log replay reproduces the live metadata", policy, mode
+                );
+                let mut prefix = at(0);
+                let mut next_cp = 0usize;
+                for k in 0..=total {
+                    if commit_points.get(next_cp) == Some(&k) {
+                        next_cp += 1;
+                        prefix = at(k);
+                    }
+                    prop_assert_eq!(
+                        at(k), prefix.clone(),
+                        "{:?}/{:?}: crash after {} of {} records must recover the last \
+                         durable commit", policy, mode, k, total
+                    );
+                }
+            }
+        }
     }
 }
 
